@@ -1,0 +1,200 @@
+//! Lock-order deadlock-candidate detection — one of the classic
+//! partial-order-adjacent dynamic analyses the paper lists as an
+//! application domain (deadlock detection and reproduction, Samak &
+//! Ramanathan PPoPP 2014; Sulzmann & Stadtmüller PPDP 2018).
+//!
+//! A *lock-order inversion* is a pair of locks acquired in opposite
+//! nesting orders by different threads (`t1: acq m; acq n` vs
+//! `t2: acq n; acq m`) — a deadlock candidate: under a different
+//! schedule the two threads can block each other forever. The detector
+//! builds the lock-order graph (edge `m -> n` when a thread acquires
+//! `n` while holding `m`) and reports every 2-cycle between distinct
+//! threads, the standard dynamic check.
+
+use std::collections::BTreeSet;
+
+use tc_core::ThreadId;
+use tc_trace::{Event, LockId, Op, Trace};
+
+/// A deadlock candidate: two locks acquired in opposite orders by two
+/// threads.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DeadlockCandidate {
+    /// The lock pair, normalized so `first < second`.
+    pub locks: (LockId, LockId),
+    /// A thread that acquired `first` while holding `second`.
+    pub thread_ab: ThreadId,
+    /// A thread that acquired `second` while holding `first`.
+    pub thread_ba: ThreadId,
+}
+
+/// A streaming lock-order analyzer.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_analysis::deadlock::LockOrderAnalyzer;
+/// use tc_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// b.acquire(0, "m").acquire(0, "n").release(0, "n").release(0, "m");
+/// b.acquire(1, "n").acquire(1, "m").release(1, "m").release(1, "n");
+/// let trace = b.finish();
+///
+/// let candidates = LockOrderAnalyzer::new(&trace).run(&trace);
+/// assert_eq!(candidates.len(), 1); // the classic ABBA inversion
+/// ```
+pub struct LockOrderAnalyzer {
+    /// Locks currently held per thread, in acquisition order.
+    held: Vec<Vec<LockId>>,
+    /// Observed nesting edges `(outer, inner, thread)`.
+    edges: BTreeSet<(LockId, LockId, ThreadId)>,
+    /// Candidates found so far (deduplicated by lock pair).
+    found: BTreeSet<(LockId, LockId)>,
+    candidates: Vec<DeadlockCandidate>,
+}
+
+impl LockOrderAnalyzer {
+    /// Creates an analyzer sized for `trace`.
+    pub fn new(trace: &Trace) -> Self {
+        LockOrderAnalyzer {
+            held: vec![Vec::new(); trace.thread_count()],
+            edges: BTreeSet::new(),
+            found: BTreeSet::new(),
+            candidates: Vec::new(),
+        }
+    }
+
+    fn ensure_thread(&mut self, t: ThreadId) {
+        if t.index() >= self.held.len() {
+            self.held.resize_with(t.index() + 1, Vec::new);
+        }
+    }
+
+    /// Processes one event (in trace order).
+    pub fn process(&mut self, e: &Event) {
+        self.ensure_thread(e.tid);
+        match e.op {
+            Op::Acquire(inner) => {
+                for &outer in &self.held[e.tid.index()] {
+                    self.edges.insert((outer, inner, e.tid));
+                    // Does any *other* thread nest the opposite way?
+                    let reversed: Vec<ThreadId> = self
+                        .edges
+                        .range((inner, outer, ThreadId::new(0))..=(inner, outer, ThreadId::new(u32::MAX)))
+                        .map(|&(_, _, t)| t)
+                        .filter(|&t| t != e.tid)
+                        .collect();
+                    for other in reversed {
+                        let key = if outer < inner {
+                            (outer, inner)
+                        } else {
+                            (inner, outer)
+                        };
+                        if self.found.insert(key) {
+                            self.candidates.push(DeadlockCandidate {
+                                locks: key,
+                                thread_ab: other,
+                                thread_ba: e.tid,
+                            });
+                        }
+                    }
+                }
+                self.held[e.tid.index()].push(inner);
+            }
+            Op::Release(l) => {
+                if let Some(pos) = self.held[e.tid.index()].iter().rposition(|&h| h == l) {
+                    self.held[e.tid.index()].remove(pos);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Consumes the analyzer, processing all events of `trace` and
+    /// returning the candidates found.
+    pub fn run(mut self, trace: &Trace) -> Vec<DeadlockCandidate> {
+        for e in trace {
+            self.process(e);
+        }
+        self.candidates
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_trace::TraceBuilder;
+
+    fn abba() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").acquire(0, "n").release(0, "n").release(0, "m");
+        b.acquire(1, "n").acquire(1, "m").release(1, "m").release(1, "n");
+        b.finish()
+    }
+
+    #[test]
+    fn abba_inversion_is_found() {
+        let trace = abba();
+        let c = LockOrderAnalyzer::new(&trace).run(&trace);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].locks, (LockId::new(0), LockId::new(1)));
+        assert_ne!(c[0].thread_ab, c[0].thread_ba);
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let mut b = TraceBuilder::new();
+        for t in 0..3u32 {
+            b.acquire(t, "m").acquire(t, "n").release(t, "n").release(t, "m");
+        }
+        let trace = b.finish();
+        assert!(LockOrderAnalyzer::new(&trace).run(&trace).is_empty());
+    }
+
+    #[test]
+    fn same_thread_inversion_is_not_a_deadlock() {
+        // One thread nesting both ways cannot deadlock with itself.
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").acquire(0, "n").release(0, "n").release(0, "m");
+        b.acquire(0, "n").acquire(0, "m").release(0, "m").release(0, "n");
+        let trace = b.finish();
+        assert!(LockOrderAnalyzer::new(&trace).run(&trace).is_empty());
+    }
+
+    #[test]
+    fn nested_chains_report_direct_inversions() {
+        // t0 nests a < b < c (edges a->b, a->c, b->c); t1 nests c < a.
+        // Exactly one pair is directly inverted: (a, c). The a->b->c->a
+        // 3-cycle shares the same witness here; detecting cycles longer
+        // than 2 without a shared 2-cycle is documented as out of scope.
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "a").acquire(0, "b").acquire(0, "c");
+        b.release(0, "c").release(0, "b").release(0, "a");
+        b.acquire(1, "c").acquire(1, "a").release(1, "a").release(1, "c");
+        let trace = b.finish();
+        let c = LockOrderAnalyzer::new(&trace).run(&trace);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].locks, (LockId::new(0), LockId::new(2)));
+    }
+
+    #[test]
+    fn candidates_deduplicate_per_lock_pair() {
+        let mut b = TraceBuilder::new();
+        for _ in 0..3 {
+            b.acquire(0, "m").acquire(0, "n").release(0, "n").release(0, "m");
+            b.acquire(1, "n").acquire(1, "m").release(1, "m").release(1, "n");
+        }
+        let trace = b.finish();
+        assert_eq!(LockOrderAnalyzer::new(&trace).run(&trace).len(), 1);
+    }
+
+    #[test]
+    fn generated_scenarios_have_no_inversions() {
+        // The Figure 10 generators never nest locks.
+        for s in tc_trace::gen::Scenario::ALL {
+            let trace = s.generate(8, 2_000, 3);
+            assert!(LockOrderAnalyzer::new(&trace).run(&trace).is_empty());
+        }
+    }
+}

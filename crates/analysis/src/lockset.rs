@@ -1,0 +1,241 @@
+//! Eraser-style lockset race detection — the classic non-clock baseline
+//! (Savage et al., TOCS 1997; the Goldilocks line of work in the
+//! paper's related-work section descends from it).
+//!
+//! The lockset discipline says: every shared variable is protected by
+//! some fixed set of locks, held on *every* access. The detector
+//! intersects, per variable, the locksets of all accesses; an empty
+//! intersection is a discipline violation. This is cheap — no clocks at
+//! all — but *unsound in both directions* compared to happens-before:
+//! it misses no classic data race on consistently-unlocked data, yet
+//! flags fork/join- or signal-ordered accesses that never race. The
+//! tests contrast it with the HB detector on exactly such traces, which
+//! is the standard motivation for clock-based detection (and thus for
+//! making clocks fast — the paper's subject).
+
+use std::collections::BTreeSet;
+
+use tc_core::ThreadId;
+use tc_trace::{Event, LockId, Op, Trace, VarId};
+
+/// Per-variable state of the lockset discipline check.
+#[derive(Clone, Debug)]
+struct VarLockset {
+    /// Intersection of locks held over all accesses so far; `None`
+    /// until the first access (the lattice top).
+    candidate: Option<BTreeSet<LockId>>,
+    /// Whether a violation was already reported for this variable.
+    reported: bool,
+    /// The first thread that accessed the variable (the Eraser
+    /// refinement: a variable is exempt while thread-local).
+    first_thread: Option<ThreadId>,
+    /// Whether a second thread has accessed the variable.
+    shared: bool,
+}
+
+impl VarLockset {
+    fn new() -> Self {
+        VarLockset {
+            candidate: None,
+            reported: false,
+            first_thread: None,
+            shared: false,
+        }
+    }
+}
+
+/// A lockset discipline violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LocksetViolation {
+    /// The unprotected variable.
+    pub var: VarId,
+    /// Index of the event at which the candidate set became empty.
+    pub at: usize,
+    /// The thread whose access emptied the candidate set.
+    pub tid: ThreadId,
+}
+
+/// An Eraser-style lockset detector.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_analysis::lockset::LocksetDetector;
+/// use tc_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// b.acquire(0, "m").write(0, "x").release(0, "m");
+/// b.write(1, "x"); // second thread, no lock: discipline violation
+/// let trace = b.finish();
+///
+/// let violations = LocksetDetector::new(&trace).run(&trace);
+/// assert_eq!(violations.len(), 1);
+/// ```
+pub struct LocksetDetector {
+    vars: Vec<VarLockset>,
+    held: Vec<BTreeSet<LockId>>,
+    violations: Vec<LocksetViolation>,
+    position: usize,
+}
+
+impl LocksetDetector {
+    /// Creates a detector sized for `trace`.
+    pub fn new(trace: &Trace) -> Self {
+        LocksetDetector {
+            vars: (0..trace.var_count()).map(|_| VarLockset::new()).collect(),
+            held: vec![BTreeSet::new(); trace.thread_count()],
+            violations: Vec::new(),
+            position: 0,
+        }
+    }
+
+    fn ensure_var(&mut self, x: VarId) {
+        if x.index() >= self.vars.len() {
+            self.vars.resize_with(x.index() + 1, VarLockset::new);
+        }
+    }
+
+    fn ensure_thread(&mut self, t: ThreadId) {
+        if t.index() >= self.held.len() {
+            self.held.resize_with(t.index() + 1, BTreeSet::new);
+        }
+    }
+
+    /// Processes one event (in trace order).
+    pub fn process(&mut self, e: &Event) {
+        let i = self.position;
+        self.position += 1;
+        self.ensure_thread(e.tid);
+        match e.op {
+            Op::Acquire(l) => {
+                self.held[e.tid.index()].insert(l);
+            }
+            Op::Release(l) => {
+                self.held[e.tid.index()].remove(&l);
+            }
+            Op::Read(x) | Op::Write(x) => {
+                self.ensure_var(x);
+                let held = &self.held[e.tid.index()];
+                let state = &mut self.vars[x.index()];
+                match state.first_thread {
+                    None => state.first_thread = Some(e.tid),
+                    Some(first) if first != e.tid => state.shared = true,
+                    _ => {}
+                }
+                match &mut state.candidate {
+                    None => state.candidate = Some(held.clone()),
+                    Some(c) => c.retain(|l| held.contains(l)),
+                }
+                let empty = state.candidate.as_ref().is_some_and(BTreeSet::is_empty);
+                if empty && state.shared && !state.reported {
+                    state.reported = true;
+                    self.violations.push(LocksetViolation {
+                        var: x,
+                        at: i,
+                        tid: e.tid,
+                    });
+                }
+            }
+            Op::Fork(_) | Op::Join(_) => {}
+        }
+    }
+
+    /// The candidate lockset of a variable (for inspection); `None`
+    /// before the first access.
+    pub fn candidate_lockset(&self, x: VarId) -> Option<&BTreeSet<LockId>> {
+        self.vars.get(x.index()).and_then(|v| v.candidate.as_ref())
+    }
+
+    /// Consumes the detector, processing all events of `trace` and
+    /// returning the violations found.
+    pub fn run(mut self, trace: &Trace) -> Vec<LocksetViolation> {
+        for e in trace {
+            self.process(e);
+        }
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HbRaceDetector;
+    use tc_core::TreeClock;
+    use tc_trace::TraceBuilder;
+
+    #[test]
+    fn consistent_locking_passes() {
+        let mut b = TraceBuilder::new();
+        for t in 0..3u32 {
+            b.acquire(t, "m").write(t, "x").read(t, "x").release(t, "m");
+        }
+        let trace = b.finish();
+        assert!(LocksetDetector::new(&trace).run(&trace).is_empty());
+    }
+
+    #[test]
+    fn inconsistent_locking_is_flagged_once() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").write(0, "x").release(0, "m");
+        b.acquire(1, "n").write(1, "x").release(1, "n"); // different lock!
+        b.write(0, "x"); // further accesses don't re-report
+        let trace = b.finish();
+        let v = LocksetDetector::new(&trace).run(&trace);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].var, VarId::new(0));
+        assert_eq!(v[0].at, 4);
+    }
+
+    #[test]
+    fn thread_local_data_is_exempt() {
+        // Only one thread ever touches x: no violation even unlocked.
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").read(0, "x").write(0, "x");
+        let trace = b.finish();
+        assert!(LocksetDetector::new(&trace).run(&trace).is_empty());
+    }
+
+    #[test]
+    fn candidate_set_intersects_over_accesses() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").acquire(0, "n").write(0, "x").release(0, "n").release(0, "m");
+        b.acquire(1, "m").read(1, "x").release(1, "m");
+        let trace = b.finish();
+        let mut d = LocksetDetector::new(&trace);
+        for e in &trace {
+            d.process(e);
+        }
+        let c = d.candidate_lockset(VarId::new(0)).unwrap();
+        assert_eq!(c.len(), 1, "only the common lock m survives");
+    }
+
+    /// The canonical lockset false positive: fork/join ordering without
+    /// locks. HB (clock-based) correctly stays silent; lockset flags it
+    /// — the precision gap that motivates clock-based detection.
+    #[test]
+    fn fork_join_ordering_is_a_lockset_false_positive() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x");
+        b.fork(0, 1);
+        b.write(1, "x");
+        b.join(0, 1);
+        b.write(0, "x");
+        let trace = b.finish();
+
+        let hb = HbRaceDetector::<TreeClock>::new(&trace).run(&trace);
+        assert!(hb.is_empty(), "HB knows the accesses are ordered");
+
+        let ls = LocksetDetector::new(&trace).run(&trace);
+        assert_eq!(ls.len(), 1, "lockset cannot see fork/join ordering");
+    }
+
+    /// And the converse sanity: on an unlocked shared access, both agree.
+    #[test]
+    fn real_races_are_caught_by_both() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").write(1, "x");
+        let trace = b.finish();
+        assert!(!HbRaceDetector::<TreeClock>::new(&trace).run(&trace).is_empty());
+        assert!(!LocksetDetector::new(&trace).run(&trace).is_empty());
+    }
+}

@@ -1,0 +1,188 @@
+//! Oracle tests for the analyses: every reported pair is checked
+//! against the *definitional* partial order built by `tc_orders::spec`.
+//!
+//! - **Soundness** (all three analyses): a reported pair must be
+//!   conflicting and concurrent w.r.t. the corresponding order — for
+//!   SHB write/read reports and MAZ reversible pairs, concurrency is
+//!   judged with the current event's own direct conflict edges removed
+//!   (the ordering the detector consulted).
+//! - **Completeness** (HB): the FastTrack-style detector finds at least
+//!   one race exactly when a concurrent conflicting pair exists.
+//! - **Representation independence**: tree clocks and vector clocks
+//!   produce byte-identical reports.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use tc_analysis::{HbRaceDetector, MazAnalyzer, RaceReport, ShbRaceDetector};
+use tc_core::{Epoch, TreeClock, VectorClock};
+use tc_orders::spec::{spec_dag, spec_dag_with, SpecOptions};
+use tc_orders::PartialOrderKind;
+use tc_trace::gen::WorkloadSpec;
+use tc_trace::Trace;
+
+/// Maps each event's `(tid, local time)` epoch to its trace index.
+fn epoch_index(trace: &Trace) -> HashMap<(u32, u32), usize> {
+    let ltimes = trace.local_times();
+    trace
+        .iter()
+        .enumerate()
+        .map(|(i, e)| ((e.tid.raw(), ltimes[i]), i))
+        .collect()
+}
+
+fn index_of(map: &HashMap<(u32, u32), usize>, e: Epoch) -> usize {
+    *map.get(&(e.tid().raw(), e.time()))
+        .expect("reported epoch does not identify an event")
+}
+
+fn small_workload(seed: u64, threads: u32, sync_pct: u8) -> Trace {
+    WorkloadSpec {
+        threads,
+        locks: 2,
+        vars: 3,
+        events: 100,
+        sync_ratio: f64::from(sync_pct) / 100.0,
+        write_ratio: 0.45,
+        fork_join: seed % 3 == 0,
+        seed,
+        ..WorkloadSpec::default()
+    }
+    .generate()
+}
+
+/// Checks that each reported pair is conflicting and concurrent in the
+/// order `kind`, dropping the current event's direct conflict edges for
+/// the orders that have them (SHB reads, MAZ accesses).
+fn assert_sound(trace: &Trace, kind: PartialOrderKind, report: &RaceReport) {
+    let map = epoch_index(trace);
+    let plain = spec_dag(trace, kind).reachability();
+    for race in &report.races {
+        let i = index_of(&map, race.prior);
+        let j = index_of(&map, race.current);
+        assert!(i < j, "prior event must come first ({i} vs {j})");
+        assert!(
+            trace[i].conflicts_with(&trace[j]),
+            "{kind}: reported pair ({i},{j}) does not conflict"
+        );
+        let concurrent = if kind == PartialOrderKind::Hb {
+            plain.concurrent(i, j)
+        } else {
+            let dropped = spec_dag_with(
+                trace,
+                kind,
+                SpecOptions {
+                    drop_conflict_edges_into: Some(j),
+                },
+            )
+            .reachability();
+            !dropped.ordered(i, j)
+        };
+        assert!(
+            concurrent,
+            "{kind}: reported pair ({i},{j}) is actually ordered: {} vs {}",
+            trace[i], trace[j]
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn hb_detector_is_sound_and_complete(
+        seed in 0u64..10_000,
+        threads in 2u32..6,
+        sync_pct in 0u8..70,
+    ) {
+        let trace = small_workload(seed, threads, sync_pct);
+        let report = HbRaceDetector::<TreeClock>::new(&trace).run(&trace);
+        assert_sound(&trace, PartialOrderKind::Hb, &report);
+
+        // Completeness: FastTrack finds a race iff one exists.
+        let oracle_pairs = spec_dag(&trace, PartialOrderKind::Hb)
+            .reachability()
+            .concurrent_conflicting_pairs(&trace);
+        prop_assert_eq!(
+            report.is_empty(),
+            oracle_pairs.is_empty(),
+            "HB detector nonemptiness must match the oracle ({} oracle pairs)",
+            oracle_pairs.len()
+        );
+    }
+
+    #[test]
+    fn shb_detector_is_sound(
+        seed in 0u64..10_000,
+        threads in 2u32..6,
+        sync_pct in 0u8..70,
+    ) {
+        let trace = small_workload(seed, threads, sync_pct);
+        let report = ShbRaceDetector::<TreeClock>::new(&trace).run(&trace);
+        assert_sound(&trace, PartialOrderKind::Shb, &report);
+    }
+
+    #[test]
+    fn maz_analyzer_is_sound(
+        seed in 0u64..10_000,
+        threads in 2u32..6,
+        sync_pct in 0u8..70,
+    ) {
+        let trace = small_workload(seed, threads, sync_pct);
+        let report = MazAnalyzer::<TreeClock>::new(&trace).run(&trace);
+        assert_sound(&trace, PartialOrderKind::Maz, &report);
+    }
+
+    #[test]
+    fn reports_are_representation_independent(
+        seed in 0u64..10_000,
+        threads in 2u32..6,
+        sync_pct in 0u8..70,
+    ) {
+        let trace = small_workload(seed, threads, sync_pct);
+        prop_assert_eq!(
+            HbRaceDetector::<TreeClock>::new(&trace).run(&trace),
+            HbRaceDetector::<VectorClock>::new(&trace).run(&trace)
+        );
+        prop_assert_eq!(
+            ShbRaceDetector::<TreeClock>::new(&trace).run(&trace),
+            ShbRaceDetector::<VectorClock>::new(&trace).run(&trace)
+        );
+        prop_assert_eq!(
+            MazAnalyzer::<TreeClock>::new(&trace).run(&trace),
+            MazAnalyzer::<VectorClock>::new(&trace).run(&trace)
+        );
+    }
+}
+
+/// A fully synchronized workload has no races under any analysis.
+#[test]
+fn race_free_traces_yield_empty_reports() {
+    let trace = tc_trace::gen::scenarios::single_lock(8, 2_000, 3);
+    assert!(HbRaceDetector::<TreeClock>::new(&trace).run(&trace).is_empty());
+    assert!(ShbRaceDetector::<TreeClock>::new(&trace).run(&trace).is_empty());
+    assert!(MazAnalyzer::<TreeClock>::new(&trace).run(&trace).is_empty());
+}
+
+/// SHB reports are a subset of HB reports in count on a racy workload
+/// (SHB's extra edges only ever suppress later reports), and the MAZ
+/// reversible pairs coincide with SHB races on sync-free traces.
+#[test]
+fn analysis_report_relationships() {
+    let trace = WorkloadSpec {
+        threads: 4,
+        locks: 1,
+        vars: 2,
+        events: 400,
+        sync_ratio: 0.0,
+        write_ratio: 0.5,
+        seed: 9,
+        ..WorkloadSpec::default()
+    }
+    .generate();
+    let hb = HbRaceDetector::<TreeClock>::new(&trace).run(&trace);
+    let shb = ShbRaceDetector::<TreeClock>::new(&trace).run(&trace);
+    assert!(shb.total <= hb.total, "SHB reports exceed HB reports");
+    assert!(!hb.is_empty());
+}

@@ -1,0 +1,134 @@
+//! Micro-benchmarks of the fundamental clock operations: join and
+//! monotone copy, on the tree shapes that distinguish the two
+//! representations (star-shaped knowledge with a single progressed
+//! entry — the tree clock's best case — and a fully progressed clock —
+//! the worst case, where the tree's overhead shows).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+
+use tc_core::{LogicalClock, ThreadId, TreeClock, VectorClock};
+
+/// Builds a clock that knows `k` threads (a star under its root) plus a
+/// source clock in which exactly one thread has progressed.
+fn one_progressed<C: LogicalClock>(k: u32) -> (C, C) {
+    let mut target = C::new();
+    target.init_root(ThreadId::new(0));
+    target.increment(1);
+    for i in 1..k {
+        let mut other = C::new();
+        other.init_root(ThreadId::new(i));
+        other.increment(1);
+        target.increment(1);
+        target.join(&other);
+    }
+    // The source: thread 1 at a later time.
+    let mut src = C::new();
+    src.init_root(ThreadId::new(1));
+    src.increment(5);
+    (target, src)
+}
+
+/// Builds a pair where *every* entry of the source has progressed (the
+/// tree clock's worst case: the whole tree must be rebuilt).
+fn all_progressed<C: LogicalClock>(k: u32) -> (C, C) {
+    let (a, _) = one_progressed::<C>(k);
+    let mut b = C::new();
+    b.init_root(ThreadId::new(0));
+    b.increment(1);
+    for i in 1..k {
+        let mut other = C::new();
+        other.init_root(ThreadId::new(i));
+        other.increment(10); // later than everything `a` knows
+        b.increment(1);
+        b.join(&other);
+    }
+    b.increment(100);
+    // `a` must not know more about t0 than `b` (join contract): make
+    // the target a fresh observer instead.
+    let mut target = C::new();
+    target.init_root(ThreadId::new(k));
+    target.increment(1);
+    target.join(&a);
+    (target, b)
+}
+
+fn bench_join(c: &mut Criterion) {
+    let mut g = c.benchmark_group("join");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for k in [16u32, 64, 256] {
+        let (t_tc, s_tc) = one_progressed::<TreeClock>(k);
+        g.bench_with_input(BenchmarkId::new("one-progressed/tree", k), &k, |b, _| {
+            b.iter_batched(
+                || t_tc.clone(),
+                |mut t| t.join(&s_tc),
+                BatchSize::SmallInput,
+            )
+        });
+        let (t_vc, s_vc) = one_progressed::<VectorClock>(k);
+        g.bench_with_input(BenchmarkId::new("one-progressed/vector", k), &k, |b, _| {
+            b.iter_batched(
+                || t_vc.clone(),
+                |mut t| t.join(&s_vc),
+                BatchSize::SmallInput,
+            )
+        });
+        let (t_tc, s_tc) = all_progressed::<TreeClock>(k);
+        g.bench_with_input(BenchmarkId::new("all-progressed/tree", k), &k, |b, _| {
+            b.iter_batched(
+                || t_tc.clone(),
+                |mut t| t.join(&s_tc),
+                BatchSize::SmallInput,
+            )
+        });
+        let (t_vc, s_vc) = all_progressed::<VectorClock>(k);
+        g.bench_with_input(BenchmarkId::new("all-progressed/vector", k), &k, |b, _| {
+            b.iter_batched(
+                || t_vc.clone(),
+                |mut t| t.join(&s_vc),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_monotone_copy(c: &mut Criterion) {
+    let mut g = c.benchmark_group("monotone_copy");
+    g.sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(700));
+    for k in [16u32, 64, 256] {
+        // Source: a thread clock knowing k threads; target: a lock clock
+        // that was copied earlier and has seen one more local increment.
+        let (mut src_tc, _) = one_progressed::<TreeClock>(k);
+        let mut lock_tc = TreeClock::new();
+        lock_tc.monotone_copy(&src_tc);
+        src_tc.increment(1);
+        g.bench_with_input(BenchmarkId::new("incremental/tree", k), &k, |b, _| {
+            b.iter_batched(
+                || lock_tc.clone(),
+                |mut l| l.monotone_copy(&src_tc),
+                BatchSize::SmallInput,
+            )
+        });
+        let (mut src_vc, _) = one_progressed::<VectorClock>(k);
+        let mut lock_vc = VectorClock::new();
+        lock_vc.monotone_copy(&src_vc);
+        src_vc.increment(1);
+        g.bench_with_input(BenchmarkId::new("incremental/vector", k), &k, |b, _| {
+            b.iter_batched(
+                || lock_vc.clone(),
+                |mut l| l.monotone_copy(&src_vc),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_join, bench_monotone_copy);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! End-to-end SHB computation benchmarks: tree clocks vs vector
+//! clocks on representative traces (one entry per paper table row,
+//! at benchmark scale).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tc_core::{TreeClock, VectorClock};
+use tc_orders::ShbEngine as ENGINE;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("shb");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+    let traces = [
+        ("star-64", tc_trace::gen::scenarios::star(64, 20_000, 1)),
+        (
+            "workload-16",
+            tc_trace::gen::WorkloadSpec {
+                threads: 16,
+                locks: 32,
+                vars: 1024,
+                events: 20_000,
+                sync_ratio: 0.1,
+                seed: 42,
+                ..tc_trace::gen::WorkloadSpec::default()
+            }
+            .generate(),
+        ),
+    ];
+    for (name, trace) in &traces {
+        g.bench_with_input(BenchmarkId::new("tree", name), trace, |b, t| {
+            b.iter(|| ENGINE::<TreeClock>::run(t))
+        });
+        g.bench_with_input(BenchmarkId::new("vector", name), trace, |b, t| {
+            b.iter(|| ENGINE::<VectorClock>::run(t))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

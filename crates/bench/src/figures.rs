@@ -1,0 +1,274 @@
+//! Runners for the paper's Figures 6–10.
+//!
+//! Each runner produces the figure's data series as a [`TextTable`]
+//! whose CSV rendering can be plotted directly; the text rendering is a
+//! readable preview of the same series.
+
+use tc_core::{LocalTime, TreeClock, VectorClock};
+use tc_orders::{HbEngine, PartialOrderKind, RunMetrics};
+use tc_trace::gen::Scenario;
+
+use crate::render::{fnum, TextTable};
+use crate::runner::{measure, ClockKind, Mode};
+use crate::suite::Scale;
+use crate::tables::SuiteResult;
+
+/// **Figure 6**: per-trace processing times, tree clocks vs vector
+/// clocks — six panels (MAZ/SHB/HB × PO/PO+Analysis) flattened into one
+/// long table with `panel` as the first column.
+pub fn fig6(results: &[SuiteResult]) -> TextTable {
+    let mut t = TextTable::new(["panel", "benchmark", "vc_seconds", "tc_seconds", "speedup"])
+        .with_title("Figure 6: times for processing each trace (TC vs VC)");
+    for mode in [Mode::Po, Mode::PoAnalysis] {
+        for order in PartialOrderKind::ALL {
+            let panel = match mode {
+                Mode::Po => order.to_string(),
+                Mode::PoAnalysis => format!("{order}+Analysis"),
+            };
+            for r in results {
+                let c = r.get(order, mode);
+                t.row([
+                    panel.clone(),
+                    r.name.to_owned(),
+                    format!("{:.6}", c.vector.seconds),
+                    format!("{:.6}", c.tree.seconds),
+                    fnum(c.speedup()),
+                ]);
+            }
+        }
+    }
+    t
+}
+
+/// **Figure 7**: speedup of HB+Analysis as a function of the percentage
+/// of synchronization events, over the traces whose total time is not
+/// negligible.
+pub fn fig7(results: &[SuiteResult], min_seconds: f64) -> TextTable {
+    let mut t = TextTable::new(["benchmark", "sync_pct", "speedup"]).with_title(
+        "Figure 7: HB+Analysis speedup vs fraction of synchronization events",
+    );
+    for r in results {
+        let c = r.get(PartialOrderKind::Hb, Mode::PoAnalysis);
+        if c.vector.seconds + c.tree.seconds >= min_seconds {
+            t.row([
+                r.name.to_owned(),
+                fnum(r.stats.sync_pct()),
+                fnum(c.speedup()),
+            ]);
+        }
+    }
+    t
+}
+
+/// **Figure 8**: `TCWork/VTWork` vs `VCWork/VTWork` per trace, for HB.
+/// Theorem 1 bounds the first ratio by 3; the second grows with the
+/// thread count.
+pub fn fig8(results: &[SuiteResult]) -> TextTable {
+    let mut t = TextTable::new(["benchmark", "vcwork_over_vtwork", "tcwork_over_vtwork"])
+        .with_title("Figure 8: work ratios relative to the VTWork lower bound (HB)");
+    for r in results {
+        let (tree, vector) = r.work_of(PartialOrderKind::Hb);
+        t.row([
+            r.name.to_owned(),
+            fnum(vector.work_ratio()),
+            fnum(tree.work_ratio()),
+        ]);
+    }
+    t
+}
+
+/// The histogram buckets of Figure 9 (`VCWork/TCWork` ratios).
+pub const FIG9_BUCKETS: [f64; 10] = [1.0, 5.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0];
+
+/// **Figure 9**: histogram of the `VCWork/TCWork` ratio across the
+/// suite, one row per bucket, one column per partial order.
+pub fn fig9(results: &[SuiteResult]) -> TextTable {
+    let mut t = TextTable::new(["bucket", "MAZ", "SHB", "HB"])
+        .with_title("Figure 9: histogram of VCWork/TCWork across traces");
+    let mut counts = vec![[0u32; 3]; FIG9_BUCKETS.len()];
+    for r in results {
+        for (col, order) in PartialOrderKind::ALL.iter().enumerate() {
+            let (tree, vector) = r.work_of(*order);
+            let ratio = vector.ds_work() as f64 / tree.ds_work().max(1) as f64;
+            let mut bucket = 0;
+            for (i, &b) in FIG9_BUCKETS.iter().enumerate() {
+                if ratio >= b {
+                    bucket = i;
+                }
+            }
+            counts[bucket][col] += 1;
+        }
+    }
+    for (i, &b) in FIG9_BUCKETS.iter().enumerate() {
+        let hi = FIG9_BUCKETS.get(i + 1).copied();
+        let label = match hi {
+            Some(hi) => format!("[{b:.0},{hi:.0})"),
+            None => format!("[{b:.0},∞)"),
+        };
+        t.row([
+            label,
+            counts[i][0].to_string(),
+            counts[i][1].to_string(),
+            counts[i][2].to_string(),
+        ]);
+    }
+    t
+}
+
+/// Thread counts swept by Figure 10 (the paper uses 10–360).
+pub const FIG10_THREADS: [u32; 7] = [10, 30, 60, 120, 200, 280, 360];
+
+/// Events per Figure 10 trace at each scale (the paper uses 10M).
+pub fn fig10_events(scale: Scale) -> usize {
+    match scale {
+        Scale::Quick => 60_000,
+        Scale::Default => 400_000,
+        Scale::Full => 2_000_000,
+    }
+}
+
+/// **Figure 10**: HB computation time vs thread count for the four
+/// controlled scenarios, tree vs vector clocks.
+pub fn fig10(scale: Scale, mut progress: impl FnMut(&str)) -> TextTable {
+    let mut t = TextTable::new(["scenario", "threads", "vc_seconds", "tc_seconds", "speedup"])
+        .with_title("Figure 10: scalability on controlled communication patterns (HB)");
+    let events = fig10_events(scale);
+    for s in Scenario::ALL {
+        for &threads in &FIG10_THREADS {
+            progress(&format!("{s}/{threads}"));
+            let trace = s.generate(threads, events, 0xF16 + u64::from(threads));
+            let vc = measure(&trace, PartialOrderKind::Hb, ClockKind::Vector, Mode::Po);
+            let tc = measure(&trace, PartialOrderKind::Hb, ClockKind::Tree, Mode::Po);
+            t.row([
+                s.to_string(),
+                threads.to_string(),
+                format!("{:.6}", vc.seconds),
+                format!("{:.6}", tc.seconds),
+                fnum(vc.seconds / tc.seconds.max(1e-12)),
+            ]);
+        }
+    }
+    t
+}
+
+/// **Ablation** (beyond the paper): quantifies what each of the two
+/// monotonicity principles contributes, by comparing the tree clock
+/// against a degraded variant that still uses the tree but never stops
+/// a child scan early (no indirect monotonicity) — approximated here by
+/// measuring how much of the join work the `break` saves, via work
+/// counters on the same traces.
+pub fn ablation(scale: Scale) -> TextTable {
+    let mut t = TextTable::new([
+        "scenario",
+        "threads",
+        "tc_examined",
+        "vt_work",
+        "vc_examined",
+    ])
+    .with_title("Ablation: entries examined by TC joins/copies vs the VTWork bound vs VC");
+    let events = fig10_events(scale) / 4;
+    for s in Scenario::ALL {
+        for &threads in &[16u32, 64] {
+            let trace = s.generate(threads, events, 77);
+            let tc: RunMetrics = HbEngine::<TreeClock>::run_counted(&trace);
+            let vc: RunMetrics = HbEngine::<VectorClock>::run_counted(&trace);
+            t.row([
+                s.to_string(),
+                threads.to_string(),
+                tc.ds_work().to_string(),
+                tc.vt_work().to_string(),
+                vc.ds_work().to_string(),
+            ]);
+        }
+    }
+    t
+}
+
+/// Sanity helper: the largest local time observed in a figure run
+/// (exposed for tests that guard against `LocalTime` overflow at the
+/// full scale).
+pub fn max_local_time(events: usize, threads: u32) -> LocalTime {
+    (events as u64 / u64::from(threads.max(1))).min(u64::from(LocalTime::MAX)) as LocalTime
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::Comparison;
+    use crate::suite::suite;
+
+    fn tiny_results() -> Vec<SuiteResult> {
+        let entry = &suite()[20]; // a scenario entry
+        let trace = entry.generate(Scale::Quick);
+        let mut results = Vec::new();
+        let mut work = Vec::new();
+        for order in PartialOrderKind::ALL {
+            for mode in [Mode::Po, Mode::PoAnalysis] {
+                results.push((order, mode, Comparison::measure(&trace, order, mode)));
+            }
+            work.push((
+                order,
+                crate::runner::work_metrics(&trace, order, ClockKind::Tree),
+                crate::runner::work_metrics(&trace, order, ClockKind::Vector),
+            ));
+        }
+        vec![SuiteResult {
+            name: entry.name,
+            stats: trace.stats(),
+            results,
+            work,
+        }]
+    }
+
+    #[test]
+    fn fig6_emits_six_panels_per_trace() {
+        let r = tiny_results();
+        let t = fig6(&r);
+        assert_eq!(t.len(), 6);
+        assert!(t.to_csv().contains("HB+Analysis"));
+    }
+
+    #[test]
+    fn fig7_filters_fast_traces() {
+        let r = tiny_results();
+        assert_eq!(fig7(&r, 0.0).len(), 1);
+        assert_eq!(fig7(&r, f64::INFINITY).len(), 0);
+    }
+
+    #[test]
+    fn fig8_reports_bounded_tree_ratio() {
+        let r = tiny_results();
+        let t = fig8(&r);
+        assert_eq!(t.len(), 1);
+        let csv = t.to_csv();
+        let ratio: f64 = csv
+            .lines()
+            .nth(1)
+            .unwrap()
+            .split(',')
+            .nth(2)
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(ratio <= 3.0, "Theorem 1 violated in fig8: {ratio}");
+    }
+
+    #[test]
+    fn fig9_buckets_sum_to_suite_size() {
+        let r = tiny_results();
+        let t = fig9(&r);
+        assert_eq!(t.len(), FIG9_BUCKETS.len());
+        let csv = t.to_csv();
+        let total: u32 = csv
+            .lines()
+            .skip(1)
+            .map(|l| l.split(',').nth(3).unwrap().parse::<u32>().unwrap())
+            .sum();
+        assert_eq!(total, 1); // one trace in the HB column
+    }
+
+    #[test]
+    fn local_times_stay_in_range_at_full_scale() {
+        assert!(max_local_time(10_000_000, 10) < LocalTime::MAX);
+    }
+}

@@ -1,0 +1,249 @@
+//! Timing runner: measures partial-order computation (and optionally
+//! the analysis on top) for one trace, one partial order and one clock
+//! representation, following the paper's protocol (three repetitions,
+//! averaged).
+
+use std::fmt;
+use std::str::FromStr;
+use std::time::Instant;
+
+use tc_analysis::{HbRaceDetector, MazAnalyzer, ShbRaceDetector};
+use tc_core::{TreeClock, VectorClock};
+use tc_orders::{HbEngine, MazEngine, PartialOrderKind, RunMetrics, ShbEngine};
+use tc_trace::Trace;
+
+/// Which clock data structure to run with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ClockKind {
+    /// The paper's tree clock.
+    Tree,
+    /// The flat vector clock baseline.
+    Vector,
+}
+
+impl ClockKind {
+    /// Both representations, tree first.
+    pub const ALL: [ClockKind; 2] = [ClockKind::Tree, ClockKind::Vector];
+}
+
+impl fmt::Display for ClockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ClockKind::Tree => "TC",
+            ClockKind::Vector => "VC",
+        })
+    }
+}
+
+impl FromStr for ClockKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "tc" | "tree" => Ok(ClockKind::Tree),
+            "vc" | "vector" => Ok(ClockKind::Vector),
+            other => Err(format!("unknown clock `{other}` (tc, vc)")),
+        }
+    }
+}
+
+/// What to measure: the partial order alone, or with the analysis
+/// component on top (the two rows of the paper's Table 2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Partial-order computation only.
+    Po,
+    /// Partial order plus concurrency analysis (race detection /
+    /// reversible pairs).
+    PoAnalysis,
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Mode::Po => "PO",
+            Mode::PoAnalysis => "PO+Analysis",
+        })
+    }
+}
+
+/// The result of one timed run.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Mean wall-clock seconds over the repetitions.
+    pub seconds: f64,
+    /// Work metrics of the (last) run — identical across repetitions.
+    pub metrics: RunMetrics,
+    /// Races / reversible pairs found (0 in [`Mode::Po`]).
+    pub findings: u64,
+}
+
+/// Number of timed repetitions, as in the paper ("every measurement was
+/// repeated 3 times and the average time was reported").
+pub const REPETITIONS: u32 = 3;
+
+fn time_runs(mut run: impl FnMut() -> (RunMetrics, u64)) -> Measurement {
+    let mut total = 0.0;
+    let mut last = (RunMetrics::new(), 0);
+    for _ in 0..REPETITIONS {
+        let start = Instant::now();
+        last = run();
+        total += start.elapsed().as_secs_f64();
+    }
+    Measurement {
+        seconds: total / f64::from(REPETITIONS),
+        metrics: last.0,
+        findings: last.1,
+    }
+}
+
+/// Times one configuration over `trace`.
+pub fn measure(
+    trace: &Trace,
+    order: PartialOrderKind,
+    clock: ClockKind,
+    mode: Mode,
+) -> Measurement {
+    match (order, clock, mode) {
+        (PartialOrderKind::Hb, ClockKind::Tree, Mode::Po) => {
+            time_runs(|| (HbEngine::<TreeClock>::run(trace), 0))
+        }
+        (PartialOrderKind::Hb, ClockKind::Vector, Mode::Po) => {
+            time_runs(|| (HbEngine::<VectorClock>::run(trace), 0))
+        }
+        (PartialOrderKind::Shb, ClockKind::Tree, Mode::Po) => {
+            time_runs(|| (ShbEngine::<TreeClock>::run(trace), 0))
+        }
+        (PartialOrderKind::Shb, ClockKind::Vector, Mode::Po) => {
+            time_runs(|| (ShbEngine::<VectorClock>::run(trace), 0))
+        }
+        (PartialOrderKind::Maz, ClockKind::Tree, Mode::Po) => {
+            time_runs(|| (MazEngine::<TreeClock>::run(trace), 0))
+        }
+        (PartialOrderKind::Maz, ClockKind::Vector, Mode::Po) => {
+            time_runs(|| (MazEngine::<VectorClock>::run(trace), 0))
+        }
+        (PartialOrderKind::Hb, ClockKind::Tree, Mode::PoAnalysis) => time_runs(|| {
+            let mut d = HbRaceDetector::<TreeClock>::new(trace);
+            for e in trace {
+                d.process(e);
+            }
+            (*d.metrics(), d.report().total)
+        }),
+        (PartialOrderKind::Hb, ClockKind::Vector, Mode::PoAnalysis) => time_runs(|| {
+            let mut d = HbRaceDetector::<VectorClock>::new(trace);
+            for e in trace {
+                d.process(e);
+            }
+            (*d.metrics(), d.report().total)
+        }),
+        (PartialOrderKind::Shb, ClockKind::Tree, Mode::PoAnalysis) => time_runs(|| {
+            let mut d = ShbRaceDetector::<TreeClock>::new(trace);
+            for e in trace {
+                d.process(e);
+            }
+            (*d.metrics(), d.report().total)
+        }),
+        (PartialOrderKind::Shb, ClockKind::Vector, Mode::PoAnalysis) => time_runs(|| {
+            let mut d = ShbRaceDetector::<VectorClock>::new(trace);
+            for e in trace {
+                d.process(e);
+            }
+            (*d.metrics(), d.report().total)
+        }),
+        (PartialOrderKind::Maz, ClockKind::Tree, Mode::PoAnalysis) => time_runs(|| {
+            let mut d = MazAnalyzer::<TreeClock>::new(trace);
+            for e in trace {
+                d.process(e);
+            }
+            (*d.metrics(), d.report().total)
+        }),
+        (PartialOrderKind::Maz, ClockKind::Vector, Mode::PoAnalysis) => time_runs(|| {
+            let mut d = MazAnalyzer::<VectorClock>::new(trace);
+            for e in trace {
+                d.process(e);
+            }
+            (*d.metrics(), d.report().total)
+        }),
+    }
+}
+
+/// Computes exact work metrics (VTWork / TCWork / VCWork counters) for
+/// one configuration, via the instrumented engine paths. Not timed —
+/// instrumentation perturbs running time, so this is always a separate
+/// pass from [`measure`].
+pub fn work_metrics(trace: &Trace, order: PartialOrderKind, clock: ClockKind) -> RunMetrics {
+    match (order, clock) {
+        (PartialOrderKind::Hb, ClockKind::Tree) => HbEngine::<TreeClock>::run_counted(trace),
+        (PartialOrderKind::Hb, ClockKind::Vector) => HbEngine::<VectorClock>::run_counted(trace),
+        (PartialOrderKind::Shb, ClockKind::Tree) => ShbEngine::<TreeClock>::run_counted(trace),
+        (PartialOrderKind::Shb, ClockKind::Vector) => ShbEngine::<VectorClock>::run_counted(trace),
+        (PartialOrderKind::Maz, ClockKind::Tree) => MazEngine::<TreeClock>::run_counted(trace),
+        (PartialOrderKind::Maz, ClockKind::Vector) => MazEngine::<VectorClock>::run_counted(trace),
+    }
+}
+
+/// A TC-vs-VC pair of measurements for one configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Comparison {
+    /// The tree-clock measurement.
+    pub tree: Measurement,
+    /// The vector-clock measurement.
+    pub vector: Measurement,
+}
+
+impl Comparison {
+    /// Measures both representations on the same trace/order/mode.
+    pub fn measure(trace: &Trace, order: PartialOrderKind, mode: Mode) -> Comparison {
+        Comparison {
+            tree: measure(trace, order, ClockKind::Tree, mode),
+            vector: measure(trace, order, ClockKind::Vector, mode),
+        }
+    }
+
+    /// The paper's headline number: `VC time / TC time`.
+    pub fn speedup(&self) -> f64 {
+        self.vector.seconds / self.tree.seconds.max(1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_trace::gen::scenarios;
+
+    #[test]
+    fn measure_covers_all_configurations() {
+        let trace = scenarios::star(6, 600, 1);
+        for order in PartialOrderKind::ALL {
+            for clock in ClockKind::ALL {
+                for mode in [Mode::Po, Mode::PoAnalysis] {
+                    let m = measure(&trace, order, clock, mode);
+                    assert!(m.seconds >= 0.0);
+                    assert_eq!(m.metrics.events, trace.len() as u64);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn findings_are_zero_in_po_mode_and_equal_across_clocks() {
+        let trace = {
+            let mut b = tc_trace::TraceBuilder::new();
+            b.write(0, "x").write(1, "x");
+            b.finish()
+        };
+        let po = Comparison::measure(&trace, PartialOrderKind::Hb, Mode::Po);
+        assert_eq!(po.tree.findings, 0);
+        let an = Comparison::measure(&trace, PartialOrderKind::Hb, Mode::PoAnalysis);
+        assert_eq!(an.tree.findings, 1);
+        assert_eq!(an.tree.findings, an.vector.findings);
+    }
+
+    #[test]
+    fn clock_kind_parses() {
+        assert_eq!("tc".parse::<ClockKind>().unwrap(), ClockKind::Tree);
+        assert_eq!("vector".parse::<ClockKind>().unwrap(), ClockKind::Vector);
+        assert!("quartz".parse::<ClockKind>().is_err());
+    }
+}

@@ -1,0 +1,405 @@
+//! `tcr` — trace tooling for tree-clock based concurrency analysis.
+//!
+//! ```text
+//! USAGE:
+//!   tcr gen --scenario NAME --threads K [--events N] [--seed S] -o FILE
+//!   tcr gen --workload --threads K [--events N] [--sync PCT] [--seed S] -o FILE
+//!   tcr stats FILE
+//!   tcr race [--order hb|shb|maz] [--clock tc|vc] [--limit N] FILE
+//!   tcr timestamps [--order hb|shb|maz] FILE
+//!   tcr convert IN OUT
+//! ```
+//!
+//! Trace files ending in `.tctr` use the compact binary format; any
+//! other extension uses the human-readable text format.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::path::Path;
+use std::process::ExitCode;
+
+use tc_analysis::{HbRaceDetector, MazAnalyzer, RaceReport, ShbRaceDetector};
+use tc_core::{TreeClock, VectorClock};
+use tc_orders::{HbEngine, MazEngine, PartialOrderKind, ShbEngine};
+use tc_trace::gen::{Scenario, WorkloadSpec};
+use tc_trace::{binary_format, text_format, Trace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            if e == "help" {
+                eprint!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("error: {e}");
+                eprintln!("run `tcr --help` for usage");
+                ExitCode::from(2)
+            }
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err("help".into());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "--help" | "-h" | "help" => Err("help".into()),
+        "gen" => cmd_gen(rest),
+        "stats" => cmd_stats(rest),
+        "race" => cmd_race(rest),
+        "timestamps" => cmd_timestamps(rest),
+        "convert" => cmd_convert(rest),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Simple flag cursor over the remaining arguments.
+struct Flags<'a> {
+    positional: Vec<&'a str>,
+}
+
+impl<'a> Flags<'a> {
+    fn parse(args: &'a [String], with_value: &[&str]) -> Result<(Self, Vec<(&'a str, &'a str)>), String> {
+        let mut kv = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < args.len() {
+            let a = args[i].as_str();
+            if let Some(name) = a.strip_prefix("--") {
+                if with_value.contains(&name) {
+                    let v = args
+                        .get(i + 1)
+                        .ok_or_else(|| format!("--{name} requires a value"))?;
+                    kv.push((name, v.as_str()));
+                    i += 2;
+                } else {
+                    kv.push((name, ""));
+                    i += 1;
+                }
+            } else if a == "-o" {
+                let v = args.get(i + 1).ok_or("-o requires a value")?;
+                kv.push(("out", v.as_str()));
+                i += 2;
+            } else {
+                positional.push(a);
+                i += 1;
+            }
+        }
+        Ok((Flags { positional }, kv))
+    }
+}
+
+fn value<'a>(kv: &[(&'a str, &'a str)], name: &str) -> Option<&'a str> {
+    kv.iter().rev().find(|(k, _)| *k == name).map(|(_, v)| *v)
+}
+
+fn load(path: &str) -> Result<Trace, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = BufReader::new(file);
+    let trace = if path.ends_with(".tctr") {
+        binary_format::read_binary(reader).map_err(|e| e.to_string())?
+    } else {
+        text_format::read_text(reader).map_err(|e| e.to_string())?
+    };
+    trace.validate().map_err(|e| e.to_string())?;
+    Ok(trace)
+}
+
+fn store(trace: &Trace, path: &str) -> Result<(), String> {
+    if let Some(parent) = Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+    }
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    if path.ends_with(".tctr") {
+        binary_format::write_binary(trace, &mut writer).map_err(|e| e.to_string())?;
+    } else {
+        text_format::write_text(trace, &mut writer).map_err(|e| e.to_string())?;
+    }
+    writer.flush().map_err(|e| e.to_string())
+}
+
+fn cmd_gen(args: &[String]) -> Result<(), String> {
+    let (_, kv) = Flags::parse(
+        args,
+        &["scenario", "threads", "events", "seed", "sync", "locks", "vars", "out"],
+    )?;
+    let threads: u32 = value(&kv, "threads")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "invalid --threads")?;
+    let events: usize = value(&kv, "events")
+        .unwrap_or("100000")
+        .parse()
+        .map_err(|_| "invalid --events")?;
+    let seed: u64 = value(&kv, "seed")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "invalid --seed")?;
+    let out = value(&kv, "out").ok_or("gen requires -o FILE")?;
+
+    let trace = if let Some(name) = value(&kv, "scenario") {
+        let scenario: Scenario = name.parse()?;
+        scenario.generate(threads, events, seed)
+    } else {
+        let sync_pct: f64 = value(&kv, "sync")
+            .unwrap_or("9.5")
+            .parse()
+            .map_err(|_| "invalid --sync")?;
+        WorkloadSpec {
+            threads,
+            events,
+            seed,
+            sync_ratio: (sync_pct / 100.0).clamp(0.0, 1.0),
+            locks: value(&kv, "locks")
+                .map(|v| v.parse().map_err(|_| "invalid --locks"))
+                .transpose()?
+                .unwrap_or(threads.max(1)),
+            vars: value(&kv, "vars")
+                .map(|v| v.parse().map_err(|_| "invalid --vars"))
+                .transpose()?
+                .unwrap_or(1024),
+            ..WorkloadSpec::default()
+        }
+        .generate()
+    };
+    store(&trace, out)?;
+    println!("wrote {} ({})", out, trace.stats());
+    Ok(())
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (flags, _) = Flags::parse(args, &[])?;
+    let [path] = flags.positional[..] else {
+        return Err("stats requires exactly one FILE".into());
+    };
+    let trace = load(path)?;
+    let s = trace.stats();
+    println!("trace     : {path}");
+    println!("events    : {}", s.events);
+    println!("threads   : {}", s.threads);
+    println!("locks     : {}", s.locks);
+    println!("variables : {}", s.vars);
+    println!("sync      : {} ({:.1}%)", s.sync_events, s.sync_pct());
+    println!(
+        "reads     : {} / writes: {} ({:.1}%)",
+        s.read_events,
+        s.write_events,
+        s.rw_pct()
+    );
+    Ok(())
+}
+
+fn cmd_race(args: &[String]) -> Result<(), String> {
+    let (flags, kv) = Flags::parse(args, &["order", "clock", "limit"])?;
+    let [path] = flags.positional[..] else {
+        return Err("race requires exactly one FILE".into());
+    };
+    let order: PartialOrderKind = value(&kv, "order").unwrap_or("hb").parse()?;
+    let clock = value(&kv, "clock").unwrap_or("tc");
+    let limit: usize = value(&kv, "limit")
+        .unwrap_or("20")
+        .parse()
+        .map_err(|_| "invalid --limit")?;
+    let trace = load(path)?;
+
+    let start = std::time::Instant::now();
+    let report: RaceReport = match (order, clock) {
+        (PartialOrderKind::Hb, "tc" | "tree") => {
+            HbRaceDetector::<TreeClock>::new(&trace).run(&trace)
+        }
+        (PartialOrderKind::Hb, _) => HbRaceDetector::<VectorClock>::new(&trace).run(&trace),
+        (PartialOrderKind::Shb, "tc" | "tree") => {
+            ShbRaceDetector::<TreeClock>::new(&trace).run(&trace)
+        }
+        (PartialOrderKind::Shb, _) => ShbRaceDetector::<VectorClock>::new(&trace).run(&trace),
+        (PartialOrderKind::Maz, "tc" | "tree") => MazAnalyzer::<TreeClock>::new(&trace).run(&trace),
+        (PartialOrderKind::Maz, _) => MazAnalyzer::<VectorClock>::new(&trace).run(&trace),
+    };
+    let elapsed = start.elapsed();
+
+    // Ignore write errors (e.g. a closed pipe when piping into `head`).
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(
+        out,
+        "{order} analysis with {} clocks over {} events: {} in {:.3}s",
+        if matches!(clock, "tc" | "tree") { "tree" } else { "vector" },
+        trace.len(),
+        report,
+        elapsed.as_secs_f64()
+    );
+    for race in report.races.iter().take(limit) {
+        let _ = writeln!(out, "  {race}");
+    }
+    if report.total as usize > limit {
+        let _ = writeln!(out, "  ... and {} more", report.total as usize - limit);
+    }
+    Ok(())
+}
+
+fn cmd_timestamps(args: &[String]) -> Result<(), String> {
+    let (flags, kv) = Flags::parse(args, &["order"])?;
+    let [path] = flags.positional[..] else {
+        return Err("timestamps requires exactly one FILE".into());
+    };
+    let order: PartialOrderKind = value(&kv, "order").unwrap_or("hb").parse()?;
+    let trace = load(path)?;
+    if trace.len() > 100_000 {
+        return Err("refusing to print timestamps for traces over 100k events".into());
+    }
+    let ts = match order {
+        PartialOrderKind::Hb => HbEngine::<TreeClock>::collect_timestamps(&trace),
+        PartialOrderKind::Shb => ShbEngine::<TreeClock>::collect_timestamps(&trace),
+        PartialOrderKind::Maz => MazEngine::<TreeClock>::collect_timestamps(&trace),
+    };
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for (i, (e, vt)) in trace.iter().zip(ts.iter()).enumerate() {
+        writeln!(out, "{i:>6}  {e}  {vt}").map_err(|err| err.to_string())?;
+    }
+    Ok(())
+}
+
+fn cmd_convert(args: &[String]) -> Result<(), String> {
+    let (flags, _) = Flags::parse(args, &[])?;
+    let [input, output] = flags.positional[..] else {
+        return Err("convert requires IN and OUT files".into());
+    };
+    let trace = load(input)?;
+    store(&trace, output)?;
+    println!("converted {input} -> {output} ({} events)", trace.len());
+    Ok(())
+}
+
+const USAGE: &str = "\
+tcr — trace tooling for tree-clock based concurrency analysis
+
+USAGE:
+  tcr gen --scenario NAME --threads K [--events N] [--seed S] -o FILE
+  tcr gen --threads K [--events N] [--sync PCT] [--locks L] [--vars V] -o FILE
+  tcr stats FILE
+  tcr race [--order hb|shb|maz] [--clock tc|vc] [--limit N] FILE
+  tcr timestamps [--order hb|shb|maz] FILE
+  tcr convert IN OUT
+
+Scenarios: single-lock, skewed-locks, star, pairwise.
+Files ending in .tctr use the binary format; others the text format.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn temp_dir(label: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("tcr-test-{}-{label}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn no_args_shows_help() {
+        assert_eq!(run(&[]), Err("help".to_owned()));
+        assert_eq!(run(&args(&["--help"])), Err("help".to_owned()));
+    }
+
+    #[test]
+    fn unknown_command_is_rejected() {
+        let e = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(e.contains("unknown command"));
+    }
+
+    #[test]
+    fn gen_requires_output() {
+        let e = run(&args(&["gen", "--threads", "4"])).unwrap_err();
+        assert!(e.contains("-o"));
+    }
+
+    #[test]
+    fn gen_stats_race_convert_round_trip() {
+        let dir = temp_dir("roundtrip");
+        let bin = dir.join("t.tctr");
+        let txt = dir.join("t.trace");
+        let bin_s = bin.to_str().unwrap();
+        let txt_s = txt.to_str().unwrap();
+
+        // Generate a star trace in binary format.
+        run(&args(&[
+            "gen", "--scenario", "star", "--threads", "8", "--events", "2000", "-o", bin_s,
+        ]))
+        .unwrap();
+        assert!(bin.exists());
+
+        // Inspect, analyze and convert it.
+        run(&args(&["stats", bin_s])).unwrap();
+        run(&args(&["race", "--order", "hb", "--clock", "tc", bin_s])).unwrap();
+        run(&args(&["race", "--order", "maz", "--clock", "vc", bin_s])).unwrap();
+        run(&args(&["convert", bin_s, txt_s])).unwrap();
+        assert!(txt.exists());
+
+        // The text round trip parses and matches in size.
+        let t1 = load(bin_s).unwrap();
+        let t2 = load(txt_s).unwrap();
+        assert_eq!(t1.len(), t2.len());
+
+        // Timestamps print for small traces.
+        run(&args(&["timestamps", "--order", "shb", txt_s])).unwrap();
+
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn gen_workload_respects_flags() {
+        let dir = temp_dir("workload");
+        let path = dir.join("w.trace");
+        let p = path.to_str().unwrap();
+        run(&args(&[
+            "gen", "--threads", "6", "--events", "3000", "--sync", "30", "--locks", "2",
+            "--vars", "9", "-o", p,
+        ]))
+        .unwrap();
+        let t = load(p).unwrap();
+        assert_eq!(t.thread_count(), 6);
+        assert!(t.lock_count() <= 2);
+        assert!(t.var_count() <= 9);
+        let sync = t.stats().sync_pct();
+        assert!(sync > 10.0 && sync < 60.0, "sync% {sync} out of band");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn invalid_trace_files_error_cleanly() {
+        let dir = temp_dir("badfile");
+        let path = dir.join("bad.trace");
+        std::fs::write(&path, "t0 rel m\n").unwrap(); // release without acquire
+        let e = run(&args(&["stats", path.to_str().unwrap()])).unwrap_err();
+        assert!(e.contains("invalid trace"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        let e = run(&args(&["stats", "/definitely/not/here.trace"])).unwrap_err();
+        assert!(e.contains("cannot open"));
+    }
+
+    #[test]
+    fn bad_order_and_clock_are_rejected() {
+        let dir = temp_dir("badflags");
+        let path = dir.join("t.trace");
+        std::fs::write(&path, "t0 w x\n").unwrap();
+        let p = path.to_str().unwrap();
+        assert!(run(&args(&["race", "--order", "cp", p])).is_err());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

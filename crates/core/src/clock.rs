@@ -1,0 +1,212 @@
+//! The [`LogicalClock`] abstraction shared by tree clocks and vector
+//! clocks, plus per-operation work statistics.
+//!
+//! Partial-order algorithms (`tc-orders`) are written once, generically
+//! over `C: LogicalClock`; instantiating `C = TreeClock` or
+//! `C = VectorClock` reproduces the paper's "drop-in replacement"
+//! comparison.
+
+use std::fmt::Debug;
+use std::ops::AddAssign;
+
+use crate::{LocalTime, ThreadId, VectorTime};
+
+/// Work performed by a single clock operation, in data-structure entries.
+///
+/// These counters drive the paper's Figure 8/9 metrics:
+///
+/// - `examined` — entries *read/compared* by the operation. For a vector
+///   clock this is always the vector length; for a tree clock it is the
+///   number of loop iterations in `getUpdatedNodesJoin`/`Copy` (the
+///   light-gray nodes of Figures 4 and 5).
+/// - `changed` — entries whose *value* changed. This is data-structure
+///   independent (both representations change exactly the entries whose
+///   pointwise maximum increased) and sums to the paper's `VTWork` lower
+///   bound.
+/// - `moved` — tree-clock nodes detached/re-attached (the dark-gray nodes,
+///   i.e. the size of the stack `S`); always equals `changed` for vector
+///   clocks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpStats {
+    /// Entries read or compared by the operation.
+    pub examined: u64,
+    /// Entries whose represented vector-time value changed.
+    pub changed: u64,
+    /// Entries physically relocated/rewritten by the operation.
+    pub moved: u64,
+}
+
+impl OpStats {
+    /// Statistics for an operation that did no work at all.
+    pub const NOOP: OpStats = OpStats {
+        examined: 0,
+        changed: 0,
+        moved: 0,
+    };
+
+    /// Convenience constructor.
+    pub const fn new(examined: u64, changed: u64, moved: u64) -> Self {
+        OpStats {
+            examined,
+            changed,
+            moved,
+        }
+    }
+}
+
+impl AddAssign for OpStats {
+    fn add_assign(&mut self, rhs: Self) {
+        self.examined += rhs.examined;
+        self.changed += rhs.changed;
+        self.moved += rhs.moved;
+    }
+}
+
+/// How a [`LogicalClock::copy_check_monotone`] call was executed.
+///
+/// Tree clocks test monotonicity in O(1) and fall back to a deep copy
+/// only when the copy is not monotone (Section 5.1: this happens exactly
+/// when the last write races with a read, so it is rare in practice).
+/// Vector clocks always perform the same flat Θ(k) copy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CopyMode {
+    /// The fast, sublinear monotone copy was used.
+    Monotone,
+    /// A full deep copy was required (or the representation is flat).
+    Deep,
+}
+
+/// A logical clock: a mutable data structure representing one
+/// [`VectorTime`], supporting the in-place operations of Section 2.2 of
+/// the paper.
+///
+/// # Ownership discipline
+///
+/// Clocks come in two flavors with the same interface:
+///
+/// - *Thread clocks* are created with [`init_root`](Self::init_root) and
+///   are the only clocks that may be [`increment`](Self::increment)ed.
+/// - *Auxiliary clocks* (for locks, variables, …) start
+///   [`is_empty`](Self::is_empty) and only ever receive copies/joins.
+///
+/// # Contract
+///
+/// [`join`](Self::join) and [`monotone_copy`](Self::monotone_copy) assume
+/// they are used to compute a causal ordering, which implies two cheaply
+/// checkable invariants that implementations validate (see the method
+/// docs). Outside such usage, convert to [`VectorTime`] and operate on
+/// values instead.
+pub trait LogicalClock: Clone + Debug + Default {
+    /// A short, human-readable name of the representation (`"tree"`,
+    /// `"vector"`), used by benchmark reports.
+    const NAME: &'static str;
+
+    /// Creates an empty clock (every thread at time 0, no root).
+    fn new() -> Self;
+
+    /// Creates an empty clock with space reserved for `threads` threads.
+    fn with_threads(threads: usize) -> Self;
+
+    /// Turns an empty clock into the clock *owned by* thread `t`, at time
+    /// 0 (the paper's `Init(t)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is not empty.
+    fn init_root(&mut self, t: ThreadId);
+
+    /// The thread this clock is rooted at, if any.
+    fn root_tid(&self) -> Option<ThreadId>;
+
+    /// Returns the local time recorded for thread `t` (0 if unknown).
+    /// O(1) for both representations (Remark 1 of the paper).
+    fn get(&self, t: ThreadId) -> LocalTime;
+
+    /// Advances the owner thread's own entry by `amount` (the paper's
+    /// `Increment(i)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock has no root (was never
+    /// [`init_root`](Self::init_root)ed).
+    fn increment(&mut self, amount: LocalTime);
+
+    /// Ordering test `self ⊑ other` (the paper's `LessThan`).
+    ///
+    /// For tree clocks this is the O(1) root-entry check, which is valid
+    /// whenever both clocks participate in the same causal-ordering
+    /// computation (Lemma 3, direct monotonicity). For arbitrary clock
+    /// values use `vector_time().leq(..)` instead.
+    fn leq(&self, other: &Self) -> bool;
+
+    /// In-place join `self <- self ⊔ other`.
+    ///
+    /// This is the fast, uninstrumented variant used by timed runs; use
+    /// [`join_counted`](Self::join_counted) to obtain per-entry work
+    /// statistics (the instrumentation has a measurable cost — it
+    /// prevents vectorizing the vector-clock loop, for instance).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `other` has progressed on `self`'s *own* (root) thread,
+    /// i.e. `other.get(root) > self.get(root)` — in a causal ordering a
+    /// thread is always the first to know its own time, so this indicates
+    /// misuse.
+    fn join(&mut self, other: &Self);
+
+    /// [`join`](Self::join) with exact [`OpStats`] work accounting.
+    fn join_counted(&mut self, other: &Self) -> OpStats;
+
+    /// In-place copy `self <- other`, assuming `self ⊑ other` (the
+    /// paper's `MonotoneCopy`). Fast variant; see
+    /// [`monotone_copy_counted`](Self::monotone_copy_counted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the O(1)-checkable part of the precondition fails:
+    /// `self.get(r) > other.get(r)` for `self`'s root thread `r`.
+    fn monotone_copy(&mut self, other: &Self);
+
+    /// [`monotone_copy`](Self::monotone_copy) with exact [`OpStats`]
+    /// work accounting.
+    fn monotone_copy_counted(&mut self, other: &Self) -> OpStats;
+
+    /// In-place copy `self <- other` with no monotonicity assumption
+    /// (the paper's `CopyCheckMonotone`, Section 5.1).
+    ///
+    /// Tree clocks test `self ⊑ other` in O(1) and use the sublinear
+    /// monotone copy when possible, falling back to a linear deep copy;
+    /// the returned [`CopyMode`] reports which path ran.
+    fn copy_check_monotone(&mut self, other: &Self) -> CopyMode;
+
+    /// [`copy_check_monotone`](Self::copy_check_monotone) with exact
+    /// [`OpStats`] work accounting.
+    fn copy_check_monotone_counted(&mut self, other: &Self) -> (CopyMode, OpStats);
+
+    /// Extracts the represented vector timestamp as a value.
+    fn vector_time(&self) -> VectorTime;
+
+    /// Returns `true` if every entry is 0 and the clock has no root.
+    fn is_empty(&self) -> bool;
+
+    /// Number of thread slots currently allocated.
+    fn num_threads(&self) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_stats_accumulate() {
+        let mut a = OpStats::new(3, 1, 1);
+        a += OpStats::new(2, 2, 0);
+        assert_eq!(a, OpStats::new(5, 3, 1));
+        assert_eq!(OpStats::NOOP, OpStats::default());
+    }
+
+    #[test]
+    fn copy_mode_is_comparable() {
+        assert_ne!(CopyMode::Monotone, CopyMode::Deep);
+    }
+}

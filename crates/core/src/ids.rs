@@ -1,0 +1,211 @@
+//! Identifiers shared by all clock data structures: thread ids, local
+//! times, and epochs (thread-id/time pairs).
+
+use std::fmt;
+
+/// A local (scalar) logical time of a single thread.
+///
+/// The paper's traces contain up to a few billion events in total; local
+/// times count events *per thread* and comfortably fit in 32 bits, which
+/// keeps both clock representations compact.
+pub type LocalTime = u32;
+
+/// A dense thread identifier.
+///
+/// Thread ids index directly into clock representations (the vector of a
+/// [`VectorClock`](crate::VectorClock), the node arena of a
+/// [`TreeClock`](crate::TreeClock)), so they are expected to be small and
+/// dense: `0, 1, 2, …`. Trace front-ends intern arbitrary thread names
+/// down to these ids.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_core::ThreadId;
+///
+/// let t = ThreadId::new(3);
+/// assert_eq!(t.index(), 3);
+/// assert_eq!(t.to_string(), "t3");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct ThreadId(u32);
+
+impl ThreadId {
+    /// Creates a thread id from its dense index.
+    #[inline]
+    pub const fn new(index: u32) -> Self {
+        ThreadId(index)
+    }
+
+    /// Returns the raw dense index of this thread id.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the dense index as a `usize`, suitable for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ThreadId {
+    #[inline]
+    fn from(index: u32) -> Self {
+        ThreadId(index)
+    }
+}
+
+impl From<ThreadId> for u32 {
+    #[inline]
+    fn from(tid: ThreadId) -> Self {
+        tid.0
+    }
+}
+
+impl fmt::Display for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl fmt::Debug for ThreadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// An *epoch*: the pair `(thread, local time)` identifying a single event.
+///
+/// Epochs are the unit of the FastTrack-style O(1) ordering checks used by
+/// the analysis layer (Remark 1 of the paper: `Get` is O(1) on both clock
+/// representations, so all epoch optimizations carry over to tree clocks).
+/// An epoch `c@t` is ordered before a clock `C` exactly when
+/// `c <= C.get(t)`.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_core::{Epoch, LogicalClock, ThreadId, VectorClock};
+///
+/// let t1 = ThreadId::new(1);
+/// let mut c = VectorClock::new();
+/// c.init_root(ThreadId::new(0));
+/// c.increment(1);
+///
+/// let write = Epoch::new(t1, 4);
+/// assert!(!write.leq_clock(&c)); // c knows nothing about t1 yet
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Epoch {
+    tid: ThreadId,
+    time: LocalTime,
+}
+
+impl Epoch {
+    /// The "no event yet" epoch: time 0 of thread 0, which is ordered
+    /// before every clock.
+    pub const ZERO: Epoch = Epoch {
+        tid: ThreadId::new(0),
+        time: 0,
+    };
+
+    /// Creates an epoch for the event with the given local `time` on
+    /// thread `tid`.
+    #[inline]
+    pub const fn new(tid: ThreadId, time: LocalTime) -> Self {
+        Epoch { tid, time }
+    }
+
+    /// The thread that performed the event this epoch identifies.
+    #[inline]
+    pub const fn tid(self) -> ThreadId {
+        self.tid
+    }
+
+    /// The local time of the event this epoch identifies.
+    #[inline]
+    pub const fn time(self) -> LocalTime {
+        self.time
+    }
+
+    /// Returns `true` if this is the [`Epoch::ZERO`]-like "no event"
+    /// epoch (time 0).
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.time == 0
+    }
+
+    /// O(1) ordering check: is the event identified by this epoch ordered
+    /// at-or-before the state captured by `clock`?
+    ///
+    /// This is the fundamental race-check primitive: for a candidate pair
+    /// `(e1, e2)` where `e1` is summarized by an epoch and `e2` by the
+    /// clock of its thread, `!e1.leq_clock(c2)` means the two events are
+    /// concurrent.
+    #[inline]
+    pub fn leq_clock<C: crate::LogicalClock>(self, clock: &C) -> bool {
+        self.time <= clock.get(self.tid)
+    }
+}
+
+impl fmt::Display for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.time, self.tid)
+    }
+}
+
+impl fmt::Debug for Epoch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.time, self.tid)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_id_round_trips_through_u32() {
+        let t = ThreadId::new(42);
+        assert_eq!(u32::from(t), 42);
+        assert_eq!(ThreadId::from(42u32), t);
+        assert_eq!(t.index(), 42usize);
+    }
+
+    #[test]
+    fn thread_id_orders_by_index() {
+        assert!(ThreadId::new(1) < ThreadId::new(2));
+        assert_eq!(ThreadId::default(), ThreadId::new(0));
+    }
+
+    #[test]
+    fn thread_id_display_is_compact() {
+        assert_eq!(format!("{}", ThreadId::new(7)), "t7");
+        assert_eq!(format!("{:?}", ThreadId::new(7)), "t7");
+    }
+
+    #[test]
+    fn epoch_accessors() {
+        let e = Epoch::new(ThreadId::new(3), 17);
+        assert_eq!(e.tid(), ThreadId::new(3));
+        assert_eq!(e.time(), 17);
+        assert!(!e.is_zero());
+        assert!(Epoch::ZERO.is_zero());
+    }
+
+    #[test]
+    fn epoch_display_matches_fasttrack_notation() {
+        let e = Epoch::new(ThreadId::new(2), 9);
+        assert_eq!(e.to_string(), "9@t2");
+    }
+
+    #[test]
+    fn zero_epoch_precedes_everything() {
+        use crate::VectorClock;
+        let c = VectorClock::new();
+        assert!(Epoch::ZERO.leq_clock(&c));
+        assert!(Epoch::new(ThreadId::new(9), 0).leq_clock(&c));
+    }
+}

@@ -1,0 +1,148 @@
+//! The tree-clock `MonotoneCopy` operation (Algorithm 2, lines 28–35 and
+//! `getUpdatedNodesCopy`).
+//!
+//! When the destination is already dominated by the source
+//! (`self ⊑ other`), copying has the same semantics as joining, so the
+//! same monotonicity arguments let it run sublinearly. The one extra
+//! wrinkle is that the destination's root must move: the destination
+//! re-roots itself at the source's root thread, and its old root node is
+//! repositioned like any other updated node (collected by the traversal
+//! even if its time did not progress — line 67 of Algorithm 2).
+
+use std::mem;
+
+use crate::clock::{LogicalClock, OpStats};
+use crate::ThreadId;
+
+use super::join::Frame;
+use super::node::NIL;
+use super::TreeClock;
+
+impl TreeClock {
+    pub(crate) fn monotone_copy_impl<const COUNT: bool>(&mut self, other: &TreeClock) -> OpStats {
+        let mut stats = OpStats::NOOP;
+        let Some(zp) = other.root_idx() else {
+            assert!(
+                self.is_empty(),
+                "TreeClock::monotone_copy: copying an empty clock into a non-empty \
+                 one violates the precondition self ⊑ other"
+            );
+            return stats;
+        };
+        let Some(z) = self.root_idx() else {
+            // Copy into an empty clock: a deep copy, and every entry of
+            // `other` is new information.
+            return self.clone_structure_from::<COUNT>(other);
+        };
+        assert!(
+            self.clks[z as usize] <= other.get_idx(z),
+            "TreeClock::monotone_copy: self ⋢ other on self's root thread {} — \
+             use copy_check_monotone for unordered copies",
+            ThreadId::new(z),
+        );
+
+        let mut gathered = mem::take(&mut self.gather);
+        let mut frames = mem::take(&mut self.frames);
+        gathered.clear();
+        frames.clear();
+
+        if COUNT {
+            stats.examined += 1; // the root of `other` is always processed
+        }
+        self.gather_copy::<COUNT>(other, zp, z, &mut gathered, &mut frames, &mut stats);
+
+        // Adaptive fallback: when most of the tree progressed, the
+        // surgical detach/re-attach (scattered writes) is slower than
+        // replacing the whole structure with `other`'s — which is a
+        // valid monotone copy (the result must represent `other`'s
+        // vector time, and `other`'s own tree trivially satisfies all
+        // invariants). The threshold keeps the examined-entry count
+        // within the Theorem 1 budget: a flat clone touches
+        // `max(len)` entries only when at least half that many changed.
+        if gathered.len() >= self.nodes.len().max(other.nodes.len()) / 2 {
+            gathered.clear();
+            let clone_stats = self.clone_structure_from::<COUNT>(other);
+            self.gather = gathered;
+            self.frames = frames;
+            stats += clone_stats;
+            return stats;
+        }
+
+        self.detach_nodes(&gathered);
+        self.attach_nodes::<COUNT>(other, &mut gathered, &mut stats);
+
+        // Re-root at the source's root thread.
+        self.root = zp;
+        {
+            let r = &mut self.nodes[zp as usize];
+            r.parent = NIL;
+            r.next_sib = NIL;
+            r.prev_sib = NIL;
+        }
+        debug_assert!(
+            {
+                let old = &self.nodes[z as usize];
+                z == zp || old.parent != NIL
+            },
+            "old root was not repositioned — monotone-copy precondition violated"
+        );
+
+        self.gather = gathered;
+        self.frames = frames;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        stats
+    }
+
+    /// Iterative `getUpdatedNodesCopy`: like the join traversal, but the
+    /// start node is unconditionally collected, and the destination's old
+    /// root (`old_root`, the `z` parameter of Algorithm 2) is collected
+    /// even when it has not progressed, so that it can be repositioned
+    /// under the new root.
+    fn gather_copy<const COUNT: bool>(
+        &self,
+        other: &TreeClock,
+        start: u32,
+        old_root: u32,
+        gathered: &mut Vec<u32>,
+        frames: &mut Vec<Frame>,
+        stats: &mut OpStats,
+    ) {
+        let mut frame = Frame {
+            node: start,
+            next_child: other.nodes[start as usize].head_child,
+        };
+        'outer: loop {
+            let mut child = frame.next_child;
+            let parent_known = self.get_idx(frame.node);
+            while child != NIL {
+                let v = &other.nodes[child as usize];
+                if COUNT {
+                    stats.examined += 1;
+                }
+                if self.get_idx(child) < other.clks[child as usize] {
+                    frame.next_child = v.next_sib;
+                    frames.push(frame);
+                    frame = Frame {
+                        node: child,
+                        next_child: v.head_child,
+                    };
+                    continue 'outer;
+                }
+                // The destination's old root must be collected for
+                // repositioning even though it has not progressed.
+                if child == old_root {
+                    gathered.push(child);
+                }
+                if v.aclk <= parent_known {
+                    break;
+                }
+                child = v.next_sib;
+            }
+            gathered.push(frame.node);
+            match frames.pop() {
+                Some(f) => frame = f,
+                None => return,
+            }
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The tree-clock `Join` operation (Algorithm 2, lines 16–27 and
+//! `getUpdatedNodesJoin`).
+//!
+//! `Join` walks `other`'s tree top-down, descending into a child only if
+//! its time has *progressed* relative to `self` (direct monotonicity) and
+//! abandoning a child list as soon as an attachment clock is already
+//! known (indirect monotonicity). The progressed nodes are collected in
+//! post-order on a stack `S`, detached from `self`, and re-attached in a
+//! shape mirroring `other`; finally the updated subtree is hung under
+//! `self`'s root.
+//!
+//! The `COUNT` const parameter selects the instrumented variant that
+//! tallies [`OpStats`]; the plain variant compiles the counters out so
+//! timed runs measure only the algorithm.
+
+use std::mem;
+
+use crate::clock::OpStats;
+use crate::ThreadId;
+
+use super::node::NIL;
+use super::TreeClock;
+
+/// One frame of the iterative pre-order traversal: a node of `other` and
+/// the next child of that node still to be examined.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Frame {
+    pub(crate) node: u32,
+    pub(crate) next_child: u32,
+}
+
+impl TreeClock {
+    pub(crate) fn join_impl<const COUNT: bool>(&mut self, other: &TreeClock) -> OpStats {
+        let mut stats = OpStats::NOOP;
+        let Some(zp) = other.root_idx() else {
+            return stats; // joining an empty clock is a no-op
+        };
+        if COUNT {
+            stats.examined += 1; // the root progress check
+        }
+        if other.clks[zp as usize] <= self.get_idx(zp) {
+            return stats;
+        }
+        let Some(z) = self.root_idx() else {
+            // Joining into an empty clock yields an exact copy.
+            let mut s = self.clone_structure_from::<COUNT>(other);
+            s.examined += stats.examined;
+            return s;
+        };
+        assert!(
+            zp != z && other.get_idx(z) <= self.clks[z as usize],
+            "TreeClock::join: `other` has progressed on self's root thread {} — \
+             this cannot happen in a causal ordering (misuse of the clock)",
+            ThreadId::new(z),
+        );
+
+        let mut gathered = mem::take(&mut self.gather);
+        let mut frames = mem::take(&mut self.frames);
+        gathered.clear();
+        frames.clear();
+
+        self.gather_join::<COUNT>(other, zp, &mut gathered, &mut frames, &mut stats);
+        self.detach_nodes(&gathered);
+        self.attach_nodes::<COUNT>(other, &mut gathered, &mut stats);
+
+        // Place the updated subtree under the root of `self`, attached at
+        // the root's current time, at the front of the child list.
+        self.nodes[zp as usize].aclk = self.clks[z as usize];
+        self.push_child(zp, z);
+
+        self.gather = gathered;
+        self.frames = frames;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        stats
+    }
+
+    /// Iterative `getUpdatedNodesJoin`: collects, in post-order, every
+    /// node of `other` (starting at `start`, which the caller has already
+    /// determined to be progressed) whose clock has progressed relative
+    /// to `self`.
+    pub(crate) fn gather_join<const COUNT: bool>(
+        &self,
+        other: &TreeClock,
+        start: u32,
+        gathered: &mut Vec<u32>,
+        frames: &mut Vec<Frame>,
+        stats: &mut OpStats,
+    ) {
+        let mut frame = Frame {
+            node: start,
+            next_child: other.nodes[start as usize].head_child,
+        };
+        'outer: loop {
+            let mut child = frame.next_child;
+            let parent_known = self.get_idx(frame.node);
+            while child != NIL {
+                let v = &other.nodes[child as usize];
+                if COUNT {
+                    stats.examined += 1;
+                }
+                if self.get_idx(child) < other.clks[child as usize] {
+                    // Direct monotonicity: the child has progressed —
+                    // descend into it.
+                    frame.next_child = v.next_sib;
+                    frames.push(frame);
+                    frame = Frame {
+                        node: child,
+                        next_child: v.head_child,
+                    };
+                    continue 'outer;
+                }
+                if v.aclk <= parent_known {
+                    // Indirect monotonicity: this child (and, by the
+                    // descending-aclk order, all later ones) was attached
+                    // at a parent time `self` already knows about.
+                    break;
+                }
+                child = v.next_sib;
+            }
+            // All relevant children handled: emit the node (post-order).
+            gathered.push(frame.node);
+            match frames.pop() {
+                Some(f) => frame = f,
+                None => return,
+            }
+        }
+    }
+}

@@ -1,0 +1,466 @@
+//! The tree clock data structure (Algorithm 2 of the paper).
+//!
+//! A [`TreeClock`] represents the same vector timestamp as a
+//! [`VectorClock`](crate::VectorClock), but arranges the per-thread
+//! entries in a rooted tree whose edges record *how* the information was
+//! acquired: if `v` is the parent of `u`, then the clock learned `u`'s
+//! time through `v`, at `v`-time `u.aclk` (the *attachment clock*).
+//!
+//! Two consequences of causality make joins fast (Section 3.1):
+//!
+//! - **Direct monotonicity** — if the receiving clock already knows
+//!   `u.clk` of `u.tid`, it already knows everything below `u`, so the
+//!   join never descends into `u`'s subtree.
+//! - **Indirect monotonicity** — children are kept in descending
+//!   attachment-clock order, so once a child's `aclk` is at-or-before the
+//!   receiver's knowledge of the parent, the rest of the child list can
+//!   be skipped.
+//!
+//! The representation is the paper's "two arrays of length k" — a dense
+//! array of local times plus a parallel arena of tree links, indexed by
+//! thread id (the `ThrMap` of Algorithm 2 is the identity map) — and all
+//! traversals are iterative.
+
+mod copy;
+mod display;
+mod join;
+mod node;
+mod validate;
+
+#[cfg(test)]
+mod tests;
+
+pub use validate::InvariantViolation;
+
+use crate::clock::{CopyMode, LogicalClock, OpStats};
+use crate::{LocalTime, ThreadId, VectorTime};
+
+use node::{Node, NIL};
+
+/// A hierarchical logical clock with sublinear join and copy operations.
+///
+/// See the [module documentation](self) for the design and the crate
+/// root for a usage example. `TreeClock` implements
+/// [`LogicalClock`], so it is a drop-in replacement for
+/// [`VectorClock`](crate::VectorClock) in any partial-order computation.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_core::{LogicalClock, ThreadId, TreeClock};
+///
+/// // Thread t2's clock after learning about t1:
+/// let mut c2 = TreeClock::new();
+/// c2.init_root(ThreadId::new(2));
+/// c2.increment(2);
+///
+/// let mut c1 = TreeClock::new();
+/// c1.init_root(ThreadId::new(1));
+/// c1.increment(1);
+///
+/// c2.join(&c1);
+/// assert_eq!(c2.get(ThreadId::new(1)), 1);
+/// // The tree remembers that t1 was attached at t2-time 2:
+/// let info = c2.node(ThreadId::new(1)).unwrap();
+/// assert_eq!(info.parent, Some(ThreadId::new(2)));
+/// assert_eq!(info.aclk, 2);
+/// ```
+#[derive(Clone, Default)]
+pub struct TreeClock {
+    /// Dense local times; `clks[i] == 0` also covers absent threads
+    /// (the "timestamps array" of the paper's implementation).
+    clks: Vec<LocalTime>,
+    /// Tree links, parallel to `clks` (the "shape array").
+    nodes: Vec<Node>,
+    /// Root node index, or `NIL` when the clock is empty.
+    root: u32,
+    /// Scratch stack `S` of Algorithm 2, reused across operations.
+    gather: Vec<u32>,
+    /// Scratch traversal frames, reused across operations.
+    frames: Vec<join::Frame>,
+}
+
+/// A read-only snapshot of one tree-clock node, for inspection and
+/// testing (compare against the paper's figures).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeView {
+    /// The thread whose time this node stores.
+    pub tid: ThreadId,
+    /// Last known local time of `tid`.
+    pub clk: LocalTime,
+    /// Attachment clock (0 and meaningless for the root).
+    pub aclk: LocalTime,
+    /// Parent thread, or `None` for the root.
+    pub parent: Option<ThreadId>,
+}
+
+impl TreeClock {
+    /// Creates an empty tree clock.
+    pub fn new() -> Self {
+        TreeClock {
+            clks: Vec::new(),
+            nodes: Vec::new(),
+            root: NIL,
+            gather: Vec::new(),
+            frames: Vec::new(),
+        }
+    }
+
+    // ---- internal arena helpers -------------------------------------
+
+    /// The represented time of thread index `idx` (0 if absent).
+    #[inline]
+    pub(crate) fn get_idx(&self, idx: u32) -> LocalTime {
+        self.clks.get(idx as usize).copied().unwrap_or(0)
+    }
+
+    #[inline]
+    pub(crate) fn root_idx(&self) -> Option<u32> {
+        if self.root == NIL {
+            None
+        } else {
+            Some(self.root)
+        }
+    }
+
+    #[inline]
+    pub(crate) fn is_present(&self, idx: u32) -> bool {
+        self.nodes
+            .get(idx as usize)
+            .is_some_and(|n| n.present())
+    }
+
+    /// Grows both arrays so index `idx` is addressable.
+    pub(crate) fn ensure_slot(&mut self, idx: u32) {
+        let len = idx as usize + 1;
+        if len > self.nodes.len() {
+            self.nodes.resize_with(len, Node::default);
+            self.clks.resize(len, 0);
+        }
+    }
+
+    /// Removes `child` from its parent's child list. The caller is
+    /// responsible for re-linking it (or marking it absent).
+    #[inline]
+    pub(crate) fn unlink(&mut self, child: u32) {
+        let Node {
+            parent,
+            next_sib: next,
+            prev_sib: prev,
+            ..
+        } = self.nodes[child as usize];
+        if prev == NIL {
+            self.nodes[parent as usize].head_child = next;
+        } else {
+            self.nodes[prev as usize].next_sib = next;
+        }
+        if next != NIL {
+            self.nodes[next as usize].prev_sib = prev;
+        }
+    }
+
+    /// Pushes `child` at the front of `parent`'s child list (the paper's
+    /// `pushChild`). The front position keeps the list in descending
+    /// attachment-clock order.
+    #[inline]
+    pub(crate) fn push_child(&mut self, child: u32, parent: u32) {
+        let old_head = self.nodes[parent as usize].head_child;
+        {
+            let c = &mut self.nodes[child as usize];
+            c.parent = parent;
+            c.prev_sib = NIL;
+            c.next_sib = old_head;
+        }
+        if old_head != NIL {
+            self.nodes[old_head as usize].prev_sib = child;
+        }
+        self.nodes[parent as usize].head_child = child;
+    }
+
+    /// Detaches from this tree every node whose thread appears in the
+    /// gathered stack (the paper's `detachNodes`).
+    pub(crate) fn detach_nodes(&mut self, gathered: &[u32]) {
+        for &vp in gathered {
+            if let Some(n) = self.nodes.get(vp as usize) {
+                if n.present() && vp != self.root {
+                    self.unlink(vp);
+                }
+            }
+        }
+    }
+
+    /// Re-attaches the gathered nodes, mirroring the shape of `other`'s
+    /// corresponding subtree (the paper's `attachNodes`). Pops from the
+    /// stack so parents are processed before their children.
+    pub(crate) fn attach_nodes<const COUNT: bool>(
+        &mut self,
+        other: &TreeClock,
+        gathered: &mut Vec<u32>,
+        stats: &mut OpStats,
+    ) {
+        if let Some(max) = gathered.iter().copied().max() {
+            self.ensure_slot(max);
+        }
+        while let Some(up) = gathered.pop() {
+            let iu = up as usize;
+            let o_clk = other.clks[iu];
+            let src = &other.nodes[iu];
+            let (o_aclk, o_parent) = (src.aclk, src.parent);
+            if COUNT {
+                stats.moved += 1;
+                if self.clks[iu] != o_clk {
+                    stats.changed += 1;
+                }
+            }
+            self.clks[iu] = o_clk;
+            if o_parent != NIL {
+                self.nodes[iu].aclk = o_aclk;
+                self.push_child(up, o_parent);
+            } else if !self.nodes[iu].present() {
+                // New root of an empty-side attach: mark in-tree; the
+                // caller sets the root pointer.
+                self.nodes[iu].parent = NIL;
+            }
+        }
+    }
+
+    /// Deep copy: makes `self` an exact structural replica of `other`.
+    ///
+    /// Used when joining into / copying into an empty clock and as the
+    /// fallback of [`copy_check_monotone`](LogicalClock::copy_check_monotone).
+    /// Returns exact work statistics when `COUNT` (including the exact
+    /// number of changed vector-time entries, so `VTWork` accounting
+    /// stays exact).
+    pub(crate) fn clone_structure_from<const COUNT: bool>(&mut self, other: &TreeClock) -> OpStats {
+        let mut stats = OpStats::NOOP;
+        if COUNT {
+            let n = self.clks.len().max(other.clks.len());
+            for i in 0..n as u32 {
+                stats.examined += 1;
+                if self.get_idx(i) != other.get_idx(i) {
+                    stats.changed += 1;
+                }
+            }
+            stats.moved = other.nodes.iter().filter(|s| s.present()).count() as u64;
+        }
+        self.clks.clone_from(&other.clks);
+        self.nodes.clone_from(&other.nodes);
+        self.root = other.root;
+        stats
+    }
+
+    // ---- inspection --------------------------------------------------
+
+    /// Returns a snapshot of the node for thread `t`, or `None` if the
+    /// thread is not in the tree.
+    pub fn node(&self, t: ThreadId) -> Option<NodeView> {
+        let n = self.nodes.get(t.index())?;
+        if !n.present() {
+            return None;
+        }
+        Some(NodeView {
+            tid: t,
+            clk: self.clks[t.index()],
+            aclk: if n.parent == NIL { 0 } else { n.aclk },
+            parent: if n.parent == NIL {
+                None
+            } else {
+                Some(ThreadId::new(n.parent))
+            },
+        })
+    }
+
+    /// Returns the children of thread `t`'s node, front (largest
+    /// attachment clock) to back.
+    pub fn children(&self, t: ThreadId) -> Vec<ThreadId> {
+        let mut out = Vec::new();
+        let Some(n) = self.nodes.get(t.index()) else {
+            return out;
+        };
+        if !n.present() {
+            return out;
+        }
+        let mut c = n.head_child;
+        while c != NIL {
+            out.push(ThreadId::new(c));
+            c = self.nodes[c as usize].next_sib;
+        }
+        out
+    }
+
+    /// Number of threads present in the tree.
+    pub fn node_count(&self) -> usize {
+        self.nodes.iter().filter(|s| s.present()).count()
+    }
+
+    // ---- construction from explicit structure ------------------------
+
+    /// Builds a tree clock from an explicit node list, for tests and
+    /// benchmarks that replay shapes from the paper's figures.
+    ///
+    /// Each entry is `(tid, clk, parent)` where `parent` is
+    /// `None` for the root and `Some((parent_tid, aclk))` otherwise.
+    /// Children end up in the child list in the order given (which must
+    /// be descending in `aclk`, as the data structure maintains).
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`InvariantViolation`] if the description is not a
+    /// well-formed tree clock (duplicate threads, missing/cyclic parents,
+    /// unordered sibling lists, …).
+    pub fn from_structure(
+        nodes: &[(ThreadId, LocalTime, Option<(ThreadId, LocalTime)>)],
+    ) -> Result<TreeClock, InvariantViolation> {
+        let mut tc = TreeClock::new();
+        for &(tid, clk, parent) in nodes {
+            tc.ensure_slot(tid.raw());
+            if tc.nodes[tid.index()].present() {
+                return Err(InvariantViolation::new(format!(
+                    "duplicate node for thread {tid}"
+                )));
+            }
+            tc.clks[tid.index()] = clk;
+            match parent {
+                None => {
+                    if tc.root != NIL {
+                        return Err(InvariantViolation::new("two roots specified"));
+                    }
+                    tc.nodes[tid.index()].parent = NIL;
+                    tc.root = tid.raw();
+                }
+                Some((p, aclk)) => {
+                    if !tc.is_present(p.raw()) {
+                        return Err(InvariantViolation::new(format!(
+                            "parent {p} of {tid} not defined before its child"
+                        )));
+                    }
+                    tc.nodes[tid.index()].aclk = aclk;
+                    // Append at the *back* so the input order becomes the
+                    // front-to-back child order.
+                    let mut tail = tc.nodes[p.index()].head_child;
+                    if tail == NIL {
+                        tc.push_child(tid.raw(), p.raw());
+                    } else {
+                        while tc.nodes[tail as usize].next_sib != NIL {
+                            tail = tc.nodes[tail as usize].next_sib;
+                        }
+                        tc.nodes[tail as usize].next_sib = tid.raw();
+                        tc.nodes[tid.index()].prev_sib = tail;
+                        tc.nodes[tid.index()].parent = p.raw();
+                    }
+                }
+            }
+        }
+        tc.check_invariants()?;
+        Ok(tc)
+    }
+}
+
+impl LogicalClock for TreeClock {
+    const NAME: &'static str = "tree";
+
+    fn new() -> Self {
+        TreeClock::new()
+    }
+
+    fn with_threads(threads: usize) -> Self {
+        let mut tc = TreeClock::new();
+        tc.nodes.resize_with(threads, Node::default);
+        tc.clks.resize(threads, 0);
+        tc
+    }
+
+    fn init_root(&mut self, t: ThreadId) {
+        assert!(
+            self.root == NIL,
+            "TreeClock::init_root: clock already initialized"
+        );
+        self.ensure_slot(t.raw());
+        self.nodes[t.index()].parent = NIL;
+        self.clks[t.index()] = 0;
+        self.root = t.raw();
+    }
+
+    fn root_tid(&self) -> Option<ThreadId> {
+        self.root_idx().map(ThreadId::new)
+    }
+
+    #[inline]
+    fn get(&self, t: ThreadId) -> LocalTime {
+        self.get_idx(t.raw())
+    }
+
+    fn increment(&mut self, amount: LocalTime) {
+        assert!(
+            self.root != NIL,
+            "TreeClock::increment: clock has no root thread"
+        );
+        self.clks[self.root as usize] += amount;
+    }
+
+    /// O(1) root-entry comparison (the paper's `LessThan`); see the
+    /// trait documentation for the validity contract.
+    fn leq(&self, other: &Self) -> bool {
+        match self.root_idx() {
+            None => true,
+            Some(r) => self.clks[r as usize] <= other.get_idx(r),
+        }
+    }
+
+    fn join(&mut self, other: &Self) {
+        self.join_impl::<false>(other);
+    }
+
+    fn join_counted(&mut self, other: &Self) -> OpStats {
+        self.join_impl::<true>(other)
+    }
+
+    fn monotone_copy(&mut self, other: &Self) {
+        self.monotone_copy_impl::<false>(other);
+    }
+
+    fn monotone_copy_counted(&mut self, other: &Self) -> OpStats {
+        self.monotone_copy_impl::<true>(other)
+    }
+
+    fn copy_check_monotone(&mut self, other: &Self) -> CopyMode {
+        if self.leq(other) {
+            self.monotone_copy_impl::<false>(other);
+            CopyMode::Monotone
+        } else {
+            self.clone_structure_from::<false>(other);
+            CopyMode::Deep
+        }
+    }
+
+    fn copy_check_monotone_counted(&mut self, other: &Self) -> (CopyMode, OpStats) {
+        if self.leq(other) {
+            (CopyMode::Monotone, self.monotone_copy_impl::<true>(other))
+        } else {
+            (CopyMode::Deep, self.clone_structure_from::<true>(other))
+        }
+    }
+
+    fn vector_time(&self) -> VectorTime {
+        VectorTime::from(self.clks.clone())
+    }
+
+    fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    fn num_threads(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+impl PartialEq for TreeClock {
+    /// Two tree clocks are equal when they represent the same *vector
+    /// time*; the tree shapes may differ. This is an O(k) comparison.
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.clks.len().max(other.clks.len());
+        (0..n as u32).all(|i| self.get_idx(i) == other.get_idx(i))
+    }
+}
+
+impl Eq for TreeClock {}

@@ -1,0 +1,483 @@
+//! Unit tests for the tree clock, including the paper's worked examples:
+//! the traces of Figure 2 (producing the trees of Figure 3) and the full
+//! Appendix B run (Figures 11 and 12), with exact work counts.
+
+use crate::clock::{CopyMode, LogicalClock, OpStats};
+use crate::{ThreadId, TreeClock, VectorTime};
+
+fn t(i: u32) -> ThreadId {
+    ThreadId::new(i)
+}
+
+/// A `sync(ℓ)` step as in Figure 2: one local event that acquires and
+/// releases `lock` (the paper counts it as a single local time unit).
+fn sync(thread: &mut TreeClock, lock: &mut TreeClock) {
+    thread.increment(1);
+    thread.join(lock);
+    lock.monotone_copy(thread);
+}
+
+fn rooted(i: u32, time: u32) -> TreeClock {
+    let mut c = TreeClock::new();
+    c.init_root(t(i));
+    c.increment(time);
+    c
+}
+
+// ---------------------------------------------------------------------
+// Basics
+// ---------------------------------------------------------------------
+
+#[test]
+fn new_clock_is_empty() {
+    let c = TreeClock::new();
+    assert!(c.is_empty());
+    assert_eq!(c.root_tid(), None);
+    assert_eq!(c.get(t(5)), 0);
+    assert_eq!(c.node_count(), 0);
+}
+
+#[test]
+fn init_root_and_increment() {
+    let c = rooted(2, 7);
+    assert_eq!(c.root_tid(), Some(t(2)));
+    assert_eq!(c.get(t(2)), 7);
+    assert_eq!(c.node_count(), 1);
+    assert!(!c.is_empty());
+}
+
+#[test]
+#[should_panic(expected = "already initialized")]
+fn double_init_panics() {
+    let mut c = rooted(0, 1);
+    c.init_root(t(1));
+}
+
+#[test]
+#[should_panic(expected = "no root thread")]
+fn increment_without_root_panics() {
+    let mut c = TreeClock::new();
+    c.increment(1);
+}
+
+#[test]
+fn join_with_empty_clock_is_noop() {
+    let mut c = rooted(0, 3);
+    let stats = c.join_counted(&TreeClock::new());
+    assert_eq!(stats, OpStats::NOOP);
+    assert_eq!(c.get(t(0)), 3);
+}
+
+#[test]
+fn join_into_empty_clock_copies() {
+    let mut empty = TreeClock::new();
+    let src = rooted(1, 4);
+    empty.join(&src);
+    assert_eq!(empty.get(t(1)), 4);
+    assert_eq!(empty.root_tid(), Some(t(1)));
+    assert_eq!(empty.check_invariants(), Ok(()));
+}
+
+#[test]
+fn join_already_known_is_cheap_noop() {
+    let mut a = rooted(0, 1);
+    let b = rooted(1, 5);
+    a.join(&b);
+    // Joining the same information again touches only the root.
+    let stats = a.join_counted(&b);
+    assert_eq!(stats, OpStats::new(1, 0, 0));
+}
+
+#[test]
+#[should_panic(expected = "progressed on self's root thread")]
+fn join_rejects_foreign_progress_on_own_thread() {
+    let mut src = rooted(1, 1);
+    src.join(&rooted(0, 5));
+    let mut a = rooted(0, 1);
+    a.join(&src);
+}
+
+#[test]
+fn monotone_copy_into_empty_is_deep_copy() {
+    let mut lock = TreeClock::new();
+    let mut c = rooted(0, 2);
+    c.join(&rooted(1, 1));
+    let stats = lock.monotone_copy_counted(&c);
+    assert_eq!(lock.vector_time(), c.vector_time());
+    assert_eq!(lock.root_tid(), Some(t(0)));
+    assert_eq!(stats.changed, 2);
+    assert_eq!(lock.check_invariants(), Ok(()));
+}
+
+#[test]
+fn monotone_copy_of_empty_into_empty_is_noop() {
+    let mut a = TreeClock::new();
+    let stats = a.monotone_copy_counted(&TreeClock::new());
+    assert_eq!(stats, OpStats::NOOP);
+    assert!(a.is_empty());
+}
+
+#[test]
+#[should_panic(expected = "self ⋢ other")]
+fn monotone_copy_rejects_non_monotone_target() {
+    let mut lw = rooted(1, 9);
+    let c = rooted(0, 2);
+    lw.monotone_copy(&c);
+}
+
+#[test]
+fn copy_check_monotone_takes_fast_path_when_ordered() {
+    let mut lw = TreeClock::new();
+    let mut c = rooted(0, 1);
+    lw.monotone_copy(&c); // lw = [1]
+    c.increment(2);
+    let mode = lw.copy_check_monotone(&c);
+    assert_eq!(mode, CopyMode::Monotone);
+    assert_eq!(lw.get(t(0)), 3);
+}
+
+#[test]
+fn copy_check_monotone_falls_back_to_deep_copy() {
+    // lw knows t1@9, which c does not: the copy is not monotone
+    // (in SHB this is exactly a write-read race).
+    let mut lw = rooted(1, 9);
+    let c = rooted(0, 2);
+    let mode = lw.copy_check_monotone(&c);
+    assert_eq!(mode, CopyMode::Deep);
+    assert_eq!(lw.get(t(1)), 0); // entries may decrease: copy, not join
+    assert_eq!(lw.get(t(0)), 2);
+    assert_eq!(lw.root_tid(), Some(t(0)));
+    assert_eq!(lw.check_invariants(), Ok(()));
+}
+
+#[test]
+fn clock_grows_for_large_thread_ids() {
+    let mut a = rooted(0, 1);
+    a.join(&rooted(100, 42));
+    assert_eq!(a.get(t(100)), 42);
+    assert!(a.num_threads() >= 101);
+    assert_eq!(a.check_invariants(), Ok(()));
+}
+
+#[test]
+fn equality_is_vector_time_equality() {
+    // Same times, different shapes (learned in different orders).
+    let mut a = rooted(0, 1);
+    a.join(&rooted(1, 1));
+    a.join(&rooted(2, 1));
+
+    let mut via = rooted(1, 1);
+    via.join(&rooted(2, 1));
+    let mut b = rooted(0, 1);
+    b.join(&via);
+
+    assert_ne!(a.children(t(0)), b.children(t(0))); // shapes differ
+    assert_eq!(a, b); // values agree
+}
+
+#[test]
+fn leq_uses_root_entry() {
+    let mut a = rooted(0, 1);
+    let b = rooted(1, 1);
+    a.join(&b);
+    assert!(b.leq(&a));
+    assert!(!a.leq(&b));
+    assert!(TreeClock::new().leq(&b));
+}
+
+#[test]
+fn vector_time_reflects_all_nodes() {
+    let mut a = rooted(0, 2);
+    a.join(&rooted(3, 5));
+    assert_eq!(a.vector_time(), VectorTime::from(vec![2, 0, 0, 5]));
+}
+
+// ---------------------------------------------------------------------
+// Figure 2a → Figure 3 (left): direct monotonicity
+// ---------------------------------------------------------------------
+
+#[test]
+fn figure_2a_direct_monotonicity() {
+    let mut c1 = TreeClock::new();
+    let mut c2 = TreeClock::new();
+    let mut c3 = TreeClock::new();
+    let mut c4 = TreeClock::new();
+    c1.init_root(t(1));
+    c2.init_root(t(2));
+    c3.init_root(t(3));
+    c4.init_root(t(4));
+    let (mut l1, mut l2, mut l3) = (TreeClock::new(), TreeClock::new(), TreeClock::new());
+
+    sync(&mut c1, &mut l1); // e1: t1 sync(l1)
+    sync(&mut c2, &mut l1); // e2: t2 sync(l1)
+    sync(&mut c3, &mut l1); // e3: t3 sync(l1)
+    sync(&mut c2, &mut l2); // e4: t2 sync(l2)
+    sync(&mut c4, &mut l2); // e5: t4 sync(l2)
+    sync(&mut c3, &mut l3); // e6: t3 sync(l3)
+
+    // e7: t4 sync(l3). Before the join, t4 knows t2@2 while l3 records
+    // t2@1, so the join must not descend below t2 (and never examine t1).
+    c4.increment(1);
+    let stats = c4.join_counted(&l3);
+    // examined: the root progress check (t3) + one child comparison (t2).
+    assert_eq!(stats.examined, 2);
+    assert_eq!(stats.changed, 1); // only t3's entry progressed
+    assert_eq!(stats.moved, 1);
+    l3.monotone_copy(&c4);
+
+    // Figure 3 (left): the tree clock of t4 after e7.
+    assert_eq!(
+        c4.to_string(),
+        "(t4, 2, ⊥)[(t3, 2, 2), (t2, 2, 1)[(t1, 1, 1)]]"
+    );
+    assert_eq!(c4.check_invariants(), Ok(()));
+}
+
+// ---------------------------------------------------------------------
+// Figure 2b → Figure 3 (right): indirect monotonicity
+// ---------------------------------------------------------------------
+
+#[test]
+fn figure_2b_indirect_monotonicity() {
+    let mut c1 = TreeClock::new();
+    let mut c2 = TreeClock::new();
+    let mut c3 = TreeClock::new();
+    let mut c4 = TreeClock::new();
+    c1.init_root(t(1));
+    c2.init_root(t(2));
+    c3.init_root(t(3));
+    c4.init_root(t(4));
+    let (mut l1, mut l2, mut l3) = (TreeClock::new(), TreeClock::new(), TreeClock::new());
+
+    sync(&mut c1, &mut l1); // e1: t1 sync(l1)
+    sync(&mut c2, &mut l2); // e2: t2 sync(l2)
+    sync(&mut c3, &mut l1); // e3: t3 sync(l1), learns t1 at t3-time 1
+    sync(&mut c3, &mut l2); // e4: t3 sync(l2), learns t2 at t3-time 2
+    sync(&mut c4, &mut l2); // e5: t4 sync(l2), learns e1-e4 through t3
+    assert_eq!(
+        c4.to_string(),
+        "(t4, 1, ⊥)[(t3, 2, 1)[(t2, 1, 2), (t1, 1, 1)]]"
+    );
+    sync(&mut c3, &mut l3); // e6: t3 sync(l3)
+
+    // e7: t4 sync(l3): t3 progressed (2 -> 3), but its children were
+    // attached at t3-times <= 2, all of which t4 already knows about:
+    // the child scan stops at t2 and never reaches t1.
+    c4.increment(1);
+    let stats = c4.join_counted(&l3);
+    assert_eq!(stats.examined, 2); // root check + t2, then the break
+    assert_eq!(stats.changed, 1);
+    assert_eq!(stats.moved, 1);
+
+    // Figure 3 (right): the tree clock of t4 after e7.
+    assert_eq!(
+        c4.to_string(),
+        "(t4, 2, ⊥)[(t3, 3, 2)[(t2, 1, 2), (t1, 1, 1)]]"
+    );
+    assert_eq!(c4.check_invariants(), Ok(()));
+}
+
+// ---------------------------------------------------------------------
+// Appendix B: the full 16-event run of Figures 11 and 12
+// ---------------------------------------------------------------------
+
+/// Drives Algorithm 3 by hand on the Appendix B trace and checks the
+/// intermediate clock trees shown in Figures 11b and 12, including the
+/// exact sets of examined/updated nodes of Figure 12.
+#[test]
+fn appendix_b_example_run() {
+    let mut c: Vec<TreeClock> = (0..6).map(|_| TreeClock::new()).collect();
+    for i in 1..=5u32 {
+        c[i as usize].init_root(t(i));
+    }
+    let mut l1 = TreeClock::new();
+    let mut l2 = TreeClock::new();
+    let mut l3 = TreeClock::new();
+
+    let acq = |c: &mut TreeClock, l: &mut TreeClock| {
+        c.increment(1);
+        c.join_counted(l)
+    };
+    let rel = |c: &mut TreeClock, l: &mut TreeClock| {
+        c.increment(1);
+        l.monotone_copy_counted(c)
+    };
+
+    acq(&mut c[1], &mut l1); // e1
+    rel(&mut c[1], &mut l1); // e2
+    assert_eq!(l1.to_string(), "(t1, 2, ⊥)");
+    acq(&mut c[4], &mut l2); // e3
+    rel(&mut c[4], &mut l2); // e4
+    assert_eq!(l2.to_string(), "(t4, 2, ⊥)");
+    acq(&mut c[5], &mut l3); // e5
+    rel(&mut c[5], &mut l3); // e6
+    assert_eq!(l3.to_string(), "(t5, 2, ⊥)");
+
+    acq(&mut c[3], &mut l1); // e7
+    assert_eq!(c[3].to_string(), "(t3, 1, ⊥)[(t1, 2, 1)]");
+    acq(&mut c[3], &mut l3); // e8
+    assert_eq!(c[3].to_string(), "(t3, 2, ⊥)[(t5, 2, 2), (t1, 2, 1)]");
+    rel(&mut c[3], &mut l3); // e9
+    assert_eq!(l3.to_string(), "(t3, 3, ⊥)[(t5, 2, 2), (t1, 2, 1)]");
+    rel(&mut c[3], &mut l1); // e10
+    assert_eq!(l1.to_string(), "(t3, 4, ⊥)[(t5, 2, 2), (t1, 2, 1)]");
+    acq(&mut c[3], &mut l2); // e11
+    assert_eq!(
+        c[3].to_string(),
+        "(t3, 5, ⊥)[(t4, 2, 5), (t5, 2, 2), (t1, 2, 1)]"
+    );
+    rel(&mut c[3], &mut l2); // e12
+    assert_eq!(
+        l2.to_string(),
+        "(t3, 6, ⊥)[(t4, 2, 5), (t5, 2, 2), (t1, 2, 1)]"
+    );
+
+    acq(&mut c[2], &mut l1); // e13
+    assert_eq!(
+        c[2].to_string(),
+        "(t2, 1, ⊥)[(t3, 4, 1)[(t5, 2, 2), (t1, 2, 1)]]"
+    );
+    rel(&mut c[2], &mut l1); // e14
+    assert_eq!(
+        l1.to_string(),
+        "(t2, 2, ⊥)[(t3, 4, 1)[(t5, 2, 2), (t1, 2, 1)]]"
+    );
+
+    // e15 (Figure 12a): t2 joins l2. The traversal compares the root t3
+    // and children t4 (progressed) and t5 (known, attached at t3-time 2
+    // <= t2's knowledge 4 of t3 -> break). t1 is never examined. The
+    // updated nodes are exactly {t3, t4}.
+    let stats = acq(&mut c[2], &mut l2);
+    assert_eq!(stats.examined, 3);
+    assert_eq!(stats.moved, 2);
+    assert_eq!(stats.changed, 2);
+    assert_eq!(
+        c[2].to_string(),
+        "(t2, 3, ⊥)[(t3, 6, 3)[(t4, 2, 5), (t5, 2, 2), (t1, 2, 1)]]"
+    );
+
+    // e16 (Figure 12b): l2 monotone-copies t2's clock. Only t2 (the new
+    // root) and t3 (l2's old root, repositioned) are touched; t3's
+    // subtree moves wholesale.
+    let stats = rel(&mut c[2], &mut l2);
+    assert_eq!(stats.examined, 2);
+    assert_eq!(stats.moved, 2);
+    assert_eq!(stats.changed, 1); // only t2's entry changes value
+    assert_eq!(
+        l2.to_string(),
+        "(t2, 4, ⊥)[(t3, 6, 3)[(t4, 2, 5), (t5, 2, 2), (t1, 2, 1)]]"
+    );
+    assert_eq!(l2.check_invariants(), Ok(()));
+
+    // Final sanity: every clock agrees with its vector-time meaning.
+    assert_eq!(
+        c[2].vector_time(),
+        VectorTime::from(vec![0, 2, 4, 6, 2, 2])
+    );
+}
+
+// ---------------------------------------------------------------------
+// Re-rooting copies
+// ---------------------------------------------------------------------
+
+#[test]
+fn monotone_copy_rewires_old_root_under_new_root() {
+    // lock = (t1, 1); t2 joins it then releases: the lock clock must
+    // re-root at t2 and keep t1 as a child.
+    let mut lock = TreeClock::new();
+    lock.monotone_copy(&rooted(1, 1));
+    let mut c2 = rooted(2, 1);
+    c2.join(&lock);
+    c2.increment(1);
+    let stats = lock.monotone_copy_counted(&c2);
+    assert_eq!(lock.root_tid(), Some(t(2)));
+    assert_eq!(lock.to_string(), "(t2, 2, ⊥)[(t1, 1, 1)]");
+    assert_eq!(stats.moved, 2); // t2 (new root) + t1 (old root, rewired)
+    assert_eq!(lock.check_invariants(), Ok(()));
+}
+
+#[test]
+fn monotone_copy_with_same_root_thread_updates_in_place() {
+    let mut lock = TreeClock::new();
+    let mut c1 = rooted(1, 1);
+    lock.monotone_copy(&c1); // lock rooted at t1
+    c1.increment(3);
+    let stats = lock.monotone_copy_counted(&c1); // same root thread, time 1 -> 4
+    assert_eq!(lock.root_tid(), Some(t(1)));
+    assert_eq!(lock.get(t(1)), 4);
+    assert_eq!(stats.changed, 1);
+    assert_eq!(lock.check_invariants(), Ok(()));
+}
+
+#[test]
+fn repeated_lock_handoff_keeps_invariants() {
+    // A ring of threads passing one lock around twice.
+    let k = 8u32;
+    let mut threads: Vec<TreeClock> = (0..k).map(|i| rooted(i, 0)).collect();
+    let mut lock = TreeClock::new();
+    for round in 0..2 {
+        for i in 0..k as usize {
+            threads[i].increment(1);
+            threads[i].join(&lock);
+            threads[i].increment(1);
+            lock.monotone_copy(&threads[i]);
+            assert_eq!(lock.check_invariants(), Ok(()), "round {round}, thread {i}");
+        }
+    }
+    // After the first full round, everyone is (transitively) known.
+    let last = &threads[(k - 1) as usize];
+    for i in 0..k {
+        assert!(last.get(t(i)) > 0, "t{i} unknown to the last thread");
+    }
+}
+
+// ---------------------------------------------------------------------
+// Adaptive copy fallback
+// ---------------------------------------------------------------------
+
+/// When most of the tree progressed, `monotone_copy` switches to a flat
+/// structural clone; semantics (vector time, invariants) must be
+/// indistinguishable from the surgical path.
+#[test]
+fn adaptive_copy_fallback_is_semantically_transparent() {
+    // Target knows a little; source knows a lot more about everyone.
+    let mut lock = TreeClock::new();
+    lock.monotone_copy(&rooted(0, 1));
+    let mut c = rooted(0, 1);
+    for i in 1..12u32 {
+        c.increment(1);
+        c.join(&rooted(i, 7));
+    }
+    c.increment(1);
+    let stats = lock.monotone_copy_counted(&c);
+    // Nearly every entry changed -> the fallback path ran; the result
+    // must still be exactly `c`'s vector time with valid structure.
+    assert!(stats.changed >= 11);
+    assert_eq!(lock.vector_time(), c.vector_time());
+    assert_eq!(lock.root_tid(), Some(t(0)));
+    assert_eq!(lock.check_invariants(), Ok(()));
+    // And the work accounting still respects the Theorem 1 budget.
+    assert!(stats.examined <= 3 * (stats.changed + 1));
+}
+
+/// Small update sets must keep using the surgical path (the clone
+/// would examine the whole arena).
+#[test]
+fn small_copies_stay_surgical() {
+    let mut lock = TreeClock::new();
+    let mut c = rooted(0, 1);
+    for i in 1..32u32 {
+        c.increment(1);
+        c.join(&rooted(i, 1));
+    }
+    lock.monotone_copy(&c); // lock now mirrors c
+    c.increment(1); // one new local event
+    let stats = lock.monotone_copy_counted(&c);
+    assert!(
+        stats.examined < 8,
+        "a one-entry copy must not examine the whole tree (examined {})",
+        stats.examined
+    );
+    assert_eq!(lock.get(t(0)), c.get(t(0)));
+    assert_eq!(lock.check_invariants(), Ok(()));
+}

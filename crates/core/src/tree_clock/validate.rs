@@ -1,0 +1,230 @@
+//! Structural invariant checking for [`TreeClock`].
+//!
+//! The checker verifies every property the algorithms rely on; it runs
+//! inside `debug_assert!` after each mutating operation and is exercised
+//! heavily by the property-based tests.
+
+use std::error::Error;
+use std::fmt;
+
+use super::node::NIL;
+use super::TreeClock;
+
+/// A violated [`TreeClock`] structural invariant (also returned by
+/// [`TreeClock::from_structure`] for malformed descriptions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InvariantViolation {
+    message: String,
+}
+
+impl InvariantViolation {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        InvariantViolation {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for InvariantViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tree clock invariant violated: {}", self.message)
+    }
+}
+
+impl Error for InvariantViolation {}
+
+impl TreeClock {
+    /// Checks every structural invariant of the tree clock:
+    ///
+    /// 1. an empty clock has no present nodes;
+    /// 2. the root is present and has no parent and no attachment clock
+    ///    semantics;
+    /// 3. parent/child/sibling links are mutually consistent;
+    /// 4. every present node is reachable from the root exactly once (no
+    ///    cycles, no orphans);
+    /// 5. each child list is sorted by non-increasing attachment clock,
+    ///    and every attachment clock is at most the parent's clock;
+    /// 6. absent slots carry no stale time.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn check_invariants(&self) -> Result<(), InvariantViolation> {
+        let present_count = self.nodes.iter().filter(|s| s.present()).count();
+        let Some(root) = self.root_idx() else {
+            if present_count != 0 {
+                return Err(InvariantViolation::new(format!(
+                    "empty clock (no root) but {present_count} nodes present"
+                )));
+            }
+            return Ok(());
+        };
+
+        let root_slot = self
+            .nodes
+            .get(root as usize)
+            .ok_or_else(|| InvariantViolation::new("root index out of bounds"))?;
+        if !root_slot.present() {
+            return Err(InvariantViolation::new("root node is not present"));
+        }
+        if root_slot.parent != NIL {
+            return Err(InvariantViolation::new("root node has a parent"));
+        }
+
+        for (i, slot) in self.nodes.iter().enumerate() {
+            if !slot.present() && self.clks[i] != 0 {
+                return Err(InvariantViolation::new(format!(
+                    "absent slot {i} has non-zero time {}",
+                    self.clks[i]
+                )));
+            }
+        }
+
+        // Iterative DFS from the root, checking link consistency.
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![root];
+        let mut reached = 0usize;
+        while let Some(u) = stack.pop() {
+            let iu = u as usize;
+            if visited[iu] {
+                return Err(InvariantViolation::new(format!(
+                    "node t{u} reached twice (cycle or shared child)"
+                )));
+            }
+            visited[iu] = true;
+            reached += 1;
+            let node = &self.nodes[iu];
+            let node_clk = self.clks[iu];
+            let mut child = node.head_child;
+            let mut prev = NIL;
+            let mut prev_aclk = None::<u32>;
+            while child != NIL {
+                let c = self
+                    .nodes
+                    .get(child as usize)
+                    .ok_or_else(|| InvariantViolation::new("child index out of bounds"))?;
+                if !c.present() {
+                    return Err(InvariantViolation::new(format!(
+                        "node t{u} links to absent child t{child}"
+                    )));
+                }
+                if c.parent != u {
+                    return Err(InvariantViolation::new(format!(
+                        "child t{child} of t{u} has parent link t{}",
+                        c.parent
+                    )));
+                }
+                if c.prev_sib != prev {
+                    return Err(InvariantViolation::new(format!(
+                        "child t{child} of t{u} has wrong prev_sib"
+                    )));
+                }
+                if c.aclk > node_clk {
+                    return Err(InvariantViolation::new(format!(
+                        "child t{child} attached at {} but parent t{u} is only at {}",
+                        c.aclk, node_clk
+                    )));
+                }
+                if let Some(pa) = prev_aclk {
+                    if c.aclk > pa {
+                        return Err(InvariantViolation::new(format!(
+                            "children of t{u} not in descending attachment order \
+                             ({} after {})",
+                            c.aclk, pa
+                        )));
+                    }
+                }
+                prev_aclk = Some(c.aclk);
+                stack.push(child);
+                prev = child;
+                child = c.next_sib;
+            }
+        }
+        if reached != present_count {
+            return Err(InvariantViolation::new(format!(
+                "{present_count} nodes present but only {reached} reachable from root"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{LogicalClock, ThreadId};
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn empty_clock_is_valid() {
+        assert_eq!(TreeClock::new().check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn initialized_clock_is_valid() {
+        let mut tc = TreeClock::new();
+        tc.init_root(t(3));
+        tc.increment(2);
+        assert_eq!(tc.check_invariants(), Ok(()));
+    }
+
+    #[test]
+    fn from_structure_rejects_two_roots() {
+        let err = TreeClock::from_structure(&[(t(0), 1, None), (t(1), 1, None)]).unwrap_err();
+        assert!(err.to_string().contains("two roots"));
+    }
+
+    #[test]
+    fn from_structure_rejects_duplicate_threads() {
+        let err = TreeClock::from_structure(&[
+            (t(0), 3, None),
+            (t(1), 1, Some((t(0), 1))),
+            (t(1), 2, Some((t(0), 2))),
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("duplicate"));
+    }
+
+    #[test]
+    fn from_structure_rejects_aclk_beyond_parent_clock() {
+        let err =
+            TreeClock::from_structure(&[(t(0), 3, None), (t(1), 1, Some((t(0), 5)))]).unwrap_err();
+        assert!(err.to_string().contains("attached at 5"));
+    }
+
+    #[test]
+    fn from_structure_rejects_unordered_child_list() {
+        let err = TreeClock::from_structure(&[
+            (t(0), 9, None),
+            (t(1), 1, Some((t(0), 2))),
+            (t(2), 1, Some((t(0), 7))), // larger aclk listed after smaller
+        ])
+        .unwrap_err();
+        assert!(err.to_string().contains("descending"));
+    }
+
+    #[test]
+    fn from_structure_accepts_paper_figure_3_left() {
+        // Figure 3 (left): t4's clock after e7 in the trace of Figure 2a.
+        let tc = TreeClock::from_structure(&[
+            (t(4), 2, None),
+            (t(3), 2, Some((t(4), 2))),
+            (t(2), 2, Some((t(4), 1))),
+            (t(1), 1, Some((t(2), 1))),
+        ])
+        .unwrap();
+        assert_eq!(tc.get(t(4)), 2);
+        assert_eq!(tc.get(t(1)), 1);
+        assert_eq!(tc.children(t(4)), vec![t(3), t(2)]);
+        assert_eq!(tc.children(t(2)), vec![t(1)]);
+    }
+
+    #[test]
+    fn violation_formats_with_context() {
+        let v = InvariantViolation::new("boom");
+        assert_eq!(v.to_string(), "tree clock invariant violated: boom");
+    }
+}

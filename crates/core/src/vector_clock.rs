@@ -1,0 +1,375 @@
+//! The classic flat vector clock — the baseline the paper improves upon.
+//!
+//! A [`VectorClock`] stores one [`LocalTime`] per thread in a dense
+//! array. Every join and copy touches all `k` entries, so both
+//! operations cost Θ(k) regardless of how many entries actually change —
+//! precisely the inefficiency tree clocks eliminate.
+
+use std::fmt;
+
+use crate::clock::{CopyMode, LogicalClock, OpStats};
+use crate::{LocalTime, ThreadId, VectorTime};
+
+/// A flat vector clock: an integer array indexed by thread id.
+///
+/// This implementation matches the data structure of Section 2.2 of the
+/// paper. It is intentionally simple — a plain `Vec<LocalTime>` plus the
+/// identity of the owning thread (for [`increment`]) — because its role
+/// in this crate is to be the faithful baseline for every experiment.
+///
+/// The vector grows on demand when a new thread id is observed, which
+/// supports dynamic thread creation.
+///
+/// [`increment`]: LogicalClock::increment
+///
+/// # Example
+///
+/// ```rust
+/// use tc_core::{LogicalClock, ThreadId, VectorClock};
+///
+/// let mut release = VectorClock::new(); // a lock's clock starts empty
+/// let mut c = VectorClock::new();
+/// c.init_root(ThreadId::new(0));
+/// c.increment(1);
+/// release.monotone_copy(&c); // the release event publishes t0's time
+/// assert_eq!(release.get(ThreadId::new(0)), 1);
+/// ```
+#[derive(Clone, Default)]
+pub struct VectorClock {
+    times: Vec<LocalTime>,
+    root: Option<ThreadId>,
+}
+
+impl VectorClock {
+    /// Creates an empty vector clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    fn ensure_len(&mut self, len: usize) {
+        if self.times.len() < len {
+            self.times.resize(len, 0);
+        }
+    }
+
+    /// Direct read-only view of the underlying times array.
+    pub fn as_slice(&self) -> &[LocalTime] {
+        &self.times
+    }
+}
+
+impl LogicalClock for VectorClock {
+    const NAME: &'static str = "vector";
+
+    fn new() -> Self {
+        VectorClock::default()
+    }
+
+    fn with_threads(threads: usize) -> Self {
+        VectorClock {
+            times: vec![0; threads],
+            root: None,
+        }
+    }
+
+    fn init_root(&mut self, t: ThreadId) {
+        assert!(
+            self.is_empty(),
+            "VectorClock::init_root: clock already initialized"
+        );
+        self.ensure_len(t.index() + 1);
+        self.root = Some(t);
+    }
+
+    fn root_tid(&self) -> Option<ThreadId> {
+        self.root
+    }
+
+    #[inline]
+    fn get(&self, t: ThreadId) -> LocalTime {
+        self.times.get(t.index()).copied().unwrap_or(0)
+    }
+
+    fn increment(&mut self, amount: LocalTime) {
+        let root = self
+            .root
+            .expect("VectorClock::increment: clock has no root thread");
+        self.ensure_len(root.index() + 1);
+        self.times[root.index()] += amount;
+    }
+
+    /// Full pointwise comparison — Θ(k) for a vector clock.
+    fn leq(&self, other: &Self) -> bool {
+        self.times
+            .iter()
+            .enumerate()
+            .all(|(i, &mine)| mine <= other.times.get(i).copied().unwrap_or(0))
+    }
+
+    /// The fast join: a branchless pointwise-maximum loop the compiler
+    /// can vectorize — the strongest possible baseline for the paper's
+    /// comparison.
+    fn join(&mut self, other: &Self) {
+        if let (Some(r), true) = (self.root, !other.times.is_empty()) {
+            assert!(
+                other.get(r) <= self.get(r),
+                "VectorClock::join: other has progressed on self's root thread {r}"
+            );
+        }
+        self.ensure_len(other.times.len());
+        for (mine, &theirs) in self.times.iter_mut().zip(other.times.iter()) {
+            *mine = (*mine).max(theirs);
+        }
+    }
+
+    fn join_counted(&mut self, other: &Self) -> OpStats {
+        if let (Some(r), true) = (self.root, !other.times.is_empty()) {
+            assert!(
+                other.get(r) <= self.get(r),
+                "VectorClock::join: other has progressed on self's root thread {r}"
+            );
+        }
+        self.ensure_len(other.times.len());
+        let mut stats = OpStats::NOOP;
+        for (mine, &theirs) in self.times.iter_mut().zip(other.times.iter()) {
+            stats.examined += 1;
+            if theirs > *mine {
+                *mine = theirs;
+                stats.changed += 1;
+                stats.moved += 1;
+            }
+        }
+        stats
+    }
+
+    /// The fast copy: a flat replacement of all k entries (`memcpy`
+    /// speed) — a vector clock cannot exploit monotonicity.
+    fn monotone_copy(&mut self, other: &Self) {
+        if let Some(r) = self.root {
+            assert!(
+                self.get(r) <= other.get(r),
+                "VectorClock::monotone_copy: self ⋢ other on root thread {r}"
+            );
+        }
+        self.times.clear();
+        self.times.extend_from_slice(&other.times);
+        self.root = other.root;
+    }
+
+    fn monotone_copy_counted(&mut self, other: &Self) -> OpStats {
+        if let Some(r) = self.root {
+            assert!(
+                self.get(r) <= other.get(r),
+                "VectorClock::monotone_copy: self ⋢ other on root thread {r}"
+            );
+        }
+        let mut stats = OpStats::NOOP;
+        self.ensure_len(other.times.len());
+        for (i, mine) in self.times.iter_mut().enumerate() {
+            let theirs = other.times.get(i).copied().unwrap_or(0);
+            stats.examined += 1;
+            if *mine != theirs {
+                stats.changed += 1;
+                stats.moved += 1;
+            }
+            *mine = theirs;
+        }
+        self.root = other.root;
+        stats
+    }
+
+    fn copy_check_monotone(&mut self, other: &Self) -> CopyMode {
+        // Flat representation: the copy is the same Θ(k) operation
+        // either way.
+        self.times.clear();
+        self.times.extend_from_slice(&other.times);
+        self.root = other.root;
+        CopyMode::Deep
+    }
+
+    fn copy_check_monotone_counted(&mut self, other: &Self) -> (CopyMode, OpStats) {
+        let mut stats = OpStats::NOOP;
+        self.ensure_len(other.times.len());
+        for (i, mine) in self.times.iter_mut().enumerate() {
+            let theirs = other.times.get(i).copied().unwrap_or(0);
+            stats.examined += 1;
+            if *mine != theirs {
+                stats.changed += 1;
+                stats.moved += 1;
+            }
+            *mine = theirs;
+        }
+        self.root = other.root;
+        (CopyMode::Deep, stats)
+    }
+
+    fn vector_time(&self) -> VectorTime {
+        VectorTime::from(self.times.clone())
+    }
+
+    fn is_empty(&self) -> bool {
+        self.root.is_none() && self.times.iter().all(|&t| t == 0)
+    }
+
+    fn num_threads(&self) -> usize {
+        self.times.len()
+    }
+}
+
+impl PartialEq for VectorClock {
+    /// Two vector clocks are equal when they represent the same vector
+    /// time (trailing zeros are insignificant); the owner is ignored.
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.times.len().max(other.times.len());
+        (0..n).all(|i| {
+            self.times.get(i).copied().unwrap_or(0) == other.times.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for VectorClock {}
+
+impl fmt::Debug for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VectorClock(")?;
+        match self.root {
+            Some(r) => write!(f, "root={r}, ")?,
+            None => write!(f, "no-root, ")?,
+        }
+        write!(f, "{})", self.vector_time())
+    }
+}
+
+impl fmt::Display for VectorClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.vector_time())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rooted(t: u32, time: LocalTime) -> VectorClock {
+        let mut c = VectorClock::new();
+        c.init_root(ThreadId::new(t));
+        c.increment(time);
+        c
+    }
+
+    #[test]
+    fn new_clock_is_empty() {
+        let c = VectorClock::new();
+        assert!(c.is_empty());
+        assert_eq!(c.root_tid(), None);
+        assert_eq!(c.get(ThreadId::new(3)), 0);
+    }
+
+    #[test]
+    fn init_and_increment() {
+        let c = rooted(2, 5);
+        assert_eq!(c.root_tid(), Some(ThreadId::new(2)));
+        assert_eq!(c.get(ThreadId::new(2)), 5);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "already initialized")]
+    fn double_init_panics() {
+        let mut c = rooted(0, 1);
+        c.init_root(ThreadId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "no root thread")]
+    fn increment_without_root_panics() {
+        let mut c = VectorClock::new();
+        c.increment(1);
+    }
+
+    #[test]
+    fn join_takes_pointwise_max_and_reports_k_examined() {
+        let mut a = rooted(0, 3);
+        let b = rooted(1, 7);
+        let stats = a.join_counted(&b);
+        assert_eq!(a.get(ThreadId::new(0)), 3);
+        assert_eq!(a.get(ThreadId::new(1)), 7);
+        assert_eq!(stats.changed, 1);
+        assert_eq!(stats.examined, 2); // the whole (grown) vector
+    }
+
+    #[test]
+    fn join_with_empty_is_noop() {
+        let mut a = rooted(0, 3);
+        let before = a.vector_time();
+        a.join(&VectorClock::new());
+        assert_eq!(a.vector_time(), before);
+    }
+
+    #[test]
+    #[should_panic(expected = "progressed on self's root")]
+    fn join_rejects_foreign_progress_on_own_thread() {
+        // Make a source clock that knows a *later* time of t0 than t0's
+        // own clock does — impossible in a causal ordering.
+        let mut src = rooted(1, 1);
+        src.join(&rooted(0, 5));
+        let mut a = rooted(0, 1);
+        a.join(&src);
+    }
+
+    #[test]
+    fn monotone_copy_copies_everything() {
+        let mut lock = VectorClock::new();
+        let mut c = rooted(0, 2);
+        c.join(&rooted(1, 4));
+        let stats = lock.monotone_copy_counted(&c);
+        assert_eq!(lock.vector_time(), c.vector_time());
+        assert_eq!(stats.examined, 2);
+        assert_eq!(stats.changed, 2);
+    }
+
+    #[test]
+    fn copy_check_monotone_is_flat_copy() {
+        let mut lw = rooted(1, 9); // lw knows something c doesn't
+        let c = rooted(0, 2);
+        let mode = lw.copy_check_monotone(&c);
+        assert_eq!(mode, CopyMode::Deep);
+        // Entries may *decrease*: copy is assignment, not join.
+        assert_eq!(lw.get(ThreadId::new(1)), 0);
+        assert_eq!(lw.get(ThreadId::new(0)), 2);
+    }
+
+    #[test]
+    fn leq_is_full_pointwise_comparison() {
+        let a = rooted(0, 1);
+        let mut b = rooted(1, 1);
+        let c = a.clone();
+        b.join(&a);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(a.leq(&c));
+    }
+
+    #[test]
+    fn equality_ignores_trailing_zeros_and_owner() {
+        let a = rooted(0, 2);
+        let mut b = VectorClock::with_threads(8);
+        b.init_root(ThreadId::new(0));
+        b.increment(2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn vector_time_round_trip() {
+        let mut a = rooted(0, 2);
+        a.join(&rooted(3, 9));
+        assert_eq!(a.vector_time().as_slice(), &[2, 0, 0, 9]);
+    }
+
+    #[test]
+    fn with_threads_preallocates() {
+        let c = VectorClock::with_threads(16);
+        assert_eq!(c.num_threads(), 16);
+        assert!(c.is_empty());
+    }
+}

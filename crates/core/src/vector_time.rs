@@ -1,0 +1,322 @@
+//! The plain vector-timestamp value type.
+//!
+//! A [`VectorTime`] is the mathematical object both clock data structures
+//! represent: a mapping from threads to local times (absent threads map to
+//! 0). It supports the three operations from Section 2.2 of the paper —
+//! comparison (`⊑`, via [`PartialOrd`]), join (`⊔`) and increment — and is
+//! used throughout the workspace as the *semantic* value of a clock, for
+//! differential testing and for exported per-event timestamps.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::{LocalTime, ThreadId};
+
+/// A vector timestamp: a mapping `Thrds -> N`, with absent threads
+/// implicitly at time 0.
+///
+/// Two vector times that differ only in trailing zero entries are equal;
+/// all operations treat the vector as conceptually infinite with zeros
+/// beyond its length.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_core::{ThreadId, VectorTime};
+///
+/// let a = VectorTime::from(vec![1, 2, 0]);
+/// let b = VectorTime::from(vec![1, 3]);
+/// assert!(a <= b.joined(&a));
+/// assert_eq!(b.get(ThreadId::new(1)), 3);
+/// assert_eq!(b.get(ThreadId::new(17)), 0); // absent threads are 0
+/// ```
+#[derive(Clone, Default)]
+pub struct VectorTime {
+    times: Vec<LocalTime>,
+}
+
+impl VectorTime {
+    /// Creates the zero vector time (every thread at time 0).
+    #[inline]
+    pub fn new() -> Self {
+        VectorTime::default()
+    }
+
+    /// Creates a zero vector time with space reserved for `threads`
+    /// threads.
+    pub fn with_threads(threads: usize) -> Self {
+        VectorTime {
+            times: vec![0; threads],
+        }
+    }
+
+    /// Returns the local time recorded for thread `t` (0 if absent).
+    #[inline]
+    pub fn get(&self, t: ThreadId) -> LocalTime {
+        self.times.get(t.index()).copied().unwrap_or(0)
+    }
+
+    /// Sets the local time of thread `t`, growing the vector as needed.
+    pub fn set(&mut self, t: ThreadId, time: LocalTime) {
+        if t.index() >= self.times.len() {
+            self.times.resize(t.index() + 1, 0);
+        }
+        self.times[t.index()] = time;
+    }
+
+    /// Increments the entry of thread `t` by `amount` (the paper's
+    /// `V[t -> +i]`).
+    pub fn increment(&mut self, t: ThreadId, amount: LocalTime) {
+        let cur = self.get(t);
+        self.set(t, cur + amount);
+    }
+
+    /// Pointwise-maximum join, in place: `self <- self ⊔ other`.
+    ///
+    /// Returns the number of entries whose value changed, which is
+    /// exactly this operation's contribution to the paper's `VTWork`
+    /// metric.
+    pub fn join(&mut self, other: &VectorTime) -> usize {
+        if other.times.len() > self.times.len() {
+            self.times.resize(other.times.len(), 0);
+        }
+        let mut changed = 0;
+        for (mine, theirs) in self.times.iter_mut().zip(other.times.iter()) {
+            if *theirs > *mine {
+                *mine = *theirs;
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Returns the pointwise-maximum join `self ⊔ other` as a new value.
+    pub fn joined(&self, other: &VectorTime) -> VectorTime {
+        let mut out = self.clone();
+        out.join(other);
+        out
+    }
+
+    /// Pointwise comparison `self ⊑ other`.
+    pub fn leq(&self, other: &VectorTime) -> bool {
+        self.times
+            .iter()
+            .enumerate()
+            .all(|(i, &mine)| mine <= other.times.get(i).copied().unwrap_or(0))
+    }
+
+    /// Returns `true` if neither `self ⊑ other` nor `other ⊑ self` — the
+    /// timestamps are *concurrent* (the paper's `e1 ∥ e2`).
+    pub fn concurrent_with(&self, other: &VectorTime) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+
+    /// Number of entries physically stored (threads with index beyond
+    /// this are implicitly at time 0).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` if every entry is zero.
+    pub fn is_empty(&self) -> bool {
+        self.times.iter().all(|&t| t == 0)
+    }
+
+    /// Iterates over `(thread, time)` pairs with non-zero time.
+    pub fn iter(&self) -> impl Iterator<Item = (ThreadId, LocalTime)> + '_ {
+        self.times
+            .iter()
+            .enumerate()
+            .filter(|(_, &t)| t > 0)
+            .map(|(i, &t)| (ThreadId::new(i as u32), t))
+    }
+
+    /// Consumes the vector time and returns the underlying dense vector.
+    pub fn into_inner(self) -> Vec<LocalTime> {
+        self.times
+    }
+
+    /// A view of the underlying dense vector.
+    pub fn as_slice(&self) -> &[LocalTime] {
+        &self.times
+    }
+}
+
+impl From<Vec<LocalTime>> for VectorTime {
+    fn from(times: Vec<LocalTime>) -> Self {
+        VectorTime { times }
+    }
+}
+
+impl FromIterator<(ThreadId, LocalTime)> for VectorTime {
+    fn from_iter<I: IntoIterator<Item = (ThreadId, LocalTime)>>(iter: I) -> Self {
+        let mut vt = VectorTime::new();
+        for (t, time) in iter {
+            vt.set(t, time);
+        }
+        vt
+    }
+}
+
+impl Extend<(ThreadId, LocalTime)> for VectorTime {
+    fn extend<I: IntoIterator<Item = (ThreadId, LocalTime)>>(&mut self, iter: I) {
+        for (t, time) in iter {
+            self.set(t, time);
+        }
+    }
+}
+
+impl PartialEq for VectorTime {
+    fn eq(&self, other: &Self) -> bool {
+        let n = self.times.len().max(other.times.len());
+        (0..n).all(|i| {
+            self.times.get(i).copied().unwrap_or(0) == other.times.get(i).copied().unwrap_or(0)
+        })
+    }
+}
+
+impl Eq for VectorTime {}
+
+/// Vector times are *partially* ordered pointwise: `partial_cmp` returns
+/// `None` exactly when the two timestamps are concurrent.
+impl PartialOrd for VectorTime {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        match (self.leq(other), other.leq(self)) {
+            (true, true) => Some(Ordering::Equal),
+            (true, false) => Some(Ordering::Less),
+            (false, true) => Some(Ordering::Greater),
+            (false, false) => None,
+        }
+    }
+}
+
+impl VectorTime {
+    /// Shared rendering for `Debug`/`Display`: `[3, 0, 7]`.
+    fn fmt_dense(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, t) in self.times.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Debug for VectorTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_dense(f)
+    }
+}
+
+impl fmt::Display for VectorTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_dense(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vt(v: &[LocalTime]) -> VectorTime {
+        VectorTime::from(v.to_vec())
+    }
+
+    #[test]
+    fn absent_entries_are_zero() {
+        let a = vt(&[1, 2]);
+        assert_eq!(a.get(ThreadId::new(0)), 1);
+        assert_eq!(a.get(ThreadId::new(5)), 0);
+    }
+
+    #[test]
+    fn trailing_zeros_do_not_affect_equality() {
+        assert_eq!(vt(&[1, 2]), vt(&[1, 2, 0, 0]));
+        assert_ne!(vt(&[1, 2]), vt(&[1, 2, 1]));
+    }
+
+    #[test]
+    fn join_is_pointwise_max_and_counts_changes() {
+        let mut a = vt(&[27, 5, 9, 45, 17, 26]);
+        let b = vt(&[11, 6, 5, 32, 14, 20]);
+        // The join from Figure 1 of the paper: only the t2 entry changes
+        // (the own-entry bump 27 -> 28 is a separate increment).
+        let changed = a.join(&b);
+        assert_eq!(changed, 1);
+        assert_eq!(a, vt(&[27, 6, 9, 45, 17, 26]));
+    }
+
+    #[test]
+    fn join_grows_the_shorter_vector() {
+        let mut a = vt(&[1]);
+        let changed = a.join(&vt(&[0, 0, 4]));
+        assert_eq!(changed, 1);
+        assert_eq!(a, vt(&[1, 0, 4]));
+    }
+
+    #[test]
+    fn joined_leaves_operands_untouched() {
+        let a = vt(&[1, 2]);
+        let b = vt(&[2, 1]);
+        assert_eq!(a.joined(&b), vt(&[2, 2]));
+        assert_eq!(a, vt(&[1, 2]));
+    }
+
+    #[test]
+    fn partial_order_detects_concurrency() {
+        let a = vt(&[1, 2]);
+        let b = vt(&[2, 1]);
+        assert!(a.concurrent_with(&b));
+        assert_eq!(a.partial_cmp(&b), None);
+        assert!(vt(&[1, 1]) < vt(&[1, 2]));
+        assert!(vt(&[1, 2]) >= vt(&[1, 2, 0]));
+    }
+
+    #[test]
+    fn leq_handles_length_mismatch_both_ways() {
+        assert!(vt(&[1, 0, 0]).leq(&vt(&[1])));
+        assert!(vt(&[1]).leq(&vt(&[1, 0, 0])));
+        assert!(!vt(&[1, 0, 1]).leq(&vt(&[1])));
+    }
+
+    #[test]
+    fn increment_bumps_single_entry() {
+        let mut a = vt(&[1, 2]);
+        a.increment(ThreadId::new(1), 3);
+        a.increment(ThreadId::new(4), 1);
+        assert_eq!(a, vt(&[1, 5, 0, 0, 1]));
+    }
+
+    #[test]
+    fn iter_skips_zero_entries() {
+        let a = vt(&[3, 0, 7]);
+        let pairs: Vec<_> = a.iter().collect();
+        assert_eq!(
+            pairs,
+            vec![(ThreadId::new(0), 3), (ThreadId::new(2), 7)]
+        );
+    }
+
+    #[test]
+    fn from_iterator_collects_sparse_pairs() {
+        let a: VectorTime = vec![(ThreadId::new(2), 5), (ThreadId::new(0), 1)]
+            .into_iter()
+            .collect();
+        assert_eq!(a, vt(&[1, 0, 5]));
+    }
+
+    #[test]
+    fn display_renders_dense_form() {
+        assert_eq!(vt(&[1, 0, 2]).to_string(), "[1, 0, 2]");
+    }
+
+    #[test]
+    fn is_empty_ignores_explicit_zeros() {
+        assert!(vt(&[]).is_empty());
+        assert!(vt(&[0, 0]).is_empty());
+        assert!(!vt(&[0, 1]).is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! An explicit event graph with precomputed reachability — the "naïve
+//! approach" of Section 2.2 of the paper, used here as a test oracle for
+//! the streaming engines.
+//!
+//! Edges always point forward in trace order, so the event indices are a
+//! topological order and reachability is a single backward sweep over
+//! bitset rows. Memory is Θ(n²/64); intended for traces up to a few
+//! thousand events.
+
+use tc_core::VectorTime;
+use tc_trace::Trace;
+
+/// A DAG over the events `0..n` of a trace, with edges from earlier to
+/// later events.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_orders::EventDag;
+///
+/// let mut dag = EventDag::new(3);
+/// dag.add_edge(0, 1);
+/// dag.add_edge(1, 2);
+/// let reach = dag.reachability();
+/// assert!(reach.ordered(0, 2)); // transitive
+/// assert!(!reach.ordered(2, 0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct EventDag {
+    n: usize,
+    succs: Vec<Vec<u32>>,
+}
+
+impl EventDag {
+    /// Creates a DAG over `n` events with no edges.
+    pub fn new(n: usize) -> Self {
+        EventDag {
+            n,
+            succs: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of events (nodes).
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Returns `true` if the DAG has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Adds the ordering edge `from -> to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < to < n` (edges must follow trace order).
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        assert!(
+            from < to && to < self.n,
+            "edge {from} -> {to} violates trace order (n = {})",
+            self.n
+        );
+        self.succs[from].push(to as u32);
+    }
+
+    /// Precomputes all-pairs reachability.
+    pub fn reachability(&self) -> Reachability {
+        let words = self.n.div_ceil(64);
+        let mut rows = vec![0u64; self.n * words];
+        for i in (0..self.n).rev() {
+            for &s in &self.succs[i] {
+                let s = s as usize;
+                // Merge row s into row i; s > i, so split cleanly.
+                let (head, tail) = rows.split_at_mut(s * words);
+                let row_i = &mut head[i * words..i * words + words];
+                let row_s = &tail[..words];
+                for (a, b) in row_i.iter_mut().zip(row_s) {
+                    *a |= *b;
+                }
+                rows[i * words + s / 64] |= 1u64 << (s % 64);
+            }
+        }
+        Reachability {
+            n: self.n,
+            words,
+            rows,
+        }
+    }
+}
+
+/// Precomputed reachability over an [`EventDag`].
+#[derive(Clone, Debug)]
+pub struct Reachability {
+    n: usize,
+    words: usize,
+    rows: Vec<u64>,
+}
+
+impl Reachability {
+    /// Returns `true` iff event `from` is ordered at-or-before event
+    /// `to` (reflexive: `ordered(i, i)` holds).
+    pub fn ordered(&self, from: usize, to: usize) -> bool {
+        assert!(from < self.n && to < self.n, "event index out of range");
+        from == to || (self.rows[from * self.words + to / 64] >> (to % 64)) & 1 == 1
+    }
+
+    /// Returns `true` iff the two events are incomparable (the paper's
+    /// `e1 ∥ e2`).
+    pub fn concurrent(&self, a: usize, b: usize) -> bool {
+        !self.ordered(a, b) && !self.ordered(b, a)
+    }
+
+    /// Computes the timestamp of every event from reachability alone:
+    /// `C_e(u) = max { lTime(f) | f ≤ e, tid(f) = u }` — the definition
+    /// the engines' clocks must match (Lemma 4).
+    pub fn timestamps(&self, trace: &Trace) -> Vec<VectorTime> {
+        let ltimes = trace.local_times();
+        let mut out = Vec::with_capacity(self.n);
+        for j in 0..self.n {
+            let mut vt = VectorTime::with_threads(trace.thread_count());
+            for i in 0..=j {
+                if self.ordered(i, j) {
+                    let t = trace[i].tid;
+                    if ltimes[i] > vt.get(t) {
+                        vt.set(t, ltimes[i]);
+                    }
+                }
+            }
+            out.push(vt);
+        }
+        out
+    }
+
+    /// Enumerates all unordered conflicting pairs `(i, j)` with `i < j`
+    /// — the races / concurrency queries of the paper's analysis phase.
+    pub fn concurrent_conflicting_pairs(&self, trace: &Trace) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for j in 0..self.n {
+            for i in 0..j {
+                if trace[i].conflicts_with(&trace[j]) && self.concurrent(i, j) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_trace::TraceBuilder;
+
+    #[test]
+    fn reachability_is_reflexive_and_transitive() {
+        let mut dag = EventDag::new(4);
+        dag.add_edge(0, 1);
+        dag.add_edge(1, 3);
+        let r = dag.reachability();
+        assert!(r.ordered(0, 0));
+        assert!(r.ordered(0, 3));
+        assert!(!r.ordered(0, 2));
+        assert!(r.concurrent(2, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "violates trace order")]
+    fn backward_edges_are_rejected() {
+        let mut dag = EventDag::new(2);
+        dag.add_edge(1, 0);
+    }
+
+    #[test]
+    fn wide_graphs_cross_word_boundaries() {
+        // 130 nodes forces multi-word bitset rows.
+        let n = 130;
+        let mut dag = EventDag::new(n);
+        for i in 0..n - 1 {
+            dag.add_edge(i, i + 1);
+        }
+        let r = dag.reachability();
+        assert!(r.ordered(0, n - 1));
+        assert!(r.ordered(63, 64));
+        assert!(r.ordered(0, 127));
+        assert!(!r.ordered(n - 1, 0));
+    }
+
+    #[test]
+    fn timestamps_match_definition_on_a_chain() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").write(1, "x").write(0, "x");
+        let trace = b.finish();
+        let mut dag = EventDag::new(3);
+        dag.add_edge(0, 2); // pretend only e0 -> e2 is ordered (plus TO)
+        let r = dag.reachability();
+        let ts = r.timestamps(&trace);
+        assert_eq!(ts[0], VectorTime::from(vec![1]));
+        assert_eq!(ts[1], VectorTime::from(vec![0, 1]));
+        assert_eq!(ts[2], VectorTime::from(vec![2]));
+    }
+
+    #[test]
+    fn concurrent_conflicting_pairs_are_enumerated() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").write(1, "x").read(0, "x");
+        let trace = b.finish();
+        let dag = EventDag::new(3); // no ordering at all
+        let r = dag.reachability();
+        let pairs = r.concurrent_conflicting_pairs(&trace);
+        // (0,1) w-w race, (1,2) w-r race; (0,2) same thread.
+        assert_eq!(pairs, vec![(0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_dag_is_fine() {
+        let dag = EventDag::new(0);
+        assert!(dag.is_empty());
+        let _ = dag.reachability();
+    }
+}

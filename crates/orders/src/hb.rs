@@ -1,0 +1,211 @@
+//! The happens-before (HB) engine: Algorithm 1 of the paper (and
+//! Algorithm 3 when instantiated with tree clocks).
+//!
+//! HB is the smallest partial order containing the thread order and, for
+//! every lock, the order from each release to every later acquire. The
+//! engine maintains one clock per thread and per lock; acquires join,
+//! releases monotone-copy. Read/write events only advance the local
+//! clock.
+
+use tc_core::{LogicalClock, ThreadId, VectorTime};
+use tc_trace::{Event, Trace};
+
+use crate::metrics::RunMetrics;
+use crate::sync_core::SyncCore;
+
+/// A streaming HB timestamping engine.
+///
+/// Process events with [`process`](Self::process); after an event, the
+/// clock of its thread holds the event's HB timestamp (Lemma 4 of the
+/// paper).
+///
+/// # Example
+///
+/// ```rust
+/// use tc_core::{LogicalClock, ThreadId, TreeClock};
+/// use tc_orders::HbEngine;
+/// use tc_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// b.acquire(0, "m").release(0, "m").acquire(1, "m");
+/// let trace = b.finish();
+///
+/// let mut hb = HbEngine::<TreeClock>::new(&trace);
+/// for e in &trace {
+///     hb.process(e);
+/// }
+/// // t1's acquire is ordered after t0's release:
+/// assert_eq!(hb.clock_of(ThreadId::new(1)).unwrap().get(ThreadId::new(0)), 2);
+/// ```
+pub struct HbEngine<C> {
+    core: SyncCore<C>,
+}
+
+impl<C: LogicalClock> HbEngine<C> {
+    /// Creates an engine sized for `trace`.
+    pub fn new(trace: &Trace) -> Self {
+        HbEngine {
+            core: SyncCore::for_trace(trace),
+        }
+    }
+
+    /// Creates an engine with explicit thread/lock capacity hints (the
+    /// stores grow on demand if exceeded).
+    pub fn with_counts(threads: usize, locks: usize) -> Self {
+        HbEngine {
+            core: SyncCore::new(threads, locks),
+        }
+    }
+
+    /// Processes one event (events must be fed in trace order).
+    pub fn process(&mut self, e: &Event) {
+        self.core.begin_event(e.tid);
+        self.core.process_sync::<false>(e);
+    }
+
+    /// Like [`process`](Self::process), with exact per-entry work
+    /// accounting in [`metrics`](Self::metrics) (slower; use for the
+    /// `VTWork`/`TCWork`/`VCWork` measurements, not for timing).
+    pub fn process_counted(&mut self, e: &Event) {
+        self.core.begin_event(e.tid);
+        self.core.process_sync::<true>(e);
+    }
+
+    /// The current clock of thread `t`, if `t` has appeared.
+    pub fn clock_of(&self, t: ThreadId) -> Option<&C> {
+        self.core.clock(t)
+    }
+
+    /// The current vector timestamp of thread `t`.
+    pub fn timestamp_of(&self, t: ThreadId) -> VectorTime {
+        self.core.timestamp(t)
+    }
+
+    /// The work metrics accumulated so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.core.metrics
+    }
+
+    /// Runs the whole trace (fast path) and returns the metrics; only
+    /// the operation counts are populated.
+    pub fn run(trace: &Trace) -> RunMetrics {
+        let mut engine = HbEngine::<C>::new(trace);
+        for e in trace {
+            engine.process(e);
+        }
+        engine.core.metrics
+    }
+
+    /// Runs the whole trace with exact work accounting.
+    pub fn run_counted(trace: &Trace) -> RunMetrics {
+        let mut engine = HbEngine::<C>::new(trace);
+        for e in trace {
+            engine.process_counted(e);
+        }
+        engine.core.metrics
+    }
+
+    /// Runs the whole trace collecting each event's HB timestamp
+    /// (O(n·k) memory — intended for tests and small traces).
+    pub fn collect_timestamps(trace: &Trace) -> Vec<VectorTime> {
+        let mut engine = HbEngine::<C>::new(trace);
+        let mut out = Vec::with_capacity(trace.len());
+        for e in trace {
+            engine.process(e);
+            out.push(engine.timestamp_of(e.tid));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::{TreeClock, VectorClock, VectorTime};
+    use tc_trace::TraceBuilder;
+
+    fn vt(v: &[u32]) -> VectorTime {
+        VectorTime::from(v.to_vec())
+    }
+
+    /// The paper's Figure 1 numbers, scaled down: a join at an acquire
+    /// updates exactly the entries the releaser knew better.
+    #[test]
+    fn acquire_joins_release_clock() {
+        let mut b = TraceBuilder::new();
+        b.acquire(1, "m"); // t1: [0,1]
+        b.release(1, "m"); // t1: [0,2], lock = [0,2]
+        b.acquire(0, "m"); // t0: [1,2]
+        let trace = b.finish();
+        let ts = HbEngine::<TreeClock>::collect_timestamps(&trace);
+        assert_eq!(ts, vec![vt(&[0, 1]), vt(&[0, 2]), vt(&[1, 2])]);
+    }
+
+    #[test]
+    fn reads_and_writes_only_advance_local_time() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").read(1, "x").write(1, "x");
+        let trace = b.finish();
+        let ts = HbEngine::<VectorClock>::collect_timestamps(&trace);
+        // No synchronization: each thread only knows itself.
+        assert_eq!(ts, vec![vt(&[1]), vt(&[0, 1]), vt(&[0, 2])]);
+    }
+
+    #[test]
+    fn two_critical_sections_order_transitively() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").release(0, "m"); // t0: 1,2
+        b.acquire(1, "m").release(1, "m"); // t1 learns t0@2
+        b.acquire(2, "n"); // unrelated lock: t2 learns nothing
+        let trace = b.finish();
+        let ts = HbEngine::<TreeClock>::collect_timestamps(&trace);
+        assert_eq!(ts[3], vt(&[2, 2]));
+        assert_eq!(ts[4], vt(&[0, 0, 1]));
+    }
+
+    #[test]
+    fn tree_and_vector_agree_on_fork_join_traces() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1).fork(0, 2);
+        b.acquire(1, "m").release(1, "m");
+        b.acquire(2, "m").release(2, "m");
+        b.join(0, 1).join(0, 2);
+        b.acquire(0, "m");
+        let trace = b.finish();
+        assert_eq!(
+            HbEngine::<TreeClock>::collect_timestamps(&trace),
+            HbEngine::<VectorClock>::collect_timestamps(&trace)
+        );
+    }
+
+    #[test]
+    fn metrics_count_joins_and_copies() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").release(0, "m").acquire(1, "m").release(1, "m");
+        let m = HbEngine::<TreeClock>::run_counted(&b.finish());
+        assert_eq!(m.events, 4);
+        assert_eq!(m.joins, 2);
+        assert_eq!(m.copies, 2);
+        // VTWork: 4 increments + 1 (t0's release publishes its time)
+        // + 1 (t1's acquire learns t0@2) + 1 (t1's release updates the
+        // lock's t1 entry).
+        assert_eq!(m.vt_work(), 7);
+    }
+
+    #[test]
+    fn vt_work_is_representation_independent() {
+        let mut b = TraceBuilder::new();
+        for round in 0..4u32 {
+            for t in 0..6u32 {
+                b.acquire_id(t, (t + round) % 3);
+                b.release_id(t, (t + round) % 3);
+            }
+        }
+        let trace = b.finish();
+        let m_tc = HbEngine::<TreeClock>::run_counted(&trace);
+        let m_vc = HbEngine::<VectorClock>::run_counted(&trace);
+        assert_eq!(m_tc.vt_work(), m_vc.vt_work());
+        // And the tree does no more touching than the vector.
+        assert!(m_tc.ds_work() <= m_vc.ds_work());
+    }
+}

@@ -1,0 +1,333 @@
+//! The Mazurkiewicz (MAZ) partial-order engine: Algorithm 5 of the
+//! paper.
+//!
+//! MAZ extends HB with an order between every pair of conflicting
+//! events, in trace order — the canonical algebraic representation of a
+//! concurrent execution (Shasha–Snir traces). Besides the last-write
+//! clock `LW_x`, the engine keeps a clock `R_{t,x}` for the last read of
+//! `x` by each thread `t`, and the set `LRDs_x` of threads that read `x`
+//! since the last write. A write joins the last write and all reads in
+//! `LRDs_x`; later writes inherit those orderings transitively via the
+//! write-to-write edge, which keeps the total time O(n·k).
+
+use tc_core::{LogicalClock, OpStats, ThreadId, VectorTime};
+use tc_trace::{Event, Op, Trace, VarId};
+
+use crate::metrics::RunMetrics;
+use crate::sync_core::SyncCore;
+
+/// Per-variable access state: the last-write clock, the per-thread
+/// last-read clocks, and the readers since the last write.
+struct VarState<C> {
+    last_write: C,
+    /// `R_{t,x}` clocks, keyed linearly by thread id (sparse, append
+    /// ordered by first read).
+    reads: Vec<(ThreadId, C)>,
+    /// Threads with a read since the last write (`LRDs_x`).
+    lrds: Vec<ThreadId>,
+}
+
+impl<C: LogicalClock> VarState<C> {
+    fn new() -> Self {
+        VarState {
+            // Clocks size themselves on first use.
+            last_write: C::new(),
+            reads: Vec::new(),
+            lrds: Vec::new(),
+        }
+    }
+}
+
+/// A streaming MAZ timestamping engine.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_core::{LogicalClock, ThreadId, TreeClock};
+/// use tc_orders::MazEngine;
+/// use tc_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// b.read(0, "x");
+/// b.write(1, "x"); // conflicting: MAZ orders the read before the write
+/// let trace = b.finish();
+///
+/// let mut maz = MazEngine::<TreeClock>::new(&trace);
+/// for e in &trace {
+///     maz.process(e);
+/// }
+/// assert_eq!(maz.clock_of(ThreadId::new(1)).unwrap().get(ThreadId::new(0)), 1);
+/// ```
+pub struct MazEngine<C> {
+    core: SyncCore<C>,
+    vars: Vec<VarState<C>>,
+}
+
+impl<C: LogicalClock> MazEngine<C> {
+    /// Creates an engine sized for `trace`.
+    pub fn new(trace: &Trace) -> Self {
+        MazEngine {
+            core: SyncCore::for_trace(trace),
+            vars: (0..trace.var_count()).map(|_| VarState::new()).collect(),
+        }
+    }
+
+    fn ensure_var(&mut self, x: VarId) {
+        if x.index() >= self.vars.len() {
+            self.vars.resize_with(x.index() + 1, VarState::new);
+        }
+    }
+
+    /// Processes one event (events must be fed in trace order).
+    pub fn process(&mut self, e: &Event) {
+        self.process_impl::<false>(e);
+    }
+
+    /// Like [`process`](Self::process), with exact per-entry work
+    /// accounting in [`metrics`](Self::metrics).
+    pub fn process_counted(&mut self, e: &Event) {
+        self.process_impl::<true>(e);
+    }
+
+    fn process_impl<const COUNT: bool>(&mut self, e: &Event) {
+        self.core.begin_event(e.tid);
+        if self.core.process_sync::<COUNT>(e) {
+            return;
+        }
+        match e.op {
+            Op::Read(x) => {
+                self.ensure_var(x);
+                let var = &mut self.vars[x.index()];
+                let clock = self.core.clock_mut(e.tid);
+                let s = if COUNT {
+                    clock.join_counted(&var.last_write)
+                } else {
+                    clock.join(&var.last_write);
+                    OpStats::NOOP
+                };
+                self.core.metrics.record_join(s);
+                // R_{t,x} <- C_t (monotone: R was copied from C_t before).
+                let entry = match var.reads.iter_mut().find(|(t, _)| *t == e.tid) {
+                    Some((_, r)) => r,
+                    None => {
+                        var.reads.push((e.tid, C::new()));
+                        &mut var.reads.last_mut().expect("just pushed").1
+                    }
+                };
+                let clock = self.core.clock(e.tid).expect("thread clock rooted");
+                let s = if COUNT {
+                    entry.monotone_copy_counted(clock)
+                } else {
+                    entry.monotone_copy(clock);
+                    OpStats::NOOP
+                };
+                self.core.metrics.record_copy(s);
+                if !var.lrds.contains(&e.tid) {
+                    var.lrds.push(e.tid);
+                }
+            }
+            Op::Write(x) => {
+                self.ensure_var(x);
+                let var = &mut self.vars[x.index()];
+                let clock = self.core.clock_mut(e.tid);
+                let s = if COUNT {
+                    clock.join_counted(&var.last_write)
+                } else {
+                    clock.join(&var.last_write);
+                    OpStats::NOOP
+                };
+                self.core.metrics.record_join(s);
+                // Order all reads since the last write before this write.
+                for t in var.lrds.drain(..) {
+                    if t == e.tid {
+                        continue; // own reads are thread-ordered already
+                    }
+                    let read_clock = var
+                        .reads
+                        .iter()
+                        .find(|(rt, _)| *rt == t)
+                        .map(|(_, r)| r)
+                        .expect("every thread in LRDs has a read clock");
+                    let clock = self.core.clock_mut(e.tid);
+                    let s = if COUNT {
+                        clock.join_counted(read_clock)
+                    } else {
+                        clock.join(read_clock);
+                        OpStats::NOOP
+                    };
+                    self.core.metrics.record_join(s);
+                }
+                let clock = self.core.clock(e.tid).expect("thread clock rooted");
+                let s = if COUNT {
+                    var.last_write.monotone_copy_counted(clock)
+                } else {
+                    var.last_write.monotone_copy(clock);
+                    OpStats::NOOP
+                };
+                self.core.metrics.record_copy(s);
+            }
+            _ => unreachable!("process_sync handled synchronization events"),
+        }
+    }
+
+    /// The current clock of thread `t`, if `t` has appeared.
+    pub fn clock_of(&self, t: ThreadId) -> Option<&C> {
+        self.core.clock(t)
+    }
+
+    /// The current vector timestamp of thread `t`.
+    pub fn timestamp_of(&self, t: ThreadId) -> VectorTime {
+        self.core.timestamp(t)
+    }
+
+    /// The work metrics accumulated so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.core.metrics
+    }
+
+    /// Runs the whole trace (fast path) and returns the metrics; only
+    /// the operation counts are populated.
+    pub fn run(trace: &Trace) -> RunMetrics {
+        let mut engine = MazEngine::<C>::new(trace);
+        for e in trace {
+            engine.process(e);
+        }
+        engine.core.metrics
+    }
+
+    /// Runs the whole trace with exact work accounting.
+    pub fn run_counted(trace: &Trace) -> RunMetrics {
+        let mut engine = MazEngine::<C>::new(trace);
+        for e in trace {
+            engine.process_counted(e);
+        }
+        engine.core.metrics
+    }
+
+    /// Runs the whole trace collecting each event's MAZ timestamp.
+    pub fn collect_timestamps(trace: &Trace) -> Vec<VectorTime> {
+        let mut engine = MazEngine::<C>::new(trace);
+        let mut out = Vec::with_capacity(trace.len());
+        for e in trace {
+            engine.process(e);
+            out.push(engine.timestamp_of(e.tid));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::{TreeClock, VectorClock};
+    use tc_trace::TraceBuilder;
+
+    fn vt(v: &[u32]) -> VectorTime {
+        VectorTime::from(v.to_vec())
+    }
+
+    #[test]
+    fn conflicting_accesses_are_ordered_by_trace_order() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x"); // e0
+        b.read(1, "x"); // e1: after e0 (w-r)
+        b.write(2, "x"); // e2: after e0 (w-w) and e1 (r-w)
+        let trace = b.finish();
+        let ts = MazEngine::<TreeClock>::collect_timestamps(&trace);
+        assert_eq!(ts[1], vt(&[1, 1]));
+        assert_eq!(ts[2], vt(&[1, 1, 1]));
+    }
+
+    #[test]
+    fn unrelated_variables_stay_concurrent() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").write(1, "y");
+        let trace = b.finish();
+        let ts = MazEngine::<TreeClock>::collect_timestamps(&trace);
+        assert_eq!(ts[1], vt(&[0, 1]));
+    }
+
+    #[test]
+    fn two_reads_stay_concurrent() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").read(1, "x").read(2, "x");
+        let trace = b.finish();
+        let ts = MazEngine::<TreeClock>::collect_timestamps(&trace);
+        // Both reads see the write but not each other.
+        assert_eq!(ts[1], vt(&[1, 1]));
+        assert_eq!(ts[2], vt(&[1, 0, 1]));
+    }
+
+    #[test]
+    fn read_to_write_ordering_goes_through_lrds() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x"); // e0
+        b.read(1, "x"); // e1
+        b.read(2, "x"); // e2
+        b.write(3, "x"); // e3: ordered after e0, e1 and e2
+        b.write(4, "x"); // e4: after e3 (and transitively everything)
+        let trace = b.finish();
+        let ts = MazEngine::<TreeClock>::collect_timestamps(&trace);
+        assert_eq!(ts[3], vt(&[1, 1, 1, 1]));
+        assert_eq!(ts[4], vt(&[1, 1, 1, 1, 1]));
+    }
+
+    #[test]
+    fn lrds_is_cleared_by_writes() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x");
+        b.read(1, "x");
+        b.write(2, "x"); // clears LRDs
+        b.write(3, "x"); // must not re-join t1's read clock
+        let trace = b.finish();
+        let mut engine = MazEngine::<TreeClock>::new(&trace);
+        for e in &trace {
+            engine.process(e);
+        }
+        // Join count: e0 joins (empty) LW; e1 joins LW; e2 joins LW +
+        // R_{t1}; e3 joins LW only (LRDs was cleared by e2).
+        assert_eq!(engine.metrics().joins, 1 + 1 + 2 + 1);
+        // Still transitively ordered after the read, through e2.
+        assert_eq!(
+            engine.timestamp_of(ThreadId::new(3)),
+            vt(&[1, 1, 1, 1])
+        );
+    }
+
+    #[test]
+    fn maz_contains_shb() {
+        use crate::shb::ShbEngine;
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").write(0, "x").release(0, "m");
+        b.read(1, "x").write(1, "x");
+        b.acquire(2, "m").read(2, "x").release(2, "m");
+        let trace = b.finish();
+        let shb = ShbEngine::<TreeClock>::collect_timestamps(&trace);
+        let maz = MazEngine::<TreeClock>::collect_timestamps(&trace);
+        for (s, m) in shb.iter().zip(maz.iter()) {
+            assert!(s.leq(m), "MAZ timestamp must dominate SHB timestamp");
+        }
+    }
+
+    #[test]
+    fn tree_and_vector_agree_on_maz() {
+        let mut b = TraceBuilder::new();
+        for i in 0..30u32 {
+            let t = i % 5;
+            match i % 4 {
+                0 => b.write_id(t, i % 2),
+                1 => b.read_id((t + 1) % 5, i % 2),
+                2 => b.read_id((t + 2) % 5, i % 2),
+                _ => {
+                    b.acquire_id(t, 0);
+                    b.release_id(t, 0)
+                }
+            };
+        }
+        let trace = b.finish();
+        assert_eq!(
+            MazEngine::<TreeClock>::collect_timestamps(&trace),
+            MazEngine::<VectorClock>::collect_timestamps(&trace)
+        );
+    }
+}

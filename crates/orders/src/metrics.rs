@@ -1,0 +1,177 @@
+//! Per-run work accounting: the `VTWork`/`TCWork`/`VCWork` metrics of
+//! Section 4 and Figures 8 and 9 of the paper.
+
+use std::fmt;
+use std::ops::AddAssign;
+
+use tc_core::OpStats;
+
+/// Work counters accumulated over one engine run.
+///
+/// Terminology (Section 4 of the paper):
+///
+/// - **`vt_work`** — the number of vector-time entry *changes*, summed
+///   over all events. This is independent of the data structure used and
+///   lower-bounds the time any implementation must spend (it is the
+///   `VTWork(σ)` of Theorem 1). Computed as `op_changed + increments`.
+/// - **`ds_work`** — entries *touched* by the concrete data structure:
+///   `op_examined + increments`. For a [`VectorClock`] run this is the
+///   paper's `VCWork` (every join/copy touches all k entries); for a
+///   [`TreeClock`] run it is `TCWork` (only the light-gray nodes of
+///   Figures 4/5 are touched). Theorem 1 shows `TCWork ≤ 3·VTWork`.
+///
+/// [`VectorClock`]: tc_core::VectorClock
+/// [`TreeClock`]: tc_core::TreeClock
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Number of events processed.
+    pub events: u64,
+    /// Number of local-clock increments (= events).
+    pub increments: u64,
+    /// Number of join operations performed.
+    pub joins: u64,
+    /// Number of copy operations performed (monotone or deep).
+    pub copies: u64,
+    /// Number of `CopyCheckMonotone` calls that fell back to a deep
+    /// copy. Meaningful for tree clocks (Section 5.1 links each fallback
+    /// to a write-read race); flat representations always report deep.
+    pub deep_copies: u64,
+    /// Total entries examined/compared by joins and copies.
+    pub op_examined: u64,
+    /// Total entries whose value changed (representation independent).
+    pub op_changed: u64,
+    /// Total entries physically moved/rewritten.
+    pub op_moved: u64,
+}
+
+impl RunMetrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Self {
+        RunMetrics::default()
+    }
+
+    /// Records one processed event's implicit increment.
+    #[inline]
+    pub fn record_event(&mut self) {
+        self.events += 1;
+        self.increments += 1;
+    }
+
+    /// Records a join operation's statistics.
+    #[inline]
+    pub fn record_join(&mut self, stats: OpStats) {
+        self.joins += 1;
+        self.record_op(stats);
+    }
+
+    /// Records a copy operation's statistics.
+    #[inline]
+    pub fn record_copy(&mut self, stats: OpStats) {
+        self.copies += 1;
+        self.record_op(stats);
+    }
+
+    /// Records a deep-copy fallback of `CopyCheckMonotone`.
+    #[inline]
+    pub fn record_deep_copy(&mut self) {
+        self.deep_copies += 1;
+    }
+
+    #[inline]
+    fn record_op(&mut self, stats: OpStats) {
+        self.op_examined += stats.examined;
+        self.op_changed += stats.changed;
+        self.op_moved += stats.moved;
+    }
+
+    /// The representation-independent vector-time work `VTWork(σ)`:
+    /// entry changes plus one change per event (the local increment).
+    pub fn vt_work(&self) -> u64 {
+        self.op_changed + self.increments
+    }
+
+    /// The representation-dependent work: entries examined plus the
+    /// per-event increment. For a vector-clock run this is `VCWork(σ)`;
+    /// for a tree-clock run, `TCWork(σ)`.
+    pub fn ds_work(&self) -> u64 {
+        self.op_examined + self.increments
+    }
+
+    /// `ds_work / vt_work`, the inefficiency ratio plotted in Figure 8
+    /// (≤ 3 for tree clocks by Theorem 1; up to ~k for vector clocks).
+    pub fn work_ratio(&self) -> f64 {
+        self.ds_work() as f64 / self.vt_work().max(1) as f64
+    }
+}
+
+impl AddAssign for RunMetrics {
+    fn add_assign(&mut self, rhs: Self) {
+        self.events += rhs.events;
+        self.increments += rhs.increments;
+        self.joins += rhs.joins;
+        self.copies += rhs.copies;
+        self.deep_copies += rhs.deep_copies;
+        self.op_examined += rhs.op_examined;
+        self.op_changed += rhs.op_changed;
+        self.op_moved += rhs.op_moved;
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "events={} joins={} copies={} vt_work={} ds_work={} ratio={:.2}",
+            self.events,
+            self.joins,
+            self.copies,
+            self.vt_work(),
+            self.ds_work(),
+            self.work_ratio()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vt_and_ds_work_formulas() {
+        let mut m = RunMetrics::new();
+        m.record_event();
+        m.record_join(OpStats::new(5, 2, 2));
+        m.record_event();
+        m.record_copy(OpStats::new(3, 1, 2));
+        assert_eq!(m.events, 2);
+        assert_eq!(m.vt_work(), 3 + 2); // changed + increments
+        assert_eq!(m.ds_work(), 8 + 2); // examined + increments
+        assert!((m.work_ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_accumulate() {
+        let mut a = RunMetrics::new();
+        a.record_event();
+        a.record_join(OpStats::new(1, 1, 1));
+        let mut b = RunMetrics::new();
+        b.record_event();
+        b.record_deep_copy();
+        a += b;
+        assert_eq!(a.events, 2);
+        assert_eq!(a.deep_copies, 1);
+        assert_eq!(a.joins, 1);
+    }
+
+    #[test]
+    fn empty_metrics_have_safe_ratio() {
+        assert_eq!(RunMetrics::new().work_ratio(), 0.0);
+    }
+
+    #[test]
+    fn display_is_single_line() {
+        let s = RunMetrics::new().to_string();
+        assert!(s.contains("events=0"));
+        assert!(!s.contains('\n'));
+    }
+}

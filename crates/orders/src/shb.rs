@@ -1,0 +1,248 @@
+//! The schedulable-happens-before (SHB) engine: Algorithm 4 of the
+//! paper, after Mathur, Kini and Viswanathan (OOPSLA 2018).
+//!
+//! SHB strengthens HB with, for every read `r`, an order from the last
+//! write `lw(r)` of the same variable to `r`. The engine additionally
+//! maintains one last-write clock `LW_x` per variable: reads join it,
+//! writes store their timestamp into it with `CopyCheckMonotone` — the
+//! tree clock tests monotonicity in O(1) and deep-copies only when the
+//! write races with a read (Section 5.1).
+
+use tc_core::{CopyMode, LogicalClock, OpStats, ThreadId, VectorTime};
+use tc_trace::{Event, Op, Trace, VarId};
+
+use crate::metrics::RunMetrics;
+use crate::sync_core::SyncCore;
+
+/// A streaming SHB timestamping engine.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_core::{LogicalClock, ThreadId, TreeClock};
+/// use tc_orders::ShbEngine;
+/// use tc_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// b.write(0, "x");
+/// b.read(1, "x"); // ordered after t0's write under SHB (not under HB)
+/// let trace = b.finish();
+///
+/// let mut shb = ShbEngine::<TreeClock>::new(&trace);
+/// for e in &trace {
+///     shb.process(e);
+/// }
+/// assert_eq!(shb.clock_of(ThreadId::new(1)).unwrap().get(ThreadId::new(0)), 1);
+/// ```
+pub struct ShbEngine<C> {
+    core: SyncCore<C>,
+    last_write: Vec<C>,
+}
+
+impl<C: LogicalClock> ShbEngine<C> {
+    /// Creates an engine sized for `trace`.
+    pub fn new(trace: &Trace) -> Self {
+        ShbEngine {
+            core: SyncCore::for_trace(trace),
+            // Last-write clocks start empty: they size themselves when
+            // the first write copies a thread clock into them.
+            last_write: (0..trace.var_count()).map(|_| C::new()).collect(),
+        }
+    }
+
+    fn ensure_var(&mut self, x: VarId) {
+        if x.index() >= self.last_write.len() {
+            self.last_write.resize_with(x.index() + 1, C::new);
+        }
+    }
+
+    /// Processes one event (events must be fed in trace order).
+    pub fn process(&mut self, e: &Event) {
+        self.process_impl::<false>(e);
+    }
+
+    /// Like [`process`](Self::process), with exact per-entry work
+    /// accounting in [`metrics`](Self::metrics).
+    pub fn process_counted(&mut self, e: &Event) {
+        self.process_impl::<true>(e);
+    }
+
+    fn process_impl<const COUNT: bool>(&mut self, e: &Event) {
+        self.core.begin_event(e.tid);
+        if self.core.process_sync::<COUNT>(e) {
+            return;
+        }
+        match e.op {
+            Op::Read(x) => {
+                self.ensure_var(x);
+                let clock = self.core.clock_mut(e.tid);
+                let lw = &self.last_write[x.index()];
+                let s = if COUNT {
+                    clock.join_counted(lw)
+                } else {
+                    clock.join(lw);
+                    OpStats::NOOP
+                };
+                self.core.metrics.record_join(s);
+            }
+            Op::Write(x) => {
+                self.ensure_var(x);
+                let clock = self
+                    .core
+                    .clock(e.tid)
+                    .expect("begin_event roots the clock of the acting thread");
+                let lw = &mut self.last_write[x.index()];
+                let (mode, s) = if COUNT {
+                    lw.copy_check_monotone_counted(clock)
+                } else {
+                    (lw.copy_check_monotone(clock), OpStats::NOOP)
+                };
+                self.core.metrics.record_copy(s);
+                if mode == CopyMode::Deep {
+                    self.core.metrics.record_deep_copy();
+                }
+            }
+            _ => unreachable!("process_sync handled synchronization events"),
+        }
+    }
+
+    /// The current clock of thread `t`, if `t` has appeared.
+    pub fn clock_of(&self, t: ThreadId) -> Option<&C> {
+        self.core.clock(t)
+    }
+
+    /// The current last-write clock of variable `x`, if any write
+    /// occurred.
+    pub fn last_write_clock(&self, x: VarId) -> Option<&C> {
+        self.last_write.get(x.index())
+    }
+
+    /// The current vector timestamp of thread `t`.
+    pub fn timestamp_of(&self, t: ThreadId) -> VectorTime {
+        self.core.timestamp(t)
+    }
+
+    /// The work metrics accumulated so far.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.core.metrics
+    }
+
+    /// Runs the whole trace (fast path) and returns the metrics; only
+    /// the operation counts are populated.
+    pub fn run(trace: &Trace) -> RunMetrics {
+        let mut engine = ShbEngine::<C>::new(trace);
+        for e in trace {
+            engine.process(e);
+        }
+        engine.core.metrics
+    }
+
+    /// Runs the whole trace with exact work accounting.
+    pub fn run_counted(trace: &Trace) -> RunMetrics {
+        let mut engine = ShbEngine::<C>::new(trace);
+        for e in trace {
+            engine.process_counted(e);
+        }
+        engine.core.metrics
+    }
+
+    /// Runs the whole trace collecting each event's SHB timestamp.
+    pub fn collect_timestamps(trace: &Trace) -> Vec<VectorTime> {
+        let mut engine = ShbEngine::<C>::new(trace);
+        let mut out = Vec::with_capacity(trace.len());
+        for e in trace {
+            engine.process(e);
+            out.push(engine.timestamp_of(e.tid));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::{TreeClock, VectorClock};
+    use tc_trace::TraceBuilder;
+
+    fn vt(v: &[u32]) -> VectorTime {
+        VectorTime::from(v.to_vec())
+    }
+
+    #[test]
+    fn read_is_ordered_after_its_last_write() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").read(1, "x").write(1, "y").read(2, "y");
+        let trace = b.finish();
+        let ts = ShbEngine::<TreeClock>::collect_timestamps(&trace);
+        assert_eq!(ts[1], vt(&[1, 1])); // r(x) sees w(x)
+        assert_eq!(ts[3], vt(&[1, 2, 1])); // r(y) sees w(y) and, transitively, w(x)
+    }
+
+    #[test]
+    fn writes_are_not_ordered_after_conflicting_accesses() {
+        // SHB adds only lw(r) -> r edges: a later write is ordered after
+        // neither the previous write nor the previous read (both pairs
+        // are SHB races).
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").read(1, "x").write(2, "x");
+        let trace = b.finish();
+        let ts = ShbEngine::<TreeClock>::collect_timestamps(&trace);
+        assert_eq!(ts[2], vt(&[0, 0, 1]));
+    }
+
+    #[test]
+    fn racy_write_triggers_deep_copy_only_for_tree_clocks() {
+        // t0 writes x; t1 reads x (ordered); t1 writes x while t0's
+        // LW still knows... construct a genuinely racy write:
+        // t0: w(x); t1: w(x) — the second write is concurrent with the
+        // first, so LW_x ⋢ C_t1 and CopyCheckMonotone must deep-copy.
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").write(1, "x");
+        let trace = b.finish();
+        let m = ShbEngine::<TreeClock>::run(&trace);
+        assert_eq!(m.deep_copies, 1);
+    }
+
+    #[test]
+    fn ordered_writes_use_monotone_copy() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").read(1, "x").write(1, "x");
+        let trace = b.finish();
+        let m = ShbEngine::<TreeClock>::run(&trace);
+        // t1's write is SHB-after t0's write (through the read join), so
+        // the copy is monotone.
+        assert_eq!(m.deep_copies, 0);
+    }
+
+    #[test]
+    fn shb_contains_hb() {
+        use crate::hb::HbEngine;
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").write(0, "x").release(0, "m");
+        b.acquire(1, "m").read(1, "x").release(1, "m");
+        b.write(2, "x");
+        let trace = b.finish();
+        let hb = HbEngine::<TreeClock>::collect_timestamps(&trace);
+        let shb = ShbEngine::<TreeClock>::collect_timestamps(&trace);
+        for (h, s) in hb.iter().zip(shb.iter()) {
+            assert!(h.leq(s), "SHB timestamp must dominate HB timestamp");
+        }
+    }
+
+    #[test]
+    fn tree_and_vector_agree_on_shb() {
+        let mut b = TraceBuilder::new();
+        for i in 0..20u32 {
+            let t = i % 4;
+            b.write_id(t, i % 3);
+            b.read_id((t + 1) % 4, i % 3);
+            b.acquire_id(t, 0);
+            b.release_id(t, 0);
+        }
+        let trace = b.finish();
+        assert_eq!(
+            ShbEngine::<TreeClock>::collect_timestamps(&trace),
+            ShbEngine::<VectorClock>::collect_timestamps(&trace)
+        );
+    }
+}

@@ -1,0 +1,270 @@
+//! Executable *definitions* of the three partial orders.
+//!
+//! Each order is built as an explicit [`EventDag`] straight from its
+//! defining rules (no clocks, no streaming, no cleverness), giving an
+//! unambiguous oracle the engines are differentially tested against:
+//!
+//! - **HB** (Section 2.3): thread order; every release before every
+//!   later acquire of the same lock; fork before the child's first
+//!   event; the child's last event before join.
+//! - **SHB** (Section 5.1): HB plus `lw(r) -> r` for every read.
+//! - **MAZ** (Section 5.2): HB plus `e1 -> e2` for every conflicting
+//!   pair in trace order.
+//!
+//! Complexity is O(n²)-ish by design; use on small traces.
+
+use std::fmt;
+use std::str::FromStr;
+
+use tc_core::VectorTime;
+use tc_trace::{Op, Trace};
+
+use crate::dag::{EventDag, Reachability};
+
+/// The partial orders studied in the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PartialOrderKind {
+    /// Lamport happens-before.
+    Hb,
+    /// Schedulable happens-before (HB + last-write-to-read).
+    Shb,
+    /// Mazurkiewicz (HB + all conflicting pairs).
+    Maz,
+}
+
+impl PartialOrderKind {
+    /// All three kinds, in the paper's MAZ/SHB/HB presentation order.
+    pub const ALL: [PartialOrderKind; 3] = [
+        PartialOrderKind::Maz,
+        PartialOrderKind::Shb,
+        PartialOrderKind::Hb,
+    ];
+}
+
+impl fmt::Display for PartialOrderKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PartialOrderKind::Hb => "HB",
+            PartialOrderKind::Shb => "SHB",
+            PartialOrderKind::Maz => "MAZ",
+        })
+    }
+}
+
+impl FromStr for PartialOrderKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "hb" => Ok(PartialOrderKind::Hb),
+            "shb" => Ok(PartialOrderKind::Shb),
+            "maz" => Ok(PartialOrderKind::Maz),
+            other => Err(format!("unknown partial order `{other}` (hb, shb, maz)")),
+        }
+    }
+}
+
+/// Options for [`spec_dag_with`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SpecOptions {
+    /// Drop the *conflict* edges (last-write-to-read for SHB; all
+    /// conflicting-pair edges for MAZ) whose target is this event.
+    ///
+    /// This constructs the order "just before the direct edges at event
+    /// `j` are added", which is the ordering a detector consults when it
+    /// checks whether event `j` races with the accesses it is about to
+    /// be ordered after — the oracle for race/reversible-pair reports.
+    pub drop_conflict_edges_into: Option<usize>,
+}
+
+/// Builds the defining edge set of `kind` over `trace` as an explicit
+/// DAG.
+pub fn spec_dag(trace: &Trace, kind: PartialOrderKind) -> EventDag {
+    spec_dag_with(trace, kind, SpecOptions::default())
+}
+
+/// Builds the defining edge set of `kind` with [`SpecOptions`].
+pub fn spec_dag_with(trace: &Trace, kind: PartialOrderKind, options: SpecOptions) -> EventDag {
+    let n = trace.len();
+    let skip_into = options.drop_conflict_edges_into;
+    let mut dag = EventDag::new(n);
+
+    // Thread order: consecutive events of the same thread.
+    let mut last_of_thread = vec![None::<usize>; trace.thread_count()];
+    // Lock edges: every release -> every later acquire (the definition).
+    let mut releases_of_lock: Vec<Vec<usize>> = vec![Vec::new(); trace.lock_count()];
+    // Fork/join bookkeeping.
+    let mut first_of_thread = vec![None::<usize>; trace.thread_count()];
+    let mut pending_forks: Vec<Vec<usize>> = vec![Vec::new(); trace.thread_count()];
+    // SHB: last write per variable. MAZ: all accesses per variable.
+    let mut last_write = vec![None::<usize>; trace.var_count()];
+    let mut accesses: Vec<Vec<(usize, bool)>> = vec![Vec::new(); trace.var_count()];
+
+    for (i, e) in trace.iter().enumerate() {
+        let t = e.tid.index();
+        if let Some(p) = last_of_thread[t] {
+            dag.add_edge(p, i);
+        }
+        last_of_thread[t] = Some(i);
+        if first_of_thread[t].is_none() {
+            first_of_thread[t] = Some(i);
+            for &f in &pending_forks[t] {
+                dag.add_edge(f, i);
+            }
+        }
+        match e.op {
+            Op::Acquire(l) => {
+                for &r in &releases_of_lock[l.index()] {
+                    dag.add_edge(r, i);
+                }
+            }
+            Op::Release(l) => releases_of_lock[l.index()].push(i),
+            Op::Fork(u) => {
+                match first_of_thread[u.index()] {
+                    // Normally the child starts later; if the trace is
+                    // malformed the edge is simply dropped.
+                    None => pending_forks[u.index()].push(i),
+                    Some(_) => {}
+                }
+            }
+            Op::Join(u) => {
+                if let Some(last) = last_of_thread[u.index()] {
+                    dag.add_edge(last, i);
+                }
+            }
+            Op::Read(x) => {
+                let keep = skip_into != Some(i);
+                if kind != PartialOrderKind::Hb && keep {
+                    if let Some(w) = last_write[x.index()] {
+                        dag.add_edge(w, i);
+                    }
+                }
+                if kind == PartialOrderKind::Maz {
+                    if keep {
+                        for &(j, is_write) in &accesses[x.index()] {
+                            if is_write && trace[j].tid != e.tid {
+                                dag.add_edge(j, i);
+                            }
+                        }
+                    }
+                    accesses[x.index()].push((i, false));
+                }
+            }
+            Op::Write(x) => {
+                if kind == PartialOrderKind::Maz && skip_into != Some(i) {
+                    for &(j, _) in &accesses[x.index()] {
+                        if trace[j].tid != e.tid {
+                            dag.add_edge(j, i);
+                        }
+                    }
+                }
+                if kind == PartialOrderKind::Maz {
+                    accesses[x.index()].push((i, true));
+                }
+                last_write[x.index()] = Some(i);
+            }
+        }
+    }
+    dag
+}
+
+/// Precomputed reachability for `kind` over `trace`.
+pub fn spec_reachability(trace: &Trace, kind: PartialOrderKind) -> Reachability {
+    spec_dag(trace, kind).reachability()
+}
+
+/// The per-event timestamps of `kind` computed straight from the
+/// definition — the oracle for Lemma 4-style correctness tests.
+pub fn spec_timestamps(trace: &Trace, kind: PartialOrderKind) -> Vec<VectorTime> {
+    spec_reachability(trace, kind).timestamps(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_trace::TraceBuilder;
+
+    fn racy_trace() -> Trace {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x"); // e0
+        b.acquire(0, "m").release(0, "m"); // e1 e2
+        b.acquire(1, "m").release(1, "m"); // e3 e4
+        b.read(1, "x"); // e5: HB-ordered after e0 via the lock
+        b.write(2, "x"); // e6: racy with everything
+        b.finish()
+    }
+
+    #[test]
+    fn hb_orders_through_locks_only() {
+        let trace = racy_trace();
+        let r = spec_reachability(&trace, PartialOrderKind::Hb);
+        assert!(r.ordered(0, 5)); // via the critical sections
+        assert!(r.concurrent(0, 6)); // w-w race
+        assert!(r.concurrent(5, 6)); // r-w race
+    }
+
+    #[test]
+    fn shb_adds_last_write_to_read() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").read(1, "x");
+        let trace = b.finish();
+        let hb = spec_reachability(&trace, PartialOrderKind::Hb);
+        let shb = spec_reachability(&trace, PartialOrderKind::Shb);
+        assert!(hb.concurrent(0, 1));
+        assert!(shb.ordered(0, 1));
+    }
+
+    #[test]
+    fn maz_orders_every_conflicting_pair() {
+        let trace = racy_trace();
+        let r = spec_reachability(&trace, PartialOrderKind::Maz);
+        assert!(r.ordered(0, 6));
+        assert!(r.ordered(5, 6));
+        // Non-conflicting events of different threads stay concurrent.
+        assert!(r.concurrent(1, 3) || r.ordered(1, 3)); // lock edges may order them
+    }
+
+    #[test]
+    fn orders_are_nested_hb_shb_maz() {
+        let trace = racy_trace();
+        let n = trace.len();
+        let hb = spec_reachability(&trace, PartialOrderKind::Hb);
+        let shb = spec_reachability(&trace, PartialOrderKind::Shb);
+        let maz = spec_reachability(&trace, PartialOrderKind::Maz);
+        for i in 0..n {
+            for j in 0..n {
+                if i < j {
+                    if hb.ordered(i, j) {
+                        assert!(shb.ordered(i, j), "HB ⊆ SHB violated at ({i},{j})");
+                    }
+                    if shb.ordered(i, j) {
+                        assert!(maz.ordered(i, j), "SHB ⊆ MAZ violated at ({i},{j})");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fork_and_join_edges_exist() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1); // e0
+        b.write(1, "y"); // e1
+        b.join(0, 1); // e2
+        b.write(0, "y"); // e3
+        let trace = b.finish();
+        let r = spec_reachability(&trace, PartialOrderKind::Hb);
+        assert!(r.ordered(0, 1));
+        assert!(r.ordered(1, 2));
+        assert!(r.ordered(1, 3));
+    }
+
+    #[test]
+    fn kind_parses_and_displays() {
+        for kind in PartialOrderKind::ALL {
+            let s = kind.to_string();
+            assert_eq!(s.parse::<PartialOrderKind>().unwrap(), kind);
+        }
+        assert!("cp".parse::<PartialOrderKind>().is_err());
+    }
+}

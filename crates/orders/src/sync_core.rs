@@ -1,0 +1,211 @@
+//! Shared engine plumbing: per-thread and per-lock clock stores and the
+//! transfer functions for the synchronization events common to HB, SHB
+//! and MAZ (acquire, release, fork, join).
+
+use tc_core::{LogicalClock, OpStats, ThreadId, VectorTime};
+use tc_trace::{Event, LockId, Op, Trace};
+
+use crate::metrics::RunMetrics;
+
+/// Clock state shared by every partial-order engine.
+pub(crate) struct SyncCore<C> {
+    threads: Vec<C>,
+    rooted: Vec<bool>,
+    locks: Vec<C>,
+    thread_hint: usize,
+    pub(crate) metrics: RunMetrics,
+}
+
+impl<C: LogicalClock> SyncCore<C> {
+    pub(crate) fn new(threads: usize, locks: usize) -> Self {
+        SyncCore {
+            threads: (0..threads).map(|_| C::with_threads(threads)).collect(),
+            rooted: vec![false; threads],
+            // Lock clocks start empty and size themselves on first
+            // use (a release clones the releasing thread's clock).
+            locks: (0..locks).map(|_| C::new()).collect(),
+            thread_hint: threads,
+            metrics: RunMetrics::new(),
+        }
+    }
+
+    pub(crate) fn for_trace(trace: &Trace) -> Self {
+        SyncCore::new(trace.thread_count(), trace.lock_count())
+    }
+
+    fn ensure_thread(&mut self, t: ThreadId) {
+        let i = t.index();
+        if i >= self.threads.len() {
+            let hint = self.thread_hint.max(i + 1);
+            self.threads.resize_with(i + 1, || C::with_threads(hint));
+            self.rooted.resize(i + 1, false);
+        }
+        if !self.rooted[i] {
+            self.threads[i].init_root(t);
+            self.rooted[i] = true;
+        }
+    }
+
+    fn ensure_lock(&mut self, l: LockId) {
+        if l.index() >= self.locks.len() {
+            self.locks.resize_with(l.index() + 1, C::new);
+        }
+    }
+
+    /// Starts processing an event: roots the thread clock if needed and
+    /// performs the implicit `Increment` of Algorithm 1.
+    pub(crate) fn begin_event(&mut self, t: ThreadId) {
+        self.ensure_thread(t);
+        self.threads[t.index()].increment(1);
+        self.metrics.record_event();
+    }
+
+    /// Handles the four synchronization operations; returns `false` for
+    /// read/write operations, which the caller's algorithm must handle.
+    ///
+    /// The `COUNT` parameter selects the instrumented clock operations;
+    /// timed runs use `COUNT = false` so the per-entry work counters
+    /// cost nothing.
+    pub(crate) fn process_sync<const COUNT: bool>(&mut self, e: &Event) -> bool {
+        match e.op {
+            Op::Acquire(l) => {
+                self.ensure_lock(l);
+                let thread = &mut self.threads[e.tid.index()];
+                let lock = &self.locks[l.index()];
+                let s = if COUNT {
+                    thread.join_counted(lock)
+                } else {
+                    thread.join(lock);
+                    OpStats::NOOP
+                };
+                self.metrics.record_join(s);
+                true
+            }
+            Op::Release(l) => {
+                self.ensure_lock(l);
+                let lock = &mut self.locks[l.index()];
+                let thread = &self.threads[e.tid.index()];
+                let s = if COUNT {
+                    lock.monotone_copy_counted(thread)
+                } else {
+                    lock.monotone_copy(thread);
+                    OpStats::NOOP
+                };
+                self.metrics.record_copy(s);
+                true
+            }
+            Op::Fork(u) => {
+                // fork(u) ≤ first event of u: the child inherits the
+                // parent's knowledge.
+                self.ensure_thread(u);
+                let (child, parent) = borrow_two(&mut self.threads, u.index(), e.tid.index());
+                let s = if COUNT {
+                    child.join_counted(parent)
+                } else {
+                    child.join(parent);
+                    OpStats::NOOP
+                };
+                self.metrics.record_join(s);
+                true
+            }
+            Op::Join(u) => {
+                // last event of u ≤ join(u): the parent learns
+                // everything the child knew.
+                self.ensure_thread(u);
+                let (parent, child) = borrow_two(&mut self.threads, e.tid.index(), u.index());
+                let s = if COUNT {
+                    parent.join_counted(child)
+                } else {
+                    parent.join(child);
+                    OpStats::NOOP
+                };
+                self.metrics.record_join(s);
+                true
+            }
+            Op::Read(_) | Op::Write(_) => false,
+        }
+    }
+
+    /// The current clock of thread `t` (zero clock if `t` has not acted).
+    pub(crate) fn clock(&self, t: ThreadId) -> Option<&C> {
+        self.threads.get(t.index())
+    }
+
+    pub(crate) fn clock_mut(&mut self, t: ThreadId) -> &mut C {
+        &mut self.threads[t.index()]
+    }
+
+    pub(crate) fn timestamp(&self, t: ThreadId) -> VectorTime {
+        self.clock(t).map(C::vector_time).unwrap_or_default()
+    }
+}
+
+/// Mutable access to index `i` alongside shared access to index `j`.
+pub(crate) fn borrow_two<T>(v: &mut [T], i: usize, j: usize) -> (&mut T, &T) {
+    assert_ne!(i, j, "cannot borrow the same slot twice");
+    if i < j {
+        let (a, b) = v.split_at_mut(j);
+        (&mut a[i], &b[0])
+    } else {
+        let (a, b) = v.split_at_mut(i);
+        (&mut b[0], &a[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::TreeClock;
+    use tc_trace::TraceBuilder;
+
+    #[test]
+    fn borrow_two_returns_disjoint_references() {
+        let mut v = vec![1, 2, 3];
+        let (a, b) = borrow_two(&mut v, 2, 0);
+        *a += *b;
+        assert_eq!(v, vec![1, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same slot twice")]
+    fn borrow_two_rejects_equal_indices() {
+        let mut v = vec![1];
+        let _ = borrow_two(&mut v, 0, 0);
+    }
+
+    #[test]
+    fn fork_transfers_parent_knowledge_to_child() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").release(0, "m").fork(0, 1).acquire(1, "m");
+        let trace = b.finish();
+        let mut core = SyncCore::<TreeClock>::for_trace(&trace);
+        for e in &trace {
+            core.begin_event(e.tid);
+            core.process_sync::<true>(e);
+        }
+        // t1 knows t0's time up to the fork (3 events).
+        assert_eq!(core.timestamp(ThreadId::new(1)).get(ThreadId::new(0)), 3);
+    }
+
+    #[test]
+    fn join_transfers_child_knowledge_to_parent() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1);
+        b.acquire(1, "m").release(1, "m");
+        b.join(0, 1);
+        let trace = b.finish();
+        let mut core = SyncCore::<TreeClock>::for_trace(&trace);
+        for e in &trace {
+            core.begin_event(e.tid);
+            core.process_sync::<false>(e);
+        }
+        assert_eq!(core.timestamp(ThreadId::new(0)).get(ThreadId::new(1)), 2);
+    }
+
+    #[test]
+    fn unseen_threads_grow_the_store() {
+        let mut core = SyncCore::<TreeClock>::new(1, 0);
+        core.begin_event(ThreadId::new(9));
+        assert_eq!(core.timestamp(ThreadId::new(9)).get(ThreadId::new(9)), 1);
+    }
+}

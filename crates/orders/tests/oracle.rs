@@ -1,0 +1,166 @@
+//! Differential tests of the streaming engines against the executable
+//! specification (`tc_orders::spec`), plus empirical checks of the
+//! paper's two headline theorems:
+//!
+//! - **Lemma 4** (correctness): the clock of an event's thread right
+//!   after processing equals the definitional timestamp `C_e`, for HB —
+//!   and the analogous statements for SHB and MAZ.
+//! - **Theorem 1** (vt-optimality): tree-clock work stays within 3× of
+//!   the representation-independent lower bound `VTWork`, on *every*
+//!   input; vector clocks have no such bound (star topologies drive
+//!   their ratio to Θ(k)).
+
+use proptest::prelude::*;
+
+use tc_core::{TreeClock, VectorClock};
+use tc_orders::spec::spec_timestamps;
+use tc_orders::{HbEngine, MazEngine, PartialOrderKind, ShbEngine};
+use tc_trace::gen::{scenarios, WorkloadSpec};
+use tc_trace::Trace;
+
+fn small_workload(seed: u64, threads: u32, sync_pct: u8) -> Trace {
+    WorkloadSpec {
+        threads,
+        locks: 3,
+        vars: 4,
+        events: 120,
+        sync_ratio: f64::from(sync_pct) / 100.0,
+        write_ratio: 0.4,
+        fork_join: seed % 2 == 0,
+        seed,
+        ..WorkloadSpec::default()
+    }
+    .generate()
+}
+
+fn check_against_spec(trace: &Trace) {
+    let cases: [(PartialOrderKind, Vec<_>, Vec<_>); 3] = [
+        (
+            PartialOrderKind::Hb,
+            HbEngine::<TreeClock>::collect_timestamps(trace),
+            HbEngine::<VectorClock>::collect_timestamps(trace),
+        ),
+        (
+            PartialOrderKind::Shb,
+            ShbEngine::<TreeClock>::collect_timestamps(trace),
+            ShbEngine::<VectorClock>::collect_timestamps(trace),
+        ),
+        (
+            PartialOrderKind::Maz,
+            MazEngine::<TreeClock>::collect_timestamps(trace),
+            MazEngine::<VectorClock>::collect_timestamps(trace),
+        ),
+    ];
+    for (kind, tc, vc) in cases {
+        let oracle = spec_timestamps(trace, kind);
+        assert_eq!(tc.len(), oracle.len());
+        for i in 0..oracle.len() {
+            assert_eq!(
+                tc[i], oracle[i],
+                "{kind}: tree clock timestamp of event {i} diverges from the definition"
+            );
+            assert_eq!(
+                vc[i], oracle[i],
+                "{kind}: vector clock timestamp of event {i} diverges from the definition"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Lemma 4 and its SHB/MAZ analogues, on random mixed workloads,
+    /// for both representations.
+    #[test]
+    fn engines_match_the_definitions(
+        seed in 0u64..10_000,
+        threads in 2u32..7,
+        sync_pct in 0u8..60,
+    ) {
+        let trace = small_workload(seed, threads, sync_pct);
+        check_against_spec(&trace);
+    }
+
+    /// HB ⊆ SHB ⊆ MAZ, observed through timestamps.
+    #[test]
+    fn partial_orders_are_nested(seed in 0u64..10_000) {
+        let trace = small_workload(seed, 5, 25);
+        let hb = HbEngine::<TreeClock>::collect_timestamps(&trace);
+        let shb = ShbEngine::<TreeClock>::collect_timestamps(&trace);
+        let maz = MazEngine::<TreeClock>::collect_timestamps(&trace);
+        for i in 0..trace.len() {
+            prop_assert!(hb[i].leq(&shb[i]), "HB ⊆ SHB violated at event {i}");
+            prop_assert!(shb[i].leq(&maz[i]), "SHB ⊆ MAZ violated at event {i}");
+        }
+    }
+
+    /// Theorem 1, empirically: TCWork ≤ 3·VTWork on random inputs, and
+    /// VTWork agrees across representations.
+    #[test]
+    fn tree_clock_work_is_vt_optimal(
+        seed in 0u64..10_000,
+        threads in 2u32..10,
+        sync_pct in 1u8..80,
+    ) {
+        let trace = small_workload(seed, threads, sync_pct);
+        let tc = HbEngine::<TreeClock>::run_counted(&trace);
+        let vc = HbEngine::<VectorClock>::run_counted(&trace);
+        prop_assert_eq!(tc.vt_work(), vc.vt_work(), "VTWork must be representation independent");
+        prop_assert!(
+            tc.ds_work() <= 3 * tc.vt_work(),
+            "TCWork {} exceeds 3·VTWork {} (Theorem 1)",
+            tc.ds_work(),
+            tc.vt_work()
+        );
+    }
+}
+
+/// Theorem 1 on the adversarial scenarios of Figure 10 as well.
+#[test]
+fn tree_clock_work_bound_holds_on_all_scenarios() {
+    for s in scenarios::Scenario::ALL {
+        for threads in [4u32, 16, 48] {
+            let trace = s.generate(threads, 6_000, 11);
+            let tc = HbEngine::<TreeClock>::run_counted(&trace);
+            assert!(
+                tc.ds_work() <= 3 * tc.vt_work(),
+                "{s}/{threads}: TCWork {} > 3·VTWork {}",
+                tc.ds_work(),
+                tc.vt_work()
+            );
+        }
+    }
+}
+
+/// Vector clocks are *not* vt-optimal: on the star topology their work
+/// ratio grows linearly with the thread count while tree clocks stay
+/// bounded by 3 (the contrast of Figure 8).
+#[test]
+fn vector_clocks_are_not_vt_optimal_on_star() {
+    let mut last_ratio = 0.0;
+    for threads in [8u32, 32, 128] {
+        let trace = scenarios::star(threads, 20_000, 5);
+        let tc = HbEngine::<TreeClock>::run_counted(&trace);
+        let vc = HbEngine::<VectorClock>::run_counted(&trace);
+        assert!(tc.work_ratio() <= 3.0, "tree ratio {} > 3", tc.work_ratio());
+        assert!(
+            vc.work_ratio() > last_ratio,
+            "vector ratio should grow with threads"
+        );
+        last_ratio = vc.work_ratio();
+    }
+    // With 128 threads the vector clock does over an order of magnitude
+    // more work than necessary.
+    assert!(last_ratio > 10.0, "vector ratio only reached {last_ratio}");
+}
+
+/// The Figure 10 scenarios validated end-to-end against the spec at
+/// small scale (both representations, all partial orders).
+#[test]
+fn scenarios_match_spec_at_small_scale() {
+    for s in scenarios::Scenario::ALL {
+        let trace = s.generate(5, 160, 23);
+        check_against_spec(&trace);
+    }
+}

@@ -1,0 +1,254 @@
+//! Events and their operations (Section 2.1 of the paper).
+
+use std::fmt;
+
+use tc_core::ThreadId;
+
+/// A dense lock identifier, interned by the owning [`Trace`](crate::Trace).
+///
+/// # Example
+///
+/// ```rust
+/// use tc_trace::LockId;
+/// let l = LockId::new(2);
+/// assert_eq!(l.index(), 2);
+/// assert_eq!(l.to_string(), "l2");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LockId(u32);
+
+/// A dense shared-variable (memory location) identifier, interned by the
+/// owning [`Trace`](crate::Trace).
+///
+/// # Example
+///
+/// ```rust
+/// use tc_trace::VarId;
+/// let x = VarId::new(0);
+/// assert_eq!(x.to_string(), "x0");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VarId(u32);
+
+macro_rules! impl_id {
+    ($ty:ident, $prefix:literal) => {
+        impl $ty {
+            /// Creates an id from its dense index.
+            #[inline]
+            pub const fn new(index: u32) -> Self {
+                $ty(index)
+            }
+
+            /// The raw dense index.
+            #[inline]
+            pub const fn raw(self) -> u32 {
+                self.0
+            }
+
+            /// The dense index as a `usize`, for array indexing.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl From<u32> for $ty {
+            #[inline]
+            fn from(index: u32) -> Self {
+                $ty(index)
+            }
+        }
+
+        impl From<$ty> for u32 {
+            #[inline]
+            fn from(id: $ty) -> Self {
+                id.0
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+impl_id!(LockId, "l");
+impl_id!(VarId, "x");
+
+/// The operation performed by an event.
+///
+/// Reads/writes target shared variables; acquires/releases target locks.
+/// `Fork`/`Join` are the thread-lifecycle events the paper omits "for
+/// ease of presentation" (footnote 2) — handling them is straightforward
+/// and all engines in this workspace support them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Op {
+    /// `r(x)`: read of shared variable `x`.
+    Read(VarId),
+    /// `w(x)`: write of shared variable `x`.
+    Write(VarId),
+    /// `acq(ℓ)`: acquire of lock `ℓ`.
+    Acquire(LockId),
+    /// `rel(ℓ)`: release of lock `ℓ`.
+    Release(LockId),
+    /// `fork(u)`: creation of thread `u` (orders before `u`'s first
+    /// event).
+    Fork(ThreadId),
+    /// `join(u)`: join on thread `u` (orders after `u`'s last event).
+    Join(ThreadId),
+}
+
+impl Op {
+    /// Returns `true` for synchronization operations (acquire/release
+    /// and fork/join), the events HB is built from.
+    pub fn is_sync(self) -> bool {
+        matches!(
+            self,
+            Op::Acquire(_) | Op::Release(_) | Op::Fork(_) | Op::Join(_)
+        )
+    }
+
+    /// Returns `true` for memory-access operations (read/write).
+    pub fn is_access(self) -> bool {
+        matches!(self, Op::Read(_) | Op::Write(_))
+    }
+
+    /// The accessed variable, for read/write operations.
+    pub fn variable(self) -> Option<VarId> {
+        match self {
+            Op::Read(x) | Op::Write(x) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// The lock operated on, for acquire/release operations.
+    pub fn lock(self) -> Option<LockId> {
+        match self {
+            Op::Acquire(l) | Op::Release(l) => Some(l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Read(x) => write!(f, "r({x})"),
+            Op::Write(x) => write!(f, "w({x})"),
+            Op::Acquire(l) => write!(f, "acq({l})"),
+            Op::Release(l) => write!(f, "rel({l})"),
+            Op::Fork(t) => write!(f, "fork({t})"),
+            Op::Join(t) => write!(f, "join({t})"),
+        }
+    }
+}
+
+/// One event of a trace: the performing thread and its operation.
+///
+/// The event's unique identifier is its position in the owning
+/// [`Trace`](crate::Trace); events themselves stay 8 bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Event {
+    /// The thread that performed this event.
+    pub tid: ThreadId,
+    /// The operation performed.
+    pub op: Op,
+}
+
+impl Event {
+    /// Creates an event.
+    pub const fn new(tid: ThreadId, op: Op) -> Self {
+        Event { tid, op }
+    }
+
+    /// Returns `true` if `self` and `other` are *conflicting*: same
+    /// variable, different threads, at least one write (Section 2.1).
+    pub fn conflicts_with(&self, other: &Event) -> bool {
+        if self.tid == other.tid {
+            return false;
+        }
+        match (self.op.variable(), other.op.variable()) {
+            (Some(x), Some(y)) if x == y => {
+                matches!(self.op, Op::Write(_)) || matches!(other.op, Op::Write(_))
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}, {}⟩", self.tid, self.op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u32) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn op_classification() {
+        assert!(Op::Acquire(LockId::new(0)).is_sync());
+        assert!(Op::Fork(t(1)).is_sync());
+        assert!(!Op::Read(VarId::new(0)).is_sync());
+        assert!(Op::Write(VarId::new(0)).is_access());
+        assert!(!Op::Release(LockId::new(0)).is_access());
+    }
+
+    #[test]
+    fn op_accessors() {
+        assert_eq!(Op::Read(VarId::new(3)).variable(), Some(VarId::new(3)));
+        assert_eq!(Op::Acquire(LockId::new(2)).lock(), Some(LockId::new(2)));
+        assert_eq!(Op::Read(VarId::new(3)).lock(), None);
+        assert_eq!(Op::Join(t(1)).variable(), None);
+    }
+
+    #[test]
+    fn conflicting_events_require_shared_variable_and_a_write() {
+        let w0 = Event::new(t(0), Op::Write(VarId::new(0)));
+        let r1 = Event::new(t(1), Op::Read(VarId::new(0)));
+        let r2 = Event::new(t(2), Op::Read(VarId::new(0)));
+        let w_other = Event::new(t(1), Op::Write(VarId::new(1)));
+        let w_same_thread = Event::new(t(0), Op::Write(VarId::new(0)));
+
+        assert!(w0.conflicts_with(&r1));
+        assert!(r1.conflicts_with(&w0)); // symmetric
+        assert!(!r1.conflicts_with(&r2)); // two reads never conflict
+        assert!(!w0.conflicts_with(&w_other)); // different variables
+        assert!(!w0.conflicts_with(&w_same_thread)); // same thread
+    }
+
+    #[test]
+    fn sync_events_never_conflict() {
+        let a = Event::new(t(0), Op::Acquire(LockId::new(0)));
+        let b = Event::new(t(1), Op::Release(LockId::new(0)));
+        assert!(!a.conflicts_with(&b));
+    }
+
+    #[test]
+    fn display_uses_paper_notation() {
+        let e = Event::new(t(2), Op::Acquire(LockId::new(1)));
+        assert_eq!(e.to_string(), "⟨t2, acq(l1)⟩");
+        assert_eq!(Op::Fork(t(4)).to_string(), "fork(t4)");
+        assert_eq!(Op::Write(VarId::new(0)).to_string(), "w(x0)");
+    }
+
+    #[test]
+    fn event_is_small() {
+        // Events number in the hundreds of millions in the paper's
+        // traces; the representation must stay compact.
+        assert!(std::mem::size_of::<Event>() <= 12);
+    }
+}

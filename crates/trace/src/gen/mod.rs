@@ -1,0 +1,20 @@
+//! Seeded synthetic trace generators.
+//!
+//! Two families:
+//!
+//! - [`scenarios`] — the four controlled communication patterns of the
+//!   paper's Figure 10 (single lock, skewed locks, star topology,
+//!   pairwise communication), parameterized by thread count;
+//! - [`workload`] — a general mixed read/write/lock workload
+//!   ([`WorkloadSpec`]) used to simulate the paper's 153-trace benchmark
+//!   suite (Tables 1 and 3): thread/lock/variable counts, the
+//!   synchronization-event fraction and skew are all tunable.
+//!
+//! All generators are deterministic in their seed, so every experiment
+//! in this repository is exactly reproducible.
+
+pub mod scenarios;
+pub mod workload;
+
+pub use scenarios::{pairwise, single_lock, skewed_locks, star, Scenario};
+pub use workload::{generate, WorkloadSpec};

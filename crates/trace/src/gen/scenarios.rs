@@ -1,0 +1,271 @@
+//! The four controlled scalability scenarios of the paper's Figure 10.
+//!
+//! Each trace consists of lock synchronization only: "a randomly chosen
+//! thread performs two consecutive operations, acq(l) followed by rel(l),
+//! on a randomly (when applicable) chosen lock". A deterministic warm-up
+//! round makes every configured thread appear at least once, so the
+//! generated trace always has exactly the requested thread count.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Trace, TraceBuilder};
+
+fn sync(b: &mut TraceBuilder, t: u32, l: u32) {
+    b.acquire_id(t, l);
+    b.release_id(t, l);
+}
+
+/// Scenario (a): all threads communicate over one common lock.
+///
+/// Tree clocks obtain a constant-factor speedup here (Figure 10a).
+pub fn single_lock(threads: u32, events: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TraceBuilder::with_capacity(events + 2 * threads as usize);
+    for t in 0..threads {
+        sync(&mut b, t, 0);
+    }
+    while b.len() < events {
+        let t = rng.random_range(0..threads);
+        sync(&mut b, t, 0);
+    }
+    b.finish()
+}
+
+/// Scenario (b): `locks` locks; the first 20% of the threads are 5×
+/// more likely to act than the rest (Figure 10b, "50 locks, skewed").
+pub fn skewed_locks(threads: u32, locks: u32, events: usize, seed: u64) -> Trace {
+    assert!(locks >= 1, "skewed_locks requires at least one lock");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let hot = (threads / 5).max(1);
+    // Hot threads have weight 5, the rest weight 1.
+    let total_weight = u64::from(hot) * 5 + u64::from(threads - hot);
+    let mut b = TraceBuilder::with_capacity(events + 2 * threads as usize);
+    for t in 0..threads {
+        sync(&mut b, t, t % locks);
+    }
+    while b.len() < events {
+        let r = rng.random_range(0..total_weight);
+        let t = if r < u64::from(hot) * 5 {
+            (r / 5) as u32
+        } else {
+            hot + (r - u64::from(hot) * 5) as u32
+        };
+        let l = rng.random_range(0..locks);
+        sync(&mut b, t, l);
+    }
+    b.finish()
+}
+
+/// Scenario (c): star topology — `threads - 1` client threads each
+/// communicate with a single server (thread 0) via a dedicated lock.
+///
+/// This is where tree clocks thrive: the tree takes the shape of the
+/// star and every join/copy touches O(1) entries, so the running time
+/// stays flat as the thread count grows (Figure 10c).
+pub fn star(threads: u32, events: usize, seed: u64) -> Trace {
+    assert!(threads >= 2, "star topology requires a server and a client");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TraceBuilder::with_capacity(events + 4 * threads as usize);
+    for c in 1..threads {
+        sync(&mut b, c, c - 1);
+    }
+    sync(&mut b, 0, 0);
+    // A uniformly random thread acts each step: a client syncs on its
+    // own lock; the server (picked ~1/k of the time) syncs on a random
+    // client's lock. Information thus flows through the server rarely,
+    // which keeps the vt-work per event constant — the regime where
+    // tree clocks shine (Figure 10c).
+    while b.len() < events {
+        let t = rng.random_range(0..threads);
+        if t == 0 {
+            let c = rng.random_range(1..threads);
+            sync(&mut b, 0, c - 1);
+        } else {
+            sync(&mut b, t, t - 1);
+        }
+    }
+    b.finish()
+}
+
+/// Scenario (d): pairwise communication — every pair of threads has a
+/// dedicated lock.
+///
+/// The worst case for tree clocks (Figure 10d): the ad-hoc communication
+/// nullifies the hierarchical structure while its maintenance overhead
+/// remains, so tree clocks run slightly *slower* than vector clocks.
+pub fn pairwise(threads: u32, events: usize, seed: u64) -> Trace {
+    assert!(threads >= 2, "pairwise communication needs two threads");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = u64::from(threads);
+    // Triangular indexing of unordered pairs (i < j).
+    let pair_lock = |i: u64, j: u64| -> u32 {
+        debug_assert!(i < j);
+        (i * (2 * k - i - 1) / 2 + (j - i - 1)) as u32
+    };
+    let mut b = TraceBuilder::with_capacity(events + 4 * threads as usize);
+    for t in 1..threads {
+        let l = pair_lock(u64::from(t - 1), u64::from(t));
+        sync(&mut b, t - 1, l);
+        sync(&mut b, t, l);
+    }
+    // A random thread syncs on the lock of a random partner.
+    while b.len() < events {
+        let t = rng.random_range(0..threads);
+        let mut u = rng.random_range(0..threads - 1);
+        if u >= t {
+            u += 1;
+        }
+        let l = pair_lock(u64::from(t.min(u)), u64::from(t.max(u)));
+        sync(&mut b, t, l);
+    }
+    b.finish()
+}
+
+/// The four Figure 10 scenarios as a value, for benchmark harnesses and
+/// the command-line tool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Scenario {
+    /// All threads share one lock (Figure 10a).
+    SingleLock,
+    /// 50 locks with a skewed thread-activity distribution (Figure 10b).
+    SkewedLocks,
+    /// Clients communicating with one server (Figure 10c).
+    Star,
+    /// A dedicated lock per thread pair (Figure 10d).
+    Pairwise,
+}
+
+impl Scenario {
+    /// All scenarios in the paper's (a)–(d) order.
+    pub const ALL: [Scenario; 4] = [
+        Scenario::SingleLock,
+        Scenario::SkewedLocks,
+        Scenario::Star,
+        Scenario::Pairwise,
+    ];
+
+    /// Generates a trace for this scenario.
+    pub fn generate(self, threads: u32, events: usize, seed: u64) -> Trace {
+        match self {
+            Scenario::SingleLock => single_lock(threads, events, seed),
+            Scenario::SkewedLocks => skewed_locks(threads, 50.min(threads.max(1)), events, seed),
+            Scenario::Star => star(threads, events, seed),
+            Scenario::Pairwise => pairwise(threads, events, seed),
+        }
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Scenario::SingleLock => "single-lock",
+            Scenario::SkewedLocks => "skewed-locks",
+            Scenario::Star => "star",
+            Scenario::Pairwise => "pairwise",
+        };
+        f.write_str(name)
+    }
+}
+
+impl FromStr for Scenario {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "single-lock" => Ok(Scenario::SingleLock),
+            "skewed-locks" => Ok(Scenario::SkewedLocks),
+            "star" => Ok(Scenario::Star),
+            "pairwise" => Ok(Scenario::Pairwise),
+            other => Err(format!(
+                "unknown scenario `{other}` (expected single-lock, skewed-locks, star, pairwise)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenarios_generate_valid_traces() {
+        for s in Scenario::ALL {
+            let t = s.generate(12, 2_000, 7);
+            assert!(t.validate().is_ok(), "{s} generated an invalid trace");
+            assert_eq!(t.thread_count(), 12, "{s} lost threads");
+            assert!(t.len() >= 2_000, "{s} too short");
+            assert!(t.len() < 2_100, "{s} overshot the event budget");
+            assert_eq!(t.stats().sync_pct(), 100.0, "{s} emitted non-sync events");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        for s in Scenario::ALL {
+            let a = s.generate(8, 500, 42);
+            let b = s.generate(8, 500, 42);
+            let c = s.generate(8, 500, 43);
+            assert_eq!(a.events(), b.events(), "{s} not deterministic");
+            assert_ne!(a.events(), c.events(), "{s} ignores the seed");
+        }
+    }
+
+    #[test]
+    fn single_lock_uses_exactly_one_lock() {
+        let t = single_lock(16, 1_000, 1);
+        assert_eq!(t.lock_count(), 1);
+    }
+
+    #[test]
+    fn skewed_locks_uses_requested_locks_and_prefers_hot_threads() {
+        let t = skewed_locks(20, 10, 40_000, 1);
+        assert_eq!(t.lock_count(), 10);
+        // The 4 hot threads (20%) have weight 5: they should produce
+        // roughly 5/9 of all events (20 weight of 36 total... exactly
+        // 20/36 ≈ 55.6%). Allow generous slack.
+        let mut hot_events = 0usize;
+        for e in &t {
+            if e.tid.raw() < 4 {
+                hot_events += 1;
+            }
+        }
+        let share = hot_events as f64 / t.len() as f64;
+        assert!(
+            (0.45..0.65).contains(&share),
+            "hot thread share {share} outside expected band"
+        );
+    }
+
+    #[test]
+    fn star_uses_one_lock_per_client_and_server_acts_rarely() {
+        let t = star(9, 8_000, 3);
+        assert_eq!(t.lock_count(), 8);
+        let server_events = t.iter().filter(|e| e.tid.raw() == 0).count();
+        // The server is picked uniformly, i.e. ~1/9 of the time.
+        let share = server_events as f64 / t.len() as f64;
+        assert!(
+            (0.06..0.18).contains(&share),
+            "server share {share} outside the uniform-selection band"
+        );
+    }
+
+    #[test]
+    fn pairwise_uses_a_lock_per_pair() {
+        let t = pairwise(6, 20_000, 3);
+        // 6 choose 2 = 15 locks; with 20k events all pairs appear.
+        assert_eq!(t.lock_count(), 15);
+    }
+
+    #[test]
+    fn scenario_names_round_trip() {
+        for s in Scenario::ALL {
+            let parsed: Scenario = s.to_string().parse().unwrap();
+            assert_eq!(parsed, s);
+        }
+        assert!("nope".parse::<Scenario>().is_err());
+    }
+}

@@ -1,0 +1,183 @@
+//! Trace summary statistics — the columns of the paper's Table 1
+//! (aggregate) and Table 3 (per benchmark): events `N`, threads `T`,
+//! memory locations `M`, locks `L`, and the synchronization /
+//! read-write event split.
+
+use std::fmt;
+
+use crate::event::Op;
+use crate::Trace;
+
+/// Summary statistics of one trace.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// b.acquire(0, "m").write(0, "x").release(0, "m").read(1, "x");
+/// let stats = b.finish().stats();
+/// assert_eq!(stats.events, 4);
+/// assert_eq!(stats.sync_events, 2);
+/// assert!((stats.sync_pct() - 50.0).abs() < 1e-9);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Total number of events (the paper's `N`).
+    pub events: usize,
+    /// Number of distinct threads (`T`).
+    pub threads: usize,
+    /// Number of distinct memory locations (`M`).
+    pub vars: usize,
+    /// Number of distinct locks (`L`).
+    pub locks: usize,
+    /// Number of synchronization events (acquire/release/fork/join).
+    pub sync_events: usize,
+    /// Number of read events.
+    pub read_events: usize,
+    /// Number of write events.
+    pub write_events: usize,
+}
+
+impl TraceStats {
+    /// Computes the statistics of `trace`.
+    pub fn of(trace: &Trace) -> TraceStats {
+        let mut s = TraceStats {
+            events: trace.len(),
+            threads: trace.thread_count(),
+            vars: trace.var_count(),
+            locks: trace.lock_count(),
+            ..TraceStats::default()
+        };
+        for e in trace {
+            match e.op {
+                Op::Read(_) => s.read_events += 1,
+                Op::Write(_) => s.write_events += 1,
+                _ => s.sync_events += 1,
+            }
+        }
+        s
+    }
+
+    /// Percentage of synchronization events (the paper's "Sync. Events
+    /// (%)" column); 0 for an empty trace.
+    pub fn sync_pct(&self) -> f64 {
+        percentage(self.sync_events, self.events)
+    }
+
+    /// Percentage of read/write events (the paper's "R/W Events (%)").
+    pub fn rw_pct(&self) -> f64 {
+        percentage(self.read_events + self.write_events, self.events)
+    }
+}
+
+fn percentage(part: usize, whole: usize) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        100.0 * part as f64 / whole as f64
+    }
+}
+
+impl fmt::Display for TraceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "N={} T={} M={} L={} sync={:.1}% rw={:.1}%",
+            self.events,
+            self.threads,
+            self.vars,
+            self.locks,
+            self.sync_pct(),
+            self.rw_pct()
+        )
+    }
+}
+
+/// Aggregates min/max/mean over a set of per-trace statistics, as in the
+/// paper's Table 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StatsAggregate {
+    /// Minimum observed value.
+    pub min: f64,
+    /// Maximum observed value.
+    pub max: f64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl StatsAggregate {
+    /// Aggregates an iterator of values; returns zeros when empty.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> StatsAggregate {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+            n += 1;
+        }
+        if n == 0 {
+            StatsAggregate::default()
+        } else {
+            StatsAggregate {
+                min,
+                max,
+                mean: sum / n as f64,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceBuilder;
+
+    #[test]
+    fn stats_count_event_kinds() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1);
+        b.acquire(1, "m").write(1, "x").release(1, "m");
+        b.read(0, "x").read(0, "x");
+        b.join(0, 1);
+        let s = b.finish().stats();
+        assert_eq!(s.events, 7);
+        assert_eq!(s.threads, 2);
+        assert_eq!(s.locks, 1);
+        assert_eq!(s.vars, 1);
+        assert_eq!(s.sync_events, 4); // fork, acq, rel, join
+        assert_eq!(s.read_events, 2);
+        assert_eq!(s.write_events, 1);
+        assert!((s.sync_pct() - 4.0 / 7.0 * 100.0).abs() < 1e-9);
+        assert!((s.rw_pct() - 3.0 / 7.0 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_has_zero_percentages() {
+        let s = TraceBuilder::new().finish().stats();
+        assert_eq!(s.sync_pct(), 0.0);
+        assert_eq!(s.rw_pct(), 0.0);
+    }
+
+    #[test]
+    fn aggregate_computes_min_max_mean() {
+        let a = StatsAggregate::of([1.0, 2.0, 6.0]);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 6.0);
+        assert!((a.mean - 3.0).abs() < 1e-12);
+        assert_eq!(StatsAggregate::of([]), StatsAggregate::default());
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x");
+        let s = b.finish().stats().to_string();
+        assert!(s.contains("N=1"));
+        assert!(!s.contains('\n'));
+    }
+}

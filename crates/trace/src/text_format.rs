@@ -1,0 +1,235 @@
+//! A human-readable, line-oriented trace format.
+//!
+//! This mirrors the "standard" (`.std`) format used by RAPID — the tool
+//! the paper's artifact builds on — one event per line:
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! main  acq  m
+//! main  w    x
+//! main  rel  m
+//! main  fork worker
+//! worker r   x
+//! main  join worker
+//! ```
+//!
+//! The operations are `r`, `w`, `acq`, `rel`, `fork`, `join`. Thread,
+//! lock and variable tokens are arbitrary whitespace-free names, interned
+//! to dense ids in order of first appearance.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+use crate::event::Op;
+use crate::{Trace, TraceBuilder};
+
+/// A syntax error while parsing the text trace format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number of the offending line.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Serializes `trace` to the text format.
+///
+/// A mutable reference can be passed for `writer` (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_text<W: Write>(trace: &Trace, mut writer: W) -> io::Result<()> {
+    for e in trace {
+        let tname = trace.thread_name(e.tid);
+        match e.op {
+            Op::Read(x) => writeln!(writer, "{tname} r {}", trace.var_name(x))?,
+            Op::Write(x) => writeln!(writer, "{tname} w {}", trace.var_name(x))?,
+            Op::Acquire(l) => writeln!(writer, "{tname} acq {}", trace.lock_name(l))?,
+            Op::Release(l) => writeln!(writer, "{tname} rel {}", trace.lock_name(l))?,
+            Op::Fork(u) => writeln!(writer, "{tname} fork {}", trace.thread_name(u))?,
+            Op::Join(u) => writeln!(writer, "{tname} join {}", trace.thread_name(u))?,
+        }
+    }
+    Ok(())
+}
+
+/// Renders `trace` to a `String` in the text format.
+pub fn to_text(trace: &Trace) -> String {
+    let mut buf = Vec::new();
+    write_text(trace, &mut buf).expect("writing to a Vec cannot fail");
+    String::from_utf8(buf).expect("text format is always UTF-8")
+}
+
+/// Parses a trace from the text format.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the line number for malformed lines or
+/// unknown operations.
+pub fn parse_text(input: &str) -> Result<Trace, ParseError> {
+    let mut b = TraceBuilder::new();
+    let mut threads = ThreadInterner::default();
+    for (i, raw) in input.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(tname), Some(op), Some(operand)) = (parts.next(), parts.next(), parts.next())
+        else {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("expected `<thread> <op> <operand>`, got `{line}`"),
+            });
+        };
+        if let Some(extra) = parts.next() {
+            return Err(ParseError {
+                line: lineno,
+                message: format!("unexpected trailing token `{extra}`"),
+            });
+        }
+        let tid = threads.intern(tname, &mut b);
+        match op {
+            "r" => b.read(tid, operand),
+            "w" => b.write(tid, operand),
+            "acq" => b.acquire(tid, operand),
+            "rel" => b.release(tid, operand),
+            "fork" => {
+                let child = threads.intern(operand, &mut b);
+                b.fork(tid, child)
+            }
+            "join" => {
+                let child = threads.intern(operand, &mut b);
+                b.join(tid, child)
+            }
+            other => {
+                return Err(ParseError {
+                    line: lineno,
+                    message: format!(
+                        "unknown operation `{other}` (expected r, w, acq, rel, fork, join)"
+                    ),
+                });
+            }
+        };
+    }
+    Ok(b.finish())
+}
+
+/// Reads and parses a trace from any reader.
+///
+/// A mutable reference can be passed for `reader` (e.g. `&mut file`).
+///
+/// # Errors
+///
+/// Returns I/O errors as a [`ParseError`] at line 0, and syntax errors
+/// with their line number.
+pub fn read_text<R: Read>(mut reader: R) -> Result<Trace, ParseError> {
+    let mut buf = String::new();
+    reader.read_to_string(&mut buf).map_err(|e| ParseError {
+        line: 0,
+        message: format!("I/O error: {e}"),
+    })?;
+    parse_text(&buf)
+}
+
+#[derive(Default)]
+struct ThreadInterner {
+    ids: std::collections::HashMap<String, u32>,
+}
+
+impl ThreadInterner {
+    fn intern(&mut self, name: &str, b: &mut TraceBuilder) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.ids.len() as u32;
+        self.ids.insert(name.to_owned(), id);
+        b.name_thread(id, name);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::ThreadId;
+
+    const SAMPLE: &str = "\
+# a tiny racy program
+main acq m
+main w data
+main rel m
+main fork worker
+
+worker r data
+main join worker
+";
+
+    #[test]
+    fn parses_sample_with_comments_and_blanks() {
+        let t = parse_text(SAMPLE).unwrap();
+        assert_eq!(t.len(), 6);
+        assert_eq!(t.thread_count(), 2);
+        assert_eq!(t.thread_name(ThreadId::new(0)), "main");
+        assert_eq!(t.thread_name(ThreadId::new(1)), "worker");
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn round_trips_through_text() {
+        let t = parse_text(SAMPLE).unwrap();
+        let rendered = to_text(&t);
+        let back = parse_text(&rendered).unwrap();
+        assert_eq!(t.events(), back.events());
+        assert_eq!(to_text(&back), rendered);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let e = parse_text("main acq\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("expected"));
+    }
+
+    #[test]
+    fn rejects_unknown_ops() {
+        let e = parse_text("main cas x\n").unwrap_err();
+        assert!(e.message.contains("unknown operation"));
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let e = parse_text("main r x junk\n").unwrap_err();
+        assert!(e.message.contains("trailing"));
+    }
+
+    #[test]
+    fn fork_targets_are_interned_as_threads() {
+        let t = parse_text("a fork b\nb w x\n").unwrap();
+        assert_eq!(t.thread_count(), 2);
+        assert_eq!(t[1].tid, ThreadId::new(1));
+    }
+
+    #[test]
+    fn read_text_works_over_readers() {
+        let t = read_text(SAMPLE.as_bytes()).unwrap();
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn error_display_mentions_line() {
+        let e = parse_text("???\n").unwrap_err();
+        assert!(e.to_string().contains("line 1"));
+    }
+}

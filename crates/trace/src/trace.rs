@@ -1,0 +1,459 @@
+//! The [`Trace`] container and its [`TraceBuilder`].
+
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::Index;
+
+use tc_core::ThreadId;
+
+use crate::event::{Event, LockId, Op, VarId};
+use crate::stats::TraceStats;
+use crate::validate::ValidationError;
+
+/// An immutable sequence of events observed from a concurrent execution.
+///
+/// Events are stored densely; thread, lock and variable identifiers are
+/// dense indices. Human-readable names (when the trace was built by
+/// name, e.g. parsed from a log) are kept in optional side tables.
+///
+/// The unique identifier of an event is its index in the trace, matching
+/// the paper's convention that `(tid, local time)` identifies events.
+#[derive(Clone, Default)]
+pub struct Trace {
+    events: Vec<Event>,
+    thread_count: usize,
+    lock_count: usize,
+    var_count: usize,
+    thread_names: Vec<String>,
+    lock_names: Vec<String>,
+    var_names: Vec<String>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Trace::default()
+    }
+
+    /// Number of events in the trace.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if the trace has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of distinct threads (`max tid + 1`).
+    pub fn thread_count(&self) -> usize {
+        self.thread_count
+    }
+
+    /// Number of distinct locks.
+    pub fn lock_count(&self) -> usize {
+        self.lock_count
+    }
+
+    /// Number of distinct shared variables.
+    pub fn var_count(&self) -> usize {
+        self.var_count
+    }
+
+    /// The events in trace order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Iterates over the events in trace order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Event> {
+        self.events.iter()
+    }
+
+    /// The event at position `i`, if any.
+    pub fn get(&self, i: usize) -> Option<&Event> {
+        self.events.get(i)
+    }
+
+    /// The name of a thread if the trace carries names, else `t<i>`.
+    pub fn thread_name(&self, t: ThreadId) -> String {
+        self.thread_names
+            .get(t.index())
+            .filter(|s| !s.is_empty())
+            .cloned()
+            .unwrap_or_else(|| t.to_string())
+    }
+
+    /// The name of a lock if the trace carries names, else `l<i>`.
+    pub fn lock_name(&self, l: LockId) -> String {
+        self.lock_names
+            .get(l.index())
+            .filter(|s| !s.is_empty())
+            .cloned()
+            .unwrap_or_else(|| l.to_string())
+    }
+
+    /// The name of a variable if the trace carries names, else `x<i>`.
+    pub fn var_name(&self, x: VarId) -> String {
+        self.var_names
+            .get(x.index())
+            .filter(|s| !s.is_empty())
+            .cloned()
+            .unwrap_or_else(|| x.to_string())
+    }
+
+    /// Computes summary statistics (the columns of the paper's Tables 1
+    /// and 3).
+    pub fn stats(&self) -> TraceStats {
+        TraceStats::of(self)
+    }
+
+    /// Checks well-formedness (lock discipline and fork/join sanity).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidationError`] encountered, with the event
+    /// index and a description.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        crate::validate::validate(self)
+    }
+
+    /// Computes the local time of every event: `local_times()[i]` is
+    /// `lTime(e_i)`, the 1-based count of events by `e_i`'s thread up to
+    /// and including `e_i`.
+    pub fn local_times(&self) -> Vec<u32> {
+        let mut per_thread = vec![0u32; self.thread_count];
+        self.events
+            .iter()
+            .map(|e| {
+                let c = &mut per_thread[e.tid.index()];
+                *c += 1;
+                *c
+            })
+            .collect()
+    }
+}
+
+impl Index<usize> for Trace {
+    type Output = Event;
+
+    fn index(&self, i: usize) -> &Event {
+        &self.events[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl FromIterator<Event> for Trace {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        let mut b = TraceBuilder::new();
+        for e in iter {
+            b.push(e);
+        }
+        b.finish()
+    }
+}
+
+impl fmt::Debug for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Trace({} events, {} threads, {} locks, {} vars)",
+            self.len(),
+            self.thread_count,
+            self.lock_count,
+            self.var_count
+        )
+    }
+}
+
+/// Incremental construction of a [`Trace`].
+///
+/// Two styles are supported and can be mixed:
+///
+/// - **by name** ([`read`](Self::read), [`acquire`](Self::acquire), …):
+///   lock/variable names are interned to dense ids — convenient for
+///   hand-written traces and parsers;
+/// - **by id** ([`push`](Self::push), [`read_id`](Self::read_id), …):
+///   zero-allocation, used by the synthetic generators.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// b.fork(0, 1);
+/// b.write(1, "data");
+/// b.join(0, 1);
+/// b.read(0, "data");
+/// let trace = b.finish();
+/// assert!(trace.validate().is_ok());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<Event>,
+    locks: Interner,
+    vars: Interner,
+    thread_names: HashMap<u32, String>,
+}
+
+impl TraceBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Creates a builder with capacity reserved for `events` events.
+    pub fn with_capacity(events: usize) -> Self {
+        TraceBuilder {
+            events: Vec::with_capacity(events),
+            ..TraceBuilder::default()
+        }
+    }
+
+    /// Appends a pre-constructed event (by-id style).
+    pub fn push(&mut self, event: Event) -> &mut Self {
+        self.events.push(event);
+        self
+    }
+
+    /// Number of events appended so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    // ---- by-name API --------------------------------------------------
+
+    /// Appends `r(var)` by thread `tid`.
+    pub fn read(&mut self, tid: u32, var: &str) -> &mut Self {
+        let x = self.vars.intern(var);
+        self.push(Event::new(ThreadId::new(tid), Op::Read(VarId::new(x))))
+    }
+
+    /// Appends `w(var)` by thread `tid`.
+    pub fn write(&mut self, tid: u32, var: &str) -> &mut Self {
+        let x = self.vars.intern(var);
+        self.push(Event::new(ThreadId::new(tid), Op::Write(VarId::new(x))))
+    }
+
+    /// Appends `acq(lock)` by thread `tid`.
+    pub fn acquire(&mut self, tid: u32, lock: &str) -> &mut Self {
+        let l = self.locks.intern(lock);
+        self.push(Event::new(ThreadId::new(tid), Op::Acquire(LockId::new(l))))
+    }
+
+    /// Appends `rel(lock)` by thread `tid`.
+    pub fn release(&mut self, tid: u32, lock: &str) -> &mut Self {
+        let l = self.locks.intern(lock);
+        self.push(Event::new(ThreadId::new(tid), Op::Release(LockId::new(l))))
+    }
+
+    /// Appends `fork(child)` by thread `tid`.
+    pub fn fork(&mut self, tid: u32, child: u32) -> &mut Self {
+        self.push(Event::new(
+            ThreadId::new(tid),
+            Op::Fork(ThreadId::new(child)),
+        ))
+    }
+
+    /// Appends `join(child)` by thread `tid`.
+    pub fn join(&mut self, tid: u32, child: u32) -> &mut Self {
+        self.push(Event::new(
+            ThreadId::new(tid),
+            Op::Join(ThreadId::new(child)),
+        ))
+    }
+
+    // ---- by-id API ----------------------------------------------------
+
+    /// Appends `r(x)` by thread `tid` using raw ids.
+    pub fn read_id(&mut self, tid: u32, x: u32) -> &mut Self {
+        self.push(Event::new(ThreadId::new(tid), Op::Read(VarId::new(x))))
+    }
+
+    /// Appends `w(x)` by thread `tid` using raw ids.
+    pub fn write_id(&mut self, tid: u32, x: u32) -> &mut Self {
+        self.push(Event::new(ThreadId::new(tid), Op::Write(VarId::new(x))))
+    }
+
+    /// Appends `acq(l)` by thread `tid` using raw ids.
+    pub fn acquire_id(&mut self, tid: u32, l: u32) -> &mut Self {
+        self.push(Event::new(ThreadId::new(tid), Op::Acquire(LockId::new(l))))
+    }
+
+    /// Appends `rel(l)` by thread `tid` using raw ids.
+    pub fn release_id(&mut self, tid: u32, l: u32) -> &mut Self {
+        self.push(Event::new(ThreadId::new(tid), Op::Release(LockId::new(l))))
+    }
+
+    /// Records a human-readable name for thread `tid`.
+    pub fn name_thread(&mut self, tid: u32, name: &str) -> &mut Self {
+        self.thread_names.insert(tid, name.to_owned());
+        self
+    }
+
+    /// Finalizes the builder into an immutable [`Trace`].
+    pub fn finish(self) -> Trace {
+        let mut thread_count = 0usize;
+        let mut lock_count = self.locks.names.len();
+        let mut var_count = self.vars.names.len();
+        for e in &self.events {
+            thread_count = thread_count.max(e.tid.index() + 1);
+            match e.op {
+                Op::Acquire(l) | Op::Release(l) => lock_count = lock_count.max(l.index() + 1),
+                Op::Read(x) | Op::Write(x) => var_count = var_count.max(x.index() + 1),
+                Op::Fork(u) | Op::Join(u) => thread_count = thread_count.max(u.index() + 1),
+            }
+        }
+        let mut thread_names = vec![String::new(); thread_count];
+        for (tid, name) in self.thread_names {
+            if (tid as usize) < thread_count {
+                thread_names[tid as usize] = name;
+            }
+        }
+        Trace {
+            events: self.events,
+            thread_count,
+            lock_count,
+            var_count,
+            thread_names,
+            lock_names: self.locks.names,
+            var_names: self.vars.names,
+        }
+    }
+}
+
+/// A simple string interner producing dense `u32` ids.
+#[derive(Clone, Debug, Default)]
+struct Interner {
+    names: Vec<String>,
+    ids: HashMap<String, u32>,
+}
+
+impl Interner {
+    fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.ids.get(name) {
+            return id;
+        }
+        let id = self.names.len() as u32;
+        self.names.push(name.to_owned());
+        self.ids.insert(name.to_owned(), id);
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_interns_names_densely() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m");
+        b.acquire(1, "n");
+        b.release(1, "n");
+        b.release(0, "m");
+        b.write(0, "x");
+        b.read(1, "x");
+        let trace = b.finish();
+        assert_eq!(trace.lock_count(), 2);
+        assert_eq!(trace.var_count(), 1);
+        assert_eq!(trace.lock_name(LockId::new(0)), "m");
+        assert_eq!(trace.lock_name(LockId::new(1)), "n");
+        assert_eq!(trace.var_name(VarId::new(0)), "x");
+    }
+
+    #[test]
+    fn finish_counts_threads_including_forked_ones() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 7); // thread 7 never performs an event itself
+        let trace = b.finish();
+        assert_eq!(trace.thread_count(), 8);
+    }
+
+    #[test]
+    fn by_id_and_by_name_apis_mix() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m"); // lock id 0
+        b.release_id(0, 0);
+        b.write_id(1, 5); // var ids up to 5 exist
+        let trace = b.finish();
+        assert_eq!(trace.lock_count(), 1);
+        assert_eq!(trace.var_count(), 6);
+        assert!(trace.validate().is_ok());
+    }
+
+    #[test]
+    fn local_times_are_per_thread_and_one_based() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x"); // t0 #1
+        b.write(1, "x"); // t1 #1
+        b.write(0, "x"); // t0 #2
+        b.write(0, "x"); // t0 #3
+        let trace = b.finish();
+        assert_eq!(trace.local_times(), vec![1, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unnamed_entities_fall_back_to_dense_names() {
+        let mut b = TraceBuilder::new();
+        b.write_id(3, 2);
+        let trace = b.finish();
+        assert_eq!(trace.thread_name(ThreadId::new(3)), "t3");
+        assert_eq!(trace.var_name(VarId::new(2)), "x2");
+    }
+
+    #[test]
+    fn named_threads_are_preserved() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x");
+        b.name_thread(0, "main");
+        let trace = b.finish();
+        assert_eq!(trace.thread_name(ThreadId::new(0)), "main");
+    }
+
+    #[test]
+    fn trace_collects_from_event_iterator() {
+        let events = vec![
+            Event::new(ThreadId::new(0), Op::Write(VarId::new(0))),
+            Event::new(ThreadId::new(1), Op::Read(VarId::new(0))),
+        ];
+        let trace: Trace = events.iter().copied().collect();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[1], events[1]);
+    }
+
+    #[test]
+    fn indexing_and_iteration_agree() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").read(1, "x");
+        let trace = b.finish();
+        let via_iter: Vec<Event> = trace.iter().copied().collect();
+        assert_eq!(via_iter.len(), trace.len());
+        assert_eq!(via_iter[0], trace[0]);
+        let via_ref: Vec<&Event> = (&trace).into_iter().collect();
+        assert_eq!(via_ref.len(), 2);
+    }
+
+    #[test]
+    fn debug_shows_summary() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x");
+        let s = format!("{:?}", b.finish());
+        assert!(s.contains("1 events"));
+        assert!(s.contains("1 threads"));
+    }
+}

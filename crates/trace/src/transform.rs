@@ -1,0 +1,223 @@
+//! Trace transformations: slicing, projection and filtering.
+//!
+//! These are the utilities a dynamic-analysis workflow needs around the
+//! core algorithms — cutting a failing trace down to a window, focusing
+//! on one variable, or projecting onto a subset of threads — while
+//! always producing *well-formed* traces (lock discipline repaired
+//! where a cut would break it).
+
+use std::collections::HashSet;
+
+use tc_core::ThreadId;
+
+use crate::event::Op;
+use crate::{Trace, TraceBuilder, VarId};
+
+/// Returns the prefix of `trace` with the first `n` events.
+///
+/// A prefix of a well-formed trace is always well-formed (critical
+/// sections may dangle open, which validation permits — logging can
+/// stop at any point).
+pub fn prefix(trace: &Trace, n: usize) -> Trace {
+    trace.iter().take(n).copied().collect()
+}
+
+/// Returns the suffix of `trace` starting at event `from`, with lock
+/// discipline repaired: releases of locks whose acquire fell before the
+/// cut are dropped, and re-acquires of locks still "held" from before
+/// the cut are dropped along with their critical sections' releases.
+///
+/// The result is well-formed and contains every event of the suffix
+/// that does not depend on pre-cut lock state.
+pub fn suffix(trace: &Trace, from: usize) -> Trace {
+    let mut held_before: HashSet<u32> = HashSet::new();
+    for e in trace.iter().take(from) {
+        match e.op {
+            Op::Acquire(l) => {
+                held_before.insert(l.raw());
+            }
+            Op::Release(l) => {
+                held_before.remove(&l.raw());
+            }
+            _ => {}
+        }
+    }
+    let mut b = TraceBuilder::with_capacity(trace.len().saturating_sub(from));
+    // Locks that were held across the cut: their first post-cut release
+    // has no matching acquire and must be dropped (after which the lock
+    // becomes usable again).
+    let mut pending_release = held_before;
+    // Threads joined before the cut would make post-cut events invalid;
+    // forks before the cut simply vanish (threads appear spontaneously,
+    // which the model allows).
+    let mut joined: HashSet<u32> = HashSet::new();
+    for e in trace.iter().take(from) {
+        if let Op::Join(u) = e.op {
+            joined.insert(u.raw());
+        }
+    }
+    for e in trace.iter().skip(from) {
+        if joined.contains(&e.tid.raw()) {
+            continue; // thread logically terminated before the cut
+        }
+        match e.op {
+            Op::Release(l) if pending_release.contains(&l.raw()) => {
+                pending_release.remove(&l.raw());
+            }
+            Op::Fork(u) | Op::Join(u) if joined.contains(&u.raw()) => {}
+            _ => {
+                b.push(*e);
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Keeps only the events of the given `threads` (plus fork/join events
+/// whose *target* is kept, when the forking thread is kept too).
+///
+/// Lock discipline is preserved automatically: a critical section
+/// belongs to one thread, so dropping whole threads never splits one.
+pub fn project_threads(trace: &Trace, threads: &[ThreadId]) -> Trace {
+    let keep: HashSet<u32> = threads.iter().map(|t| t.raw()).collect();
+    let mut b = TraceBuilder::with_capacity(trace.len());
+    for e in trace {
+        if !keep.contains(&e.tid.raw()) {
+            continue;
+        }
+        match e.op {
+            Op::Fork(u) | Op::Join(u) if !keep.contains(&u.raw()) => {
+                // Lifecycle event for a dropped thread: drop it too.
+            }
+            _ => {
+                b.push(*e);
+            }
+        }
+    }
+    b.finish()
+}
+
+/// Keeps synchronization events and only the accesses to variable `x`
+/// — the "checking for data races on a specific variable" analysis the
+/// paper mentions as a lighter-weight client (Section 6).
+pub fn focus_variable(trace: &Trace, x: VarId) -> Trace {
+    let mut b = TraceBuilder::with_capacity(trace.len());
+    for e in trace {
+        match e.op {
+            Op::Read(y) | Op::Write(y) if y != x => {}
+            _ => {
+                b.push(*e);
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::WorkloadSpec;
+
+    fn sample() -> Trace {
+        WorkloadSpec {
+            threads: 5,
+            locks: 3,
+            vars: 8,
+            events: 2_000,
+            sync_ratio: 0.25,
+            fork_join: true,
+            seed: 12,
+            ..WorkloadSpec::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn prefixes_are_well_formed_at_every_cut() {
+        let t = sample();
+        for n in [0, 1, 7, 100, t.len() / 2, t.len()] {
+            let p = prefix(&t, n);
+            assert_eq!(p.len(), n.min(t.len()));
+            p.validate().expect("prefix must stay well-formed");
+        }
+    }
+
+    #[test]
+    fn suffixes_are_well_formed_at_every_cut() {
+        let t = sample();
+        for from in [0, 1, 13, 500, t.len() / 2, t.len()] {
+            let s = suffix(&t, from);
+            s.validate()
+                .unwrap_or_else(|e| panic!("suffix at {from} invalid: {e}"));
+            assert!(s.len() <= t.len() - from.min(t.len()));
+        }
+    }
+
+    #[test]
+    fn suffix_drops_orphan_releases_only() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m"); // before the cut
+        b.write(0, "x"); // before the cut
+        b.release(0, "m"); // after: orphan, dropped
+        b.acquire(1, "m"); // after: valid again
+        b.release(1, "m");
+        let t = b.finish();
+        let s = suffix(&t, 2);
+        assert_eq!(s.len(), 2);
+        assert!(s.validate().is_ok());
+    }
+
+    #[test]
+    fn projection_keeps_only_selected_threads() {
+        let t = sample();
+        let keep = [ThreadId::new(0), ThreadId::new(2)];
+        let p = project_threads(&t, &keep);
+        assert!(p.validate().is_ok());
+        assert!(p.iter().all(|e| e.tid.raw() == 0 || e.tid.raw() == 2));
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn projection_drops_lifecycle_of_dropped_threads() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1).fork(0, 2);
+        b.write(1, "x").write(2, "x");
+        b.join(0, 1).join(0, 2);
+        let t = b.finish();
+        let p = project_threads(&t, &[ThreadId::new(0), ThreadId::new(1)]);
+        assert!(p.validate().is_ok());
+        // fork(2)/join(2) gone; fork(1)/join(1) kept.
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn focus_keeps_sync_and_one_variable() {
+        let t = sample();
+        let f = focus_variable(&t, VarId::new(0));
+        assert!(f.validate().is_ok());
+        for e in &f {
+            if let Some(x) = e.op.variable() {
+                assert_eq!(x, VarId::new(0));
+            }
+        }
+        let s = f.stats();
+        assert_eq!(s.sync_events, t.stats().sync_events);
+    }
+
+    #[test]
+    fn focus_preserves_the_targeted_accesses_and_their_sync_context() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").write(0, "y");
+        b.acquire(0, "m").release(0, "m");
+        b.acquire(1, "m").release(1, "m");
+        b.write(1, "x").write(1, "y");
+        let t = b.finish();
+        let f = focus_variable(&t, VarId::new(0));
+        // Both x-writes survive, both critical sections survive, the
+        // y-writes are gone: HB ordering between the x-accesses (through
+        // the lock) is computable from the focused trace alone.
+        assert_eq!(f.iter().filter(|e| e.op.variable().is_some()).count(), 2);
+        assert_eq!(f.stats().sync_events, 4);
+        assert_eq!(f.len(), 6);
+    }
+}

@@ -1,0 +1,213 @@
+//! Trace well-formedness validation.
+//!
+//! Section 2.1 of the paper requires traces to respect lock semantics:
+//! between two acquires of the same lock there must be a release by the
+//! first acquiring thread. We additionally check fork/join sanity for
+//! the thread-lifecycle extension.
+
+use std::error::Error;
+use std::fmt;
+
+use tc_core::ThreadId;
+
+use crate::event::Op;
+use crate::Trace;
+
+/// A trace well-formedness violation, reported with the offending event
+/// index.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Index of the offending event in the trace.
+    pub at: usize,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid trace at event {}: {}", self.at, self.message)
+    }
+}
+
+impl Error for ValidationError {}
+
+fn err(at: usize, message: impl Into<String>) -> ValidationError {
+    ValidationError {
+        at,
+        message: message.into(),
+    }
+}
+
+/// Validates `trace`; see [`Trace::validate`].
+pub(crate) fn validate(trace: &Trace) -> Result<(), ValidationError> {
+    let k = trace.thread_count();
+    // Lock state: which thread currently holds each lock.
+    let mut held_by: Vec<Option<ThreadId>> = vec![None; trace.lock_count()];
+    // Thread lifecycle state.
+    let mut started = vec![false; k]; // performed an event or was fork target
+    let mut forked = vec![false; k];
+    let mut joined = vec![false; k];
+
+    for (i, e) in trace.iter().enumerate() {
+        let t = e.tid;
+        if joined[t.index()] {
+            return Err(err(
+                i,
+                format!("thread {t} performs {} after having been joined", e.op),
+            ));
+        }
+        started[t.index()] = true;
+        match e.op {
+            Op::Acquire(l) => match held_by[l.index()] {
+                Some(holder) => {
+                    return Err(err(
+                        i,
+                        format!("{t} acquires {l} already held by {holder} (locks are not reentrant)"),
+                    ));
+                }
+                None => held_by[l.index()] = Some(t),
+            },
+            Op::Release(l) => match held_by[l.index()] {
+                Some(holder) if holder == t => held_by[l.index()] = None,
+                Some(holder) => {
+                    return Err(err(
+                        i,
+                        format!("{t} releases {l} held by {holder}"),
+                    ));
+                }
+                None => {
+                    return Err(err(i, format!("{t} releases {l} which is not held")));
+                }
+            },
+            Op::Fork(u) => {
+                if u == t {
+                    return Err(err(i, format!("{t} forks itself")));
+                }
+                if forked[u.index()] {
+                    return Err(err(i, format!("thread {u} forked twice")));
+                }
+                if started[u.index()] {
+                    return Err(err(
+                        i,
+                        format!("thread {u} forked after it already performed events"),
+                    ));
+                }
+                forked[u.index()] = true;
+            }
+            Op::Join(u) => {
+                if u == t {
+                    return Err(err(i, format!("{t} joins itself")));
+                }
+                if joined[u.index()] {
+                    return Err(err(i, format!("thread {u} joined twice")));
+                }
+                joined[u.index()] = true;
+            }
+            Op::Read(_) | Op::Write(_) => {}
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::TraceBuilder;
+
+    #[test]
+    fn valid_trace_passes() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").write(0, "x").release(0, "m");
+        b.acquire(1, "m").read(1, "x").release(1, "m");
+        assert!(b.finish().validate().is_ok());
+    }
+
+    #[test]
+    fn double_acquire_is_rejected() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").acquire(1, "m");
+        let e = b.finish().validate().unwrap_err();
+        assert_eq!(e.at, 1);
+        assert!(e.message.contains("already held"));
+    }
+
+    #[test]
+    fn reentrant_acquire_is_rejected() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").acquire(0, "m");
+        let e = b.finish().validate().unwrap_err();
+        assert!(e.message.contains("not reentrant"));
+    }
+
+    #[test]
+    fn release_without_acquire_is_rejected() {
+        let mut b = TraceBuilder::new();
+        b.release(0, "m");
+        let e = b.finish().validate().unwrap_err();
+        assert_eq!(e.at, 0);
+        assert!(e.message.contains("not held"));
+    }
+
+    #[test]
+    fn release_by_non_holder_is_rejected() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").release(1, "m");
+        let e = b.finish().validate().unwrap_err();
+        assert!(e.message.contains("held by t0"));
+    }
+
+    #[test]
+    fn dangling_critical_section_is_allowed() {
+        // A trace may end mid-critical-section (logging can stop anytime).
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").write(0, "x");
+        assert!(b.finish().validate().is_ok());
+    }
+
+    #[test]
+    fn fork_join_lifecycle_is_checked() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1).write(1, "x").join(0, 1);
+        assert!(b.finish().validate().is_ok());
+
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1).join(0, 1).write(1, "x");
+        let e = b.finish().validate().unwrap_err();
+        assert!(e.message.contains("after having been joined"));
+    }
+
+    #[test]
+    fn fork_after_first_event_is_rejected() {
+        let mut b = TraceBuilder::new();
+        b.write(1, "x").fork(0, 1);
+        let e = b.finish().validate().unwrap_err();
+        assert!(e.message.contains("already performed"));
+    }
+
+    #[test]
+    fn self_fork_and_double_fork_are_rejected() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 0);
+        assert!(b.finish().validate().is_err());
+
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1).fork(2, 1);
+        let e = b.finish().validate().unwrap_err();
+        assert!(e.message.contains("forked twice"));
+    }
+
+    #[test]
+    fn double_join_is_rejected() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1).join(0, 1).join(2, 1);
+        let e = b.finish().validate().unwrap_err();
+        assert!(e.message.contains("joined twice"));
+    }
+
+    #[test]
+    fn error_displays_with_event_index() {
+        let mut b = TraceBuilder::new();
+        b.release(3, "m");
+        let e = b.finish().validate().unwrap_err();
+        assert!(e.to_string().starts_with("invalid trace at event 0:"));
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests: every transformation produces well-formed traces for
+//! arbitrary workloads and cut points, and composes sensibly.
+
+use proptest::prelude::*;
+
+use tc_core::ThreadId;
+use tc_trace::gen::WorkloadSpec;
+use tc_trace::transform::{focus_variable, prefix, project_threads, suffix};
+use tc_trace::VarId;
+
+fn workload(seed: u64, threads: u32, sync_pct: u8, fork_join: bool) -> tc_trace::Trace {
+    WorkloadSpec {
+        threads,
+        locks: 4,
+        vars: 16,
+        events: 300,
+        sync_ratio: f64::from(sync_pct) / 100.0,
+        fork_join,
+        seed,
+        ..WorkloadSpec::default()
+    }
+    .generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn prefix_and_suffix_stay_well_formed(
+        seed in 0u64..5000,
+        threads in 2u32..8,
+        sync_pct in 0u8..80,
+        fork_join in any::<bool>(),
+        cut_ppm in 0u32..=1_000_000,
+    ) {
+        let t = workload(seed, threads, sync_pct, fork_join);
+        let cut = (t.len() as u64 * u64::from(cut_ppm) / 1_000_000) as usize;
+        prefix(&t, cut).validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        suffix(&t, cut).validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+    }
+
+    #[test]
+    fn projection_is_well_formed_and_idempotent(
+        seed in 0u64..5000,
+        threads in 2u32..8,
+        keep_mask in 1u32..255,
+    ) {
+        let t = workload(seed, threads, 30, false);
+        let keep: Vec<ThreadId> = (0..threads)
+            .filter(|i| keep_mask & (1 << i) != 0)
+            .map(ThreadId::new)
+            .collect();
+        let p = project_threads(&t, &keep);
+        p.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        let pp = project_threads(&p, &keep);
+        prop_assert_eq!(p.events(), pp.events(), "projection must be idempotent");
+    }
+
+    #[test]
+    fn focusing_is_well_formed_and_monotone(
+        seed in 0u64..5000,
+        var in 0u32..16,
+    ) {
+        let t = workload(seed, 5, 20, false);
+        let f = focus_variable(&t, VarId::new(var));
+        f.validate().map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert!(f.len() <= t.len());
+        // Focusing twice is the same as focusing once.
+        let ff = focus_variable(&f, VarId::new(var));
+        prop_assert_eq!(f.events(), ff.events());
+    }
+}

@@ -1,0 +1,51 @@
+//! A miniature of the paper's Figure 10(c): on a star communication
+//! topology the vector clock's cost grows linearly with the number of
+//! threads while the tree clock's stays flat.
+//!
+//! Run with: `cargo run --release --example scalability`
+
+use std::time::Instant;
+
+use treeclocks::prelude::*;
+use treeclocks::trace::gen::scenarios;
+
+fn time_hb<C: LogicalClock>(trace: &Trace) -> f64 {
+    let start = Instant::now();
+    let mut engine = HbEngine::<C>::new(trace);
+    for e in trace {
+        engine.process(e);
+    }
+    start.elapsed().as_secs_f64()
+}
+
+fn main() {
+    const EVENTS: usize = 300_000;
+    println!("star topology, {EVENTS} events per trace (HB computation)\n");
+    println!("{:>8}  {:>10}  {:>10}  {:>8}", "threads", "vector (s)", "tree (s)", "speedup");
+
+    for threads in [10u32, 40, 120, 240, 360] {
+        let trace = scenarios::star(threads, EVENTS, 7);
+        let vc = time_hb::<VectorClock>(&trace);
+        let tc = time_hb::<TreeClock>(&trace);
+        println!(
+            "{threads:>8}  {vc:>10.3}  {tc:>10.3}  {:>7.2}x",
+            vc / tc.max(1e-12)
+        );
+    }
+
+    // The reason, in one number: the fraction of clock entries the tree
+    // actually needs to touch, versus the k entries a vector must scan.
+    let trace = scenarios::star(240, EVENTS, 7);
+    let tree = HbEngine::<TreeClock>::run_counted(&trace);
+    let vector = HbEngine::<VectorClock>::run_counted(&trace);
+    println!(
+        "\nat 240 threads: VTWork (lower bound) = {}, tree work = {} ({:.2}x), \
+         vector work = {} ({:.1}x)",
+        tree.vt_work(),
+        tree.ds_work(),
+        tree.work_ratio(),
+        vector.ds_work(),
+        vector.work_ratio(),
+    );
+    assert!(tree.work_ratio() <= 3.0, "Theorem 1 of the paper");
+}

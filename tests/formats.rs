@@ -1,0 +1,110 @@
+//! Integration tests of the trace file formats across crates: a trace
+//! that survives a round-trip through disk must produce bit-identical
+//! analysis results.
+
+use treeclocks::prelude::*;
+use treeclocks::trace::gen::WorkloadSpec;
+use treeclocks::trace::{binary_format, text_format};
+
+fn sample_trace() -> Trace {
+    WorkloadSpec {
+        threads: 6,
+        locks: 3,
+        vars: 32,
+        events: 5_000,
+        sync_ratio: 0.2,
+        fork_join: true,
+        seed: 77,
+        ..WorkloadSpec::default()
+    }
+    .generate()
+}
+
+#[test]
+fn binary_round_trip_preserves_analysis_results() {
+    let trace = sample_trace();
+    let bytes = binary_format::to_binary(&trace);
+    let replay = binary_format::read_binary(bytes.as_slice()).expect("round trip");
+    assert_eq!(trace.events(), replay.events());
+
+    let original = HbRaceDetector::<TreeClock>::new(&trace).run(&trace);
+    let replayed = HbRaceDetector::<TreeClock>::new(&replay).run(&replay);
+    assert_eq!(original, replayed);
+
+    assert_eq!(
+        ShbEngine::<TreeClock>::run(&trace).vt_work(),
+        ShbEngine::<TreeClock>::run(&replay).vt_work()
+    );
+}
+
+#[test]
+fn text_round_trip_preserves_analysis_results() {
+    // The text format round-trips *names*; dense ids are re-interned in
+    // first-appearance order, a bijective renaming that must not change
+    // any analysis outcome.
+    let trace = sample_trace();
+    let text = text_format::to_text(&trace);
+    let replay = text_format::parse_text(&text).expect("round trip");
+    assert_eq!(trace.len(), replay.len());
+    assert_eq!(trace.thread_count(), replay.thread_count());
+    assert_eq!(trace.lock_count(), replay.lock_count());
+    assert_eq!(trace.var_count(), replay.var_count());
+    // Rendering again is a fixed point (names are preserved exactly).
+    assert_eq!(text_format::to_text(&replay), text);
+
+    let original = MazAnalyzer::<VectorClock>::new(&trace).run(&trace);
+    let replayed = MazAnalyzer::<VectorClock>::new(&replay).run(&replay);
+    assert_eq!(original.total, replayed.total);
+    assert_eq!(original.checks, replayed.checks);
+}
+
+#[test]
+fn formats_agree_with_each_other() {
+    let trace = sample_trace();
+    let via_text = text_format::parse_text(&text_format::to_text(&trace)).unwrap();
+    let via_bin = binary_format::read_binary(binary_format::to_binary(&trace).as_slice()).unwrap();
+    assert_eq!(via_text.len(), via_bin.len());
+    assert_eq!(via_text.stats().sync_events, via_bin.stats().sync_events);
+    // The binary format preserves ids exactly.
+    assert_eq!(via_bin.events(), trace.events());
+}
+
+#[test]
+fn disk_round_trip_through_real_files() {
+    let trace = sample_trace();
+    let dir = std::env::temp_dir().join(format!("treeclocks-it-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let text_path = dir.join("t.trace");
+    let bin_path = dir.join("t.tctr");
+
+    text_format::write_text(&trace, std::fs::File::create(&text_path).unwrap()).unwrap();
+    binary_format::write_binary(&trace, std::fs::File::create(&bin_path).unwrap()).unwrap();
+
+    let t = text_format::read_text(std::fs::File::open(&text_path).unwrap()).unwrap();
+    let b = binary_format::read_binary(std::fs::File::open(&bin_path).unwrap()).unwrap();
+    assert_eq!(t.len(), trace.len());
+    assert_eq!(text_format::to_text(&t), text_format::to_text(&trace));
+    assert_eq!(b.events(), trace.events());
+
+    // The binary format is substantially denser.
+    let text_size = std::fs::metadata(&text_path).unwrap().len();
+    let bin_size = std::fs::metadata(&bin_path).unwrap().len();
+    assert!(
+        bin_size * 2 < text_size,
+        "binary ({bin_size}) should be far denser than text ({text_size})"
+    );
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn corrupted_files_fail_loudly_not_silently() {
+    let trace = sample_trace();
+    let mut bytes = binary_format::to_binary(&trace);
+    bytes[0] = b'X'; // clobber the magic
+    assert!(binary_format::read_binary(bytes.as_slice()).is_err());
+
+    let mut text = text_format::to_text(&trace);
+    text.push_str("t0 explode x\n");
+    assert!(text_format::parse_text(&text).is_err());
+}

@@ -1,0 +1,179 @@
+//! Cross-crate integration: generator → engine → detector pipelines,
+//! exercised through the facade crate exactly as a downstream user
+//! would, for both clock representations.
+
+use treeclocks::prelude::*;
+use treeclocks::trace::gen::{scenarios::Scenario, WorkloadSpec};
+
+/// Every scenario, end to end: identical timestamps, identical race
+/// reports, representation-independent `VTWork`, and the Theorem 1
+/// bound on tree-clock work.
+#[test]
+fn scenarios_full_pipeline() {
+    for s in Scenario::ALL {
+        let trace = s.generate(24, 30_000, 99);
+        trace.validate().expect("generated traces are well-formed");
+
+        let tc = HbEngine::<TreeClock>::run_counted(&trace);
+        let vc = HbEngine::<VectorClock>::run_counted(&trace);
+        assert_eq!(tc.vt_work(), vc.vt_work(), "{s}: VTWork diverged");
+        assert!(
+            tc.ds_work() <= 3 * tc.vt_work(),
+            "{s}: tree-clock work {} exceeds 3x the lower bound {}",
+            tc.ds_work(),
+            tc.vt_work()
+        );
+        assert!(
+            tc.ds_work() <= vc.ds_work(),
+            "{s}: the tree touched more entries than the vector"
+        );
+
+        let r_tc = HbRaceDetector::<TreeClock>::new(&trace).run(&trace);
+        let r_vc = HbRaceDetector::<VectorClock>::new(&trace).run(&trace);
+        assert_eq!(r_tc, r_vc, "{s}: race reports diverged");
+        assert!(r_tc.is_empty(), "{s}: sync-only traces cannot race");
+    }
+}
+
+/// A mixed workload through all three partial orders and analyses.
+#[test]
+fn workload_all_orders() {
+    let trace = WorkloadSpec {
+        threads: 12,
+        locks: 6,
+        vars: 64,
+        events: 25_000,
+        sync_ratio: 0.15,
+        write_ratio: 0.4,
+        fork_join: true,
+        seed: 31,
+        ..WorkloadSpec::default()
+    }
+    .generate();
+
+    // Timestamps agree between representations for all three orders.
+    assert_eq!(
+        HbEngine::<TreeClock>::collect_timestamps(&trace),
+        HbEngine::<VectorClock>::collect_timestamps(&trace)
+    );
+    assert_eq!(
+        ShbEngine::<TreeClock>::collect_timestamps(&trace),
+        ShbEngine::<VectorClock>::collect_timestamps(&trace)
+    );
+    assert_eq!(
+        MazEngine::<TreeClock>::collect_timestamps(&trace),
+        MazEngine::<VectorClock>::collect_timestamps(&trace)
+    );
+
+    // Orders are nested: HB ⊆ SHB ⊆ MAZ at every event.
+    let hb = HbEngine::<TreeClock>::collect_timestamps(&trace);
+    let shb = ShbEngine::<TreeClock>::collect_timestamps(&trace);
+    let maz = MazEngine::<TreeClock>::collect_timestamps(&trace);
+    for i in 0..trace.len() {
+        assert!(hb[i].leq(&shb[i]), "HB ⊄ SHB at {i}");
+        assert!(shb[i].leq(&maz[i]), "SHB ⊄ MAZ at {i}");
+    }
+
+    // Detector reports agree between representations.
+    assert_eq!(
+        ShbRaceDetector::<TreeClock>::new(&trace).run(&trace),
+        ShbRaceDetector::<VectorClock>::new(&trace).run(&trace)
+    );
+    assert_eq!(
+        MazAnalyzer::<TreeClock>::new(&trace).run(&trace),
+        MazAnalyzer::<VectorClock>::new(&trace).run(&trace)
+    );
+}
+
+/// Larger sweep: tree-clock optimality holds across thread counts and
+/// sync densities (Theorem 1 at integration scale).
+#[test]
+fn vt_optimality_sweep() {
+    for threads in [4u32, 16, 64] {
+        for sync in [2u32, 10, 40] {
+            let trace = WorkloadSpec {
+                threads,
+                locks: threads,
+                vars: 256,
+                events: 20_000,
+                sync_ratio: f64::from(sync) / 100.0,
+                seed: u64::from(threads * 100 + sync),
+                ..WorkloadSpec::default()
+            }
+            .generate();
+            for (name, m) in [
+                ("hb", HbEngine::<TreeClock>::run_counted(&trace)),
+                ("shb", ShbEngine::<TreeClock>::run_counted(&trace)),
+                ("maz", MazEngine::<TreeClock>::run_counted(&trace)),
+            ] {
+                assert!(
+                    m.ds_work() <= 3 * m.vt_work(),
+                    "{name} k={threads} sync={sync}%: {} > 3*{}",
+                    m.ds_work(),
+                    m.vt_work()
+                );
+            }
+        }
+    }
+}
+
+/// The SHB deep-copy rate is tied to racy writes: on a fully locked
+/// trace it is zero; on a racy one it is positive (Section 5.1).
+#[test]
+fn deep_copy_rate_tracks_races() {
+    // vars >> threads so every thread's warm-up write gets a distinct
+    // private variable (the warm-up itself is unlocked by design).
+    let locked = WorkloadSpec {
+        threads: 8,
+        locks: 1,
+        vars: 64,
+        events: 10_000,
+        sync_ratio: 1.0, // every access inside a critical section
+        seed: 4,
+        ..WorkloadSpec::default()
+    }
+    .generate();
+    let m = ShbEngine::<TreeClock>::run(&locked);
+    assert_eq!(
+        m.deep_copies, 0,
+        "no racy writes -> every last-write copy is monotone"
+    );
+
+    let racy = WorkloadSpec {
+        threads: 8,
+        locks: 1,
+        vars: 4,
+        events: 10_000,
+        sync_ratio: 0.0,
+        write_ratio: 0.5,
+        seed: 5,
+        ..WorkloadSpec::default()
+    }
+    .generate();
+    let m = ShbEngine::<TreeClock>::run(&racy);
+    assert!(m.deep_copies > 0, "racy writes must trigger deep copies");
+    let report = ShbRaceDetector::<TreeClock>::new(&racy).run(&racy);
+    assert!(!report.is_empty());
+}
+
+/// Facade surface: the prelude exposes everything the README promises.
+#[test]
+fn prelude_surface_is_usable() {
+    let mut clock = TreeClock::new();
+    clock.init_root(ThreadId::new(0));
+    clock.increment(1);
+    let time: VectorTime = clock.vector_time();
+    assert_eq!(time.get(ThreadId::new(0)), 1);
+
+    let e = Epoch::new(ThreadId::new(0), 1);
+    assert!(e.leq_clock(&clock));
+
+    let stats: OpStats = clock.join_counted(&TreeClock::new());
+    assert_eq!(stats, OpStats::NOOP);
+
+    let (_mode, _stats): (CopyMode, OpStats) =
+        TreeClock::new().copy_check_monotone_counted(&clock);
+
+    let m: RunMetrics = RunMetrics::new();
+    assert_eq!(m.vt_work(), 0);
+}
