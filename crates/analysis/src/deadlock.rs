@@ -81,7 +81,10 @@ impl LockOrderAnalyzer {
                     // Does any *other* thread nest the opposite way?
                     let reversed: Vec<ThreadId> = self
                         .edges
-                        .range((inner, outer, ThreadId::new(0))..=(inner, outer, ThreadId::new(u32::MAX)))
+                        .range(
+                            (inner, outer, ThreadId::new(0))
+                                ..=(inner, outer, ThreadId::new(u32::MAX)),
+                        )
                         .map(|&(_, _, t)| t)
                         .filter(|&t| t != e.tid)
                         .collect();
@@ -128,8 +131,14 @@ mod tests {
 
     fn abba() -> Trace {
         let mut b = TraceBuilder::new();
-        b.acquire(0, "m").acquire(0, "n").release(0, "n").release(0, "m");
-        b.acquire(1, "n").acquire(1, "m").release(1, "m").release(1, "n");
+        b.acquire(0, "m")
+            .acquire(0, "n")
+            .release(0, "n")
+            .release(0, "m");
+        b.acquire(1, "n")
+            .acquire(1, "m")
+            .release(1, "m")
+            .release(1, "n");
         b.finish()
     }
 
@@ -146,7 +155,10 @@ mod tests {
     fn consistent_order_is_clean() {
         let mut b = TraceBuilder::new();
         for t in 0..3u32 {
-            b.acquire(t, "m").acquire(t, "n").release(t, "n").release(t, "m");
+            b.acquire(t, "m")
+                .acquire(t, "n")
+                .release(t, "n")
+                .release(t, "m");
         }
         let trace = b.finish();
         assert!(LockOrderAnalyzer::new(&trace).run(&trace).is_empty());
@@ -156,8 +168,14 @@ mod tests {
     fn same_thread_inversion_is_not_a_deadlock() {
         // One thread nesting both ways cannot deadlock with itself.
         let mut b = TraceBuilder::new();
-        b.acquire(0, "m").acquire(0, "n").release(0, "n").release(0, "m");
-        b.acquire(0, "n").acquire(0, "m").release(0, "m").release(0, "n");
+        b.acquire(0, "m")
+            .acquire(0, "n")
+            .release(0, "n")
+            .release(0, "m");
+        b.acquire(0, "n")
+            .acquire(0, "m")
+            .release(0, "m")
+            .release(0, "n");
         let trace = b.finish();
         assert!(LockOrderAnalyzer::new(&trace).run(&trace).is_empty());
     }
@@ -171,7 +189,10 @@ mod tests {
         let mut b = TraceBuilder::new();
         b.acquire(0, "a").acquire(0, "b").acquire(0, "c");
         b.release(0, "c").release(0, "b").release(0, "a");
-        b.acquire(1, "c").acquire(1, "a").release(1, "a").release(1, "c");
+        b.acquire(1, "c")
+            .acquire(1, "a")
+            .release(1, "a")
+            .release(1, "c");
         let trace = b.finish();
         let c = LockOrderAnalyzer::new(&trace).run(&trace);
         assert_eq!(c.len(), 1);
@@ -182,8 +203,14 @@ mod tests {
     fn candidates_deduplicate_per_lock_pair() {
         let mut b = TraceBuilder::new();
         for _ in 0..3 {
-            b.acquire(0, "m").acquire(0, "n").release(0, "n").release(0, "m");
-            b.acquire(1, "n").acquire(1, "m").release(1, "m").release(1, "n");
+            b.acquire(0, "m")
+                .acquire(0, "n")
+                .release(0, "n")
+                .release(0, "m");
+            b.acquire(1, "n")
+                .acquire(1, "m")
+                .release(1, "m")
+                .release(1, "n");
         }
         let trace = b.finish();
         assert_eq!(LockOrderAnalyzer::new(&trace).run(&trace).len(), 1);

@@ -139,7 +139,9 @@ impl VarHistories {
     /// Creates histories sized for `vars` variables.
     pub fn with_vars(vars: usize) -> Self {
         VarHistories {
-            vars: (0..vars).map(|i| VarHistory::new(VarId::new(i as u32))).collect(),
+            vars: (0..vars)
+                .map(|i| VarHistory::new(VarId::new(i as u32)))
+                .collect(),
         }
     }
 
@@ -212,7 +214,11 @@ mod tests {
         h.on_read(Epoch::new(ThreadId::new(1), 1), &clock(&[0, 0]), &mut rep);
         assert!(!h.reads_are_epoch(), "concurrent reads must widen");
         // A write that saw neither read races with both.
-        h.on_write(Epoch::new(ThreadId::new(2), 1), &clock(&[0, 0, 0]), &mut rep);
+        h.on_write(
+            Epoch::new(ThreadId::new(2), 1),
+            &clock(&[0, 0, 0]),
+            &mut rep,
+        );
         assert_eq!(rep.total, 2);
         assert!(rep.races.iter().all(|r| r.kind == RaceKind::ReadWrite));
     }

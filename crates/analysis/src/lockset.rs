@@ -198,7 +198,11 @@ mod tests {
     #[test]
     fn candidate_set_intersects_over_accesses() {
         let mut b = TraceBuilder::new();
-        b.acquire(0, "m").acquire(0, "n").write(0, "x").release(0, "n").release(0, "m");
+        b.acquire(0, "m")
+            .acquire(0, "n")
+            .write(0, "x")
+            .release(0, "n")
+            .release(0, "m");
         b.acquire(1, "m").read(1, "x").release(1, "m");
         let trace = b.finish();
         let mut d = LocksetDetector::new(&trace);
@@ -235,7 +239,9 @@ mod tests {
         let mut b = TraceBuilder::new();
         b.write(0, "x").write(1, "x");
         let trace = b.finish();
-        assert!(!HbRaceDetector::<TreeClock>::new(&trace).run(&trace).is_empty());
+        assert!(!HbRaceDetector::<TreeClock>::new(&trace)
+            .run(&trace)
+            .is_empty());
         assert!(!LocksetDetector::new(&trace).run(&trace).is_empty());
     }
 }

@@ -45,7 +45,7 @@ fn small_workload(seed: u64, threads: u32, sync_pct: u8) -> Trace {
         events: 100,
         sync_ratio: f64::from(sync_pct) / 100.0,
         write_ratio: 0.45,
-        fork_join: seed % 3 == 0,
+        fork_join: seed.is_multiple_of(3),
         seed,
         ..WorkloadSpec::default()
     }
@@ -160,8 +160,12 @@ proptest! {
 #[test]
 fn race_free_traces_yield_empty_reports() {
     let trace = tc_trace::gen::scenarios::single_lock(8, 2_000, 3);
-    assert!(HbRaceDetector::<TreeClock>::new(&trace).run(&trace).is_empty());
-    assert!(ShbRaceDetector::<TreeClock>::new(&trace).run(&trace).is_empty());
+    assert!(HbRaceDetector::<TreeClock>::new(&trace)
+        .run(&trace)
+        .is_empty());
+    assert!(ShbRaceDetector::<TreeClock>::new(&trace)
+        .run(&trace)
+        .is_empty());
     assert!(MazAnalyzer::<TreeClock>::new(&trace).run(&trace).is_empty());
 }
 

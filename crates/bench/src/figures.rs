@@ -44,9 +44,8 @@ pub fn fig6(results: &[SuiteResult]) -> TextTable {
 /// of synchronization events, over the traces whose total time is not
 /// negligible.
 pub fn fig7(results: &[SuiteResult], min_seconds: f64) -> TextTable {
-    let mut t = TextTable::new(["benchmark", "sync_pct", "speedup"]).with_title(
-        "Figure 7: HB+Analysis speedup vs fraction of synchronization events",
-    );
+    let mut t = TextTable::new(["benchmark", "sync_pct", "speedup"])
+        .with_title("Figure 7: HB+Analysis speedup vs fraction of synchronization events");
     for r in results {
         let c = r.get(PartialOrderKind::Hb, Mode::PoAnalysis);
         if c.vector.seconds + c.tree.seconds >= min_seconds {

@@ -59,12 +59,10 @@ impl SuiteEntry {
     pub fn generate(&self, scale: Scale) -> Trace {
         let events = self.base_events * scale.factor();
         match &self.kind {
-            Kind::Workload(spec) => WorkloadSpec {
-                events,
-                ..*spec
+            Kind::Workload(spec) => WorkloadSpec { events, ..*spec }.generate(),
+            Kind::Scenario(s, threads) => {
+                s.generate(*threads, events, 0xC10C + u64::from(*threads))
             }
-            .generate(),
-            Kind::Scenario(s, threads) => s.generate(*threads, events, 0xC10C + u64::from(*threads)),
         }
     }
 }

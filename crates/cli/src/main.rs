@@ -62,8 +62,11 @@ struct Flags<'a> {
     positional: Vec<&'a str>,
 }
 
+/// `--name value` pairs collected while parsing a command line.
+type FlagValues<'a> = Vec<(&'a str, &'a str)>;
+
 impl<'a> Flags<'a> {
-    fn parse(args: &'a [String], with_value: &[&str]) -> Result<(Self, Vec<(&'a str, &'a str)>), String> {
+    fn parse(args: &'a [String], with_value: &[&str]) -> Result<(Self, FlagValues<'a>), String> {
         let mut kv = Vec::new();
         let mut positional = Vec::new();
         let mut i = 0;
@@ -128,7 +131,9 @@ fn store(trace: &Trace, path: &str) -> Result<(), String> {
 fn cmd_gen(args: &[String]) -> Result<(), String> {
     let (_, kv) = Flags::parse(
         args,
-        &["scenario", "threads", "events", "seed", "sync", "locks", "vars", "out"],
+        &[
+            "scenario", "threads", "events", "seed", "sync", "locks", "vars", "out",
+        ],
     )?;
     let threads: u32 = value(&kv, "threads")
         .unwrap_or("8")
@@ -230,7 +235,11 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
     let _ = writeln!(
         out,
         "{order} analysis with {} clocks over {} events: {} in {:.3}s",
-        if matches!(clock, "tc" | "tree") { "tree" } else { "vector" },
+        if matches!(clock, "tc" | "tree") {
+            "tree"
+        } else {
+            "vector"
+        },
         trace.len(),
         report,
         elapsed.as_secs_f64()
@@ -335,7 +344,15 @@ mod tests {
 
         // Generate a star trace in binary format.
         run(&args(&[
-            "gen", "--scenario", "star", "--threads", "8", "--events", "2000", "-o", bin_s,
+            "gen",
+            "--scenario",
+            "star",
+            "--threads",
+            "8",
+            "--events",
+            "2000",
+            "-o",
+            bin_s,
         ]))
         .unwrap();
         assert!(bin.exists());
@@ -364,8 +381,19 @@ mod tests {
         let path = dir.join("w.trace");
         let p = path.to_str().unwrap();
         run(&args(&[
-            "gen", "--threads", "6", "--events", "3000", "--sync", "30", "--locks", "2",
-            "--vars", "9", "-o", p,
+            "gen",
+            "--threads",
+            "6",
+            "--events",
+            "3000",
+            "--sync",
+            "30",
+            "--locks",
+            "2",
+            "--vars",
+            "9",
+            "-o",
+            p,
         ]))
         .unwrap();
         let t = load(p).unwrap();

@@ -37,6 +37,11 @@ use crate::{LocalTime, ThreadId, VectorTime};
 
 use node::{Node, NIL};
 
+/// One node of an explicit tree description for
+/// [`TreeClock::from_structure`]: `(tid, clk, parent)` with `parent`
+/// being `None` for the root and `Some((parent_tid, aclk))` otherwise.
+pub type NodeDescriptor = (ThreadId, LocalTime, Option<(ThreadId, LocalTime)>);
+
 /// A hierarchical logical clock with sublinear join and copy operations.
 ///
 /// See the [module documentation](self) for the design and the crate
@@ -125,9 +130,7 @@ impl TreeClock {
 
     #[inline]
     pub(crate) fn is_present(&self, idx: u32) -> bool {
-        self.nodes
-            .get(idx as usize)
-            .is_some_and(|n| n.present())
+        self.nodes.get(idx as usize).is_some_and(|n| n.present())
     }
 
     /// Grows both arrays so index `idx` is addressable.
@@ -308,9 +311,7 @@ impl TreeClock {
     /// Returns an [`InvariantViolation`] if the description is not a
     /// well-formed tree clock (duplicate threads, missing/cyclic parents,
     /// unordered sibling lists, …).
-    pub fn from_structure(
-        nodes: &[(ThreadId, LocalTime, Option<(ThreadId, LocalTime)>)],
-    ) -> Result<TreeClock, InvariantViolation> {
+    pub fn from_structure(nodes: &[NodeDescriptor]) -> Result<TreeClock, InvariantViolation> {
         let mut tc = TreeClock::new();
         for &(tid, clk, parent) in nodes {
             tc.ensure_slot(tid.raw());

@@ -370,10 +370,7 @@ fn appendix_b_example_run() {
     assert_eq!(l2.check_invariants(), Ok(()));
 
     // Final sanity: every clock agrees with its vector-time meaning.
-    assert_eq!(
-        c[2].vector_time(),
-        VectorTime::from(vec![0, 2, 4, 6, 2, 2])
-    );
+    assert_eq!(c[2].vector_time(), VectorTime::from(vec![0, 2, 4, 6, 2, 2]));
 }
 
 // ---------------------------------------------------------------------
@@ -416,11 +413,11 @@ fn repeated_lock_handoff_keeps_invariants() {
     let mut threads: Vec<TreeClock> = (0..k).map(|i| rooted(i, 0)).collect();
     let mut lock = TreeClock::new();
     for round in 0..2 {
-        for i in 0..k as usize {
-            threads[i].increment(1);
-            threads[i].join(&lock);
-            threads[i].increment(1);
-            lock.monotone_copy(&threads[i]);
+        for (i, thread) in threads.iter_mut().enumerate() {
+            thread.increment(1);
+            thread.join(&lock);
+            thread.increment(1);
+            lock.monotone_copy(thread);
             assert_eq!(lock.check_invariants(), Ok(()), "round {round}, thread {i}");
         }
     }

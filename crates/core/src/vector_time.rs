@@ -294,10 +294,7 @@ mod tests {
     fn iter_skips_zero_entries() {
         let a = vt(&[3, 0, 7]);
         let pairs: Vec<_> = a.iter().collect();
-        assert_eq!(
-            pairs,
-            vec![(ThreadId::new(0), 3), (ThreadId::new(2), 7)]
-        );
+        assert_eq!(pairs, vec![(ThreadId::new(0), 3), (ThreadId::new(2), 7)]);
     }
 
     #[test]

@@ -181,7 +181,10 @@ mod tests {
     #[test]
     fn metrics_count_joins_and_copies() {
         let mut b = TraceBuilder::new();
-        b.acquire(0, "m").release(0, "m").acquire(1, "m").release(1, "m");
+        b.acquire(0, "m")
+            .release(0, "m")
+            .acquire(1, "m")
+            .release(1, "m");
         let m = HbEngine::<TreeClock>::run_counted(&b.finish());
         assert_eq!(m.events, 4);
         assert_eq!(m.joins, 2);

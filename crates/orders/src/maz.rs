@@ -288,10 +288,7 @@ mod tests {
         // R_{t1}; e3 joins LW only (LRDs was cleared by e2).
         assert_eq!(engine.metrics().joins, 1 + 1 + 2 + 1);
         // Still transitively ordered after the read, through e2.
-        assert_eq!(
-            engine.timestamp_of(ThreadId::new(3)),
-            vt(&[1, 1, 1, 1])
-        );
+        assert_eq!(engine.timestamp_of(ThreadId::new(3)), vt(&[1, 1, 1, 1]));
     }
 
     #[test]

@@ -120,11 +120,10 @@ pub fn spec_dag_with(trace: &Trace, kind: PartialOrderKind, options: SpecOptions
             }
             Op::Release(l) => releases_of_lock[l.index()].push(i),
             Op::Fork(u) => {
-                match first_of_thread[u.index()] {
-                    // Normally the child starts later; if the trace is
-                    // malformed the edge is simply dropped.
-                    None => pending_forks[u.index()].push(i),
-                    Some(_) => {}
+                // Normally the child starts later; if the trace is
+                // malformed the edge is simply dropped.
+                if first_of_thread[u.index()].is_none() {
+                    pending_forks[u.index()].push(i);
                 }
             }
             Op::Join(u) => {

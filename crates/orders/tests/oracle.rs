@@ -26,7 +26,7 @@ fn small_workload(seed: u64, threads: u32, sync_pct: u8) -> Trace {
         events: 120,
         sync_ratio: f64::from(sync_pct) / 100.0,
         write_ratio: 0.4,
-        fork_join: seed % 2 == 0,
+        fork_join: seed.is_multiple_of(2),
         seed,
         ..WorkloadSpec::default()
     }

@@ -142,8 +142,9 @@ pub fn generate(spec: &WorkloadSpec) -> Trace {
             // No private region configured: everything is shared.
             j % vars
         } else {
-            shared_vars + (u64::from(t) * u64::from(private_per_thread) + u64::from(j))
-                .rem_euclid(u64::from(private_vars)) as u32
+            shared_vars
+                + (u64::from(t) * u64::from(private_per_thread) + u64::from(j))
+                    .rem_euclid(u64::from(private_vars)) as u32
         }
     };
 
@@ -257,7 +258,7 @@ mod tests {
         assert!(t.validate().is_ok());
         let s = t.stats();
         assert!(s.sync_events >= 6); // 3 forks + 3 joins at least
-        // First events are the forks by thread 0.
+                                     // First events are the forks by thread 0.
         assert!(matches!(t[0].op, crate::Op::Fork(_)));
     }
 
@@ -382,9 +383,8 @@ mod sharing_tests {
                 c.init_root(ThreadId::new(t as u32));
                 threads.push(c);
             }
-            let mut lw: Vec<VectorClock> = (0..trace.var_count())
-                .map(|_| VectorClock::new())
-                .collect();
+            let mut lw: Vec<VectorClock> =
+                (0..trace.var_count()).map(|_| VectorClock::new()).collect();
             let mut locks: Vec<VectorClock> = (0..trace.lock_count())
                 .map(|_| VectorClock::new())
                 .collect();
@@ -397,7 +397,10 @@ mod sharing_tests {
                         changed += threads[t].join_counted(&lw[x.index()]).changed;
                     }
                     Op::Write(x) => {
-                        changed += lw[x.index()].copy_check_monotone_counted(&threads[t]).1.changed;
+                        changed += lw[x.index()]
+                            .copy_check_monotone_counted(&threads[t])
+                            .1
+                            .changed;
                     }
                     Op::Acquire(l) => {
                         changed += threads[t].join_counted(&locks[l.index()]).changed;

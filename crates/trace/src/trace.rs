@@ -427,7 +427,7 @@ mod tests {
 
     #[test]
     fn trace_collects_from_event_iterator() {
-        let events = vec![
+        let events = [
             Event::new(ThreadId::new(0), Op::Write(VarId::new(0))),
             Event::new(ThreadId::new(1), Op::Read(VarId::new(0))),
         ];

@@ -58,22 +58,21 @@ pub(crate) fn validate(trace: &Trace) -> Result<(), ValidationError> {
         }
         started[t.index()] = true;
         match e.op {
-            Op::Acquire(l) => match held_by[l.index()] {
-                Some(holder) => {
-                    return Err(err(
+            Op::Acquire(l) => {
+                match held_by[l.index()] {
+                    Some(holder) => {
+                        return Err(err(
                         i,
                         format!("{t} acquires {l} already held by {holder} (locks are not reentrant)"),
                     ));
+                    }
+                    None => held_by[l.index()] = Some(t),
                 }
-                None => held_by[l.index()] = Some(t),
-            },
+            }
             Op::Release(l) => match held_by[l.index()] {
                 Some(holder) if holder == t => held_by[l.index()] = None,
                 Some(holder) => {
-                    return Err(err(
-                        i,
-                        format!("{t} releases {l} held by {holder}"),
-                    ));
+                    return Err(err(i, format!("{t} releases {l} held by {holder}")));
                 }
                 None => {
                     return Err(err(i, format!("{t} releases {l} which is not held")));

@@ -12,7 +12,9 @@ fn main() {
     // logger reads it under fork/join ordering (safe, but invisible to
     // locksets), and two threads nest `a`/`b` in opposite orders.
     let mut b = TraceBuilder::new();
-    b.name_thread(0, "main").name_thread(1, "worker").name_thread(2, "logger");
+    b.name_thread(0, "main")
+        .name_thread(1, "worker")
+        .name_thread(2, "logger");
     // main sets up the queue, then forks the workers.
     b.write(0, "queue");
     b.fork(0, 1);

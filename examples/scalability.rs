@@ -21,7 +21,10 @@ fn time_hb<C: LogicalClock>(trace: &Trace) -> f64 {
 fn main() {
     const EVENTS: usize = 300_000;
     println!("star topology, {EVENTS} events per trace (HB computation)\n");
-    println!("{:>8}  {:>10}  {:>10}  {:>8}", "threads", "vector (s)", "tree (s)", "speedup");
+    println!(
+        "{:>8}  {:>10}  {:>10}  {:>8}",
+        "threads", "vector (s)", "tree (s)", "speedup"
+    );
 
     for threads in [10u32, 40, 120, 240, 360] {
         let trace = scenarios::star(threads, EVENTS, 7);

@@ -39,8 +39,7 @@ pub use tc_orders as orders;
 pub use tc_trace as trace;
 
 pub use tc_core::{
-    CopyMode, Epoch, LocalTime, LogicalClock, OpStats, ThreadId, TreeClock, VectorClock,
-    VectorTime,
+    CopyMode, Epoch, LocalTime, LogicalClock, OpStats, ThreadId, TreeClock, VectorClock, VectorTime,
 };
 
 /// Convenient glob-import surface: `use treeclocks::prelude::*;`.

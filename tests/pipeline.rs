@@ -171,8 +171,7 @@ fn prelude_surface_is_usable() {
     let stats: OpStats = clock.join_counted(&TreeClock::new());
     assert_eq!(stats, OpStats::NOOP);
 
-    let (_mode, _stats): (CopyMode, OpStats) =
-        TreeClock::new().copy_check_monotone_counted(&clock);
+    let (_mode, _stats): (CopyMode, OpStats) = TreeClock::new().copy_check_monotone_counted(&clock);
 
     let m: RunMetrics = RunMetrics::new();
     assert_eq!(m.vt_work(), 0);

@@ -1,0 +1,49 @@
+//! Fast manifest-level regression guard: the scenario registry is
+//! intact and every scenario produces a well-formed trace at small
+//! size. Runs in milliseconds, in front of the 30k-event pipeline test,
+//! so a broken generator or a mis-wired workspace member fails loudly
+//! and quickly.
+
+use treeclocks::trace::gen::{scenarios::Scenario, WorkloadSpec};
+
+#[test]
+fn scenario_registry_is_populated() {
+    assert!(!Scenario::ALL.is_empty(), "Scenario::ALL must not be empty");
+    assert_eq!(
+        Scenario::ALL.len(),
+        4,
+        "the paper defines exactly four Figure-10 scenarios"
+    );
+    // Every scenario round-trips through its display name, so the CLI
+    // `--scenario` flag can reach all of them.
+    for s in Scenario::ALL {
+        let parsed: Scenario = s.to_string().parse().expect("name parses back");
+        assert_eq!(parsed, s);
+    }
+}
+
+#[test]
+fn every_scenario_generates_a_clean_small_trace() {
+    for s in Scenario::ALL {
+        let trace = s.generate(4, 200, 1);
+        trace
+            .validate()
+            .unwrap_or_else(|e| panic!("{s}: invalid small trace: {e}"));
+        assert_eq!(trace.thread_count(), 4, "{s}: lost threads at small size");
+        assert!(trace.len() >= 200, "{s}: undershot the event budget");
+    }
+}
+
+#[test]
+fn default_workload_generates_a_clean_small_trace() {
+    let trace = WorkloadSpec {
+        threads: 4,
+        events: 300,
+        ..WorkloadSpec::default()
+    }
+    .generate();
+    trace
+        .validate()
+        .expect("small default workload is well-formed");
+    assert_eq!(trace.thread_count(), 4);
+}

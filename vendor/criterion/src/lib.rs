@@ -1,0 +1,292 @@
+//! A minimal, dependency-free stand-in for the parts of `criterion`
+//! this workspace uses. The build environment has no network access to
+//! crates.io, so the workspace vendors a small wall-clock harness with
+//! the same API shape: benchmark groups, `bench_with_input`,
+//! `iter`/`iter_batched`, and the `criterion_group!`/`criterion_main!`
+//! macros.
+//!
+//! Timing methodology is intentionally simple (median of per-sample
+//! means over `sample_size` samples); it reports stable relative
+//! numbers for the tree-vs-vector comparisons but makes no claim to
+//! criterion's statistical rigor.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from eliminating a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark manager handed to `criterion_group!` functions.
+pub struct Criterion {
+    /// When set (by `--test` on the command line, as cargo does for
+    /// `cargo test --benches`), run each benchmark once, untimed.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\n{name}");
+        let test_mode = self.test_mode;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(100),
+            measurement_time: Duration::from_millis(500),
+            test_mode,
+        }
+    }
+}
+
+/// A benchmark identifier: a function name plus a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id consisting of a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`]; the stub harness only
+/// uses it to pick how many setup outputs to pre-build per sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: batch many per sample.
+    SmallInput,
+    /// Large per-iteration inputs: batch few per sample.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+impl BatchSize {
+    fn batch_len(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
+}
+
+/// A group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Sets the measurement duration per benchmark.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark over `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            test_mode: self.test_mode,
+        };
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs one benchmark without an input parameter.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            test_mode: self.test_mode,
+        };
+        f(&mut b);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    fn report(&self, id: &str, b: &Bencher) {
+        if self.test_mode {
+            println!("  {}/{id:<40} ok (test mode)", self.name);
+            return;
+        }
+        let mut samples = b.samples.clone();
+        if samples.is_empty() {
+            println!("  {}/{id:<40} (no samples)", self.name);
+            return;
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let lo = samples[0];
+        let hi = samples[samples.len() - 1];
+        println!(
+            "  {}/{id:<40} median {} [min {}, max {}]",
+            self.name,
+            fmt_ns(median),
+            fmt_ns(lo),
+            fmt_ns(hi),
+        );
+    }
+
+    /// Ends the group (prints nothing extra in the stub).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The timing driver passed to each benchmark closure.
+pub struct Bencher {
+    /// Mean per-iteration time of each sample, in nanoseconds.
+    samples: Vec<u128>,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine` called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm up and estimate a per-iteration cost.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut warm_iters: u64 = 0;
+        let warm_start = Instant::now();
+        while Instant::now() < warm_deadline {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() / u128::from(warm_iters.max(1));
+        let budget = self.measurement_time.as_nanos() / self.sample_size as u128;
+        let iters = (budget / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed().as_nanos() / u128::from(iters));
+        }
+    }
+
+    /// Times `routine` over fresh values produced by `setup`; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        let batch = size.batch_len();
+        let deadline = Instant::now() + self.warm_up_time + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+            let n = inputs.len() as u128;
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            self.samples.push(start.elapsed().as_nanos() / n);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}

@@ -1,0 +1,54 @@
+//! A minimal, dependency-free stand-in for the parts of `proptest` this
+//! workspace uses. The build environment has no network access to
+//! crates.io, so the workspace vendors the surface its property tests
+//! need: the [`Strategy`] trait over ranges / tuples / `prop_map` /
+//! `prop_oneof!` / `collection::vec` / `any`, plus the [`proptest!`],
+//! [`prop_assert!`] and [`prop_assert_eq!`] macros and a deterministic
+//! per-case RNG.
+//!
+//! Differences from real proptest, by design: no shrinking (a failing
+//! case reports its inputs verbatim) and uniform rather than
+//! size-biased sampling. Both only affect failure-report ergonomics,
+//! not which properties hold.
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategies for arbitrary values of a type, mirroring
+/// `proptest::arbitrary`.
+pub mod arbitrary {
+    use crate::strategy::{Any, Arbitrary};
+
+    /// A strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(std::marker::PhantomData)
+    }
+}
+
+/// The `prop` module alias exposed by the prelude
+/// (`prop::collection::vec(...)`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use std::ops::Range;
+
+    use crate::strategy::{Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s whose length is drawn from `size` and whose
+    /// elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Everything a property test needs: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}

@@ -1,0 +1,222 @@
+//! The [`Strategy`] trait and the combinators this workspace uses.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use crate::test_runner::TestRng;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: a strategy
+/// is simply a sampler.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { source: self, f }
+    }
+}
+
+/// Boxes a strategy for use in heterogeneous collections
+/// (the [`prop_oneof!`](crate::prop_oneof) expansion).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+impl<V: std::fmt::Debug> Strategy for Box<dyn Strategy<Value = V>> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (**self).sample(rng)
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                // Via i128 so signed ranges straddling zero (and a span
+                // exceeding the target type) stay representable; every
+                // supported type is at most 64 bits.
+                let span = ((self.end as i128) - (self.start as i128)) as u128;
+                let hi = (u128::from(rng.next_u64()) * span) >> 64;
+                ((self.start as i128) + hi as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                if start == <$t>::MIN && end == <$t>::MAX {
+                    return rng.next_u64() as $t;
+                }
+                let span = ((end as i128) - (start as i128)) as u128 + 1;
+                let hi = (u128::from(rng.next_u64()) * span) >> 64;
+                ((start as i128) + hi as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident: $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A: 0, B: 1);
+impl_tuple_strategy!(A: 0, B: 1, C: 2);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    pub(crate) source: S,
+    pub(crate) f: F,
+}
+
+impl<S: Strategy, O: std::fmt::Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.sample(rng))
+    }
+}
+
+/// Uniform choice among boxed strategies; the result of
+/// [`prop_oneof!`](crate::prop_oneof).
+pub struct Union<V> {
+    options: Vec<Box<dyn Strategy<Value = V>>>,
+}
+
+impl<V: std::fmt::Debug> Union<V> {
+    /// Builds a union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V: std::fmt::Debug> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let i = ((u128::from(rng.next_u64()) * self.options.len() as u128) >> 64) as usize;
+        self.options[i].sample(rng)
+    }
+}
+
+/// The result of [`collection::vec`](crate::collection::vec).
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.clone().sample(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Types with a canonical "arbitrary value" strategy, used by
+/// [`any`](crate::arbitrary::any).
+pub trait Arbitrary: std::fmt::Debug + Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+/// The result of [`any`](crate::arbitrary::any).
+pub struct Any<T>(pub(crate) PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn signed_ranges_straddling_zero_work() {
+        let mut rng = TestRng::deterministic(0);
+        let (mut neg, mut pos) = (false, false);
+        for _ in 0..1_000 {
+            let v = (-10i32..10).sample(&mut rng);
+            assert!((-10..10).contains(&v));
+            neg |= v < 0;
+            pos |= v > 0;
+            let w = (i64::MIN..=i64::MAX).sample(&mut rng);
+            let _ = w; // full domain must not overflow
+        }
+        assert!(neg && pos, "both signs must be reachable");
+    }
+
+    #[test]
+    fn combinators_sample_in_bounds() {
+        let mut rng = TestRng::deterministic(1);
+        let strat = crate::prop_oneof![
+            (0..4usize, 0..3usize).prop_map(|(a, b)| a * 10 + b),
+            (5..6usize).prop_map(|a| a * 100),
+        ];
+        for _ in 0..200 {
+            let v = strat.sample(&mut rng);
+            assert!(v == 500 || (v / 10 < 4 && v % 10 < 3), "bad sample {v}");
+        }
+        let xs = crate::collection::vec(0..7u8, 2..5).sample(&mut rng);
+        assert!((2..5).contains(&xs.len()));
+        assert!(xs.iter().all(|&x| x < 7));
+    }
+}
