@@ -67,7 +67,7 @@ fn progress_done() {
 
 /// Runs the suite sweep once; reused by table2 and figures 6-9.
 fn suite_results(scale: Scale) -> Vec<SuiteResult> {
-    eprintln!("running the benchmark suite (34 traces × 3 orders × 2 modes × 2 clocks)...");
+    eprintln!("running the benchmark suite (39 traces × 3 orders × 2 modes × 2 clocks)...");
     let results = tables::run_suite(scale, progress);
     progress_done();
     results

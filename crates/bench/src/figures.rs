@@ -132,7 +132,7 @@ pub fn fig10(scale: Scale, mut progress: impl FnMut(&str)) -> TextTable {
     let mut t = TextTable::new(["scenario", "threads", "vc_seconds", "tc_seconds", "speedup"])
         .with_title("Figure 10: scalability on controlled communication patterns (HB)");
     let events = fig10_events(scale);
-    for s in Scenario::ALL {
+    for s in Scenario::FIG10 {
         for &threads in &FIG10_THREADS {
             progress(&format!("{s}/{threads}"));
             let trace = s.generate(threads, events, 0xF16 + u64::from(threads));
@@ -167,6 +167,9 @@ pub fn ablation(scale: Scale) -> TextTable {
     .with_title("Ablation: entries examined by TC joins/copies vs the VTWork bound vs VC");
     let events = fig10_events(scale) / 4;
     for s in Scenario::ALL {
+        // The new structured families ride along in the ablation: their
+        // hierarchical/bursty communication is exactly where the two
+        // monotonicity principles differ most.
         for &threads in &[16u32, 64] {
             let trace = s.generate(threads, events, 77);
             let tc: RunMetrics = HbEngine::<TreeClock>::run_counted(&trace);

@@ -99,8 +99,8 @@ fn scenario(name: &'static str, s: Scenario, threads: u32) -> SuiteEntry {
     }
 }
 
-/// The full suite: 34 deterministic traces covering the shape space of
-/// the paper's Table 3.
+/// The full suite: 39 deterministic traces covering the shape space of
+/// the paper's Table 3, plus the structured workload families.
 pub fn suite() -> Vec<SuiteEntry> {
     vec![
         // OpenMP-style: 16/56 threads, large variable pools, low sync
@@ -178,6 +178,14 @@ pub fn suite() -> Vec<SuiteEntry> {
         workload("mixed-k15-manyvars", 15, 16, 16_384, 0.06, 0.35, 121),
         workload("mixed-k31-manyvars", 31, 32, 16_384, 0.06, 0.35, 122),
         workload("mixed-k63-manyvars", 63, 64, 16_384, 0.06, 0.35, 123),
+        // Structured workload families (beyond the paper): hierarchical
+        // task trees, bulk-synchronous rounds, streaming pipelines and
+        // phase-changing bursty channels.
+        scenario("forktree-32", Scenario::ForkJoinTree, 32),
+        scenario("barrier-32", Scenario::BarrierPhases, 32),
+        scenario("pipeline-32", Scenario::Pipeline, 32),
+        scenario("readmostly-32", Scenario::ReadMostly, 32),
+        scenario("bursty-32", Scenario::BurstyChannels, 32),
     ]
 }
 
@@ -186,13 +194,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn suite_has_34_uniquely_named_entries() {
+    fn suite_has_39_uniquely_named_entries() {
         let s = suite();
-        assert_eq!(s.len(), 34);
+        assert_eq!(s.len(), 39);
         let mut names: Vec<_> = s.iter().map(|e| e.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 34, "duplicate suite names");
+        assert_eq!(names.len(), 39, "duplicate suite names");
     }
 
     #[test]

@@ -172,7 +172,7 @@ mod tests {
     fn table3_lists_every_trace() {
         let stats = suite_stats(Scale::Quick);
         let t = table3(&stats);
-        assert_eq!(t.len(), 34);
+        assert_eq!(t.len(), 39);
         assert!(t.to_csv().contains("star-224"));
     }
 

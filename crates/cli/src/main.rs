@@ -8,6 +8,7 @@
 //!   tcr race [--order hb|shb|maz] [--clock tc|vc] [--limit N] FILE
 //!   tcr timestamps [--order hb|shb|maz] FILE
 //!   tcr convert IN OUT
+//!   tcr conformance [--full] [--filter NEEDLE] [--fault F] [--repro-dir DIR]
 //! ```
 //!
 //! Trace files ending in `.tctr` use the compact binary format; any
@@ -19,6 +20,7 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use tc_analysis::{HbRaceDetector, MazAnalyzer, RaceReport, ShbRaceDetector};
+use tc_conformance::{run_sweep, Corpus, Fault, SweepOptions};
 use tc_core::{TreeClock, VectorClock};
 use tc_orders::{HbEngine, MazEngine, PartialOrderKind, ShbEngine};
 use tc_trace::gen::{Scenario, WorkloadSpec};
@@ -53,6 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "race" => cmd_race(rest),
         "timestamps" => cmd_timestamps(rest),
         "convert" => cmd_convert(rest),
+        "conformance" => cmd_conformance(rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -66,7 +69,16 @@ struct Flags<'a> {
 type FlagValues<'a> = Vec<(&'a str, &'a str)>;
 
 impl<'a> Flags<'a> {
-    fn parse(args: &'a [String], with_value: &[&str]) -> Result<(Self, FlagValues<'a>), String> {
+    /// Parses `args` into positional arguments and `--name [value]`
+    /// pairs. Flags in `with_value` consume the next argument; flags in
+    /// `boolean` stand alone; any other `--name` is an error (a
+    /// misspelled `--ful` silently running the wrong sweep is worse
+    /// than rejecting it).
+    fn parse(
+        args: &'a [String],
+        with_value: &[&str],
+        boolean: &[&str],
+    ) -> Result<(Self, FlagValues<'a>), String> {
         let mut kv = Vec::new();
         let mut positional = Vec::new();
         let mut i = 0;
@@ -79,9 +91,11 @@ impl<'a> Flags<'a> {
                         .ok_or_else(|| format!("--{name} requires a value"))?;
                     kv.push((name, v.as_str()));
                     i += 2;
-                } else {
+                } else if boolean.contains(&name) {
                     kv.push((name, ""));
                     i += 1;
+                } else {
+                    return Err(format!("unknown flag `--{name}`"));
                 }
             } else if a == "-o" {
                 let v = args.get(i + 1).ok_or("-o requires a value")?;
@@ -134,6 +148,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
         &[
             "scenario", "threads", "events", "seed", "sync", "locks", "vars", "out",
         ],
+        &[],
     )?;
     let threads: u32 = value(&kv, "threads")
         .unwrap_or("8")
@@ -180,7 +195,7 @@ fn cmd_gen(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
-    let (flags, _) = Flags::parse(args, &[])?;
+    let (flags, _) = Flags::parse(args, &[], &[])?;
     let [path] = flags.positional[..] else {
         return Err("stats requires exactly one FILE".into());
     };
@@ -202,7 +217,7 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_race(args: &[String]) -> Result<(), String> {
-    let (flags, kv) = Flags::parse(args, &["order", "clock", "limit"])?;
+    let (flags, kv) = Flags::parse(args, &["order", "clock", "limit"], &[])?;
     let [path] = flags.positional[..] else {
         return Err("race requires exactly one FILE".into());
     };
@@ -254,7 +269,7 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
 }
 
 fn cmd_timestamps(args: &[String]) -> Result<(), String> {
-    let (flags, kv) = Flags::parse(args, &["order"])?;
+    let (flags, kv) = Flags::parse(args, &["order"], &[])?;
     let [path] = flags.positional[..] else {
         return Err("timestamps requires exactly one FILE".into());
     };
@@ -276,8 +291,67 @@ fn cmd_timestamps(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_conformance(args: &[String]) -> Result<(), String> {
+    let (flags, kv) = Flags::parse(
+        args,
+        &["filter", "fault", "repro-dir"],
+        &["full", "no-shrink"],
+    )?;
+    if let Some(extra) = flags.positional.first() {
+        return Err(format!(
+            "conformance takes no positional argument `{extra}`"
+        ));
+    }
+    let full = value(&kv, "full").is_some();
+    let shrink = value(&kv, "no-shrink").is_none();
+    let fault: Fault = value(&kv, "fault").unwrap_or("none").parse()?;
+    let corpus = if full {
+        Corpus::full()
+    } else {
+        Corpus::quick()
+    };
+    let corpus = match value(&kv, "filter") {
+        Some(needle) => {
+            let c = corpus.filter(needle);
+            if c.cases.is_empty() {
+                return Err(format!("--filter {needle} matches no corpus case"));
+            }
+            c
+        }
+        None => corpus,
+    };
+
+    let start = std::time::Instant::now();
+    let report = run_sweep(&corpus, SweepOptions { fault, shrink });
+    let elapsed = start.elapsed();
+
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for outcome in &report.outcomes {
+        let _ = writeln!(out, "{outcome}");
+    }
+    let _ = writeln!(out, "{report} in {:.2}s", elapsed.as_secs_f64());
+
+    if let Some(dir) = value(&kv, "repro-dir") {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            if let Err((_, Some(repro))) = &outcome.result {
+                let path = Path::new(dir).join(format!("repro-{i}.trace"));
+                std::fs::write(&path, &repro.text)
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                let _ = writeln!(out, "wrote {}", path.display());
+            }
+        }
+    }
+    if report.passed() {
+        Ok(())
+    } else {
+        Err(format!("{} conformance failure(s)", report.failures()))
+    }
+}
+
 fn cmd_convert(args: &[String]) -> Result<(), String> {
-    let (flags, _) = Flags::parse(args, &[])?;
+    let (flags, _) = Flags::parse(args, &[], &[])?;
     let [input, output] = flags.positional[..] else {
         return Err("convert requires IN and OUT files".into());
     };
@@ -297,9 +371,19 @@ USAGE:
   tcr race [--order hb|shb|maz] [--clock tc|vc] [--limit N] FILE
   tcr timestamps [--order hb|shb|maz] FILE
   tcr convert IN OUT
+  tcr conformance [--full] [--filter NEEDLE] [--fault F] [--no-shrink]
+                  [--repro-dir DIR]
 
-Scenarios: single-lock, skewed-locks, star, pairwise.
+Scenarios: single-lock, skewed-locks, star, pairwise, fork-join-tree,
+barrier-phases, pipeline, read-mostly, bursty-channels.
 Files ending in .tctr use the binary format; others the text format.
+
+conformance runs every corpus trace through the HB/SHB/MAZ engines with
+both clock backends and cross-checks timestamps, race reports and work
+metrics against the O(n^2) definitional oracles. Failures are shrunk to
+minimal text-format repros (written to --repro-dir if given). --fault
+injects a deliberate result perturbation (drop-race, skew-timestamp,
+inflate-work, each optionally :hb/:shb/:maz) to demo the pipeline.
 ";
 
 #[cfg(test)]
@@ -412,6 +496,70 @@ mod tests {
         std::fs::write(&path, "t0 rel m\n").unwrap(); // release without acquire
         let e = run(&args(&["stats", path.to_str().unwrap()])).unwrap_err();
         assert!(e.contains("invalid trace"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn conformance_quick_filter_passes() {
+        // A filtered slice keeps the CLI test fast; the full quick sweep
+        // runs in the tc-conformance crate's own tests.
+        run(&args(&["conformance", "--filter", "star"])).unwrap();
+    }
+
+    #[test]
+    fn conformance_detects_injected_fault_and_writes_repro() {
+        let dir = temp_dir("conformance");
+        let repro_dir = dir.join("repros");
+        let e = run(&args(&[
+            "conformance",
+            "--filter",
+            "workload-s0-v3",
+            "--fault",
+            "drop-race:hb",
+            "--repro-dir",
+            repro_dir.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(e.contains("failure"), "unexpected error: {e}");
+        let repro = repro_dir.join("repro-0.trace");
+        assert!(repro.exists(), "repro file missing");
+        let text = std::fs::read_to_string(&repro).unwrap();
+        assert!(text.contains("# conformance repro"));
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn conformance_rejects_bad_flags() {
+        assert!(run(&args(&["conformance", "--fault", "explode"])).is_err());
+        assert!(run(&args(&["conformance", "--filter", "no-such-case"])).is_err());
+        assert!(run(&args(&["conformance", "positional"])).is_err());
+        // Misspelled boolean flags must error, not silently run the
+        // wrong sweep.
+        let e = run(&args(&["conformance", "--ful"])).unwrap_err();
+        assert!(e.contains("unknown flag"), "unexpected error: {e}");
+        assert!(run(&args(&["gen", "--quick", "-o", "/tmp/x.trace"])).is_err());
+    }
+
+    #[test]
+    fn gen_accepts_new_scenario_families() {
+        let dir = temp_dir("families");
+        for name in ["fork-join-tree", "pipeline"] {
+            let path = dir.join(format!("{name}.trace"));
+            run(&args(&[
+                "gen",
+                "--scenario",
+                name,
+                "--threads",
+                "4",
+                "--events",
+                "300",
+                "-o",
+                path.to_str().unwrap(),
+            ]))
+            .unwrap();
+            let t = load(path.to_str().unwrap()).unwrap();
+            assert_eq!(t.thread_count(), 4);
+        }
         std::fs::remove_dir_all(dir).unwrap();
     }
 

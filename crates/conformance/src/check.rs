@@ -1,0 +1,462 @@
+//! The cross-engine conformance checker for a single trace.
+//!
+//! For each partial order (HB, SHB, MAZ) the checker runs the streaming
+//! engine with both clock backends, the epoch-optimized detector with
+//! both backends, and the O(n²) definitional oracle, then cross-checks
+//! timestamps, reports and work metrics. Any mismatch is returned as a
+//! structured [`Failure`] naming the order, the check and the first
+//! divergence.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use tc_analysis::{HbRaceDetector, MazAnalyzer, RaceReport, ShbRaceDetector};
+use tc_core::{Epoch, TreeClock, VectorClock, VectorTime};
+use tc_orders::spec::{spec_dag, spec_dag_with, SpecOptions};
+use tc_orders::{HbEngine, MazEngine, PartialOrderKind, RunMetrics, ShbEngine};
+use tc_trace::Trace;
+
+use crate::fault::Fault;
+
+/// Which family of checks a failure came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CheckKind {
+    /// Engine timestamps vs the definitional oracle (Lemma 4).
+    Timestamps,
+    /// Detector reports: backend equality, soundness, HB completeness.
+    Reports,
+    /// Work metrics: `VTWork` independence, Theorem 1, `OpStats` sanity.
+    Metrics,
+}
+
+impl fmt::Display for CheckKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CheckKind::Timestamps => "timestamps",
+            CheckKind::Reports => "reports",
+            CheckKind::Metrics => "metrics",
+        })
+    }
+}
+
+/// A conformance violation: the first divergence found for a trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Failure {
+    /// The partial order whose checks diverged.
+    pub order: PartialOrderKind,
+    /// The check family that tripped.
+    pub check: CheckKind,
+    /// Human-readable description of the divergence.
+    pub detail: String,
+}
+
+impl fmt::Display for Failure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}: {}", self.order, self.check, self.detail)
+    }
+}
+
+/// Aggregate numbers from one successful conformance check.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CheckSummary {
+    /// Engine × backend combinations exercised (3 orders × 2 backends).
+    pub combos: usize,
+    /// Events in the checked trace.
+    pub events: usize,
+    /// Total races/reversible pairs reported across the three orders.
+    pub races: u64,
+}
+
+fn fail(order: PartialOrderKind, check: CheckKind, detail: impl Into<String>) -> Failure {
+    Failure {
+        order,
+        check,
+        detail: detail.into(),
+    }
+}
+
+/// Maps each event's `(tid, local time)` epoch to its trace index, the
+/// inverse of the identification used by the detectors' reports.
+fn epoch_index(trace: &Trace) -> HashMap<(u32, u32), usize> {
+    let ltimes = trace.local_times();
+    trace
+        .iter()
+        .enumerate()
+        .map(|(i, e)| ((e.tid.raw(), ltimes[i]), i))
+        .collect()
+}
+
+fn timestamps_of(trace: &Trace, kind: PartialOrderKind) -> (Vec<VectorTime>, Vec<VectorTime>) {
+    match kind {
+        PartialOrderKind::Hb => (
+            HbEngine::<TreeClock>::collect_timestamps(trace),
+            HbEngine::<VectorClock>::collect_timestamps(trace),
+        ),
+        PartialOrderKind::Shb => (
+            ShbEngine::<TreeClock>::collect_timestamps(trace),
+            ShbEngine::<VectorClock>::collect_timestamps(trace),
+        ),
+        PartialOrderKind::Maz => (
+            MazEngine::<TreeClock>::collect_timestamps(trace),
+            MazEngine::<VectorClock>::collect_timestamps(trace),
+        ),
+    }
+}
+
+fn reports_of(trace: &Trace, kind: PartialOrderKind) -> (RaceReport, RaceReport) {
+    match kind {
+        PartialOrderKind::Hb => (
+            HbRaceDetector::<TreeClock>::new(trace).run(trace),
+            HbRaceDetector::<VectorClock>::new(trace).run(trace),
+        ),
+        PartialOrderKind::Shb => (
+            ShbRaceDetector::<TreeClock>::new(trace).run(trace),
+            ShbRaceDetector::<VectorClock>::new(trace).run(trace),
+        ),
+        PartialOrderKind::Maz => (
+            MazAnalyzer::<TreeClock>::new(trace).run(trace),
+            MazAnalyzer::<VectorClock>::new(trace).run(trace),
+        ),
+    }
+}
+
+fn metrics_of(trace: &Trace, kind: PartialOrderKind) -> (RunMetrics, RunMetrics) {
+    match kind {
+        PartialOrderKind::Hb => (
+            HbEngine::<TreeClock>::run_counted(trace),
+            HbEngine::<VectorClock>::run_counted(trace),
+        ),
+        PartialOrderKind::Shb => (
+            ShbEngine::<TreeClock>::run_counted(trace),
+            ShbEngine::<VectorClock>::run_counted(trace),
+        ),
+        PartialOrderKind::Maz => (
+            MazEngine::<TreeClock>::run_counted(trace),
+            MazEngine::<VectorClock>::run_counted(trace),
+        ),
+    }
+}
+
+fn check_timestamps(trace: &Trace, kind: PartialOrderKind, fault: Fault) -> Result<(), Failure> {
+    let (mut tc, vc) = timestamps_of(trace, kind);
+    if fault == Fault::SkewTimestamp(kind) {
+        if let (Some(ts), Some(e)) = (tc.last_mut(), trace.events().last()) {
+            ts.increment(e.tid, 1);
+        }
+    }
+    let oracle = tc_orders::spec::spec_timestamps(trace, kind);
+    for (backend, computed) in [("tree", &tc), ("vector", &vc)] {
+        if computed.len() != oracle.len() {
+            return Err(fail(
+                kind,
+                CheckKind::Timestamps,
+                format!(
+                    "{backend} produced {} timestamps for {} events",
+                    computed.len(),
+                    oracle.len()
+                ),
+            ));
+        }
+        for (i, (got, want)) in computed.iter().zip(&oracle).enumerate() {
+            if got != want {
+                return Err(fail(
+                    kind,
+                    CheckKind::Timestamps,
+                    format!(
+                        "{backend} clock diverges from the definition at event {i} \
+                         ({}): got {got}, oracle says {want}",
+                        trace[i]
+                    ),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks one report for soundness against the definitional order: each
+/// reported pair must be conflicting and concurrent, judging SHB/MAZ
+/// concurrency with the current event's own direct conflict edges
+/// removed (the ordering the detector consulted).
+fn check_report_soundness(
+    trace: &Trace,
+    kind: PartialOrderKind,
+    report: &RaceReport,
+    hb_reachability: Option<&tc_orders::Reachability>,
+) -> Result<(), Failure> {
+    if report.races.is_empty() {
+        return Ok(());
+    }
+    let map = epoch_index(trace);
+    let resolve = |e: Epoch| -> Option<usize> { map.get(&(e.tid().raw(), e.time())).copied() };
+    for race in &report.races {
+        let (Some(i), Some(j)) = (resolve(race.prior), resolve(race.current)) else {
+            return Err(fail(
+                kind,
+                CheckKind::Reports,
+                format!("reported pair {race} does not identify trace events"),
+            ));
+        };
+        if i >= j {
+            return Err(fail(
+                kind,
+                CheckKind::Reports,
+                format!("reported pair {race} is not in trace order ({i} vs {j})"),
+            ));
+        }
+        if !trace[i].conflicts_with(&trace[j]) {
+            return Err(fail(
+                kind,
+                CheckKind::Reports,
+                format!(
+                    "reported pair ({i},{j}) does not conflict: {} vs {}",
+                    trace[i], trace[j]
+                ),
+            ));
+        }
+        let concurrent = if kind == PartialOrderKind::Hb {
+            // HB judges every pair against the one plain reachability
+            // (shared with the completeness check); SHB/MAZ instead
+            // rebuild a dropped-edge DAG per reported pair below.
+            hb_reachability
+                .expect("HB soundness requires the shared reachability")
+                .concurrent(i, j)
+        } else {
+            let dropped = spec_dag_with(
+                trace,
+                kind,
+                SpecOptions {
+                    drop_conflict_edges_into: Some(j),
+                },
+            )
+            .reachability();
+            !dropped.ordered(i, j)
+        };
+        if !concurrent {
+            return Err(fail(
+                kind,
+                CheckKind::Reports,
+                format!(
+                    "reported pair ({i},{j}) is ordered by the definition: {} vs {}",
+                    trace[i], trace[j]
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn check_reports(trace: &Trace, kind: PartialOrderKind, fault: Fault) -> Result<u64, Failure> {
+    let (mut tc, vc) = reports_of(trace, kind);
+    if fault == Fault::DropRace(kind) && tc.races.pop().is_some() {
+        tc.total -= 1;
+    }
+    if tc != vc {
+        return Err(fail(
+            kind,
+            CheckKind::Reports,
+            format!(
+                "backends disagree: tree reports {} race(s) over {} check(s), \
+                 vector reports {} over {}",
+                tc.total, tc.checks, vc.total, vc.checks
+            ),
+        ));
+    }
+    if kind == PartialOrderKind::Hb {
+        // The completeness check needs the plain HB reachability even
+        // when no race was reported; soundness reuses the same one.
+        let reach = spec_dag(trace, kind).reachability();
+        check_report_soundness(trace, kind, &tc, Some(&reach))?;
+        // Completeness: the FastTrack-style detector finds at least one
+        // race exactly when a concurrent conflicting pair exists.
+        let oracle_pairs = reach.concurrent_conflicting_pairs(trace);
+        if tc.is_empty() != oracle_pairs.is_empty() {
+            return Err(fail(
+                kind,
+                CheckKind::Reports,
+                format!(
+                    "HB detector nonemptiness must match the oracle: detector \
+                     reported {}, oracle found {} concurrent conflicting pair(s)",
+                    tc.total,
+                    oracle_pairs.len()
+                ),
+            ));
+        }
+    } else {
+        check_report_soundness(trace, kind, &tc, None)?;
+    }
+    Ok(tc.total)
+}
+
+fn check_metrics(trace: &Trace, kind: PartialOrderKind, fault: Fault) -> Result<(), Failure> {
+    let (mut tc, vc) = metrics_of(trace, kind);
+    if fault == Fault::InflateWork(kind) {
+        tc.op_changed += 1;
+    }
+    for (backend, m) in [("tree", &tc), ("vector", &vc)] {
+        if m.events != trace.len() as u64 {
+            return Err(fail(
+                kind,
+                CheckKind::Metrics,
+                format!(
+                    "{backend} engine processed {} events, trace has {}",
+                    m.events,
+                    trace.len()
+                ),
+            ));
+        }
+        if m.op_changed > m.op_examined {
+            return Err(fail(
+                kind,
+                CheckKind::Metrics,
+                format!(
+                    "{backend} OpStats are inconsistent: changed {} > examined {}",
+                    m.op_changed, m.op_examined
+                ),
+            ));
+        }
+    }
+    if tc.vt_work() != vc.vt_work() {
+        return Err(fail(
+            kind,
+            CheckKind::Metrics,
+            format!(
+                "VTWork must be representation independent: tree {} vs vector {}",
+                tc.vt_work(),
+                vc.vt_work()
+            ),
+        ));
+    }
+    if kind == PartialOrderKind::Hb {
+        // Theorem 1 is stated for the HB algorithm (Algorithm 3): its
+        // clocks are the per-thread and per-lock ones, and tree-clock
+        // work stays within 3× of the representation-independent lower
+        // bound on every input.
+        if tc.ds_work() > 3 * tc.vt_work() {
+            return Err(fail(
+                kind,
+                CheckKind::Metrics,
+                format!(
+                    "Theorem 1 violated: TCWork {} > 3·VTWork {}",
+                    tc.ds_work(),
+                    tc.vt_work()
+                ),
+            ));
+        }
+    } else {
+        // SHB/MAZ maintain per-variable clocks (`LW_x`, `R_{t,x}`)
+        // whose *first* copy materializes the full k-entry dimension on
+        // both representations — a one-time Θ(k) surcharge per clock
+        // that Theorem 1's amortization does not cover and that only
+        // washes out on long traces (the conformance corpus found this
+        // on short 16-thread pipeline/bursty traces). Allow each copy a
+        // dimension surcharge; everything else must stay Theorem-1
+        // tight.
+        let surcharge = tc.copies * trace.thread_count() as u64;
+        if tc.ds_work() > 3 * tc.vt_work() + surcharge {
+            return Err(fail(
+                kind,
+                CheckKind::Metrics,
+                format!(
+                    "tree-clock work blow-up: TCWork {} > 3·VTWork {} + copy \
+                     surcharge {surcharge}",
+                    tc.ds_work(),
+                    tc.vt_work()
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Runs every conformance check on `trace`, perturbing one result
+/// according to `fault` (pass [`Fault::None`] for an honest run).
+///
+/// # Errors
+///
+/// Returns the first [`Failure`] found, checking orders in the
+/// HB, SHB, MAZ sequence and timestamps → reports → metrics within
+/// each order.
+pub fn check_trace(trace: &Trace, fault: Fault) -> Result<CheckSummary, Failure> {
+    let orders = [
+        PartialOrderKind::Hb,
+        PartialOrderKind::Shb,
+        PartialOrderKind::Maz,
+    ];
+    let mut summary = CheckSummary {
+        combos: orders.len() * 2,
+        events: trace.len(),
+        races: 0,
+    };
+    for kind in orders {
+        check_timestamps(trace, kind, fault)?;
+        summary.races += check_reports(trace, kind, fault)?;
+        check_metrics(trace, kind, fault)?;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_trace::gen::{Scenario, WorkloadSpec};
+
+    fn racy_trace() -> Trace {
+        WorkloadSpec {
+            threads: 4,
+            locks: 2,
+            vars: 3,
+            events: 120,
+            sync_ratio: 0.1,
+            shared_fraction: 0.9,
+            seed: 7,
+            ..WorkloadSpec::default()
+        }
+        .generate()
+    }
+
+    #[test]
+    fn honest_runs_pass_on_scenarios_and_racy_workloads() {
+        let star = Scenario::Star.generate(4, 150, 1);
+        assert!(check_trace(&star, Fault::None).is_ok());
+        let racy = racy_trace();
+        let summary = check_trace(&racy, Fault::None).unwrap();
+        assert!(summary.races > 0, "racy workload should report races");
+        assert_eq!(summary.combos, 6);
+    }
+
+    #[test]
+    fn each_fault_kind_is_detected() {
+        let racy = racy_trace();
+        for kind in PartialOrderKind::ALL {
+            for fault in [
+                Fault::DropRace(kind),
+                Fault::SkewTimestamp(kind),
+                Fault::InflateWork(kind),
+            ] {
+                let failure = check_trace(&racy, fault)
+                    .expect_err(&format!("fault {fault} must be detected"));
+                assert_eq!(failure.order, kind, "fault {fault}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_failures_name_the_right_check() {
+        let racy = racy_trace();
+        let f = check_trace(&racy, Fault::SkewTimestamp(PartialOrderKind::Hb)).unwrap_err();
+        assert_eq!(f.check, CheckKind::Timestamps);
+        let f = check_trace(&racy, Fault::DropRace(PartialOrderKind::Shb)).unwrap_err();
+        assert_eq!(f.check, CheckKind::Reports);
+        let f = check_trace(&racy, Fault::InflateWork(PartialOrderKind::Maz)).unwrap_err();
+        assert_eq!(f.check, CheckKind::Metrics);
+        assert!(f.to_string().contains("MAZ/metrics"));
+    }
+
+    #[test]
+    fn empty_trace_is_trivially_conformant() {
+        let summary = check_trace(&Trace::new(), Fault::None).unwrap();
+        assert_eq!(summary.events, 0);
+        assert_eq!(summary.races, 0);
+    }
+}

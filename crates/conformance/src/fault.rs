@@ -1,0 +1,113 @@
+//! Test-only fault injection.
+//!
+//! A [`Fault`] perturbs one engine's *results* after they are computed
+//! (never the engines themselves), so the conformance checker observes
+//! a mismatch exactly as it would for a real bug. This keeps the
+//! harness honest: a checker that cannot see an injected fault would
+//! also miss a genuine divergence, and the shrinker demo in the test
+//! suite exercises the whole minimize-and-dump loop.
+
+use std::fmt;
+use std::str::FromStr;
+
+use tc_orders::PartialOrderKind;
+
+/// A result perturbation applied to the tree-clock side of one partial
+/// order's checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Fault {
+    /// No perturbation: the honest conformance run.
+    #[default]
+    None,
+    /// Drop the last reported race of the order's detector report
+    /// (models a detector that misses a race).
+    DropRace(PartialOrderKind),
+    /// Bump one entry of the last event's timestamp (models a clock
+    /// divergence).
+    SkewTimestamp(PartialOrderKind),
+    /// Inflate the tree-clock run's `op_changed` counter by one
+    /// (models a metrics accounting bug breaking `VTWork` equality).
+    InflateWork(PartialOrderKind),
+}
+
+impl Fault {
+    /// The order whose checks this fault perturbs, if any.
+    pub fn order(self) -> Option<PartialOrderKind> {
+        match self {
+            Fault::None => None,
+            Fault::DropRace(k) | Fault::SkewTimestamp(k) | Fault::InflateWork(k) => Some(k),
+        }
+    }
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::None => f.write_str("none"),
+            Fault::DropRace(k) => write!(f, "drop-race:{}", k.to_string().to_lowercase()),
+            Fault::SkewTimestamp(k) => {
+                write!(f, "skew-timestamp:{}", k.to_string().to_lowercase())
+            }
+            Fault::InflateWork(k) => write!(f, "inflate-work:{}", k.to_string().to_lowercase()),
+        }
+    }
+}
+
+impl FromStr for Fault {
+    type Err = String;
+
+    /// Parses `none` or `<kind>:<order>`, e.g. `drop-race:hb`,
+    /// `skew-timestamp:maz`, `inflate-work:shb`. The order defaults to
+    /// `hb` when omitted.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "none" {
+            return Ok(Fault::None);
+        }
+        let (kind, order) = match s.split_once(':') {
+            Some((k, o)) => (k, o.parse::<PartialOrderKind>()?),
+            None => (s, PartialOrderKind::Hb),
+        };
+        match kind {
+            "drop-race" => Ok(Fault::DropRace(order)),
+            "skew-timestamp" => Ok(Fault::SkewTimestamp(order)),
+            "inflate-work" => Ok(Fault::InflateWork(order)),
+            other => Err(format!(
+                "unknown fault `{other}` (none, drop-race, skew-timestamp, inflate-work; \
+                 optionally suffixed `:hb|:shb|:maz`)"
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_round_trip_through_strings() {
+        let faults = [
+            Fault::None,
+            Fault::DropRace(PartialOrderKind::Hb),
+            Fault::SkewTimestamp(PartialOrderKind::Shb),
+            Fault::InflateWork(PartialOrderKind::Maz),
+        ];
+        for fault in faults {
+            let parsed: Fault = fault.to_string().parse().unwrap();
+            assert_eq!(parsed, fault);
+        }
+    }
+
+    #[test]
+    fn order_defaults_to_hb() {
+        assert_eq!(
+            "drop-race".parse::<Fault>().unwrap(),
+            Fault::DropRace(PartialOrderKind::Hb)
+        );
+    }
+
+    #[test]
+    fn unknown_faults_are_rejected() {
+        assert!("explode".parse::<Fault>().is_err());
+        assert!("drop-race:cp".parse::<Fault>().is_err());
+    }
+}

@@ -1,0 +1,196 @@
+//! Deterministic event-level failure shrinking.
+//!
+//! When a conformance check fails on a generated trace, the raw
+//! counterexample is typically hundreds of events long. [`shrink_trace`]
+//! minimizes it with a ddmin-style bisection: repeatedly delete chunks
+//! of events (halving the chunk size down to single events) while the
+//! candidate remains well-formed and the failure persists. The result
+//! is dumped as a replayable text-format [`Repro`].
+
+use tc_trace::text_format;
+use tc_trace::{Event, Trace};
+
+use crate::check::{check_trace, Failure};
+use crate::fault::Fault;
+
+fn rebuild(events: &[Event]) -> Trace {
+    events.iter().copied().collect()
+}
+
+/// Minimizes `trace` while `still_fails` holds, by deterministic
+/// event-level bisection.
+///
+/// Candidates that are not well-formed (deleting an acquire orphans its
+/// release, deleting a fork orphans the child) are skipped, so the
+/// result is always a valid trace on which `still_fails` returns
+/// `true`. The result is 1-minimal up to well-formedness: no single
+/// remaining event can be deleted without losing the failure or
+/// validity.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_conformance::shrink_trace;
+/// use tc_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// for t in 0..4 {
+///     b.acquire(t, "m").read(t, "x").release(t, "m");
+/// }
+/// b.write(0, "y").write(1, "y"); // the only conflicting pair
+/// let trace = b.finish();
+///
+/// // Shrink towards "two unsynchronized writes": everything else goes.
+/// let small = shrink_trace(&trace, |t| {
+///     t.iter().filter(|e| matches!(e.op, tc_trace::Op::Write(_))).count() >= 2
+/// });
+/// assert_eq!(small.len(), 2);
+/// ```
+pub fn shrink_trace<F: FnMut(&Trace) -> bool>(trace: &Trace, mut still_fails: F) -> Trace {
+    let mut current: Vec<Event> = trace.events().to_vec();
+    debug_assert!(still_fails(&rebuild(&current)), "shrinking a passing trace");
+    let mut chunk = current.len().div_ceil(2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < current.len() {
+            let end = (i + chunk).min(current.len());
+            if end - i == current.len() {
+                // Never propose the empty trace.
+                i = end;
+                continue;
+            }
+            let candidate: Vec<Event> = current[..i]
+                .iter()
+                .chain(&current[end..])
+                .copied()
+                .collect();
+            let t = rebuild(&candidate);
+            if t.validate().is_ok() && still_fails(&t) {
+                current = candidate;
+                removed_any = true;
+                // The next chunk now starts at `i`; retry in place.
+            } else {
+                i = end;
+            }
+        }
+        if removed_any {
+            continue; // another pass at the same granularity
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk = (chunk / 2).max(1);
+    }
+    rebuild(&current)
+}
+
+/// A minimized, replayable counterexample.
+#[derive(Clone, Debug)]
+pub struct Repro {
+    /// The conformance failure the original trace exhibited.
+    pub failure: Failure,
+    /// Event count of the original failing trace.
+    pub original_events: usize,
+    /// The minimized failing trace.
+    pub trace: Trace,
+    /// The minimized trace in the replayable text format, prefixed with
+    /// `#` comment lines describing the failure.
+    pub text: String,
+}
+
+/// Checks `trace` under `fault` and, if it fails, minimizes the
+/// counterexample and renders a replayable text repro.
+///
+/// Returns `None` when the trace is conformant. The shrinking predicate
+/// is "any conformance check still fails under `fault`", so the
+/// minimized trace may exhibit a different (smaller) failure than the
+/// original; the repro records the final one.
+pub fn minimize(trace: &Trace, fault: Fault) -> Option<Repro> {
+    check_trace(trace, fault).err()?;
+    let minimized = shrink_trace(trace, |t| check_trace(t, fault).is_err());
+    let failure =
+        check_trace(&minimized, fault).expect_err("shrinking preserves failure by construction");
+    let mut text = format!(
+        "# conformance repro: {failure}\n# fault injected: {fault}\n# minimized from {} to {} event(s)\n",
+        trace.len(),
+        minimized.len()
+    );
+    text.push_str(&text_format::to_text(&minimized));
+    Some(Repro {
+        failure,
+        original_events: trace.len(),
+        trace: minimized,
+        text,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_trace::gen::WorkloadSpec;
+    use tc_trace::{Op, TraceBuilder};
+
+    #[test]
+    fn shrinking_respects_well_formedness() {
+        // Predicate: at least one release event present. A bare release
+        // is invalid, so the minimum valid witness is acquire+release.
+        let mut b = TraceBuilder::new();
+        for t in 0..6u32 {
+            b.acquire(t, "m").write(t, "x").release(t, "m");
+        }
+        let small = shrink_trace(&b.finish(), |t| {
+            t.iter().any(|e| matches!(e.op, Op::Release(_)))
+        });
+        assert_eq!(small.len(), 2);
+        assert!(small.validate().is_ok());
+        assert!(matches!(small[0].op, Op::Acquire(_)));
+        assert!(matches!(small[1].op, Op::Release(_)));
+    }
+
+    #[test]
+    fn shrinking_is_deterministic() {
+        let trace = WorkloadSpec {
+            threads: 4,
+            vars: 3,
+            events: 200,
+            sync_ratio: 0.1,
+            shared_fraction: 1.0,
+            seed: 3,
+            ..WorkloadSpec::default()
+        }
+        .generate();
+        let pred = |t: &Trace| t.iter().filter(|e| e.op.is_access()).count() > 4;
+        let a = shrink_trace(&trace, pred);
+        let b = shrink_trace(&trace, pred);
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn minimize_returns_none_for_conformant_traces() {
+        let trace = tc_trace::gen::Scenario::SingleLock.generate(3, 60, 1);
+        assert!(minimize(&trace, Fault::None).is_none());
+    }
+
+    #[test]
+    fn repro_text_is_replayable() {
+        let trace = WorkloadSpec {
+            threads: 4,
+            vars: 2,
+            events: 150,
+            sync_ratio: 0.05,
+            shared_fraction: 1.0,
+            seed: 11,
+            ..WorkloadSpec::default()
+        }
+        .generate();
+        let fault = Fault::DropRace(tc_orders::PartialOrderKind::Hb);
+        let repro = minimize(&trace, fault).expect("fault must fail");
+        assert!(repro.trace.len() < repro.original_events / 4);
+        // The text dump parses back to a trace that still fails.
+        let replayed = text_format::parse_text(&repro.text).unwrap();
+        assert_eq!(replayed.len(), repro.trace.len());
+        assert!(check_trace(&replayed, fault).is_err());
+    }
+}

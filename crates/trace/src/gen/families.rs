@@ -1,0 +1,451 @@
+//! Structured workload families beyond the paper's Figure 10.
+//!
+//! The four Figure-10 scenarios ([`scenarios`](crate::gen::scenarios))
+//! are pure lock-synchronization patterns. The families here add the
+//! shapes real concurrent programs actually exhibit — hierarchical task
+//! parallelism, bulk-synchronous rounds, streaming pipelines, read-heavy
+//! sharing and phase-changing communication — so the conformance corpus
+//! (and the benchmarks) can drive every engine through topologies the
+//! original four cannot express.
+//!
+//! All generators are deterministic in their seed, realize exactly the
+//! requested thread count, keep their event count within a small
+//! additive overshoot of the budget, and produce *well-formed* traces
+//! (every access to a shared buffer happens inside the critical section
+//! of the lock that guards it, so the traces are race-free by
+//! construction — racy inputs come from
+//! [`WorkloadSpec`](crate::gen::WorkloadSpec)).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{Trace, TraceBuilder};
+
+fn sync(b: &mut TraceBuilder, t: u32, l: u32) {
+    b.acquire_id(t, l);
+    b.release_id(t, l);
+}
+
+/// Fork/join task tree: threads form a complete binary tree; every
+/// thread is forked by its parent, publishes results to it through a
+/// dedicated per-edge lock, and is joined by it at the end.
+///
+/// The communication graph is exactly a tree, so the tree clock can
+/// mirror it: this is the structured-parallelism regime (Cilk/TBB-style
+/// task graphs) where hierarchical clocks do minimal work.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_trace::gen::families::fork_join_tree;
+///
+/// let t = fork_join_tree(8, 500, 1);
+/// assert!(t.validate().is_ok());
+/// assert_eq!(t.thread_count(), 8);
+/// ```
+pub fn fork_join_tree(threads: u32, events: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TraceBuilder::with_capacity(events + 6 * threads as usize);
+    let children = |t: u32| [2 * t + 1, 2 * t + 2].into_iter().filter(|&c| c < threads);
+
+    // Fork phase in BFS order: a parent forks a child before the child's
+    // first event, so the lifecycle checks hold by construction.
+    for t in 0..threads {
+        for c in children(t) {
+            b.fork(t, c);
+        }
+    }
+    // Work phase: a random thread mostly touches its private scratch
+    // variable; sometimes it publishes its partial result under the lock
+    // it shares with its parent (lock id = thread id - 1, one per tree
+    // edge), or collects a child's result under the child's edge lock.
+    // Variable id t is thread t's result slot, threads + t its scratch.
+    let joins = threads.saturating_sub(1) as usize;
+    while b.len() + joins < events {
+        let t = rng.random_range(0..threads);
+        match rng.random_range(0..10u32) {
+            0 if t > 0 => {
+                // Publish to the parent edge.
+                b.acquire_id(t, t - 1);
+                b.write_id(t, t);
+                b.release_id(t, t - 1);
+            }
+            1 => {
+                // Collect from a child edge, if any.
+                if let Some(c) = children(t).next() {
+                    b.acquire_id(t, c - 1);
+                    b.read_id(t, c);
+                    b.release_id(t, c - 1);
+                }
+            }
+            r => {
+                let scratch = threads + t;
+                if r < 5 {
+                    b.write_id(t, scratch);
+                } else {
+                    b.read_id(t, scratch);
+                }
+            }
+        }
+    }
+    // Join phase in reverse BFS order: children are joined only after
+    // they performed their own joins.
+    for t in (0..threads).rev() {
+        for c in children(t) {
+            b.join(t, c);
+        }
+    }
+    b.finish()
+}
+
+/// Barrier-phased SPMD rounds: every thread does a burst of mostly
+/// private work, then all threads pass a barrier together; the phase
+/// leader broadcasts a value that the others read in the next phase.
+///
+/// The barrier is built from lock semantics alone: two sweeps over a
+/// single barrier lock order every pre-barrier release before every
+/// post-barrier acquire, which is exactly an all-to-all synchronization
+/// round (the OpenMP loop structure dominating the paper's Table 1
+/// suite).
+///
+/// # Example
+///
+/// ```rust
+/// use tc_trace::gen::families::barrier_phases;
+///
+/// let t = barrier_phases(6, 600, 2);
+/// assert!(t.validate().is_ok());
+/// assert_eq!(t.thread_count(), 6);
+/// ```
+pub fn barrier_phases(threads: u32, events: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TraceBuilder::with_capacity(events + 8 * threads as usize);
+    // Variable 0 is the broadcast slot; 1..=threads are private slices.
+    let barrier = |b: &mut TraceBuilder| {
+        // Sweep 1 (arrive): every thread's release precedes...
+        for t in 0..threads {
+            sync(b, t, 0);
+        }
+        // ...sweep 2 (depart): every thread's second acquire, which
+        // therefore observes all arrivals.
+        for t in 0..threads {
+            sync(b, t, 0);
+        }
+    };
+    let mut phase = 0u32;
+    barrier(&mut b); // realize all threads up front
+    while b.len() < events {
+        let leader = phase % threads;
+        // Work burst: private accesses, plus reads of the previous
+        // phase's broadcast (race-free: ordered through the barrier).
+        for t in 0..threads {
+            for _ in 0..rng.random_range(1..4u32) {
+                if rng.random_range(0..4u32) == 0 {
+                    b.read_id(t, 0);
+                } else if rng.random_range(0..2u32) == 0 {
+                    b.write_id(t, 1 + t);
+                } else {
+                    b.read_id(t, 1 + t);
+                }
+            }
+        }
+        barrier(&mut b);
+        // The leader publishes after the barrier, before the next
+        // phase's reads — again ordered by the following barrier.
+        b.write_id(leader, 0);
+        barrier(&mut b);
+        phase += 1;
+    }
+    b.finish()
+}
+
+/// Producer–consumer pipeline: thread `i` consumes from channel `i-1`
+/// and produces into channel `i`; each channel is a lock-guarded buffer
+/// variable.
+///
+/// Information flows strictly left-to-right along a chain — deep,
+/// narrow causality that stresses the monotone-copy path of both clock
+/// representations.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_trace::gen::families::pipeline;
+///
+/// let t = pipeline(4, 400, 3);
+/// assert!(t.validate().is_ok());
+/// assert_eq!(t.thread_count(), 4);
+/// ```
+pub fn pipeline(threads: u32, events: usize, seed: u64) -> Trace {
+    assert!(threads >= 2, "a pipeline needs at least two stages");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TraceBuilder::with_capacity(events + 6 * threads as usize);
+    // Channel i (lock i, buffer variable i) connects stage i to i+1.
+    let produce = |b: &mut TraceBuilder, t: u32| {
+        b.acquire_id(t, t);
+        b.write_id(t, t);
+        b.release_id(t, t);
+    };
+    let consume = |b: &mut TraceBuilder, t: u32| {
+        b.acquire_id(t, t - 1);
+        b.read_id(t, t - 1);
+        b.release_id(t, t - 1);
+    };
+    // Deterministic priming round realizes every stage in order.
+    for t in 0..threads - 1 {
+        produce(&mut b, t);
+    }
+    for t in 1..threads {
+        consume(&mut b, t);
+    }
+    while b.len() < events {
+        let t = rng.random_range(0..threads);
+        if t > 0 {
+            consume(&mut b, t);
+        }
+        if t < threads - 1 {
+            produce(&mut b, t);
+        }
+    }
+    b.finish()
+}
+
+/// Read-mostly reader/writer contention: a small pool of shared
+/// records, each guarded by its own lock; ~95% of critical sections
+/// only read.
+///
+/// This is the cache/configuration-table pattern: heavy lock traffic
+/// with almost no new information per acquisition, the regime where the
+/// paper's `VTWork` lower bound is tiny and representation overhead
+/// dominates.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_trace::gen::families::read_mostly;
+///
+/// let t = read_mostly(5, 300, 4);
+/// assert!(t.validate().is_ok());
+/// assert_eq!(t.thread_count(), 5);
+/// ```
+pub fn read_mostly(threads: u32, events: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let records = (threads / 4).max(1);
+    let mut b = TraceBuilder::with_capacity(events + 4 * threads as usize);
+    let access = |b: &mut TraceBuilder, t: u32, rec: u32, write: bool| {
+        b.acquire_id(t, rec);
+        if write {
+            b.write_id(t, rec);
+        } else {
+            b.read_id(t, rec);
+        }
+        b.release_id(t, rec);
+    };
+    for t in 0..threads {
+        access(&mut b, t, t % records, t.is_multiple_of(records));
+    }
+    while b.len() < events {
+        let t = rng.random_range(0..threads);
+        let rec = rng.random_range(0..records);
+        let write = rng.random_range(0..20u32) == 0; // ~5% writers
+        access(&mut b, t, rec, write);
+    }
+    b.finish()
+}
+
+/// Bursty hot/cold channel traffic: thread pairs exchange messages over
+/// per-pair channels, but traffic is heavily non-uniform — one "hot"
+/// pair exchanges a long burst, then the hot spot moves.
+///
+/// Phase-changing communication is adversarial for any structure that
+/// adapts to the current topology: the tree clock keeps re-rooting as
+/// the hot pair migrates, while cold pairs inject stale, deep updates.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_trace::gen::families::bursty_channels;
+///
+/// let t = bursty_channels(6, 500, 5);
+/// assert!(t.validate().is_ok());
+/// assert_eq!(t.thread_count(), 6);
+/// ```
+pub fn bursty_channels(threads: u32, events: usize, seed: u64) -> Trace {
+    assert!(threads >= 2, "channels need at least two endpoints");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let k = u64::from(threads);
+    // Triangular indexing of unordered pairs (i < j), as in `pairwise`;
+    // the pair's channel is lock `pair` guarding buffer variable `pair`.
+    let pair_of = |i: u32, j: u32| -> u32 {
+        let (i, j) = (u64::from(i.min(j)), u64::from(i.max(j)));
+        (i * (2 * k - i - 1) / 2 + (j - i - 1)) as u32
+    };
+    let exchange = |b: &mut TraceBuilder, rng: &mut StdRng, t: u32, u: u32| {
+        let ch = pair_of(t, u);
+        b.acquire_id(t, ch);
+        b.write_id(t, ch);
+        b.release_id(t, ch);
+        if rng.random_range(0..2u32) == 0 {
+            b.acquire_id(u, ch);
+            b.read_id(u, ch);
+            b.release_id(u, ch);
+        }
+    };
+    let mut b = TraceBuilder::with_capacity(events + 8 * threads as usize);
+    for t in 1..threads {
+        exchange(&mut b, &mut rng, t - 1, t);
+    }
+    while b.len() < events {
+        // Pick a hot pair and burn a burst on it.
+        let t = rng.random_range(0..threads);
+        let mut u = rng.random_range(0..threads - 1);
+        if u >= t {
+            u += 1;
+        }
+        let burst = rng.random_range(8..32u32);
+        for _ in 0..burst {
+            if b.len() >= events {
+                break;
+            }
+            // ~20% of burst steps are cold background exchanges.
+            if rng.random_range(0..5u32) == 0 {
+                let a = rng.random_range(0..threads);
+                let mut c = rng.random_range(0..threads - 1);
+                if c >= a {
+                    c += 1;
+                }
+                exchange(&mut b, &mut rng, a, c);
+            } else {
+                exchange(&mut b, &mut rng, t, u);
+            }
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Op;
+
+    type Gen = fn(u32, usize, u64) -> Trace;
+    const FAMILIES: [(&str, Gen); 5] = [
+        ("fork-join-tree", fork_join_tree),
+        ("barrier-phases", barrier_phases),
+        ("pipeline", pipeline),
+        ("read-mostly", read_mostly),
+        ("bursty-channels", bursty_channels),
+    ];
+
+    #[test]
+    fn families_generate_valid_deterministic_traces() {
+        for (name, generate) in FAMILIES {
+            for threads in [2u32, 5, 16] {
+                let t = generate(threads, 1_000, 7);
+                t.validate()
+                    .unwrap_or_else(|e| panic!("{name}/{threads}: invalid trace: {e}"));
+                assert_eq!(t.thread_count(), threads as usize, "{name}: lost threads");
+                assert!(t.len() >= 1_000, "{name}: undershot the budget");
+                // Overshoot stays within one generation "round" — at
+                // most one barrier phase (~11·threads events).
+                assert!(
+                    t.len() < 1_000 + 12 * threads as usize + 16,
+                    "{name}/{threads}: overshot the budget: {}",
+                    t.len()
+                );
+                assert_eq!(t.events(), generate(threads, 1_000, 7).events());
+                assert_ne!(
+                    t.events(),
+                    generate(threads, 1_000, 8).events(),
+                    "{name}: seed is ignored"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fork_join_tree_forks_and_joins_every_non_root_thread() {
+        let t = fork_join_tree(10, 800, 1);
+        let forks = t.iter().filter(|e| matches!(e.op, Op::Fork(_))).count();
+        let joins = t.iter().filter(|e| matches!(e.op, Op::Join(_))).count();
+        assert_eq!(forks, 9);
+        assert_eq!(joins, 9);
+        // Forks lead, joins trail.
+        assert!(matches!(t[0].op, Op::Fork(_)));
+        assert!(matches!(t[t.len() - 1].op, Op::Join(_)));
+    }
+
+    #[test]
+    fn barrier_phases_use_a_single_barrier_lock() {
+        let t = barrier_phases(8, 2_000, 2);
+        assert_eq!(t.lock_count(), 1);
+        // Broadcast reads exist (variable 0 read by non-leaders).
+        assert!(t
+            .iter()
+            .any(|e| matches!(e.op, Op::Read(x) if x.raw() == 0)));
+    }
+
+    #[test]
+    fn pipeline_uses_one_channel_per_adjacent_stage_pair() {
+        let t = pipeline(6, 2_000, 3);
+        assert_eq!(t.lock_count(), 5);
+        // Stage 0 never reads, the last stage never writes.
+        for e in &t {
+            match e.op {
+                Op::Read(_) => assert_ne!(e.tid.raw(), 0),
+                Op::Write(_) => assert_ne!(e.tid.raw(), 5),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn read_mostly_is_read_dominated() {
+        let t = read_mostly(16, 20_000, 4);
+        let s = t.stats();
+        assert!(
+            s.read_events > 10 * s.write_events,
+            "reads ({}) should dwarf writes ({})",
+            s.read_events,
+            s.write_events
+        );
+    }
+
+    #[test]
+    fn bursty_channels_concentrate_traffic_in_time() {
+        let t = bursty_channels(12, 30_000, 5);
+        // The skew is *temporal*: within a short window, one hot
+        // channel dominates, even though traffic evens out globally.
+        let acquires: Vec<u32> = t
+            .iter()
+            .filter_map(|e| match e.op {
+                Op::Acquire(l) => Some(l.raw()),
+                _ => None,
+            })
+            .collect();
+        let mut modal_share_sum = 0.0;
+        let windows = acquires.chunks_exact(20);
+        let n = windows.len();
+        for w in windows {
+            let mut counts = std::collections::HashMap::new();
+            for &l in w {
+                *counts.entry(l).or_insert(0usize) += 1;
+            }
+            let modal = *counts.values().max().unwrap();
+            modal_share_sum += modal as f64 / w.len() as f64;
+        }
+        let avg_modal_share = modal_share_sum / n as f64;
+        // With 66 possible channels, uniform traffic would give a modal
+        // share near 0.15; bursts push it well past one half.
+        assert!(
+            avg_modal_share > 0.5,
+            "windowed modal share {avg_modal_share} too uniform for bursty traffic"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "two stages")]
+    fn pipeline_rejects_single_thread() {
+        pipeline(1, 100, 0);
+    }
+}

@@ -1,10 +1,15 @@
 //! Seeded synthetic trace generators.
 //!
-//! Two families:
+//! Three families:
 //!
 //! - [`scenarios`] — the four controlled communication patterns of the
 //!   paper's Figure 10 (single lock, skewed locks, star topology,
 //!   pairwise communication), parameterized by thread count;
+//! - [`families`] — structured workload families beyond the paper
+//!   (fork/join task trees, barrier-phased SPMD rounds,
+//!   producer–consumer pipelines, read-mostly contention, bursty
+//!   channel traffic), registered alongside the Figure-10 patterns in
+//!   [`Scenario::ALL`];
 //! - [`workload`] — a general mixed read/write/lock workload
 //!   ([`WorkloadSpec`]) used to simulate the paper's 153-trace benchmark
 //!   suite (Tables 1 and 3): thread/lock/variable counts, the
@@ -13,8 +18,10 @@
 //! All generators are deterministic in their seed, so every experiment
 //! in this repository is exactly reproducible.
 
+pub mod families;
 pub mod scenarios;
 pub mod workload;
 
+pub use families::{barrier_phases, bursty_channels, fork_join_tree, pipeline, read_mostly};
 pub use scenarios::{pairwise, single_lock, skewed_locks, star, Scenario};
 pub use workload::{generate, WorkloadSpec};

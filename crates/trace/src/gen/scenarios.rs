@@ -125,8 +125,10 @@ pub fn pairwise(threads: u32, events: usize, seed: u64) -> Trace {
     b.finish()
 }
 
-/// The four Figure 10 scenarios as a value, for benchmark harnesses and
-/// the command-line tool.
+/// The registered scenario families: the four Figure 10 patterns plus
+/// the structured families of [`families`](crate::gen::families), as a
+/// value for benchmark harnesses, the conformance corpus and the
+/// command-line tool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Scenario {
     /// All threads share one lock (Figure 10a).
@@ -137,24 +139,77 @@ pub enum Scenario {
     Star,
     /// A dedicated lock per thread pair (Figure 10d).
     Pairwise,
+    /// Binary fork/join task tree with per-edge result channels.
+    ForkJoinTree,
+    /// Barrier-phased SPMD rounds with a per-phase broadcast.
+    BarrierPhases,
+    /// Producer–consumer pipeline over lock-guarded channel buffers.
+    Pipeline,
+    /// Read-mostly reader/writer contention on a shared record pool.
+    ReadMostly,
+    /// Bursty hot/cold channel traffic between migrating thread pairs.
+    BurstyChannels,
 }
 
 impl Scenario {
-    /// All scenarios in the paper's (a)–(d) order.
-    pub const ALL: [Scenario; 4] = [
+    /// The four controlled scenarios of the paper's Figure 10, in the
+    /// paper's (a)–(d) order. These are pure lock-synchronization
+    /// traces (100% sync events, race-free).
+    pub const FIG10: [Scenario; 4] = [
         Scenario::SingleLock,
         Scenario::SkewedLocks,
         Scenario::Star,
         Scenario::Pairwise,
     ];
 
+    /// Every registered scenario family: [`FIG10`](Self::FIG10)
+    /// followed by the structured families of
+    /// [`families`](crate::gen::families).
+    pub const ALL: [Scenario; 9] = [
+        Scenario::SingleLock,
+        Scenario::SkewedLocks,
+        Scenario::Star,
+        Scenario::Pairwise,
+        Scenario::ForkJoinTree,
+        Scenario::BarrierPhases,
+        Scenario::Pipeline,
+        Scenario::ReadMostly,
+        Scenario::BurstyChannels,
+    ];
+
     /// Generates a trace for this scenario.
     pub fn generate(self, threads: u32, events: usize, seed: u64) -> Trace {
+        use crate::gen::families;
         match self {
             Scenario::SingleLock => single_lock(threads, events, seed),
             Scenario::SkewedLocks => skewed_locks(threads, 50.min(threads.max(1)), events, seed),
             Scenario::Star => star(threads, events, seed),
             Scenario::Pairwise => pairwise(threads, events, seed),
+            Scenario::ForkJoinTree => families::fork_join_tree(threads, events, seed),
+            Scenario::BarrierPhases => families::barrier_phases(threads, events, seed),
+            Scenario::Pipeline => families::pipeline(threads, events, seed),
+            Scenario::ReadMostly => families::read_mostly(threads, events, seed),
+            Scenario::BurstyChannels => families::bursty_channels(threads, events, seed),
+        }
+    }
+
+    /// Returns `true` for the pure lock-synchronization scenarios
+    /// (every event is an acquire or release).
+    pub fn is_sync_only(self) -> bool {
+        Scenario::FIG10.contains(&self)
+    }
+
+    /// The smallest thread count this scenario supports.
+    pub fn min_threads(self) -> u32 {
+        match self {
+            Scenario::SingleLock
+            | Scenario::SkewedLocks
+            | Scenario::ForkJoinTree
+            | Scenario::BarrierPhases
+            | Scenario::ReadMostly => 1,
+            Scenario::Star | Scenario::Pairwise | Scenario::Pipeline | Scenario::BurstyChannels => {
+                2
+            }
         }
     }
 }
@@ -166,6 +221,11 @@ impl fmt::Display for Scenario {
             Scenario::SkewedLocks => "skewed-locks",
             Scenario::Star => "star",
             Scenario::Pairwise => "pairwise",
+            Scenario::ForkJoinTree => "fork-join-tree",
+            Scenario::BarrierPhases => "barrier-phases",
+            Scenario::Pipeline => "pipeline",
+            Scenario::ReadMostly => "read-mostly",
+            Scenario::BurstyChannels => "bursty-channels",
         };
         f.write_str(name)
     }
@@ -180,8 +240,15 @@ impl FromStr for Scenario {
             "skewed-locks" => Ok(Scenario::SkewedLocks),
             "star" => Ok(Scenario::Star),
             "pairwise" => Ok(Scenario::Pairwise),
+            "fork-join-tree" => Ok(Scenario::ForkJoinTree),
+            "barrier-phases" => Ok(Scenario::BarrierPhases),
+            "pipeline" => Ok(Scenario::Pipeline),
+            "read-mostly" => Ok(Scenario::ReadMostly),
+            "bursty-channels" => Ok(Scenario::BurstyChannels),
             other => Err(format!(
-                "unknown scenario `{other}` (expected single-lock, skewed-locks, star, pairwise)"
+                "unknown scenario `{other}` (expected single-lock, skewed-locks, star, \
+                 pairwise, fork-join-tree, barrier-phases, pipeline, read-mostly, \
+                 bursty-channels)"
             )),
         }
     }
@@ -198,8 +265,35 @@ mod tests {
             assert!(t.validate().is_ok(), "{s} generated an invalid trace");
             assert_eq!(t.thread_count(), 12, "{s} lost threads");
             assert!(t.len() >= 2_000, "{s} too short");
-            assert!(t.len() < 2_100, "{s} overshot the event budget");
-            assert_eq!(t.stats().sync_pct(), 100.0, "{s} emitted non-sync events");
+            assert!(
+                t.len() < 2_000 + 12 * 12 + 16,
+                "{s} overshot the event budget: {}",
+                t.len()
+            );
+            if s.is_sync_only() {
+                assert_eq!(t.stats().sync_pct(), 100.0, "{s} emitted non-sync events");
+            } else {
+                assert!(
+                    t.stats().sync_pct() < 100.0,
+                    "{s} should mix accesses with synchronization"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig10_is_a_prefix_of_all() {
+        assert_eq!(Scenario::ALL[..4], Scenario::FIG10);
+        assert!(Scenario::FIG10.iter().all(|s| s.is_sync_only()));
+        assert!(Scenario::ALL[4..].iter().all(|s| !s.is_sync_only()));
+    }
+
+    #[test]
+    fn scenarios_respect_their_minimum_thread_count() {
+        for s in Scenario::ALL {
+            let t = s.generate(s.min_threads(), 150, 3);
+            assert!(t.validate().is_ok(), "{s} invalid at min threads");
+            assert_eq!(t.thread_count(), s.min_threads() as usize);
         }
     }
 

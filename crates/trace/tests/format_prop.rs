@@ -1,0 +1,169 @@
+//! Round-trip property tests for the trace file formats:
+//! `parse ∘ format = id` over generated traces (all scenario families
+//! and mixed workloads), plus error-path coverage for malformed input.
+
+use proptest::prelude::*;
+
+use tc_trace::gen::{Scenario, WorkloadSpec};
+use tc_trace::{binary_format, text_format, Trace};
+
+fn arbitrary_trace(family: usize, threads: u32, sync_pct: u8, seed: u64) -> Trace {
+    let scenarios = Scenario::ALL;
+    if family < scenarios.len() {
+        let s = scenarios[family];
+        s.generate(threads.max(s.min_threads()), 120, seed)
+    } else {
+        WorkloadSpec {
+            threads,
+            locks: 3,
+            vars: 8,
+            events: 120,
+            sync_ratio: f64::from(sync_pct) / 100.0,
+            fork_join: seed.is_multiple_of(2),
+            seed,
+            ..WorkloadSpec::default()
+        }
+        .generate()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Binary round trip is the identity on events (ids preserved
+    /// exactly), for every generator family.
+    #[test]
+    fn binary_round_trip_is_identity(
+        family in 0usize..10, // 9 scenarios + the mixed workload
+        threads in 2u32..7,
+        sync_pct in 0u8..60,
+        seed in 0u64..5_000,
+    ) {
+        let trace = arbitrary_trace(family, threads, sync_pct, seed);
+        let bytes = binary_format::to_binary(&trace);
+        let back = binary_format::read_binary(bytes.as_slice())
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(trace.events(), back.events());
+        // Serializing again is a fixed point.
+        prop_assert_eq!(bytes, binary_format::to_binary(&back));
+    }
+
+    /// Text round trip preserves the event structure up to the
+    /// first-appearance renaming of ids, and rendering is a fixed
+    /// point from the first re-parse on.
+    #[test]
+    fn text_round_trip_is_identity_up_to_naming(
+        family in 0usize..10,
+        threads in 2u32..7,
+        sync_pct in 0u8..60,
+        seed in 0u64..5_000,
+    ) {
+        let trace = arbitrary_trace(family, threads, sync_pct, seed);
+        let text = text_format::to_text(&trace);
+        let back = text_format::parse_text(&text)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(trace.len(), back.len());
+        // The text format carries names, not dense ids: the re-parse
+        // re-interns in first-appearance order, so entity counts match
+        // the *used* entities of the original (unused id holes vanish).
+        let mut threads = std::collections::HashSet::new();
+        let mut locks = std::collections::HashSet::new();
+        let mut vars = std::collections::HashSet::new();
+        for e in &trace {
+            threads.insert(e.tid);
+            match e.op {
+                tc_trace::Op::Fork(u) | tc_trace::Op::Join(u) => {
+                    threads.insert(u);
+                }
+                _ => {}
+            }
+            if let Some(l) = e.op.lock() {
+                locks.insert(l);
+            }
+            if let Some(x) = e.op.variable() {
+                vars.insert(x);
+            }
+        }
+        prop_assert_eq!(threads.len(), back.thread_count());
+        prop_assert_eq!(locks.len(), back.lock_count());
+        prop_assert_eq!(vars.len(), back.var_count());
+        // The re-parse names every entity, so from here the round trip
+        // is exact: render ∘ parse is a fixed point...
+        let rendered = text_format::to_text(&back);
+        prop_assert_eq!(&rendered, &text);
+        // ...and the re-parsed trace is event-identical to `back`.
+        let again = text_format::parse_text(&rendered)
+            .map_err(|e| TestCaseError::fail(e.to_string()))?;
+        prop_assert_eq!(back.events(), again.events());
+    }
+
+    /// Truncating a binary trace anywhere strictly inside the payload
+    /// fails loudly rather than yielding a silently short trace.
+    #[test]
+    fn truncated_binary_input_errors(
+        threads in 2u32..6,
+        seed in 0u64..5_000,
+        cut_ppm in 0u32..1_000_000,
+    ) {
+        let trace = arbitrary_trace(9, threads, 20, seed);
+        let bytes = binary_format::to_binary(&trace);
+        let cut = 1 + (bytes.len() - 1) * cut_ppm as usize / 1_000_000;
+        prop_assert!(cut < bytes.len());
+        prop_assert!(
+            binary_format::read_binary(&bytes[..cut]).is_err(),
+            "truncation at {cut}/{} was not detected",
+            bytes.len()
+        );
+    }
+
+    /// A corrupted opcode byte is always rejected (valid opcodes are
+    /// 0..=5; anything else must error, never misparse).
+    #[test]
+    fn corrupt_binary_opcode_errors(bad_op in 6u8..=255) {
+        let mut b = tc_trace::TraceBuilder::new();
+        b.write(0, "x");
+        let mut bytes = binary_format::to_binary(&b.finish());
+        let op_offset = bytes.len() - 3; // opcode, tid varint, operand varint
+        bytes[op_offset] = bad_op;
+        prop_assert!(binary_format::read_binary(bytes.as_slice()).is_err());
+    }
+}
+
+#[test]
+fn malformed_text_lines_error_with_line_numbers() {
+    for (input, expect) in [
+        ("t0 acq\n", "expected"),            // missing operand
+        ("t0\n", "expected"),                // missing op and operand
+        ("t0 cas x\n", "unknown operation"), // unknown op
+        ("t0 r x junk\n", "trailing"),       // trailing token
+    ] {
+        let e = text_format::parse_text(input).expect_err(input);
+        assert_eq!(e.line, 1, "wrong line for {input:?}");
+        assert!(
+            e.message.contains(expect),
+            "{input:?}: message {:?} lacks {expect:?}",
+            e.message
+        );
+    }
+    // Errors past leading comments/blank lines report the right line.
+    let e = text_format::parse_text("# header\n\nt0 r x\nt1 oops y\n").unwrap_err();
+    assert_eq!(e.line, 4);
+}
+
+#[test]
+fn binary_header_corruption_is_rejected() {
+    let mut b = tc_trace::TraceBuilder::new();
+    b.acquire(0, "m").release(0, "m");
+    let good = binary_format::to_binary(&b.finish());
+
+    let mut bad_magic = good.clone();
+    bad_magic[0] = b'X';
+    assert!(binary_format::read_binary(bad_magic.as_slice()).is_err());
+
+    let mut bad_version = good.clone();
+    bad_version[4] = 99;
+    assert!(binary_format::read_binary(bad_version.as_slice()).is_err());
+
+    assert!(binary_format::read_binary(&good[..3]).is_err());
+    assert!(binary_format::read_binary(&[][..]).is_err());
+}

@@ -13,6 +13,10 @@
 //!   orders, generic over the clock, plus work metrics and test oracles.
 //! - [`analysis`] — epoch-optimized dynamic analyses built on top:
 //!   HB/SHB data-race detection and MAZ reversible-pair analysis.
+//! - [`conformance`] — the cross-engine conformance harness: a corpus
+//!   of trace configurations driven through every engine × backend
+//!   combination and cross-checked against the definitional oracles,
+//!   with failure shrinking to minimal replayable repros.
 //!
 //! # Quickstart
 //!
@@ -34,6 +38,7 @@
 //! ```
 
 pub use tc_analysis as analysis;
+pub use tc_conformance as conformance;
 pub use tc_core as core;
 pub use tc_orders as orders;
 pub use tc_trace as trace;

@@ -5,17 +5,25 @@
 //! and quickly.
 
 use treeclocks::trace::gen::{scenarios::Scenario, WorkloadSpec};
+use treeclocks::trace::Op;
 
 #[test]
 fn scenario_registry_is_populated() {
-    assert!(!Scenario::ALL.is_empty(), "Scenario::ALL must not be empty");
     assert_eq!(
-        Scenario::ALL.len(),
+        Scenario::FIG10.len(),
         4,
         "the paper defines exactly four Figure-10 scenarios"
     );
+    assert_eq!(
+        Scenario::ALL.len(),
+        9,
+        "the registry carries the four Figure-10 scenarios plus the five \
+         structured workload families"
+    );
+    assert_eq!(Scenario::ALL[..4], Scenario::FIG10);
     // Every scenario round-trips through its display name, so the CLI
-    // `--scenario` flag can reach all of them.
+    // `--scenario` flag and the conformance corpus can reach all of
+    // them.
     for s in Scenario::ALL {
         let parsed: Scenario = s.to_string().parse().expect("name parses back");
         assert_eq!(parsed, s);
@@ -31,7 +39,36 @@ fn every_scenario_generates_a_clean_small_trace() {
             .unwrap_or_else(|e| panic!("{s}: invalid small trace: {e}"));
         assert_eq!(trace.thread_count(), 4, "{s}: lost threads at small size");
         assert!(trace.len() >= 200, "{s}: undershot the event budget");
+        if s.is_sync_only() {
+            assert_eq!(
+                trace.stats().sync_pct(),
+                100.0,
+                "{s}: Figure-10 scenarios are lock-only"
+            );
+        }
     }
+}
+
+/// Structural fingerprints of the five new workload families, at smoke
+/// size: the shapes that distinguish them must survive refactors.
+#[test]
+fn new_family_shapes_hold_at_small_size() {
+    let fork_join = Scenario::ForkJoinTree.generate(4, 200, 1);
+    assert!(matches!(fork_join[0].op, Op::Fork(_)));
+    assert!(matches!(fork_join[fork_join.len() - 1].op, Op::Join(_)));
+
+    let barrier = Scenario::BarrierPhases.generate(4, 200, 1);
+    assert_eq!(barrier.lock_count(), 1, "one barrier lock");
+
+    let pipeline = Scenario::Pipeline.generate(4, 200, 1);
+    assert_eq!(pipeline.lock_count(), 3, "one channel per adjacent pair");
+
+    let read_mostly = Scenario::ReadMostly.generate(4, 2_000, 1);
+    let s = read_mostly.stats();
+    assert!(s.read_events > 4 * s.write_events, "read-dominated");
+
+    let bursty = Scenario::BurstyChannels.generate(4, 200, 1);
+    assert!(bursty.lock_count() <= 6, "at most one channel per pair");
 }
 
 #[test]
@@ -46,4 +83,21 @@ fn default_workload_generates_a_clean_small_trace() {
         .validate()
         .expect("small default workload is well-formed");
     assert_eq!(trace.thread_count(), 4);
+}
+
+/// The conformance crate's quick corpus is reachable from the facade's
+/// dependents and stays in sync with the registry.
+#[test]
+fn conformance_quick_corpus_spans_the_registry() {
+    use treeclocks::conformance::{Corpus, TraceSource};
+    let corpus = Corpus::quick();
+    for s in Scenario::ALL {
+        assert!(
+            corpus
+                .cases
+                .iter()
+                .any(|c| c.source == TraceSource::Scenario(s)),
+            "{s} missing from the quick conformance corpus"
+        );
+    }
 }

@@ -6,10 +6,18 @@
 //! [`prop_assert!`] and [`prop_assert_eq!`] macros and a deterministic
 //! per-case RNG.
 //!
-//! Differences from real proptest, by design: no shrinking (a failing
-//! case reports its inputs verbatim) and uniform rather than
-//! size-biased sampling. Both only affect failure-report ergonomics,
-//! not which properties hold.
+//! Failing cases are *shrunk* before being reported: integers
+//! binary-search toward the in-range value closest to zero, vectors
+//! shrink by prefix truncation, single-element removal and in-place
+//! element shrinking, and tuples shrink one component at a time
+//! ([`Strategy::shrink`]); the runner greedily adopts failing
+//! candidates up to a fixed budget and reports both the original and
+//! the minimal inputs. Mapped and union strategies do not shrink (their
+//! domains are not invertible), and sampling is uniform rather than
+//! size-biased — neither affects which properties hold.
+//!
+//! [`Strategy`]: strategy::Strategy
+//! [`Strategy::shrink`]: strategy::Strategy::shrink
 
 pub mod strategy;
 pub mod test_runner;

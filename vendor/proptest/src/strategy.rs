@@ -7,14 +7,26 @@ use crate::test_runner::TestRng;
 
 /// A recipe for generating values of `Self::Value`.
 ///
-/// Unlike real proptest there is no value tree / shrinking: a strategy
-/// is simply a sampler.
+/// Unlike real proptest there is no full value tree; a strategy is a
+/// sampler plus an optional [`shrink`](Strategy::shrink) step proposing
+/// simpler variants of a failing value. Strategies that cannot shrink
+/// (mapped or union strategies, whose domains are not invertible) use
+/// the default empty implementation.
 pub trait Strategy {
     /// The type of value this strategy generates.
     type Value: std::fmt::Debug;
 
     /// Draws one value.
     fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Proposes simpler candidates for a failing `value`, most
+    /// aggressive first. Every candidate must lie in this strategy's
+    /// domain (the test runner re-runs the property on candidates and
+    /// must never see an input the strategy could not have produced).
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
 
     /// Maps generated values through `f`.
     fn prop_map<O: std::fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -40,6 +52,25 @@ impl<V: std::fmt::Debug> Strategy for Box<dyn Strategy<Value = V>> {
     fn sample(&self, rng: &mut TestRng) -> V {
         (**self).sample(rng)
     }
+
+    fn shrink(&self, value: &V) -> Vec<V> {
+        (**self).shrink(value)
+    }
+}
+
+/// Binary-search candidates from `origin` toward `value`, most
+/// aggressive first: `origin`, then repeated halvings of the remaining
+/// distance, ending at the immediate neighbor of `value`.
+fn shrink_toward(origin: i128, value: i128) -> impl Iterator<Item = i128> {
+    let mut d = value - origin;
+    std::iter::from_fn(move || {
+        if d == 0 {
+            return None;
+        }
+        let candidate = value - d;
+        d /= 2;
+        Some(candidate)
+    })
 }
 
 macro_rules! impl_int_strategy {
@@ -56,6 +87,15 @@ macro_rules! impl_int_strategy {
                 let hi = (u128::from(rng.next_u64()) * span) >> 64;
                 ((self.start as i128) + hi as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                // Binary search toward the in-range value closest to 0.
+                let (lo, hi) = (self.start as i128, (self.end as i128) - 1);
+                let origin = 0i128.clamp(lo.min(hi), hi);
+                shrink_toward(origin, *value as i128)
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
         impl Strategy for RangeInclusive<$t> {
             type Value = $t;
@@ -70,6 +110,14 @@ macro_rules! impl_int_strategy {
                 let hi = (u128::from(rng.next_u64()) * span) >> 64;
                 ((start as i128) + hi as i128) as $t
             }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let (lo, hi) = (*self.start() as i128, *self.end() as i128);
+                let origin = 0i128.clamp(lo.min(hi), hi);
+                shrink_toward(origin, *value as i128)
+                    .map(|c| c as $t)
+                    .collect()
+            }
         }
     )*};
 }
@@ -78,19 +126,38 @@ impl_int_strategy!(u8, u16, u32, u64, usize, i32, i64);
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident: $idx:tt),+) => {
-        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+)
+        where
+            $($name::Value: Clone,)+
+        {
             type Value = ($($name::Value,)+);
 
             fn sample(&self, rng: &mut TestRng) -> Self::Value {
                 ($(self.$idx.sample(rng),)+)
             }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                // Shrink one component at a time, the others fixed.
+                let mut out = Vec::new();
+                $(
+                    for candidate in self.$idx.shrink(&value.$idx) {
+                        let mut v = value.clone();
+                        v.$idx = candidate;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
         }
     };
 }
 
+impl_tuple_strategy!(A: 0);
 impl_tuple_strategy!(A: 0, B: 1);
 impl_tuple_strategy!(A: 0, B: 1, C: 2);
 impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
 /// The result of [`Strategy::prop_map`].
 pub struct Map<S, F> {
@@ -139,12 +206,45 @@ pub struct VecStrategy<S> {
     pub(crate) size: Range<usize>,
 }
 
-impl<S: Strategy> Strategy for VecStrategy<S> {
+impl<S: Strategy> Strategy for VecStrategy<S>
+where
+    S::Value: Clone,
+{
     type Value = Vec<S::Value>;
 
     fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
         let len = self.size.clone().sample(rng);
         (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let n = value.len();
+        let min = self.size.start;
+        let mut out: Vec<Vec<S::Value>> = Vec::new();
+        // Prefix shrinking: binary-search the kept length from the
+        // minimum the size range allows up toward the current length.
+        for keep in shrink_toward(min as i128, n as i128) {
+            out.push(value[..keep as usize].to_vec());
+        }
+        // Element removal: drop each single element in turn.
+        if n > min {
+            for i in 0..n {
+                let mut v = value.clone();
+                v.remove(i);
+                out.push(v);
+            }
+        }
+        // Element shrinking: simplify each element in place (the test
+        // runner adopts the first failing candidate and restarts, so
+        // listing every per-element candidate keeps shrinking complete).
+        for (i, e) in value.iter().enumerate() {
+            for candidate in self.element.shrink(e) {
+                let mut v = value.clone();
+                v[i] = candidate;
+                out.push(v);
+            }
+        }
+        out
     }
 }
 
@@ -202,6 +302,60 @@ mod tests {
             let _ = w; // full domain must not overflow
         }
         assert!(neg && pos, "both signs must be reachable");
+    }
+
+    #[test]
+    fn int_shrink_binary_searches_toward_zero() {
+        // Unsigned range: origin is the range start when it exceeds 0.
+        assert_eq!((0u32..1000).shrink(&100), vec![0, 50, 75, 88, 94, 97, 99]);
+        assert_eq!((10u32..1000).shrink(&100), vec![10, 55, 78, 89, 95, 98, 99]);
+        assert_eq!((0u32..1000).shrink(&0), Vec::<u32>::new());
+        // Signed range straddling zero: origin is 0 itself.
+        assert_eq!((-100i32..100).shrink(&-8), vec![0, -4, -6, -7]);
+        // Negative-only range: origin is the largest (closest-to-zero)
+        // representable value.
+        assert_eq!((-100i32..-90).shrink(&-95), vec![-91, -93, -94]);
+        // Inclusive ranges shrink the same way.
+        assert_eq!((0u8..=255).shrink(&4), vec![0, 2, 3]);
+        // Every candidate stays inside the range.
+        for v in [3u32, 57, 999] {
+            for c in (3u32..1000).shrink(&v) {
+                assert!((3..1000).contains(&c), "candidate {c} escaped the range");
+            }
+        }
+    }
+
+    #[test]
+    fn vec_shrink_offers_prefixes_removals_and_element_shrinks() {
+        let strat = crate::collection::vec(0u32..100, 1..10);
+        let candidates = strat.shrink(&vec![7, 50, 3]);
+        // Prefix shrinking down to the minimum length.
+        assert!(candidates.contains(&vec![7]));
+        assert!(candidates.contains(&vec![7, 50]));
+        // Single-element removal.
+        assert!(candidates.contains(&vec![50, 3]));
+        assert!(candidates.contains(&vec![7, 3]));
+        // In-place element shrinking (50 -> 0 is the first candidate).
+        assert!(candidates.contains(&vec![7, 0, 3]));
+        // The minimum size is respected: no empty vector is proposed.
+        assert!(candidates.iter().all(|v| !v.is_empty()));
+    }
+
+    #[test]
+    fn tuple_shrink_varies_one_component_at_a_time() {
+        let strat = (0u32..10, 0u32..10);
+        let candidates = strat.shrink(&(4, 6));
+        assert!(candidates.contains(&(0, 6)));
+        assert!(candidates.contains(&(4, 0)));
+        assert!(candidates.iter().all(|&(a, b)| a == 4 || b == 6));
+    }
+
+    #[test]
+    fn unshrinkable_strategies_return_no_candidates() {
+        let mapped = (0u32..10).prop_map(|x| x * 2);
+        assert!(mapped.shrink(&4).is_empty());
+        let union = crate::prop_oneof![0u32..10, 20u32..30];
+        assert!(union.shrink(&5).is_empty());
     }
 
     #[test]

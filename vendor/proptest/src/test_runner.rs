@@ -97,8 +97,89 @@ impl TestRng {
     }
 }
 
+/// Maximum number of shrink candidates tried per failing case.
+pub const SHRINK_BUDGET: usize = 4_096;
+
+/// Runs one property over `config.cases` sampled inputs; on failure,
+/// shrinks the counterexample via
+/// [`Strategy::shrink`](crate::strategy::Strategy::shrink) before
+/// panicking with both the original and the minimized inputs.
+///
+/// This is the engine behind the [`proptest!`](crate::proptest) macro;
+/// `describe` renders a value with the property's argument names.
+pub fn run_property<S, F, D>(
+    prop_name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    body: F,
+    describe: D,
+) where
+    S: crate::strategy::Strategy,
+    S::Value: Clone,
+    F: Fn(S::Value) -> Result<(), TestCaseError>,
+    D: Fn(&S::Value) -> String,
+{
+    let attempt = |value: S::Value| -> Result<(), TestCaseError> {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value))) {
+            Ok(outcome) => outcome,
+            Err(payload) => Err(TestCaseError::fail(panic_message(payload.as_ref()))),
+        }
+    };
+    for case in 0..u64::from(config.cases) {
+        let mut rng = TestRng::deterministic(case);
+        let original = strategy.sample(&mut rng);
+        let Err(first_error) = attempt(original.clone()) else {
+            continue;
+        };
+        // Greedy shrink loop: adopt the first simpler candidate that
+        // still fails and restart from it; stop at a local minimum or
+        // when the budget runs out. The default panic hook is silenced
+        // for the duration so `assert!`-based properties don't print a
+        // panic report per failing candidate (the final report below
+        // carries the message); restored before panicking.
+        let previous_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let mut best = original.clone();
+        let mut best_error = first_error;
+        let mut attempts = 0usize;
+        'shrinking: while attempts < SHRINK_BUDGET {
+            for candidate in strategy.shrink(&best) {
+                if attempts >= SHRINK_BUDGET {
+                    break;
+                }
+                attempts += 1;
+                if let Err(e) = attempt(candidate.clone()) {
+                    best = candidate;
+                    best_error = e;
+                    continue 'shrinking;
+                }
+            }
+            break;
+        }
+        std::panic::set_hook(previous_hook);
+        panic!(
+            "property `{prop_name}` failed at case {case}: {best_error}\n\
+             minimal failing inputs (after {attempts} shrink attempts):{}\n\
+             original failing inputs:{}",
+            describe(&best),
+            describe(&original),
+        );
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "test body panicked".to_owned()
+    }
+}
+
 /// Declares property tests: each `fn name(arg in strategy, ...) { .. }`
-/// becomes a `#[test]` running the body over many sampled inputs.
+/// becomes a `#[test]` running the body over many sampled inputs and
+/// shrinking any counterexample before reporting it.
 #[macro_export]
 macro_rules! proptest {
     (
@@ -112,28 +193,23 @@ macro_rules! proptest {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
-                for case in 0..u64::from(config.cases) {
-                    let mut rng = $crate::test_runner::TestRng::deterministic(case);
-                    $(
-                        let $arg = $crate::strategy::Strategy::sample(&($strategy), &mut rng);
-                    )+
-                    let inputs = format!(
-                        concat!($("\n  ", stringify!($arg), " = {:?}",)+),
-                        $(&$arg,)+
-                    );
-                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
-                        (move || {
-                            $body
-                            ::std::result::Result::Ok(())
-                        })();
-                    if let ::std::result::Result::Err(e) = outcome {
-                        panic!(
-                            "property `{}` failed at case {case}: {e}\ninputs:{}",
-                            stringify!($name),
-                            inputs
-                        );
-                    }
-                }
+                let strategy = ($($strategy,)+);
+                $crate::test_runner::run_property(
+                    stringify!($name),
+                    &config,
+                    &strategy,
+                    |($($arg,)+)| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                    |value| {
+                        let ($($arg,)+) = value.clone();
+                        format!(
+                            concat!($("\n  ", stringify!($arg), " = {:?}",)+),
+                            $(&$arg,)+
+                        )
+                    },
+                );
             }
         )*
     };
@@ -196,4 +272,89 @@ macro_rules! prop_assert_eq {
             format!($($fmt)*)
         );
     }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    fn run_to_panic<S>(strategy: S, body: fn(S::Value) -> Result<(), TestCaseError>) -> String
+    where
+        S: Strategy + std::panic::RefUnwindSafe,
+        S::Value: Clone,
+    {
+        let config = ProptestConfig::with_cases(64);
+        let outcome = std::panic::catch_unwind(|| {
+            run_property("demo", &config, &strategy, body, |v| format!(" {v:?}"))
+        });
+        let payload = outcome.expect_err("property should fail");
+        if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            panic!("expected a String panic payload");
+        }
+    }
+
+    #[test]
+    fn failing_int_property_reports_the_minimal_counterexample() {
+        // Fails for x >= 10: the boundary value 10 is the minimum.
+        let message = run_to_panic((0u32..1_000,), |(x,)| {
+            if x >= 10 {
+                Err(TestCaseError::fail("too big"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(
+            message.contains("minimal failing inputs") && message.contains("(10,)"),
+            "message did not report the shrunk input: {message}"
+        );
+        assert!(message.contains("original failing inputs"));
+    }
+
+    #[test]
+    fn failing_vec_property_shrinks_length_and_elements() {
+        // Fails when any element >= 50: the minimum is the one-element
+        // vector [50].
+        let message = run_to_panic((crate::collection::vec(0u32..1_000, 0..40),), |(xs,)| {
+            if xs.iter().any(|&x| x >= 50) {
+                Err(TestCaseError::fail("contains a big element"))
+            } else {
+                Ok(())
+            }
+        });
+        assert!(
+            message.contains("([50],)"),
+            "vector did not shrink to [50]: {message}"
+        );
+    }
+
+    #[test]
+    fn panicking_bodies_are_caught_and_shrunk_too() {
+        let message = run_to_panic((0u32..1_000,), |(x,)| {
+            assert!(x < 25, "x too big");
+            Ok(())
+        });
+        assert!(
+            message.contains("x too big"),
+            "panic message lost: {message}"
+        );
+        assert!(
+            message.contains("(25,)"),
+            "assert! failure not shrunk: {message}"
+        );
+    }
+
+    #[test]
+    fn passing_properties_do_not_panic() {
+        let config = ProptestConfig::with_cases(32);
+        run_property(
+            "ok",
+            &config,
+            &(0u32..10,),
+            |(_x,)| Ok(()),
+            |v| format!("{v:?}"),
+        );
+    }
 }
