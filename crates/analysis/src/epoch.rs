@@ -136,12 +136,15 @@ pub struct VarHistories {
 }
 
 impl VarHistories {
-    /// Creates histories sized for `vars` variables.
+    /// Creates histories with capacity for `vars` variables.
+    ///
+    /// Entries themselves are lazy: an untouched variable costs nothing
+    /// until [`entry`](Self::entry) first touches it (histories are
+    /// small, but a trace can declare tens of thousands of variables and
+    /// only access a few).
     pub fn with_vars(vars: usize) -> Self {
         VarHistories {
-            vars: (0..vars)
-                .map(|i| VarHistory::new(VarId::new(i as u32)))
-                .collect(),
+            vars: Vec::with_capacity(vars),
         }
     }
 

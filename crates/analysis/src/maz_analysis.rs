@@ -13,7 +13,7 @@
 //! whether the access was *already* transitively ordered after the
 //! last write / the reads since it; if not, the pair is reversible.
 
-use tc_core::LogicalClock;
+use tc_core::{ClockPool, LogicalClock};
 use tc_trace::{Event, Op, Trace};
 
 use crate::epoch::{upcoming_epoch, VarHistories};
@@ -50,11 +50,41 @@ pub struct MazAnalyzer<C> {
 impl<C: LogicalClock> MazAnalyzer<C> {
     /// Creates an analyzer sized for `trace`.
     pub fn new(trace: &Trace) -> Self {
+        Self::with_pool(trace, ClockPool::new())
+    }
+
+    /// Creates an analyzer whose engine draws its clocks from `pool`;
+    /// reclaim it with [`into_pool`](Self::into_pool).
+    pub fn with_pool(trace: &Trace, pool: ClockPool<C>) -> Self {
         MazAnalyzer {
-            engine: MazEngine::new(trace),
+            engine: MazEngine::with_pool(trace, pool),
             vars: VarHistories::with_vars(trace.var_count()),
             report: RaceReport::new(),
         }
+    }
+
+    /// Tears the analyzer down, releasing the engine's clocks into its
+    /// pool for the next run to reuse.
+    pub fn into_pool(self) -> ClockPool<C> {
+        self.engine.into_pool()
+    }
+
+    /// Heap bytes currently owned by the underlying engine's clocks.
+    pub fn clock_bytes(&self) -> usize {
+        self.engine.clock_bytes()
+    }
+
+    /// Runs the whole trace with pooled clocks, returning the engine
+    /// metrics together with the reversible-pair report.
+    pub fn run_pooled(trace: &Trace, pool: &mut ClockPool<C>) -> (RunMetrics, RaceReport) {
+        let mut d = Self::with_pool(trace, std::mem::take(pool));
+        for e in trace {
+            d.process(e);
+        }
+        let metrics = *d.metrics();
+        let MazAnalyzer { engine, report, .. } = d;
+        *pool = engine.into_pool();
+        (metrics, report)
     }
 
     /// Processes one event (in trace order).

@@ -1,0 +1,395 @@
+//! The `tcr bench --json` perf baseline: a schema-stable snapshot of
+//! hot-path cost, recorded per PR as `BENCH_<pr>.json`.
+//!
+//! Every record is one *(scenario × threads) × partial order × clock
+//! backend* cell with the numbers that matter for the trajectory:
+//!
+//! - `seconds` — mean wall time over [`REPETITIONS`] pooled runs,
+//!   after one untimed warm-up repetition that grows the clock buffers
+//!   (the timed runs are allocation-free, so the mean reflects steady
+//!   state);
+//! - `joins` / `copies` / `deep_copies` — operation counts;
+//! - `vt_work` / `ds_work` — the paper's Section 4 work metrics;
+//! - `peak_clock_bytes` — heap owned by the engine's clocks after the
+//!   run (clocks only grow, so this is the run's peak).
+//!
+//! The scenario set is the paper's Figure 10 quartet (single-lock,
+//! skewed-locks, star, pairwise), where the TC-vs-VC comparison is
+//! controlled and reproducible. [`validate`] checks a produced document
+//! against the schema — CI runs it on every PR and uploads the artifact
+//! so the perf trajectory is visible over time.
+
+use tc_core::{ClockPool, LogicalClock, TreeClock, VectorClock};
+use tc_orders::{HbEngine, MazEngine, PartialOrderKind, RunMetrics, ShbEngine};
+use tc_trace::gen::Scenario;
+use tc_trace::Trace;
+
+use crate::json::Value;
+use crate::runner::{measure_clock, ClockKind, Mode, REPETITIONS};
+
+/// Identifier of the document format (the `schema` field).
+pub const SCHEMA: &str = "treeclocks/bench-baseline";
+
+/// Version of the document format (the `version` field). Bump on any
+/// breaking change to the record fields.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One measured cell of the baseline grid.
+#[derive(Clone, Debug)]
+pub struct BaselineRecord {
+    /// Scenario (or trace file) name.
+    pub scenario: String,
+    /// Thread count of the generated trace.
+    pub threads: u32,
+    /// Event count of the generated trace.
+    pub events: usize,
+    /// The partial order computed.
+    pub order: PartialOrderKind,
+    /// The clock representation used.
+    pub backend: ClockKind,
+    /// Mean wall-clock seconds over the pooled repetitions.
+    pub seconds: f64,
+    /// Join operations performed.
+    pub joins: u64,
+    /// Copy operations performed.
+    pub copies: u64,
+    /// `CopyCheckMonotone` deep-copy fallbacks.
+    pub deep_copies: u64,
+    /// The representation-independent work lower bound.
+    pub vt_work: u64,
+    /// Entries touched by the concrete data structure.
+    pub ds_work: u64,
+    /// Heap bytes owned by the engine's clocks after the run.
+    pub peak_clock_bytes: usize,
+}
+
+/// Thread counts of the generated FIG10 grid. High enough that the
+/// tree clock's sublinear operations can dominate its pointer-chasing
+/// overhead (the paper's Figure 10 sweeps 10–360; the crossover against
+/// this repo's vectorized vector clock sits near ~200 threads on
+/// sparse-communication scenarios).
+pub fn thread_counts(quick: bool) -> &'static [u32] {
+    if quick {
+        &[360]
+    } else {
+        &[128, 360]
+    }
+}
+
+/// Events per generated trace.
+pub fn baseline_events(quick: bool) -> usize {
+    if quick {
+        25_000
+    } else {
+        100_000
+    }
+}
+
+/// Runs the baseline grid: FIG10 scenarios × [`thread_counts`] ×
+/// HB/SHB/MAZ × tree/vector. `progress` is called before each
+/// scenario×threads cell.
+pub fn collect(quick: bool, mut progress: impl FnMut(&str)) -> Vec<BaselineRecord> {
+    let mut records = Vec::new();
+    for scenario in Scenario::FIG10 {
+        for &threads in thread_counts(quick) {
+            progress(&format!("{scenario}/{threads}"));
+            let trace =
+                scenario.generate(threads, baseline_events(quick), 0xBE2C + u64::from(threads));
+            collect_trace_into(&scenario.to_string(), &trace, &mut records);
+        }
+    }
+    records
+}
+
+/// Measures a single (already loaded) trace across every order ×
+/// backend — the `tcr bench --trace FILE` path.
+pub fn collect_trace(name: &str, trace: &Trace) -> Vec<BaselineRecord> {
+    let mut records = Vec::new();
+    collect_trace_into(name, trace, &mut records);
+    records
+}
+
+fn collect_trace_into(name: &str, trace: &Trace, records: &mut Vec<BaselineRecord>) {
+    for order in PartialOrderKind::ALL {
+        records.push(record_for::<TreeClock>(name, trace, order, ClockKind::Tree));
+        records.push(record_for::<VectorClock>(
+            name,
+            trace,
+            order,
+            ClockKind::Vector,
+        ));
+    }
+}
+
+fn record_for<C: LogicalClock>(
+    name: &str,
+    trace: &Trace,
+    order: PartialOrderKind,
+    backend: ClockKind,
+) -> BaselineRecord {
+    let mut pool = ClockPool::<C>::new();
+    let timed = measure_clock::<C>(trace, order, Mode::Po, &mut pool);
+    let (metrics, peak_clock_bytes) = counted_run::<C>(trace, order, &mut pool);
+    BaselineRecord {
+        scenario: name.to_owned(),
+        threads: trace.thread_count() as u32,
+        events: trace.len(),
+        order,
+        backend,
+        seconds: timed.seconds,
+        joins: metrics.joins,
+        copies: metrics.copies,
+        deep_copies: metrics.deep_copies,
+        vt_work: metrics.vt_work(),
+        ds_work: metrics.ds_work(),
+        peak_clock_bytes,
+    }
+}
+
+/// An instrumented run that also reports the engine's final clock
+/// footprint (the timed path cannot: `run_pooled` tears the engine
+/// down).
+fn counted_run<C: LogicalClock>(
+    trace: &Trace,
+    order: PartialOrderKind,
+    pool: &mut ClockPool<C>,
+) -> (RunMetrics, usize) {
+    match order {
+        PartialOrderKind::Hb => {
+            let mut e = HbEngine::<C>::with_pool(trace, std::mem::take(pool));
+            for ev in trace {
+                e.process_counted(ev);
+            }
+            let result = (*e.metrics(), e.clock_bytes());
+            *pool = e.into_pool();
+            result
+        }
+        PartialOrderKind::Shb => {
+            let mut e = ShbEngine::<C>::with_pool(trace, std::mem::take(pool));
+            for ev in trace {
+                e.process_counted(ev);
+            }
+            let result = (*e.metrics(), e.clock_bytes());
+            *pool = e.into_pool();
+            result
+        }
+        PartialOrderKind::Maz => {
+            let mut e = MazEngine::<C>::with_pool(trace, std::mem::take(pool));
+            for ev in trace {
+                e.process_counted(ev);
+            }
+            let result = (*e.metrics(), e.clock_bytes());
+            *pool = e.into_pool();
+            result
+        }
+    }
+}
+
+fn backend_name(backend: ClockKind) -> &'static str {
+    match backend {
+        ClockKind::Tree => "tree",
+        ClockKind::Vector => "vector",
+    }
+}
+
+/// Renders the records as the schema-stable JSON document.
+pub fn to_json(records: &[BaselineRecord], quick: bool) -> String {
+    let records = records
+        .iter()
+        .map(|r| {
+            Value::obj([
+                ("scenario", r.scenario.as_str().into()),
+                ("threads", r.threads.into()),
+                ("events", r.events.into()),
+                ("order", r.order.to_string().into()),
+                ("backend", backend_name(r.backend).into()),
+                ("seconds", r.seconds.into()),
+                ("joins", r.joins.into()),
+                ("copies", r.copies.into()),
+                ("deep_copies", r.deep_copies.into()),
+                ("vt_work", r.vt_work.into()),
+                ("ds_work", r.ds_work.into()),
+                ("peak_clock_bytes", r.peak_clock_bytes.into()),
+            ])
+        })
+        .collect();
+    let doc = Value::obj([
+        ("schema", SCHEMA.into()),
+        ("version", SCHEMA_VERSION.into()),
+        ("mode", if quick { "quick" } else { "default" }.into()),
+        ("repetitions", u64::from(REPETITIONS).into()),
+        ("records", Value::Arr(records)),
+    ]);
+    let mut text = doc.to_string();
+    text.push('\n');
+    text
+}
+
+/// Aggregate facts extracted by [`validate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BaselineSummary {
+    /// Total records in the document.
+    pub records: usize,
+    /// Distinct scenario × threads × order configurations.
+    pub configs: usize,
+    /// Configurations where the tree clock's wall time is at most the
+    /// vector clock's.
+    pub tree_wins: usize,
+}
+
+const REQUIRED_NUMS: [&str; 8] = [
+    "threads",
+    "events",
+    "seconds",
+    "joins",
+    "copies",
+    "deep_copies",
+    "vt_work",
+    "ds_work",
+];
+
+/// Parses and schema-checks a baseline document.
+///
+/// # Errors
+///
+/// Returns a message naming the first offending field: wrong
+/// schema/version, a record missing a field or with a mistyped value,
+/// or a configuration missing one of its two backends.
+pub fn validate(text: &str) -> Result<BaselineSummary, String> {
+    let doc = Value::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    match doc.get("schema").and_then(Value::as_str) {
+        Some(SCHEMA) => {}
+        other => return Err(format!("schema is {other:?}, expected {SCHEMA:?}")),
+    }
+    match doc.get("version").and_then(Value::as_num) {
+        Some(v) if v == SCHEMA_VERSION as f64 => {}
+        other => return Err(format!("version is {other:?}, expected {SCHEMA_VERSION}")),
+    }
+    let records = doc
+        .get("records")
+        .and_then(Value::as_arr)
+        .ok_or("missing `records` array")?;
+    if records.is_empty() {
+        return Err("`records` is empty".into());
+    }
+
+    // (scenario, threads, order) -> (tree seconds, vector seconds)
+    type BackendSeconds = (Option<f64>, Option<f64>);
+    let mut configs: Vec<(String, BackendSeconds)> = Vec::new();
+    for (i, r) in records.iter().enumerate() {
+        let field = |name: &str| {
+            r.get(name)
+                .ok_or_else(|| format!("record {i}: missing field `{name}`"))
+        };
+        let scenario = field("scenario")?
+            .as_str()
+            .ok_or_else(|| format!("record {i}: `scenario` is not a string"))?;
+        let order = field("order")?
+            .as_str()
+            .ok_or_else(|| format!("record {i}: `order` is not a string"))?;
+        if !["HB", "SHB", "MAZ"].contains(&order) {
+            return Err(format!("record {i}: unknown order `{order}`"));
+        }
+        let backend = field("backend")?
+            .as_str()
+            .ok_or_else(|| format!("record {i}: `backend` is not a string"))?;
+        if !["tree", "vector"].contains(&backend) {
+            return Err(format!("record {i}: unknown backend `{backend}`"));
+        }
+        for name in REQUIRED_NUMS {
+            let v = field(name)?
+                .as_num()
+                .ok_or_else(|| format!("record {i}: `{name}` is not a number"))?;
+            if v < 0.0 {
+                return Err(format!("record {i}: `{name}` is negative"));
+            }
+        }
+        // peak_clock_bytes rides along but is representation-specific
+        // enough to keep out of the cross-field checks.
+        field("peak_clock_bytes")?
+            .as_num()
+            .ok_or_else(|| format!("record {i}: `peak_clock_bytes` is not a number"))?;
+
+        let threads = field("threads")?.as_num().unwrap_or(0.0);
+        let seconds = field("seconds")?.as_num().unwrap_or(0.0);
+        let key = format!("{scenario}/{threads}/{order}");
+        let entry = match configs.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, entry)) => entry,
+            None => {
+                configs.push((key, (None, None)));
+                &mut configs.last_mut().expect("just pushed").1
+            }
+        };
+        match backend {
+            "tree" => entry.0 = Some(seconds),
+            _ => entry.1 = Some(seconds),
+        }
+    }
+
+    let mut tree_wins = 0;
+    for (key, (tree, vector)) in &configs {
+        let (Some(tree), Some(vector)) = (tree, vector) else {
+            return Err(format!("configuration `{key}` is missing a backend"));
+        };
+        if tree <= vector {
+            tree_wins += 1;
+        }
+    }
+    Ok(BaselineSummary {
+        records: records.len(),
+        configs: configs.len(),
+        tree_wins,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_trace::gen::scenarios;
+
+    #[test]
+    fn single_trace_baseline_round_trips_through_validation() {
+        let trace = scenarios::star(8, 2_000, 1);
+        let records = collect_trace("star-tiny", &trace);
+        assert_eq!(records.len(), PartialOrderKind::ALL.len() * 2);
+        let json = to_json(&records, true);
+        let summary = validate(&json).expect("self-produced baseline must validate");
+        assert_eq!(summary.records, records.len());
+        assert_eq!(summary.configs, PartialOrderKind::ALL.len());
+    }
+
+    #[test]
+    fn validation_names_the_offending_field() {
+        let trace = scenarios::star(4, 500, 1);
+        let records = collect_trace("star-tiny", &trace);
+        let good = to_json(&records, true);
+
+        let bad = good.replace("\"joins\"", "\"jions\"");
+        let err = validate(&bad).unwrap_err();
+        assert!(err.contains("joins"), "error `{err}` must name the field");
+
+        let bad = good.replace(&format!("\"{SCHEMA}\""), "\"something-else\"");
+        assert!(validate(&bad).unwrap_err().contains("schema"));
+
+        assert!(validate("{ not json").unwrap_err().contains("JSON"));
+    }
+
+    #[test]
+    fn records_carry_consistent_work_metrics() {
+        let trace = scenarios::pairwise(6, 1_500, 2);
+        for r in collect_trace("pairwise-tiny", &trace) {
+            assert!(r.ds_work >= r.vt_work, "entries touched >= entries changed");
+            assert!(r.vt_work > 0);
+            assert!(r.events == trace.len());
+            assert!(r.peak_clock_bytes > 0);
+            if r.backend == ClockKind::Tree {
+                assert!(
+                    r.ds_work <= 3 * r.vt_work,
+                    "{}/{:?}: Theorem 1 must hold in the baseline too",
+                    r.order,
+                    r.backend
+                );
+            }
+        }
+    }
+}

@@ -243,15 +243,8 @@ mod tests {
         let t = fig8(&r);
         assert_eq!(t.len(), 1);
         let csv = t.to_csv();
-        let ratio: f64 = csv
-            .lines()
-            .nth(1)
-            .unwrap()
-            .split(',')
-            .nth(2)
-            .unwrap()
-            .parse()
-            .unwrap();
+        let ratio: f64 = crate::render::csv_field(&csv, 2, 2)
+            .unwrap_or_else(|e| panic!("malformed fig8 CSV: {e}"));
         assert!(ratio <= 3.0, "Theorem 1 violated in fig8: {ratio}");
     }
 
@@ -261,10 +254,11 @@ mod tests {
         let t = fig9(&r);
         assert_eq!(t.len(), FIG9_BUCKETS.len());
         let csv = t.to_csv();
-        let total: u32 = csv
-            .lines()
-            .skip(1)
-            .map(|l| l.split(',').nth(3).unwrap().parse::<u32>().unwrap())
+        let total: u32 = (0..FIG9_BUCKETS.len())
+            .map(|i| {
+                crate::render::csv_field::<u32>(&csv, i + 2, 3)
+                    .unwrap_or_else(|e| panic!("malformed fig9 CSV: {e}"))
+            })
             .sum();
         assert_eq!(total, 1); // one trace in the HB column
     }

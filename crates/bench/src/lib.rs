@@ -26,11 +26,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod baseline;
 pub mod figures;
+pub mod json;
 pub mod render;
 pub mod runner;
 pub mod suite;
 pub mod tables;
 
+pub use baseline::{BaselineRecord, BaselineSummary};
 pub use runner::{ClockKind, Measurement, Mode};
 pub use suite::{suite, Scale, SuiteEntry};

@@ -148,6 +148,50 @@ impl fmt::Display for TextTable {
     }
 }
 
+/// Extracts and parses one field of a CSV rendering, with errors that
+/// name the offending line and column instead of panicking.
+///
+/// `line` is 1-based (line 1 is the header); `col` is 0-based. Quoting
+/// is not interpreted — the helper is meant for the numeric columns of
+/// our own [`TextTable`] CSV output, whose numbers are never quoted.
+///
+/// # Errors
+///
+/// Returns a message naming the line/column when the line does not
+/// exist, has too few fields, or the field fails to parse as `T`.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_bench::render::csv_field;
+///
+/// let csv = "name,value\nanswer,42\n";
+/// assert_eq!(csv_field::<u32>(csv, 2, 1), Ok(42));
+/// let err = csv_field::<u32>(csv, 2, 5).unwrap_err();
+/// assert!(err.contains("line 2") && err.contains("column 5"));
+/// ```
+pub fn csv_field<T: std::str::FromStr>(csv: &str, line: usize, col: usize) -> Result<T, String>
+where
+    T::Err: fmt::Display,
+{
+    let row = csv.lines().nth(line.saturating_sub(1)).ok_or_else(|| {
+        format!(
+            "line {line}: not in the CSV ({} lines)",
+            csv.lines().count()
+        )
+    })?;
+    let fields: Vec<&str> = row.split(',').collect();
+    let field = fields.get(col).ok_or_else(|| {
+        format!(
+            "line {line}, column {col}: line has only {} field(s)",
+            fields.len()
+        )
+    })?;
+    field
+        .parse()
+        .map_err(|e| format!("line {line}, column {col}: cannot parse `{field}`: {e}"))
+}
+
 /// Formats a float with sensible precision for reports.
 pub fn fnum(v: f64) -> String {
     if v == 0.0 {
@@ -216,6 +260,25 @@ mod tests {
         t.write_csv(&path).unwrap();
         assert_eq!(std::fs::read_to_string(&path).unwrap(), t.to_csv());
         let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn csv_field_parses_and_names_errors() {
+        let csv = "a,b,c\n1,2.5,x\n3,4,5\n";
+        assert_eq!(csv_field::<u32>(csv, 2, 0), Ok(1));
+        assert_eq!(csv_field::<f64>(csv, 2, 1), Ok(2.5));
+        assert_eq!(csv_field::<u32>(csv, 3, 2), Ok(5));
+
+        let err = csv_field::<u32>(csv, 2, 2).unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("column 2"), "{err}");
+        assert!(err.contains('x'), "{err}");
+
+        let err = csv_field::<u32>(csv, 9, 0).unwrap_err();
+        assert!(err.contains("line 9"), "{err}");
+
+        let err = csv_field::<u32>(csv, 2, 7).unwrap_err();
+        assert!(err.contains("only 3 field(s)"), "{err}");
     }
 
     #[test]

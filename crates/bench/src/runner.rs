@@ -8,7 +8,7 @@ use std::str::FromStr;
 use std::time::Instant;
 
 use tc_analysis::{HbRaceDetector, MazAnalyzer, ShbRaceDetector};
-use tc_core::{TreeClock, VectorClock};
+use tc_core::{ClockPool, LogicalClock, TreeClock, VectorClock};
 use tc_orders::{HbEngine, MazEngine, PartialOrderKind, RunMetrics, ShbEngine};
 use tc_trace::Trace;
 
@@ -83,8 +83,11 @@ pub struct Measurement {
 pub const REPETITIONS: u32 = 3;
 
 fn time_runs(mut run: impl FnMut() -> (RunMetrics, u64)) -> Measurement {
+    // One untimed warm-up repetition absorbs the cold costs — clock
+    // allocations (the pooled runs reuse them afterwards), page faults,
+    // cold caches — so the timed repetitions all measure steady state.
+    let mut last = run();
     let mut total = 0.0;
-    let mut last = (RunMetrics::new(), 0);
     for _ in 0..REPETITIONS {
         let start = Instant::now();
         last = run();
@@ -98,72 +101,55 @@ fn time_runs(mut run: impl FnMut() -> (RunMetrics, u64)) -> Measurement {
 }
 
 /// Times one configuration over `trace`.
+///
+/// Each configuration gets a private [`ClockPool`] shared by an
+/// untimed warm-up repetition and the [`REPETITIONS`] timed ones: the
+/// warm-up grows the clock buffers, the timed runs are allocation-free
+/// — so the averaged number reflects steady-state cost, as a
+/// long-running service would see it.
 pub fn measure(
     trace: &Trace,
     order: PartialOrderKind,
     clock: ClockKind,
     mode: Mode,
 ) -> Measurement {
-    match (order, clock, mode) {
-        (PartialOrderKind::Hb, ClockKind::Tree, Mode::Po) => {
-            time_runs(|| (HbEngine::<TreeClock>::run(trace), 0))
+    match clock {
+        ClockKind::Tree => measure_clock::<TreeClock>(trace, order, mode, &mut ClockPool::new()),
+        ClockKind::Vector => {
+            measure_clock::<VectorClock>(trace, order, mode, &mut ClockPool::new())
         }
-        (PartialOrderKind::Hb, ClockKind::Vector, Mode::Po) => {
-            time_runs(|| (HbEngine::<VectorClock>::run(trace), 0))
+    }
+}
+
+/// [`measure`] for a statically chosen clock representation, drawing
+/// clocks from (and returning them to) `pool`.
+pub fn measure_clock<C: LogicalClock>(
+    trace: &Trace,
+    order: PartialOrderKind,
+    mode: Mode,
+    pool: &mut ClockPool<C>,
+) -> Measurement {
+    match (order, mode) {
+        (PartialOrderKind::Hb, Mode::Po) => {
+            time_runs(|| (HbEngine::<C>::run_pooled(trace, pool), 0))
         }
-        (PartialOrderKind::Shb, ClockKind::Tree, Mode::Po) => {
-            time_runs(|| (ShbEngine::<TreeClock>::run(trace), 0))
+        (PartialOrderKind::Shb, Mode::Po) => {
+            time_runs(|| (ShbEngine::<C>::run_pooled(trace, pool), 0))
         }
-        (PartialOrderKind::Shb, ClockKind::Vector, Mode::Po) => {
-            time_runs(|| (ShbEngine::<VectorClock>::run(trace), 0))
+        (PartialOrderKind::Maz, Mode::Po) => {
+            time_runs(|| (MazEngine::<C>::run_pooled(trace, pool), 0))
         }
-        (PartialOrderKind::Maz, ClockKind::Tree, Mode::Po) => {
-            time_runs(|| (MazEngine::<TreeClock>::run(trace), 0))
-        }
-        (PartialOrderKind::Maz, ClockKind::Vector, Mode::Po) => {
-            time_runs(|| (MazEngine::<VectorClock>::run(trace), 0))
-        }
-        (PartialOrderKind::Hb, ClockKind::Tree, Mode::PoAnalysis) => time_runs(|| {
-            let mut d = HbRaceDetector::<TreeClock>::new(trace);
-            for e in trace {
-                d.process(e);
-            }
-            (*d.metrics(), d.report().total)
+        (PartialOrderKind::Hb, Mode::PoAnalysis) => time_runs(|| {
+            let (metrics, report) = HbRaceDetector::<C>::run_pooled(trace, pool);
+            (metrics, report.total)
         }),
-        (PartialOrderKind::Hb, ClockKind::Vector, Mode::PoAnalysis) => time_runs(|| {
-            let mut d = HbRaceDetector::<VectorClock>::new(trace);
-            for e in trace {
-                d.process(e);
-            }
-            (*d.metrics(), d.report().total)
+        (PartialOrderKind::Shb, Mode::PoAnalysis) => time_runs(|| {
+            let (metrics, report) = ShbRaceDetector::<C>::run_pooled(trace, pool);
+            (metrics, report.total)
         }),
-        (PartialOrderKind::Shb, ClockKind::Tree, Mode::PoAnalysis) => time_runs(|| {
-            let mut d = ShbRaceDetector::<TreeClock>::new(trace);
-            for e in trace {
-                d.process(e);
-            }
-            (*d.metrics(), d.report().total)
-        }),
-        (PartialOrderKind::Shb, ClockKind::Vector, Mode::PoAnalysis) => time_runs(|| {
-            let mut d = ShbRaceDetector::<VectorClock>::new(trace);
-            for e in trace {
-                d.process(e);
-            }
-            (*d.metrics(), d.report().total)
-        }),
-        (PartialOrderKind::Maz, ClockKind::Tree, Mode::PoAnalysis) => time_runs(|| {
-            let mut d = MazAnalyzer::<TreeClock>::new(trace);
-            for e in trace {
-                d.process(e);
-            }
-            (*d.metrics(), d.report().total)
-        }),
-        (PartialOrderKind::Maz, ClockKind::Vector, Mode::PoAnalysis) => time_runs(|| {
-            let mut d = MazAnalyzer::<VectorClock>::new(trace);
-            for e in trace {
-                d.process(e);
-            }
-            (*d.metrics(), d.report().total)
+        (PartialOrderKind::Maz, Mode::PoAnalysis) => time_runs(|| {
+            let (metrics, report) = MazAnalyzer::<C>::run_pooled(trace, pool);
+            (metrics, report.total)
         }),
     }
 }

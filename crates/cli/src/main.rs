@@ -9,6 +9,8 @@
 //!   tcr timestamps [--order hb|shb|maz] FILE
 //!   tcr convert IN OUT
 //!   tcr conformance [--full] [--filter NEEDLE] [--fault F] [--repro-dir DIR]
+//!                   [--replay FILE]
+//!   tcr bench [--json] [-o FILE] [--quick] [--trace FILE] [--check FILE]
 //! ```
 //!
 //! Trace files ending in `.tctr` use the compact binary format; any
@@ -16,11 +18,14 @@
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
+use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
 use std::process::ExitCode;
 
 use tc_analysis::{HbRaceDetector, MazAnalyzer, RaceReport, ShbRaceDetector};
-use tc_conformance::{run_sweep, Corpus, Fault, SweepOptions};
+use tc_bench::baseline;
+use tc_bench::render::TextTable;
+use tc_conformance::{check_trace, run_sweep, Corpus, Fault, SweepOptions};
 use tc_core::{TreeClock, VectorClock};
 use tc_orders::{HbEngine, MazEngine, PartialOrderKind, ShbEngine};
 use tc_trace::gen::{Scenario, WorkloadSpec};
@@ -28,9 +33,17 @@ use tc_trace::{binary_format, text_format, Trace};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+    // No library panic may unwind out of the CLI: malformed input must
+    // exit nonzero with a one-line diagnostic. `run` returns `Err` for
+    // every anticipated failure; the hook + catch_unwind below keep
+    // even an unanticipated panic (a library bug tripped by hostile
+    // input) to one line on stderr.
+    panic::set_hook(Box::new(|_| {}));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| run(&args)));
+    let _ = panic::take_hook();
+    match result {
+        Ok(Ok(())) => ExitCode::SUCCESS,
+        Ok(Err(e)) => {
             if e == "help" {
                 eprint!("{USAGE}");
                 ExitCode::SUCCESS
@@ -39,6 +52,15 @@ fn main() -> ExitCode {
                 eprintln!("run `tcr --help` for usage");
                 ExitCode::from(2)
             }
+        }
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<String>()
+                .map(String::as_str)
+                .or_else(|| payload.downcast_ref::<&str>().copied())
+                .unwrap_or("unknown internal error");
+            eprintln!("error: internal failure: {msg}");
+            ExitCode::from(3)
         }
     }
 }
@@ -56,6 +78,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "timestamps" => cmd_timestamps(rest),
         "convert" => cmd_convert(rest),
         "conformance" => cmd_conformance(rest),
+        "bench" => cmd_bench(rest),
         other => Err(format!("unknown command `{other}`")),
     }
 }
@@ -294,13 +317,29 @@ fn cmd_timestamps(args: &[String]) -> Result<(), String> {
 fn cmd_conformance(args: &[String]) -> Result<(), String> {
     let (flags, kv) = Flags::parse(
         args,
-        &["filter", "fault", "repro-dir"],
+        &["filter", "fault", "repro-dir", "replay"],
         &["full", "no-shrink"],
     )?;
     if let Some(extra) = flags.positional.first() {
         return Err(format!(
             "conformance takes no positional argument `{extra}`"
         ));
+    }
+    if let Some(path) = value(&kv, "replay") {
+        // Replay a previously dumped repro (or any trace file) through
+        // the full checker, without the corpus.
+        let fault: Fault = value(&kv, "fault").unwrap_or("none").parse()?;
+        let trace = load(path)?;
+        return match check_trace(&trace, fault) {
+            Ok(summary) => {
+                println!(
+                    "ok   {path}: {} event(s), {} combination(s), {} report(s)",
+                    summary.events, summary.combos, summary.races
+                );
+                Ok(())
+            }
+            Err(failure) => Err(format!("replay of {path} fails conformance: {failure}")),
+        };
     }
     let full = value(&kv, "full").is_some();
     let shrink = value(&kv, "no-shrink").is_none();
@@ -350,6 +389,80 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Default output file of `tcr bench --json`. The number tracks the PR
+/// that produced the baseline, so the repository accumulates a
+/// `BENCH_*.json` perf trajectory over time.
+const BENCH_JSON_DEFAULT: &str = "BENCH_3.json";
+
+fn cmd_bench(args: &[String]) -> Result<(), String> {
+    let (flags, kv) = Flags::parse(args, &["out", "trace", "check"], &["json", "quick"])?;
+    if let Some(extra) = flags.positional.first() {
+        return Err(format!("bench takes no positional argument `{extra}`"));
+    }
+
+    // Validation-only mode: parse an existing baseline against the
+    // schema (used by CI on the artifact it just produced).
+    if let Some(path) = value(&kv, "check") {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let summary = baseline::validate(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "ok   {path}: {} record(s), {} configuration(s), tree <= vector wall time on {}",
+            summary.records, summary.configs, summary.tree_wins
+        );
+        return Ok(());
+    }
+
+    // Catch `-o` without `--json` *before* the minutes-long measurement:
+    // the text mode writes no file, and silently dropping the flag would
+    // surface only after the run.
+    if value(&kv, "out").is_some() && value(&kv, "json").is_none() {
+        return Err("bench -o FILE requires --json (the text table goes to stdout)".into());
+    }
+
+    let quick = value(&kv, "quick").is_some();
+    let records = match value(&kv, "trace") {
+        Some(path) => {
+            let trace = load(path)?;
+            eprintln!("bench: {path} ({} events)", trace.len());
+            baseline::collect_trace(path, &trace)
+        }
+        None => baseline::collect(quick, |cell| eprintln!("bench: {cell}")),
+    };
+
+    if value(&kv, "json").is_some() {
+        let out = value(&kv, "out").unwrap_or(BENCH_JSON_DEFAULT);
+        let json = baseline::to_json(&records, quick);
+        let summary = baseline::validate(&json).map_err(|e| format!("produced baseline: {e}"))?;
+        std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!(
+            "wrote {out}: {} record(s), {} configuration(s), tree <= vector wall time on {}",
+            summary.records, summary.configs, summary.tree_wins
+        );
+    } else {
+        let mut t = TextTable::new([
+            "scenario", "threads", "order", "backend", "seconds", "joins", "copies", "vt_work",
+            "ds_work", "clock_kb",
+        ])
+        .with_title("Perf baseline (wall times are means over pooled repetitions)");
+        for r in &records {
+            t.row([
+                r.scenario.clone(),
+                r.threads.to_string(),
+                r.order.to_string(),
+                format!("{:?}", r.backend).to_lowercase(),
+                format!("{:.6}", r.seconds),
+                r.joins.to_string(),
+                r.copies.to_string(),
+                r.vt_work.to_string(),
+                r.ds_work.to_string(),
+                (r.peak_clock_bytes / 1024).to_string(),
+            ]);
+        }
+        print!("{t}");
+    }
+    Ok(())
+}
+
 fn cmd_convert(args: &[String]) -> Result<(), String> {
     let (flags, _) = Flags::parse(args, &[], &[])?;
     let [input, output] = flags.positional[..] else {
@@ -372,7 +485,8 @@ USAGE:
   tcr timestamps [--order hb|shb|maz] FILE
   tcr convert IN OUT
   tcr conformance [--full] [--filter NEEDLE] [--fault F] [--no-shrink]
-                  [--repro-dir DIR]
+                  [--repro-dir DIR] [--replay FILE]
+  tcr bench [--json] [-o FILE] [--quick] [--trace FILE] [--check FILE]
 
 Scenarios: single-lock, skewed-locks, star, pairwise, fork-join-tree,
 barrier-phases, pipeline, read-mostly, bursty-channels.
@@ -381,9 +495,15 @@ Files ending in .tctr use the binary format; others the text format.
 conformance runs every corpus trace through the HB/SHB/MAZ engines with
 both clock backends and cross-checks timestamps, race reports and work
 metrics against the O(n^2) definitional oracles. Failures are shrunk to
-minimal text-format repros (written to --repro-dir if given). --fault
-injects a deliberate result perturbation (drop-race, skew-timestamp,
-inflate-work, each optionally :hb/:shb/:maz) to demo the pipeline.
+minimal text-format repros (written to --repro-dir if given). --replay
+re-checks a dumped repro file instead of the corpus. --fault injects a
+deliberate result perturbation (drop-race, skew-timestamp, inflate-work,
+each optionally :hb/:shb/:maz) to demo the pipeline.
+
+bench records the perf baseline: FIG10 scenarios x HB/SHB/MAZ x
+tree/vector, with wall time, operation counts, VTWork/DSWork and peak
+clock bytes. --json writes the schema-stable BENCH_3.json (or -o FILE);
+--check validates an existing baseline; --trace benches one trace file.
 ";
 
 #[cfg(test)]
@@ -567,6 +687,141 @@ mod tests {
     fn missing_file_is_a_clean_error() {
         let e = run(&args(&["stats", "/definitely/not/here.trace"])).unwrap_err();
         assert!(e.contains("cannot open"));
+    }
+
+    #[test]
+    fn missing_or_malformed_traces_error_cleanly_on_every_subcommand() {
+        // Audit: no subcommand taking a trace file may unwind on a
+        // missing or malformed input — each must return a diagnostic.
+        let missing = "/definitely/not/here.trace";
+        for cmd in [
+            vec!["stats", missing],
+            vec!["race", missing],
+            vec!["timestamps", missing],
+            vec!["convert", missing, "/tmp/out.trace"],
+            vec!["conformance", "--replay", missing],
+            vec!["bench", "--trace", missing],
+            vec!["bench", "--check", missing],
+        ] {
+            let e = run(&args(&cmd)).unwrap_err();
+            assert!(e.contains("cannot"), "cmd {cmd:?} gave `{e}`");
+        }
+
+        let dir = temp_dir("malformed");
+        let bad = dir.join("bad.trace");
+        std::fs::write(&bad, "t0 garbage-op x\n").unwrap();
+        let bad_s = bad.to_str().unwrap();
+        for cmd in [
+            vec!["stats", bad_s],
+            vec!["race", bad_s],
+            vec!["conformance", "--replay", bad_s],
+            vec!["bench", "--trace", bad_s],
+        ] {
+            assert!(run(&args(&cmd)).is_err(), "cmd {cmd:?} accepted garbage");
+        }
+        // A truncated binary file must also fail cleanly.
+        let bad_bin = dir.join("bad.tctr");
+        std::fs::write(&bad_bin, [0x54u8, 0x43, 0x54]).unwrap();
+        assert!(run(&args(&["stats", bad_bin.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn conformance_replay_round_trips_a_repro() {
+        let dir = temp_dir("replay");
+        let repro_dir = dir.join("repros");
+        // Produce a repro via an injected fault...
+        run(&args(&[
+            "conformance",
+            "--filter",
+            "workload-s0-v3",
+            "--fault",
+            "drop-race:hb",
+            "--repro-dir",
+            repro_dir.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        let repro = repro_dir.join("repro-0.trace");
+        let repro_s = repro.to_str().unwrap();
+        // ...an honest replay passes, a faulty replay reproduces.
+        run(&args(&["conformance", "--replay", repro_s])).unwrap();
+        let e = run(&args(&[
+            "conformance",
+            "--replay",
+            repro_s,
+            "--fault",
+            "drop-race:hb",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("fails conformance"), "unexpected: {e}");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn bench_json_writes_validates_and_rechecks() {
+        let dir = temp_dir("bench");
+        let trace = dir.join("t.trace");
+        let out = dir.join("baseline.json");
+        run(&args(&[
+            "gen",
+            "--scenario",
+            "star",
+            "--threads",
+            "6",
+            "--events",
+            "1500",
+            "-o",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&[
+            "bench",
+            "--json",
+            "--trace",
+            trace.to_str().unwrap(),
+            "-o",
+            out.to_str().unwrap(),
+        ]))
+        .unwrap();
+        // The produced file passes the schema check...
+        run(&args(&["bench", "--check", out.to_str().unwrap()])).unwrap();
+        // ...and a corrupted copy does not.
+        let text = std::fs::read_to_string(&out).unwrap();
+        std::fs::write(&out, text.replace("\"seconds\"", "\"sceonds\"")).unwrap();
+        let e = run(&args(&["bench", "--check", out.to_str().unwrap()])).unwrap_err();
+        assert!(e.contains("seconds"), "error must name the field: {e}");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn bench_text_table_prints_for_a_tiny_trace() {
+        let dir = temp_dir("bench-text");
+        let trace = dir.join("t.trace");
+        run(&args(&[
+            "gen",
+            "--scenario",
+            "pairwise",
+            "--threads",
+            "4",
+            "--events",
+            "800",
+            "-o",
+            trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&args(&["bench", "--trace", trace.to_str().unwrap()])).unwrap();
+        assert!(run(&args(&["bench", "positional"])).is_err());
+        // -o without --json must be rejected up front, not ignored.
+        let e = run(&args(&[
+            "bench",
+            "--trace",
+            trace.to_str().unwrap(),
+            "-o",
+            "/tmp/ignored.json",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--json"), "unexpected: {e}");
+        std::fs::remove_dir_all(dir).unwrap();
     }
 
     #[test]

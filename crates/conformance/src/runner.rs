@@ -3,7 +3,7 @@
 
 use std::fmt;
 
-use crate::check::{check_trace, CheckSummary, Failure};
+use crate::check::{check_trace_pooled, CheckSummary, EnginePools, Failure};
 use crate::corpus::{CaseConfig, Corpus};
 use crate::fault::Fault;
 use crate::shrink::{minimize, Repro};
@@ -105,11 +105,15 @@ impl fmt::Display for SweepReport {
 }
 
 /// Runs the conformance checker over every case of `corpus`.
+///
+/// All cases share one pair of clock pools, so every case after the
+/// first checks allocation-free (modulo growth to a larger dimension).
 pub fn run_sweep(corpus: &Corpus, options: SweepOptions) -> SweepReport {
     let mut report = SweepReport::default();
+    let mut pools = EnginePools::new();
     for &config in &corpus.cases {
         let trace = config.generate();
-        let result = match check_trace(&trace, options.fault) {
+        let result = match check_trace_pooled(&trace, options.fault, &mut pools) {
             Ok(summary) => Ok(summary),
             Err(failure) => {
                 let repro = if options.shrink {

@@ -191,6 +191,26 @@ pub trait LogicalClock: Clone + Debug + Default {
 
     /// Number of thread slots currently allocated.
     fn num_threads(&self) -> usize;
+
+    /// Resets the clock to the empty state (every thread at 0, no root)
+    /// while keeping its allocated buffers, so a subsequent copy or join
+    /// into it runs allocation-free. Cost is proportional to the
+    /// information the clock holds (present entries), not its capacity.
+    ///
+    /// This is what [`ClockPool::release`](crate::pool::ClockPool::release)
+    /// calls before free-listing a clock for reuse.
+    fn clear(&mut self);
+
+    /// Pre-sizes an empty clock so that entries for thread ids below
+    /// `threads` can be stored without reallocating — the in-place
+    /// equivalent of [`with_threads`](Self::with_threads), used when a
+    /// recycled pool clock takes the role of a thread clock.
+    fn reserve_threads(&mut self, threads: usize);
+
+    /// Heap bytes currently owned by this clock's buffers (capacity, not
+    /// length) — the quantity summed into the `peak_clock_bytes` column
+    /// of the `tcr bench --json` perf baseline.
+    fn heap_bytes(&self) -> usize;
 }
 
 #[cfg(test)]

@@ -62,18 +62,23 @@
 //! - [`vector_time`] — the plain [`VectorTime`] value type (a vector
 //!   timestamp), partially ordered pointwise.
 //! - [`ids`] — [`ThreadId`], [`LocalTime`] and [`Epoch`] identifiers.
+//! - [`pool`] — the [`ClockPool`] free list and the [`LazyClock`]
+//!   per-variable slot, which together make the engines' steady-state
+//!   analysis allocation-free (see the README's "Performance" section).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod clock;
 pub mod ids;
+pub mod pool;
 pub mod tree_clock;
 pub mod vector_clock;
 pub mod vector_time;
 
 pub use clock::{CopyMode, LogicalClock, OpStats};
 pub use ids::{Epoch, LocalTime, ThreadId};
+pub use pool::{ClockPool, LazyClock};
 pub use tree_clock::TreeClock;
 pub use vector_clock::VectorClock;
 pub use vector_time::VectorTime;

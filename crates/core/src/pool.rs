@@ -1,0 +1,289 @@
+//! A free list of recycled clocks, so steady-state analysis runs
+//! allocation-free.
+//!
+//! Partial-order engines materialize many auxiliary clocks over a run —
+//! one per lock, one per variable (`LW_x`), one per thread-variable pair
+//! (`R_{t,x}`) — and analyses typically run several engines over the
+//! same trace (both clock backends, three partial orders, repeated
+//! timing runs). Each of those clocks owns buffers that grow to the
+//! thread dimension `k`; allocating them afresh for every engine is
+//! pure malloc traffic on the hot path.
+//!
+//! A [`ClockPool`] keeps cleared clocks (with their grown buffers) on a
+//! free list. [`acquire`](ClockPool::acquire) hands out an empty clock,
+//! reusing a recycled one when available; [`release`](ClockPool::release)
+//! [`clear`](crate::LogicalClock::clear)s a clock and free-lists it.
+//! Engines take a pool at construction and give it back (with every
+//! clock they created) at teardown, so the second run of anything —
+//! the next repetition of a benchmark, the next engine of a conformance
+//! check, the next corpus case of a sweep — performs no clock
+//! allocations at all.
+//!
+//! # Example
+//!
+//! ```rust
+//! use tc_core::{ClockPool, LogicalClock, ThreadId, TreeClock};
+//!
+//! let mut pool = ClockPool::<TreeClock>::new();
+//! let mut c = pool.acquire();
+//! c.init_root(ThreadId::new(3));
+//! c.increment(7);
+//! pool.release(c);
+//!
+//! // The recycled clock comes back empty, buffers intact.
+//! let c = pool.acquire();
+//! assert!(c.is_empty());
+//! assert_eq!(c.get(ThreadId::new(3)), 0);
+//! assert_eq!(pool.recycled(), 1);
+//! ```
+
+use crate::clock::LogicalClock;
+
+/// A free list of cleared clocks with their allocations kept warm.
+///
+/// See the [module documentation](self) for the usage pattern. The pool
+/// also counts its traffic ([`fresh`](Self::fresh) /
+/// [`recycled`](Self::recycled)), which the perf baseline and the pool
+/// unit tests use to assert that steady state is allocation-free.
+#[derive(Debug)]
+pub struct ClockPool<C> {
+    free: Vec<C>,
+    fresh: u64,
+    recycled: u64,
+}
+
+impl<C: LogicalClock> ClockPool<C> {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ClockPool {
+            free: Vec::new(),
+            fresh: 0,
+            recycled: 0,
+        }
+    }
+
+    /// Hands out an empty clock, recycling a free-listed one when
+    /// available and allocating a fresh `C::new()` otherwise.
+    pub fn acquire(&mut self) -> C {
+        match self.free.pop() {
+            Some(clock) => {
+                debug_assert!(clock.is_empty(), "pooled clock was not cleared");
+                self.recycled += 1;
+                clock
+            }
+            None => {
+                self.fresh += 1;
+                C::new()
+            }
+        }
+    }
+
+    /// Clears `clock` and free-lists it for a later
+    /// [`acquire`](Self::acquire). The clock's buffers are kept, so the
+    /// next user inherits its capacity.
+    pub fn release(&mut self, mut clock: C) {
+        clock.clear();
+        self.free.push(clock);
+    }
+
+    /// Number of clocks currently on the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Returns `true` if no clock is currently free-listed.
+    pub fn is_empty(&self) -> bool {
+        self.free.is_empty()
+    }
+
+    /// Number of `acquire` calls served by a fresh allocation.
+    pub fn fresh(&self) -> u64 {
+        self.fresh
+    }
+
+    /// Number of `acquire` calls served from the free list.
+    pub fn recycled(&self) -> u64 {
+        self.recycled
+    }
+
+    /// Heap bytes parked on the free list (the capacity a future
+    /// acquire inherits).
+    pub fn heap_bytes(&self) -> usize {
+        self.free.iter().map(C::heap_bytes).sum()
+    }
+
+    /// Drains another pool's free list into this one, merging its
+    /// traffic counters — used when an engine hands back its pool.
+    pub fn absorb(&mut self, mut other: ClockPool<C>) {
+        self.free.append(&mut other.free);
+        self.fresh += other.fresh;
+        self.recycled += other.recycled;
+    }
+}
+
+impl<C: LogicalClock> Default for ClockPool<C> {
+    fn default() -> Self {
+        ClockPool::new()
+    }
+}
+
+/// A lazily materialized clock slot: `None` until first written.
+///
+/// Engines keep one slot per variable (and per lock); a variable that
+/// is never accessed — or only read before any write — costs one `Option`
+/// discriminant instead of a full clock, and the slot materializes from
+/// the [`ClockPool`] (inheriting recycled buffers) the first time an
+/// ordering is actually published through it.
+///
+/// An empty slot is semantically identical to an empty clock: joins
+/// against it are no-ops and are skipped entirely by the engines (they
+/// record neither the operation nor any work).
+#[derive(Clone, Debug, Default)]
+pub struct LazyClock<C> {
+    slot: Option<C>,
+}
+
+impl<C: LogicalClock> LazyClock<C> {
+    /// Creates an unmaterialized slot.
+    pub const fn empty() -> Self {
+        LazyClock { slot: None }
+    }
+
+    /// The clock, if the slot has materialized.
+    pub fn get(&self) -> Option<&C> {
+        self.slot.as_ref()
+    }
+
+    /// Mutable access to the clock, if the slot has materialized.
+    pub fn get_mut(&mut self) -> Option<&mut C> {
+        self.slot.as_mut()
+    }
+
+    /// The clock, materializing it from `pool` on first use.
+    pub fn get_or_acquire(&mut self, pool: &mut ClockPool<C>) -> &mut C {
+        self.slot.get_or_insert_with(|| pool.acquire())
+    }
+
+    /// Returns `true` once the slot holds a clock.
+    pub fn is_materialized(&self) -> bool {
+        self.slot.is_some()
+    }
+
+    /// Releases the materialized clock (if any) back into `pool`,
+    /// leaving the slot empty again.
+    pub fn release_into(&mut self, pool: &mut ClockPool<C>) {
+        if let Some(clock) = self.slot.take() {
+            pool.release(clock);
+        }
+    }
+
+    /// Heap bytes owned by the materialized clock (0 while lazy).
+    pub fn heap_bytes(&self) -> usize {
+        self.slot.as_ref().map_or(0, C::heap_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ThreadId, TreeClock, VectorClock};
+
+    fn exercise_pool<C: LogicalClock>() {
+        let mut pool = ClockPool::<C>::new();
+        let mut a = pool.acquire();
+        a.init_root(ThreadId::new(0));
+        a.increment(5);
+        let mut b = pool.acquire();
+        b.init_root(ThreadId::new(9));
+        b.increment(2);
+        assert_eq!(pool.fresh(), 2);
+        assert_eq!(pool.recycled(), 0);
+
+        // Release and re-acquire: the clock is recycled and empty.
+        pool.release(a);
+        let a2 = pool.acquire();
+        assert_eq!(pool.recycled(), 1);
+        assert!(a2.is_empty());
+        assert_eq!(a2.get(ThreadId::new(0)), 0);
+        assert_eq!(a2.root_tid(), None);
+
+        // No aliasing: mutating the recycled clock leaves `b` alone.
+        let mut a2 = a2;
+        a2.init_root(ThreadId::new(9));
+        a2.increment(100);
+        assert_eq!(b.get(ThreadId::new(9)), 2);
+        assert_eq!(a2.get(ThreadId::new(9)), 100);
+    }
+
+    #[test]
+    fn pool_recycles_tree_clocks_without_aliasing() {
+        exercise_pool::<TreeClock>();
+    }
+
+    #[test]
+    fn pool_recycles_vector_clocks_without_aliasing() {
+        exercise_pool::<VectorClock>();
+    }
+
+    #[test]
+    fn recycled_clocks_keep_their_capacity() {
+        let mut pool = ClockPool::<VectorClock>::new();
+        let mut c = pool.acquire();
+        c.reserve_threads(64);
+        pool.release(c);
+        assert!(pool.heap_bytes() >= 64 * std::mem::size_of::<crate::LocalTime>());
+        let c = pool.acquire();
+        assert!(c.heap_bytes() >= 64 * std::mem::size_of::<crate::LocalTime>());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reuse_across_copies_is_clean() {
+        // A pooled clock used as a copy target, released, then reused as
+        // a different variable's clock must not leak the first role's
+        // content.
+        let mut pool = ClockPool::<TreeClock>::new();
+        let mut src = TreeClock::new();
+        src.init_root(ThreadId::new(1));
+        src.increment(4);
+
+        let mut lw_x = pool.acquire();
+        lw_x.monotone_copy(&src);
+        assert_eq!(lw_x.get(ThreadId::new(1)), 4);
+        pool.release(lw_x);
+
+        let lw_y = pool.acquire();
+        assert!(lw_y.is_empty());
+        assert_eq!(lw_y.vector_time(), crate::VectorTime::new());
+    }
+
+    #[test]
+    fn absorb_merges_free_lists_and_counters() {
+        let mut a = ClockPool::<VectorClock>::new();
+        let mut b = ClockPool::<VectorClock>::new();
+        let c = b.acquire();
+        b.release(c);
+        a.absorb(b);
+        assert_eq!(a.free_len(), 1);
+        assert_eq!(a.fresh(), 1);
+    }
+
+    #[test]
+    fn lazy_clock_materializes_once() {
+        let mut pool = ClockPool::<TreeClock>::new();
+        let mut slot = LazyClock::<TreeClock>::empty();
+        assert!(!slot.is_materialized());
+        assert!(slot.get().is_none());
+        assert_eq!(slot.heap_bytes(), 0);
+
+        slot.get_or_acquire(&mut pool).init_root(ThreadId::new(2));
+        assert!(slot.is_materialized());
+        slot.get_or_acquire(&mut pool).increment(1);
+        assert_eq!(pool.fresh(), 1, "second access must not re-acquire");
+        assert_eq!(slot.get().unwrap().get(ThreadId::new(2)), 1);
+
+        slot.release_into(&mut pool);
+        assert!(!slot.is_materialized());
+        assert_eq!(pool.free_len(), 1);
+    }
+}

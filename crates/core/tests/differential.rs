@@ -264,3 +264,135 @@ fn long_deterministic_smoke_run() {
     }
     u.check_agreement();
 }
+
+// ---------------------------------------------------------------------
+// Lazy (empty) vs eagerly-zeroed clocks
+// ---------------------------------------------------------------------
+
+/// Drives a lazily created clock (`C::new()`) and an eagerly
+/// dimension-sized one (`C::with_threads(k)`) through the same auxiliary
+/// clock life cycle (joins and copies from rooted thread clocks) and
+/// asserts they are observationally identical: same represented times,
+/// same ordering answers, same `changed` (VTWork) accounting. This is
+/// the contract that lets the engines start every per-variable clock
+/// empty — an untouched variable costs O(1) — without perturbing any
+/// cross-backend metric.
+fn lazy_matches_eager<C: LogicalClock + PartialEq + std::fmt::Debug>() {
+    const K: usize = 16;
+    let mut lazy = C::new();
+    let mut eager = C::with_threads(K);
+
+    // Thread clocks with some cross-thread knowledge.
+    let mut threads: Vec<C> = (0..K)
+        .map(|i| {
+            let mut c = C::new();
+            c.init_root(ThreadId::new(i as u32));
+            c.increment(1 + i as u32);
+            c
+        })
+        .collect();
+    let snapshot = threads[3].clone();
+    threads[3].join(&snapshot); // no-op join keeps the clock valid
+    for i in 1..4 {
+        let (a, b) = threads.split_at_mut(i);
+        b[0].join(&a[i - 1]);
+    }
+
+    // First write: copy-check into the auxiliary clock.
+    let (m1, s1) = lazy.copy_check_monotone_counted(&threads[3]);
+    let (m2, s2) = eager.copy_check_monotone_counted(&threads[3]);
+    assert_eq!(m1, m2, "copy modes must agree");
+    assert_eq!(s1.changed, s2.changed, "VTWork contribution must agree");
+    assert_eq!(lazy.vector_time(), eager.vector_time());
+
+    // Joins from another thread's clock.
+    let mut rlazy = C::new();
+    let mut reager = C::with_threads(K);
+    rlazy.init_root(ThreadId::new(9));
+    reager.init_root(ThreadId::new(9));
+    rlazy.increment(2);
+    reager.increment(2);
+    let j1 = rlazy.join_counted(&lazy);
+    let j2 = reager.join_counted(&eager);
+    assert_eq!(j1.changed, j2.changed);
+    assert_eq!(rlazy.vector_time(), reager.vector_time());
+
+    // Ordering queries agree in every direction.
+    assert_eq!(lazy.leq(&rlazy), eager.leq(&reager));
+    assert!(lazy == eager, "clocks must compare equal");
+    for t in 0..K as u32 {
+        assert_eq!(lazy.get(ThreadId::new(t)), eager.get(ThreadId::new(t)));
+    }
+}
+
+#[test]
+fn lazy_tree_clock_matches_eagerly_zeroed() {
+    lazy_matches_eager::<TreeClock>();
+}
+
+#[test]
+fn lazy_vector_clock_matches_eagerly_zeroed() {
+    lazy_matches_eager::<VectorClock>();
+}
+
+/// A cleared (pool-recycled) clock must behave exactly like a fresh one.
+fn cleared_matches_fresh<C: LogicalClock + PartialEq>() {
+    let mut src = C::new();
+    src.init_root(ThreadId::new(5));
+    src.increment(7);
+
+    let mut used = C::new();
+    used.init_root(ThreadId::new(2));
+    used.increment(3);
+    used.join(&src);
+    used.clear();
+    assert!(used.is_empty());
+
+    let mut fresh = C::new();
+    let (mu, su) = used.copy_check_monotone_counted(&src);
+    let (mf, sf) = fresh.copy_check_monotone_counted(&src);
+    assert_eq!(mu, mf);
+    assert_eq!(su.changed, sf.changed);
+    assert!(used == fresh);
+    assert_eq!(used.vector_time(), fresh.vector_time());
+}
+
+#[test]
+fn cleared_tree_clock_matches_fresh() {
+    cleared_matches_fresh::<TreeClock>();
+}
+
+#[test]
+fn cleared_vector_clock_matches_fresh() {
+    cleared_matches_fresh::<VectorClock>();
+}
+
+/// The sparse deep copy must charge work proportional to the information
+/// transferred, not the thread dimension: a first copy from a clock that
+/// knows 3 threads into an empty clock examines ~3 entries even when the
+/// source's arrays are sized for 256 threads.
+#[test]
+fn tree_deep_copy_cost_is_sparse_in_present_entries() {
+    const K: usize = 256;
+    let mut src = TreeClock::with_threads(K);
+    src.init_root(ThreadId::new(0));
+    src.increment(4);
+    for u in [7u32, 13] {
+        let mut other = TreeClock::with_threads(K);
+        other.init_root(ThreadId::new(u));
+        other.increment(1);
+        src.join(&other);
+    }
+    assert_eq!(src.node_count(), 3);
+
+    let mut lw = TreeClock::new();
+    let (mode, stats) = lw.copy_check_monotone_counted(&src);
+    assert_eq!(mode, CopyMode::Monotone);
+    assert!(
+        stats.examined <= 2 * 3,
+        "examined {} must scale with the 3 present entries, not k={K}",
+        stats.examined
+    );
+    assert_eq!(stats.changed, 3, "all three known entries are news to lw");
+    assert_eq!(lw.vector_time(), src.vector_time());
+}

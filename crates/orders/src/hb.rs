@@ -7,7 +7,7 @@
 //! releases monotone-copy. Read/write events only advance the local
 //! clock.
 
-use tc_core::{LogicalClock, ThreadId, VectorTime};
+use tc_core::{ClockPool, LogicalClock, ThreadId, VectorTime};
 use tc_trace::{Event, Trace};
 
 use crate::metrics::RunMetrics;
@@ -49,12 +49,35 @@ impl<C: LogicalClock> HbEngine<C> {
         }
     }
 
+    /// Creates an engine sized for `trace` that draws its clocks from
+    /// `pool`, so a pool recycled from a previous run makes this run
+    /// allocation-free. Reclaim the pool with
+    /// [`into_pool`](Self::into_pool).
+    pub fn with_pool(trace: &Trace, pool: ClockPool<C>) -> Self {
+        HbEngine {
+            core: SyncCore::for_trace_with_pool(trace, pool),
+        }
+    }
+
     /// Creates an engine with explicit thread/lock capacity hints (the
     /// stores grow on demand if exceeded).
     pub fn with_counts(threads: usize, locks: usize) -> Self {
         HbEngine {
             core: SyncCore::new(threads, locks),
         }
+    }
+
+    /// Tears the engine down, releasing every clock it created into its
+    /// pool for the next run to reuse.
+    pub fn into_pool(self) -> ClockPool<C> {
+        self.core.into_pool()
+    }
+
+    /// Heap bytes currently owned by the engine's clocks (the
+    /// `peak_clock_bytes` of the perf baseline — clocks only grow, so
+    /// the value after a run is the run's peak).
+    pub fn clock_bytes(&self) -> usize {
+        self.core.clock_bytes()
     }
 
     /// Processes one event (events must be fed in trace order).
@@ -89,31 +112,53 @@ impl<C: LogicalClock> HbEngine<C> {
     /// Runs the whole trace (fast path) and returns the metrics; only
     /// the operation counts are populated.
     pub fn run(trace: &Trace) -> RunMetrics {
-        let mut engine = HbEngine::<C>::new(trace);
+        Self::run_pooled(trace, &mut ClockPool::new())
+    }
+
+    /// [`run`](Self::run) drawing clocks from (and returning them to)
+    /// `pool` — the steady-state, allocation-free entry point.
+    pub fn run_pooled(trace: &Trace, pool: &mut ClockPool<C>) -> RunMetrics {
+        let mut engine = HbEngine::<C>::with_pool(trace, std::mem::take(pool));
         for e in trace {
             engine.process(e);
         }
-        engine.core.metrics
+        let metrics = engine.core.metrics;
+        *pool = engine.into_pool();
+        metrics
     }
 
     /// Runs the whole trace with exact work accounting.
     pub fn run_counted(trace: &Trace) -> RunMetrics {
-        let mut engine = HbEngine::<C>::new(trace);
+        Self::run_counted_pooled(trace, &mut ClockPool::new())
+    }
+
+    /// [`run_counted`](Self::run_counted) with pooled clocks.
+    pub fn run_counted_pooled(trace: &Trace, pool: &mut ClockPool<C>) -> RunMetrics {
+        let mut engine = HbEngine::<C>::with_pool(trace, std::mem::take(pool));
         for e in trace {
             engine.process_counted(e);
         }
-        engine.core.metrics
+        let metrics = engine.core.metrics;
+        *pool = engine.into_pool();
+        metrics
     }
 
     /// Runs the whole trace collecting each event's HB timestamp
     /// (O(n·k) memory — intended for tests and small traces).
     pub fn collect_timestamps(trace: &Trace) -> Vec<VectorTime> {
-        let mut engine = HbEngine::<C>::new(trace);
+        Self::collect_timestamps_pooled(trace, &mut ClockPool::new())
+    }
+
+    /// [`collect_timestamps`](Self::collect_timestamps) with pooled
+    /// clocks.
+    pub fn collect_timestamps_pooled(trace: &Trace, pool: &mut ClockPool<C>) -> Vec<VectorTime> {
+        let mut engine = HbEngine::<C>::with_pool(trace, std::mem::take(pool));
         let mut out = Vec::with_capacity(trace.len());
         for e in trace {
             engine.process(e);
             out.push(engine.timestamp_of(e.tid));
         }
+        *pool = engine.into_pool();
         out
     }
 }
@@ -187,7 +232,10 @@ mod tests {
             .release(1, "m");
         let m = HbEngine::<TreeClock>::run_counted(&b.finish());
         assert_eq!(m.events, 4);
-        assert_eq!(m.joins, 2);
+        // t0's acquire targets a lock nobody has released yet: the lazy
+        // lock clock has not materialized, so no join is performed (or
+        // counted). Only t1's acquire joins.
+        assert_eq!(m.joins, 1);
         assert_eq!(m.copies, 2);
         // VTWork: 4 increments + 1 (t0's release publishes its time)
         // + 1 (t1's acquire learns t0@2) + 1 (t1's release updates the

@@ -10,7 +10,7 @@
 //! `LRDs_x`; later writes inherit those orderings transitively via the
 //! write-to-write edge, which keeps the total time O(n·k).
 
-use tc_core::{LogicalClock, OpStats, ThreadId, VectorTime};
+use tc_core::{ClockPool, LazyClock, LogicalClock, OpStats, ThreadId, VectorTime};
 use tc_trace::{Event, Op, Trace, VarId};
 
 use crate::metrics::RunMetrics;
@@ -18,8 +18,13 @@ use crate::sync_core::SyncCore;
 
 /// Per-variable access state: the last-write clock, the per-thread
 /// last-read clocks, and the readers since the last write.
+///
+/// Both kinds of clock are lazy: an untouched variable costs two empty
+/// `Vec`s and an `Option` discriminant, and every clock materializes
+/// from the engine's pool only when an access actually publishes a time
+/// through it.
 struct VarState<C> {
-    last_write: C,
+    last_write: LazyClock<C>,
     /// `R_{t,x}` clocks, keyed linearly by thread id (sparse, append
     /// ordered by first read).
     reads: Vec<(ThreadId, C)>,
@@ -30,11 +35,27 @@ struct VarState<C> {
 impl<C: LogicalClock> VarState<C> {
     fn new() -> Self {
         VarState {
-            // Clocks size themselves on first use.
-            last_write: C::new(),
+            last_write: LazyClock::empty(),
             reads: Vec::new(),
             lrds: Vec::new(),
         }
+    }
+
+    fn release_into(self, pool: &mut ClockPool<C>) {
+        let mut lw = self.last_write;
+        lw.release_into(pool);
+        for (_, clock) in self.reads {
+            pool.release(clock);
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        self.last_write.heap_bytes()
+            + self
+                .reads
+                .iter()
+                .map(|(_, c)| c.heap_bytes())
+                .sum::<usize>()
     }
 }
 
@@ -66,10 +87,32 @@ pub struct MazEngine<C> {
 impl<C: LogicalClock> MazEngine<C> {
     /// Creates an engine sized for `trace`.
     pub fn new(trace: &Trace) -> Self {
+        Self::with_pool(trace, ClockPool::new())
+    }
+
+    /// Creates an engine sized for `trace` that draws its clocks from
+    /// `pool`; reclaim it with [`into_pool`](Self::into_pool).
+    pub fn with_pool(trace: &Trace, pool: ClockPool<C>) -> Self {
         MazEngine {
-            core: SyncCore::for_trace(trace),
+            core: SyncCore::for_trace_with_pool(trace, pool),
             vars: (0..trace.var_count()).map(|_| VarState::new()).collect(),
         }
+    }
+
+    /// Tears the engine down, releasing every clock it created into its
+    /// pool for the next run to reuse.
+    pub fn into_pool(self) -> ClockPool<C> {
+        let mut pool = self.core.into_pool();
+        for var in self.vars {
+            var.release_into(&mut pool);
+        }
+        pool
+    }
+
+    /// Heap bytes currently owned by the engine's clocks (thread, lock
+    /// and materialized per-variable clocks).
+    pub fn clock_bytes(&self) -> usize {
+        self.core.clock_bytes() + self.vars.iter().map(VarState::heap_bytes).sum::<usize>()
     }
 
     fn ensure_var(&mut self, x: VarId) {
@@ -98,23 +141,27 @@ impl<C: LogicalClock> MazEngine<C> {
             Op::Read(x) => {
                 self.ensure_var(x);
                 let var = &mut self.vars[x.index()];
-                let clock = self.core.clock_mut(e.tid);
-                let s = if COUNT {
-                    clock.join_counted(&var.last_write)
-                } else {
-                    clock.join(&var.last_write);
-                    OpStats::NOOP
-                };
-                self.core.metrics.record_join(s);
+                // Lazy: reading a never-written variable orders nothing —
+                // skip the join entirely (no operation, no work).
+                if let Some(lw) = var.last_write.get() {
+                    let clock = self.core.clock_mut(e.tid);
+                    let s = if COUNT {
+                        clock.join_counted(lw)
+                    } else {
+                        clock.join(lw);
+                        OpStats::NOOP
+                    };
+                    self.core.metrics.record_join(s);
+                }
                 // R_{t,x} <- C_t (monotone: R was copied from C_t before).
+                let (pool, clock) = self.core.pool_and_clock(e.tid);
                 let entry = match var.reads.iter_mut().find(|(t, _)| *t == e.tid) {
                     Some((_, r)) => r,
                     None => {
-                        var.reads.push((e.tid, C::new()));
+                        var.reads.push((e.tid, pool.acquire()));
                         &mut var.reads.last_mut().expect("just pushed").1
                     }
                 };
-                let clock = self.core.clock(e.tid).expect("thread clock rooted");
                 let s = if COUNT {
                     entry.monotone_copy_counted(clock)
                 } else {
@@ -129,14 +176,16 @@ impl<C: LogicalClock> MazEngine<C> {
             Op::Write(x) => {
                 self.ensure_var(x);
                 let var = &mut self.vars[x.index()];
-                let clock = self.core.clock_mut(e.tid);
-                let s = if COUNT {
-                    clock.join_counted(&var.last_write)
-                } else {
-                    clock.join(&var.last_write);
-                    OpStats::NOOP
-                };
-                self.core.metrics.record_join(s);
+                if let Some(lw) = var.last_write.get() {
+                    let clock = self.core.clock_mut(e.tid);
+                    let s = if COUNT {
+                        clock.join_counted(lw)
+                    } else {
+                        clock.join(lw);
+                        OpStats::NOOP
+                    };
+                    self.core.metrics.record_join(s);
+                }
                 // Order all reads since the last write before this write.
                 for t in var.lrds.drain(..) {
                     if t == e.tid {
@@ -157,11 +206,12 @@ impl<C: LogicalClock> MazEngine<C> {
                     };
                     self.core.metrics.record_join(s);
                 }
-                let clock = self.core.clock(e.tid).expect("thread clock rooted");
+                let (pool, clock) = self.core.pool_and_clock(e.tid);
+                let lw = var.last_write.get_or_acquire(pool);
                 let s = if COUNT {
-                    var.last_write.monotone_copy_counted(clock)
+                    lw.monotone_copy_counted(clock)
                 } else {
-                    var.last_write.monotone_copy(clock);
+                    lw.monotone_copy(clock);
                     OpStats::NOOP
                 };
                 self.core.metrics.record_copy(s);
@@ -188,30 +238,52 @@ impl<C: LogicalClock> MazEngine<C> {
     /// Runs the whole trace (fast path) and returns the metrics; only
     /// the operation counts are populated.
     pub fn run(trace: &Trace) -> RunMetrics {
-        let mut engine = MazEngine::<C>::new(trace);
+        Self::run_pooled(trace, &mut ClockPool::new())
+    }
+
+    /// [`run`](Self::run) drawing clocks from (and returning them to)
+    /// `pool` — the steady-state, allocation-free entry point.
+    pub fn run_pooled(trace: &Trace, pool: &mut ClockPool<C>) -> RunMetrics {
+        let mut engine = MazEngine::<C>::with_pool(trace, std::mem::take(pool));
         for e in trace {
             engine.process(e);
         }
-        engine.core.metrics
+        let metrics = engine.core.metrics;
+        *pool = engine.into_pool();
+        metrics
     }
 
     /// Runs the whole trace with exact work accounting.
     pub fn run_counted(trace: &Trace) -> RunMetrics {
-        let mut engine = MazEngine::<C>::new(trace);
+        Self::run_counted_pooled(trace, &mut ClockPool::new())
+    }
+
+    /// [`run_counted`](Self::run_counted) with pooled clocks.
+    pub fn run_counted_pooled(trace: &Trace, pool: &mut ClockPool<C>) -> RunMetrics {
+        let mut engine = MazEngine::<C>::with_pool(trace, std::mem::take(pool));
         for e in trace {
             engine.process_counted(e);
         }
-        engine.core.metrics
+        let metrics = engine.core.metrics;
+        *pool = engine.into_pool();
+        metrics
     }
 
     /// Runs the whole trace collecting each event's MAZ timestamp.
     pub fn collect_timestamps(trace: &Trace) -> Vec<VectorTime> {
-        let mut engine = MazEngine::<C>::new(trace);
+        Self::collect_timestamps_pooled(trace, &mut ClockPool::new())
+    }
+
+    /// [`collect_timestamps`](Self::collect_timestamps) with pooled
+    /// clocks.
+    pub fn collect_timestamps_pooled(trace: &Trace, pool: &mut ClockPool<C>) -> Vec<VectorTime> {
+        let mut engine = MazEngine::<C>::with_pool(trace, std::mem::take(pool));
         let mut out = Vec::with_capacity(trace.len());
         for e in trace {
             engine.process(e);
             out.push(engine.timestamp_of(e.tid));
         }
+        *pool = engine.into_pool();
         out
     }
 }
@@ -284,9 +356,10 @@ mod tests {
         for e in &trace {
             engine.process(e);
         }
-        // Join count: e0 joins (empty) LW; e1 joins LW; e2 joins LW +
-        // R_{t1}; e3 joins LW only (LRDs was cleared by e2).
-        assert_eq!(engine.metrics().joins, 1 + 1 + 2 + 1);
+        // Join count: e0 skips the not-yet-materialized LW (lazy); e1
+        // joins LW; e2 joins LW + R_{t1}; e3 joins LW only (LRDs was
+        // cleared by e2).
+        assert_eq!(engine.metrics().joins, 1 + 2 + 1);
         // Still transitively ordered after the read, through e2.
         assert_eq!(engine.timestamp_of(ThreadId::new(3)), vt(&[1, 1, 1, 1]));
     }
@@ -304,6 +377,34 @@ mod tests {
         for (s, m) in shb.iter().zip(maz.iter()) {
             assert!(s.leq(m), "MAZ timestamp must dominate SHB timestamp");
         }
+    }
+
+    #[test]
+    fn pooled_reruns_are_allocation_free_and_lazy_vars_cost_nothing() {
+        let mut b = TraceBuilder::new();
+        for i in 0..30u32 {
+            b.write_id(i % 5, 0);
+            b.read_id((i + 1) % 5, 0);
+        }
+        let trace = b.finish();
+        let mut pool = ClockPool::<VectorClock>::new();
+        let first = MazEngine::<VectorClock>::run_pooled(&trace, &mut pool);
+        let fresh_after_first = pool.fresh();
+        let second = MazEngine::<VectorClock>::run_pooled(&trace, &mut pool);
+        assert_eq!(pool.fresh(), fresh_after_first);
+        assert_eq!(first, second);
+
+        // An engine over a trace that never touches its variables keeps
+        // every per-variable slot unmaterialized.
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").release(0, "m");
+        let sync_only = b.finish();
+        let engine = MazEngine::<TreeClock>::new(&sync_only);
+        assert_eq!(
+            engine.vars.iter().map(VarState::heap_bytes).sum::<usize>(),
+            0,
+            "untouched variables must not own clock memory"
+        );
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! tree clock tests monotonicity in O(1) and deep-copies only when the
 //! write races with a read (Section 5.1).
 
-use tc_core::{CopyMode, LogicalClock, OpStats, ThreadId, VectorTime};
+use tc_core::{ClockPool, CopyMode, LazyClock, LogicalClock, OpStats, ThreadId, VectorTime};
 use tc_trace::{Event, Op, Trace, VarId};
 
 use crate::metrics::RunMetrics;
@@ -36,23 +36,51 @@ use crate::sync_core::SyncCore;
 /// ```
 pub struct ShbEngine<C> {
     core: SyncCore<C>,
-    last_write: Vec<C>,
+    /// Lazy `LW_x` slots: a variable that is never written costs one
+    /// `Option` discriminant; the clock materializes (from the pool) at
+    /// the first write.
+    last_write: Vec<LazyClock<C>>,
 }
 
 impl<C: LogicalClock> ShbEngine<C> {
     /// Creates an engine sized for `trace`.
     pub fn new(trace: &Trace) -> Self {
+        Self::with_pool(trace, ClockPool::new())
+    }
+
+    /// Creates an engine sized for `trace` that draws its clocks from
+    /// `pool`; reclaim it with [`into_pool`](Self::into_pool).
+    pub fn with_pool(trace: &Trace, pool: ClockPool<C>) -> Self {
         ShbEngine {
-            core: SyncCore::for_trace(trace),
-            // Last-write clocks start empty: they size themselves when
-            // the first write copies a thread clock into them.
-            last_write: (0..trace.var_count()).map(|_| C::new()).collect(),
+            core: SyncCore::for_trace_with_pool(trace, pool),
+            last_write: (0..trace.var_count()).map(|_| LazyClock::empty()).collect(),
         }
+    }
+
+    /// Tears the engine down, releasing every clock it created into its
+    /// pool for the next run to reuse.
+    pub fn into_pool(self) -> ClockPool<C> {
+        let mut pool = self.core.into_pool();
+        for mut lw in self.last_write {
+            lw.release_into(&mut pool);
+        }
+        pool
+    }
+
+    /// Heap bytes currently owned by the engine's clocks (thread, lock
+    /// and materialized last-write clocks).
+    pub fn clock_bytes(&self) -> usize {
+        self.core.clock_bytes()
+            + self
+                .last_write
+                .iter()
+                .map(LazyClock::heap_bytes)
+                .sum::<usize>()
     }
 
     fn ensure_var(&mut self, x: VarId) {
         if x.index() >= self.last_write.len() {
-            self.last_write.resize_with(x.index() + 1, C::new);
+            self.last_write.resize_with(x.index() + 1, LazyClock::empty);
         }
     }
 
@@ -75,23 +103,23 @@ impl<C: LogicalClock> ShbEngine<C> {
         match e.op {
             Op::Read(x) => {
                 self.ensure_var(x);
-                let clock = self.core.clock_mut(e.tid);
-                let lw = &self.last_write[x.index()];
-                let s = if COUNT {
-                    clock.join_counted(lw)
-                } else {
-                    clock.join(lw);
-                    OpStats::NOOP
-                };
-                self.core.metrics.record_join(s);
+                // Lazy: reading a never-written variable orders nothing —
+                // skip the join entirely (no operation, no work).
+                if let Some(lw) = self.last_write[x.index()].get() {
+                    let clock = self.core.clock_mut(e.tid);
+                    let s = if COUNT {
+                        clock.join_counted(lw)
+                    } else {
+                        clock.join(lw);
+                        OpStats::NOOP
+                    };
+                    self.core.metrics.record_join(s);
+                }
             }
             Op::Write(x) => {
                 self.ensure_var(x);
-                let clock = self
-                    .core
-                    .clock(e.tid)
-                    .expect("begin_event roots the clock of the acting thread");
-                let lw = &mut self.last_write[x.index()];
+                let (pool, clock) = self.core.pool_and_clock(e.tid);
+                let lw = self.last_write[x.index()].get_or_acquire(pool);
                 let (mode, s) = if COUNT {
                     lw.copy_check_monotone_counted(clock)
                 } else {
@@ -114,7 +142,7 @@ impl<C: LogicalClock> ShbEngine<C> {
     /// The current last-write clock of variable `x`, if any write
     /// occurred.
     pub fn last_write_clock(&self, x: VarId) -> Option<&C> {
-        self.last_write.get(x.index())
+        self.last_write.get(x.index()).and_then(LazyClock::get)
     }
 
     /// The current vector timestamp of thread `t`.
@@ -130,30 +158,52 @@ impl<C: LogicalClock> ShbEngine<C> {
     /// Runs the whole trace (fast path) and returns the metrics; only
     /// the operation counts are populated.
     pub fn run(trace: &Trace) -> RunMetrics {
-        let mut engine = ShbEngine::<C>::new(trace);
+        Self::run_pooled(trace, &mut ClockPool::new())
+    }
+
+    /// [`run`](Self::run) drawing clocks from (and returning them to)
+    /// `pool` — the steady-state, allocation-free entry point.
+    pub fn run_pooled(trace: &Trace, pool: &mut ClockPool<C>) -> RunMetrics {
+        let mut engine = ShbEngine::<C>::with_pool(trace, std::mem::take(pool));
         for e in trace {
             engine.process(e);
         }
-        engine.core.metrics
+        let metrics = engine.core.metrics;
+        *pool = engine.into_pool();
+        metrics
     }
 
     /// Runs the whole trace with exact work accounting.
     pub fn run_counted(trace: &Trace) -> RunMetrics {
-        let mut engine = ShbEngine::<C>::new(trace);
+        Self::run_counted_pooled(trace, &mut ClockPool::new())
+    }
+
+    /// [`run_counted`](Self::run_counted) with pooled clocks.
+    pub fn run_counted_pooled(trace: &Trace, pool: &mut ClockPool<C>) -> RunMetrics {
+        let mut engine = ShbEngine::<C>::with_pool(trace, std::mem::take(pool));
         for e in trace {
             engine.process_counted(e);
         }
-        engine.core.metrics
+        let metrics = engine.core.metrics;
+        *pool = engine.into_pool();
+        metrics
     }
 
     /// Runs the whole trace collecting each event's SHB timestamp.
     pub fn collect_timestamps(trace: &Trace) -> Vec<VectorTime> {
-        let mut engine = ShbEngine::<C>::new(trace);
+        Self::collect_timestamps_pooled(trace, &mut ClockPool::new())
+    }
+
+    /// [`collect_timestamps`](Self::collect_timestamps) with pooled
+    /// clocks.
+    pub fn collect_timestamps_pooled(trace: &Trace, pool: &mut ClockPool<C>) -> Vec<VectorTime> {
+        let mut engine = ShbEngine::<C>::with_pool(trace, std::mem::take(pool));
         let mut out = Vec::with_capacity(trace.len());
         for e in trace {
             engine.process(e);
             out.push(engine.timestamp_of(e.tid));
         }
+        *pool = engine.into_pool();
         out
     }
 }
@@ -227,6 +277,31 @@ mod tests {
         for (h, s) in hb.iter().zip(shb.iter()) {
             assert!(h.leq(s), "SHB timestamp must dominate HB timestamp");
         }
+    }
+
+    #[test]
+    fn pooled_reruns_are_allocation_free() {
+        let mut b = TraceBuilder::new();
+        for i in 0..40u32 {
+            let t = i % 4;
+            b.write_id(t, i % 3);
+            b.read_id((t + 1) % 4, i % 3);
+            b.acquire_id(t, 0);
+            b.release_id(t, 0);
+        }
+        let trace = b.finish();
+        let mut pool = ClockPool::<TreeClock>::new();
+        let first = ShbEngine::<TreeClock>::run_pooled(&trace, &mut pool);
+        let fresh_after_first = pool.fresh();
+        assert!(fresh_after_first > 0, "first run must allocate clocks");
+        let second = ShbEngine::<TreeClock>::run_pooled(&trace, &mut pool);
+        assert_eq!(
+            pool.fresh(),
+            fresh_after_first,
+            "steady state must allocate no new clocks"
+        );
+        assert!(pool.recycled() >= fresh_after_first);
+        assert_eq!(first, second, "pooling must not change any metric");
     }
 
     #[test]

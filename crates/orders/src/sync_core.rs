@@ -1,8 +1,14 @@
 //! Shared engine plumbing: per-thread and per-lock clock stores and the
 //! transfer functions for the synchronization events common to HB, SHB
 //! and MAZ (acquire, release, fork, join).
+//!
+//! Clocks are drawn from a [`ClockPool`] so that repeated runs (timing
+//! repetitions, conformance sweeps, both backends of a differential
+//! check) reuse buffers instead of allocating; lock clocks are
+//! [`LazyClock`] slots that materialize on the first release, so an
+//! untouched lock costs O(1).
 
-use tc_core::{LogicalClock, OpStats, ThreadId, VectorTime};
+use tc_core::{ClockPool, LazyClock, LogicalClock, OpStats, ThreadId, VectorTime};
 use tc_trace::{Event, LockId, Op, Trace};
 
 use crate::metrics::RunMetrics;
@@ -11,20 +17,32 @@ use crate::metrics::RunMetrics;
 pub(crate) struct SyncCore<C> {
     threads: Vec<C>,
     rooted: Vec<bool>,
-    locks: Vec<C>,
+    locks: Vec<LazyClock<C>>,
     thread_hint: usize,
+    pub(crate) pool: ClockPool<C>,
     pub(crate) metrics: RunMetrics,
 }
 
 impl<C: LogicalClock> SyncCore<C> {
     pub(crate) fn new(threads: usize, locks: usize) -> Self {
+        SyncCore::with_pool(threads, locks, ClockPool::new())
+    }
+
+    pub(crate) fn with_pool(threads: usize, locks: usize, mut pool: ClockPool<C>) -> Self {
         SyncCore {
-            threads: (0..threads).map(|_| C::with_threads(threads)).collect(),
+            threads: (0..threads)
+                .map(|_| {
+                    let mut c = pool.acquire();
+                    c.reserve_threads(threads);
+                    c
+                })
+                .collect(),
             rooted: vec![false; threads],
-            // Lock clocks start empty and size themselves on first
-            // use (a release clones the releasing thread's clock).
-            locks: (0..locks).map(|_| C::new()).collect(),
+            // Lock clocks are lazy: they materialize (from the pool) on
+            // the first release that publishes a time into them.
+            locks: (0..locks).map(|_| LazyClock::empty()).collect(),
             thread_hint: threads,
+            pool,
             metrics: RunMetrics::new(),
         }
     }
@@ -33,11 +51,46 @@ impl<C: LogicalClock> SyncCore<C> {
         SyncCore::new(trace.thread_count(), trace.lock_count())
     }
 
+    pub(crate) fn for_trace_with_pool(trace: &Trace, pool: ClockPool<C>) -> Self {
+        SyncCore::with_pool(trace.thread_count(), trace.lock_count(), pool)
+    }
+
+    /// Tears the core down, releasing every clock it created back into
+    /// its pool (buffers kept warm for the next engine).
+    pub(crate) fn into_pool(self) -> ClockPool<C> {
+        let mut pool = self.pool;
+        for clock in self.threads {
+            pool.release(clock);
+        }
+        for mut lock in self.locks {
+            lock.release_into(&mut pool);
+        }
+        pool
+    }
+
+    /// Heap bytes currently owned by the thread and lock clocks.
+    pub(crate) fn clock_bytes(&self) -> usize {
+        self.threads.iter().map(C::heap_bytes).sum::<usize>()
+            + self.locks.iter().map(LazyClock::heap_bytes).sum::<usize>()
+    }
+
+    /// Split borrow used by the engines' write paths: the pool (to
+    /// materialize a lazy per-variable clock) together with the acting
+    /// thread's clock (the copy source).
+    pub(crate) fn pool_and_clock(&mut self, t: ThreadId) -> (&mut ClockPool<C>, &C) {
+        (&mut self.pool, &self.threads[t.index()])
+    }
+
     fn ensure_thread(&mut self, t: ThreadId) {
         let i = t.index();
         if i >= self.threads.len() {
             let hint = self.thread_hint.max(i + 1);
-            self.threads.resize_with(i + 1, || C::with_threads(hint));
+            let (threads, pool) = (&mut self.threads, &mut self.pool);
+            threads.resize_with(i + 1, || {
+                let mut c = pool.acquire();
+                c.reserve_threads(hint);
+                c
+            });
             self.rooted.resize(i + 1, false);
         }
         if !self.rooted[i] {
@@ -48,7 +101,7 @@ impl<C: LogicalClock> SyncCore<C> {
 
     fn ensure_lock(&mut self, l: LockId) {
         if l.index() >= self.locks.len() {
-            self.locks.resize_with(l.index() + 1, C::new);
+            self.locks.resize_with(l.index() + 1, LazyClock::empty);
         }
     }
 
@@ -70,21 +123,24 @@ impl<C: LogicalClock> SyncCore<C> {
         match e.op {
             Op::Acquire(l) => {
                 self.ensure_lock(l);
-                let thread = &mut self.threads[e.tid.index()];
-                let lock = &self.locks[l.index()];
-                let s = if COUNT {
-                    thread.join_counted(lock)
-                } else {
-                    thread.join(lock);
-                    OpStats::NOOP
-                };
-                self.metrics.record_join(s);
+                // Lazy: a lock nobody has released yet orders nothing —
+                // skip the join entirely (no operation, no work).
+                if let Some(lock) = self.locks[l.index()].get() {
+                    let thread = &mut self.threads[e.tid.index()];
+                    let s = if COUNT {
+                        thread.join_counted(lock)
+                    } else {
+                        thread.join(lock);
+                        OpStats::NOOP
+                    };
+                    self.metrics.record_join(s);
+                }
                 true
             }
             Op::Release(l) => {
                 self.ensure_lock(l);
-                let lock = &mut self.locks[l.index()];
                 let thread = &self.threads[e.tid.index()];
+                let lock = self.locks[l.index()].get_or_acquire(&mut self.pool);
                 let s = if COUNT {
                     lock.monotone_copy_counted(thread)
                 } else {

@@ -44,7 +44,8 @@ pub use tc_orders as orders;
 pub use tc_trace as trace;
 
 pub use tc_core::{
-    CopyMode, Epoch, LocalTime, LogicalClock, OpStats, ThreadId, TreeClock, VectorClock, VectorTime,
+    ClockPool, CopyMode, Epoch, LazyClock, LocalTime, LogicalClock, OpStats, ThreadId, TreeClock,
+    VectorClock, VectorTime,
 };
 
 /// Convenient glob-import surface: `use treeclocks::prelude::*;`.
