@@ -11,15 +11,23 @@
 //! - `joins` / `copies` / `deep_copies` — operation counts;
 //! - `vt_work` / `ds_work` — the paper's Section 4 work metrics;
 //! - `peak_clock_bytes` — heap owned by the engine's clocks after the
-//!   run (clocks only grow, so this is the run's peak).
+//!   run (clocks only grow, so the value after a run is the run's peak);
+//! - `pool_fresh` / `pool_recycled` — the cell's [`ClockPool`] traffic
+//!   counters, recorded so CI catches allocation regressions: in
+//!   steady state `pool_fresh` stays at the cold-start count and
+//!   everything else recycles.
 //!
-//! The scenario set is the paper's Figure 10 quartet (single-lock,
+//! The core scenario set is the paper's Figure 10 quartet (single-lock,
 //! skewed-locks, star, pairwise), where the TC-vs-VC comparison is
-//! controlled and reproducible. [`validate`] checks a produced document
-//! against the schema — CI runs it on every PR and uploads the artifact
-//! so the perf trajectory is visible over time.
+//! controlled and reproducible; the *full* scale additionally folds in
+//! the five structured workload families (fork-join trees, barrier
+//! phases, pipelines, read-mostly contention, bursty channels) at a
+//! budgeted size, so access-heavy workloads appear in the trajectory
+//! without blowing the CI time budget. [`validate`] checks a produced
+//! document against the schema — CI runs it on every PR and uploads the
+//! artifact so the perf trajectory is visible over time.
 
-use tc_core::{ClockPool, LogicalClock, TreeClock, VectorClock};
+use tc_core::{ClockPool, HybridClock, LogicalClock, TreeClock, VectorClock};
 use tc_orders::{HbEngine, MazEngine, PartialOrderKind, RunMetrics, ShbEngine};
 use tc_trace::gen::Scenario;
 use tc_trace::Trace;
@@ -32,7 +40,11 @@ pub const SCHEMA: &str = "treeclocks/bench-baseline";
 
 /// Version of the document format (the `version` field). Bump on any
 /// breaking change to the record fields.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2: added the `hybrid` backend (every configuration now carries
+/// three backend records) and the `pool_fresh` / `pool_recycled`
+/// telemetry fields.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One measured cell of the baseline grid.
 #[derive(Clone, Debug)]
@@ -61,40 +73,98 @@ pub struct BaselineRecord {
     pub ds_work: u64,
     /// Heap bytes owned by the engine's clocks after the run.
     pub peak_clock_bytes: usize,
+    /// Clock-pool acquires served by a fresh allocation across the
+    /// cell's runs (warm-up + timed repetitions + counted run).
+    pub pool_fresh: u64,
+    /// Clock-pool acquires served from the free list.
+    pub pool_recycled: u64,
 }
 
-/// Thread counts of the generated FIG10 grid. High enough that the
-/// tree clock's sublinear operations can dominate its pointer-chasing
-/// overhead (the paper's Figure 10 sweeps 10–360; the crossover against
-/// this repo's vectorized vector clock sits near ~200 threads on
-/// sparse-communication scenarios).
-pub fn thread_counts(quick: bool) -> &'static [u32] {
-    if quick {
-        &[360]
-    } else {
-        &[128, 360]
+/// The shape of one baseline collection: which grids to run and at what
+/// event budget. The constructors encode the three CLI spellings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BaselineScale {
+    /// Thread counts of the FIG10 grid. High enough that the tree
+    /// clock's sublinear operations can dominate its pointer-chasing
+    /// overhead (the paper's Figure 10 sweeps 10–360).
+    pub threads: &'static [u32],
+    /// Events per FIG10 trace.
+    pub events: usize,
+    /// Also measure the five structured workload families.
+    pub families: bool,
+    /// Thread count of the family traces.
+    pub family_threads: u32,
+    /// Events per family trace — the per-record runtime budget (family
+    /// traces are access-heavy, so they run at a smaller event count
+    /// than the sync-only FIG10 quartet to keep each record's
+    /// warm-up + 3 timed + 1 counted runs well under a second).
+    pub family_events: usize,
+    /// Mode string recorded in the document.
+    pub mode: &'static str,
+}
+
+impl BaselineScale {
+    /// The CI scale: one thread count, short traces, FIG10 only.
+    pub fn quick() -> Self {
+        BaselineScale {
+            threads: &[360],
+            events: 25_000,
+            families: false,
+            family_threads: 64,
+            family_events: 10_000,
+            mode: "quick",
+        }
+    }
+
+    /// The default scale: two thread counts, full-length FIG10 traces.
+    pub fn default_scale() -> Self {
+        BaselineScale {
+            threads: &[128, 360],
+            events: 100_000,
+            families: false,
+            family_threads: 64,
+            family_events: 40_000,
+            mode: "default",
+        }
+    }
+
+    /// The broad scale: the chosen base grid plus the five structured
+    /// families at their budgeted size.
+    pub fn full(quick: bool) -> Self {
+        let base = if quick {
+            BaselineScale::quick()
+        } else {
+            BaselineScale::default_scale()
+        };
+        BaselineScale {
+            families: true,
+            mode: if quick { "full-quick" } else { "full" },
+            ..base
+        }
     }
 }
 
-/// Events per generated trace.
-pub fn baseline_events(quick: bool) -> usize {
-    if quick {
-        25_000
-    } else {
-        100_000
-    }
-}
-
-/// Runs the baseline grid: FIG10 scenarios × [`thread_counts`] ×
-/// HB/SHB/MAZ × tree/vector. `progress` is called before each
-/// scenario×threads cell.
-pub fn collect(quick: bool, mut progress: impl FnMut(&str)) -> Vec<BaselineRecord> {
+/// Runs the baseline grid at `scale`: FIG10 scenarios (and, at full
+/// scale, the structured families) × HB/SHB/MAZ × tree/vector/hybrid.
+/// `progress` is called before each scenario×threads cell.
+pub fn collect(scale: BaselineScale, mut progress: impl FnMut(&str)) -> Vec<BaselineRecord> {
     let mut records = Vec::new();
     for scenario in Scenario::FIG10 {
-        for &threads in thread_counts(quick) {
+        for &threads in scale.threads {
+            progress(&format!("{scenario}/{threads}"));
+            let trace = scenario.generate(threads, scale.events, 0xBE2C + u64::from(threads));
+            collect_trace_into(&scenario.to_string(), &trace, &mut records);
+        }
+    }
+    if scale.families {
+        for scenario in Scenario::ALL {
+            if Scenario::FIG10.contains(&scenario) {
+                continue;
+            }
+            let threads = scale.family_threads.max(scenario.min_threads());
             progress(&format!("{scenario}/{threads}"));
             let trace =
-                scenario.generate(threads, baseline_events(quick), 0xBE2C + u64::from(threads));
+                scenario.generate(threads, scale.family_events, 0xFA31 + u64::from(threads));
             collect_trace_into(&scenario.to_string(), &trace, &mut records);
         }
     }
@@ -117,6 +187,12 @@ fn collect_trace_into(name: &str, trace: &Trace, records: &mut Vec<BaselineRecor
             trace,
             order,
             ClockKind::Vector,
+        ));
+        records.push(record_for::<HybridClock>(
+            name,
+            trace,
+            order,
+            ClockKind::Hybrid,
         ));
     }
 }
@@ -143,6 +219,8 @@ fn record_for<C: LogicalClock>(
         vt_work: metrics.vt_work(),
         ds_work: metrics.ds_work(),
         peak_clock_bytes,
+        pool_fresh: pool.fresh(),
+        pool_recycled: pool.recycled(),
     }
 }
 
@@ -185,15 +263,8 @@ fn counted_run<C: LogicalClock>(
     }
 }
 
-fn backend_name(backend: ClockKind) -> &'static str {
-    match backend {
-        ClockKind::Tree => "tree",
-        ClockKind::Vector => "vector",
-    }
-}
-
 /// Renders the records as the schema-stable JSON document.
-pub fn to_json(records: &[BaselineRecord], quick: bool) -> String {
+pub fn to_json(records: &[BaselineRecord], mode: &str) -> String {
     let records = records
         .iter()
         .map(|r| {
@@ -202,7 +273,7 @@ pub fn to_json(records: &[BaselineRecord], quick: bool) -> String {
                 ("threads", r.threads.into()),
                 ("events", r.events.into()),
                 ("order", r.order.to_string().into()),
-                ("backend", backend_name(r.backend).into()),
+                ("backend", r.backend.name().into()),
                 ("seconds", r.seconds.into()),
                 ("joins", r.joins.into()),
                 ("copies", r.copies.into()),
@@ -210,13 +281,15 @@ pub fn to_json(records: &[BaselineRecord], quick: bool) -> String {
                 ("vt_work", r.vt_work.into()),
                 ("ds_work", r.ds_work.into()),
                 ("peak_clock_bytes", r.peak_clock_bytes.into()),
+                ("pool_fresh", r.pool_fresh.into()),
+                ("pool_recycled", r.pool_recycled.into()),
             ])
         })
         .collect();
     let doc = Value::obj([
         ("schema", SCHEMA.into()),
         ("version", SCHEMA_VERSION.into()),
-        ("mode", if quick { "quick" } else { "default" }.into()),
+        ("mode", mode.into()),
         ("repetitions", u64::from(REPETITIONS).into()),
         ("records", Value::Arr(records)),
     ]);
@@ -235,9 +308,13 @@ pub struct BaselineSummary {
     /// Configurations where the tree clock's wall time is at most the
     /// vector clock's.
     pub tree_wins: usize,
+    /// Configurations where the hybrid clock's wall time is at most
+    /// twice the vector clock's (the dense-regime target) — the
+    /// trajectory number for the adaptive representation.
+    pub hybrid_within_2x: usize,
 }
 
-const REQUIRED_NUMS: [&str; 8] = [
+const REQUIRED_NUMS: [&str; 10] = [
     "threads",
     "events",
     "seconds",
@@ -246,7 +323,11 @@ const REQUIRED_NUMS: [&str; 8] = [
     "deep_copies",
     "vt_work",
     "ds_work",
+    "pool_fresh",
+    "pool_recycled",
 ];
+
+const BACKENDS: [&str; 3] = ["tree", "vector", "hybrid"];
 
 /// Parses and schema-checks a baseline document.
 ///
@@ -254,7 +335,7 @@ const REQUIRED_NUMS: [&str; 8] = [
 ///
 /// Returns a message naming the first offending field: wrong
 /// schema/version, a record missing a field or with a mistyped value,
-/// or a configuration missing one of its two backends.
+/// or a configuration missing one of its three backends.
 pub fn validate(text: &str) -> Result<BaselineSummary, String> {
     let doc = Value::parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
     match doc.get("schema").and_then(Value::as_str) {
@@ -273,8 +354,8 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
         return Err("`records` is empty".into());
     }
 
-    // (scenario, threads, order) -> (tree seconds, vector seconds)
-    type BackendSeconds = (Option<f64>, Option<f64>);
+    // (scenario, threads, order) -> seconds per backend, BACKENDS order.
+    type BackendSeconds = [Option<f64>; 3];
     let mut configs: Vec<(String, BackendSeconds)> = Vec::new();
     for (i, r) in records.iter().enumerate() {
         let field = |name: &str| {
@@ -293,9 +374,9 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
         let backend = field("backend")?
             .as_str()
             .ok_or_else(|| format!("record {i}: `backend` is not a string"))?;
-        if !["tree", "vector"].contains(&backend) {
+        let Some(backend_slot) = BACKENDS.iter().position(|b| *b == backend) else {
             return Err(format!("record {i}: unknown backend `{backend}`"));
-        }
+        };
         for name in REQUIRED_NUMS {
             let v = field(name)?
                 .as_num()
@@ -316,29 +397,31 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
         let entry = match configs.iter_mut().find(|(k, _)| *k == key) {
             Some((_, entry)) => entry,
             None => {
-                configs.push((key, (None, None)));
+                configs.push((key, [None; 3]));
                 &mut configs.last_mut().expect("just pushed").1
             }
         };
-        match backend {
-            "tree" => entry.0 = Some(seconds),
-            _ => entry.1 = Some(seconds),
-        }
+        entry[backend_slot] = Some(seconds);
     }
 
     let mut tree_wins = 0;
-    for (key, (tree, vector)) in &configs {
-        let (Some(tree), Some(vector)) = (tree, vector) else {
+    let mut hybrid_within_2x = 0;
+    for (key, seconds) in &configs {
+        let [Some(tree), Some(vector), Some(hybrid)] = seconds else {
             return Err(format!("configuration `{key}` is missing a backend"));
         };
         if tree <= vector {
             tree_wins += 1;
+        }
+        if *hybrid <= 2.0 * vector {
+            hybrid_within_2x += 1;
         }
     }
     Ok(BaselineSummary {
         records: records.len(),
         configs: configs.len(),
         tree_wins,
+        hybrid_within_2x,
     })
 }
 
@@ -351,8 +434,8 @@ mod tests {
     fn single_trace_baseline_round_trips_through_validation() {
         let trace = scenarios::star(8, 2_000, 1);
         let records = collect_trace("star-tiny", &trace);
-        assert_eq!(records.len(), PartialOrderKind::ALL.len() * 2);
-        let json = to_json(&records, true);
+        assert_eq!(records.len(), PartialOrderKind::ALL.len() * 3);
+        let json = to_json(&records, "quick");
         let summary = validate(&json).expect("self-produced baseline must validate");
         assert_eq!(summary.records, records.len());
         assert_eq!(summary.configs, PartialOrderKind::ALL.len());
@@ -362,16 +445,32 @@ mod tests {
     fn validation_names_the_offending_field() {
         let trace = scenarios::star(4, 500, 1);
         let records = collect_trace("star-tiny", &trace);
-        let good = to_json(&records, true);
+        let good = to_json(&records, "quick");
 
         let bad = good.replace("\"joins\"", "\"jions\"");
         let err = validate(&bad).unwrap_err();
         assert!(err.contains("joins"), "error `{err}` must name the field");
 
+        let bad = good.replace("\"pool_fresh\"", "\"pool_frseh\"");
+        let err = validate(&bad).unwrap_err();
+        assert!(
+            err.contains("pool_fresh"),
+            "error `{err}` must name the telemetry field"
+        );
+
         let bad = good.replace(&format!("\"{SCHEMA}\""), "\"something-else\"");
         assert!(validate(&bad).unwrap_err().contains("schema"));
 
         assert!(validate("{ not json").unwrap_err().contains("JSON"));
+    }
+
+    #[test]
+    fn validation_requires_all_three_backends() {
+        let trace = scenarios::star(4, 500, 1);
+        let mut records = collect_trace("star-tiny", &trace);
+        records.retain(|r| r.backend != ClockKind::Hybrid);
+        let err = validate(&to_json(&records, "quick")).unwrap_err();
+        assert!(err.contains("missing a backend"), "unexpected: {err}");
     }
 
     #[test]
@@ -382,6 +481,18 @@ mod tests {
             assert!(r.vt_work > 0);
             assert!(r.events == trace.len());
             assert!(r.peak_clock_bytes > 0);
+            assert!(
+                r.pool_fresh > 0,
+                "the cold run must have allocated its clocks"
+            );
+            assert!(
+                r.pool_recycled >= 4 * r.pool_fresh / 2,
+                "{}/{:?}: repeated pooled runs must recycle (fresh {}, recycled {})",
+                r.order,
+                r.backend,
+                r.pool_fresh,
+                r.pool_recycled
+            );
             if r.backend == ClockKind::Tree {
                 assert!(
                     r.ds_work <= 3 * r.vt_work,
@@ -391,5 +502,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn vt_work_is_identical_across_all_three_backends() {
+        let trace = scenarios::single_lock(5, 1_200, 3);
+        let records = collect_trace("single-lock-tiny", &trace);
+        for order in PartialOrderKind::ALL {
+            let per_order: Vec<_> = records.iter().filter(|r| r.order == order).collect();
+            assert_eq!(per_order.len(), 3);
+            assert!(
+                per_order.windows(2).all(|w| w[0].vt_work == w[1].vt_work),
+                "{order}: VTWork must be representation independent"
+            );
+        }
+    }
+
+    #[test]
+    fn full_scale_covers_the_structured_families() {
+        let scale = BaselineScale::full(true);
+        assert!(scale.families);
+        assert_eq!(scale.mode, "full-quick");
+        // The family grid adds exactly the five non-FIG10 scenarios.
+        let non_fig10 = Scenario::ALL
+            .into_iter()
+            .filter(|s| !Scenario::FIG10.contains(s))
+            .count();
+        assert_eq!(non_fig10, 5);
     }
 }

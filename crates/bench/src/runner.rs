@@ -8,7 +8,7 @@ use std::str::FromStr;
 use std::time::Instant;
 
 use tc_analysis::{HbRaceDetector, MazAnalyzer, ShbRaceDetector};
-use tc_core::{ClockPool, LogicalClock, TreeClock, VectorClock};
+use tc_core::{ClockPool, HybridClock, LogicalClock, TreeClock, VectorClock};
 use tc_orders::{HbEngine, MazEngine, PartialOrderKind, RunMetrics, ShbEngine};
 use tc_trace::Trace;
 
@@ -19,11 +19,23 @@ pub enum ClockKind {
     Tree,
     /// The flat vector clock baseline.
     Vector,
+    /// The adaptive flat/tree hybrid.
+    Hybrid,
 }
 
 impl ClockKind {
-    /// Both representations, tree first.
-    pub const ALL: [ClockKind; 2] = [ClockKind::Tree, ClockKind::Vector];
+    /// Every representation, tree first.
+    pub const ALL: [ClockKind; 3] = [ClockKind::Tree, ClockKind::Vector, ClockKind::Hybrid];
+
+    /// The stable lowercase name used in baseline JSON records and CLI
+    /// output.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockKind::Tree => "tree",
+            ClockKind::Vector => "vector",
+            ClockKind::Hybrid => "hybrid",
+        }
+    }
 }
 
 impl fmt::Display for ClockKind {
@@ -31,6 +43,7 @@ impl fmt::Display for ClockKind {
         f.write_str(match self {
             ClockKind::Tree => "TC",
             ClockKind::Vector => "VC",
+            ClockKind::Hybrid => "HC",
         })
     }
 }
@@ -42,7 +55,8 @@ impl FromStr for ClockKind {
         match s.to_ascii_lowercase().as_str() {
             "tc" | "tree" => Ok(ClockKind::Tree),
             "vc" | "vector" => Ok(ClockKind::Vector),
-            other => Err(format!("unknown clock `{other}` (tc, vc)")),
+            "hc" | "hybrid" => Ok(ClockKind::Hybrid),
+            other => Err(format!("unknown clock `{other}` (tc, vc, hc)")),
         }
     }
 }
@@ -118,6 +132,9 @@ pub fn measure(
         ClockKind::Vector => {
             measure_clock::<VectorClock>(trace, order, mode, &mut ClockPool::new())
         }
+        ClockKind::Hybrid => {
+            measure_clock::<HybridClock>(trace, order, mode, &mut ClockPool::new())
+        }
     }
 }
 
@@ -159,13 +176,17 @@ pub fn measure_clock<C: LogicalClock>(
 /// instrumentation perturbs running time, so this is always a separate
 /// pass from [`measure`].
 pub fn work_metrics(trace: &Trace, order: PartialOrderKind, clock: ClockKind) -> RunMetrics {
-    match (order, clock) {
-        (PartialOrderKind::Hb, ClockKind::Tree) => HbEngine::<TreeClock>::run_counted(trace),
-        (PartialOrderKind::Hb, ClockKind::Vector) => HbEngine::<VectorClock>::run_counted(trace),
-        (PartialOrderKind::Shb, ClockKind::Tree) => ShbEngine::<TreeClock>::run_counted(trace),
-        (PartialOrderKind::Shb, ClockKind::Vector) => ShbEngine::<VectorClock>::run_counted(trace),
-        (PartialOrderKind::Maz, ClockKind::Tree) => MazEngine::<TreeClock>::run_counted(trace),
-        (PartialOrderKind::Maz, ClockKind::Vector) => MazEngine::<VectorClock>::run_counted(trace),
+    fn counted<C: LogicalClock>(trace: &Trace, order: PartialOrderKind) -> RunMetrics {
+        match order {
+            PartialOrderKind::Hb => HbEngine::<C>::run_counted(trace),
+            PartialOrderKind::Shb => ShbEngine::<C>::run_counted(trace),
+            PartialOrderKind::Maz => MazEngine::<C>::run_counted(trace),
+        }
+    }
+    match clock {
+        ClockKind::Tree => counted::<TreeClock>(trace, order),
+        ClockKind::Vector => counted::<VectorClock>(trace, order),
+        ClockKind::Hybrid => counted::<HybridClock>(trace, order),
     }
 }
 
@@ -230,6 +251,8 @@ mod tests {
     fn clock_kind_parses() {
         assert_eq!("tc".parse::<ClockKind>().unwrap(), ClockKind::Tree);
         assert_eq!("vector".parse::<ClockKind>().unwrap(), ClockKind::Vector);
+        assert_eq!("hc".parse::<ClockKind>().unwrap(), ClockKind::Hybrid);
+        assert_eq!("hybrid".parse::<ClockKind>().unwrap(), ClockKind::Hybrid);
         assert!("quartz".parse::<ClockKind>().is_err());
     }
 }

@@ -23,10 +23,11 @@ use std::path::Path;
 use std::process::ExitCode;
 
 use tc_analysis::{HbRaceDetector, MazAnalyzer, RaceReport, ShbRaceDetector};
-use tc_bench::baseline;
+use tc_bench::baseline::{self, BaselineScale};
 use tc_bench::render::TextTable;
+use tc_bench::ClockKind;
 use tc_conformance::{check_trace, run_sweep, Corpus, Fault, SweepOptions};
-use tc_core::{TreeClock, VectorClock};
+use tc_core::{HybridClock, TreeClock, VectorClock};
 use tc_orders::{HbEngine, MazEngine, PartialOrderKind, ShbEngine};
 use tc_trace::gen::{Scenario, WorkloadSpec};
 use tc_trace::{binary_format, text_format, Trace};
@@ -245,7 +246,7 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
         return Err("race requires exactly one FILE".into());
     };
     let order: PartialOrderKind = value(&kv, "order").unwrap_or("hb").parse()?;
-    let clock = value(&kv, "clock").unwrap_or("tc");
+    let clock: ClockKind = value(&kv, "clock").unwrap_or("tc").parse()?;
     let limit: usize = value(&kv, "limit")
         .unwrap_or("20")
         .parse()
@@ -254,16 +255,33 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
 
     let start = std::time::Instant::now();
     let report: RaceReport = match (order, clock) {
-        (PartialOrderKind::Hb, "tc" | "tree") => {
+        (PartialOrderKind::Hb, ClockKind::Tree) => {
             HbRaceDetector::<TreeClock>::new(&trace).run(&trace)
         }
-        (PartialOrderKind::Hb, _) => HbRaceDetector::<VectorClock>::new(&trace).run(&trace),
-        (PartialOrderKind::Shb, "tc" | "tree") => {
+        (PartialOrderKind::Hb, ClockKind::Vector) => {
+            HbRaceDetector::<VectorClock>::new(&trace).run(&trace)
+        }
+        (PartialOrderKind::Hb, ClockKind::Hybrid) => {
+            HbRaceDetector::<HybridClock>::new(&trace).run(&trace)
+        }
+        (PartialOrderKind::Shb, ClockKind::Tree) => {
             ShbRaceDetector::<TreeClock>::new(&trace).run(&trace)
         }
-        (PartialOrderKind::Shb, _) => ShbRaceDetector::<VectorClock>::new(&trace).run(&trace),
-        (PartialOrderKind::Maz, "tc" | "tree") => MazAnalyzer::<TreeClock>::new(&trace).run(&trace),
-        (PartialOrderKind::Maz, _) => MazAnalyzer::<VectorClock>::new(&trace).run(&trace),
+        (PartialOrderKind::Shb, ClockKind::Vector) => {
+            ShbRaceDetector::<VectorClock>::new(&trace).run(&trace)
+        }
+        (PartialOrderKind::Shb, ClockKind::Hybrid) => {
+            ShbRaceDetector::<HybridClock>::new(&trace).run(&trace)
+        }
+        (PartialOrderKind::Maz, ClockKind::Tree) => {
+            MazAnalyzer::<TreeClock>::new(&trace).run(&trace)
+        }
+        (PartialOrderKind::Maz, ClockKind::Vector) => {
+            MazAnalyzer::<VectorClock>::new(&trace).run(&trace)
+        }
+        (PartialOrderKind::Maz, ClockKind::Hybrid) => {
+            MazAnalyzer::<HybridClock>::new(&trace).run(&trace)
+        }
     };
     let elapsed = start.elapsed();
 
@@ -273,11 +291,7 @@ fn cmd_race(args: &[String]) -> Result<(), String> {
     let _ = writeln!(
         out,
         "{order} analysis with {} clocks over {} events: {} in {:.3}s",
-        if matches!(clock, "tc" | "tree") {
-            "tree"
-        } else {
-            "vector"
-        },
+        clock.name(),
         trace.len(),
         report,
         elapsed.as_secs_f64()
@@ -392,10 +406,10 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
 /// Default output file of `tcr bench --json`. The number tracks the PR
 /// that produced the baseline, so the repository accumulates a
 /// `BENCH_*.json` perf trajectory over time.
-const BENCH_JSON_DEFAULT: &str = "BENCH_3.json";
+const BENCH_JSON_DEFAULT: &str = "BENCH_4.json";
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
-    let (flags, kv) = Flags::parse(args, &["out", "trace", "check"], &["json", "quick"])?;
+    let (flags, kv) = Flags::parse(args, &["out", "trace", "check"], &["json", "quick", "full"])?;
     if let Some(extra) = flags.positional.first() {
         return Err(format!("bench takes no positional argument `{extra}`"));
     }
@@ -406,8 +420,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let summary = baseline::validate(&text).map_err(|e| format!("{path}: {e}"))?;
         println!(
-            "ok   {path}: {} record(s), {} configuration(s), tree <= vector wall time on {}",
-            summary.records, summary.configs, summary.tree_wins
+            "ok   {path}: {} record(s), {} configuration(s), tree <= vector wall time on {}, \
+             hybrid within 2x of vector on {}",
+            summary.records, summary.configs, summary.tree_wins, summary.hybrid_within_2x
         );
         return Ok(());
     }
@@ -420,23 +435,34 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
     }
 
     let quick = value(&kv, "quick").is_some();
-    let records = match value(&kv, "trace") {
+    let scale = if value(&kv, "full").is_some() {
+        BaselineScale::full(quick)
+    } else if quick {
+        BaselineScale::quick()
+    } else {
+        BaselineScale::default_scale()
+    };
+    let (records, mode) = match value(&kv, "trace") {
         Some(path) => {
             let trace = load(path)?;
             eprintln!("bench: {path} ({} events)", trace.len());
-            baseline::collect_trace(path, &trace)
+            (baseline::collect_trace(path, &trace), "trace")
         }
-        None => baseline::collect(quick, |cell| eprintln!("bench: {cell}")),
+        None => (
+            baseline::collect(scale, |cell| eprintln!("bench: {cell}")),
+            scale.mode,
+        ),
     };
 
     if value(&kv, "json").is_some() {
         let out = value(&kv, "out").unwrap_or(BENCH_JSON_DEFAULT);
-        let json = baseline::to_json(&records, quick);
+        let json = baseline::to_json(&records, mode);
         let summary = baseline::validate(&json).map_err(|e| format!("produced baseline: {e}"))?;
         std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!(
-            "wrote {out}: {} record(s), {} configuration(s), tree <= vector wall time on {}",
-            summary.records, summary.configs, summary.tree_wins
+            "wrote {out}: {} record(s), {} configuration(s), tree <= vector wall time on {}, \
+             hybrid within 2x of vector on {}",
+            summary.records, summary.configs, summary.tree_wins, summary.hybrid_within_2x
         );
     } else {
         let mut t = TextTable::new([
@@ -449,7 +475,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 r.scenario.clone(),
                 r.threads.to_string(),
                 r.order.to_string(),
-                format!("{:?}", r.backend).to_lowercase(),
+                r.backend.name().to_owned(),
                 format!("{:.6}", r.seconds),
                 r.joins.to_string(),
                 r.copies.to_string(),
@@ -481,29 +507,33 @@ USAGE:
   tcr gen --scenario NAME --threads K [--events N] [--seed S] -o FILE
   tcr gen --threads K [--events N] [--sync PCT] [--locks L] [--vars V] -o FILE
   tcr stats FILE
-  tcr race [--order hb|shb|maz] [--clock tc|vc] [--limit N] FILE
+  tcr race [--order hb|shb|maz] [--clock tc|vc|hc] [--limit N] FILE
   tcr timestamps [--order hb|shb|maz] FILE
   tcr convert IN OUT
   tcr conformance [--full] [--filter NEEDLE] [--fault F] [--no-shrink]
                   [--repro-dir DIR] [--replay FILE]
-  tcr bench [--json] [-o FILE] [--quick] [--trace FILE] [--check FILE]
+  tcr bench [--json] [-o FILE] [--quick] [--full] [--trace FILE]
+            [--check FILE]
 
 Scenarios: single-lock, skewed-locks, star, pairwise, fork-join-tree,
 barrier-phases, pipeline, read-mostly, bursty-channels.
+Clocks: tc (tree), vc (vector), hc (adaptive flat/tree hybrid).
 Files ending in .tctr use the binary format; others the text format.
 
 conformance runs every corpus trace through the HB/SHB/MAZ engines with
-both clock backends and cross-checks timestamps, race reports and work
-metrics against the O(n^2) definitional oracles. Failures are shrunk to
-minimal text-format repros (written to --repro-dir if given). --replay
-re-checks a dumped repro file instead of the corpus. --fault injects a
-deliberate result perturbation (drop-race, skew-timestamp, inflate-work,
-each optionally :hb/:shb/:maz) to demo the pipeline.
+all three clock backends and cross-checks timestamps, race reports and
+work metrics against the O(n^2) definitional oracles. Failures are
+shrunk to minimal text-format repros (written to --repro-dir if given).
+--replay re-checks a dumped repro file instead of the corpus. --fault
+injects a deliberate result perturbation (drop-race, skew-timestamp,
+inflate-work, each optionally :hb/:shb/:maz) to demo the pipeline.
 
 bench records the perf baseline: FIG10 scenarios x HB/SHB/MAZ x
-tree/vector, with wall time, operation counts, VTWork/DSWork and peak
-clock bytes. --json writes the schema-stable BENCH_3.json (or -o FILE);
---check validates an existing baseline; --trace benches one trace file.
+tree/vector/hybrid, with wall time, operation counts, VTWork/DSWork,
+peak clock bytes and pool telemetry. --full folds the five structured
+workload families into the grid (at a budgeted size). --json writes the
+schema-stable BENCH_4.json (or -o FILE); --check validates an existing
+baseline; --trace benches one trace file.
 ";
 
 #[cfg(test)]

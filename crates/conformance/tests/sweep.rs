@@ -18,9 +18,9 @@ fn quick_corpus_sweep_is_conformant() {
     }
     assert!(report.passed());
     assert!(
-        report.combos() >= 40,
-        "quick sweep must cover at least 40 scenario × order × backend \
-         combinations, got {}",
+        report.combos() >= 60,
+        "quick sweep must cover at least 60 scenario × order × backend \
+         combinations (hybrid included), got {}",
         report.combos()
     );
     // The sweep exercises both race-free structured scenarios and racy

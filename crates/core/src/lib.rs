@@ -61,6 +61,9 @@
 //!   `VCWork` accounting.
 //! - [`vector_time`] — the plain [`VectorTime`] value type (a vector
 //!   timestamp), partially ordered pointwise.
+//! - [`hybrid`] — the adaptive [`HybridClock`], which is a flat array
+//!   while the observed join density is high and re-materializes tree
+//!   links when the workload turns sparse.
 //! - [`ids`] — [`ThreadId`], [`LocalTime`] and [`Epoch`] identifiers.
 //! - [`pool`] — the [`ClockPool`] free list and the [`LazyClock`]
 //!   per-variable slot, which together make the engines' steady-state
@@ -70,6 +73,7 @@
 #![forbid(unsafe_code)]
 
 pub mod clock;
+pub mod hybrid;
 pub mod ids;
 pub mod pool;
 pub mod tree_clock;
@@ -77,6 +81,7 @@ pub mod vector_clock;
 pub mod vector_time;
 
 pub use clock::{CopyMode, LogicalClock, OpStats};
+pub use hybrid::HybridClock;
 pub use ids::{Epoch, LocalTime, ThreadId};
 pub use pool::{ClockPool, LazyClock};
 pub use tree_clock::TreeClock;

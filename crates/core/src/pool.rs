@@ -50,16 +50,52 @@ pub struct ClockPool<C> {
     free: Vec<C>,
     fresh: u64,
     recycled: u64,
+    dropped: u64,
+    high_water: usize,
 }
 
+/// Default free-list high-water mark: enough for every engine of a
+/// 4096-thread differential sweep to park its clocks, small enough that
+/// a long-running multi-tenant process cannot hoard unbounded buffer
+/// memory across traces of wildly different shapes (the ROADMAP's
+/// "capping free-list growth" item). Override per pool with
+/// [`ClockPool::with_high_water`] / [`ClockPool::set_high_water`].
+pub const DEFAULT_HIGH_WATER: usize = 1 << 16;
+
 impl<C: LogicalClock> ClockPool<C> {
-    /// Creates an empty pool.
+    /// Creates an empty pool with the [`DEFAULT_HIGH_WATER`] cap.
     pub fn new() -> Self {
         ClockPool {
             free: Vec::new(),
             fresh: 0,
             recycled: 0,
+            dropped: 0,
+            high_water: DEFAULT_HIGH_WATER,
         }
+    }
+
+    /// Creates an empty pool that will never free-list more than
+    /// `high_water` clocks; further releases drop the clock (and its
+    /// buffers) instead, counted in [`dropped`](Self::dropped).
+    pub fn with_high_water(high_water: usize) -> Self {
+        let mut pool = ClockPool::new();
+        pool.high_water = high_water;
+        pool
+    }
+
+    /// Adjusts the free-list cap. Clocks already parked beyond the new
+    /// mark are dropped immediately.
+    pub fn set_high_water(&mut self, high_water: usize) {
+        self.high_water = high_water;
+        if self.free.len() > high_water {
+            self.dropped += (self.free.len() - high_water) as u64;
+            self.free.truncate(high_water);
+        }
+    }
+
+    /// The current free-list cap.
+    pub fn high_water(&self) -> usize {
+        self.high_water
     }
 
     /// Hands out an empty clock, recycling a free-listed one when
@@ -80,8 +116,14 @@ impl<C: LogicalClock> ClockPool<C> {
 
     /// Clears `clock` and free-lists it for a later
     /// [`acquire`](Self::acquire). The clock's buffers are kept, so the
-    /// next user inherits its capacity.
+    /// next user inherits its capacity — unless the free list is at its
+    /// high-water mark, in which case the clock is dropped instead (and
+    /// counted in [`dropped`](Self::dropped)).
     pub fn release(&mut self, mut clock: C) {
+        if self.free.len() >= self.high_water {
+            self.dropped += 1;
+            return;
+        }
         clock.clear();
         self.free.push(clock);
     }
@@ -106,18 +148,31 @@ impl<C: LogicalClock> ClockPool<C> {
         self.recycled
     }
 
+    /// Number of released clocks dropped because the free list was at
+    /// its high-water mark.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Heap bytes parked on the free list (the capacity a future
     /// acquire inherits).
     pub fn heap_bytes(&self) -> usize {
         self.free.iter().map(C::heap_bytes).sum()
     }
 
-    /// Drains another pool's free list into this one, merging its
-    /// traffic counters — used when an engine hands back its pool.
+    /// Drains another pool's free list into this one (respecting this
+    /// pool's high-water mark), merging its traffic counters — used
+    /// when an engine hands back its pool.
     pub fn absorb(&mut self, mut other: ClockPool<C>) {
+        let room = self.high_water.saturating_sub(self.free.len());
+        if other.free.len() > room {
+            self.dropped += (other.free.len() - room) as u64;
+            other.free.truncate(room);
+        }
         self.free.append(&mut other.free);
         self.fresh += other.fresh;
         self.recycled += other.recycled;
+        self.dropped += other.dropped;
     }
 }
 
@@ -255,6 +310,37 @@ mod tests {
         let lw_y = pool.acquire();
         assert!(lw_y.is_empty());
         assert_eq!(lw_y.vector_time(), crate::VectorTime::new());
+    }
+
+    #[test]
+    fn high_water_mark_caps_free_list_growth() {
+        let mut pool = ClockPool::<VectorClock>::with_high_water(2);
+        let clocks: Vec<_> = (0..4).map(|_| pool.acquire()).collect();
+        assert_eq!(pool.fresh(), 4);
+        for c in clocks {
+            pool.release(c);
+        }
+        assert_eq!(pool.free_len(), 2, "free list must stop at the cap");
+        assert_eq!(pool.dropped(), 2);
+
+        // Lowering the cap trims immediately.
+        pool.set_high_water(1);
+        assert_eq!(pool.free_len(), 1);
+        assert_eq!(pool.dropped(), 3);
+        assert_eq!(pool.high_water(), 1);
+
+        // Absorbing another pool respects the cap too.
+        let mut donor = ClockPool::<VectorClock>::new();
+        let c = donor.acquire();
+        donor.release(c);
+        pool.absorb(donor);
+        assert_eq!(pool.free_len(), 1);
+        assert_eq!(pool.dropped(), 4);
+    }
+
+    #[test]
+    fn hybrid_clocks_pool_and_recycle() {
+        exercise_pool::<crate::HybridClock>();
     }
 
     #[test]

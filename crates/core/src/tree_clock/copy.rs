@@ -8,17 +8,21 @@
 //! re-roots itself at the source's root thread, and its old root node is
 //! repositioned like any other updated node (collected by the traversal
 //! even if its time did not progress — line 67 of Algorithm 2).
-
-use std::mem;
+//!
+//! Like the join, the traversal borrows the scratch stacks as disjoint
+//! fields — no per-operation swap-out/restore.
 
 use crate::clock::{LogicalClock, OpStats};
 use crate::ThreadId;
 
-use super::join::Frame;
+use super::join::{time_at, Frame};
 use super::node::NIL;
 use super::TreeClock;
 
 impl TreeClock {
+    /// Like the join, the uncounted path reports the surgically moved
+    /// entry count in `stats.moved` (and nothing else) — the hybrid
+    /// clock's density observation for copies.
     pub(crate) fn monotone_copy_impl<const COUNT: bool>(&mut self, other: &TreeClock) -> OpStats {
         let mut stats = OpStats::NOOP;
         let Some(zp) = other.root_idx() else {
@@ -31,8 +35,14 @@ impl TreeClock {
         };
         let Some(z) = self.root_idx() else {
             // Copy into an empty clock: a deep copy, and every entry of
-            // `other` is new information.
-            return self.clone_structure_from::<COUNT>(other);
+            // `other` is new information. The uncounted path reports
+            // the transferred present-entry count as its `moved`
+            // observation (the clone replicates exactly those).
+            let mut s = self.clone_structure_from::<COUNT>(other);
+            if !COUNT {
+                s.moved = other.node_count() as u64;
+            }
+            return s;
         };
         assert!(
             self.clks[z as usize] <= other.get_idx(z),
@@ -48,20 +58,29 @@ impl TreeClock {
         // satisfies every invariant).
         if !COUNT && self.take_dense_path() {
             self.clone_structure_from::<false>(other);
+            stats.moved = self.nodes.len().max(other.nodes.len()) as u64;
             return stats;
         }
 
-        let mut gathered = mem::take(&mut self.gather);
-        let mut frames = mem::take(&mut self.frames);
-        gathered.clear();
-        frames.clear();
+        self.gather.clear();
+        self.frames.clear();
 
         if COUNT {
             stats.examined += 1; // the root of `other` is always processed
         }
-        self.gather_copy::<COUNT>(other, zp, z, &mut gathered, &mut frames, &mut stats);
+        Self::gather_copy::<COUNT>(
+            &self.clks,
+            other,
+            zp,
+            z,
+            &mut self.gather,
+            &mut self.frames,
+            &mut stats,
+        );
+        let moved = self.gather.len();
         if !COUNT {
-            self.note_density(gathered.len(), self.nodes.len().max(other.nodes.len()));
+            self.note_density(moved, self.nodes.len().max(other.nodes.len()));
+            stats.moved = moved as u64;
         }
 
         // Adaptive fallback: when most of the arena progressed, the
@@ -74,20 +93,24 @@ impl TreeClock {
         // examined-entry count within the Theorem 1 budget: the counted
         // clone walks the union of the two present-node sets — at most
         // `max(len)` entries here, and at least half that many changed.
-        if gathered.len() >= self.nodes.len().max(other.nodes.len()) / 2 {
-            // Restore the scratch buffers *before* the clone so its own
-            // traversal reuses `gathered`'s capacity instead of
-            // allocating a throwaway vector.
-            gathered.clear();
-            self.gather = gathered;
-            self.frames = frames;
+        if moved >= self.nodes.len().max(other.nodes.len()) / 2 {
+            // The clone's own traversal reuses the scratch stack; clear
+            // it first so the copy walk starts fresh.
+            self.gather.clear();
             let clone_stats = self.clone_structure_from::<COUNT>(other);
             stats += clone_stats;
             return stats;
         }
 
-        self.detach_nodes(&gathered);
-        self.attach_nodes::<COUNT>(other, &mut gathered, &mut stats);
+        Self::detach_nodes_in(&mut self.nodes, self.root, &self.gather);
+        Self::attach_nodes_in::<COUNT>(
+            &mut self.nodes,
+            &mut self.clks,
+            &mut self.num_present,
+            other,
+            &mut self.gather,
+            &mut stats,
+        );
 
         // Re-root at the source's root thread.
         self.root = zp;
@@ -105,8 +128,6 @@ impl TreeClock {
             "old root was not repositioned — monotone-copy precondition violated"
         );
 
-        self.gather = gathered;
-        self.frames = frames;
         debug_assert_eq!(self.check_invariants(), Ok(()));
         stats
     }
@@ -116,8 +137,9 @@ impl TreeClock {
     /// root (`old_root`, the `z` parameter of Algorithm 2) is collected
     /// even when it has not progressed, so that it can be repositioned
     /// under the new root.
+    #[allow(clippy::too_many_arguments)]
     fn gather_copy<const COUNT: bool>(
-        &self,
+        self_clks: &[crate::LocalTime],
         other: &TreeClock,
         start: u32,
         old_root: u32,
@@ -125,19 +147,21 @@ impl TreeClock {
         frames: &mut Vec<Frame>,
         stats: &mut OpStats,
     ) {
+        let o_nodes = &other.nodes[..];
+        let o_clks = &other.clks[..];
         let mut frame = Frame {
             node: start,
-            next_child: other.nodes[start as usize].head_child,
+            next_child: o_nodes[start as usize].head_child,
         };
         'outer: loop {
             let mut child = frame.next_child;
-            let parent_known = self.get_idx(frame.node);
+            let parent_known = time_at(self_clks, frame.node);
             while child != NIL {
-                let v = &other.nodes[child as usize];
+                let v = &o_nodes[child as usize];
                 if COUNT {
                     stats.examined += 1;
                 }
-                if self.get_idx(child) < other.clks[child as usize] {
+                if time_at(self_clks, child) < o_clks[child as usize] {
                     frame.next_child = v.next_sib;
                     frames.push(frame);
                     frame = Frame {

@@ -12,13 +12,17 @@
 //! The `COUNT` const parameter selects the instrumented variant that
 //! tallies [`OpStats`]; the plain variant compiles the counters out so
 //! timed runs measure only the algorithm.
-
-use std::mem;
+//!
+//! The traversal borrows the scratch stacks (`gather`, `frames`)
+//! directly as disjoint fields of `self` — no `mem::take`/restore pair
+//! runs on the per-event path (that swap used to cost a handful of ns
+//! per operation, a measurable slice of the sparse-regime fixed
+//! overhead).
 
 use crate::clock::OpStats;
-use crate::ThreadId;
+use crate::{LocalTime, ThreadId};
 
-use super::node::NIL;
+use super::node::{Node, NIL};
 use super::TreeClock;
 
 /// One frame of the iterative pre-order traversal: a node of `other` and
@@ -29,7 +33,18 @@ pub(crate) struct Frame {
     pub(crate) next_child: u32,
 }
 
+/// The represented time of thread index `idx` in a dense times slice
+/// (0 if out of range) — the split-borrow twin of
+/// [`TreeClock::get_idx`].
+#[inline]
+pub(crate) fn time_at(clks: &[LocalTime], idx: u32) -> LocalTime {
+    clks.get(idx as usize).copied().unwrap_or(0)
+}
+
 impl TreeClock {
+    /// Returns both the join's result statistics and (for the uncounted
+    /// path) the number of surgically moved entries in `stats.moved`,
+    /// which the hybrid clock reads as its density observation.
     pub(crate) fn join_impl<const COUNT: bool>(&mut self, other: &TreeClock) -> OpStats {
         let mut stats = OpStats::NOOP;
         let Some(zp) = other.root_idx() else {
@@ -60,28 +75,40 @@ impl TreeClock {
         // dense arrays instead. Value-identical; see `flat_join`.
         if !COUNT && self.take_dense_path() {
             self.flat_join(other, z);
+            stats.moved = self.nodes.len() as u64;
             return stats;
         }
 
-        let mut gathered = mem::take(&mut self.gather);
-        let mut frames = mem::take(&mut self.frames);
-        gathered.clear();
-        frames.clear();
-
-        self.gather_join::<COUNT>(other, zp, &mut gathered, &mut frames, &mut stats);
+        self.gather.clear();
+        self.frames.clear();
+        Self::gather_join::<COUNT>(
+            &self.clks,
+            other,
+            zp,
+            &mut self.gather,
+            &mut self.frames,
+            &mut stats,
+        );
+        let moved = self.gather.len();
         if !COUNT {
-            self.note_density(gathered.len(), self.nodes.len().max(other.nodes.len()));
+            self.note_density(moved, self.nodes.len().max(other.nodes.len()));
+            stats.moved = moved as u64;
         }
-        self.detach_nodes(&gathered);
-        self.attach_nodes::<COUNT>(other, &mut gathered, &mut stats);
+        Self::detach_nodes_in(&mut self.nodes, self.root, &self.gather);
+        Self::attach_nodes_in::<COUNT>(
+            &mut self.nodes,
+            &mut self.clks,
+            &mut self.num_present,
+            other,
+            &mut self.gather,
+            &mut stats,
+        );
 
         // Place the updated subtree under the root of `self`, attached at
         // the root's current time, at the front of the child list.
         self.nodes[zp as usize].aclk = self.clks[z as usize];
-        self.push_child(zp, z);
+        Self::push_child_in(&mut self.nodes, zp, z);
 
-        self.gather = gathered;
-        self.frames = frames;
         debug_assert_eq!(self.check_invariants(), Ok(()));
         stats
     }
@@ -112,9 +139,37 @@ impl TreeClock {
                 *mine = theirs;
             }
         }
-        // Rebuild the shape flat: every known thread becomes a direct
-        // child of the root, attached at the root's current time, in a
-        // single forward sweep over the arena.
+        self.rebuild_star(z, |i| other.is_present(i));
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+    }
+
+    /// The slice twin of [`flat_join`](Self::flat_join), for a source
+    /// that *is* a flat array (the hybrid clock's `Tree ⊔ Flat` case):
+    /// pointwise maximum against `times`, then a flat re-attachment of
+    /// every known thread under `self`'s root `z`. Returns the number of
+    /// entries whose value changed (the caller's density observation and
+    /// exact `VTWork` contribution).
+    pub(crate) fn flat_join_slice(&mut self, times: &[LocalTime], z: u32) -> u64 {
+        if times.len() > self.clks.len() {
+            self.ensure_slot(times.len() as u32 - 1);
+        }
+        let mut changed = 0u64;
+        for (mine, &theirs) in self.clks.iter_mut().zip(times.iter()) {
+            changed += u64::from(theirs > *mine);
+            *mine = (*mine).max(theirs);
+        }
+        self.rebuild_star(z, |_| false);
+        debug_assert_eq!(self.check_invariants(), Ok(()));
+        changed
+    }
+
+    /// Rebuilds the tree shape flat: every known thread becomes a direct
+    /// child of root `z`, attached at the root's current time, in a
+    /// single forward sweep over the arena. A thread is *known* when its
+    /// local time is nonzero, its node is currently in the tree, or
+    /// `keep_extra` says so (used by [`flat_join`](Self::flat_join) to
+    /// retain zero-time nodes present in the join source).
+    pub(crate) fn rebuild_star(&mut self, z: u32, keep_extra: impl Fn(u32) -> bool) {
         let root_time = self.clks[z as usize];
         let mut head = NIL;
         let mut prev = NIL;
@@ -124,7 +179,7 @@ impl TreeClock {
                 continue;
             }
             let iu = i as usize;
-            if self.clks[iu] == 0 && !self.nodes[iu].present() && !other.is_present(i) {
+            if self.clks[iu] == 0 && !self.nodes[iu].present() && !keep_extra(i) {
                 continue;
             }
             {
@@ -152,34 +207,60 @@ impl TreeClock {
             r.aclk = 0;
         }
         self.num_present = count;
+    }
+
+    /// Materializes a tree from a flat times array: the values become
+    /// `self`'s local times and every known thread hangs directly under
+    /// `root` (the star shape [`flat_join`](Self::flat_join) also
+    /// produces, sound by the same argument). This is the hybrid clock's
+    /// dense→sparse re-materialization: the scan is one forward sweep
+    /// and the link work is O(present entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not empty.
+    pub(crate) fn adopt_flat(&mut self, times: &[LocalTime], root: u32) {
+        assert!(
+            self.root == NIL,
+            "TreeClock::adopt_flat: destination must be empty"
+        );
+        let max_idx = (times.len() as u32).max(root + 1) - 1;
+        self.ensure_slot(max_idx);
+        self.clks[..times.len()].copy_from_slice(times);
+        // Entries past `times.len()` were zeroed by the teardown that
+        // emptied this clock; nothing to reset.
+        self.root = root;
+        self.rebuild_star(root, |_| false);
         debug_assert_eq!(self.check_invariants(), Ok(()));
     }
 
     /// Iterative `getUpdatedNodesJoin`: collects, in post-order, every
     /// node of `other` (starting at `start`, which the caller has already
     /// determined to be progressed) whose clock has progressed relative
-    /// to `self`.
+    /// to the receiver's times `self_clks`.
     pub(crate) fn gather_join<const COUNT: bool>(
-        &self,
+        self_clks: &[LocalTime],
         other: &TreeClock,
         start: u32,
         gathered: &mut Vec<u32>,
         frames: &mut Vec<Frame>,
         stats: &mut OpStats,
     ) {
+        let o_nodes: &[Node] = &other.nodes;
+        let o_clks: &[LocalTime] = &other.clks;
         let mut frame = Frame {
             node: start,
-            next_child: other.nodes[start as usize].head_child,
+            next_child: o_nodes[start as usize].head_child,
         };
         'outer: loop {
             let mut child = frame.next_child;
-            let parent_known = self.get_idx(frame.node);
+            let parent_known = time_at(self_clks, frame.node);
             while child != NIL {
-                let v = &other.nodes[child as usize];
+                let v = &o_nodes[child as usize];
                 if COUNT {
                     stats.examined += 1;
                 }
-                if self.get_idx(child) < other.clks[child as usize] {
+                if time_at(self_clks, child) < o_clks[child as usize] {
                     // Direct monotonicity: the child has progressed —
                     // descend into it.
                     frame.next_child = v.next_sib;

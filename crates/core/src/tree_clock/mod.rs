@@ -32,8 +32,6 @@ mod tests;
 
 pub use validate::InvariantViolation;
 
-use std::mem;
-
 use crate::clock::{CopyMode, LogicalClock, OpStats};
 use crate::{LocalTime, ThreadId, VectorTime};
 
@@ -72,7 +70,7 @@ pub type NodeDescriptor = (ThreadId, LocalTime, Option<(ThreadId, LocalTime)>);
 /// assert_eq!(info.parent, Some(ThreadId::new(2)));
 /// assert_eq!(info.aclk, 2);
 /// ```
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct TreeClock {
     /// Dense local times; `clks[i] == 0` also covers absent threads
     /// (the "timestamps array" of the paper's implementation).
@@ -199,21 +197,24 @@ impl TreeClock {
 
     /// Removes `child` from its parent's child list. The caller is
     /// responsible for re-linking it (or marking it absent).
+    ///
+    /// Takes the node arena directly so callers holding other disjoint
+    /// field borrows (the scratch stacks) can still unlink.
     #[inline]
-    pub(crate) fn unlink(&mut self, child: u32) {
+    pub(crate) fn unlink_in(nodes: &mut [Node], child: u32) {
         let Node {
             parent,
             next_sib: next,
             prev_sib: prev,
             ..
-        } = self.nodes[child as usize];
+        } = nodes[child as usize];
         if prev == NIL {
-            self.nodes[parent as usize].head_child = next;
+            nodes[parent as usize].head_child = next;
         } else {
-            self.nodes[prev as usize].next_sib = next;
+            nodes[prev as usize].next_sib = next;
         }
         if next != NIL {
-            self.nodes[next as usize].prev_sib = prev;
+            nodes[next as usize].prev_sib = prev;
         }
     }
 
@@ -221,27 +222,27 @@ impl TreeClock {
     /// `pushChild`). The front position keeps the list in descending
     /// attachment-clock order.
     #[inline]
-    pub(crate) fn push_child(&mut self, child: u32, parent: u32) {
-        let old_head = self.nodes[parent as usize].head_child;
+    pub(crate) fn push_child_in(nodes: &mut [Node], child: u32, parent: u32) {
+        let old_head = nodes[parent as usize].head_child;
         {
-            let c = &mut self.nodes[child as usize];
+            let c = &mut nodes[child as usize];
             c.parent = parent;
             c.prev_sib = NIL;
             c.next_sib = old_head;
         }
         if old_head != NIL {
-            self.nodes[old_head as usize].prev_sib = child;
+            nodes[old_head as usize].prev_sib = child;
         }
-        self.nodes[parent as usize].head_child = child;
+        nodes[parent as usize].head_child = child;
     }
 
     /// Detaches from this tree every node whose thread appears in the
     /// gathered stack (the paper's `detachNodes`).
-    pub(crate) fn detach_nodes(&mut self, gathered: &[u32]) {
+    pub(crate) fn detach_nodes_in(nodes: &mut [Node], root: u32, gathered: &[u32]) {
         for &vp in gathered {
-            if let Some(n) = self.nodes.get(vp as usize) {
-                if n.present() && vp != self.root {
-                    self.unlink(vp);
+            if let Some(n) = nodes.get(vp as usize) {
+                if n.present() && vp != root {
+                    Self::unlink_in(nodes, vp);
                 }
             }
         }
@@ -250,37 +251,47 @@ impl TreeClock {
     /// Re-attaches the gathered nodes, mirroring the shape of `other`'s
     /// corresponding subtree (the paper's `attachNodes`). Pops from the
     /// stack so parents are processed before their children.
-    pub(crate) fn attach_nodes<const COUNT: bool>(
-        &mut self,
+    ///
+    /// Operates on the destination's fields directly (instead of
+    /// `&mut self`) so the gathered stack can be the destination's own
+    /// scratch buffer — borrowed disjointly, with no swap-out.
+    pub(crate) fn attach_nodes_in<const COUNT: bool>(
+        nodes: &mut Vec<Node>,
+        clks: &mut Vec<LocalTime>,
+        num_present: &mut u32,
         other: &TreeClock,
         gathered: &mut Vec<u32>,
         stats: &mut OpStats,
     ) {
         if let Some(max) = gathered.iter().copied().max() {
-            self.ensure_slot(max);
+            let len = max as usize + 1;
+            if len > nodes.len() {
+                nodes.resize_with(len, Node::default);
+                clks.resize(len, 0);
+            }
         }
         while let Some(up) = gathered.pop() {
             let iu = up as usize;
-            if !self.nodes[iu].present() {
-                self.num_present += 1;
+            if !nodes[iu].present() {
+                *num_present += 1;
             }
             let o_clk = other.clks[iu];
             let src = &other.nodes[iu];
             let (o_aclk, o_parent) = (src.aclk, src.parent);
             if COUNT {
                 stats.moved += 1;
-                if self.clks[iu] != o_clk {
+                if clks[iu] != o_clk {
                     stats.changed += 1;
                 }
             }
-            self.clks[iu] = o_clk;
+            clks[iu] = o_clk;
             if o_parent != NIL {
-                self.nodes[iu].aclk = o_aclk;
-                self.push_child(up, o_parent);
-            } else if !self.nodes[iu].present() {
+                nodes[iu].aclk = o_aclk;
+                Self::push_child_in(nodes, up, o_parent);
+            } else if !nodes[iu].present() {
                 // New root of an empty-side attach: mark in-tree; the
                 // caller sets the root pointer.
-                self.nodes[iu].parent = NIL;
+                nodes[iu].parent = NIL;
             }
         }
     }
@@ -319,31 +330,37 @@ impl TreeClock {
         }
         let Some(zp) = other.root_idx() else {
             // Copying an empty clock is just a (counted) clear.
-            self.clear_tree::<COUNT>(None, &mut stats);
+            Self::clear_tree_in::<COUNT>(
+                &mut self.nodes,
+                &mut self.clks,
+                &mut self.root,
+                &mut self.num_present,
+                None,
+                &mut stats,
+            );
             return stats;
         };
 
         // Phase 1: walk `other`'s tree (preorder, via a cursor into the
         // scratch stack), comparing against self's *old* values.
-        let mut gathered = mem::take(&mut self.gather);
-        gathered.clear();
-        gathered.push(zp);
+        self.gather.clear();
+        self.gather.push(zp);
         let mut max_idx = zp;
         let mut cursor = 0;
-        while cursor < gathered.len() {
-            let u = gathered[cursor];
+        while cursor < self.gather.len() {
+            let u = self.gather[cursor];
             cursor += 1;
             max_idx = max_idx.max(u);
             if COUNT {
                 stats.examined += 1;
-                if self.get_idx(u) != other.clks[u as usize] {
+                if join::time_at(&self.clks, u) != other.clks[u as usize] {
                     stats.changed += 1;
                 }
                 stats.moved += 1;
             }
             let mut c = other.nodes[u as usize].head_child;
             while c != NIL {
-                gathered.push(c);
+                self.gather.push(c);
                 c = other.nodes[c as usize].next_sib;
             }
         }
@@ -351,40 +368,51 @@ impl TreeClock {
         // Phase 2: tear down self's old tree. Entries present in self
         // but not in other drop back to 0; they are the only old entries
         // phase 1 has not already examined.
-        self.clear_tree::<COUNT>(Some(other), &mut stats);
+        Self::clear_tree_in::<COUNT>(
+            &mut self.nodes,
+            &mut self.clks,
+            &mut self.root,
+            &mut self.num_present,
+            Some(other),
+            &mut stats,
+        );
 
         // Phase 3: materialize other's nodes. Links can be copied
         // verbatim — they only reference present nodes of `other`, all
         // of which are in `gathered`.
         self.ensure_slot(max_idx);
-        for &u in &gathered {
-            self.nodes[u as usize] = other.nodes[u as usize].clone();
-            self.clks[u as usize] = other.clks[u as usize];
+        for idx in 0..self.gather.len() {
+            let u = self.gather[idx] as usize;
+            self.nodes[u] = other.nodes[u].clone();
+            self.clks[u] = other.clks[u];
         }
         self.root = other.root;
         self.num_present = other.num_present;
 
-        gathered.clear();
-        self.gather = gathered;
+        self.gather.clear();
         debug_assert_eq!(self.check_invariants(), Ok(()));
         stats
     }
 
-    /// Iteratively dismantles this clock's tree in O(present) time and
+    /// Iteratively dismantles a clock's tree in O(present) time and
     /// O(1) space (descending head-child chains, unlinking leaves),
-    /// resetting every visited node and local time.
+    /// resetting every visited node and local time. Operates on the
+    /// fields directly so callers can hold other disjoint borrows.
     ///
     /// When `COUNT`, accounts entries *not* present in `keep_counts_of`
     /// (they were not examined by the caller's own walk): each costs one
     /// `examined`, and one `changed` if its time drops from nonzero to 0.
-    fn clear_tree<const COUNT: bool>(
-        &mut self,
+    fn clear_tree_in<const COUNT: bool>(
+        nodes: &mut [Node],
+        clks: &mut [LocalTime],
+        root: &mut u32,
+        num_present: &mut u32,
         keep_counts_of: Option<&TreeClock>,
         stats: &mut OpStats,
     ) {
-        let mut cur = self.root;
+        let mut cur = *root;
         while cur != NIL {
-            let head = self.nodes[cur as usize].head_child;
+            let head = nodes[cur as usize].head_child;
             if head != NIL {
                 cur = head;
                 continue;
@@ -393,25 +421,33 @@ impl TreeClock {
                 parent,
                 next_sib: next,
                 ..
-            } = self.nodes[cur as usize];
+            } = nodes[cur as usize];
             if COUNT && !keep_counts_of.is_some_and(|o| o.is_present(cur)) {
                 stats.examined += 1;
-                if self.clks[cur as usize] != 0 {
+                if clks[cur as usize] != 0 {
                     stats.changed += 1;
                 }
             }
-            self.nodes[cur as usize] = Node::default();
-            self.clks[cur as usize] = 0;
+            nodes[cur as usize] = Node::default();
+            clks[cur as usize] = 0;
             if parent == NIL {
                 break; // the root is always dismantled last
             }
             // `cur` was its parent's head child (we always descend the
             // head chain), so the sibling list shrinks from the front.
-            self.nodes[parent as usize].head_child = next;
+            nodes[parent as usize].head_child = next;
             cur = parent;
         }
-        self.root = NIL;
-        self.num_present = 0;
+        *root = NIL;
+        *num_present = 0;
+    }
+
+    /// Read-only view of the dense local-times array — the value this
+    /// clock represents, indexed by thread id (the hybrid clock's flat
+    /// interop surface; non-present entries are 0 by invariant).
+    #[inline]
+    pub(crate) fn times(&self) -> &[LocalTime] {
+        &self.clks
     }
 
     // ---- inspection --------------------------------------------------
@@ -509,7 +545,7 @@ impl TreeClock {
                     // front-to-back child order.
                     let mut tail = tc.nodes[p.index()].head_child;
                     if tail == NIL {
-                        tc.push_child(tid.raw(), p.raw());
+                        Self::push_child_in(&mut tc.nodes, tid.raw(), p.raw());
                     } else {
                         while tc.nodes[tail as usize].next_sib != NIL {
                             tail = tc.nodes[tail as usize].next_sib;
@@ -629,7 +665,14 @@ impl LogicalClock for TreeClock {
     /// [`ClockPool`](crate::pool::ClockPool)).
     fn clear(&mut self) {
         let mut ignored = OpStats::NOOP;
-        self.clear_tree::<false>(None, &mut ignored);
+        Self::clear_tree_in::<false>(
+            &mut self.nodes,
+            &mut self.clks,
+            &mut self.root,
+            &mut self.num_present,
+            None,
+            &mut ignored,
+        );
         // A recycled clock starts a fresh life: do not let a previous
         // role's density profile steer the adaptive fast paths.
         self.dense_streak = 0;
@@ -648,6 +691,15 @@ impl LogicalClock for TreeClock {
             + self.nodes.capacity() * size_of::<Node>()
             + self.gather.capacity() * size_of::<u32>()
             + self.frames.capacity() * size_of::<join::Frame>()
+    }
+}
+
+impl Default for TreeClock {
+    /// Same as [`TreeClock::new`]. (A derived `Default` would zero the
+    /// root index, which is a valid thread id, not the `NIL` sentinel —
+    /// the clock would silently claim thread 0 as its root.)
+    fn default() -> Self {
+        TreeClock::new()
     }
 }
 

@@ -10,7 +10,7 @@
 //! `LRDs_x`; later writes inherit those orderings transitively via the
 //! write-to-write edge, which keeps the total time O(n·k).
 
-use tc_core::{ClockPool, LazyClock, LogicalClock, OpStats, ThreadId, VectorTime};
+use tc_core::{ClockPool, LazyClock, LogicalClock, ThreadId, VectorTime};
 use tc_trace::{Event, Op, Trace, VarId};
 
 use crate::metrics::RunMetrics;
@@ -145,13 +145,13 @@ impl<C: LogicalClock> MazEngine<C> {
                 // skip the join entirely (no operation, no work).
                 if let Some(lw) = var.last_write.get() {
                     let clock = self.core.clock_mut(e.tid);
-                    let s = if COUNT {
-                        clock.join_counted(lw)
+                    if COUNT {
+                        let s = clock.join_counted(lw);
+                        self.core.metrics.record_join(s);
                     } else {
                         clock.join(lw);
-                        OpStats::NOOP
-                    };
-                    self.core.metrics.record_join(s);
+                        self.core.metrics.record_join_uncounted();
+                    }
                 }
                 // R_{t,x} <- C_t (monotone: R was copied from C_t before).
                 let (pool, clock) = self.core.pool_and_clock(e.tid);
@@ -162,13 +162,13 @@ impl<C: LogicalClock> MazEngine<C> {
                         &mut var.reads.last_mut().expect("just pushed").1
                     }
                 };
-                let s = if COUNT {
-                    entry.monotone_copy_counted(clock)
+                if COUNT {
+                    let s = entry.monotone_copy_counted(clock);
+                    self.core.metrics.record_copy(s);
                 } else {
                     entry.monotone_copy(clock);
-                    OpStats::NOOP
-                };
-                self.core.metrics.record_copy(s);
+                    self.core.metrics.record_copy_uncounted();
+                }
                 if !var.lrds.contains(&e.tid) {
                     var.lrds.push(e.tid);
                 }
@@ -178,13 +178,13 @@ impl<C: LogicalClock> MazEngine<C> {
                 let var = &mut self.vars[x.index()];
                 if let Some(lw) = var.last_write.get() {
                     let clock = self.core.clock_mut(e.tid);
-                    let s = if COUNT {
-                        clock.join_counted(lw)
+                    if COUNT {
+                        let s = clock.join_counted(lw);
+                        self.core.metrics.record_join(s);
                     } else {
                         clock.join(lw);
-                        OpStats::NOOP
-                    };
-                    self.core.metrics.record_join(s);
+                        self.core.metrics.record_join_uncounted();
+                    }
                 }
                 // Order all reads since the last write before this write.
                 for t in var.lrds.drain(..) {
@@ -198,23 +198,23 @@ impl<C: LogicalClock> MazEngine<C> {
                         .map(|(_, r)| r)
                         .expect("every thread in LRDs has a read clock");
                     let clock = self.core.clock_mut(e.tid);
-                    let s = if COUNT {
-                        clock.join_counted(read_clock)
+                    if COUNT {
+                        let s = clock.join_counted(read_clock);
+                        self.core.metrics.record_join(s);
                     } else {
                         clock.join(read_clock);
-                        OpStats::NOOP
-                    };
-                    self.core.metrics.record_join(s);
+                        self.core.metrics.record_join_uncounted();
+                    }
                 }
                 let (pool, clock) = self.core.pool_and_clock(e.tid);
                 let lw = var.last_write.get_or_acquire(pool);
-                let s = if COUNT {
-                    lw.monotone_copy_counted(clock)
+                if COUNT {
+                    let s = lw.monotone_copy_counted(clock);
+                    self.core.metrics.record_copy(s);
                 } else {
                     lw.monotone_copy(clock);
-                    OpStats::NOOP
-                };
-                self.core.metrics.record_copy(s);
+                    self.core.metrics.record_copy_uncounted();
+                }
             }
             _ => unreachable!("process_sync handled synchronization events"),
         }

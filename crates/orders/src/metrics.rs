@@ -64,11 +64,27 @@ impl RunMetrics {
         self.record_op(stats);
     }
 
+    /// Records a join on the uncounted (timed) path: one counter
+    /// increment and nothing else — the per-entry accumulators are not
+    /// touched, so the instrumentation plumbing is zero-cost by
+    /// construction when counting is off.
+    #[inline]
+    pub fn record_join_uncounted(&mut self) {
+        self.joins += 1;
+    }
+
     /// Records a copy operation's statistics.
     #[inline]
     pub fn record_copy(&mut self, stats: OpStats) {
         self.copies += 1;
         self.record_op(stats);
+    }
+
+    /// [`record_join_uncounted`](Self::record_join_uncounted)'s copy
+    /// twin.
+    #[inline]
+    pub fn record_copy_uncounted(&mut self) {
+        self.copies += 1;
     }
 
     /// Records a deep-copy fallback of `CopyCheckMonotone`.

@@ -8,7 +8,7 @@
 //! tree clock tests monotonicity in O(1) and deep-copies only when the
 //! write races with a read (Section 5.1).
 
-use tc_core::{ClockPool, CopyMode, LazyClock, LogicalClock, OpStats, ThreadId, VectorTime};
+use tc_core::{ClockPool, CopyMode, LazyClock, LogicalClock, ThreadId, VectorTime};
 use tc_trace::{Event, Op, Trace, VarId};
 
 use crate::metrics::RunMetrics;
@@ -107,25 +107,28 @@ impl<C: LogicalClock> ShbEngine<C> {
                 // skip the join entirely (no operation, no work).
                 if let Some(lw) = self.last_write[x.index()].get() {
                     let clock = self.core.clock_mut(e.tid);
-                    let s = if COUNT {
-                        clock.join_counted(lw)
+                    if COUNT {
+                        let s = clock.join_counted(lw);
+                        self.core.metrics.record_join(s);
                     } else {
                         clock.join(lw);
-                        OpStats::NOOP
-                    };
-                    self.core.metrics.record_join(s);
+                        self.core.metrics.record_join_uncounted();
+                    }
                 }
             }
             Op::Write(x) => {
                 self.ensure_var(x);
                 let (pool, clock) = self.core.pool_and_clock(e.tid);
                 let lw = self.last_write[x.index()].get_or_acquire(pool);
-                let (mode, s) = if COUNT {
-                    lw.copy_check_monotone_counted(clock)
+                let mode = if COUNT {
+                    let (mode, s) = lw.copy_check_monotone_counted(clock);
+                    self.core.metrics.record_copy(s);
+                    mode
                 } else {
-                    (lw.copy_check_monotone(clock), OpStats::NOOP)
+                    let mode = lw.copy_check_monotone(clock);
+                    self.core.metrics.record_copy_uncounted();
+                    mode
                 };
-                self.core.metrics.record_copy(s);
                 if mode == CopyMode::Deep {
                     self.core.metrics.record_deep_copy();
                 }

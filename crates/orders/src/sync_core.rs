@@ -8,7 +8,7 @@
 //! [`LazyClock`] slots that materialize on the first release, so an
 //! untouched lock costs O(1).
 
-use tc_core::{ClockPool, LazyClock, LogicalClock, OpStats, ThreadId, VectorTime};
+use tc_core::{ClockPool, LazyClock, LogicalClock, ThreadId, VectorTime};
 use tc_trace::{Event, LockId, Op, Trace};
 
 use crate::metrics::RunMetrics;
@@ -127,13 +127,13 @@ impl<C: LogicalClock> SyncCore<C> {
                 // skip the join entirely (no operation, no work).
                 if let Some(lock) = self.locks[l.index()].get() {
                     let thread = &mut self.threads[e.tid.index()];
-                    let s = if COUNT {
-                        thread.join_counted(lock)
+                    if COUNT {
+                        let s = thread.join_counted(lock);
+                        self.metrics.record_join(s);
                     } else {
                         thread.join(lock);
-                        OpStats::NOOP
-                    };
-                    self.metrics.record_join(s);
+                        self.metrics.record_join_uncounted();
+                    }
                 }
                 true
             }
@@ -141,13 +141,13 @@ impl<C: LogicalClock> SyncCore<C> {
                 self.ensure_lock(l);
                 let thread = &self.threads[e.tid.index()];
                 let lock = self.locks[l.index()].get_or_acquire(&mut self.pool);
-                let s = if COUNT {
-                    lock.monotone_copy_counted(thread)
+                if COUNT {
+                    let s = lock.monotone_copy_counted(thread);
+                    self.metrics.record_copy(s);
                 } else {
                     lock.monotone_copy(thread);
-                    OpStats::NOOP
-                };
-                self.metrics.record_copy(s);
+                    self.metrics.record_copy_uncounted();
+                }
                 true
             }
             Op::Fork(u) => {
@@ -155,13 +155,13 @@ impl<C: LogicalClock> SyncCore<C> {
                 // parent's knowledge.
                 self.ensure_thread(u);
                 let (child, parent) = borrow_two(&mut self.threads, u.index(), e.tid.index());
-                let s = if COUNT {
-                    child.join_counted(parent)
+                if COUNT {
+                    let s = child.join_counted(parent);
+                    self.metrics.record_join(s);
                 } else {
                     child.join(parent);
-                    OpStats::NOOP
-                };
-                self.metrics.record_join(s);
+                    self.metrics.record_join_uncounted();
+                }
                 true
             }
             Op::Join(u) => {
@@ -169,13 +169,13 @@ impl<C: LogicalClock> SyncCore<C> {
                 // everything the child knew.
                 self.ensure_thread(u);
                 let (parent, child) = borrow_two(&mut self.threads, e.tid.index(), u.index());
-                let s = if COUNT {
-                    parent.join_counted(child)
+                if COUNT {
+                    let s = parent.join_counted(child);
+                    self.metrics.record_join(s);
                 } else {
                     parent.join(child);
-                    OpStats::NOOP
-                };
-                self.metrics.record_join(s);
+                    self.metrics.record_join_uncounted();
+                }
                 true
             }
             Op::Read(_) | Op::Write(_) => false,

@@ -1,0 +1,156 @@
+//! Representation-flip coverage for the adaptive [`HybridClock`]: the
+//! hybrid must stay *value-identical* to the tree clock through
+//! arbitrary dense↔sparse phase changes — after every single event, not
+//! just at the end — while actually exercising both representations and
+//! the migrations between them.
+
+use proptest::prelude::*;
+
+use tc_core::{HybridClock, ThreadId, TreeClock};
+use tc_orders::{HbEngine, MazEngine, ShbEngine};
+use tc_trace::gen::Scenario;
+use tc_trace::{Trace, TraceBuilder};
+
+/// Runs `trace` through the hybrid and tree HB engines in lockstep,
+/// asserting equal timestamps after every event, and returns the total
+/// (tree→flat, flat→tree) migrations the hybrid's thread clocks
+/// performed.
+fn assert_stepwise_equal(trace: &Trace, label: &str) -> (u32, u32) {
+    let mut hybrid = HbEngine::<HybridClock>::new(trace);
+    let mut tree = HbEngine::<TreeClock>::new(trace);
+    for (i, e) in trace.iter().enumerate() {
+        hybrid.process(e);
+        tree.process(e);
+        assert_eq!(
+            hybrid.timestamp_of(e.tid),
+            tree.timestamp_of(e.tid),
+            "{label}: hybrid diverged from tree at event {i} ({e})"
+        );
+    }
+    let mut flips = (0, 0);
+    for t in 0..trace.thread_count() as u32 {
+        if let Some(c) = hybrid.clock_of(ThreadId::new(t)) {
+            let f = c.flips();
+            flips.0 += f.0;
+            flips.1 += f.1;
+        }
+    }
+    flips
+}
+
+/// A synthetic workload with hard phase boundaries: dense all-through-
+/// one-lock bursts alternating with sparse self-sync stretches.
+/// `dense_rounds` is the per-thread sync count of a dense phase and
+/// `sparse_rounds` the per-thread sync count of a sparse phase — size
+/// them past the hysteresis windows (sparse observations are sampled
+/// at probe frequency, so flipping back needs several hundred quiet
+/// joins per clock) to force actual migrations.
+fn phase_change_trace(
+    threads: u32,
+    phases: usize,
+    dense_rounds: u32,
+    sparse_rounds: u32,
+    seed: u64,
+) -> Trace {
+    let mut b = TraceBuilder::new();
+    let mut state = seed | 1;
+    let mut rand = move |n: u32| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % u64::from(n)) as u32
+    };
+    for phase in 0..phases {
+        if phase % 2 == 0 {
+            // Dense phase: everyone churns through one shared lock.
+            for round in 0..dense_rounds {
+                for t in 0..threads {
+                    b.acquire_id(t, 0);
+                    b.release_id(t, 0);
+                    let _ = round;
+                }
+            }
+        } else {
+            // Sparse phase: each thread syncs on its own lock, with a
+            // rare random cross-sync to keep the ordering interesting.
+            for _ in 0..sparse_rounds * threads {
+                let t = rand(threads);
+                let l = if rand(16) == 0 { rand(threads) } else { t } + 1;
+                b.acquire_id(t, l);
+                b.release_id(t, l);
+            }
+        }
+    }
+    b.finish()
+}
+
+#[test]
+fn phase_changes_keep_hybrid_and_tree_value_identical() {
+    let trace = phase_change_trace(16, 6, 40, 500, 0xF00D);
+    let (to_flat, to_tree) = assert_stepwise_equal(&trace, "phase-change");
+    assert!(
+        to_flat > 0,
+        "the dense phases must actually drive tree→flat migrations"
+    );
+    assert!(
+        to_tree > 0,
+        "the sparse phases must actually drive flat→tree migrations"
+    );
+}
+
+#[test]
+fn hybrid_matches_tree_on_every_engine_for_phase_changes() {
+    let trace = phase_change_trace(12, 6, 30, 60, 0xBEEF);
+    assert_eq!(
+        ShbEngine::<HybridClock>::collect_timestamps(&trace),
+        ShbEngine::<TreeClock>::collect_timestamps(&trace),
+        "SHB timestamps must be representation independent"
+    );
+    assert_eq!(
+        MazEngine::<HybridClock>::collect_timestamps(&trace),
+        MazEngine::<TreeClock>::collect_timestamps(&trace),
+        "MAZ timestamps must be representation independent"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The bursty-channels family alternates communication-heavy bursts
+    /// with quiet stretches — the adversarial input for the density
+    /// window. Whatever the shape, the hybrid must track the tree
+    /// exactly, event by event.
+    #[test]
+    fn bursty_channels_stay_value_identical(
+        threads in 3u32..17,
+        events in 120usize..400,
+        seed in 0u64..1_000,
+    ) {
+        let trace = Scenario::BurstyChannels.generate(threads, events, seed);
+        assert_stepwise_equal(&trace, "bursty-channels");
+    }
+
+    /// The pipeline family's stage-to-stage hand-offs produce mid-range
+    /// densities — right around the flip threshold for small thread
+    /// counts, which is exactly where a representation bug would hide.
+    #[test]
+    fn pipeline_stays_value_identical(
+        threads in 3u32..17,
+        events in 120usize..400,
+        seed in 0u64..1_000,
+    ) {
+        let trace = Scenario::Pipeline.generate(threads, events, seed);
+        assert_stepwise_equal(&trace, "pipeline");
+    }
+
+    /// Random phase-change shapes: threads × phase count × seed.
+    #[test]
+    fn random_phase_changes_stay_value_identical(
+        threads in 4u32..20,
+        phases in 2usize..7,
+        seed in 1u64..500,
+    ) {
+        let trace = phase_change_trace(threads, phases, 10, 20, seed);
+        assert_stepwise_equal(&trace, "random-phase-change");
+    }
+}

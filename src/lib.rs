@@ -5,7 +5,8 @@
 //! This facade crate re-exports the whole workspace under one roof:
 //!
 //! - [`core`](mod@core) — the [`TreeClock`] data structure, the
-//!   [`VectorClock`] baseline and the [`LogicalClock`] abstraction.
+//!   [`VectorClock`] baseline, the adaptive flat/tree [`HybridClock`]
+//!   and the [`LogicalClock`] abstraction they share.
 //! - [`trace`] — the concurrent-execution trace model, validation,
 //!   statistics, file formats and synthetic workload generators.
 //! - [`orders`] — streaming engines for the happens-before (HB),
@@ -44,8 +45,8 @@ pub use tc_orders as orders;
 pub use tc_trace as trace;
 
 pub use tc_core::{
-    ClockPool, CopyMode, Epoch, LazyClock, LocalTime, LogicalClock, OpStats, ThreadId, TreeClock,
-    VectorClock, VectorTime,
+    ClockPool, CopyMode, Epoch, HybridClock, LazyClock, LocalTime, LogicalClock, OpStats, ThreadId,
+    TreeClock, VectorClock, VectorTime,
 };
 
 /// Convenient glob-import surface: `use treeclocks::prelude::*;`.
@@ -54,8 +55,8 @@ pub mod prelude {
         HbRaceDetector, LockOrderAnalyzer, LocksetDetector, MazAnalyzer, ShbRaceDetector,
     };
     pub use tc_core::{
-        CopyMode, Epoch, LocalTime, LogicalClock, OpStats, ThreadId, TreeClock, VectorClock,
-        VectorTime,
+        CopyMode, Epoch, HybridClock, LocalTime, LogicalClock, OpStats, ThreadId, TreeClock,
+        VectorClock, VectorTime,
     };
     pub use tc_orders::{HbEngine, MazEngine, RunMetrics, ShbEngine};
     pub use tc_trace::{Event, LockId, Op, Trace, TraceBuilder, VarId};
