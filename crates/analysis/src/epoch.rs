@@ -127,6 +127,58 @@ impl VarHistory {
     pub fn reads_are_epoch(&self) -> bool {
         matches!(self.reads, ReadState::Epoch(_))
     }
+
+    /// Captures this history's state for a streaming checkpoint.
+    pub fn snapshot(&self) -> VarHistorySnapshot {
+        VarHistorySnapshot {
+            var: self.var,
+            write: self.write,
+            reads: match &self.reads {
+                ReadState::Epoch(e) => ReadsSnapshot::Epoch(*e),
+                ReadState::Vector(v) => ReadsSnapshot::Vector(v.iter().collect()),
+            },
+        }
+    }
+
+    /// Rebuilds a history from a checkpointed snapshot.
+    pub fn from_snapshot(snapshot: &VarHistorySnapshot) -> Self {
+        VarHistory {
+            var: snapshot.var,
+            write: snapshot.write,
+            reads: match &snapshot.reads {
+                ReadsSnapshot::Epoch(e) => ReadState::Epoch(*e),
+                ReadsSnapshot::Vector(pairs) => {
+                    let mut v = VectorTime::new();
+                    for &(t, time) in pairs {
+                        v.set(t, time);
+                    }
+                    ReadState::Vector(v)
+                }
+            },
+        }
+    }
+}
+
+/// The serializable reads component of a [`VarHistorySnapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadsSnapshot {
+    /// Reads since the last write are summarized by one epoch.
+    Epoch(Epoch),
+    /// Concurrent reads, as `(thread, time)` pairs (zero entries
+    /// omitted or not — insignificant either way).
+    Vector(Vec<(ThreadId, tc_core::LocalTime)>),
+}
+
+/// A value-level capture of one [`VarHistory`] — what a streaming
+/// checkpoint stores per touched variable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct VarHistorySnapshot {
+    /// The variable this history belongs to.
+    pub var: VarId,
+    /// The last-write epoch (zero if none).
+    pub write: Epoch,
+    /// The reads since the last write.
+    pub reads: ReadsSnapshot,
 }
 
 /// A growable collection of per-variable histories.
@@ -157,11 +209,26 @@ impl VarHistories {
         }
         &mut self.vars[x.index()]
     }
+
+    /// Captures every touched variable's history for a checkpoint.
+    pub fn snapshot(&self) -> Vec<VarHistorySnapshot> {
+        self.vars.iter().map(VarHistory::snapshot).collect()
+    }
+
+    /// Rebuilds histories from a checkpointed snapshot (dense by
+    /// variable index, as produced by [`snapshot`](Self::snapshot)).
+    pub fn from_snapshot(snapshots: &[VarHistorySnapshot]) -> Self {
+        VarHistories {
+            vars: snapshots.iter().map(VarHistory::from_snapshot).collect(),
+        }
+    }
 }
 
 /// Computes the epoch the current event will have: thread `t` at its
-/// *next* local time (the clock has not been incremented yet).
-pub(crate) fn upcoming_epoch<C: LogicalClock>(t: ThreadId, clock: Option<&C>) -> Epoch {
+/// *next* local time (the clock has not been incremented yet). Public
+/// because the streaming `IncrementalDetector` drives the same
+/// check-before-process discipline as the batch detectors.
+pub fn upcoming_epoch<C: LogicalClock>(t: ThreadId, clock: Option<&C>) -> Epoch {
     Epoch::new(t, clock.map(|c| c.get(t)).unwrap_or(0) + 1)
 }
 
@@ -253,5 +320,36 @@ mod tests {
         let mut hs = VarHistories::with_vars(1);
         let h = hs.entry(VarId::new(5));
         assert_eq!(h.write_epoch(), Epoch::ZERO);
+    }
+
+    #[test]
+    fn snapshot_round_trips_epoch_and_vector_states() {
+        let mut hs = VarHistories::with_vars(2);
+        let mut rep = RaceReport::new();
+        // x0: single-epoch reads; x1: widened concurrent reads.
+        hs.entry(VarId::new(0))
+            .on_write(Epoch::new(ThreadId::new(0), 1), &clock(&[1]), &mut rep);
+        hs.entry(VarId::new(1))
+            .on_read(Epoch::new(ThreadId::new(0), 2), &clock(&[2]), &mut rep);
+        hs.entry(VarId::new(1))
+            .on_read(Epoch::new(ThreadId::new(1), 1), &clock(&[0, 1]), &mut rep);
+        assert!(!hs.entry(VarId::new(1)).reads_are_epoch());
+
+        let snap = hs.snapshot();
+        let mut restored = VarHistories::from_snapshot(&snap);
+        assert_eq!(restored.snapshot(), snap);
+
+        // The restored histories make identical decisions: the same
+        // write against the same clock reports the same races.
+        let mut rep_a = RaceReport::new();
+        let mut rep_b = RaceReport::new();
+        let w = Epoch::new(ThreadId::new(2), 1);
+        hs.entry(VarId::new(1))
+            .on_write(w, &clock(&[0, 0, 0]), &mut rep_a);
+        restored
+            .entry(VarId::new(1))
+            .on_write(w, &clock(&[0, 0, 0]), &mut rep_b);
+        assert_eq!(rep_a, rep_b);
+        assert_eq!(rep_a.total, 2);
     }
 }

@@ -58,7 +58,7 @@ pub mod report;
 pub mod shb_race;
 
 pub use deadlock::{DeadlockCandidate, LockOrderAnalyzer};
-pub use epoch::VarHistory;
+pub use epoch::{upcoming_epoch, ReadsSnapshot, VarHistories, VarHistory, VarHistorySnapshot};
 pub use hb_race::HbRaceDetector;
 pub use lockset::{LocksetDetector, LocksetViolation};
 pub use maz_analysis::MazAnalyzer;

@@ -87,6 +87,16 @@ impl RaceReport {
         self.total == 0
     }
 
+    /// The stored races found since the caller last looked: the live
+    /// emission primitive of the streaming subsystem. A consumer keeps
+    /// the count of races it has already emitted and calls this after
+    /// each event; beyond [`MAX_STORED_RACES`] only
+    /// [`total`](RaceReport::total) keeps counting (a live session
+    /// observes the overflow through it).
+    pub fn races_since(&self, already_emitted: usize) -> &[Race] {
+        &self.races[already_emitted.min(self.races.len())..]
+    }
+
     /// The distinct variables involved in stored races.
     pub fn racy_vars(&self) -> Vec<VarId> {
         let mut vars: Vec<VarId> = self.races.iter().map(|r| r.var).collect();

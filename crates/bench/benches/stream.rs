@@ -1,0 +1,110 @@
+//! Streaming-overhead benchmarks: the incremental detector's
+//! feed-one-event path against the equivalent batch detector run, plus
+//! the cost of the bounded-memory policies (retirement, eviction) and
+//! of taking a checkpoint mid-stream.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use tc_analysis::HbRaceDetector;
+use tc_core::TreeClock;
+use tc_stream::{DetectorConfig, IncrementalDetector};
+use tc_trace::gen::WorkloadSpec;
+use tc_trace::{Trace, TraceBuilder};
+
+fn workload() -> Trace {
+    WorkloadSpec {
+        threads: 16,
+        locks: 8,
+        vars: 64,
+        events: 20_000,
+        sync_ratio: 0.1,
+        shared_fraction: 0.6,
+        seed: 7,
+        ..WorkloadSpec::default()
+    }
+    .generate()
+}
+
+/// Spawn/join churn: the workload retirement exists for.
+fn churn() -> Trace {
+    let mut b = TraceBuilder::new();
+    let mut next = 1u32;
+    for _ in 0..250 {
+        let kids: Vec<u32> = (0..8)
+            .map(|_| {
+                let k = next;
+                next += 1;
+                k
+            })
+            .collect();
+        for &k in &kids {
+            b.fork(0, k);
+        }
+        for &k in &kids {
+            b.acquire_id(k, 0);
+            b.write_id(k, 0);
+            b.release_id(k, 0);
+        }
+        for &k in &kids {
+            b.join(0, k);
+        }
+    }
+    b.finish()
+}
+
+fn stream_run(trace: &Trace, config: DetectorConfig) -> u64 {
+    let mut d = IncrementalDetector::<TreeClock>::new(config);
+    for e in trace {
+        d.feed(e).expect("benchmark traces are well-formed");
+    }
+    d.report().total
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stream");
+    g.sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(900));
+
+    let traces = [("workload-16", workload()), ("churn-8x250", churn())];
+    for (name, trace) in &traces {
+        g.bench_with_input(BenchmarkId::new("batch", name), trace, |b, t| {
+            b.iter(|| HbRaceDetector::<TreeClock>::new(t).run(t).total)
+        });
+        g.bench_with_input(BenchmarkId::new("incremental", name), trace, |b, t| {
+            b.iter(|| stream_run(t, DetectorConfig::default()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("incremental-evict", name),
+            trace,
+            |b, t| {
+                b.iter(|| {
+                    stream_run(
+                        t,
+                        DetectorConfig {
+                            evict_every: Some(256),
+                            ..DetectorConfig::default()
+                        },
+                    )
+                })
+            },
+        );
+    }
+    g.bench_with_input(
+        BenchmarkId::new("checkpoint", "workload-16"),
+        &traces[0].1,
+        |b, t| {
+            let mut d = IncrementalDetector::<TreeClock>::new(DetectorConfig::default());
+            for e in t {
+                d.feed(e).unwrap();
+            }
+            b.iter(|| d.checkpoint().to_bytes().len())
+        },
+    );
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

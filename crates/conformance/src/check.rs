@@ -52,6 +52,11 @@ pub enum CheckKind {
     Reports,
     /// Work metrics: `VTWork` independence, Theorem 1, `OpStats` sanity.
     Metrics,
+    /// Streaming-vs-batch equivalence: the incremental detector's
+    /// per-event timestamps and reports, including across a mid-stream
+    /// checkpoint/restore (and with eviction on fork-disciplined
+    /// traces).
+    Streaming,
 }
 
 impl fmt::Display for CheckKind {
@@ -60,6 +65,7 @@ impl fmt::Display for CheckKind {
             CheckKind::Timestamps => "timestamps",
             CheckKind::Reports => "reports",
             CheckKind::Metrics => "metrics",
+            CheckKind::Streaming => "streaming",
         })
     }
 }
@@ -421,6 +427,153 @@ fn check_metrics(
     Ok(())
 }
 
+/// Streams `trace` through an [`IncrementalDetector`] with a
+/// checkpoint/restore at the midpoint and compares per-event
+/// timestamps and the final report against the batch results.
+///
+/// [`IncrementalDetector`]: tc_stream::IncrementalDetector
+fn stream_one_backend<C: tc_core::LogicalClock>(
+    trace: &Trace,
+    kind: PartialOrderKind,
+    backend: &str,
+    batch_ts: &[VectorTime],
+    batch_report: &RaceReport,
+    pool: &mut ClockPool<C>,
+    evict: bool,
+) -> Result<(), Failure> {
+    use tc_stream::{Checkpoint, DetectorConfig, IncrementalDetector};
+    let config = DetectorConfig {
+        order: kind,
+        retire_on_join: true,
+        evict_every: if evict { Some(8) } else { None },
+    };
+    let mut d = IncrementalDetector::<C>::with_pool(config, std::mem::take(pool));
+    let half = trace.len() / 2;
+    for (i, e) in trace.iter().enumerate() {
+        if i == half {
+            // Mid-stream checkpoint: serialize, reload, resume.
+            let bytes = d.checkpoint().to_bytes();
+            let cp = Checkpoint::from_bytes(&bytes).map_err(|err| {
+                fail(
+                    kind,
+                    CheckKind::Streaming,
+                    format!("{backend} checkpoint does not round trip at event {i}: {err}"),
+                )
+            })?;
+            d = IncrementalDetector::from_checkpoint(&cp, d.into_pool());
+        }
+        d.feed(e).map_err(|err| {
+            fail(
+                kind,
+                CheckKind::Streaming,
+                format!(
+                    "{backend} incremental feed rejected event {i} ({}): {err}",
+                    trace[i]
+                ),
+            )
+        })?;
+        let got = d.timestamp_of(e.tid);
+        if got != batch_ts[i] {
+            *pool = d.into_pool();
+            return Err(fail(
+                kind,
+                CheckKind::Streaming,
+                format!(
+                    "{backend} streaming timestamp diverges from batch at event {i} \
+                     ({}): got {got}, batch {}{}",
+                    trace[i],
+                    batch_ts[i],
+                    if evict { " (eviction enabled)" } else { "" },
+                ),
+            ));
+        }
+    }
+    let result = if *d.report() != *batch_report {
+        Err(fail(
+            kind,
+            CheckKind::Streaming,
+            format!(
+                "{backend} streaming report diverges from batch: {} vs {} race(s) \
+                 over {} vs {} check(s){}",
+                d.report().total,
+                batch_report.total,
+                d.report().checks,
+                batch_report.checks,
+                if evict { " (eviction enabled)" } else { "" },
+            ),
+        ))
+    } else {
+        Ok(())
+    };
+    *pool = d.into_pool();
+    result
+}
+
+/// `true` when every thread that acts is fork-targeted before its
+/// first own event, except the thread of the first event — the
+/// discipline under which dominance eviction is value-preserving.
+fn fork_disciplined(trace: &Trace) -> bool {
+    let mut forked = vec![false; trace.thread_count()];
+    let mut started = vec![false; trace.thread_count()];
+    let mut first: Option<tc_core::ThreadId> = None;
+    for e in trace {
+        if first.is_none() {
+            first = Some(e.tid);
+        }
+        if !started[e.tid.index()] && !forked[e.tid.index()] && first != Some(e.tid) {
+            return false;
+        }
+        started[e.tid.index()] = true;
+        if let tc_trace::Op::Fork(u) = e.op {
+            forked[u.index()] = true;
+        }
+    }
+    true
+}
+
+fn check_streaming(
+    trace: &Trace,
+    kind: PartialOrderKind,
+    pools: &mut EnginePools,
+) -> Result<(), Failure> {
+    let [ts_tc, ts_vc, ts_hc] = timestamps_of(trace, kind, pools);
+    let [rep_tc, rep_vc, rep_hc] = reports_of(trace, kind, pools);
+    stream_one_backend::<TreeClock>(trace, kind, "tree", &ts_tc, &rep_tc, &mut pools.tree, false)?;
+    stream_one_backend::<VectorClock>(
+        trace,
+        kind,
+        "vector",
+        &ts_vc,
+        &rep_vc,
+        &mut pools.vector,
+        false,
+    )?;
+    stream_one_backend::<HybridClock>(
+        trace,
+        kind,
+        "hybrid",
+        &ts_hc,
+        &rep_hc,
+        &mut pools.hybrid,
+        false,
+    )?;
+    // Dominance eviction is only value-preserving under fork
+    // discipline; where the trace provides it, enforce equivalence
+    // with eviction on too.
+    if fork_disciplined(trace) {
+        stream_one_backend::<TreeClock>(
+            trace,
+            kind,
+            "tree",
+            &ts_tc,
+            &rep_tc,
+            &mut pools.tree,
+            true,
+        )?;
+    }
+    Ok(())
+}
+
 /// Runs every conformance check on `trace`, perturbing one result
 /// according to `fault` (pass [`Fault::None`] for an honest run).
 ///
@@ -454,6 +607,7 @@ pub fn check_trace_pooled(
         check_timestamps(trace, kind, fault, pools)?;
         summary.races += check_reports(trace, kind, fault, pools)?;
         check_metrics(trace, kind, fault, pools)?;
+        check_streaming(trace, kind, pools)?;
     }
     Ok(summary)
 }
@@ -531,6 +685,22 @@ mod tests {
                 });
             }
         }
+    }
+
+    #[test]
+    fn fork_discipline_is_detected() {
+        use tc_trace::TraceBuilder;
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1).write(1, "x").join(0, 1);
+        assert!(fork_disciplined(&b.finish()));
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").write(1, "x"); // t1 is spontaneous
+        assert!(!fork_disciplined(&b.finish()));
+        // The fork-join-tree family is disciplined by construction, so
+        // the sweep's eviction pass actually runs on it.
+        assert!(fork_disciplined(
+            &Scenario::ForkJoinTree.generate(8, 200, 1)
+        ));
     }
 
     #[test]

@@ -211,6 +211,23 @@ pub trait LogicalClock: Clone + Debug + Default {
     /// length) — the quantity summed into the `peak_clock_bytes` column
     /// of the `tcr bench --json` perf baseline.
     fn heap_bytes(&self) -> usize;
+
+    /// Restores an *empty* clock to the given value: entry `i` becomes
+    /// `times[i]` (entries past the slice are 0) and the clock is rooted
+    /// at `root` (un-rooted when `None`, in which case every time must
+    /// be 0 — only empty clocks are rootless in a causal ordering).
+    ///
+    /// This is the checkpoint-restore entry point of the streaming
+    /// subsystem: the representation is free to choose any internal
+    /// shape for the value (the tree backend re-materializes the star
+    /// shape), because all future *values* — and therefore all future
+    /// reports — are determined by the restored value alone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is not empty, or if `root` is `None` while
+    /// some time is nonzero.
+    fn restore_value(&mut self, times: &[LocalTime], root: Option<ThreadId>);
 }
 
 #[cfg(test)]

@@ -133,13 +133,32 @@ const PROBE_PERIOD: u8 = 16;
 /// counter decrement.
 const TREE_OBS_PERIOD: u8 = 2;
 
-/// Aggregate verdict: dense when at least an eighth of the arena moved
-/// per operation (see the module docs for the cost-crossover
-/// rationale).
+/// Arenas at or below this many entries (two 64-byte cache lines of
+/// `LocalTime`s) are judged dense regardless of the moved fraction: a
+/// flat sweep over ≤2 cache lines costs a couple of nanoseconds —
+/// cheaper than any surgical walk — so small clocks settle flat even in
+/// nominally sparse regimes. This is what closes the mid-density
+/// hand-off gap at small `k` (pipeline/bursty channels), where per-op
+/// movement sits under the 1/8 flip threshold while the flat sweep is
+/// nearly free at that size.
+const SMALL_ARENA: u64 = (2 * 64 / std::mem::size_of::<LocalTime>()) as u64;
+
+/// Aggregate verdict: dense when the arena is flat-cheap outright
+/// (≤ [`SMALL_ARENA`] entries) or at least an eighth of it moved per
+/// operation (see the module docs for the cost-crossover rationale).
 #[inline]
 fn is_dense(touched: u64, arena: u64) -> bool {
-    touched.saturating_mul(8) >= arena.max(1)
+    arena <= SMALL_ARENA || touched.saturating_mul(8) >= arena
 }
+
+/// Bit 0 of [`HybridClock::state`]: the flat representation is live.
+const ST_FLAT: u8 = 1;
+/// Bit 1 of the state word: a tree→flat migration is pending.
+const ST_FLIP_TO_FLAT: u8 = 1 << 1;
+/// Bit 2 of the state word: a flat→tree migration is pending.
+const ST_FLIP_TO_TREE: u8 = 1 << 2;
+/// Both pending-flip bits of the state word.
+const ST_FLIP_MASK: u8 = ST_FLIP_TO_FLAT | ST_FLIP_TO_TREE;
 
 /// The represented time at `idx` in a dense slice (0 past the end).
 #[inline]
@@ -164,12 +183,14 @@ fn count_diffs(old: &[LocalTime], new: &[LocalTime]) -> u64 {
     diffs
 }
 
-/// The density window: observation accumulators, the hysteresis score,
-/// probe countdowns and the pending-flip request.
+/// The density window: observation accumulators, the hysteresis score
+/// and probe countdowns.
 ///
 /// Everything is a [`Cell`] because copy *sources* observe through
-/// shared references; the actual representation flip is deferred to the
-/// next `&mut` entry point ([`HybridClock::maybe_flip`]).
+/// shared references. A saturated score requests a flip by setting a
+/// pending bit in the clock's packed [`HybridClock::state`] word; the
+/// actual migration is deferred to the next `&mut` entry point
+/// ([`HybridClock::state_for_mut`]).
 #[derive(Clone, Debug, Default)]
 struct DensityWindow {
     /// The window accumulator, packed into one word so the per-op fast
@@ -182,10 +203,6 @@ struct DensityWindow {
     /// Hysteresis accumulator over window verdicts, in
     /// `[-HYSTERESIS, HYSTERESIS]`.
     score: Cell<i8>,
-    /// Pending migration: +1 = flip to flat, -1 = flip to tree, 0 =
-    /// none. Set when the score saturates (possibly from a `&self`
-    /// context), executed at the next `&mut` operation.
-    flip_wanted: Cell<i8>,
     /// Flat mode: uncounted joins until the next counting probe.
     join_probe: Cell<u8>,
     /// Flat mode: uncounted copies-from-self until the next probe.
@@ -198,8 +215,8 @@ const ACC_OP: u64 = 1 << 56;
 const ACC_CAP: u64 = 1 << 24;
 
 impl DensityWindow {
-    /// The recycling reset: discards the partial window and any
-    /// pending flip, but *keeps the hysteresis score* — a pooled clock
+    /// The recycling reset: discards the partial window, but *keeps
+    /// the hysteresis score* — a pooled clock
     /// re-entering the same workload (the next benchmark repetition,
     /// the next case of a sweep) resumes learning where it left off
     /// instead of starting the hysteresis climb from zero. On a short
@@ -209,7 +226,6 @@ impl DensityWindow {
     /// role walks the score back within one hysteresis period.
     fn reset_for_recycle(&self) {
         self.acc.set(0);
-        self.flip_wanted.set(0);
         self.join_probe.set(0);
         self.copy_probe.set(0);
     }
@@ -220,20 +236,25 @@ impl DensityWindow {
 /// docs](self).
 #[derive(Clone, Default)]
 pub struct HybridClock {
-    /// The tree representation — authoritative unless [`flat_mode`];
-    /// kept (empty, buffers warm) while flat so a dense→sparse flip
-    /// allocates nothing.
+    /// The tree representation — authoritative unless the state word's
+    /// [`ST_FLAT`] bit is set; kept (empty, buffers warm) while flat so
+    /// a dense→sparse flip allocates nothing.
     tree: TreeClock,
-    /// The flat representation — authoritative in [`flat_mode`]; kept
-    /// (length 0, capacity warm) while the tree is live.
+    /// The flat representation — authoritative while [`ST_FLAT`] is
+    /// set; kept (length 0, capacity warm) while the tree is live.
     flat: Vec<LocalTime>,
     /// The owner (root) thread while *flat* (the tree knows its own
     /// root; keeping a mirror in tree mode would cost a store on every
     /// join/copy for nothing). Read through
     /// [`root_of`](Self::root_of), which picks the live source.
     root: Option<ThreadId>,
-    /// Which representation is live.
-    flat_mode: bool,
+    /// The packed state word: bit 0 ([`ST_FLAT`]) says which
+    /// representation is live, bits 1–2 ([`ST_FLIP_MASK`]) hold a
+    /// pending migration request. Mode dispatch and the flip check
+    /// share this single load on every hot entry point; a [`Cell`] so a
+    /// copy *source*'s saturated window can request a flip through
+    /// `&self`.
+    state: Cell<u8>,
     /// Tree-mode joins to skip before the next window observation
     /// (plain field: join destinations are `&mut`).
     obs_skip: u8,
@@ -253,7 +274,13 @@ impl HybridClock {
 
     /// `true` while the flat (dense) representation is live.
     pub fn is_flat(&self) -> bool {
-        self.flat_mode
+        self.state.get() & ST_FLAT != 0
+    }
+
+    /// Internal shorthand for the mode bit of the state word.
+    #[inline]
+    fn flat(&self) -> bool {
+        self.state.get() & ST_FLAT != 0
     }
 
     /// Number of (tree→flat, flat→tree) migrations this clock has
@@ -264,7 +291,7 @@ impl HybridClock {
 
     /// The live representation's name (`"flat"` or `"tree"`).
     pub fn repr_name(&self) -> &'static str {
-        if self.flat_mode {
+        if self.flat() {
             "flat"
         } else {
             "tree"
@@ -275,7 +302,7 @@ impl HybridClock {
     /// is live.
     #[inline]
     fn value_at(&self, i: u32) -> LocalTime {
-        if self.flat_mode {
+        if self.flat() {
             time_at(&self.flat, i)
         } else {
             self.tree.get_idx(i)
@@ -285,7 +312,7 @@ impl HybridClock {
     /// The dense value slice of the live representation.
     #[inline]
     fn value_slice(&self) -> &[LocalTime] {
-        if self.flat_mode {
+        if self.flat() {
             &self.flat
         } else {
             self.tree.times()
@@ -295,7 +322,7 @@ impl HybridClock {
     /// The owner thread, from whichever representation is live.
     #[inline]
     fn root_of(&self) -> Option<ThreadId> {
-        if self.flat_mode {
+        if self.flat() {
             self.root
         } else {
             self.tree.root_tid()
@@ -307,7 +334,7 @@ impl HybridClock {
     /// a tree clock is empty iff it has no root.
     #[inline]
     fn fast_empty(&self) -> bool {
-        if self.flat_mode {
+        if self.flat() {
             self.root.is_none()
         } else {
             self.tree.is_empty()
@@ -318,9 +345,10 @@ impl HybridClock {
 
     /// Feeds one observation (`touched` entries against `arena` slots)
     /// into the window. Works through `&self` so copy *sources* can
-    /// observe; a saturated score only requests the flip
-    /// ([`maybe_flip`](Self::maybe_flip) executes it). The common case
-    /// is one packed load-add-store plus a predictable branch.
+    /// observe; a saturated score only requests the flip by setting a
+    /// pending bit in the state word
+    /// ([`state_for_mut`](Self::state_for_mut) executes it). The common
+    /// case is one packed load-add-store plus a predictable branch.
     fn observe(&self, touched: u64, arena: u64) {
         let w = &self.window;
         let acc = w.acc.get() + ACC_OP + (arena.min(ACC_CAP) << 28) + touched.min(ACC_CAP);
@@ -331,38 +359,49 @@ impl HybridClock {
         w.acc.set(0);
         let dense = is_dense(acc & ACC_FIELD, (acc >> 28) & ACC_FIELD);
         let mut score = w.score.get();
+        let s = self.state.get();
         if dense {
             score = (score + 1).min(HYSTERESIS);
-            if score >= HYSTERESIS && !self.flat_mode {
-                w.flip_wanted.set(1);
+            if score >= HYSTERESIS && s & ST_FLAT == 0 {
+                self.state.set(s | ST_FLIP_TO_FLAT);
                 score = 0;
             }
         } else {
             score = (score - 1).max(-HYSTERESIS);
-            if score <= -HYSTERESIS && self.flat_mode {
-                w.flip_wanted.set(-1);
+            if score <= -HYSTERESIS && s & ST_FLAT != 0 {
+                self.state.set(s | ST_FLIP_TO_TREE);
                 score = 0;
             }
         }
         w.score.set(score);
     }
 
-    /// Executes a pending representation flip, if any. Called at every
-    /// `&mut` entry point (one `Cell` read on the fast path); in the
-    /// engines the per-event `increment` guarantees prompt execution
-    /// even when the saturating observation came from a copy.
+    /// The single hot-path load: returns the state word, executing a
+    /// pending representation flip first when one is requested — so
+    /// mode dispatch and the flip check share one load. Called from
+    /// `increment`, the one guaranteed `&mut` touch per engine event
+    /// (which keeps flips prompt even when the saturating observation
+    /// came from a copy through `&self`).
     #[inline]
-    fn maybe_flip(&mut self) {
-        let want = self.window.flip_wanted.get();
-        if want == 0 {
-            return;
+    fn state_for_mut(&mut self) -> u8 {
+        let s = self.state.get();
+        if s & ST_FLIP_MASK == 0 {
+            return s;
         }
-        self.window.flip_wanted.set(0);
-        if want > 0 && !self.flat_mode {
+        self.execute_flip(s)
+    }
+
+    /// The out-of-line flip executor: clears the pending bits and
+    /// performs the migration the window requested.
+    #[cold]
+    fn execute_flip(&mut self, s: u8) -> u8 {
+        self.state.set(s & !ST_FLIP_MASK);
+        if s & ST_FLIP_TO_FLAT != 0 && s & ST_FLAT == 0 {
             self.flip_to_flat();
-        } else if want < 0 && self.flat_mode && self.root.is_some() {
+        } else if s & ST_FLIP_TO_TREE != 0 && s & ST_FLAT != 0 && self.root.is_some() {
             self.flip_to_tree();
         }
+        self.state.get()
     }
 
     /// Tree→flat: the values *are* the tree's dense times array; the
@@ -373,7 +412,7 @@ impl HybridClock {
         self.flat.clear();
         self.flat.extend_from_slice(self.tree.times());
         self.tree.clear();
-        self.flat_mode = true;
+        self.state.set(self.state.get() | ST_FLAT);
         self.window.join_probe.set(0);
         self.window.copy_probe.set(0);
         self.flips_to_flat += 1;
@@ -390,7 +429,7 @@ impl HybridClock {
         };
         self.tree.adopt_flat(&self.flat, r.raw());
         self.flat.clear();
-        self.flat_mode = false;
+        self.state.set(self.state.get() & !ST_FLAT);
         self.flips_to_tree += 1;
     }
 
@@ -398,7 +437,7 @@ impl HybridClock {
 
     #[inline]
     fn join_dispatch<const COUNT: bool>(&mut self, other: &Self) -> OpStats {
-        match (self.flat_mode, other.flat_mode) {
+        match (self.flat(), other.flat()) {
             (false, false) => {
                 let s = self.tree.join_impl::<COUNT>(&other.tree);
                 if self.obs_skip > 0 {
@@ -546,7 +585,7 @@ impl HybridClock {
     /// *old* value, whichever representation held it.
     #[inline]
     fn perform_copy<const COUNT: bool>(&mut self, other: &Self, monotone: bool) -> OpStats {
-        if !self.flat_mode && !other.flat_mode {
+        if !self.flat() && !other.flat() {
             let s = if monotone {
                 self.tree.monotone_copy_impl::<COUNT>(&other.tree)
             } else {
@@ -574,7 +613,7 @@ impl HybridClock {
             return s;
         }
         let arena = self.num_threads().max(other.num_threads()) as u64;
-        if other.flat_mode {
+        if other.flat() {
             // Destination becomes flat: a wholesale array copy.
             let src = &other.flat;
             let mut stats = OpStats::NOOP;
@@ -594,9 +633,9 @@ impl HybridClock {
                     other.window.copy_probe.set(probe - 1);
                 }
             }
-            if !self.flat_mode {
+            if !self.flat() {
                 self.tree.clear();
-                self.flat_mode = true;
+                self.state.set(self.state.get() | ST_FLAT);
             }
             self.flat.clear();
             self.flat.extend_from_slice(src);
@@ -609,7 +648,7 @@ impl HybridClock {
         let changed = count_diffs(&self.flat, other.tree.times());
         other.observe(changed, arena);
         self.flat.clear();
-        self.flat_mode = false;
+        self.state.set(self.state.get() & !ST_FLAT);
         if !self.tree.is_empty() {
             self.tree.clear();
         }
@@ -627,7 +666,7 @@ impl HybridClock {
 
     #[inline]
     fn copy_dispatch<const COUNT: bool>(&mut self, other: &Self) -> OpStats {
-        if !self.flat_mode && !other.flat_mode {
+        if !self.flat() && !other.flat() {
             // The tree×tree fast path: the inner implementation
             // performs the same precondition and empty-source checks,
             // so the hybrid layer adds nothing but the observation.
@@ -696,7 +735,7 @@ impl LogicalClock for HybridClock {
             self.is_empty(),
             "HybridClock::init_root: clock already initialized"
         );
-        if self.flat_mode {
+        if self.flat() {
             // A recycled clock kept its learned flat representation:
             // root directly in the flat array (a pool-recycled thread
             // clock re-entering the same dense workload skips the
@@ -725,10 +764,11 @@ impl LogicalClock for HybridClock {
         // `increment` is the hottest entry point, but it is also the
         // only guaranteed `&mut` touch of a thread that acts purely as
         // a copy *source* (a publisher whose acquires all hit fresh
-        // lazy locks) — without this, such a thread's pending flip
-        // would never execute. One predictable branch.
-        self.maybe_flip();
-        if self.flat_mode {
+        // lazy locks) — without executing pending flips here, such a
+        // thread's flip would never run. The packed state word makes
+        // the flip check and the mode dispatch one shared load.
+        let s = self.state_for_mut();
+        if s & ST_FLAT != 0 {
             let root = self
                 .root
                 .expect("HybridClock::increment: clock has no root thread");
@@ -778,7 +818,7 @@ impl LogicalClock for HybridClock {
     }
 
     fn vector_time(&self) -> VectorTime {
-        if self.flat_mode {
+        if self.flat() {
             VectorTime::from(self.flat.clone())
         } else {
             self.tree.vector_time()
@@ -786,7 +826,7 @@ impl LogicalClock for HybridClock {
     }
 
     fn is_empty(&self) -> bool {
-        if self.flat_mode {
+        if self.flat() {
             self.root.is_none() && self.flat.iter().all(|&t| t == 0)
         } else {
             self.tree.is_empty()
@@ -794,7 +834,7 @@ impl LogicalClock for HybridClock {
     }
 
     fn num_threads(&self) -> usize {
-        if self.flat_mode {
+        if self.flat() {
             self.flat.len()
         } else {
             self.tree.num_threads()
@@ -813,18 +853,47 @@ impl LogicalClock for HybridClock {
         self.tree.clear();
         self.flat.clear();
         self.root = None;
+        // Keep the learned mode bit, drop any pending flip.
+        self.state.set(self.state.get() & ST_FLAT);
         self.window.reset_for_recycle();
         self.flips_to_flat = 0;
         self.flips_to_tree = 0;
     }
 
     fn reserve_threads(&mut self, threads: usize) {
-        if self.flat_mode {
+        if self.flat() {
             if self.flat.len() < threads {
                 self.flat.resize(threads, 0);
             }
         } else {
             self.tree.reserve_threads(threads);
+        }
+    }
+
+    /// Restores a checkpointed value into the *learned* representation:
+    /// a clock that had settled flat is refilled flat, otherwise the
+    /// tree re-materializes as the star shape.
+    fn restore_value(&mut self, times: &[LocalTime], root: Option<ThreadId>) {
+        assert!(
+            self.is_empty(),
+            "HybridClock::restore_value: destination must be empty"
+        );
+        let Some(r) = root else {
+            assert!(
+                times.iter().all(|&t| t == 0),
+                "HybridClock::restore_value: a rootless clock must be all-zero"
+            );
+            return;
+        };
+        if self.flat() {
+            self.flat.clear();
+            self.flat.extend_from_slice(times);
+            if self.flat.len() <= r.index() {
+                self.flat.resize(r.index() + 1, 0);
+            }
+            self.root = Some(r);
+        } else {
+            self.tree.adopt_flat(times, r.raw());
         }
     }
 
@@ -914,7 +983,10 @@ mod tests {
 
     #[test]
     fn sustained_dense_joins_flip_to_flat_and_back_on_sparse() {
-        const K: usize = 8;
+        // K must exceed SMALL_ARENA: at or below it the arena is
+        // flat-cheap by fiat and the clock (correctly) never returns
+        // to the tree representation.
+        const K: usize = SMALL_ARENA as usize + 8;
         let mut hub = rooted(0, 1);
         let mut peers: Vec<HybridClock> = (1..K as u32).map(|t| rooted(t, 1)).collect();
         // Cross-pollinate so each join into `hub` moves most of the
@@ -1142,6 +1214,49 @@ mod tests {
         assert!(b.is_flat());
         assert!(a.leq(&b));
         assert!(!b.leq(&a));
+    }
+
+    #[test]
+    fn small_arenas_settle_flat_even_when_sparse() {
+        // The k-dependent threshold: an arena of ≤ SMALL_ARENA entries
+        // (two cache lines) is flat-cheap, so even no-progress joins
+        // eventually migrate a small clock to the flat representation —
+        // and never back.
+        let mut c = rooted(0, 1);
+        let quiet = rooted(1, 1);
+        c.join(&quiet);
+        for _ in 0..(PROBE_PERIOD as usize + 1) * SATURATE * 2 {
+            c.increment(1);
+            c.join(&quiet); // changes nothing: nominally sparse
+        }
+        assert!(c.is_flat(), "small arena must settle flat");
+        assert_eq!(c.flips(), (1, 0));
+    }
+
+    #[test]
+    fn restore_value_round_trips_in_both_representations() {
+        use crate::LogicalClock;
+        let times = [3u32, 0, 7, 2];
+        let mut tree = HybridClock::new();
+        tree.restore_value(&times, Some(ThreadId::new(2)));
+        assert!(!tree.is_flat());
+        assert_eq!(tree.root_tid(), Some(ThreadId::new(2)));
+        assert_eq!(tree.vector_time(), VectorTime::from(times.to_vec()));
+
+        // A clock that learned the flat representation restores flat.
+        let mut flat = HybridClock::new();
+        let mut peers: Vec<HybridClock> = (1..6u32).map(|t| rooted(t, 1)).collect();
+        flat.init_root(ThreadId::new(0));
+        flat.increment(1);
+        for _ in 0..(SATURATE + 8) {
+            dense_round(&mut flat, &mut peers);
+        }
+        assert!(flat.is_flat());
+        flat.clear();
+        flat.restore_value(&times, Some(ThreadId::new(0)));
+        assert!(flat.is_flat());
+        assert_eq!(flat.vector_time(), VectorTime::from(times.to_vec()));
+        assert_eq!(flat.root_tid(), Some(ThreadId::new(0)));
     }
 
     #[test]

@@ -52,6 +52,13 @@ pub struct ClockPool<C> {
     recycled: u64,
     dropped: u64,
     high_water: usize,
+    /// Heap bytes currently parked on the free list, maintained
+    /// incrementally (clocks are immutable while parked, so the value
+    /// recorded at release stays exact until the clock is re-acquired).
+    free_bytes: usize,
+    /// High-water mark of `free_bytes` over the pool's life — the
+    /// quantity the streaming subsystem's bounded-memory tests track.
+    peak_free_bytes: usize,
 }
 
 /// Default free-list high-water mark: enough for every engine of a
@@ -71,6 +78,8 @@ impl<C: LogicalClock> ClockPool<C> {
             recycled: 0,
             dropped: 0,
             high_water: DEFAULT_HIGH_WATER,
+            free_bytes: 0,
+            peak_free_bytes: 0,
         }
     }
 
@@ -90,6 +99,7 @@ impl<C: LogicalClock> ClockPool<C> {
         if self.free.len() > high_water {
             self.dropped += (self.free.len() - high_water) as u64;
             self.free.truncate(high_water);
+            self.free_bytes = self.free.iter().map(C::heap_bytes).sum();
         }
     }
 
@@ -105,6 +115,7 @@ impl<C: LogicalClock> ClockPool<C> {
             Some(clock) => {
                 debug_assert!(clock.is_empty(), "pooled clock was not cleared");
                 self.recycled += 1;
+                self.free_bytes = self.free_bytes.saturating_sub(clock.heap_bytes());
                 clock
             }
             None => {
@@ -125,6 +136,8 @@ impl<C: LogicalClock> ClockPool<C> {
             return;
         }
         clock.clear();
+        self.free_bytes += clock.heap_bytes();
+        self.peak_free_bytes = self.peak_free_bytes.max(self.free_bytes);
         self.free.push(clock);
     }
 
@@ -160,6 +173,16 @@ impl<C: LogicalClock> ClockPool<C> {
         self.free.iter().map(C::heap_bytes).sum()
     }
 
+    /// The high-water mark of [`heap_bytes`](Self::heap_bytes) over the
+    /// pool's life, maintained incrementally at each release. The
+    /// streaming subsystem's bounded-memory regression tests assert
+    /// this stays proportional to the *live* working set on
+    /// thread-churn traces (retired threads' clocks park here briefly
+    /// and are re-issued to the next wave).
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_free_bytes
+    }
+
     /// Drains another pool's free list into this one (respecting this
     /// pool's high-water mark), merging its traffic counters — used
     /// when an engine hands back its pool.
@@ -169,6 +192,8 @@ impl<C: LogicalClock> ClockPool<C> {
             self.dropped += (other.free.len() - room) as u64;
             other.free.truncate(room);
         }
+        self.free_bytes += other.free.iter().map(C::heap_bytes).sum::<usize>();
+        self.peak_free_bytes = self.peak_free_bytes.max(self.free_bytes);
         self.free.append(&mut other.free);
         self.fresh += other.fresh;
         self.recycled += other.recycled;
@@ -202,6 +227,11 @@ impl<C: LogicalClock> LazyClock<C> {
     /// Creates an unmaterialized slot.
     pub const fn empty() -> Self {
         LazyClock { slot: None }
+    }
+
+    /// Wraps an already materialized clock (checkpoint restore).
+    pub fn from_clock(clock: C) -> Self {
+        LazyClock { slot: Some(clock) }
     }
 
     /// The clock, if the slot has materialized.

@@ -660,6 +660,25 @@ impl LogicalClock for TreeClock {
         self.nodes.len()
     }
 
+    /// Re-materializes the clock from a checkpointed value as the star
+    /// shape (every present thread directly under the root), the same
+    /// O(present) construction the dense fast path and the hybrid
+    /// backend use.
+    fn restore_value(&mut self, times: &[LocalTime], root: Option<ThreadId>) {
+        assert!(
+            self.root == NIL,
+            "TreeClock::restore_value: destination must be empty"
+        );
+        let Some(r) = root else {
+            assert!(
+                times.iter().all(|&t| t == 0),
+                "TreeClock::restore_value: a rootless clock must be all-zero"
+            );
+            return;
+        };
+        self.adopt_flat(times, r.raw());
+    }
+
     /// Sparse reset: dismantles the tree in O(present) time, keeping
     /// the arena buffers for reuse (e.g. via a
     /// [`ClockPool`](crate::pool::ClockPool)).

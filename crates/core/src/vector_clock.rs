@@ -215,6 +215,24 @@ impl LogicalClock for VectorClock {
         self.times.len()
     }
 
+    /// A flat restore: the values *are* the representation.
+    fn restore_value(&mut self, times: &[LocalTime], root: Option<ThreadId>) {
+        assert!(
+            self.is_empty(),
+            "VectorClock::restore_value: destination must be empty"
+        );
+        assert!(
+            root.is_some() || times.iter().all(|&t| t == 0),
+            "VectorClock::restore_value: a rootless clock must be all-zero"
+        );
+        self.times.clear();
+        self.times.extend_from_slice(times);
+        if let Some(r) = root {
+            self.ensure_len(r.index() + 1);
+        }
+        self.root = root;
+    }
+
     /// Keeps the allocation, drops the contents (a recycled flat clock
     /// re-grows by zero-extension, with no new allocation).
     fn clear(&mut self) {

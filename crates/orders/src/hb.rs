@@ -67,6 +67,71 @@ impl<C: LogicalClock> HbEngine<C> {
         }
     }
 
+    /// Creates an engine with capacity hints that draws its clocks
+    /// from `pool` — the streaming constructor, where no [`Trace`] is
+    /// ever materialized. The `vars` hint is unused by HB and accepted
+    /// for signature uniformity with the other engines.
+    pub fn with_capacity(threads: usize, locks: usize, vars: usize, pool: ClockPool<C>) -> Self {
+        let _ = vars;
+        HbEngine {
+            core: SyncCore::with_pool(threads, locks, pool),
+        }
+    }
+
+    /// Releases thread `t`'s clock into the pool once its last event
+    /// has been ingested and its knowledge has been absorbed (after
+    /// `join(_, t)` in a well-formed trace). Returns `false` if `t`
+    /// never started or was already retired. A later event by a retired
+    /// thread panics.
+    pub fn retire_thread(&mut self, t: ThreadId) -> bool {
+        self.core.retire_thread(t)
+    }
+
+    /// `true` once [`retire_thread`](Self::retire_thread) released `t`.
+    pub fn is_retired(&self, t: ThreadId) -> bool {
+        self.core.is_retired(t)
+    }
+
+    /// Number of threads retired so far.
+    pub fn retired_count(&self) -> usize {
+        self.core.retired_count()
+    }
+
+    /// Evicts every materialized lock clock dominated by the pointwise
+    /// minimum over live thread clocks, releasing it into the pool;
+    /// returns the number evicted. Value-preserving **only under fork
+    /// discipline** (every future thread inherits a live thread's
+    /// knowledge at birth) — the streaming layer gates it accordingly.
+    pub fn evict_dominated(&mut self) -> usize {
+        let mut floor = Vec::new();
+        if !self.core.live_floor(&mut floor) {
+            return 0;
+        }
+        self.core.evict_dominated_locks(&floor)
+    }
+
+    /// Read-only access to the engine's clock pool (telemetry: fresh /
+    /// recycled / parked-bytes counters).
+    pub fn pool(&self) -> &ClockPool<C> {
+        self.core.pool_ref()
+    }
+
+    /// Captures the engine's value-level state for a checkpoint.
+    pub fn export_state(&self) -> crate::snapshot::EngineState {
+        crate::snapshot::EngineState {
+            core: self.core.export_core(),
+            vars: Vec::new(),
+        }
+    }
+
+    /// Rebuilds an engine from a checkpointed state, drawing clocks
+    /// from `pool`. Work metrics restart at zero.
+    pub fn from_state(state: &crate::snapshot::EngineState, pool: ClockPool<C>) -> Self {
+        HbEngine {
+            core: SyncCore::from_core_state(&state.core, pool),
+        }
+    }
+
     /// Tears the engine down, releasing every clock it created into its
     /// pool for the next run to reuse.
     pub fn into_pool(self) -> ClockPool<C> {
@@ -241,6 +306,105 @@ mod tests {
         // + 1 (t1's acquire learns t0@2) + 1 (t1's release updates the
         // lock's t1 entry).
         assert_eq!(m.vt_work(), 7);
+    }
+
+    #[test]
+    fn retirement_releases_the_clock_and_keeps_values_elsewhere() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1);
+        b.acquire(1, "m").release(1, "m");
+        b.join(0, 1);
+        b.acquire(0, "m");
+        let trace = b.finish();
+        let mut hb = HbEngine::<TreeClock>::new(&trace);
+        for (i, e) in trace.iter().enumerate() {
+            hb.process(e);
+            if i == 3 {
+                assert!(hb.retire_thread(ThreadId::new(1)));
+                assert!(!hb.retire_thread(ThreadId::new(1)), "double retire");
+            }
+        }
+        // The parent absorbed the child's knowledge before retirement.
+        assert_eq!(hb.timestamp_of(ThreadId::new(0)).get(ThreadId::new(1)), 2);
+        assert_eq!(hb.retired_count(), 1);
+        assert!(hb.pool().recycled() + hb.pool().free_len() as u64 >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "after being retired")]
+    fn events_after_retirement_panic() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1).join(0, 1).acquire(1, "m");
+        let trace = b.finish(); // invalid, but engines don't validate
+        let mut hb = HbEngine::<TreeClock>::new(&trace);
+        for (i, e) in trace.iter().enumerate() {
+            hb.process(e);
+            if i == 1 {
+                hb.retire_thread(ThreadId::new(1));
+            }
+        }
+    }
+
+    #[test]
+    fn eviction_releases_dominated_locks_without_changing_values() {
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").release(0, "m");
+        b.acquire(1, "m"); // both threads now dominate m's clock [2]
+        b.acquire(0, "n").release(0, "n"); // n = [4]: t1 does not know t0@4
+        b.release(1, "m");
+        b.acquire(0, "m"); // re-learns m after its eviction
+        let trace = b.finish();
+        let mut hb = HbEngine::<TreeClock>::new(&trace);
+        let mut reference = HbEngine::<TreeClock>::new(&trace);
+        for (i, e) in trace.iter().enumerate() {
+            hb.process(e);
+            reference.process(e);
+            if i == 4 {
+                // Only m ([2] ⊑ floor [2,0]) is dominated; n ([4]) is not.
+                assert_eq!(hb.evict_dominated(), 1);
+            }
+        }
+        // Eviction is invisible to every subsequent timestamp.
+        for t in 0..2u32 {
+            assert_eq!(
+                hb.timestamp_of(ThreadId::new(t)),
+                reference.timestamp_of(ThreadId::new(t))
+            );
+        }
+    }
+
+    #[test]
+    fn export_import_round_trips_mid_run() {
+        let mut b = TraceBuilder::new();
+        for i in 0..24u32 {
+            let t = i % 3;
+            b.acquire_id(t, i % 2);
+            b.release_id(t, i % 2);
+        }
+        b.fork(0, 3);
+        b.acquire_id(3, 0);
+        b.release_id(3, 0);
+        let trace = b.finish();
+        let half = trace.len() / 2;
+
+        let mut original = HbEngine::<TreeClock>::new(&trace);
+        for e in trace.iter().take(half) {
+            original.process(e);
+        }
+        let state = original.export_state();
+        let mut restored = HbEngine::<VectorClock>::from_state(&state, ClockPool::new());
+        // Cross-backend restore: values are representation independent.
+        for e in trace.iter().skip(half) {
+            original.process(e);
+            restored.process(e);
+        }
+        for t in 0..4u32 {
+            assert_eq!(
+                original.timestamp_of(ThreadId::new(t)),
+                restored.timestamp_of(ThreadId::new(t)),
+                "thread {t}"
+            );
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub mod hb;
 pub mod maz;
 pub mod metrics;
 pub mod shb;
+pub mod snapshot;
 pub mod spec;
 mod sync_core;
 
@@ -60,4 +61,5 @@ pub use hb::HbEngine;
 pub use maz::MazEngine;
 pub use metrics::RunMetrics;
 pub use shb::ShbEngine;
+pub use snapshot::{ClockValue, CoreState, EngineState, ThreadSlot, VarClocks};
 pub use spec::PartialOrderKind;

@@ -115,6 +115,121 @@ impl<C: LogicalClock> MazEngine<C> {
         self.core.clock_bytes() + self.vars.iter().map(VarState::heap_bytes).sum::<usize>()
     }
 
+    /// Creates an engine with capacity hints that draws its clocks
+    /// from `pool` — the streaming constructor, where no [`Trace`] is
+    /// ever materialized.
+    pub fn with_capacity(threads: usize, locks: usize, vars: usize, pool: ClockPool<C>) -> Self {
+        MazEngine {
+            core: SyncCore::with_pool(threads, locks, pool),
+            vars: (0..vars).map(|_| VarState::new()).collect(),
+        }
+    }
+
+    /// Releases thread `t`'s clock into the pool; see
+    /// [`HbEngine::retire_thread`](crate::HbEngine::retire_thread). The
+    /// retired thread's `R_{t,x}` read clocks remain until a write
+    /// drains them or [`evict_dominated`](Self::evict_dominated)
+    /// reclaims them.
+    pub fn retire_thread(&mut self, t: ThreadId) -> bool {
+        self.core.retire_thread(t)
+    }
+
+    /// `true` once [`retire_thread`](Self::retire_thread) released `t`.
+    pub fn is_retired(&self, t: ThreadId) -> bool {
+        self.core.is_retired(t)
+    }
+
+    /// Number of threads retired so far.
+    pub fn retired_count(&self) -> usize {
+        self.core.retired_count()
+    }
+
+    /// Evicts every materialized lock, last-write and read clock
+    /// dominated by the pointwise minimum over live thread clocks
+    /// (dropping the corresponding `LRDs_x` membership — joining a
+    /// dominated read clock is a value no-op); returns the number
+    /// evicted. Value-preserving only under fork discipline — see
+    /// [`HbEngine::evict_dominated`](crate::HbEngine::evict_dominated).
+    pub fn evict_dominated(&mut self) -> usize {
+        let mut floor = Vec::new();
+        if !self.core.live_floor(&mut floor) {
+            return 0;
+        }
+        let mut evicted = self.core.evict_dominated_locks(&floor);
+        for var in &mut self.vars {
+            let dominated = var
+                .last_write
+                .get()
+                .is_some_and(|c| crate::sync_core::clock_dominated(c, &floor));
+            if dominated {
+                var.last_write.release_into(&mut self.core.pool);
+                evicted += 1;
+            }
+            let mut i = 0;
+            while i < var.reads.len() {
+                if crate::sync_core::clock_dominated(&var.reads[i].1, &floor) {
+                    let (t, clock) = var.reads.swap_remove(i);
+                    self.core.pool.release(clock);
+                    var.lrds.retain(|&r| r != t);
+                    evicted += 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        evicted
+    }
+
+    /// Read-only access to the engine's clock pool (telemetry).
+    pub fn pool(&self) -> &ClockPool<C> {
+        self.core.pool_ref()
+    }
+
+    /// Captures the engine's value-level state for a checkpoint.
+    pub fn export_state(&self) -> crate::snapshot::EngineState {
+        crate::snapshot::EngineState {
+            core: self.core.export_core(),
+            vars: self
+                .vars
+                .iter()
+                .map(|v| crate::snapshot::VarClocks {
+                    last_write: v.last_write.get().map(crate::snapshot::ClockValue::capture),
+                    reads: v
+                        .reads
+                        .iter()
+                        .map(|(t, c)| (*t, crate::snapshot::ClockValue::capture(c)))
+                        .collect(),
+                    lrds: v.lrds.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds an engine from a checkpointed state, drawing clocks
+    /// from `pool`. Work metrics restart at zero.
+    pub fn from_state(state: &crate::snapshot::EngineState, pool: ClockPool<C>) -> Self {
+        let mut core = SyncCore::from_core_state(&state.core, pool);
+        let vars = state
+            .vars
+            .iter()
+            .map(|v| VarState {
+                last_write: match &v.last_write {
+                    Some(value) => {
+                        tc_core::LazyClock::from_clock(value.restore_from_pool(&mut core.pool))
+                    }
+                    None => LazyClock::empty(),
+                },
+                reads: v
+                    .reads
+                    .iter()
+                    .map(|(t, value)| (*t, value.restore_from_pool(&mut core.pool)))
+                    .collect(),
+                lrds: v.lrds.clone(),
+            })
+            .collect();
+        MazEngine { core, vars }
+    }
+
     fn ensure_var(&mut self, x: VarId) {
         if x.index() >= self.vars.len() {
             self.vars.resize_with(x.index() + 1, VarState::new);

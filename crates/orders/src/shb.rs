@@ -78,6 +78,90 @@ impl<C: LogicalClock> ShbEngine<C> {
                 .sum::<usize>()
     }
 
+    /// Creates an engine with capacity hints that draws its clocks
+    /// from `pool` — the streaming constructor, where no [`Trace`] is
+    /// ever materialized.
+    pub fn with_capacity(threads: usize, locks: usize, vars: usize, pool: ClockPool<C>) -> Self {
+        ShbEngine {
+            core: SyncCore::with_pool(threads, locks, pool),
+            last_write: (0..vars).map(|_| LazyClock::empty()).collect(),
+        }
+    }
+
+    /// Releases thread `t`'s clock into the pool; see
+    /// [`HbEngine::retire_thread`](crate::HbEngine::retire_thread).
+    pub fn retire_thread(&mut self, t: ThreadId) -> bool {
+        self.core.retire_thread(t)
+    }
+
+    /// `true` once [`retire_thread`](Self::retire_thread) released `t`.
+    pub fn is_retired(&self, t: ThreadId) -> bool {
+        self.core.is_retired(t)
+    }
+
+    /// Number of threads retired so far.
+    pub fn retired_count(&self) -> usize {
+        self.core.retired_count()
+    }
+
+    /// Evicts every materialized lock and last-write clock dominated by
+    /// the pointwise minimum over live thread clocks; returns the
+    /// number evicted. Value-preserving only under fork discipline —
+    /// see [`HbEngine::evict_dominated`](crate::HbEngine::evict_dominated).
+    pub fn evict_dominated(&mut self) -> usize {
+        let mut floor = Vec::new();
+        if !self.core.live_floor(&mut floor) {
+            return 0;
+        }
+        let mut evicted = self.core.evict_dominated_locks(&floor);
+        for lw in &mut self.last_write {
+            let dominated = lw
+                .get()
+                .is_some_and(|c| crate::sync_core::clock_dominated(c, &floor));
+            if dominated {
+                lw.release_into(&mut self.core.pool);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Read-only access to the engine's clock pool (telemetry).
+    pub fn pool(&self) -> &ClockPool<C> {
+        self.core.pool_ref()
+    }
+
+    /// Captures the engine's value-level state for a checkpoint.
+    pub fn export_state(&self) -> crate::snapshot::EngineState {
+        crate::snapshot::EngineState {
+            core: self.core.export_core(),
+            vars: self
+                .last_write
+                .iter()
+                .map(|lw| crate::snapshot::VarClocks {
+                    last_write: lw.get().map(crate::snapshot::ClockValue::capture),
+                    reads: Vec::new(),
+                    lrds: Vec::new(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuilds an engine from a checkpointed state, drawing clocks
+    /// from `pool`. Work metrics restart at zero.
+    pub fn from_state(state: &crate::snapshot::EngineState, pool: ClockPool<C>) -> Self {
+        let mut core = SyncCore::from_core_state(&state.core, pool);
+        let last_write = state
+            .vars
+            .iter()
+            .map(|v| match &v.last_write {
+                Some(value) => LazyClock::from_clock(value.restore_from_pool(&mut core.pool)),
+                None => LazyClock::empty(),
+            })
+            .collect();
+        ShbEngine { core, last_write }
+    }
+
     fn ensure_var(&mut self, x: VarId) {
         if x.index() >= self.last_write.len() {
             self.last_write.resize_with(x.index() + 1, LazyClock::empty);

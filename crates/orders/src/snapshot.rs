@@ -1,0 +1,123 @@
+//! Value-level engine state capture for the streaming subsystem's
+//! checkpoints.
+//!
+//! A checkpoint stores clock *values*, not clock representations: all
+//! future values (and therefore all future race reports) of an engine
+//! are determined by the current values alone, so a restored engine may
+//! rebuild each clock in whatever shape its backend prefers (the tree
+//! backend re-materializes the O(present) star; see
+//! [`LogicalClock::restore_value`]). Work metrics are intentionally
+//! *not* part of the state — a resumed run's counters restart at zero,
+//! which keeps the format small and representation-independent.
+
+use tc_core::{ClockPool, LocalTime, LogicalClock, ThreadId};
+
+/// A clock captured as its represented vector time plus its owner.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ClockValue {
+    /// The owning (root) thread, `None` only for all-zero clocks.
+    pub root: Option<ThreadId>,
+    /// The represented times, dense by thread index (trailing zeros
+    /// insignificant).
+    pub times: Vec<LocalTime>,
+}
+
+impl ClockValue {
+    /// Captures `clock`'s value.
+    pub fn capture<C: LogicalClock>(clock: &C) -> ClockValue {
+        ClockValue {
+            root: clock.root_tid(),
+            times: clock.vector_time().into_inner(),
+        }
+    }
+
+    /// Restores this value into an *empty* clock.
+    pub fn restore_into<C: LogicalClock>(&self, clock: &mut C) {
+        clock.restore_value(&self.times, self.root);
+    }
+
+    /// Restores this value into a clock drawn from `pool`.
+    pub fn restore_from_pool<C: LogicalClock>(&self, pool: &mut ClockPool<C>) -> C {
+        let mut c = pool.acquire();
+        self.restore_into(&mut c);
+        c
+    }
+}
+
+/// One thread slot of the shared engine core.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThreadSlot {
+    /// The thread was retired (its clock released) before the snapshot.
+    pub retired: bool,
+    /// The thread's clock value; `None` when the thread never started
+    /// (or was retired).
+    pub clock: Option<ClockValue>,
+}
+
+/// The shared core state: per-thread and per-lock clocks.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CoreState {
+    /// Thread slots, dense by thread index.
+    pub threads: Vec<ThreadSlot>,
+    /// Materialized lock clocks, dense by lock index (`None` = lazy).
+    pub locks: Vec<Option<ClockValue>>,
+}
+
+/// Per-variable state of the SHB/MAZ engines.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VarClocks {
+    /// The last-write clock `LW_x`, if materialized.
+    pub last_write: Option<ClockValue>,
+    /// MAZ `R_{t,x}` read clocks (empty for HB/SHB).
+    pub reads: Vec<(ThreadId, ClockValue)>,
+    /// MAZ `LRDs_x` reader set (empty for HB/SHB).
+    pub lrds: Vec<ThreadId>,
+}
+
+/// The complete value-level state of one partial-order engine.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct EngineState {
+    /// Thread and lock clocks.
+    pub core: CoreState,
+    /// Per-variable clocks, dense by variable index (empty for HB).
+    pub vars: Vec<VarClocks>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::{TreeClock, VectorClock};
+
+    #[test]
+    fn clock_value_round_trips_across_backends() {
+        let mut src = TreeClock::new();
+        src.init_root(ThreadId::new(2));
+        src.increment(5);
+        let mut other = TreeClock::new();
+        other.init_root(ThreadId::new(0));
+        other.increment(3);
+        src.join(&other);
+
+        let value = ClockValue::capture(&src);
+        assert_eq!(value.root, Some(ThreadId::new(2)));
+
+        let mut tree = TreeClock::new();
+        value.restore_into(&mut tree);
+        assert_eq!(tree.vector_time(), src.vector_time());
+        assert_eq!(tree.root_tid(), src.root_tid());
+
+        let mut vector = VectorClock::new();
+        value.restore_into(&mut vector);
+        assert_eq!(vector.vector_time(), src.vector_time());
+        assert_eq!(vector.root_tid(), src.root_tid());
+    }
+
+    #[test]
+    fn empty_clock_value_restores_empty() {
+        let value = ClockValue::capture(&TreeClock::new());
+        assert_eq!(value.root, None);
+        let mut pool = ClockPool::<VectorClock>::new();
+        let c = value.restore_from_pool(&mut pool);
+        assert!(c.is_empty());
+    }
+}

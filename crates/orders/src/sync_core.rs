@@ -17,6 +17,11 @@ use crate::metrics::RunMetrics;
 pub(crate) struct SyncCore<C> {
     threads: Vec<C>,
     rooted: Vec<bool>,
+    /// Threads whose clock has been released back to the pool by
+    /// [`retire_thread`](Self::retire_thread); any further event by a
+    /// retired thread is a caller bug (well-formed traces cannot
+    /// produce one — a joined thread performs no more events).
+    retired: Vec<bool>,
     locks: Vec<LazyClock<C>>,
     thread_hint: usize,
     pub(crate) pool: ClockPool<C>,
@@ -38,6 +43,7 @@ impl<C: LogicalClock> SyncCore<C> {
                 })
                 .collect(),
             rooted: vec![false; threads],
+            retired: vec![false; threads],
             // Lock clocks are lazy: they materialize (from the pool) on
             // the first release that publishes a time into them.
             locks: (0..locks).map(|_| LazyClock::empty()).collect(),
@@ -92,8 +98,16 @@ impl<C: LogicalClock> SyncCore<C> {
                 c
             });
             self.rooted.resize(i + 1, false);
+            self.retired.resize(i + 1, false);
         }
         if !self.rooted[i] {
+            // The check lives inside the un-rooted branch so the hot
+            // path (thread already rooted) pays nothing for it.
+            assert!(
+                !self.retired[i],
+                "thread {t} performs an event after being retired \
+                 (retirement requires the thread's last event to have been ingested)"
+            );
             self.threads[i].init_root(t);
             self.rooted[i] = true;
         }
@@ -182,6 +196,94 @@ impl<C: LogicalClock> SyncCore<C> {
         }
     }
 
+    /// Releases thread `t`'s clock back into the pool — the streaming
+    /// subsystem's thread-retirement hook. Sound once `t`'s last event
+    /// has been ingested and its time has been joined everywhere it can
+    /// still matter (in a well-formed trace, after `join(_, t)`: the
+    /// joining thread absorbed everything `t` knew, and `t`'s clock is
+    /// only ever read again by another `join(_, t)` — which
+    /// well-formedness forbids). Returns `false` if `t` never started
+    /// or was already retired.
+    ///
+    /// After retirement the slot holds an empty placeholder clock; a
+    /// later event by `t` panics (see [`ensure_thread`]).
+    pub(crate) fn retire_thread(&mut self, t: ThreadId) -> bool {
+        let i = t.index();
+        if i >= self.threads.len() || !self.rooted[i] || self.retired[i] {
+            return false;
+        }
+        let clock = std::mem::take(&mut self.threads[i]);
+        self.pool.release(clock);
+        self.rooted[i] = false;
+        self.retired[i] = true;
+        true
+    }
+
+    /// `true` once [`retire_thread`](Self::retire_thread) released `t`.
+    pub(crate) fn is_retired(&self, t: ThreadId) -> bool {
+        self.retired.get(t.index()).copied().unwrap_or(false)
+    }
+
+    /// Number of threads retired so far.
+    pub(crate) fn retired_count(&self) -> usize {
+        self.retired.iter().filter(|&&r| r).count()
+    }
+
+    /// Computes the pointwise minimum over all *live* (rooted,
+    /// unretired) thread clocks into `floor`, returning `false` (and an
+    /// empty floor) when no thread is live. Any clock value dominated
+    /// by this floor can never again change a join's outcome — every
+    /// live thread already knows at least as much, and (under fork
+    /// discipline) every future thread inherits a live thread's
+    /// knowledge at birth.
+    pub(crate) fn live_floor(&self, floor: &mut Vec<tc_core::LocalTime>) -> bool {
+        floor.clear();
+        let mut any = false;
+        for (i, clock) in self.threads.iter().enumerate() {
+            if !self.rooted[i] {
+                continue;
+            }
+            let width = clock.num_threads();
+            if !any {
+                floor.resize(width, 0);
+                for (j, slot) in floor.iter_mut().enumerate() {
+                    *slot = clock.get(ThreadId::new(j as u32));
+                }
+                any = true;
+            } else {
+                // The floor can only shrink: entries past a clock's
+                // width are 0 there, so the min truncates the floor.
+                floor.truncate(width);
+                for (j, slot) in floor.iter_mut().enumerate() {
+                    *slot = (*slot).min(clock.get(ThreadId::new(j as u32)));
+                }
+            }
+        }
+        any
+    }
+
+    /// Evicts every materialized lock clock dominated by `floor`,
+    /// releasing it into the pool; returns the number evicted. A
+    /// dominated lock clock's future joins are value no-ops, so the
+    /// eviction is invisible to timestamps and reports (metrics may
+    /// legitimately skip the no-op joins).
+    pub(crate) fn evict_dominated_locks(&mut self, floor: &[tc_core::LocalTime]) -> usize {
+        let mut evicted = 0;
+        for lock in &mut self.locks {
+            let dominated = lock.get().is_some_and(|c| clock_dominated(c, floor));
+            if dominated {
+                lock.release_into(&mut self.pool);
+                evicted += 1;
+            }
+        }
+        evicted
+    }
+
+    /// Read-only access to the engine's clock pool (telemetry).
+    pub(crate) fn pool_ref(&self) -> &ClockPool<C> {
+        &self.pool
+    }
+
     /// The current clock of thread `t` (zero clock if `t` has not acted).
     pub(crate) fn clock(&self, t: ThreadId) -> Option<&C> {
         self.threads.get(t.index())
@@ -193,6 +295,73 @@ impl<C: LogicalClock> SyncCore<C> {
 
     pub(crate) fn timestamp(&self, t: ThreadId) -> VectorTime {
         self.clock(t).map(C::vector_time).unwrap_or_default()
+    }
+}
+
+/// `true` when every entry of `clock` is at most the corresponding
+/// floor entry (entries past the floor count as 0).
+pub(crate) fn clock_dominated<C: LogicalClock>(clock: &C, floor: &[tc_core::LocalTime]) -> bool {
+    (0..clock.num_threads() as u32)
+        .all(|i| clock.get(ThreadId::new(i)) <= floor.get(i as usize).copied().unwrap_or(0))
+}
+
+impl<C: LogicalClock> SyncCore<C> {
+    /// Captures the clock-visible state (thread and lock clock values,
+    /// retirement flags) for a checkpoint.
+    pub(crate) fn export_core(&self) -> crate::snapshot::CoreState {
+        crate::snapshot::CoreState {
+            threads: self
+                .threads
+                .iter()
+                .enumerate()
+                .map(|(i, c)| crate::snapshot::ThreadSlot {
+                    retired: self.retired[i],
+                    clock: self.rooted[i].then(|| crate::snapshot::ClockValue::capture(c)),
+                })
+                .collect(),
+            locks: self
+                .locks
+                .iter()
+                .map(|l| l.get().map(crate::snapshot::ClockValue::capture))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a core from a checkpointed [`CoreState`], drawing
+    /// clocks from `pool`.
+    ///
+    /// [`CoreState`]: crate::snapshot::CoreState
+    pub(crate) fn from_core_state(state: &crate::snapshot::CoreState, pool: ClockPool<C>) -> Self {
+        let mut core = SyncCore::with_pool(0, 0, pool);
+        core.thread_hint = state.threads.len();
+        for slot in &state.threads {
+            match &slot.clock {
+                Some(value) => {
+                    let mut c = core.pool.acquire();
+                    c.reserve_threads(core.thread_hint);
+                    value.restore_into(&mut c);
+                    core.threads.push(c);
+                    core.rooted.push(true);
+                }
+                None => {
+                    core.threads.push(C::new());
+                    core.rooted.push(false);
+                }
+            }
+            core.retired.push(slot.retired);
+        }
+        for lock in &state.locks {
+            let slot = match lock {
+                Some(value) => {
+                    let mut c = core.pool.acquire();
+                    value.restore_into(&mut c);
+                    LazyClock::from_clock(c)
+                }
+                None => LazyClock::empty(),
+            };
+            core.locks.push(slot);
+        }
+        core
     }
 }
 

@@ -1,0 +1,531 @@
+//! The incremental detector: the batch race detectors' feed-one-event
+//! twin, with bounded-memory hooks.
+//!
+//! [`IncrementalDetector`] wraps one partial-order engine
+//! ([`HbEngine`]/[`ShbEngine`]/[`MazEngine`]) behind a single
+//! [`feed`](IncrementalDetector::feed) API, performing exactly the
+//! epoch checks the batch detectors perform — in the same
+//! check-before-process order — so its reports and per-event
+//! timestamps are *identical* to a batch run over the same events (the
+//! conformance sweep enforces this on every quick-corpus case).
+//!
+//! On top of the batch semantics it adds what an online service needs:
+//!
+//! - **Thread retirement** — at `join(t, u)` the child `u`'s clock has
+//!   just been absorbed by `t` and (in a well-formed trace) can never
+//!   be read again, so it is released to the [`ClockPool`] immediately.
+//!   On spawn/join-churn workloads this bounds the number of live
+//!   clocks by the number of *live* threads, not total threads.
+//! - **Cold-state eviction** — every [`DetectorConfig::evict_every`]
+//!   events, lock/variable clocks dominated by the pointwise minimum
+//!   over live thread clocks are released: every future join against
+//!   them would be a value no-op. Sound only under *fork discipline*
+//!   (every new thread is forked by a live one, so it inherits at least
+//!   the floor at birth); the detector enforces the discipline once the
+//!   first eviction has happened and rejects a spontaneous thread with
+//!   [`FeedError::SpontaneousThread`] instead of silently diverging.
+//! - **Checkpointing** — [`checkpoint`](IncrementalDetector::checkpoint)
+//!   captures the complete value-level state;
+//!   [`from_checkpoint`](IncrementalDetector::from_checkpoint) resumes
+//!   it with byte-identical subsequent reports.
+
+use std::fmt;
+
+use tc_analysis::{upcoming_epoch, Race, RaceReport, VarHistories};
+use tc_core::{ClockPool, LogicalClock, ThreadId, VectorTime};
+use tc_orders::{HbEngine, MazEngine, PartialOrderKind, ShbEngine};
+use tc_trace::{Event, Op};
+
+use crate::checkpoint::Checkpoint;
+
+/// Configuration of an [`IncrementalDetector`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DetectorConfig {
+    /// The partial order to compute races/reversible pairs under.
+    pub order: PartialOrderKind,
+    /// Release a thread's clock to the pool when it is joined
+    /// (default: on — the retirement is always sound on well-formed
+    /// traces).
+    pub retire_on_join: bool,
+    /// Evict dominated lock/variable clocks every this many events
+    /// (`None` = off). Requires fork discipline; see the module docs.
+    pub evict_every: Option<u64>,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            order: PartialOrderKind::Hb,
+            retire_on_join: true,
+            evict_every: None,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// A config for `order` with the default memory policy.
+    pub fn for_order(order: PartialOrderKind) -> Self {
+        DetectorConfig {
+            order,
+            ..DetectorConfig::default()
+        }
+    }
+}
+
+/// An error while feeding an event.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FeedError {
+    /// A thread appeared without having been forked after eviction had
+    /// already discarded dominated state — the one situation where
+    /// eviction could silently change results, rejected instead.
+    SpontaneousThread {
+        /// The offending thread.
+        thread: ThreadId,
+        /// The event index at which it appeared.
+        at: u64,
+    },
+    /// The event involves a thread whose clock has already been retired
+    /// (it acted, was the target of a fork, or was joined again after
+    /// its `join`). Ill-formed input; rejected so a malformed session
+    /// cannot panic the detector.
+    RetiredThread {
+        /// The retired thread.
+        thread: ThreadId,
+        /// The event index at which it was referenced.
+        at: u64,
+    },
+}
+
+impl fmt::Display for FeedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeedError::SpontaneousThread { thread, at } => write!(
+                f,
+                "thread {thread} appears without a fork at event {at}, after eviction \
+                 discarded dominated state (eviction requires fork discipline; \
+                 disable it or fork every thread)"
+            ),
+            FeedError::RetiredThread { thread, at } => write!(
+                f,
+                "event {at} involves thread {thread}, which was already joined and \
+                 retired (a joined thread cannot act or be forked/joined again)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FeedError {}
+
+enum OrderEngine<C> {
+    Hb(HbEngine<C>),
+    Shb(ShbEngine<C>),
+    Maz(MazEngine<C>),
+}
+
+macro_rules! dispatch {
+    ($engine:expr, $e:ident => $body:expr) => {
+        match $engine {
+            OrderEngine::Hb($e) => $body,
+            OrderEngine::Shb($e) => $body,
+            OrderEngine::Maz($e) => $body,
+        }
+    };
+}
+
+/// A streaming race detector over one partial order and one clock
+/// backend; see the [module docs](self).
+///
+/// # Example
+///
+/// ```rust
+/// use tc_core::TreeClock;
+/// use tc_stream::{DetectorConfig, IncrementalDetector};
+/// use tc_trace::TraceBuilder;
+///
+/// let mut b = TraceBuilder::new();
+/// b.write(0, "x").write(1, "x"); // unsynchronized: a data race
+/// let trace = b.finish();
+///
+/// let mut d = IncrementalDetector::<TreeClock>::new(DetectorConfig::default());
+/// let mut found = 0;
+/// for e in &trace {
+///     found += d.feed(e).unwrap().len();
+/// }
+/// assert_eq!(found, 1);
+/// ```
+pub struct IncrementalDetector<C: LogicalClock> {
+    config: DetectorConfig,
+    engine: OrderEngine<C>,
+    vars: VarHistories,
+    report: RaceReport,
+    /// Stored races already returned from [`feed`](Self::feed).
+    emitted: usize,
+    events: u64,
+    evicted: u64,
+    /// Thread lifecycle for the eviction fork-discipline guard and the
+    /// session stats (index = thread id).
+    started: Vec<bool>,
+    forked: Vec<bool>,
+    /// The session's initial thread (exempt from the fork requirement).
+    first_thread: Option<ThreadId>,
+}
+
+impl<C: LogicalClock> IncrementalDetector<C> {
+    /// Creates a detector with fresh clock buffers.
+    pub fn new(config: DetectorConfig) -> Self {
+        Self::with_pool(config, ClockPool::new())
+    }
+
+    /// Creates a detector drawing clocks from `pool` (a pool recycled
+    /// from a finished session makes the new session allocation-lean).
+    pub fn with_pool(config: DetectorConfig, pool: ClockPool<C>) -> Self {
+        let engine = match config.order {
+            PartialOrderKind::Hb => OrderEngine::Hb(HbEngine::with_capacity(0, 0, 0, pool)),
+            PartialOrderKind::Shb => OrderEngine::Shb(ShbEngine::with_capacity(0, 0, 0, pool)),
+            PartialOrderKind::Maz => OrderEngine::Maz(MazEngine::with_capacity(0, 0, 0, pool)),
+        };
+        IncrementalDetector {
+            config,
+            engine,
+            vars: VarHistories::default(),
+            report: RaceReport::new(),
+            emitted: 0,
+            events: 0,
+            evicted: 0,
+            started: Vec::new(),
+            forked: Vec::new(),
+            first_thread: None,
+        }
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+
+    /// Events ingested so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Distinct threads seen so far (acting or fork-targeted).
+    pub fn threads_seen(&self) -> usize {
+        self.started.iter().filter(|&&s| s).count()
+    }
+
+    /// The report accumulated so far (total/checks keep counting past
+    /// the stored-race cap).
+    pub fn report(&self) -> &RaceReport {
+        &self.report
+    }
+
+    /// Clock/variable state dominated-eviction count so far.
+    pub fn evicted(&self) -> u64 {
+        self.evicted
+    }
+
+    /// Threads whose clock has been retired to the pool.
+    pub fn retired_count(&self) -> usize {
+        dispatch!(&self.engine, e => e.retired_count())
+    }
+
+    /// Heap bytes currently owned by the engine's live clocks.
+    pub fn clock_bytes(&self) -> usize {
+        dispatch!(&self.engine, e => e.clock_bytes())
+    }
+
+    /// The engine's clock pool (fresh/recycled/parked telemetry).
+    pub fn pool(&self) -> &ClockPool<C> {
+        dispatch!(&self.engine, e => e.pool())
+    }
+
+    /// The current vector timestamp of thread `t` (empty once retired).
+    pub fn timestamp_of(&self, t: ThreadId) -> VectorTime {
+        dispatch!(&self.engine, e => e.timestamp_of(t))
+    }
+
+    /// Tears the detector down, releasing every clock into its pool.
+    pub fn into_pool(self) -> ClockPool<C> {
+        dispatch!(self.engine, e => e.into_pool())
+    }
+
+    fn grow_thread(&mut self, i: usize) {
+        if i >= self.started.len() {
+            self.started.resize(i + 1, false);
+            self.forked.resize(i + 1, false);
+        }
+    }
+
+    /// Ingests one event, returning any races it uncovered (the live
+    /// emission path — each stored race is returned exactly once across
+    /// the session's `feed` calls).
+    ///
+    /// Events must arrive in trace order and be well-formed; pair the
+    /// detector with a
+    /// [`SessionValidator`](tc_trace::SessionValidator) when the source
+    /// is untrusted.
+    ///
+    /// # Errors
+    ///
+    /// [`FeedError::SpontaneousThread`] when eviction is enabled, has
+    /// already discarded state, and a thread appears without a fork
+    /// (the event is *not* ingested; the session stays usable).
+    pub fn feed(&mut self, e: &Event) -> Result<&[Race], FeedError> {
+        let t = e.tid;
+        self.grow_thread(t.index());
+        // A retired thread can neither act nor be targeted again: the
+        // batch validators accept e.g. a fork of a never-started thread
+        // that was already joined, but its clock is gone — reject the
+        // event instead of panicking the engine.
+        let referenced_retired = dispatch!(&self.engine, e2 => e2.is_retired(t))
+            || match e.op {
+                Op::Fork(u) | Op::Join(u) => dispatch!(&self.engine, e2 => e2.is_retired(u)),
+                _ => false,
+            };
+        if referenced_retired {
+            let thread = match e.op {
+                Op::Fork(u) | Op::Join(u) if dispatch!(&self.engine, e2 => e2.is_retired(u)) => u,
+                _ => t,
+            };
+            return Err(FeedError::RetiredThread {
+                thread,
+                at: self.events,
+            });
+        }
+        if self.evicted > 0
+            && !self.started[t.index()]
+            && !self.forked[t.index()]
+            && self.first_thread != Some(t)
+        {
+            return Err(FeedError::SpontaneousThread {
+                thread: t,
+                at: self.events,
+            });
+        }
+        if self.first_thread.is_none() {
+            self.first_thread = Some(t);
+        }
+        self.started[t.index()] = true;
+        if let Op::Fork(u) = e.op {
+            self.grow_thread(u.index());
+            self.forked[u.index()] = true;
+            self.started[u.index()] = true;
+        }
+
+        // The batch detectors' discipline, verbatim: epoch checks
+        // against the pre-event clock, then the engine's edges.
+        match e.op {
+            Op::Read(x) => {
+                let clock = dispatch!(&self.engine, e2 => e2.clock_of(t));
+                let epoch = upcoming_epoch(t, clock);
+                match clock {
+                    Some(c) => self.vars.entry(x).on_read(epoch, c, &mut self.report),
+                    None => {
+                        let c = C::new();
+                        self.vars.entry(x).on_read(epoch, &c, &mut self.report);
+                    }
+                }
+            }
+            Op::Write(x) => {
+                let clock = dispatch!(&self.engine, e2 => e2.clock_of(t));
+                let epoch = upcoming_epoch(t, clock);
+                match clock {
+                    Some(c) => self.vars.entry(x).on_write(epoch, c, &mut self.report),
+                    None => {
+                        let c = C::new();
+                        self.vars.entry(x).on_write(epoch, &c, &mut self.report);
+                    }
+                }
+            }
+            _ => {}
+        }
+        dispatch!(&mut self.engine, e2 => e2.process(e));
+        self.events += 1;
+
+        if self.config.retire_on_join {
+            if let Op::Join(u) = e.op {
+                dispatch!(&mut self.engine, e2 => e2.retire_thread(u));
+            }
+        }
+        if let Some(n) = self.config.evict_every {
+            if n > 0 && self.events.is_multiple_of(n) {
+                self.evicted += dispatch!(&mut self.engine, e2 => e2.evict_dominated()) as u64;
+            }
+        }
+
+        let start = self.emitted;
+        self.emitted = self.report.races.len();
+        Ok(self.report.races_since(start))
+    }
+
+    /// Captures the complete value-level session state. Feeding the
+    /// same remaining events to
+    /// [`from_checkpoint`](Self::from_checkpoint)'s detector yields
+    /// byte-identical reports to never having stopped.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            config: self.config,
+            backend: C::NAME.to_owned(),
+            events: self.events,
+            emitted: self.emitted as u64,
+            polled: 0,
+            evicted: self.evicted,
+            first_thread: self.first_thread,
+            started: self.started.clone(),
+            forked: self.forked.clone(),
+            engine: dispatch!(&self.engine, e => e.export_state()),
+            vars: self.vars.snapshot(),
+            report: self.report.clone(),
+            validator: None,
+            interner: None,
+        }
+    }
+
+    /// Resumes a session from a checkpoint, drawing clocks from `pool`.
+    /// The backend need not match the one that wrote the checkpoint
+    /// (values are representation independent); the recorded
+    /// [`Checkpoint::backend`] lets a service re-create the original
+    /// one.
+    pub fn from_checkpoint(cp: &Checkpoint, pool: ClockPool<C>) -> Self {
+        let engine = match cp.config.order {
+            PartialOrderKind::Hb => OrderEngine::Hb(HbEngine::from_state(&cp.engine, pool)),
+            PartialOrderKind::Shb => OrderEngine::Shb(ShbEngine::from_state(&cp.engine, pool)),
+            PartialOrderKind::Maz => OrderEngine::Maz(MazEngine::from_state(&cp.engine, pool)),
+        };
+        IncrementalDetector {
+            config: cp.config,
+            engine,
+            vars: VarHistories::from_snapshot(&cp.vars),
+            report: cp.report.clone(),
+            emitted: cp.emitted as usize,
+            events: cp.events,
+            evicted: cp.evicted,
+            started: cp.started.clone(),
+            forked: cp.forked.clone(),
+            first_thread: cp.first_thread,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_analysis::HbRaceDetector;
+    use tc_core::{TreeClock, VectorClock};
+    use tc_trace::TraceBuilder;
+
+    #[test]
+    fn feed_matches_the_batch_detector() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x");
+        b.read(1, "x");
+        b.acquire(0, "m").write(0, "y").release(0, "m");
+        b.acquire(1, "m").write(1, "y").release(1, "m");
+        b.write(2, "x");
+        let trace = b.finish();
+
+        let batch = HbRaceDetector::<TreeClock>::new(&trace).run(&trace);
+        let mut d = IncrementalDetector::<TreeClock>::new(DetectorConfig::default());
+        let mut live = Vec::new();
+        for e in &trace {
+            live.extend(d.feed(e).unwrap().iter().copied());
+        }
+        assert_eq!(*d.report(), batch);
+        assert_eq!(live, batch.races, "live emission must cover every race");
+        assert_eq!(d.events(), trace.len() as u64);
+        assert_eq!(d.threads_seen(), 3);
+    }
+
+    #[test]
+    fn join_retirement_releases_clocks() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1).write(1, "x").join(0, 1);
+        b.fork(0, 2).write(2, "x").join(0, 2);
+        let trace = b.finish();
+        let mut d = IncrementalDetector::<VectorClock>::new(DetectorConfig::default());
+        for e in &trace {
+            d.feed(e).unwrap();
+        }
+        assert_eq!(d.retired_count(), 2);
+        // The second child reused the first child's retired clock.
+        assert!(d.pool().recycled() >= 1);
+        // Both writes are fork/join ordered: no race.
+        assert!(d.report().is_empty());
+    }
+
+    #[test]
+    fn eviction_rejects_spontaneous_threads_instead_of_diverging() {
+        let config = DetectorConfig {
+            evict_every: Some(1),
+            ..DetectorConfig::default()
+        };
+        let mut d = IncrementalDetector::<TreeClock>::new(config);
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m").release(0, "m").fork(0, 1);
+        b.acquire(1, "m").release(1, "m");
+        let trace = b.finish();
+        for e in &trace {
+            d.feed(e).unwrap();
+        }
+        assert!(d.evicted() > 0, "the lock clock must have been evicted");
+        // A forked thread is fine; a spontaneous one is rejected.
+        let mut b = TraceBuilder::new();
+        b.write(7, "x");
+        let spontaneous = &b.finish()[0];
+        let err = d.feed(spontaneous).unwrap_err();
+        assert!(matches!(err, FeedError::SpontaneousThread { .. }));
+        assert!(err.to_string().contains("fork discipline"));
+        // The rejected event was not ingested; the session continues.
+        let before = d.events();
+        let mut b = TraceBuilder::new();
+        b.acquire(0, "m");
+        d.feed(&b.finish()[0]).unwrap();
+        assert_eq!(d.events(), before + 1);
+    }
+
+    #[test]
+    fn events_touching_retired_threads_error_instead_of_panicking() {
+        // join(0,1) roots-and-retires t1 even though it never acted; a
+        // later fork/join/act of t1 must be a FeedError, not an engine
+        // panic (a panic would kill a serve worker shard for good).
+        let mut b = TraceBuilder::new();
+        b.join(0, 1).fork(2, 1);
+        let trace = b.finish();
+        let mut d = IncrementalDetector::<TreeClock>::new(DetectorConfig::default());
+        d.feed(&trace[0]).unwrap();
+        let err = d.feed(&trace[1]).unwrap_err();
+        assert!(
+            matches!(err, FeedError::RetiredThread { thread, .. } if thread == ThreadId::new(1)),
+            "{err}"
+        );
+        // An event *by* the retired thread is rejected too.
+        let mut b = TraceBuilder::new();
+        b.write(1, "x");
+        let err = d.feed(&b.finish()[0]).unwrap_err();
+        assert!(matches!(err, FeedError::RetiredThread { .. }), "{err}");
+        // The session survives and keeps working.
+        let mut b = TraceBuilder::new();
+        b.write(0, "x");
+        d.feed(&b.finish()[0]).unwrap();
+        assert_eq!(d.events(), 2);
+    }
+
+    #[test]
+    fn detector_orders_cover_shb_and_maz() {
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").read(1, "x").write(1, "x");
+        let trace = b.finish();
+        let mut shb =
+            IncrementalDetector::<TreeClock>::new(DetectorConfig::for_order(PartialOrderKind::Shb));
+        let mut maz =
+            IncrementalDetector::<TreeClock>::new(DetectorConfig::for_order(PartialOrderKind::Maz));
+        for e in &trace {
+            shb.feed(e).unwrap();
+            maz.feed(e).unwrap();
+        }
+        // SHB: only the first w/r pair is schedulable; MAZ: the same
+        // single reversible pair (w1 is transitively ordered).
+        assert_eq!(shb.report().total, 1);
+        assert_eq!(maz.report().total, 1);
+    }
+}

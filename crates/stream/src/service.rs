@@ -1,0 +1,541 @@
+//! The multi-client streaming service: `tcr serve`.
+//!
+//! A std-only TCP server (no async runtime — the container is offline
+//! and the workspace vendors no executor) that shards concurrent
+//! sessions across a fixed pool of worker threads. Each accepted
+//! connection is one session, pinned round-robin to a worker; sessions
+//! on different workers run fully in parallel, each with its own
+//! independent [`Session`] (detector + validator + interner) — there is
+//! no shared analysis state to contend on.
+//!
+//! ## Wire protocol
+//!
+//! Line-oriented text, one request per line. The first line must be
+//!
+//! ```text
+//! open <order> <clock> [evict <n>] [no-retire]
+//! ```
+//!
+//! answered with `ok session <id> order <order> clock <backend>`.
+//! After that, every [`Session::handle_line`] command is available;
+//! additionally `shutdown` stops the whole server (answered
+//! `ok shutting-down`). Event lines are silent on success, so a client
+//! can pipeline a whole trace and synchronize once with `poll` or
+//! `stats`.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use tc_orders::PartialOrderKind;
+
+use crate::detector::DetectorConfig;
+use crate::session::{ClockChoice, Session};
+
+/// Configuration of [`Server::start`].
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see
+    /// [`Server::local_addr`]).
+    pub addr: String,
+    /// Worker threads — the number of session shards served in
+    /// parallel.
+    pub workers: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+        }
+    }
+}
+
+/// A running streaming service.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds and starts the service: one acceptor thread plus
+    /// `config.workers` session shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let session_ids = Arc::new(AtomicU64::new(1));
+
+        let worker_count = config.workers.max(1);
+        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(worker_count);
+        let mut workers = Vec::with_capacity(worker_count);
+        for shard in 0..worker_count {
+            let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
+            senders.push(tx);
+            let shutdown = Arc::clone(&shutdown);
+            let session_ids = Arc::clone(&session_ids);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("tcr-serve-worker-{shard}"))
+                    .spawn(move || {
+                        while let Ok(stream) = rx.recv() {
+                            let id = session_ids.fetch_add(1, Ordering::Relaxed);
+                            // One session at a time per shard: a
+                            // session is pinned to its worker for its
+                            // whole life.
+                            let _ = handle_connection(stream, id, &shutdown, addr);
+                            if shutdown.load(Ordering::Relaxed) {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("spawning a worker thread cannot fail"),
+            );
+        }
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let acceptor = std::thread::Builder::new()
+            .name("tcr-serve-acceptor".to_owned())
+            .spawn(move || {
+                let mut next = 0usize;
+                for stream in listener.incoming() {
+                    if accept_shutdown.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    // Round-robin sharding.
+                    if senders[next % senders.len()].send(stream).is_err() {
+                        break;
+                    }
+                    next += 1;
+                }
+            })
+            .expect("spawning the acceptor thread cannot fail");
+
+        Ok(Server {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// `true` once a `shutdown` protocol command (or
+    /// [`Self::shutdown`]) stopped the server.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Requests shutdown and wakes the acceptor.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Blocks until the acceptor and every worker exit. Call
+    /// [`shutdown`](Self::shutdown) first (or let a client's `shutdown`
+    /// command do it).
+    pub fn join(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // Workers exit when their channel sender (owned by the
+        // acceptor) is dropped and the queue drains.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Parses the `open` line's arguments.
+fn parse_open(parts: &[&str]) -> Result<(ClockChoice, DetectorConfig), String> {
+    let order: PartialOrderKind = parts
+        .first()
+        .copied()
+        .unwrap_or("hb")
+        .parse()
+        .map_err(|e: String| e)?;
+    let clock: ClockChoice = parts.get(1).copied().unwrap_or("tc").parse()?;
+    let mut config = DetectorConfig::for_order(order);
+    let mut i = 2;
+    while i < parts.len() {
+        match parts[i] {
+            "evict" => {
+                let n = parts
+                    .get(i + 1)
+                    .ok_or("evict requires an interval")?
+                    .parse::<u64>()
+                    .map_err(|_| "invalid evict interval".to_owned())?;
+                config.evict_every = Some(n.max(1));
+                i += 2;
+            }
+            "no-retire" => {
+                config.retire_on_join = false;
+                i += 1;
+            }
+            other => return Err(format!("unknown open option `{other}`")),
+        }
+    }
+    Ok((clock, config))
+}
+
+/// Flags shutdown and wakes the blocking acceptor with a throwaway
+/// connection to its own address (same trick as [`Server::shutdown`] —
+/// without the wake-up, a protocol-level `shutdown` would leave the
+/// acceptor parked in `accept` forever).
+fn request_shutdown(shutdown: &AtomicBool, addr: SocketAddr) {
+    shutdown.store(true, Ordering::Relaxed);
+    let _ = TcpStream::connect(addr);
+}
+
+/// Serves one connection: the `open` handshake, then the session loop.
+fn handle_connection(
+    stream: TcpStream,
+    id: u64,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    let peer = stream.try_clone()?;
+    let mut reader = BufReader::new(peer);
+    let mut writer = BufWriter::new(stream);
+    let mut line = String::new();
+    let mut reply = String::new();
+
+    // Handshake.
+    let mut session = loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client went away before opening
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let parts: Vec<&str> = trimmed.split_whitespace().collect();
+        match parts.split_first() {
+            Some((&"open", rest)) => match parse_open(rest) {
+                Ok((clock, config)) => {
+                    let session = Session::new(id, clock, config);
+                    writeln!(
+                        writer,
+                        "ok session {id} order {} clock {}",
+                        config.order,
+                        session.detector().backend_name()
+                    )?;
+                    writer.flush()?;
+                    break session;
+                }
+                Err(e) => {
+                    writeln!(writer, "err {e}")?;
+                    writer.flush()?;
+                }
+            },
+            Some((&"resume", [path])) => {
+                match std::fs::File::open(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|f| {
+                        crate::checkpoint::Checkpoint::read(BufReader::new(f))
+                            .map_err(|e| e.to_string())
+                    }) {
+                    Ok(cp) => {
+                        let session = Session::from_checkpoint(id, &cp);
+                        writeln!(
+                            writer,
+                            "ok session {id} resumed events={} order {} clock {}",
+                            cp.events,
+                            cp.config.order,
+                            session.detector().backend_name()
+                        )?;
+                        writer.flush()?;
+                        break session;
+                    }
+                    Err(e) => {
+                        writeln!(writer, "err cannot resume from {path}: {e}")?;
+                        writer.flush()?;
+                    }
+                }
+            }
+            Some((&"shutdown", _)) => {
+                request_shutdown(shutdown, addr);
+                writeln!(writer, "ok shutting-down")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            _ => {
+                writeln!(writer, "err expected `open <order> <clock>`")?;
+                writer.flush()?;
+            }
+        }
+    };
+
+    // Session loop.
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Ok(()); // client disconnected
+        }
+        let trimmed = line.trim();
+        if trimmed == "shutdown" {
+            request_shutdown(shutdown, addr);
+            writeln!(writer, "ok shutting-down")?;
+            writer.flush()?;
+            return Ok(());
+        }
+        reply.clear();
+        let keep_going = session.handle_line(trimmed, &mut reply);
+        if !reply.is_empty() {
+            writer.write_all(reply.as_bytes())?;
+            writer.flush()?;
+        }
+        if !keep_going {
+            return Ok(());
+        }
+    }
+}
+
+// ---- the smoke driver ---------------------------------------------------
+
+/// A minimal blocking protocol client (used by the smoke test and the
+/// integration tests).
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects and performs the `open` handshake. Arguments starting
+    /// with `resume` are sent verbatim (the resume handshake);
+    /// everything else is prefixed with `open `.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and protocol-level `err` replies, as strings.
+    pub fn open(addr: SocketAddr, open_args: &str) -> Result<Client, String> {
+        let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        let mut client = Client {
+            reader,
+            writer: BufWriter::new(stream),
+        };
+        let line = if open_args.starts_with("resume") {
+            open_args.to_owned()
+        } else {
+            format!("open {open_args}")
+        };
+        let reply = client.handshake_request(&line)?;
+        match reply.iter().rfind(|l| !l.is_empty()) {
+            Some(l) if l.starts_with("ok session") => Ok(client),
+            Some(l) => Err(format!("open failed: {l}")),
+            None => Err("open got no reply".to_owned()),
+        }
+    }
+
+    /// A request whose reply may be a single `err` line (handshake
+    /// failures terminate the exchange without an `ok`).
+    fn handshake_request(&mut self, line: &str) -> Result<Vec<String>, String> {
+        self.send(line)?;
+        self.writer.flush().map_err(|e| e.to_string())?;
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("server closed the connection during the handshake".to_owned());
+        }
+        Ok(vec![reply.trim_end().to_owned()])
+    }
+
+    /// Sends one line without waiting for a reply (event pipelining).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as strings.
+    pub fn send(&mut self, line: &str) -> Result<(), String> {
+        writeln!(self.writer, "{line}").map_err(|e| e.to_string())
+    }
+
+    /// Sends a command and reads reply lines up to (and including) the
+    /// `ok`/`err` terminator. Any `err` lines produced by earlier
+    /// pipelined events surface here too.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as strings.
+    pub fn request(&mut self, line: &str) -> Result<Vec<String>, String> {
+        self.send(line)?;
+        self.writer.flush().map_err(|e| e.to_string())?;
+        let mut replies = Vec::new();
+        loop {
+            let mut reply = String::new();
+            let n = self
+                .reader
+                .read_line(&mut reply)
+                .map_err(|e| e.to_string())?;
+            if n == 0 {
+                return Err("server closed the connection mid-reply".to_owned());
+            }
+            let reply = reply.trim_end().to_owned();
+            let terminal = reply.starts_with("ok");
+            replies.push(reply);
+            if terminal {
+                return Ok(replies);
+            }
+        }
+    }
+}
+
+/// The end-to-end smoke run behind `tcr serve --smoke`: starts a
+/// server, drives two concurrent sessions over real sockets with
+/// different orders/backends, asserts each session's reports equal the
+/// batch detectors' on the same trace (what `tcr race` runs), and shuts
+/// the server down cleanly.
+///
+/// # Errors
+///
+/// A description of the first divergence or protocol failure.
+fn smoke_trace(seed: u64) -> tc_trace::Trace {
+    tc_trace::gen::WorkloadSpec {
+        threads: 4,
+        locks: 2,
+        vars: 3,
+        events: 400,
+        sync_ratio: 0.15,
+        shared_fraction: 0.9,
+        seed,
+        ..tc_trace::gen::WorkloadSpec::default()
+    }
+    .generate()
+}
+
+/// Drives one smoke session over the wire and returns `(total, stored
+/// race lines)`.
+fn smoke_drive(
+    addr: SocketAddr,
+    order: &str,
+    clock: &str,
+    seed: u64,
+) -> Result<(u64, Vec<String>), String> {
+    use tc_trace::text_format;
+    let trace = smoke_trace(seed);
+    let mut client = Client::open(addr, &format!("{order} {clock}"))?;
+    for line in text_format::to_text(&trace).lines() {
+        client.send(line)?;
+    }
+    let replies = client.request("races")?;
+    if let Some(err) = replies.iter().find(|l| l.starts_with("err")) {
+        return Err(format!("session {order}/{clock}: {err}"));
+    }
+    let races: Vec<String> = replies
+        .iter()
+        .filter(|l| l.starts_with("race "))
+        .map(|l| l["race ".len()..].to_owned())
+        .collect();
+    let ok = replies.last().expect("request returns the terminator");
+    let total: u64 = ok
+        .split_whitespace()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("malformed races terminator `{ok}`"))?;
+    let stats = client.request("stats")?;
+    let stats_line = stats.last().expect("terminator");
+    if !stats_line.contains(&format!("events={}", trace.len())) {
+        return Err(format!(
+            "session {order}/{clock}: expected events={} in `{stats_line}`",
+            trace.len()
+        ));
+    }
+    client.request("close")?;
+    Ok((total, races))
+}
+
+/// The end-to-end smoke run behind `tcr serve --smoke`: starts a
+/// server, drives two concurrent sessions over real sockets with
+/// different orders/backends, asserts each session's reports equal the
+/// batch detectors' on the same trace (what `tcr race` runs), and shuts
+/// the server down cleanly.
+///
+/// # Errors
+///
+/// A description of the first divergence or protocol failure.
+pub fn smoke() -> Result<(), String> {
+    use tc_analysis::{HbRaceDetector, ShbRaceDetector};
+    use tc_core::{HybridClock, TreeClock};
+
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+    })
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = server.local_addr();
+
+    // Two concurrent sessions on the two worker shards.
+    let h1 = std::thread::spawn(move || smoke_drive(addr, "hb", "tc", 11));
+    let h2 = std::thread::spawn(move || smoke_drive(addr, "shb", "hc", 12));
+    let (total_hb, races_hb) = h1.join().map_err(|_| "hb client panicked")??;
+    let (total_shb, races_shb) = h2.join().map_err(|_| "shb client panicked")??;
+
+    // The reference runs: exactly what `tcr race` computes on the
+    // rendered trace file the session was fed (parsing re-interns ids
+    // in first-appearance order, exactly like the session did).
+    let reparse = |seed: u64| {
+        tc_trace::text_format::parse_text(&tc_trace::text_format::to_text(&smoke_trace(seed)))
+            .expect("rendered traces re-parse")
+    };
+    let trace_hb = reparse(11);
+    let batch_hb = HbRaceDetector::<TreeClock>::new(&trace_hb).run(&trace_hb);
+    let trace_shb = reparse(12);
+    let batch_shb = ShbRaceDetector::<HybridClock>::new(&trace_shb).run(&trace_shb);
+
+    for (label, total, races, batch) in [
+        ("hb/tc", total_hb, &races_hb, &batch_hb),
+        ("shb/hc", total_shb, &races_shb, &batch_shb),
+    ] {
+        if total != batch.total {
+            return Err(format!(
+                "{label}: served {total} race(s), batch found {}",
+                batch.total
+            ));
+        }
+        let expected: Vec<String> = batch.races.iter().map(|r| r.to_string()).collect();
+        if *races != expected {
+            return Err(format!(
+                "{label}: served race list diverges from the batch detector \
+                 ({} vs {} stored)",
+                races.len(),
+                expected.len()
+            ));
+        }
+    }
+
+    // Clean shutdown through the protocol.
+    let mut admin = TcpStream::connect(addr).map_err(|e| e.to_string())?;
+    writeln!(admin, "shutdown").map_err(|e| e.to_string())?;
+    let mut reply = String::new();
+    BufReader::new(admin)
+        .read_line(&mut reply)
+        .map_err(|e| e.to_string())?;
+    if !reply.starts_with("ok shutting-down") {
+        return Err(format!("shutdown got `{}`", reply.trim()));
+    }
+    server.shutdown();
+    server.join();
+    Ok(())
+}

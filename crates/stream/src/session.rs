@@ -1,0 +1,478 @@
+//! One analysis session: a runtime-chosen backend detector paired with
+//! incremental validation and the text line protocol.
+//!
+//! A [`Session`] is what both `tcr stream` (one session over a file)
+//! and `tcr serve` (many sessions over sockets) drive: it owns an
+//! [`IncrementalDetector`] for a runtime-selected clock backend, a
+//! [`SessionValidator`] rejecting malformed events before they reach
+//! the engine, and a [`StreamInterner`] so text sessions can use
+//! human-readable names.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use tc_analysis::Race;
+use tc_core::{HybridClock, ThreadId, TreeClock, VectorClock, VectorTime};
+use tc_trace::{Event, SessionValidator, StreamInterner};
+
+use crate::checkpoint::Checkpoint;
+use crate::detector::{DetectorConfig, FeedError, IncrementalDetector};
+
+/// A runtime clock-backend selector (`tc`/`vc`/`hc`, or the long
+/// names).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ClockChoice {
+    /// The tree clock (default).
+    #[default]
+    Tree,
+    /// The flat vector clock.
+    Vector,
+    /// The adaptive flat/tree hybrid.
+    Hybrid,
+}
+
+impl ClockChoice {
+    /// The backend's `LogicalClock::NAME`.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClockChoice::Tree => "tree",
+            ClockChoice::Vector => "vector",
+            ClockChoice::Hybrid => "hybrid",
+        }
+    }
+}
+
+impl FromStr for ClockChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "tc" | "tree" => Ok(ClockChoice::Tree),
+            "vc" | "vector" => Ok(ClockChoice::Vector),
+            "hc" | "hybrid" => Ok(ClockChoice::Hybrid),
+            other => Err(format!("unknown clock `{other}` (expected tc, vc or hc)")),
+        }
+    }
+}
+
+/// An [`IncrementalDetector`] over a backend chosen at runtime.
+pub enum AnyDetector {
+    /// Tree-clock backend.
+    Tree(IncrementalDetector<TreeClock>),
+    /// Vector-clock backend.
+    Vector(IncrementalDetector<VectorClock>),
+    /// Hybrid backend.
+    Hybrid(IncrementalDetector<HybridClock>),
+}
+
+macro_rules! dispatch {
+    ($any:expr, $d:ident => $body:expr) => {
+        match $any {
+            AnyDetector::Tree($d) => $body,
+            AnyDetector::Vector($d) => $body,
+            AnyDetector::Hybrid($d) => $body,
+        }
+    };
+}
+
+impl AnyDetector {
+    /// Creates a detector for the chosen backend.
+    pub fn new(clock: ClockChoice, config: DetectorConfig) -> AnyDetector {
+        match clock {
+            ClockChoice::Tree => AnyDetector::Tree(IncrementalDetector::new(config)),
+            ClockChoice::Vector => AnyDetector::Vector(IncrementalDetector::new(config)),
+            ClockChoice::Hybrid => AnyDetector::Hybrid(IncrementalDetector::new(config)),
+        }
+    }
+
+    /// Restores a detector from a checkpoint, re-creating the backend
+    /// recorded in it (unknown names fall back to the tree backend —
+    /// values are representation independent).
+    pub fn from_checkpoint(cp: &Checkpoint) -> AnyDetector {
+        let clock = cp.backend.parse().unwrap_or_default();
+        match clock {
+            ClockChoice::Tree => AnyDetector::Tree(IncrementalDetector::from_checkpoint(
+                cp,
+                tc_core::ClockPool::new(),
+            )),
+            ClockChoice::Vector => AnyDetector::Vector(IncrementalDetector::from_checkpoint(
+                cp,
+                tc_core::ClockPool::new(),
+            )),
+            ClockChoice::Hybrid => AnyDetector::Hybrid(IncrementalDetector::from_checkpoint(
+                cp,
+                tc_core::ClockPool::new(),
+            )),
+        }
+    }
+
+    /// See [`IncrementalDetector::feed`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FeedError`] from the detector.
+    pub fn feed(&mut self, e: &Event) -> Result<&[Race], FeedError> {
+        dispatch!(self, d => d.feed(e))
+    }
+
+    /// See [`IncrementalDetector::report`].
+    pub fn report(&self) -> &tc_analysis::RaceReport {
+        dispatch!(self, d => d.report())
+    }
+
+    /// See [`IncrementalDetector::events`].
+    pub fn events(&self) -> u64 {
+        dispatch!(self, d => d.events())
+    }
+
+    /// See [`IncrementalDetector::threads_seen`].
+    pub fn threads_seen(&self) -> usize {
+        dispatch!(self, d => d.threads_seen())
+    }
+
+    /// See [`IncrementalDetector::retired_count`].
+    pub fn retired_count(&self) -> usize {
+        dispatch!(self, d => d.retired_count())
+    }
+
+    /// See [`IncrementalDetector::evicted`].
+    pub fn evicted(&self) -> u64 {
+        dispatch!(self, d => d.evicted())
+    }
+
+    /// See [`IncrementalDetector::clock_bytes`].
+    pub fn clock_bytes(&self) -> usize {
+        dispatch!(self, d => d.clock_bytes())
+    }
+
+    /// Free-listed bytes parked in the detector's pool.
+    pub fn pool_bytes(&self) -> usize {
+        dispatch!(self, d => d.pool().heap_bytes())
+    }
+
+    /// See [`IncrementalDetector::timestamp_of`].
+    pub fn timestamp_of(&self, t: ThreadId) -> VectorTime {
+        dispatch!(self, d => d.timestamp_of(t))
+    }
+
+    /// See [`IncrementalDetector::checkpoint`].
+    pub fn checkpoint(&self) -> Checkpoint {
+        dispatch!(self, d => d.checkpoint())
+    }
+
+    /// The detector's configuration.
+    pub fn config(&self) -> DetectorConfig {
+        dispatch!(self, d => d.config())
+    }
+
+    /// The backend's name.
+    pub fn backend_name(&self) -> &'static str {
+        match self {
+            AnyDetector::Tree(_) => "tree",
+            AnyDetector::Vector(_) => "vector",
+            AnyDetector::Hybrid(_) => "hybrid",
+        }
+    }
+}
+
+/// One line-protocol session; see the [module docs](self) and
+/// [`Session::handle_line`] for the command set.
+pub struct Session {
+    id: u64,
+    detector: AnyDetector,
+    validator: SessionValidator,
+    interner: StreamInterner,
+    /// Events rejected by validation (the session continues).
+    rejected: u64,
+    /// Stored races already sent in reply to `poll`.
+    polled: usize,
+}
+
+impl Session {
+    /// Creates a session.
+    pub fn new(id: u64, clock: ClockChoice, config: DetectorConfig) -> Session {
+        Session {
+            id,
+            detector: AnyDetector::new(clock, config),
+            validator: SessionValidator::new(),
+            interner: StreamInterner::new(),
+            rejected: 0,
+            polled: 0,
+        }
+    }
+
+    /// Resumes a session from a checkpoint: the detector *and* — when
+    /// the checkpoint was taken at the session level — the validator's
+    /// lock/lifecycle state (so discipline keeps being enforced across
+    /// the restore) and the interner's name tables (so every
+    /// established name → id binding survives).
+    pub fn from_checkpoint(id: u64, cp: &Checkpoint) -> Session {
+        Session {
+            id,
+            detector: AnyDetector::from_checkpoint(cp),
+            validator: cp
+                .validator
+                .as_ref()
+                .map(SessionValidator::from_snapshot)
+                .unwrap_or_default(),
+            interner: cp
+                .interner
+                .as_ref()
+                .map(StreamInterner::from_snapshot)
+                .unwrap_or_default(),
+            rejected: 0,
+            // Resume delivery exactly where the checkpointed session's
+            // consumer left off: races it never polled are replayed by
+            // the next `poll` instead of being lost.
+            polled: cp.polled as usize,
+        }
+    }
+
+    /// Captures the session (detector + validator + names + poll
+    /// watermark) as a checkpoint.
+    pub fn checkpoint(&self) -> Checkpoint {
+        let mut cp = self.detector.checkpoint();
+        cp.validator = Some(self.validator.snapshot());
+        cp.interner = Some(self.interner.snapshot());
+        cp.polled = self.polled as u64;
+        cp
+    }
+
+    /// The session id assigned at `open`.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The underlying detector (telemetry, checkpointing).
+    pub fn detector(&self) -> &AnyDetector {
+        &self.detector
+    }
+
+    /// Feeds one already-parsed event through validation and the
+    /// detector, appending `race ...` reply lines for any races found.
+    fn feed_event(&mut self, e: &Event, out: &mut String) {
+        if let Err(err) = self.validator.check(e) {
+            self.rejected += 1;
+            let _ = writeln!(out, "err invalid event: {}", err.message);
+            return;
+        }
+        match self.detector.feed(e) {
+            Ok(_) => {}
+            Err(err) => {
+                self.rejected += 1;
+                let _ = writeln!(out, "err {err}");
+            }
+        }
+    }
+
+    /// Handles one protocol line, appending reply lines to `out`.
+    /// Returns `false` when the session asked to close.
+    ///
+    /// The command set:
+    ///
+    /// - `<thread> <op> <operand>` or `event <thread> <op> <operand>` —
+    ///   feed one event (text-format syntax; names are interned
+    ///   per-session). Silent on success; `err ...` on a malformed or
+    ///   rejected event (the session continues).
+    /// - `poll` — `race ...` lines for races found since the last
+    ///   `poll`, then `ok <new> <total>`.
+    /// - `races` — every stored race, then `ok <stored> <total>`.
+    /// - `stats` — one `ok` line of `key=value` session statistics.
+    /// - `timestamp <thread>` — the thread's current vector time.
+    /// - `checkpoint <path>` — write a checkpoint file server-side.
+    /// - `close` — `ok bye`, ends the session.
+    pub fn handle_line(&mut self, line: &str, out: &mut String) -> bool {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return true;
+        }
+        let mut parts = line.split_whitespace();
+        let command = parts.next().expect("non-empty line has a first token");
+        match command {
+            "close" => {
+                let _ = writeln!(out, "ok bye");
+                return false;
+            }
+            "poll" => {
+                let report = self.detector.report();
+                let new = report.races_since(self.polled);
+                for race in new {
+                    let _ = writeln!(out, "race {race}");
+                }
+                let (count, total) = (new.len(), report.total);
+                self.polled = self.detector.report().races.len();
+                let _ = writeln!(out, "ok {count} {total}");
+            }
+            "races" => {
+                let report = self.detector.report();
+                for race in &report.races {
+                    let _ = writeln!(out, "race {race}");
+                }
+                let _ = writeln!(out, "ok {} {}", report.races.len(), report.total);
+            }
+            "stats" => {
+                let d = &self.detector;
+                let report = d.report();
+                let _ = writeln!(
+                    out,
+                    "ok events={} threads={} races={} checks={} rejected={} retired={} \
+                     evicted={} clock_bytes={} pool_bytes={} backend={} order={}",
+                    d.events(),
+                    d.threads_seen(),
+                    report.total,
+                    report.checks,
+                    self.rejected,
+                    d.retired_count(),
+                    d.evicted(),
+                    d.clock_bytes(),
+                    d.pool_bytes(),
+                    d.backend_name(),
+                    d.config().order,
+                );
+            }
+            "timestamp" => match parts.next() {
+                Some(name) => {
+                    let t = self.resolve_thread(name);
+                    match t {
+                        Some(t) => {
+                            let _ = writeln!(out, "ok {}", self.detector.timestamp_of(t));
+                        }
+                        None => {
+                            let _ = writeln!(out, "err unknown thread `{name}`");
+                        }
+                    }
+                }
+                None => {
+                    let _ = writeln!(out, "err timestamp requires a thread");
+                }
+            },
+            "checkpoint" => match parts.next() {
+                Some(path) => {
+                    let cp = self.checkpoint();
+                    match std::fs::File::create(path)
+                        .map_err(|e| e.to_string())
+                        .and_then(|f| {
+                            let mut w = std::io::BufWriter::new(f);
+                            cp.write(&mut w).map_err(|e| e.to_string())
+                        }) {
+                        Ok(()) => {
+                            let _ = writeln!(out, "ok checkpoint {path} events={}", cp.events);
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "err cannot write {path}: {e}");
+                        }
+                    }
+                }
+                None => {
+                    let _ = writeln!(out, "err checkpoint requires a path");
+                }
+            },
+            "event" => {
+                let rest: Vec<&str> = parts.collect();
+                self.parse_and_feed(&rest.join(" "), out);
+            }
+            _ => {
+                // Bare text-format event line.
+                self.parse_and_feed(line, out);
+            }
+        }
+        true
+    }
+
+    fn parse_and_feed(&mut self, line: &str, out: &mut String) {
+        match self.interner.parse_line(line) {
+            Ok(Some(e)) => self.feed_event(&e, out),
+            Ok(None) => {}
+            Err(message) => {
+                self.rejected += 1;
+                let _ = writeln!(out, "err {message}");
+            }
+        }
+    }
+
+    /// Resolves a thread token: an interned name, or `t<i>`/<i> ids.
+    fn resolve_thread(&self, token: &str) -> Option<ThreadId> {
+        if let Some(t) = self.interner.thread_id(token) {
+            return Some(t);
+        }
+        let raw = token.strip_prefix('t').unwrap_or(token);
+        raw.parse().ok().map(ThreadId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn open_session() -> Session {
+        Session::new(1, ClockChoice::Tree, DetectorConfig::default())
+    }
+
+    #[test]
+    fn clock_choice_parses_both_spellings() {
+        assert_eq!("tc".parse::<ClockChoice>().unwrap(), ClockChoice::Tree);
+        assert_eq!(
+            "vector".parse::<ClockChoice>().unwrap(),
+            ClockChoice::Vector
+        );
+        assert_eq!("hc".parse::<ClockChoice>().unwrap(), ClockChoice::Hybrid);
+        assert!("xyz".parse::<ClockChoice>().is_err());
+        assert_eq!(ClockChoice::Hybrid.name(), "hybrid");
+    }
+
+    #[test]
+    fn session_feeds_events_and_reports_races() {
+        let mut s = open_session();
+        let mut out = String::new();
+        assert!(s.handle_line("main w x", &mut out));
+        assert!(s.handle_line("worker w x", &mut out));
+        assert!(out.is_empty(), "events are silent on success: {out}");
+        s.handle_line("poll", &mut out);
+        assert!(out.contains("race "), "{out}");
+        assert!(out.contains("ok 1 1"), "{out}");
+        out.clear();
+        s.handle_line("poll", &mut out);
+        assert_eq!(out, "ok 0 1\n", "polled races are not re-emitted");
+        out.clear();
+        s.handle_line("races", &mut out);
+        assert!(out.contains("race "), "races replays the stored set");
+        out.clear();
+        s.handle_line("stats", &mut out);
+        assert!(out.contains("events=2"), "{out}");
+        assert!(out.contains("races=1"), "{out}");
+        out.clear();
+        s.handle_line("timestamp main", &mut out);
+        assert!(out.starts_with("ok "), "{out}");
+        out.clear();
+        assert!(!s.handle_line("close", &mut out));
+        assert!(out.contains("ok bye"));
+    }
+
+    #[test]
+    fn malformed_events_error_but_do_not_kill_the_session() {
+        let mut s = open_session();
+        let mut out = String::new();
+        s.handle_line("main frobnicate x", &mut out);
+        assert!(out.contains("err "), "{out}");
+        out.clear();
+        s.handle_line("main rel m", &mut out); // release without acquire
+        assert!(out.contains("err invalid event"), "{out}");
+        out.clear();
+        s.handle_line("main acq m", &mut out);
+        assert!(out.is_empty());
+        s.handle_line("stats", &mut out);
+        assert!(out.contains("events=1"), "{out}");
+        assert!(out.contains("rejected=2"), "{out}");
+    }
+
+    #[test]
+    fn event_prefix_and_bare_lines_are_equivalent() {
+        let mut a = open_session();
+        let mut b = open_session();
+        let mut out = String::new();
+        a.handle_line("event main w x", &mut out);
+        b.handle_line("main w x", &mut out);
+        assert_eq!(a.detector().events(), 1);
+        assert_eq!(b.detector().events(), 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! End-to-end service tests over real sockets: concurrent sessions,
+//! protocol behavior, checkpoint/resume across connections, and the
+//! smoke driver the CI job runs.
+
+use tc_stream::{smoke, Client, ServeConfig, Server};
+
+fn start() -> Server {
+    Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+    })
+    .expect("bind on a free port")
+}
+
+#[test]
+fn smoke_drives_two_concurrent_sessions_against_batch() {
+    smoke().expect("the smoke run must pass");
+}
+
+#[test]
+fn protocol_shutdown_terminates_the_server() {
+    // Regression: a protocol-level `shutdown` must wake the blocking
+    // acceptor (not just set the flag), or `tcr serve` hangs forever
+    // after replying `ok shutting-down`.
+    let server = start();
+    let addr = server.local_addr();
+    let mut client = Client::open(addr, "hb tc").unwrap();
+    let reply = client.request("shutdown").unwrap();
+    assert!(reply.last().unwrap().contains("shutting-down"), "{reply:?}");
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.join();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(10))
+        .expect("join() must return after a protocol shutdown");
+}
+
+#[test]
+fn bad_handshakes_are_rejected_until_a_valid_open() {
+    let server = start();
+    let addr = server.local_addr();
+    let err = Client::open(addr, "frobnicate tc").unwrap_err();
+    assert!(err.contains("open failed"), "{err}");
+    // The same *connection* keeps accepting handshake retries; a new
+    // client with a valid open succeeds.
+    let mut client = Client::open(addr, "maz vc").unwrap();
+    let replies = client.request("stats").unwrap();
+    assert!(replies.last().unwrap().contains("order=MAZ"), "{replies:?}");
+    assert!(replies.last().unwrap().contains("backend=vector"));
+    client.request("close").unwrap();
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn checkpoint_and_resume_across_connections() {
+    let dir = std::env::temp_dir().join(format!("tc-stream-svc-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cp_path = dir.join("session.tccp");
+    let cp_str = cp_path.to_str().unwrap();
+
+    let server = start();
+    let addr = server.local_addr();
+
+    // Session 1: feed half a racy workload (inside a critical section,
+    // so the validator state matters), checkpoint, disconnect — without
+    // ever polling, so the race is still undelivered.
+    let mut c1 = Client::open(addr, "hb tc").unwrap();
+    c1.send("main w x").unwrap();
+    c1.send("worker w x").unwrap(); // race 1
+    c1.send("main acq m").unwrap(); // still held at the checkpoint
+    let reply = c1.request(&format!("checkpoint {cp_str}")).unwrap();
+    assert!(
+        reply.last().unwrap().starts_with("ok checkpoint"),
+        "{reply:?}"
+    );
+    c1.request("close").unwrap();
+
+    // Session 2: resume and continue — the held lock must still be
+    // releasable (validator state traveled), old races must be stored,
+    // and new races must keep arriving.
+    let mut c2 = Client::open(addr, &format!("resume {cp_str}")).unwrap();
+    c2.send("main rel m").unwrap(); // valid only if held_by survived
+    c2.send("t2 w x").unwrap(); // races with the last write (epoch check)
+    let stats = c2.request("stats").unwrap();
+    let line = stats.last().unwrap();
+    assert!(line.contains("events=5"), "{line}");
+    assert!(line.contains("rejected=0"), "{line}");
+    let races = c2.request("races").unwrap();
+    let stored: Vec<&String> = races.iter().filter(|l| l.starts_with("race ")).collect();
+    assert_eq!(stored.len(), 2, "{races:?}");
+    // The pre-checkpoint race survived the restore; the new thread's
+    // name from *this* connection resolved past the resumed tables.
+    assert!(stored[0].contains("1@t0"), "{races:?}");
+    assert!(stored[1].contains("1@t2"), "{races:?}");
+    // The poll watermark traveled too: session 1 never polled, so the
+    // resumed session's first poll delivers BOTH races (the
+    // pre-checkpoint one was never handed to any consumer).
+    let poll = c2.request("poll").unwrap();
+    let polled = poll.iter().filter(|l| l.starts_with("race ")).count();
+    assert_eq!(polled, 2, "{poll:?}");
+    c2.request("close").unwrap();
+
+    // A resume from a missing file is a handshake error.
+    let err = Client::open(addr, "resume /definitely/not/here.tccp").unwrap_err();
+    assert!(err.contains("cannot resume"), "{err}");
+
+    server.shutdown();
+    server.join();
+    std::fs::remove_dir_all(dir).unwrap();
+}
+
+#[test]
+fn evicting_session_rejects_spontaneous_threads_via_protocol() {
+    let server = start();
+    let addr = server.local_addr();
+    let mut client = Client::open(addr, "hb tc evict 1").unwrap();
+    client.send("main acq m").unwrap();
+    client.send("main rel m").unwrap();
+    client.send("main fork child").unwrap();
+    client.send("child acq m").unwrap();
+    client.send("child rel m").unwrap();
+    // A spontaneous thread after evictions: the event errors, the
+    // session survives.
+    client.send("ghost w x").unwrap();
+    let stats = client.request("stats").unwrap();
+    assert!(
+        stats.iter().any(|l| l.contains("fork discipline")),
+        "{stats:?}"
+    );
+    let line = stats.last().unwrap();
+    assert!(line.contains("events=5"), "{line}");
+    assert!(line.contains("evicted="), "{line}");
+    client.request("close").unwrap();
+    server.shutdown();
+    server.join();
+}

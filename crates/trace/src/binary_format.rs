@@ -23,8 +23,8 @@ use tc_core::ThreadId;
 use crate::event::{Event, LockId, Op, VarId};
 use crate::{Trace, TraceBuilder};
 
-const MAGIC: &[u8; 4] = b"TCTR";
-const VERSION: u8 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"TCTR";
+pub(crate) const VERSION: u8 = 1;
 
 /// An error while reading the binary trace format.
 #[derive(Debug)]
@@ -70,7 +70,7 @@ fn opcode(op: Op) -> (u8, u32) {
     }
 }
 
-fn decode_op(code: u8, operand: u32) -> Result<Op, BinaryError> {
+pub(crate) fn decode_op(code: u8, operand: u32) -> Result<Op, BinaryError> {
     Ok(match code {
         0 => Op::Read(VarId::new(operand)),
         1 => Op::Write(VarId::new(operand)),
@@ -95,7 +95,7 @@ fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     }
 }
 
-fn read_varint<R: Read>(r: &mut R) -> Result<u64, BinaryError> {
+pub(crate) fn read_varint<R: Read>(r: &mut R) -> Result<u64, BinaryError> {
     let mut out = 0u64;
     let mut shift = 0u32;
     loop {

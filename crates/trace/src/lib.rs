@@ -51,6 +51,7 @@ pub mod binary_format;
 pub mod event;
 pub mod gen;
 pub mod stats;
+pub mod stream;
 pub mod text_format;
 pub mod trace;
 pub mod transform;
@@ -58,6 +59,9 @@ pub mod validate;
 
 pub use event::{Event, LockId, Op, VarId};
 pub use stats::TraceStats;
+pub use stream::{
+    EventReader, InternerState, SessionValidator, StreamError, StreamInterner, ValidatorState,
+};
 pub use trace::{Trace, TraceBuilder};
 pub use validate::ValidationError;
 

@@ -91,6 +91,12 @@ pub(crate) fn validate(trace: &Trace) -> Result<(), ValidationError> {
                         format!("thread {u} forked after it already performed events"),
                     ));
                 }
+                if joined[u.index()] {
+                    return Err(err(
+                        i,
+                        format!("thread {u} forked after having been joined"),
+                    ));
+                }
                 forked[u.index()] = true;
             }
             Op::Join(u) => {
@@ -200,6 +206,17 @@ mod tests {
         b.fork(0, 1).join(0, 1).join(2, 1);
         let e = b.finish().validate().unwrap_err();
         assert!(e.message.contains("joined twice"));
+    }
+
+    #[test]
+    fn fork_after_join_is_rejected() {
+        // Including the degenerate case where the joined thread never
+        // performed an event of its own (its lifecycle still ended).
+        let mut b = TraceBuilder::new();
+        b.join(0, 1).fork(2, 1);
+        let e = b.finish().validate().unwrap_err();
+        assert_eq!(e.at, 1);
+        assert!(e.message.contains("after having been joined"));
     }
 
     #[test]

@@ -14,10 +14,15 @@
 //!   orders, generic over the clock, plus work metrics and test oracles.
 //! - [`analysis`] — epoch-optimized dynamic analyses built on top:
 //!   HB/SHB data-race detection and MAZ reversible-pair analysis.
+//! - [`stream`] — online, bounded-memory streaming race detection: an
+//!   incremental detector with thread retirement and cold-state
+//!   eviction, serializable checkpoints with byte-identical resume,
+//!   and the session-sharded `tcr serve` line-protocol service.
 //! - [`conformance`] — the cross-engine conformance harness: a corpus
 //!   of trace configurations driven through every engine × backend
-//!   combination and cross-checked against the definitional oracles,
-//!   with failure shrinking to minimal replayable repros.
+//!   combination and cross-checked against the definitional oracles
+//!   (including streaming-vs-batch equivalence), with failure
+//!   shrinking to minimal replayable repros.
 //!
 //! # Quickstart
 //!
@@ -42,6 +47,7 @@ pub use tc_analysis as analysis;
 pub use tc_conformance as conformance;
 pub use tc_core as core;
 pub use tc_orders as orders;
+pub use tc_stream as stream;
 pub use tc_trace as trace;
 
 pub use tc_core::{
@@ -59,5 +65,6 @@ pub mod prelude {
         VectorClock, VectorTime,
     };
     pub use tc_orders::{HbEngine, MazEngine, RunMetrics, ShbEngine};
+    pub use tc_stream::{Checkpoint, DetectorConfig, IncrementalDetector};
     pub use tc_trace::{Event, LockId, Op, Trace, TraceBuilder, VarId};
 }
