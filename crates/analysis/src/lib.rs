@@ -64,3 +64,20 @@ pub use lockset::{LocksetDetector, LocksetViolation};
 pub use maz_analysis::MazAnalyzer;
 pub use report::{Race, RaceKind, RaceReport};
 pub use shb_race::ShbRaceDetector;
+
+// The race detectors and analyzers ride inside streaming sessions, so
+// they must stay `Send` over every backend — compile-time asserted,
+// three backends × three orders.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    use tc_core::{HybridClock, TreeClock, VectorClock};
+    assert_send::<HbRaceDetector<TreeClock>>();
+    assert_send::<HbRaceDetector<VectorClock>>();
+    assert_send::<HbRaceDetector<HybridClock>>();
+    assert_send::<ShbRaceDetector<TreeClock>>();
+    assert_send::<ShbRaceDetector<VectorClock>>();
+    assert_send::<ShbRaceDetector<HybridClock>>();
+    assert_send::<MazAnalyzer<TreeClock>>();
+    assert_send::<MazAnalyzer<VectorClock>>();
+    assert_send::<MazAnalyzer<HybridClock>>();
+};

@@ -44,7 +44,14 @@ pub const SCHEMA: &str = "treeclocks/bench-baseline";
 /// v2: added the `hybrid` backend (every configuration now carries
 /// three backend records) and the `pool_fresh` / `pool_recycled`
 /// telemetry fields.
-pub const SCHEMA_VERSION: u64 = 2;
+///
+/// v3: records are heterogeneous, discriminated by a required `kind`
+/// field — `engine` (the v2 grid cells), `ingest` (events/sec through
+/// the live `tcr serve` socket path, text vs binary × single-session
+/// vs 1000-session fan-in), `suite` (Table-3-style per-benchmark
+/// entries with per-backend wall times), and `calibration` (the
+/// hybrid's dense-cutoff sensitivity).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One measured cell of the baseline grid.
 #[derive(Clone, Debug)]
@@ -78,6 +85,120 @@ pub struct BaselineRecord {
     pub pool_fresh: u64,
     /// Clock-pool acquires served from the free list.
     pub pool_recycled: u64,
+}
+
+/// One Table-3-style suite entry folded into the baseline: the trace's
+/// shape plus per-backend HB wall times, so the committed JSON carries
+/// the paper-suite trajectory alongside the scenario grid.
+#[derive(Clone, Debug)]
+pub struct SuiteFoldRecord {
+    /// The suite entry's stable name.
+    pub name: String,
+    /// Thread count of the generated trace.
+    pub threads: u32,
+    /// Event count of the generated trace.
+    pub events: usize,
+    /// Percentage of synchronization events (the paper's Table 3
+    /// `sync%` column).
+    pub sync_pct: f64,
+    /// Mean HB wall time with the tree clock.
+    pub tree_seconds: f64,
+    /// Mean HB wall time with the vector clock.
+    pub vector_seconds: f64,
+    /// Mean HB wall time with the hybrid clock.
+    pub hybrid_seconds: f64,
+}
+
+/// One dense-cutoff calibration cell: the hybrid's HB wall time on a
+/// mid-density workload at a pinned [`tc_core::hybrid`] cutoff. Paired
+/// records (same scenario, different cutoff) expose the latency delta
+/// that justified the calibrated default.
+#[derive(Clone, Debug)]
+pub struct CalibrationRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// Thread count of the generated trace.
+    pub threads: u32,
+    /// Event count of the generated trace.
+    pub events: usize,
+    /// The dense cutoff (entries per op) pinned for this run.
+    pub cutoff: u64,
+    /// Mean HB wall time with the hybrid clock at that cutoff.
+    pub seconds: f64,
+}
+
+/// Folds the full 39-entry synthetic suite (at quick scale) into
+/// baseline records: HB wall times for all three backends per entry.
+pub fn collect_suite_fold(mut progress: impl FnMut(&str)) -> Vec<SuiteFoldRecord> {
+    let mut tree_pool = ClockPool::<TreeClock>::new();
+    let mut vector_pool = ClockPool::<VectorClock>::new();
+    let mut hybrid_pool = ClockPool::<HybridClock>::new();
+    crate::suite::suite()
+        .iter()
+        .map(|entry| {
+            progress(&format!("suite/{}", entry.name));
+            let trace = entry.generate(crate::suite::Scale::Quick);
+            let sync = trace.iter().filter(|e| e.op.is_sync()).count();
+            let order = PartialOrderKind::Hb;
+            SuiteFoldRecord {
+                name: entry.name.to_owned(),
+                threads: trace.thread_count() as u32,
+                events: trace.len(),
+                sync_pct: 100.0 * sync as f64 / trace.len().max(1) as f64,
+                tree_seconds: measure_clock::<TreeClock>(&trace, order, Mode::Po, &mut tree_pool)
+                    .seconds,
+                vector_seconds: measure_clock::<VectorClock>(
+                    &trace,
+                    order,
+                    Mode::Po,
+                    &mut vector_pool,
+                )
+                .seconds,
+                hybrid_seconds: measure_clock::<HybridClock>(
+                    &trace,
+                    order,
+                    Mode::Po,
+                    &mut hybrid_pool,
+                )
+                .seconds,
+            }
+        })
+        .collect()
+}
+
+/// Measures the hybrid's dense-cutoff sensitivity: pipeline and bursty
+/// workloads whose arenas straddle the calibrated default, each run at
+/// the conservative 2-cache-line cutoff and at the calibrated one. The
+/// process-wide default is restored afterwards.
+pub fn collect_calibration(mut progress: impl FnMut(&str)) -> Vec<CalibrationRecord> {
+    use tc_core::hybrid::{
+        default_dense_cutoff, set_default_dense_cutoff, CACHE_LINE_CUTOFF, DEFAULT_DENSE_CUTOFF,
+    };
+    let saved = default_dense_cutoff();
+    let mut records = Vec::new();
+    for scenario in [Scenario::Pipeline, Scenario::BurstyChannels] {
+        let threads = 160; // past the calibrated cutoff, so it can bind
+        let trace = scenario.generate(threads, 30_000, 0xCA11);
+        for cutoff in [CACHE_LINE_CUTOFF, DEFAULT_DENSE_CUTOFF] {
+            progress(&format!("calibration/{scenario}/{cutoff}"));
+            set_default_dense_cutoff(cutoff);
+            let m = measure_clock::<HybridClock>(
+                &trace,
+                PartialOrderKind::Hb,
+                Mode::Po,
+                &mut ClockPool::new(), // fresh pool: recycled clocks keep their cutoff
+            );
+            records.push(CalibrationRecord {
+                scenario: scenario.to_string(),
+                threads,
+                events: trace.len(),
+                cutoff,
+                seconds: m.seconds,
+            });
+        }
+    }
+    set_default_dense_cutoff(saved);
+    records
 }
 
 /// The shape of one baseline collection: which grids to run and at what
@@ -263,12 +384,41 @@ fn counted_run<C: LogicalClock>(
     }
 }
 
-/// Renders the records as the schema-stable JSON document.
+/// A full baseline document: engine grid cells plus the v3 record
+/// families (ingest throughput, suite fold, cutoff calibration).
+#[derive(Clone, Debug, Default)]
+pub struct BenchDoc {
+    /// Engine grid cells (`kind: "engine"`).
+    pub engine: Vec<BaselineRecord>,
+    /// Ingest throughput cells (`kind: "ingest"`).
+    pub ingest: Vec<crate::ingest::IngestRecord>,
+    /// Suite-fold entries (`kind: "suite"`).
+    pub suite: Vec<SuiteFoldRecord>,
+    /// Dense-cutoff calibration cells (`kind: "calibration"`).
+    pub calibration: Vec<CalibrationRecord>,
+}
+
+/// Renders engine-only records as the schema-stable JSON document
+/// (the `tcr bench --trace FILE` path).
 pub fn to_json(records: &[BaselineRecord], mode: &str) -> String {
-    let records = records
+    to_json_doc(
+        &BenchDoc {
+            engine: records.to_vec(),
+            ..BenchDoc::default()
+        },
+        mode,
+    )
+}
+
+/// Renders a full document — all four record families, each entry
+/// discriminated by its `kind` field.
+pub fn to_json_doc(doc: &BenchDoc, mode: &str) -> String {
+    let mut records: Vec<Value> = doc
+        .engine
         .iter()
         .map(|r| {
             Value::obj([
+                ("kind", "engine".into()),
                 ("scenario", r.scenario.as_str().into()),
                 ("threads", r.threads.into()),
                 ("events", r.events.into()),
@@ -286,6 +436,38 @@ pub fn to_json(records: &[BaselineRecord], mode: &str) -> String {
             ])
         })
         .collect();
+    records.extend(doc.ingest.iter().map(|r| {
+        Value::obj([
+            ("kind", "ingest".into()),
+            ("mode", r.mode.into()),
+            ("sessions", r.sessions.into()),
+            ("events", r.events.into()),
+            ("seconds", r.seconds.into()),
+            ("events_per_sec", r.events_per_sec().into()),
+        ])
+    }));
+    records.extend(doc.suite.iter().map(|r| {
+        Value::obj([
+            ("kind", "suite".into()),
+            ("name", r.name.as_str().into()),
+            ("threads", r.threads.into()),
+            ("events", r.events.into()),
+            ("sync_pct", r.sync_pct.into()),
+            ("tree_seconds", r.tree_seconds.into()),
+            ("vector_seconds", r.vector_seconds.into()),
+            ("hybrid_seconds", r.hybrid_seconds.into()),
+        ])
+    }));
+    records.extend(doc.calibration.iter().map(|r| {
+        Value::obj([
+            ("kind", "calibration".into()),
+            ("scenario", r.scenario.as_str().into()),
+            ("threads", r.threads.into()),
+            ("events", r.events.into()),
+            ("cutoff", r.cutoff.into()),
+            ("seconds", r.seconds.into()),
+        ])
+    }));
     let doc = Value::obj([
         ("schema", SCHEMA.into()),
         ("version", SCHEMA_VERSION.into()),
@@ -299,7 +481,7 @@ pub fn to_json(records: &[BaselineRecord], mode: &str) -> String {
 }
 
 /// Aggregate facts extracted by [`validate`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct BaselineSummary {
     /// Total records in the document.
     pub records: usize,
@@ -312,6 +494,15 @@ pub struct BaselineSummary {
     /// twice the vector clock's (the dense-regime target) — the
     /// trajectory number for the adaptive representation.
     pub hybrid_within_2x: usize,
+    /// Ingest records in the document.
+    pub ingest: usize,
+    /// Suite-fold records in the document.
+    pub suite: usize,
+    /// Calibration records in the document.
+    pub calibration: usize,
+    /// Best binary-over-text events/sec ratio among ingest cells with
+    /// matching session counts (0.0 when the document has none).
+    pub binary_speedup: f64,
 }
 
 const REQUIRED_NUMS: [&str; 10] = [
@@ -357,11 +548,80 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
     // (scenario, threads, order) -> seconds per backend, BACKENDS order.
     type BackendSeconds = [Option<f64>; 3];
     let mut configs: Vec<(String, BackendSeconds)> = Vec::new();
+    // (sessions, events/sec) per ingest mode, for the speedup summary.
+    let mut ingest_cells: Vec<(&str, f64, f64)> = Vec::new();
+    let (mut ingest, mut suite, mut calibration) = (0usize, 0usize, 0usize);
     for (i, r) in records.iter().enumerate() {
         let field = |name: &str| {
             r.get(name)
                 .ok_or_else(|| format!("record {i}: missing field `{name}`"))
         };
+        let num_field = |name: &str| -> Result<f64, String> {
+            let v = r
+                .get(name)
+                .ok_or_else(|| format!("record {i}: missing field `{name}`"))?
+                .as_num()
+                .ok_or_else(|| format!("record {i}: `{name}` is not a number"))?;
+            if v < 0.0 {
+                return Err(format!("record {i}: `{name}` is negative"));
+            }
+            Ok(v)
+        };
+        let kind = field("kind")?
+            .as_str()
+            .ok_or_else(|| format!("record {i}: `kind` is not a string"))?;
+        match kind {
+            "engine" => {} // validated by the grid logic below
+            "ingest" => {
+                ingest += 1;
+                let mode = field("mode")?
+                    .as_str()
+                    .ok_or_else(|| format!("record {i}: `mode` is not a string"))?;
+                if !["text", "binary"].contains(&mode) {
+                    return Err(format!("record {i}: unknown ingest mode `{mode}`"));
+                }
+                let sessions = num_field("sessions")?;
+                num_field("events")?;
+                num_field("seconds")?;
+                let rate = num_field("events_per_sec")?;
+                if sessions < 1.0 {
+                    return Err(format!("record {i}: ingest `sessions` must be >= 1"));
+                }
+                ingest_cells.push((mode, sessions, rate));
+                continue;
+            }
+            "suite" => {
+                suite += 1;
+                field("name")?
+                    .as_str()
+                    .ok_or_else(|| format!("record {i}: `name` is not a string"))?;
+                for name in [
+                    "threads",
+                    "events",
+                    "sync_pct",
+                    "tree_seconds",
+                    "vector_seconds",
+                    "hybrid_seconds",
+                ] {
+                    num_field(name)?;
+                }
+                continue;
+            }
+            "calibration" => {
+                calibration += 1;
+                field("scenario")?
+                    .as_str()
+                    .ok_or_else(|| format!("record {i}: `scenario` is not a string"))?;
+                for name in ["threads", "events", "seconds"] {
+                    num_field(name)?;
+                }
+                if num_field("cutoff")? < 1.0 {
+                    return Err(format!("record {i}: calibration `cutoff` must be >= 1"));
+                }
+                continue;
+            }
+            other => return Err(format!("record {i}: unknown record kind `{other}`")),
+        }
         let scenario = field("scenario")?
             .as_str()
             .ok_or_else(|| format!("record {i}: `scenario` is not a string"))?;
@@ -417,11 +677,27 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
             hybrid_within_2x += 1;
         }
     }
+    // Best binary/text ratio among same-session-count ingest pairs.
+    let mut binary_speedup = 0.0f64;
+    for (mode, sessions, rate) in &ingest_cells {
+        if *mode != "binary" {
+            continue;
+        }
+        for (other_mode, other_sessions, other_rate) in &ingest_cells {
+            if *other_mode == "text" && other_sessions == sessions && *other_rate > 0.0 {
+                binary_speedup = binary_speedup.max(rate / other_rate);
+            }
+        }
+    }
     Ok(BaselineSummary {
         records: records.len(),
         configs: configs.len(),
         tree_wins,
         hybrid_within_2x,
+        ingest,
+        suite,
+        calibration,
+        binary_speedup,
     })
 }
 
@@ -439,6 +715,64 @@ mod tests {
         let summary = validate(&json).expect("self-produced baseline must validate");
         assert_eq!(summary.records, records.len());
         assert_eq!(summary.configs, PartialOrderKind::ALL.len());
+    }
+
+    #[test]
+    fn full_documents_with_all_record_kinds_validate() {
+        let trace = scenarios::star(4, 500, 1);
+        let doc = BenchDoc {
+            engine: collect_trace("star-tiny", &trace),
+            ingest: vec![
+                crate::ingest::IngestRecord {
+                    mode: "text",
+                    sessions: 1,
+                    events: 1000,
+                    seconds: 0.01,
+                },
+                crate::ingest::IngestRecord {
+                    mode: "binary",
+                    sessions: 1,
+                    events: 1000,
+                    seconds: 0.002,
+                },
+            ],
+            suite: vec![SuiteFoldRecord {
+                name: "omp16-lowsync".into(),
+                threads: 16,
+                events: 40_000,
+                sync_pct: 3.0,
+                tree_seconds: 0.01,
+                vector_seconds: 0.02,
+                hybrid_seconds: 0.012,
+            }],
+            calibration: vec![CalibrationRecord {
+                scenario: "pipeline".into(),
+                threads: 160,
+                events: 30_000,
+                cutoff: 128,
+                seconds: 0.02,
+            }],
+        };
+        let json = to_json_doc(&doc, "quick");
+        let summary = validate(&json).expect("full documents must validate");
+        assert_eq!(summary.ingest, 2);
+        assert_eq!(summary.suite, 1);
+        assert_eq!(summary.calibration, 1);
+        assert!(
+            (summary.binary_speedup - 5.0).abs() < 1e-9,
+            "binary at 5x text: {}",
+            summary.binary_speedup
+        );
+
+        let bad = json.replace(
+            "\"kind\": \"ingest\", \"mode\": \"text\"",
+            "\"kind\": \"ingest\", \"mode\": \"morse\"",
+        );
+        if bad != json {
+            assert!(validate(&bad).unwrap_err().contains("mode"));
+        }
+        let bad = json.replace("\"kind\": \"calibration\"", "\"kind\": \"calibrations\"");
+        assert!(validate(&bad).unwrap_err().contains("kind"));
     }
 
     #[test]

@@ -28,12 +28,14 @@
 
 pub mod baseline;
 pub mod figures;
+pub mod ingest;
 pub mod json;
 pub mod render;
 pub mod runner;
 pub mod suite;
 pub mod tables;
 
-pub use baseline::{BaselineRecord, BaselineSummary};
+pub use baseline::{BaselineRecord, BaselineSummary, BenchDoc};
+pub use ingest::{IngestRecord, IngestScale};
 pub use runner::{ClockKind, Measurement, Mode};
 pub use suite::{suite, Scale, SuiteEntry};

@@ -409,7 +409,7 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
 /// Default output file of `tcr bench --json`. The number tracks the PR
 /// that produced the baseline, so the repository accumulates a
 /// `BENCH_*.json` perf trajectory over time.
-const BENCH_JSON_DEFAULT: &str = "BENCH_5.json";
+const BENCH_JSON_DEFAULT: &str = "BENCH_6.json";
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (flags, kv) = Flags::parse(args, &["out", "trace", "check"], &["json", "quick", "full"])?;
@@ -459,13 +459,42 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
 
     if value(&kv, "json").is_some() {
         let out = value(&kv, "out").unwrap_or(BENCH_JSON_DEFAULT);
-        let json = baseline::to_json(&records, mode);
+        // The generated-grid path measures all four record families;
+        // `--trace FILE` stays an engine-only document (the extra
+        // families describe generated workloads, not the loaded trace).
+        let doc = if value(&kv, "trace").is_some() {
+            tc_bench::BenchDoc {
+                engine: records,
+                ..tc_bench::BenchDoc::default()
+            }
+        } else {
+            let ingest_scale = if quick {
+                tc_bench::IngestScale::quick()
+            } else {
+                tc_bench::IngestScale::default_scale()
+            };
+            tc_bench::BenchDoc {
+                engine: records,
+                ingest: tc_bench::ingest::collect(ingest_scale, |cell| eprintln!("bench: {cell}")),
+                suite: baseline::collect_suite_fold(|cell| eprintln!("bench: {cell}")),
+                calibration: baseline::collect_calibration(|cell| eprintln!("bench: {cell}")),
+            }
+        };
+        let json = baseline::to_json_doc(&doc, mode);
         let summary = baseline::validate(&json).map_err(|e| format!("produced baseline: {e}"))?;
         std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!(
             "wrote {out}: {} record(s), {} configuration(s), tree <= vector wall time on {}, \
-             hybrid within 2x of vector on {}",
-            summary.records, summary.configs, summary.tree_wins, summary.hybrid_within_2x
+             hybrid within 2x of vector on {}, {} ingest / {} suite / {} calibration record(s), \
+             binary ingest at {:.1}x text",
+            summary.records,
+            summary.configs,
+            summary.tree_wins,
+            summary.hybrid_within_2x,
+            summary.ingest,
+            summary.suite,
+            summary.calibration,
+            summary.binary_speedup
         );
     } else {
         let mut t = TextTable::new([
@@ -656,8 +685,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     if value(&kv, "smoke").is_some() {
         tc_stream::smoke()?;
         println!(
-            "serve smoke ok: two concurrent sessions matched the batch detectors \
-             and the server shut down cleanly"
+            "serve smoke ok: three concurrent sessions (two text, one batched \
+             binary frames) matched the batch detectors and the server shut \
+             down cleanly with a client still connected"
         );
         return Ok(());
     }
@@ -668,9 +698,10 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     let server = Server::start(ServeConfig { addr, workers })
         .map_err(|e| format!("cannot start server: {e}"))?;
     println!(
-        "tcr serve: listening on {} with {workers} worker shard(s); \
+        "tcr serve: listening on {} with {workers} work-stealing worker(s); \
          open a TCP connection and speak the line protocol \
-         (`open <order> <clock>`, then event lines; `shutdown` stops the server)",
+         (`open <order> <clock>`, then event lines) or stream batched \
+         binary frames to session ids; `shutdown` stops the server",
         server.local_addr()
     );
     server.join();
@@ -725,8 +756,12 @@ bench records the perf baseline: FIG10 scenarios x HB/SHB/MAZ x
 tree/vector/hybrid, with wall time, operation counts, VTWork/DSWork,
 peak clock bytes and pool telemetry. --full folds the five structured
 workload families into the grid (at a budgeted size). --json writes the
-schema-stable BENCH_5.json (or -o FILE); --check validates an existing
-baseline; --trace benches one trace file.
+schema-stable BENCH_6.json (or -o FILE), which additionally carries
+ingest-throughput records (events/sec through the live serve socket
+path, text vs binary x single-session vs 1000-session fan-in), the
+39-entry synthetic suite's per-backend wall times, and the hybrid's
+dense-cutoff calibration cells; --check validates an existing
+baseline; --trace benches one trace file (engine records only).
 
 stream analyzes FILE incrementally (chunked reads, nothing
 materialized), printing races as they are found, with bounded memory:
@@ -736,14 +771,19 @@ discipline). --checkpoint writes a resumable snapshot (periodically
 with --checkpoint-every); --resume FILE fast-forwards past a
 checkpoint's events and continues with byte-identical reports.
 
-serve runs the multi-client analysis service: concurrent TCP sessions
-sharded over worker threads, each an independent streaming detector.
-Line protocol: `open <order> <clock> [evict <n>] [no-retire]` or
-`resume <checkpoint>`, then text-format event lines; `poll`/`races`
-report found races, `stats` one key=value line, `timestamp <thread>`,
-`checkpoint <path>`, `close`, `shutdown`. --smoke runs the self-test:
-two concurrent sessions driven over real sockets, asserted equal to
-the batch detectors (what `tcr race` runs), then a clean shutdown.
+serve runs the multi-client analysis service: a nonblocking ingest
+core feeding a work-stealing worker pool, each session an independent
+streaming detector. Text protocol: `open <order> <clock> [evict <n>]
+[no-retire]` or `resume <checkpoint>`, then text-format event lines;
+`poll`/`races` report found races, `stats` one key=value line,
+`timestamp <thread>`, `checkpoint <path>`, `use <id>` rebinds to an
+earlier session, `close`, `shutdown`. Binary protocol (same port,
+sniffed by first byte): length-prefixed frames batching events for an
+explicit session id, so one connection can fan into many sessions.
+--smoke runs the self-test: three concurrent sessions (two text, one
+binary) driven over real sockets, asserted equal to the batch
+detectors (what `tcr race` runs), then a shutdown with a client still
+connected.
 ";
 
 #[cfg(test)]

@@ -57,6 +57,10 @@ pub enum CheckKind {
     /// checkpoint/restore (and with eviction on fork-disciplined
     /// traces).
     Streaming,
+    /// Wire-protocol equivalence: a session fed frame-batched binary
+    /// events (the `tcr serve` binary ingest path) must produce a
+    /// report event-identical to the batch detector's.
+    Wire,
 }
 
 impl fmt::Display for CheckKind {
@@ -66,6 +70,7 @@ impl fmt::Display for CheckKind {
             CheckKind::Reports => "reports",
             CheckKind::Metrics => "metrics",
             CheckKind::Streaming => "streaming",
+            CheckKind::Wire => "wire",
         })
     }
 }
@@ -311,7 +316,7 @@ fn check_reports(
     kind: PartialOrderKind,
     fault: Fault,
     pools: &mut EnginePools,
-) -> Result<u64, Failure> {
+) -> Result<(u64, [RaceReport; BACKENDS]), Failure> {
     let [mut tc, vc, hc] = reports_of(trace, kind, pools);
     if fault == Fault::DropRace(kind) && tc.races.pop().is_some() {
         tc.total -= 1;
@@ -352,7 +357,8 @@ fn check_reports(
     } else {
         check_report_soundness(trace, kind, &tc, None)?;
     }
-    Ok(tc.total)
+    let total = tc.total;
+    Ok((total, [tc, vc, hc]))
 }
 
 fn check_metrics(
@@ -574,6 +580,54 @@ fn check_streaming(
     Ok(())
 }
 
+/// Feeds `trace` into a protocol [`Session`] as frame-batched binary
+/// events — the exact path `tcr serve` runs for binary clients — and
+/// asserts the session's report is event-identical to the batch
+/// detector's. The backend rotates with the order (HB→tree,
+/// SHB→hybrid, MAZ→vector) so the sweep covers all three over its
+/// case mix.
+///
+/// [`Session`]: tc_stream::Session
+fn check_wire(
+    trace: &Trace,
+    kind: PartialOrderKind,
+    batch: &RaceReport,
+    backend: &str,
+) -> Result<(), Failure> {
+    use tc_stream::{ClockChoice, DetectorConfig, Session};
+    let clock = match kind {
+        PartialOrderKind::Hb => ClockChoice::Tree,
+        PartialOrderKind::Shb => ClockChoice::Hybrid,
+        PartialOrderKind::Maz => ClockChoice::Vector,
+    };
+    debug_assert_eq!(clock.name(), backend);
+    let mut session = Session::new(0, clock, DetectorConfig::for_order(kind));
+    let mut out = String::new();
+    for (f, frame) in trace.events().chunks(64).enumerate() {
+        session.handle_frame(frame, &mut out);
+        if !out.is_empty() {
+            return Err(fail(
+                kind,
+                CheckKind::Wire,
+                format!("{backend} session rejected frame {f}: {}", out.trim_end()),
+            ));
+        }
+    }
+    let served = session.detector().report();
+    if *served != *batch {
+        return Err(fail(
+            kind,
+            CheckKind::Wire,
+            format!(
+                "{backend} frame-batched session diverges from batch: {} vs {} \
+                 race(s) over {} vs {} check(s)",
+                served.total, batch.total, served.checks, batch.checks
+            ),
+        ));
+    }
+    Ok(())
+}
+
 /// Runs every conformance check on `trace`, perturbing one result
 /// according to `fault` (pass [`Fault::None`] for an honest run).
 ///
@@ -605,9 +659,17 @@ pub fn check_trace_pooled(
     };
     for kind in orders {
         check_timestamps(trace, kind, fault, pools)?;
-        summary.races += check_reports(trace, kind, fault, pools)?;
+        let (races, reports) = check_reports(trace, kind, fault, pools)?;
+        summary.races += races;
         check_metrics(trace, kind, fault, pools)?;
         check_streaming(trace, kind, pools)?;
+        // The backend rotation indexes into [tree, vector, hybrid].
+        let (idx, backend) = match kind {
+            PartialOrderKind::Hb => (0, "tree"),
+            PartialOrderKind::Shb => (2, "hybrid"),
+            PartialOrderKind::Maz => (1, "vector"),
+        };
+        check_wire(trace, kind, &reports[idx], backend)?;
     }
     Ok(summary)
 }

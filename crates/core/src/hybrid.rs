@@ -36,9 +36,19 @@
 //!   what determines every downstream copy's cost. Auxiliary clocks are
 //!   often too short-lived to learn anything themselves (a pairwise
 //!   lock sees two operations in its whole life); the thread clock is
-//!   the long-lived window carrier. Source-side observation goes
-//!   through interior mutability (`Cell`), since copy sources are
-//!   shared references.
+//!   the long-lived window carrier.
+//!
+//! Destination-side observations flow through plain `&mut` paths — no
+//! interior mutability at all. The copy-*source* hook is the one place
+//! a shared reference must record an observation; it funnels into a
+//! single packed [`AtomicU64`] (relaxed load/store — a hybrid clock is
+//! owned by exactly one engine at a time, the atomic only legalizes
+//! the shared-reference write), and the verdict/score/flip bookkeeping
+//! it feeds is *deferred* to the clock's next `&mut` entry point
+//! (`HybridClock::state_for_mut`, reached on every `increment`).
+//! That split is what makes the whole clock `Send` *and* `Sync`: every
+//! engine, detector and service session built on it becomes a movable
+//! value a work-stealing scheduler can bounce between threads.
 //!
 //! Observations accumulate over a window of `WINDOW_OPS` operations
 //! and the aggregate is judged dense when at least an eighth of the
@@ -69,6 +79,23 @@
 //! path produces the same shape, sound for both monotonicity
 //! principles).
 //!
+//! # The dense cutoff
+//!
+//! Arenas at or below the **dense cutoff** are judged dense regardless
+//! of the moved fraction: a flat sweep over a small arena costs a few
+//! nanoseconds — cheaper than any surgical walk — so small clocks
+//! settle flat even in nominally sparse regimes. The cutoff defaults
+//! to [`DEFAULT_DENSE_CUTOFF`] (128 entries — the latency-calibrated
+//! value: measured flat-sweep advantage persists to ~128-entry arenas
+//! on current hardware, twice the spec-conservative 2-cache-line rule
+//! of [`CACHE_LINE_CUTOFF`] this backend shipped with). It is read per
+//! clock so benchmarks can calibrate it: the process-wide default is
+//! set with [`set_default_dense_cutoff`] (picked up by every clock
+//! constructed afterwards) and a single clock can be pinned with
+//! [`HybridClock::set_dense_cutoff`]. The cutoff only moves the
+//! performance crossover — computed *values* are representation
+//! independent at any setting, which the conformance sweep enforces.
+//!
 //! # Accounting
 //!
 //! `changed`-entry accounting is exact in both modes (flat counting
@@ -97,11 +124,10 @@
 //!
 //! a.join(&b);
 //! assert_eq!(a.get(ThreadId::new(1)), 5);
-//! assert!(!a.is_flat()); // sparse so far: still the tree representation
 //! ```
 
-use std::cell::Cell;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::clock::{CopyMode, LogicalClock, OpStats};
 use crate::tree_clock::TreeClock;
@@ -133,22 +159,43 @@ const PROBE_PERIOD: u8 = 16;
 /// counter decrement.
 const TREE_OBS_PERIOD: u8 = 2;
 
-/// Arenas at or below this many entries (two 64-byte cache lines of
-/// `LocalTime`s) are judged dense regardless of the moved fraction: a
-/// flat sweep over ≤2 cache lines costs a couple of nanoseconds —
-/// cheaper than any surgical walk — so small clocks settle flat even in
-/// nominally sparse regimes. This is what closes the mid-density
-/// hand-off gap at small `k` (pipeline/bursty channels), where per-op
-/// movement sits under the 1/8 flip threshold while the flat sweep is
-/// nearly free at that size.
-const SMALL_ARENA: u64 = (2 * 64 / std::mem::size_of::<LocalTime>()) as u64;
+/// The spec-conservative dense cutoff this backend shipped with: two
+/// 64-byte cache lines of `LocalTime`s. Kept as the documented lower
+/// anchor of the calibration range (`tcr bench` measures the delta
+/// between this and the calibrated default).
+pub const CACHE_LINE_CUTOFF: u64 = (2 * 64 / std::mem::size_of::<LocalTime>()) as u64;
 
-/// Aggregate verdict: dense when the arena is flat-cheap outright
-/// (≤ [`SMALL_ARENA`] entries) or at least an eighth of it moved per
-/// operation (see the module docs for the cost-crossover rationale).
+/// The latency-calibrated default dense cutoff: flat sweeps keep
+/// beating the surgical walk to ~128-entry arenas (ROADMAP item 5's
+/// measurement), so arenas at or below this settle flat.
+pub const DEFAULT_DENSE_CUTOFF: u64 = 128;
+
+/// The process-wide default dense cutoff, picked up by every
+/// [`HybridClock`] at construction.
+static GLOBAL_DENSE_CUTOFF: AtomicU64 = AtomicU64::new(DEFAULT_DENSE_CUTOFF);
+
+/// The process-wide default dense cutoff (in arena entries) newly
+/// constructed hybrid clocks adopt.
+pub fn default_dense_cutoff() -> u64 {
+    GLOBAL_DENSE_CUTOFF.load(Ordering::Relaxed)
+}
+
+/// Sets the process-wide default dense cutoff (clamped to ≥ 1).
+/// Existing clocks keep the cutoff they were constructed with; values
+/// are representation independent at any setting, so this only moves
+/// the performance crossover (used by `tcr bench`'s calibration pass).
+pub fn set_default_dense_cutoff(entries: u64) {
+    GLOBAL_DENSE_CUTOFF.store(entries.max(1), Ordering::Relaxed);
+}
+
+/// Aggregate verdict over a window of `ops` observations: dense when
+/// the arena is flat-cheap outright (the *per-operation* arena is at
+/// most `cutoff` entries — the sums are compared, so the cutoff scales
+/// by the op count) or at least an eighth of it moved per operation
+/// (see the module docs for the cost-crossover rationale).
 #[inline]
-fn is_dense(touched: u64, arena: u64) -> bool {
-    arena <= SMALL_ARENA || touched.saturating_mul(8) >= arena
+fn is_dense(touched: u64, arena: u64, ops: u64, cutoff: u64) -> bool {
+    arena <= cutoff.saturating_mul(ops.max(1)) || touched.saturating_mul(8) >= arena
 }
 
 /// Bit 0 of [`HybridClock::state`]: the flat representation is live.
@@ -183,40 +230,81 @@ fn count_diffs(old: &[LocalTime], new: &[LocalTime]) -> u64 {
     diffs
 }
 
-/// The density window: observation accumulators, the hysteresis score
-/// and probe countdowns.
-///
-/// Everything is a [`Cell`] because copy *sources* observe through
-/// shared references. A saturated score requests a flip by setting a
-/// pending bit in the clock's packed [`HybridClock::state`] word; the
-/// actual migration is deferred to the next `&mut` entry point
-/// ([`HybridClock::state_for_mut`]).
-#[derive(Clone, Debug, Default)]
-struct DensityWindow {
-    /// The window accumulator, packed into one word so the per-op fast
-    /// path is a single load-add-store: bits 0–27 hold the summed
-    /// moved/changed entries, bits 28–55 the summed arena slots, bits
-    /// 56–63 the operation count. (28 bits per field over a ≤8-op
-    /// window caps per-op contributions at 2²⁴ slots — far past any
-    /// realistic thread dimension.)
-    acc: Cell<u64>,
-    /// Hysteresis accumulator over window verdicts, in
-    /// `[-HYSTERESIS, HYSTERESIS]`.
-    score: Cell<i8>,
-    /// Flat mode: uncounted joins until the next counting probe.
-    join_probe: Cell<u8>,
-    /// Flat mode: uncounted copies-from-self until the next probe.
-    copy_probe: Cell<u8>,
+// ---- the shared observation word ------------------------------------
+//
+// Copy *sources* observe through `&self`, so their contribution funnels
+// into one packed atomic word (everything destination-side is plain
+// `&mut` state). Layout:
+//
+//   bits  0–26  summed moved/changed entries
+//   bits 27–53  summed arena slots
+//   bits 54–56  operation count (saturates at 7; WINDOW_OPS is 4)
+//   bits 57–61  copy-probe countdown
+//
+// 27-bit sums over ≤7 ops capped at 2²⁴ slots each cannot overflow
+// their field, and the op count saturating at 7 protects the probe
+// bits. All accesses are `Ordering::Relaxed` loads and stores — a
+// hybrid clock is owned by exactly one engine at any moment (enforced
+// by the service's session checkout); the atomic exists to make the
+// shared-reference hook legal, not to synchronize concurrent writers.
+
+/// Field mask for the moved and arena sums of the shared word.
+const SH_FIELD: u64 = (1 << 27) - 1;
+/// Bit offset of the arena sum.
+const SH_ARENA: u32 = 27;
+/// Bit offset and mask of the op count.
+const SH_OPS: u32 = 54;
+const SH_OPS_MASK: u64 = 0x7;
+/// One operation, pre-shifted.
+const SH_OP_ONE: u64 = 1 << SH_OPS;
+/// Bit offset and mask of the copy-probe countdown.
+const SH_PROBE: u32 = 57;
+const SH_PROBE_MASK: u64 = 0x1f;
+/// Per-operation contribution cap for either sum.
+const SH_CAP: u64 = 1 << 24;
+
+/// Packs one observation into `word` (pure; the caller stores it).
+#[inline]
+fn pack_obs(word: u64, touched: u64, arena: u64) -> u64 {
+    word + SH_OP_ONE + (arena.min(SH_CAP) << SH_ARENA) + touched.min(SH_CAP)
 }
 
-/// Field widths of [`DensityWindow::acc`].
-const ACC_FIELD: u64 = (1 << 28) - 1;
-const ACC_OP: u64 = 1 << 56;
-const ACC_CAP: u64 = 1 << 24;
+/// The op count currently packed in `word`.
+#[inline]
+fn packed_ops(word: u64) -> u64 {
+    (word >> SH_OPS) & SH_OPS_MASK
+}
+
+/// The density window: the packed shared observation word plus the
+/// plain `&mut`-path bookkeeping (hysteresis score, flat-join probe).
+#[derive(Debug, Default)]
+struct DensityWindow {
+    /// The packed shared word (see the layout above) — the single
+    /// atomic in the whole clock, fed by the copy-source hook through
+    /// `&self` and harvested on the next `&mut` entry point.
+    shared: AtomicU64,
+    /// Hysteresis accumulator over window verdicts, in
+    /// `[-HYSTERESIS, HYSTERESIS]`. Plain field: only `&mut` paths
+    /// judge windows.
+    score: i8,
+    /// Flat mode: uncounted joins until the next counting probe
+    /// (plain field: join destinations are `&mut`).
+    join_probe: u8,
+}
+
+impl Clone for DensityWindow {
+    fn clone(&self) -> Self {
+        DensityWindow {
+            shared: AtomicU64::new(self.shared.load(Ordering::Relaxed)),
+            score: self.score,
+            join_probe: self.join_probe,
+        }
+    }
+}
 
 impl DensityWindow {
-    /// The recycling reset: discards the partial window, but *keeps
-    /// the hysteresis score* — a pooled clock
+    /// The recycling reset: discards the partial window and probe
+    /// countdowns, but *keeps the hysteresis score* — a pooled clock
     /// re-entering the same workload (the next benchmark repetition,
     /// the next case of a sweep) resumes learning where it left off
     /// instead of starting the hysteresis climb from zero. On a short
@@ -224,17 +312,16 @@ impl DensityWindow {
     /// a single life; carrying the score across lives is what lets it
     /// converge anyway — and a clock recycled into a different-density
     /// role walks the score back within one hysteresis period.
-    fn reset_for_recycle(&self) {
-        self.acc.set(0);
-        self.join_probe.set(0);
-        self.copy_probe.set(0);
+    fn reset_for_recycle(&mut self) {
+        *self.shared.get_mut() = 0;
+        self.join_probe = 0;
     }
 }
 
 /// An adaptive clock holding either a flat array or a [`TreeClock`],
 /// migrating on observed operation density. See the [module
 /// docs](self).
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct HybridClock {
     /// The tree representation — authoritative unless the state word's
     /// [`ST_FLAT`] bit is set; kept (empty, buffers warm) while flat so
@@ -250,20 +337,38 @@ pub struct HybridClock {
     root: Option<ThreadId>,
     /// The packed state word: bit 0 ([`ST_FLAT`]) says which
     /// representation is live, bits 1–2 ([`ST_FLIP_MASK`]) hold a
-    /// pending migration request. Mode dispatch and the flip check
-    /// share this single load on every hot entry point; a [`Cell`] so a
-    /// copy *source*'s saturated window can request a flip through
-    /// `&self`.
-    state: Cell<u8>,
-    /// Tree-mode joins to skip before the next window observation
-    /// (plain field: join destinations are `&mut`).
+    /// pending migration request. A plain field: flips are only ever
+    /// requested and executed on `&mut` paths (shared-hook
+    /// observations defer their verdict to the next `&mut` entry).
+    state: u8,
+    /// Tree-mode joins to skip before the next window observation.
     obs_skip: u8,
+    /// This clock's dense cutoff (arena entries at or below it are
+    /// flat-cheap by fiat), adopted from [`default_dense_cutoff`] at
+    /// construction.
+    dense_cutoff: u64,
     /// The density window driving migration.
     window: DensityWindow,
     /// Tree→flat migrations performed (diagnostics/tests).
     flips_to_flat: u32,
     /// Flat→tree migrations performed (diagnostics/tests).
     flips_to_tree: u32,
+}
+
+impl Default for HybridClock {
+    fn default() -> Self {
+        HybridClock {
+            tree: TreeClock::default(),
+            flat: Vec::new(),
+            root: None,
+            state: 0,
+            obs_skip: 0,
+            dense_cutoff: default_dense_cutoff(),
+            window: DensityWindow::default(),
+            flips_to_flat: 0,
+            flips_to_tree: 0,
+        }
+    }
 }
 
 impl HybridClock {
@@ -274,13 +379,13 @@ impl HybridClock {
 
     /// `true` while the flat (dense) representation is live.
     pub fn is_flat(&self) -> bool {
-        self.state.get() & ST_FLAT != 0
+        self.state & ST_FLAT != 0
     }
 
     /// Internal shorthand for the mode bit of the state word.
     #[inline]
     fn flat(&self) -> bool {
-        self.state.get() & ST_FLAT != 0
+        self.state & ST_FLAT != 0
     }
 
     /// Number of (tree→flat, flat→tree) migrations this clock has
@@ -296,6 +401,17 @@ impl HybridClock {
         } else {
             "tree"
         }
+    }
+
+    /// This clock's dense cutoff (see the module docs).
+    pub fn dense_cutoff(&self) -> u64 {
+        self.dense_cutoff
+    }
+
+    /// Overrides this clock's dense cutoff (clamped to ≥ 1). Values
+    /// are representation independent at any setting.
+    pub fn set_dense_cutoff(&mut self, entries: u64) {
+        self.dense_cutoff = entries.max(1);
     }
 
     /// The represented time at raw index `i`, whichever representation
@@ -343,65 +459,107 @@ impl HybridClock {
 
     // ---- density window ----------------------------------------------
 
-    /// Feeds one observation (`touched` entries against `arena` slots)
-    /// into the window. Works through `&self` so copy *sources* can
-    /// observe; a saturated score only requests the flip by setting a
-    /// pending bit in the state word
-    /// ([`state_for_mut`](Self::state_for_mut) executes it). The common
-    /// case is one packed load-add-store plus a predictable branch.
-    fn observe(&self, touched: u64, arena: u64) {
-        let w = &self.window;
-        let acc = w.acc.get() + ACC_OP + (arena.min(ACC_CAP) << 28) + touched.min(ACC_CAP);
-        if (acc >> 56) < u64::from(WINDOW_OPS) {
-            w.acc.set(acc);
-            return;
+    /// Feeds one destination-side observation (`touched` entries
+    /// against `arena` slots) into the window — a plain `&mut` path:
+    /// accumulate, and judge the window immediately once it is full.
+    fn observe_mut(&mut self, touched: u64, arena: u64) {
+        let w = self.window.shared.get_mut();
+        *w = pack_obs(*w, touched, arena);
+        if packed_ops(*w) >= u64::from(WINDOW_OPS) {
+            self.harvest();
         }
-        w.acc.set(0);
-        let dense = is_dense(acc & ACC_FIELD, (acc >> 28) & ACC_FIELD);
-        let mut score = w.score.get();
-        let s = self.state.get();
+    }
+
+    /// The copy-*source* hook: the one observation that arrives
+    /// through a shared reference. A single packed relaxed
+    /// load-add-store; the verdict is deferred to the next `&mut`
+    /// entry point ([`state_for_mut`](Self::state_for_mut)). Saturates
+    /// at 7 pending ops (further shared observations are dropped until
+    /// harvested — they are probe-sampled anyway).
+    fn observe_shared(&self, touched: u64, arena: u64) {
+        let cur = self.window.shared.load(Ordering::Relaxed);
+        if packed_ops(cur) < SH_OPS_MASK {
+            self.window
+                .shared
+                .store(pack_obs(cur, touched, arena), Ordering::Relaxed);
+        }
+    }
+
+    /// Ticks the copy-probe countdown through `&self` (relaxed
+    /// load/store on the shared word). Returns `true` when the probe
+    /// fires, re-arming it to `reset`.
+    fn copy_probe_tick(&self, reset: u8) -> bool {
+        let cur = self.window.shared.load(Ordering::Relaxed);
+        let probe = (cur >> SH_PROBE) & SH_PROBE_MASK;
+        let next = if probe == 0 {
+            (cur & !(SH_PROBE_MASK << SH_PROBE)) | (u64::from(reset) << SH_PROBE)
+        } else {
+            cur - (1 << SH_PROBE)
+        };
+        self.window.shared.store(next, Ordering::Relaxed);
+        probe == 0
+    }
+
+    /// Judges the completed window: resets the accumulator (keeping
+    /// the probe countdown), walks the hysteresis score, and requests
+    /// a representation flip by setting a pending state bit once the
+    /// score saturates. Always on a `&mut` path.
+    fn harvest(&mut self) {
+        let w = self.window.shared.get_mut();
+        let acc = *w;
+        *w = acc & (SH_PROBE_MASK << SH_PROBE);
+        let dense = is_dense(
+            acc & SH_FIELD,
+            (acc >> SH_ARENA) & SH_FIELD,
+            packed_ops(acc),
+            self.dense_cutoff,
+        );
+        let mut score = self.window.score;
         if dense {
             score = (score + 1).min(HYSTERESIS);
-            if score >= HYSTERESIS && s & ST_FLAT == 0 {
-                self.state.set(s | ST_FLIP_TO_FLAT);
+            if score >= HYSTERESIS && self.state & ST_FLAT == 0 {
+                self.state |= ST_FLIP_TO_FLAT;
                 score = 0;
             }
         } else {
             score = (score - 1).max(-HYSTERESIS);
-            if score <= -HYSTERESIS && s & ST_FLAT != 0 {
-                self.state.set(s | ST_FLIP_TO_TREE);
+            if score <= -HYSTERESIS && self.state & ST_FLAT != 0 {
+                self.state |= ST_FLIP_TO_TREE;
                 score = 0;
             }
         }
-        w.score.set(score);
+        self.window.score = score;
     }
 
-    /// The single hot-path load: returns the state word, executing a
-    /// pending representation flip first when one is requested — so
-    /// mode dispatch and the flip check share one load. Called from
+    /// The hot-path state read: harvests a full window left behind by
+    /// shared-reference observations, executes a pending
+    /// representation flip, and returns the state word. Called from
     /// `increment`, the one guaranteed `&mut` touch per engine event
-    /// (which keeps flips prompt even when the saturating observation
-    /// came from a copy through `&self`).
+    /// (which keeps verdicts and flips prompt even when the saturating
+    /// observation came from a copy through `&self`).
     #[inline]
     fn state_for_mut(&mut self) -> u8 {
-        let s = self.state.get();
-        if s & ST_FLIP_MASK == 0 {
-            return s;
+        if packed_ops(*self.window.shared.get_mut()) >= u64::from(WINDOW_OPS) {
+            self.harvest();
         }
-        self.execute_flip(s)
+        if self.state & ST_FLIP_MASK == 0 {
+            return self.state;
+        }
+        self.execute_flip()
     }
 
     /// The out-of-line flip executor: clears the pending bits and
     /// performs the migration the window requested.
     #[cold]
-    fn execute_flip(&mut self, s: u8) -> u8 {
-        self.state.set(s & !ST_FLIP_MASK);
+    fn execute_flip(&mut self) -> u8 {
+        let s = self.state;
+        self.state = s & !ST_FLIP_MASK;
         if s & ST_FLIP_TO_FLAT != 0 && s & ST_FLAT == 0 {
             self.flip_to_flat();
         } else if s & ST_FLIP_TO_TREE != 0 && s & ST_FLAT != 0 && self.root.is_some() {
             self.flip_to_tree();
         }
-        self.state.get()
+        self.state
     }
 
     /// Tree→flat: the values *are* the tree's dense times array; the
@@ -412,9 +570,9 @@ impl HybridClock {
         self.flat.clear();
         self.flat.extend_from_slice(self.tree.times());
         self.tree.clear();
-        self.state.set(self.state.get() | ST_FLAT);
-        self.window.join_probe.set(0);
-        self.window.copy_probe.set(0);
+        self.state |= ST_FLAT;
+        self.window.join_probe = 0;
+        *self.window.shared.get_mut() &= !(SH_PROBE_MASK << SH_PROBE);
         self.flips_to_flat += 1;
     }
 
@@ -429,7 +587,7 @@ impl HybridClock {
         };
         self.tree.adopt_flat(&self.flat, r.raw());
         self.flat.clear();
-        self.state.set(self.state.get() & !ST_FLAT);
+        self.state &= !ST_FLAT;
         self.flips_to_tree += 1;
     }
 
@@ -450,7 +608,7 @@ impl HybridClock {
                     // Algorithm 2.
                     self.obs_skip = TREE_OBS_PERIOD - 1;
                     let arena = self.tree.num_threads().max(other.tree.num_threads()) as u64;
-                    self.observe(s.moved, arena);
+                    self.observe_mut(s.moved, arena);
                 }
                 if COUNT {
                     s
@@ -503,11 +661,11 @@ impl HybridClock {
             if COUNT {
                 stats.examined = 1;
             }
-            self.observe(0, arena);
+            self.observe_mut(0, arena);
             return stats;
         }
         let changed = self.tree.flat_join_slice(src, z);
-        self.observe(changed, arena);
+        self.observe_mut(changed, arena);
         if COUNT {
             OpStats {
                 examined: src.len() as u64,
@@ -544,11 +702,10 @@ impl HybridClock {
                 stats.changed += u64::from(progressed);
                 stats.moved += u64::from(progressed);
             }
-            self.observe(stats.changed, arena);
+            self.observe_mut(stats.changed, arena);
             return stats;
         }
-        let probe = self.window.join_probe.get();
-        if probe == 0 {
+        if self.window.join_probe == 0 {
             // Density probe: a branchless counting sweep (compare +
             // max + widen-accumulate, vectorized like the plain sweep;
             // a branchy `if` here would mispredict on every other
@@ -559,10 +716,10 @@ impl HybridClock {
                 changed += u64::from(theirs > *mine);
                 *mine = (*mine).max(theirs);
             }
-            self.observe(changed, arena);
-            self.window.join_probe.set(PROBE_PERIOD - 1);
+            self.window.join_probe = PROBE_PERIOD - 1;
+            self.observe_mut(changed, arena);
         } else {
-            self.window.join_probe.set(probe - 1);
+            self.window.join_probe -= 1;
             // The pure sweep: branchless max the compiler vectorizes —
             // the whole point of the flat regime.
             for (mine, &theirs) in self.flat.iter_mut().zip(src.iter()) {
@@ -596,18 +753,14 @@ impl HybridClock {
                 // entries, for a first copy into an empty clock) is the
                 // observation — attributed to the *source* (see the
                 // module docs), sampled at `TREE_OBS_PERIOD` through
-                // the source's probe cell. Bulk transfers matter too: a
-                // tree clone writes 6× the bytes of a flat copy (links
-                // + times vs times alone), so dense first copies into
-                // fresh lock clocks are exactly what must push a
-                // publishing thread toward flat.
-                let probe = other.window.copy_probe.get();
-                if probe > 0 {
-                    other.window.copy_probe.set(probe - 1);
-                } else {
-                    other.window.copy_probe.set(TREE_OBS_PERIOD - 1);
+                // the source's shared probe. Bulk transfers matter
+                // too: a tree clone writes 6× the bytes of a flat copy
+                // (links + times vs times alone), so dense first
+                // copies into fresh lock clocks are exactly what must
+                // push a publishing thread toward flat.
+                if other.copy_probe_tick(TREE_OBS_PERIOD - 1) {
                     let arena = self.num_threads().max(other.num_threads()) as u64;
-                    other.observe(s.moved, arena);
+                    other.observe_shared(s.moved, arena);
                 }
             }
             return s;
@@ -622,20 +775,16 @@ impl HybridClock {
                 stats.examined = (self.num_threads().max(src.len())) as u64;
                 stats.changed = changed;
                 stats.moved = changed;
-                other.observe(changed, arena);
+                other.observe_shared(changed, arena);
             } else {
                 // Probe the copy density on the source's window.
-                let probe = other.window.copy_probe.get();
-                if probe == 0 {
-                    other.observe(count_diffs(self.value_slice(), src), arena);
-                    other.window.copy_probe.set(PROBE_PERIOD - 1);
-                } else {
-                    other.window.copy_probe.set(probe - 1);
+                if other.copy_probe_tick(PROBE_PERIOD - 1) {
+                    other.observe_shared(count_diffs(self.value_slice(), src), arena);
                 }
             }
             if !self.flat() {
                 self.tree.clear();
-                self.state.set(self.state.get() | ST_FLAT);
+                self.state |= ST_FLAT;
             }
             self.flat.clear();
             self.flat.extend_from_slice(src);
@@ -646,9 +795,9 @@ impl HybridClock {
         // transitional path while regimes disagree; the wholesale
         // rebuild is O(k + present) and the diff count rides along.
         let changed = count_diffs(&self.flat, other.tree.times());
-        other.observe(changed, arena);
+        other.observe_shared(changed, arena);
         self.flat.clear();
-        self.state.set(self.state.get() & !ST_FLAT);
+        self.state &= !ST_FLAT;
         if !self.tree.is_empty() {
             self.tree.clear();
         }
@@ -764,9 +913,9 @@ impl LogicalClock for HybridClock {
         // `increment` is the hottest entry point, but it is also the
         // only guaranteed `&mut` touch of a thread that acts purely as
         // a copy *source* (a publisher whose acquires all hit fresh
-        // lazy locks) — without executing pending flips here, such a
-        // thread's flip would never run. The packed state word makes
-        // the flip check and the mode dispatch one shared load.
+        // lazy locks) — without harvesting shared-hook observations and
+        // executing pending flips here, such a thread's window would
+        // never be judged.
         let s = self.state_for_mut();
         if s & ST_FLAT != 0 {
             let root = self
@@ -854,7 +1003,7 @@ impl LogicalClock for HybridClock {
         self.flat.clear();
         self.root = None;
         // Keep the learned mode bit, drop any pending flip.
-        self.state.set(self.state.get() & ST_FLAT);
+        self.state &= ST_FLAT;
         self.window.reset_for_recycle();
         self.flips_to_flat = 0;
         self.flips_to_tree = 0;
@@ -901,6 +1050,14 @@ impl LogicalClock for HybridClock {
         self.tree.heap_bytes() + self.flat.capacity() * std::mem::size_of::<LocalTime>()
     }
 }
+
+// The tentpole guarantee this refactor bought: the hybrid clock (and
+// with it every engine, detector and session above) is a movable,
+// shareable value — no `Cell` left anywhere in the stack.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<HybridClock>();
+};
 
 impl PartialEq for HybridClock {
     /// Value equality (trailing zeros insignificant, representation and
@@ -965,6 +1122,7 @@ mod tests {
         assert!(!c.is_flat());
         assert_eq!(c.root_tid(), None);
         assert_eq!(c.get(ThreadId::new(7)), 0);
+        assert_eq!(c.dense_cutoff(), DEFAULT_DENSE_CUTOFF);
     }
 
     #[test]
@@ -983,21 +1141,25 @@ mod tests {
 
     #[test]
     fn sustained_dense_joins_flip_to_flat_and_back_on_sparse() {
-        // K must exceed SMALL_ARENA: at or below it the arena is
+        // K must exceed the dense cutoff: at or below it the arena is
         // flat-cheap by fiat and the clock (correctly) never returns
         // to the tree representation.
-        const K: usize = SMALL_ARENA as usize + 8;
+        const K: usize = DEFAULT_DENSE_CUTOFF as usize + 8;
         let mut hub = rooted(0, 1);
         let mut peers: Vec<HybridClock> = (1..K as u32).map(|t| rooted(t, 1)).collect();
-        // Cross-pollinate so each join into `hub` moves most of the
-        // arena (dense).
-        for _ in 0..(SATURATE / K + 3) {
+        // Each round: every peer advances, the peers chain-join so the
+        // last one holds every fresh increment, and the hub joins only
+        // that one — a join moving nearly the whole arena (dense).
+        for _ in 0..(TREE_OBS_PERIOD as usize * SATURATE) {
             for p in peers.iter_mut() {
-                let snap = hub.clone();
                 p.increment(1);
-                p.join(&snap);
             }
-            dense_round(&mut hub, &mut peers);
+            for i in 1..peers.len() {
+                let (before, rest) = peers.split_at_mut(i);
+                rest[0].join(&before[i - 1]);
+            }
+            hub.increment(1);
+            hub.join(peers.last().unwrap());
         }
         assert!(hub.is_flat(), "dense workload must flip to flat");
         assert_eq!(hub.flips().0, 1);
@@ -1024,7 +1186,8 @@ mod tests {
         // The pairwise profile: sparse joins, dense copies (a stale
         // lock clock differs from the publishing thread on most
         // entries). The *source* thread must flip to flat even though
-        // its own joins are quiet.
+        // its own joins are quiet — the shared-hook observations are
+        // harvested at the publisher's next `&mut` touch (increment).
         const K: u32 = 8;
         let mut publisher = rooted(0, 1);
         for t in 1..K {
@@ -1218,10 +1381,10 @@ mod tests {
 
     #[test]
     fn small_arenas_settle_flat_even_when_sparse() {
-        // The k-dependent threshold: an arena of ≤ SMALL_ARENA entries
-        // (two cache lines) is flat-cheap, so even no-progress joins
-        // eventually migrate a small clock to the flat representation —
-        // and never back.
+        // The k-dependent threshold: an arena at or below the dense
+        // cutoff is flat-cheap, so even no-progress joins eventually
+        // migrate a small clock to the flat representation — and never
+        // back.
         let mut c = rooted(0, 1);
         let quiet = rooted(1, 1);
         c.join(&quiet);
@@ -1231,6 +1394,69 @@ mod tests {
         }
         assert!(c.is_flat(), "small arena must settle flat");
         assert_eq!(c.flips(), (1, 0));
+    }
+
+    #[test]
+    fn dense_cutoff_is_per_clock_and_defaults_from_the_global() {
+        // A clock pinned below its arena size judges no-progress joins
+        // sparse and stays in (returns to) the tree representation,
+        // where the default-cutoff clock settles flat.
+        let mut pinned = rooted(0, 1);
+        pinned.set_dense_cutoff(2);
+        assert_eq!(pinned.dense_cutoff(), 2);
+        let quiet = {
+            let mut q = rooted(5, 1); // arena of 6 > pinned cutoff 2
+            q.increment(1);
+            q
+        };
+        pinned.join(&quiet);
+        for _ in 0..(PROBE_PERIOD as usize + 1) * SATURATE * 2 {
+            pinned.increment(1);
+            pinned.join(&quiet);
+        }
+        assert!(
+            !pinned.is_flat(),
+            "a cutoff below the arena size must keep sparse joins tree-bound"
+        );
+
+        // The process-wide default is what constructors adopt; values
+        // are representation independent at any setting, so briefly
+        // lowering it cannot perturb concurrent tests' values.
+        set_default_dense_cutoff(64);
+        let adopted = HybridClock::new();
+        assert_eq!(adopted.dense_cutoff(), 64);
+        set_default_dense_cutoff(DEFAULT_DENSE_CUTOFF);
+        assert_eq!(default_dense_cutoff(), DEFAULT_DENSE_CUTOFF);
+        assert_eq!(
+            HybridClock::new().dense_cutoff(),
+            DEFAULT_DENSE_CUTOFF,
+            "restored default"
+        );
+        // The spec-conservative anchor stays documented and distinct.
+        assert_eq!(CACHE_LINE_CUTOFF, 32);
+        const { assert!(CACHE_LINE_CUTOFF < DEFAULT_DENSE_CUTOFF) };
+    }
+
+    #[test]
+    fn shared_observations_saturate_without_corrupting_the_probe() {
+        // More than 7 shared-hook observations between `&mut` touches:
+        // the op count saturates (extras are dropped) instead of
+        // overflowing into the probe bits.
+        let src = rooted(0, 3);
+        for _ in 0..40 {
+            src.observe_shared(1000, 1000);
+        }
+        assert_eq!(packed_ops(src.window.shared.load(Ordering::Relaxed)), 7);
+        // The probe countdown still ticks and re-arms correctly.
+        assert!(src.copy_probe_tick(3), "armed probe fires at zero");
+        assert!(!src.copy_probe_tick(3));
+        assert!(!src.copy_probe_tick(3));
+        assert!(!src.copy_probe_tick(3));
+        assert!(src.copy_probe_tick(3), "probe fires after the countdown");
+        // The next `&mut` entry harvests the saturated window.
+        let mut src = src;
+        src.increment(1);
+        assert_eq!(packed_ops(src.window.shared.load(Ordering::Relaxed)), 0);
     }
 
     #[test]
@@ -1265,6 +1491,20 @@ mod tests {
         assert_eq!(count_diffs(&[1, 2, 4], &[1, 2]), 1);
         assert_eq!(count_diffs(&[], &[0, 0, 5]), 1);
         assert_eq!(count_diffs(&[7], &[7]), 0);
+    }
+
+    #[test]
+    fn hybrid_clocks_move_across_threads() {
+        // The tentpole property, exercised dynamically: a learned
+        // clock is a plain movable value.
+        let mut c = rooted(0, 2);
+        let peer = rooted(1, 5);
+        c.join(&peer);
+        let handle = std::thread::spawn(move || {
+            c.increment(1);
+            c.get(ThreadId::new(1))
+        });
+        assert_eq!(handle.join().unwrap(), 5);
     }
 
     #[test]

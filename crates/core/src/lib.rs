@@ -87,3 +87,18 @@ pub use pool::{ClockPool, LazyClock};
 pub use tree_clock::TreeClock;
 pub use vector_clock::VectorClock;
 pub use vector_time::VectorTime;
+
+// Every clock backend (and the pooling wrappers around them) is Send —
+// asserted at compile time so a future backend cannot silently
+// reintroduce thread-pinned interior mutability and break the
+// streaming service's work-stealing core.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<TreeClock>();
+    assert_send::<VectorClock>();
+    assert_send::<HybridClock>();
+    assert_send::<ClockPool<TreeClock>>();
+    assert_send::<ClockPool<VectorClock>>();
+    assert_send::<ClockPool<HybridClock>>();
+    assert_send::<LazyClock<HybridClock>>();
+};

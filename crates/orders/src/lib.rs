@@ -63,3 +63,21 @@ pub use metrics::RunMetrics;
 pub use shb::ShbEngine;
 pub use snapshot::{ClockValue, CoreState, EngineState, ThreadSlot, VarClocks};
 pub use spec::PartialOrderKind;
+
+// Every engine, over every clock backend, is a movable value: the
+// streaming service's work-stealing core depends on being able to ship
+// an engine (inside a session) to whichever worker thread is free.
+// Compile-time assertion — three backends × three orders.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    use tc_core::{HybridClock, TreeClock, VectorClock};
+    assert_send::<HbEngine<TreeClock>>();
+    assert_send::<HbEngine<VectorClock>>();
+    assert_send::<HbEngine<HybridClock>>();
+    assert_send::<ShbEngine<TreeClock>>();
+    assert_send::<ShbEngine<VectorClock>>();
+    assert_send::<ShbEngine<HybridClock>>();
+    assert_send::<MazEngine<TreeClock>>();
+    assert_send::<MazEngine<VectorClock>>();
+    assert_send::<MazEngine<HybridClock>>();
+};

@@ -86,7 +86,10 @@ fn phase_change_trace(
 
 #[test]
 fn phase_changes_keep_hybrid_and_tree_value_identical() {
-    let trace = phase_change_trace(16, 6, 40, 500, 0xF00D);
+    // The thread count must exceed the calibrated dense cutoff (128
+    // entries): at or below it the arena is flat-cheap by fiat and the
+    // sparse phases would (correctly) never migrate anything back.
+    let trace = phase_change_trace(136, 4, 30, 400, 0xF00D);
     let (to_flat, to_tree) = assert_stepwise_equal(&trace, "phase-change");
     assert!(
         to_flat > 0,

@@ -1,36 +1,70 @@
 //! The multi-client streaming service: `tcr serve`.
 //!
 //! A std-only TCP server (no async runtime — the container is offline
-//! and the workspace vendors no executor) that shards concurrent
-//! sessions across a fixed pool of worker threads. Each accepted
-//! connection is one session, pinned round-robin to a worker; sessions
-//! on different workers run fully in parallel, each with its own
-//! independent [`Session`] (detector + validator + interner) — there is
-//! no shared analysis state to contend on.
+//! and the workspace vendors no executor) built as a **nonblocking
+//! ingest core over a work-stealing worker pool**:
 //!
-//! ## Wire protocol
+//! - One **I/O thread** owns the listener and every connection in
+//!   nonblocking mode, running a poll-style readiness loop: it accepts,
+//!   reads, splits the byte stream into messages (text lines or binary
+//!   frames, sniffed by first byte), answers handshake lines inline,
+//!   and enqueues everything else onto the addressed session's work
+//!   queue. Shutdown is a flag the loop observes on its next pass — no
+//!   blocking `accept` to kick awake, no throwaway connections.
+//! - A pool of **workers** drains those queues. A session is *checked
+//!   out* by whichever worker gets to it first (own deque, then the
+//!   shared injector, then stealing from siblings), processed for its
+//!   whole pending batch, and checked back in. Sessions are plain
+//!   `Send` values — nothing pins them to a shard, so one hot session
+//!   cannot starve its neighbors and idle workers take work wherever
+//!   it piles up. Per-session order is preserved: a session is never
+//!   checked out by two workers at once, and its queue drains FIFO.
 //!
-//! Line-oriented text, one request per line. The first line must be
+//! ## Wire protocols
+//!
+//! Both protocols are served on one port; every message is sniffed by
+//! its first byte (a binary frame starts with `0xF7`, which no ASCII
+//! text line can).
+//!
+//! **Text** — line-oriented, one request per line, as in
+//! [`Session::handle_line`]. A connection binds its bare event lines to
+//! the most recent session it opened:
 //!
 //! ```text
 //! open <order> <clock> [evict <n>] [no-retire]
 //! ```
 //!
-//! answered with `ok session <id> order <order> clock <backend>`.
-//! After that, every [`Session::handle_line`] command is available;
-//! additionally `shutdown` stops the whole server (answered
-//! `ok shutting-down`). Event lines are silent on success, so a client
-//! can pipeline a whole trace and synchronize once with `poll` or
-//! `stats`.
+//! answered with `ok session <id> order <order> clock <backend>`;
+//! `resume <path>` restores a checkpointed session; `use <id>` rebinds
+//! the connection to a session it opened earlier (how a fan-in client
+//! synchronizes each of its sessions in turn); `shutdown` stops the
+//! whole server (answered `ok shutting-down`). Event lines are
+//! silent on success, so a client can pipeline a whole trace and
+//! synchronize once with `poll` or `stats`.
+//!
+//! **Binary** — length-prefixed [wire frames](tc_trace::wire), each
+//! carrying a batch of dense-id event records for an explicit session
+//! id (so one connection can fan events into many sessions). Open a
+//! session with a text `open` line, read the id from the reply, then
+//! stream frames; text commands (`races`, `stats`, `close`) remain
+//! available on the same connection for synchronization. Frames are
+//! silent on success and report rejected events as indexed `err at
+//! <i>: ...` lines; batching amortizes the syscall, the sniff and the
+//! queue hop over hundreds of events, which is where the binary path's
+//! throughput comes from (see the README's service section for
+//! guidance — frames of 256–1024 events are the sweet spot).
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 use tc_orders::PartialOrderKind;
+use tc_trace::wire::{self, FRAME_MAGIC};
+use tc_trace::Event;
 
 use crate::detector::DetectorConfig;
 use crate::session::{ClockChoice, Session};
@@ -41,8 +75,7 @@ pub struct ServeConfig {
     /// Bind address; port 0 picks a free port (see
     /// [`Server::local_addr`]).
     pub addr: String,
-    /// Worker threads — the number of session shards served in
-    /// parallel.
+    /// Worker threads draining session work queues.
     pub workers: usize,
 }
 
@@ -55,77 +88,176 @@ impl Default for ServeConfig {
     }
 }
 
+/// Longest text line the server buffers before declaring the
+/// connection broken (a missing newline must not buffer unboundedly).
+const MAX_LINE_LEN: usize = 1 << 20;
+
+/// Idle poll interval of the I/O loop (and the bound on how stale a
+/// shutdown request can go unnoticed).
+const IDLE_POLL: Duration = Duration::from_micros(500);
+
+/// How long an idle worker sleeps between work scans (wakeups normally
+/// arrive via the condvar; the timeout only bounds steal latency).
+const WORKER_PARK: Duration = Duration::from_millis(20);
+
+/// One unit of session work, queued in arrival order.
+enum ItemKind {
+    /// A block of complete text protocol lines (newline separated).
+    Text(String),
+    /// A decoded binary frame's event batch.
+    Frame(Vec<Event>),
+    /// A pre-formatted reply to forward verbatim (used to keep
+    /// handshake replies ordered behind in-flight work).
+    Write(String),
+    /// Tear the session down (its home connection went away).
+    Close,
+}
+
+struct WorkItem {
+    kind: ItemKind,
+    /// Where replies go; `None` for connection-less teardown.
+    conn: Option<Arc<ConnShared>>,
+}
+
+/// A session slot in the registry.
+struct SessionSlot {
+    /// The session itself; `None` while checked out by a worker.
+    session: Option<Box<Session>>,
+    /// Queued work, FIFO.
+    pending: VecDeque<WorkItem>,
+    /// `true` while the session id sits in some worker queue or a
+    /// worker is processing it — the single-consumer guarantee.
+    scheduled: bool,
+}
+
+/// The write half of a connection, shared between the I/O thread
+/// (handshake replies) and the workers (session replies).
+struct ConnShared {
+    writer: Mutex<TcpStream>,
+    /// Set by a worker after `close`; the I/O thread drops the
+    /// connection on its next pass.
+    closing: AtomicBool,
+}
+
+impl ConnShared {
+    /// Writes and flushes, riding out `WouldBlock` (the handle shares
+    /// the socket's nonblocking flag). Returns `Err` only for real
+    /// failures — a disappearing peer is not an error worth acting on.
+    fn write_reply(&self, bytes: &[u8]) -> io::Result<()> {
+        let mut w = self.writer.lock().expect("conn writer lock");
+        let mut buf = bytes;
+        while !buf.is_empty() {
+            match w.write(buf) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => buf = &buf[n..],
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+}
+
+/// State shared by the I/O thread, the workers and the [`Server`]
+/// handle.
+struct ServiceShared {
+    registry: Mutex<HashMap<u64, SessionSlot>>,
+    /// The shared work queue the I/O thread feeds.
+    injector: Mutex<VecDeque<u64>>,
+    /// Per-worker local deques (push/pop at the back by the owner,
+    /// stolen from the front by siblings).
+    locals: Vec<Mutex<VecDeque<u64>>>,
+    /// Parked-worker wakeup, paired with `injector`.
+    work_cv: Condvar,
+    shutdown: AtomicBool,
+    next_session: AtomicU64,
+}
+
+impl ServiceShared {
+    /// Queues one work item for `session`, scheduling the session into
+    /// the injector if no worker currently owns it. Returns `false`
+    /// when the session does not exist.
+    fn enqueue(&self, session: u64, item: WorkItem) -> bool {
+        let mut reg = self.registry.lock().expect("registry lock");
+        let Some(slot) = reg.get_mut(&session) else {
+            return false;
+        };
+        slot.pending.push_back(item);
+        let newly = !slot.scheduled;
+        slot.scheduled = true;
+        drop(reg);
+        if newly {
+            self.injector
+                .lock()
+                .expect("injector lock")
+                .push_back(session);
+            self.work_cv.notify_one();
+        }
+        true
+    }
+
+    fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.work_cv.notify_all();
+    }
+}
+
 /// A running streaming service.
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    shared: Arc<ServiceShared>,
+    io: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 impl Server {
-    /// Binds and starts the service: one acceptor thread plus
-    /// `config.workers` session shards.
+    /// Binds and starts the service: the nonblocking I/O thread plus
+    /// `config.workers` work-stealing session workers.
     ///
     /// # Errors
     ///
     /// Propagates bind failures.
-    pub fn start(config: ServeConfig) -> std::io::Result<Server> {
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let session_ids = Arc::new(AtomicU64::new(1));
 
         let worker_count = config.workers.max(1);
-        let mut senders: Vec<Sender<TcpStream>> = Vec::with_capacity(worker_count);
+        let shared = Arc::new(ServiceShared {
+            registry: Mutex::new(HashMap::new()),
+            injector: Mutex::new(VecDeque::new()),
+            locals: (0..worker_count)
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
+            work_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU64::new(1),
+        });
+
         let mut workers = Vec::with_capacity(worker_count);
-        for shard in 0..worker_count {
-            let (tx, rx): (Sender<TcpStream>, Receiver<TcpStream>) = mpsc::channel();
-            senders.push(tx);
-            let shutdown = Arc::clone(&shutdown);
-            let session_ids = Arc::clone(&session_ids);
+        for me in 0..worker_count {
+            let shared = Arc::clone(&shared);
             workers.push(
                 std::thread::Builder::new()
-                    .name(format!("tcr-serve-worker-{shard}"))
-                    .spawn(move || {
-                        while let Ok(stream) = rx.recv() {
-                            let id = session_ids.fetch_add(1, Ordering::Relaxed);
-                            // One session at a time per shard: a
-                            // session is pinned to its worker for its
-                            // whole life.
-                            let _ = handle_connection(stream, id, &shutdown, addr);
-                            if shutdown.load(Ordering::Relaxed) {
-                                break;
-                            }
-                        }
-                    })
+                    .name(format!("tcr-serve-worker-{me}"))
+                    .spawn(move || worker_loop(&shared, me))
                     .expect("spawning a worker thread cannot fail"),
             );
         }
 
-        let accept_shutdown = Arc::clone(&shutdown);
-        let acceptor = std::thread::Builder::new()
-            .name("tcr-serve-acceptor".to_owned())
-            .spawn(move || {
-                let mut next = 0usize;
-                for stream in listener.incoming() {
-                    if accept_shutdown.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let Ok(stream) = stream else { continue };
-                    // Round-robin sharding.
-                    if senders[next % senders.len()].send(stream).is_err() {
-                        break;
-                    }
-                    next += 1;
-                }
-            })
-            .expect("spawning the acceptor thread cannot fail");
+        let io_shared = Arc::clone(&shared);
+        let io = std::thread::Builder::new()
+            .name("tcr-serve-io".to_owned())
+            .spawn(move || io_loop(listener, &io_shared))
+            .expect("spawning the I/O thread cannot fail");
 
         Ok(Server {
             addr,
-            shutdown,
-            acceptor: Some(acceptor),
+            shared,
+            io: Some(io),
             workers,
         })
     }
@@ -138,29 +270,447 @@ impl Server {
     /// `true` once a `shutdown` protocol command (or
     /// [`Self::shutdown`]) stopped the server.
     pub fn is_shutdown(&self) -> bool {
-        self.shutdown.load(Ordering::Relaxed)
+        self.shared.shutdown.load(Ordering::Relaxed)
     }
 
-    /// Requests shutdown and wakes the acceptor.
+    /// Requests shutdown. The nonblocking I/O loop observes the flag on
+    /// its next poll pass and the condvar wakes every parked worker —
+    /// clients may still be connected; their sockets are simply
+    /// dropped.
     pub fn shutdown(&self) {
-        self.shutdown.store(true, Ordering::Relaxed);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
+        self.shared.request_shutdown();
     }
 
-    /// Blocks until the acceptor and every worker exit. Call
+    /// Blocks until the I/O thread and every worker exit. Call
     /// [`shutdown`](Self::shutdown) first (or let a client's `shutdown`
     /// command do it).
     pub fn join(mut self) {
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
+        if let Some(io) = self.io.take() {
+            let _ = io.join();
         }
-        // Workers exit when their channel sender (owned by the
-        // acceptor) is dropped and the queue drains.
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
     }
+}
+
+// ---- the worker pool ----------------------------------------------------
+
+/// Pops the next session to serve: own deque, then the injector, then
+/// stealing the oldest entry from a sibling.
+fn find_work(shared: &ServiceShared, me: usize) -> Option<u64> {
+    loop {
+        if let Some(id) = shared.locals[me].lock().expect("local lock").pop_back() {
+            return Some(id);
+        }
+        if let Some(id) = shared.injector.lock().expect("injector lock").pop_front() {
+            return Some(id);
+        }
+        for (i, other) in shared.locals.iter().enumerate() {
+            if i != me {
+                if let Some(id) = other.lock().expect("steal lock").pop_front() {
+                    return Some(id);
+                }
+            }
+        }
+        let guard = shared.injector.lock().expect("injector lock");
+        if !guard.is_empty() {
+            continue; // an enqueue raced our scan
+        }
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return None;
+        }
+        let _ = shared
+            .work_cv
+            .wait_timeout(guard, WORKER_PARK)
+            .expect("worker park");
+    }
+}
+
+/// One worker: check a session out, drain its queue, check it back in
+/// (re-queueing locally if work arrived meanwhile).
+fn worker_loop(shared: &ServiceShared, me: usize) {
+    while let Some(id) = find_work(shared, me) {
+        let (session, items) = {
+            let mut reg = shared.registry.lock().expect("registry lock");
+            match reg.get_mut(&id) {
+                Some(slot) => (slot.session.take(), std::mem::take(&mut slot.pending)),
+                None => continue,
+            }
+        };
+        let Some(mut session) = session else { continue };
+
+        let mut closed = false;
+        for item in items {
+            process_item(&mut session, item, &mut closed);
+            if closed {
+                break; // the rest of the queue dies with the session
+            }
+        }
+
+        let mut reg = shared.registry.lock().expect("registry lock");
+        if closed {
+            reg.remove(&id);
+        } else if let Some(slot) = reg.get_mut(&id) {
+            slot.session = Some(session);
+            if slot.pending.is_empty() {
+                slot.scheduled = false;
+            } else {
+                // Refilled while we worked: keep ownership of the
+                // next round on our own deque.
+                drop(reg);
+                shared.locals[me].lock().expect("local lock").push_back(id);
+                shared.work_cv.notify_one();
+            }
+        }
+    }
+}
+
+/// Executes one work item against a checked-out session.
+fn process_item(session: &mut Session, item: WorkItem, closed: &mut bool) {
+    let mut out = String::new();
+    match item.kind {
+        ItemKind::Text(block) => {
+            for line in block.lines() {
+                if !session.handle_line(line, &mut out) {
+                    *closed = true;
+                    break;
+                }
+            }
+        }
+        ItemKind::Frame(events) => session.handle_frame(&events, &mut out),
+        ItemKind::Write(reply) => out = reply,
+        ItemKind::Close => *closed = true,
+    }
+    if let Some(conn) = &item.conn {
+        if !out.is_empty() && conn.write_reply(out.as_bytes()).is_err() {
+            // The peer is gone; nothing to do — its connection close
+            // will reap the session.
+        }
+        if *closed {
+            conn.closing.store(true, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---- the I/O thread -----------------------------------------------------
+
+/// One connection owned by the I/O loop.
+struct Conn {
+    reader: TcpStream,
+    shared: Arc<ConnShared>,
+    /// Unparsed bytes (partial lines / partial frames).
+    buf: Vec<u8>,
+    /// The session bare text lines route to (the connection's most
+    /// recent `open`/`resume`).
+    current: Option<u64>,
+    /// Every session this connection opened — reaped when it closes.
+    opened: Vec<u64>,
+}
+
+/// The nonblocking readiness loop: accept, read, split into messages,
+/// route. Runs until the shutdown flag is raised.
+fn io_loop(listener: TcpListener, shared: &ServiceShared) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut scratch = vec![0u8; 64 * 1024];
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            // Drop the listener and every connection; workers drain
+            // on their own via the flag.
+            shared.work_cv.notify_all();
+            return;
+        }
+
+        let mut progressed = false;
+
+        // Accept every pending connection.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let Ok(writer) = stream.try_clone() else {
+                        continue;
+                    };
+                    conns.push(Conn {
+                        reader: stream,
+                        shared: Arc::new(ConnShared {
+                            writer: Mutex::new(writer),
+                            closing: AtomicBool::new(false),
+                        }),
+                        buf: Vec::new(),
+                        current: None,
+                        opened: Vec::new(),
+                    });
+                    progressed = true;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => break,
+            }
+        }
+
+        // Service every connection.
+        let mut i = 0;
+        while i < conns.len() {
+            let conn = &mut conns[i];
+            let mut drop_conn = conn.shared.closing.load(Ordering::Relaxed);
+            while !drop_conn {
+                match conn.reader.read(&mut scratch) {
+                    Ok(0) => {
+                        drop_conn = true;
+                    }
+                    Ok(n) => {
+                        progressed = true;
+                        conn.buf.extend_from_slice(&scratch[..n]);
+                        if !parse_messages(conn, shared) {
+                            drop_conn = true;
+                        }
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => {
+                        drop_conn = true;
+                    }
+                }
+            }
+            if drop_conn || conn.shared.closing.load(Ordering::Relaxed) {
+                // Reap every session this connection opened, in queue
+                // order behind any in-flight work.
+                for id in conns[i].opened.clone() {
+                    shared.enqueue(
+                        id,
+                        WorkItem {
+                            kind: ItemKind::Close,
+                            conn: None,
+                        },
+                    );
+                }
+                conns.swap_remove(i);
+                progressed = true;
+            } else {
+                i += 1;
+            }
+        }
+
+        if !progressed {
+            std::thread::sleep(IDLE_POLL);
+        }
+    }
+}
+
+/// Splits a connection's buffered bytes into messages and routes them.
+/// Returns `false` when the connection must be dropped (corrupt frame,
+/// unbounded line).
+fn parse_messages(conn: &mut Conn, shared: &ServiceShared) -> bool {
+    let mut consumed = 0usize;
+    // Consecutive event/command lines are batched into one work item.
+    let mut text_block = String::new();
+    let mut ok = true;
+
+    loop {
+        let buf = &conn.buf[consumed..];
+        if buf.is_empty() {
+            break;
+        }
+        if buf[0] == FRAME_MAGIC {
+            flush_text(conn, shared, &mut text_block);
+            match wire::try_frame(buf) {
+                Ok(None) => break, // partial frame: wait for more bytes
+                Ok(Some((frame, used))) => {
+                    consumed += used;
+                    let delivered = shared.enqueue(
+                        frame.session,
+                        WorkItem {
+                            kind: ItemKind::Frame(frame.events),
+                            conn: Some(Arc::clone(&conn.shared)),
+                        },
+                    );
+                    if !delivered {
+                        let _ = conn.shared.write_reply(
+                            format!("err unknown session {}\n", frame.session).as_bytes(),
+                        );
+                    }
+                }
+                Err(e) => {
+                    let _ = conn.shared.write_reply(format!("err {e}\n").as_bytes());
+                    ok = false;
+                    break;
+                }
+            }
+        } else {
+            let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+                if buf.len() > MAX_LINE_LEN {
+                    let _ = conn.shared.write_reply(b"err line exceeds the 1 MiB cap\n");
+                    ok = false;
+                }
+                break; // partial line: wait for more bytes
+            };
+            let line = String::from_utf8_lossy(&buf[..nl]).into_owned();
+            consumed += nl + 1;
+            let trimmed = line.trim();
+            if is_handshake(trimmed) {
+                flush_text(conn, shared, &mut text_block);
+                if !handle_handshake(conn, shared, trimmed) {
+                    ok = false;
+                    break;
+                }
+            } else if conn.current.is_some() {
+                text_block.push_str(&line);
+                text_block.push('\n');
+            } else if !trimmed.is_empty() && !trimmed.starts_with('#') {
+                let _ = conn
+                    .shared
+                    .write_reply(b"err expected `open <order> <clock>`\n");
+            }
+        }
+    }
+
+    flush_text(conn, shared, &mut text_block);
+    conn.buf.drain(..consumed);
+    ok
+}
+
+/// Queues an accumulated text block onto the connection's current
+/// session.
+fn flush_text(conn: &Conn, shared: &ServiceShared, block: &mut String) {
+    if block.is_empty() {
+        return;
+    }
+    let text = std::mem::take(block);
+    if let Some(id) = conn.current {
+        if !shared.enqueue(
+            id,
+            WorkItem {
+                kind: ItemKind::Text(text),
+                conn: Some(Arc::clone(&conn.shared)),
+            },
+        ) {
+            let _ = conn
+                .shared
+                .write_reply(format!("err session {id} is gone\n").as_bytes());
+        }
+    }
+}
+
+/// `true` for the lines the I/O thread answers itself.
+fn is_handshake(line: &str) -> bool {
+    line == "shutdown"
+        || line.starts_with("open ")
+        || line == "open"
+        || line.starts_with("resume ")
+        || line.starts_with("use ")
+}
+
+/// Answers a handshake line inline: `open`/`resume` create a session
+/// and rebind the connection to it, `shutdown` stops the server.
+/// Replies route behind any in-flight work of the previously bound
+/// session so a pipelining client reads them in order.
+fn handle_handshake(conn: &mut Conn, shared: &ServiceShared, line: &str) -> bool {
+    // Replies are ordered behind the session bound *before* this line
+    // rebinds anything — that is whose work a pipelining client still
+    // has in flight.
+    let prev = conn.current;
+    if line == "shutdown" {
+        reply_ordered(conn, shared, prev, "ok shutting-down\n".to_owned());
+        shared.request_shutdown();
+        return true;
+    }
+    let parts: Vec<&str> = line.split_whitespace().collect();
+    let reply = match parts.split_first() {
+        Some((&"open", rest)) => match parse_open(rest) {
+            Ok((clock, config)) => {
+                let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                let session = Session::new(id, clock, config);
+                let reply = format!(
+                    "ok session {id} order {} clock {}\n",
+                    config.order,
+                    session.detector().backend_name()
+                );
+                register(conn, shared, id, session);
+                reply
+            }
+            Err(e) => format!("err {e}\n"),
+        },
+        Some((&"use", [id])) => match id.parse::<u64>() {
+            Ok(id)
+                if shared
+                    .registry
+                    .lock()
+                    .expect("registry lock")
+                    .contains_key(&id) =>
+            {
+                let reply = format!("ok session {id} attached\n");
+                conn.current = Some(id);
+                reply
+            }
+            Ok(id) => format!("err unknown session {id}\n"),
+            Err(_) => "err `use` takes a session id\n".to_owned(),
+        },
+        Some((&"resume", [path])) => {
+            match std::fs::File::open(path)
+                .map_err(|e| e.to_string())
+                .and_then(|f| {
+                    crate::checkpoint::Checkpoint::read(BufReader::new(f))
+                        .map_err(|e| e.to_string())
+                }) {
+                Ok(cp) => {
+                    let id = shared.next_session.fetch_add(1, Ordering::Relaxed);
+                    let session = Session::from_checkpoint(id, &cp);
+                    let reply = format!(
+                        "ok session {id} resumed events={} order {} clock {}\n",
+                        cp.events,
+                        cp.config.order,
+                        session.detector().backend_name()
+                    );
+                    register(conn, shared, id, session);
+                    reply
+                }
+                Err(e) => format!("err cannot resume from {path}: {e}\n"),
+            }
+        }
+        _ => "err expected `open <order> <clock>`\n".to_owned(),
+    };
+    reply_ordered(conn, shared, prev, reply);
+    true
+}
+
+/// Inserts a fresh session into the registry and binds the connection
+/// to it.
+fn register(conn: &mut Conn, shared: &ServiceShared, id: u64, session: Session) {
+    shared.registry.lock().expect("registry lock").insert(
+        id,
+        SessionSlot {
+            session: Some(Box::new(session)),
+            pending: VecDeque::new(),
+            scheduled: false,
+        },
+    );
+    conn.current = Some(id);
+    conn.opened.push(id);
+}
+
+/// Writes a handshake reply, routing it through the previously bound
+/// session's queue when that session still has work in flight (so
+/// replies reach the client in request order).
+fn reply_ordered(conn: &Conn, shared: &ServiceShared, prev: Option<u64>, reply: String) {
+    if let Some(prev) = prev {
+        let mut reg = shared.registry.lock().expect("registry lock");
+        // `scheduled` is only cleared after a worker finished writing
+        // every reply of its batch, so checking it under the registry
+        // lock is race-free.
+        if let Some(slot) = reg.get_mut(&prev) {
+            if slot.scheduled {
+                slot.pending.push_back(WorkItem {
+                    kind: ItemKind::Write(reply),
+                    conn: Some(Arc::clone(&conn.shared)),
+                });
+                return;
+            }
+        }
+    }
+    let _ = conn.shared.write_reply(reply.as_bytes());
 }
 
 /// Parses the `open` line's arguments.
@@ -195,128 +745,16 @@ fn parse_open(parts: &[&str]) -> Result<(ClockChoice, DetectorConfig), String> {
     Ok((clock, config))
 }
 
-/// Flags shutdown and wakes the blocking acceptor with a throwaway
-/// connection to its own address (same trick as [`Server::shutdown`] —
-/// without the wake-up, a protocol-level `shutdown` would leave the
-/// acceptor parked in `accept` forever).
-fn request_shutdown(shutdown: &AtomicBool, addr: SocketAddr) {
-    shutdown.store(true, Ordering::Relaxed);
-    let _ = TcpStream::connect(addr);
-}
+// ---- the client and the smoke driver ------------------------------------
 
-/// Serves one connection: the `open` handshake, then the session loop.
-fn handle_connection(
-    stream: TcpStream,
-    id: u64,
-    shutdown: &AtomicBool,
-    addr: SocketAddr,
-) -> std::io::Result<()> {
-    let peer = stream.try_clone()?;
-    let mut reader = BufReader::new(peer);
-    let mut writer = BufWriter::new(stream);
-    let mut line = String::new();
-    let mut reply = String::new();
-
-    // Handshake.
-    let mut session = loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client went away before opening
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let parts: Vec<&str> = trimmed.split_whitespace().collect();
-        match parts.split_first() {
-            Some((&"open", rest)) => match parse_open(rest) {
-                Ok((clock, config)) => {
-                    let session = Session::new(id, clock, config);
-                    writeln!(
-                        writer,
-                        "ok session {id} order {} clock {}",
-                        config.order,
-                        session.detector().backend_name()
-                    )?;
-                    writer.flush()?;
-                    break session;
-                }
-                Err(e) => {
-                    writeln!(writer, "err {e}")?;
-                    writer.flush()?;
-                }
-            },
-            Some((&"resume", [path])) => {
-                match std::fs::File::open(path)
-                    .map_err(|e| e.to_string())
-                    .and_then(|f| {
-                        crate::checkpoint::Checkpoint::read(BufReader::new(f))
-                            .map_err(|e| e.to_string())
-                    }) {
-                    Ok(cp) => {
-                        let session = Session::from_checkpoint(id, &cp);
-                        writeln!(
-                            writer,
-                            "ok session {id} resumed events={} order {} clock {}",
-                            cp.events,
-                            cp.config.order,
-                            session.detector().backend_name()
-                        )?;
-                        writer.flush()?;
-                        break session;
-                    }
-                    Err(e) => {
-                        writeln!(writer, "err cannot resume from {path}: {e}")?;
-                        writer.flush()?;
-                    }
-                }
-            }
-            Some((&"shutdown", _)) => {
-                request_shutdown(shutdown, addr);
-                writeln!(writer, "ok shutting-down")?;
-                writer.flush()?;
-                return Ok(());
-            }
-            _ => {
-                writeln!(writer, "err expected `open <order> <clock>`")?;
-                writer.flush()?;
-            }
-        }
-    };
-
-    // Session loop.
-    loop {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
-            return Ok(()); // client disconnected
-        }
-        let trimmed = line.trim();
-        if trimmed == "shutdown" {
-            request_shutdown(shutdown, addr);
-            writeln!(writer, "ok shutting-down")?;
-            writer.flush()?;
-            return Ok(());
-        }
-        reply.clear();
-        let keep_going = session.handle_line(trimmed, &mut reply);
-        if !reply.is_empty() {
-            writer.write_all(reply.as_bytes())?;
-            writer.flush()?;
-        }
-        if !keep_going {
-            return Ok(());
-        }
-    }
-}
-
-// ---- the smoke driver ---------------------------------------------------
-
-/// A minimal blocking protocol client (used by the smoke test and the
-/// integration tests).
+/// A minimal blocking protocol client (used by the smoke test, the
+/// ingest benchmark and the integration tests). Speaks both protocols:
+/// text requests and batched binary frames on one connection.
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    session: u64,
 }
 
 impl Client {
@@ -333,18 +771,44 @@ impl Client {
         let mut client = Client {
             reader,
             writer: BufWriter::new(stream),
+            session: 0,
         };
+        client.session = client.open_session(open_args)?;
+        Ok(client)
+    }
+
+    /// Opens an additional session on this connection (rebinding bare
+    /// text lines to it) and returns its id — the handle binary frames
+    /// address, letting one connection fan events into many sessions.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and protocol-level `err` replies, as strings.
+    pub fn open_session(&mut self, open_args: &str) -> Result<u64, String> {
         let line = if open_args.starts_with("resume") {
             open_args.to_owned()
         } else {
             format!("open {open_args}")
         };
-        let reply = client.handshake_request(&line)?;
+        let reply = self.handshake_request(&line)?;
         match reply.iter().rfind(|l| !l.is_empty()) {
-            Some(l) if l.starts_with("ok session") => Ok(client),
+            Some(l) if l.starts_with("ok session") => {
+                let id = l
+                    .split_whitespace()
+                    .nth(2)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| format!("malformed open reply `{l}`"))?;
+                self.session = id;
+                Ok(id)
+            }
             Some(l) => Err(format!("open failed: {l}")),
             None => Err("open got no reply".to_owned()),
         }
+    }
+
+    /// The session id of the most recent `open` on this client.
+    pub fn session(&self) -> u64 {
+        self.session
     }
 
     /// A request whose reply may be a single `err` line (handshake
@@ -370,6 +834,55 @@ impl Client {
     /// I/O failures as strings.
     pub fn send(&mut self, line: &str) -> Result<(), String> {
         writeln!(self.writer, "{line}").map_err(|e| e.to_string())
+    }
+
+    /// Writes pre-rendered protocol bytes — text lines or encoded
+    /// frames — without flushing. Bulk ingest drivers use this to
+    /// avoid per-line formatting overhead.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as strings.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), String> {
+        self.writer.write_all(bytes).map_err(|e| e.to_string())
+    }
+
+    /// Flushes everything buffered by `send`/`send_raw`/`send_frame`.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as strings.
+    pub fn flush(&mut self) -> Result<(), String> {
+        self.writer.flush().map_err(|e| e.to_string())
+    }
+
+    /// Reads one reply line (blocking) — pipelined drivers that issued
+    /// many requests at once count `ok` terminators themselves.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and a closed connection, as strings.
+    pub fn read_reply(&mut self) -> Result<String, String> {
+        let mut reply = String::new();
+        let n = self
+            .reader
+            .read_line(&mut reply)
+            .map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("server closed the connection".to_owned());
+        }
+        Ok(reply.trim_end().to_owned())
+    }
+
+    /// Sends one binary event frame for `session` without waiting for
+    /// a reply (frames are silent on success).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures as strings.
+    pub fn send_frame(&mut self, session: u64, events: &[Event]) -> Result<(), String> {
+        let bytes = wire::encode_frame(session, events);
+        self.writer.write_all(&bytes).map_err(|e| e.to_string())
     }
 
     /// Sends a command and reads reply lines up to (and including) the
@@ -402,15 +915,7 @@ impl Client {
     }
 }
 
-/// The end-to-end smoke run behind `tcr serve --smoke`: starts a
-/// server, drives two concurrent sessions over real sockets with
-/// different orders/backends, asserts each session's reports equal the
-/// batch detectors' on the same trace (what `tcr race` runs), and shuts
-/// the server down cleanly.
-///
-/// # Errors
-///
-/// A description of the first divergence or protocol failure.
+/// The workload every smoke session streams.
 fn smoke_trace(seed: u64) -> tc_trace::Trace {
     tc_trace::gen::WorkloadSpec {
         threads: 4,
@@ -425,7 +930,7 @@ fn smoke_trace(seed: u64) -> tc_trace::Trace {
     .generate()
 }
 
-/// Drives one smoke session over the wire and returns `(total, stored
+/// Drives one text-protocol smoke session and returns `(total, stored
 /// race lines)`.
 fn smoke_drive(
     addr: SocketAddr,
@@ -439,6 +944,53 @@ fn smoke_drive(
     for line in text_format::to_text(&trace).lines() {
         client.send(line)?;
     }
+    let (total, races) = collect_races(&mut client, order, clock)?;
+    let stats = client.request("stats")?;
+    let stats_line = stats.last().expect("terminator");
+    if !stats_line.contains(&format!("events={}", trace.len())) {
+        return Err(format!(
+            "session {order}/{clock}: expected events={} in `{stats_line}`",
+            trace.len()
+        ));
+    }
+    client.request("close")?;
+    Ok((total, races))
+}
+
+/// Drives one binary-protocol smoke session — same workload, dense-id
+/// frames of 64 events, text commands for synchronization on the same
+/// connection (the mixed-protocol path).
+fn smoke_drive_binary(
+    addr: SocketAddr,
+    order: &str,
+    clock: &str,
+    seed: u64,
+) -> Result<(u64, Vec<String>), String> {
+    let trace = smoke_trace(seed);
+    let mut client = Client::open(addr, &format!("{order} {clock}"))?;
+    let session = client.session();
+    for batch in trace.events().chunks(64) {
+        client.send_frame(session, batch)?;
+    }
+    let (total, races) = collect_races(&mut client, order, clock)?;
+    let stats = client.request("stats")?;
+    let stats_line = stats.last().expect("terminator");
+    if !stats_line.contains(&format!("events={}", trace.len())) {
+        return Err(format!(
+            "binary session {order}/{clock}: expected events={} in `{stats_line}`",
+            trace.len()
+        ));
+    }
+    client.request("close")?;
+    Ok((total, races))
+}
+
+/// Issues `races` and splits the reply into `(total, stored lines)`.
+fn collect_races(
+    client: &mut Client,
+    order: &str,
+    clock: &str,
+) -> Result<(u64, Vec<String>), String> {
     let replies = client.request("races")?;
     if let Some(err) = replies.iter().find(|l| l.starts_with("err")) {
         return Err(format!("session {order}/{clock}: {err}"));
@@ -454,30 +1006,22 @@ fn smoke_drive(
         .nth(2)
         .and_then(|v| v.parse().ok())
         .ok_or_else(|| format!("malformed races terminator `{ok}`"))?;
-    let stats = client.request("stats")?;
-    let stats_line = stats.last().expect("terminator");
-    if !stats_line.contains(&format!("events={}", trace.len())) {
-        return Err(format!(
-            "session {order}/{clock}: expected events={} in `{stats_line}`",
-            trace.len()
-        ));
-    }
-    client.request("close")?;
     Ok((total, races))
 }
 
 /// The end-to-end smoke run behind `tcr serve --smoke`: starts a
-/// server, drives two concurrent sessions over real sockets with
-/// different orders/backends, asserts each session's reports equal the
-/// batch detectors' on the same trace (what `tcr race` runs), and shuts
-/// the server down cleanly.
+/// server, drives three concurrent sessions over real sockets — two
+/// text, one batched-binary — with different orders/backends, asserts
+/// each session's reports equal the batch detectors' on the same trace
+/// (what `tcr race` runs), and shuts the server down cleanly while a
+/// spectator client is still connected.
 ///
 /// # Errors
 ///
 /// A description of the first divergence or protocol failure.
 pub fn smoke() -> Result<(), String> {
     use tc_analysis::{HbRaceDetector, ShbRaceDetector};
-    use tc_core::{HybridClock, TreeClock};
+    use tc_core::{HybridClock, TreeClock, VectorClock};
 
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".to_owned(),
@@ -486,15 +1030,19 @@ pub fn smoke() -> Result<(), String> {
     .map_err(|e| format!("cannot start server: {e}"))?;
     let addr = server.local_addr();
 
-    // Two concurrent sessions on the two worker shards.
+    // Three concurrent sessions across the worker pool.
     let h1 = std::thread::spawn(move || smoke_drive(addr, "hb", "tc", 11));
     let h2 = std::thread::spawn(move || smoke_drive(addr, "shb", "hc", 12));
+    let h3 = std::thread::spawn(move || smoke_drive_binary(addr, "hb", "vc", 13));
     let (total_hb, races_hb) = h1.join().map_err(|_| "hb client panicked")??;
     let (total_shb, races_shb) = h2.join().map_err(|_| "shb client panicked")??;
+    let (total_bin, races_bin) = h3.join().map_err(|_| "binary client panicked")??;
 
-    // The reference runs: exactly what `tcr race` computes on the
-    // rendered trace file the session was fed (parsing re-interns ids
-    // in first-appearance order, exactly like the session did).
+    // The reference runs: exactly what `tcr race` computes. Text
+    // sessions are compared against the re-parsed rendering (the
+    // interner re-assigns ids in first-appearance order, exactly like
+    // the session did); the binary session streams dense ids verbatim,
+    // so its reference is the raw generated trace.
     let reparse = |seed: u64| {
         tc_trace::text_format::parse_text(&tc_trace::text_format::to_text(&smoke_trace(seed)))
             .expect("rendered traces re-parse")
@@ -503,10 +1051,13 @@ pub fn smoke() -> Result<(), String> {
     let batch_hb = HbRaceDetector::<TreeClock>::new(&trace_hb).run(&trace_hb);
     let trace_shb = reparse(12);
     let batch_shb = ShbRaceDetector::<HybridClock>::new(&trace_shb).run(&trace_shb);
+    let trace_bin = smoke_trace(13);
+    let batch_bin = HbRaceDetector::<VectorClock>::new(&trace_bin).run(&trace_bin);
 
     for (label, total, races, batch) in [
         ("hb/tc", total_hb, &races_hb, &batch_hb),
         ("shb/hc", total_shb, &races_shb, &batch_shb),
+        ("hb/vc binary", total_bin, &races_bin, &batch_bin),
     ] {
         if total != batch.total {
             return Err(format!(
@@ -525,7 +1076,9 @@ pub fn smoke() -> Result<(), String> {
         }
     }
 
-    // Clean shutdown through the protocol.
+    // Shutdown through the protocol while a client is still connected
+    // (the nonblocking loop needs no throwaway-connection kick).
+    let spectator = TcpStream::connect(addr).map_err(|e| e.to_string())?;
     let mut admin = TcpStream::connect(addr).map_err(|e| e.to_string())?;
     writeln!(admin, "shutdown").map_err(|e| e.to_string())?;
     let mut reply = String::new();
@@ -535,7 +1088,7 @@ pub fn smoke() -> Result<(), String> {
     if !reply.starts_with("ok shutting-down") {
         return Err(format!("shutdown got `{}`", reply.trim()));
     }
-    server.shutdown();
     server.join();
+    drop(spectator);
     Ok(())
 }

@@ -265,6 +265,25 @@ impl Session {
         }
     }
 
+    /// Feeds a decoded binary wire frame: every event runs through the
+    /// same validation and detection as a text line, but with dense ids
+    /// straight off the wire — no parse, no interner. Silent on
+    /// success, `err ...` lines (batch-indexed) for rejected events;
+    /// like malformed text lines, a rejected event never kills the
+    /// session.
+    pub fn handle_frame(&mut self, events: &[Event], out: &mut String) {
+        for (i, e) in events.iter().enumerate() {
+            let before = out.len();
+            self.feed_event(e, out);
+            if out.len() != before {
+                // Prefix the error with the in-frame index so a
+                // batching client can attribute it.
+                let tail = out.split_off(before);
+                let _ = write!(out, "err at {i}: {}", tail.trim_start_matches("err "));
+            }
+        }
+    }
+
     /// Handles one protocol line, appending reply lines to `out`.
     /// Returns `false` when the session asked to close.
     ///
@@ -400,12 +419,71 @@ impl Session {
     }
 }
 
+// Sessions are movable values: the work-stealing service checks them
+// out and processes them on whichever worker is free, so the whole
+// session — detector (any backend), validator, interner — must be
+// `Send`. Compile-time assertion (the tentpole guarantee of the
+// Send-safety refactor).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Session>();
+    assert_send::<AnyDetector>();
+    assert_send::<IncrementalDetector<TreeClock>>();
+    assert_send::<IncrementalDetector<VectorClock>>();
+    assert_send::<IncrementalDetector<HybridClock>>();
+    assert_send::<Checkpoint>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn open_session() -> Session {
         Session::new(1, ClockChoice::Tree, DetectorConfig::default())
+    }
+
+    #[test]
+    fn frames_feed_like_text_lines() {
+        use tc_trace::{Op, VarId};
+        let mut text = open_session();
+        let mut framed = open_session();
+        let mut out = String::new();
+        text.handle_line("t0 w x", &mut out);
+        text.handle_line("t1 w x", &mut out);
+        assert!(out.is_empty());
+        let events = vec![
+            Event::new(ThreadId::new(0), Op::Write(VarId::new(0))),
+            Event::new(ThreadId::new(1), Op::Write(VarId::new(0))),
+        ];
+        framed.handle_frame(&events, &mut out);
+        assert!(out.is_empty(), "clean frames are silent: {out}");
+        assert_eq!(framed.detector().events(), 2);
+        assert_eq!(
+            framed.detector().report().total,
+            text.detector().report().total
+        );
+        assert_eq!(
+            framed.detector().timestamp_of(ThreadId::new(1)),
+            text.detector().timestamp_of(ThreadId::new(1))
+        );
+    }
+
+    #[test]
+    fn frame_errors_carry_the_batch_index() {
+        use tc_trace::{LockId, Op};
+        let mut s = open_session();
+        let mut out = String::new();
+        // Release without acquire: invalid, rejected, session lives on.
+        let events = vec![
+            Event::new(ThreadId::new(0), Op::Acquire(LockId::new(0))),
+            Event::new(ThreadId::new(1), Op::Release(LockId::new(0))),
+        ];
+        s.handle_frame(&events, &mut out);
+        assert!(out.starts_with("err at 1:"), "{out}");
+        assert_eq!(s.detector().events(), 1);
+        out.clear();
+        s.handle_line("stats", &mut out);
+        assert!(out.contains("rejected=1"), "{out}");
     }
 
     #[test]

@@ -1,8 +1,14 @@
 //! End-to-end service tests over real sockets: concurrent sessions,
-//! protocol behavior, checkpoint/resume across connections, and the
-//! smoke driver the CI job runs.
+//! protocol behavior, both wire protocols (text lines and batched
+//! binary frames) on one port, checkpoint/resume across connections,
+//! and the smoke driver the CI job runs.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 
 use tc_stream::{smoke, Client, ServeConfig, Server};
+use tc_trace::gen::WorkloadSpec;
+use tc_trace::wire;
 
 fn start() -> Server {
     Server::start(ServeConfig {
@@ -109,6 +115,180 @@ fn checkpoint_and_resume_across_connections() {
     server.shutdown();
     server.join();
     std::fs::remove_dir_all(dir).unwrap();
+}
+
+/// A modest racy workload for the wire tests.
+fn wire_trace(seed: u64) -> tc_trace::Trace {
+    WorkloadSpec {
+        threads: 6,
+        locks: 2,
+        vars: 4,
+        events: 600,
+        sync_ratio: 0.2,
+        shared_fraction: 0.8,
+        seed,
+        ..WorkloadSpec::default()
+    }
+    .generate()
+}
+
+#[test]
+fn shutdown_while_clients_are_mid_session() {
+    // The old blocking core needed a throwaway connection to unstick
+    // its acceptor and could only shut down between sessions; the
+    // nonblocking loop must exit promptly even with clients connected
+    // and events still arriving unsynchronized.
+    let server = start();
+    let addr = server.local_addr();
+    let mut a = Client::open(addr, "hb tc").unwrap();
+    let mut b = Client::open(addr, "shb hc").unwrap();
+    for line in ["main w x", "worker w x", "main acq m"] {
+        a.send(line).unwrap();
+        b.send(line).unwrap();
+    }
+    // Deliberately no poll/close: both sessions are live, one lock is
+    // still held.
+    server.shutdown();
+    let (tx, rx) = std::sync::mpsc::channel();
+    std::thread::spawn(move || {
+        server.join();
+        let _ = tx.send(());
+    });
+    rx.recv_timeout(std::time::Duration::from_secs(10))
+        .expect("join() must return while clients are still connected");
+    drop((a, b));
+}
+
+#[test]
+fn text_and_binary_clients_share_one_port_and_agree() {
+    use tc_analysis::HbRaceDetector;
+    use tc_core::TreeClock;
+
+    let server = start();
+    let addr = server.local_addr();
+    let trace = wire_trace(77);
+
+    // Binary client: dense-id frames, text `races` for synchronization.
+    let text = tc_trace::text_format::to_text(&trace);
+    let binary = std::thread::spawn({
+        let trace = trace.clone();
+        move || {
+            let mut c = Client::open(addr, "hb tc").unwrap();
+            let id = c.session();
+            for batch in trace.events().chunks(128) {
+                c.send_frame(id, batch).unwrap();
+            }
+            let races = c.request("races").unwrap();
+            c.request("close").unwrap();
+            races
+        }
+    });
+    // Text client: same workload, line protocol, concurrently.
+    let texty = std::thread::spawn(move || {
+        let mut c = Client::open(addr, "hb tc").unwrap();
+        for line in text.lines() {
+            c.send(line).unwrap();
+        }
+        let races = c.request("races").unwrap();
+        c.request("close").unwrap();
+        races
+    });
+
+    let races_bin = binary.join().unwrap();
+    let races_text = texty.join().unwrap();
+    let total = |r: &[String]| {
+        r.last()
+            .unwrap()
+            .split_whitespace()
+            .nth(2)
+            .unwrap()
+            .parse::<u64>()
+            .unwrap()
+    };
+    let batch = HbRaceDetector::<TreeClock>::new(&trace).run(&trace);
+    assert_eq!(total(&races_bin), batch.total, "binary vs batch");
+    assert_eq!(total(&races_text), batch.total, "text vs batch");
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn one_connection_fans_frames_into_many_sessions() {
+    let server = start();
+    let addr = server.local_addr();
+    let traces: Vec<_> = (0..3).map(|i| wire_trace(100 + i)).collect();
+
+    let mut client = Client::open(addr, "hb tc").unwrap();
+    let mut ids = vec![client.session()];
+    ids.push(client.open_session("shb vc").unwrap());
+    ids.push(client.open_session("hb hc").unwrap());
+
+    // Interleave frames across the three sessions round-robin.
+    let batches: Vec<Vec<_>> = traces
+        .iter()
+        .map(|t| t.events().chunks(64).collect())
+        .collect();
+    let rounds = batches.iter().map(Vec::len).max().unwrap();
+    for round in 0..rounds {
+        for (s, b) in ids.iter().zip(&batches) {
+            if let Some(batch) = b.get(round) {
+                client.send_frame(*s, batch).unwrap();
+            }
+        }
+    }
+
+    // Synchronize each session in turn via `use` and check its event
+    // count — per-session FIFO order must have survived the fan-in.
+    for (s, t) in ids.iter().zip(&traces) {
+        let attach = client.request(&format!("use {s}")).unwrap();
+        assert!(attach.last().unwrap().contains("attached"), "{attach:?}");
+        let stats = client.request("stats").unwrap();
+        let line = stats.last().unwrap();
+        assert!(
+            line.contains(&format!("events={}", t.len())),
+            "session {s}: {line}"
+        );
+        assert!(line.contains("rejected=0"), "session {s}: {line}");
+    }
+    client.request("close").unwrap();
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn frames_for_unknown_sessions_error_without_killing_the_connection() {
+    let server = start();
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&wire::encode_frame(4096, &[])).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    let mut line = String::new();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("err unknown session 4096"), "{line}");
+    // The connection survives and can still open a session.
+    stream.write_all(b"open hb tc\n").unwrap();
+    line.clear();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ok session"), "{line}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn corrupt_frames_close_the_connection() {
+    let server = start();
+    let addr = server.local_addr();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    // Magic + absurd length: the server must reply `err` and hang up
+    // rather than buffer 2 GiB.
+    stream.write_all(&[0xF7, 0xFF, 0xFF, 0xFF, 0x7F]).unwrap();
+    let mut reply = Vec::new();
+    stream.read_to_end(&mut reply).unwrap(); // EOF proves the hangup
+    let text = String::from_utf8_lossy(&reply);
+    assert!(text.starts_with("err"), "{text}");
+    server.shutdown();
+    server.join();
 }
 
 #[test]

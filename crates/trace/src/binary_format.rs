@@ -59,7 +59,7 @@ impl From<io::Error> for BinaryError {
     }
 }
 
-fn opcode(op: Op) -> (u8, u32) {
+pub(crate) fn opcode(op: Op) -> (u8, u32) {
     match op {
         Op::Read(x) => (0, x.raw()),
         Op::Write(x) => (1, x.raw()),
@@ -84,7 +84,7 @@ pub(crate) fn decode_op(code: u8, operand: u32) -> Result<Op, BinaryError> {
     })
 }
 
-fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+pub(crate) fn write_varint<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;

@@ -56,6 +56,7 @@ pub mod text_format;
 pub mod trace;
 pub mod transform;
 pub mod validate;
+pub mod wire;
 
 pub use event::{Event, LockId, Op, VarId};
 pub use stats::TraceStats;
@@ -64,5 +65,6 @@ pub use stream::{
 };
 pub use trace::{Trace, TraceBuilder};
 pub use validate::ValidationError;
+pub use wire::{Frame, WireError};
 
 pub use tc_core::{LocalTime, ThreadId};

@@ -1,0 +1,406 @@
+//! The batched binary **wire protocol** for streaming events to a
+//! detection service.
+//!
+//! The text protocol served by `tcr serve` pays a line parse and an
+//! interner lookup per event. At network scale (Chrono-style causal
+//! metadata services) the transport of choice is a compact binary
+//! encoding with *batched* delivery: one length-prefixed frame carries
+//! a whole burst of events for one session, amortizing both the
+//! syscall and the dispatch over the batch.
+//!
+//! # Frame layout
+//!
+//! ```text
+//! magic    u8          0xF7 (FRAME_MAGIC)
+//! length   u32 LE      payload length in bytes (≤ MAX_FRAME_LEN)
+//! payload:
+//!   session varint     session id the events belong to
+//!   count   varint     number of event records
+//!   events  count × (opcode u8, tid varint, operand varint)
+//! ```
+//!
+//! Event records reuse the [binary trace format](crate::binary_format)
+//! encoding exactly (LEB128 varints, the same opcode table), so a
+//! logged `.tctr` file shreds into frames with no re-encoding of
+//! events. Ids are dense (no name tables) — the binary path bypasses
+//! the interner by construction.
+//!
+//! The magic byte `0xF7` has the high bit set, so it can never begin a
+//! line of the UTF-8/ASCII text protocol: a server can sniff the first
+//! byte of every message and speak both protocols on one port.
+//!
+//! # Reading
+//!
+//! Two consumption styles are provided:
+//!
+//! - [`read_frame`] — blocking, from any [`Read`] (tests, simple
+//!   clients);
+//! - [`try_frame`] — incremental, from a byte buffer: returns
+//!   `Ok(None)` until a full frame is buffered, then the decoded frame
+//!   plus the number of bytes consumed. This is the form a nonblocking
+//!   readiness loop wants.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, Read};
+
+use tc_core::ThreadId;
+
+use crate::binary_format::{decode_op, opcode, read_varint, write_varint};
+use crate::event::Event;
+
+/// First byte of every binary frame. The high bit is set, so no text
+/// protocol line can start with it — one port can serve both protocols
+/// by sniffing the first byte of each message.
+pub const FRAME_MAGIC: u8 = 0xF7;
+
+/// Upper bound on a frame's payload length (16 MiB) — a corruption
+/// guard: a glitched length prefix must not make a server buffer
+/// gigabytes.
+pub const MAX_FRAME_LEN: usize = 1 << 24;
+
+/// Bytes of frame header preceding the payload (magic + u32 length).
+pub const FRAME_HEADER_LEN: usize = 5;
+
+/// An error while decoding a wire frame.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying reader failed (includes truncation for the
+    /// blocking reader).
+    Io(io::Error),
+    /// The bytes are not a valid frame.
+    Corrupt(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "I/O error reading wire frame: {e}"),
+            WireError::Corrupt(m) => write!(f, "corrupt wire frame: {m}"),
+        }
+    }
+}
+
+impl Error for WireError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            WireError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// A decoded event frame: a batch of events bound for one session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// The session the events belong to.
+    pub session: u64,
+    /// The batched events, in trace order.
+    pub events: Vec<Event>,
+}
+
+/// Encodes one frame carrying `events` for `session`.
+///
+/// # Panics
+///
+/// Panics if the encoded payload exceeds [`MAX_FRAME_LEN`] — callers
+/// control batch sizes; even the maximum batch a server accepts
+/// (~16 M single-byte-id events) stays under it.
+pub fn encode_frame(session: u64, events: &[Event]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(8 + events.len() * 3);
+    write_varint(&mut payload, session).expect("writing to a Vec cannot fail");
+    write_varint(&mut payload, events.len() as u64).expect("writing to a Vec cannot fail");
+    for e in events {
+        let (code, operand) = opcode(e.op);
+        payload.push(code);
+        write_varint(&mut payload, u64::from(e.tid.raw())).expect("writing to a Vec cannot fail");
+        write_varint(&mut payload, u64::from(operand)).expect("writing to a Vec cannot fail");
+    }
+    assert!(
+        payload.len() <= MAX_FRAME_LEN,
+        "wire frame payload of {} bytes exceeds MAX_FRAME_LEN — batch fewer events",
+        payload.len()
+    );
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.push(FRAME_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+/// Decodes a frame payload (the bytes after the header).
+fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut r = payload;
+    let session = read_varint(&mut r).map_err(bin_err)?;
+    let count = read_varint(&mut r).map_err(bin_err)?;
+    let count = usize::try_from(count)
+        .ok()
+        .filter(|&c| c <= MAX_FRAME_LEN)
+        .ok_or_else(|| WireError::Corrupt(format!("implausible event count {count}")))?;
+    let mut events = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        let mut code = [0u8; 1];
+        r.read_exact(&mut code)
+            .map_err(|_| WireError::Corrupt("frame payload truncated mid-event".into()))?;
+        let tid = read_varint(&mut r).map_err(bin_err)?;
+        let operand = read_varint(&mut r).map_err(bin_err)?;
+        let tid =
+            u32::try_from(tid).map_err(|_| WireError::Corrupt("thread id overflows u32".into()))?;
+        let operand = u32::try_from(operand)
+            .map_err(|_| WireError::Corrupt("operand overflows u32".into()))?;
+        events.push(Event::new(
+            ThreadId::new(tid),
+            decode_op(code[0], operand).map_err(bin_err)?,
+        ));
+    }
+    if !r.is_empty() {
+        return Err(WireError::Corrupt(format!(
+            "{} trailing bytes after {count} events",
+            r.len()
+        )));
+    }
+    Ok(Frame { session, events })
+}
+
+/// Maps a binary-format error into the wire error space: inside a
+/// fully buffered payload, even an "I/O" error (a truncated varint
+/// read) means the frame is malformed.
+fn bin_err(e: crate::binary_format::BinaryError) -> WireError {
+    use crate::binary_format::BinaryError;
+    match e {
+        BinaryError::Io(_) => WireError::Corrupt("frame payload truncated mid-event".into()),
+        BinaryError::Corrupt(m) => WireError::Corrupt(m),
+    }
+}
+
+/// Reads one frame from a blocking reader. The first byte must be
+/// [`FRAME_MAGIC`] (sniff before calling when multiplexing protocols).
+///
+/// # Errors
+///
+/// [`WireError::Corrupt`] for bad magic, implausible lengths or
+/// malformed payloads; [`WireError::Io`] for reader failures,
+/// including truncation.
+pub fn read_frame<R: Read>(mut reader: R) -> Result<Frame, WireError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    reader.read_exact(&mut header)?;
+    if header[0] != FRAME_MAGIC {
+        return Err(WireError::Corrupt(format!(
+            "bad frame magic 0x{:02x} (expected 0x{FRAME_MAGIC:02x})",
+            header[0]
+        )));
+    }
+    let len = u32::from_le_bytes([header[1], header[2], header[3], header[4]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Corrupt(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    reader.read_exact(&mut payload)?;
+    decode_payload(&payload)
+}
+
+/// Attempts to extract one frame from the front of `buf` without
+/// blocking: returns `Ok(None)` while the buffer holds only a partial
+/// frame, or the decoded frame plus the number of bytes it consumed.
+///
+/// The caller owns buffer compaction (`drain(..consumed)`); the
+/// nonblocking service loop calls this after every read readiness
+/// event.
+///
+/// # Errors
+///
+/// [`WireError::Corrupt`] as for [`read_frame`] — a corrupt frame
+/// poisons the connection (there is no resynchronization point in the
+/// stream), so callers should drop it.
+pub fn try_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf[0] != FRAME_MAGIC {
+        return Err(WireError::Corrupt(format!(
+            "bad frame magic 0x{:02x} (expected 0x{FRAME_MAGIC:02x})",
+            buf[0]
+        )));
+    }
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Corrupt(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let total = FRAME_HEADER_LEN + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let frame = decode_payload(&buf[FRAME_HEADER_LEN..total])?;
+    Ok(Some((frame, total)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{LockId, Op, VarId};
+    use crate::TraceBuilder;
+
+    fn sample_events() -> Vec<Event> {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1);
+        b.acquire(0, "m").write(0, "x").release(0, "m");
+        b.acquire(1, "m").read(1, "x").release(1, "m");
+        b.join(0, 1);
+        b.finish().events().to_vec()
+    }
+
+    #[test]
+    fn frame_round_trips() {
+        let events = sample_events();
+        let bytes = encode_frame(42, &events);
+        let frame = read_frame(bytes.as_slice()).unwrap();
+        assert_eq!(frame.session, 42);
+        assert_eq!(frame.events, events);
+    }
+
+    #[test]
+    fn empty_frame_round_trips() {
+        let bytes = encode_frame(7, &[]);
+        assert_eq!(bytes.len(), FRAME_HEADER_LEN + 2);
+        let frame = read_frame(bytes.as_slice()).unwrap();
+        assert_eq!(frame.session, 7);
+        assert!(frame.events.is_empty());
+    }
+
+    #[test]
+    fn magic_byte_cannot_start_a_text_line() {
+        // The multiplexing invariant: the text protocol is ASCII.
+        const { assert!(FRAME_MAGIC >= 0x80) };
+        assert!(!FRAME_MAGIC.is_ascii());
+    }
+
+    #[test]
+    fn try_frame_is_incremental() {
+        let events = sample_events();
+        let bytes = encode_frame(3, &events);
+        // Every proper prefix: not yet a frame.
+        for cut in 0..bytes.len() {
+            assert!(
+                try_frame(&bytes[..cut]).unwrap().is_none(),
+                "prefix of {cut} bytes must be incomplete"
+            );
+        }
+        // The full buffer (plus trailing bytes of the next frame)
+        // yields the frame and its exact length.
+        let mut buf = bytes.clone();
+        buf.push(FRAME_MAGIC);
+        let (frame, used) = try_frame(&buf).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        assert_eq!(frame.events, events);
+        assert_eq!(frame.session, 3);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let e = read_frame(&b"open hb tc\n"[..]).unwrap_err();
+        assert!(matches!(e, WireError::Corrupt(_)));
+        assert!(e.to_string().contains("magic"));
+        let e = try_frame(b"o").unwrap_err();
+        assert!(e.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn rejects_oversized_length() {
+        let mut bytes = vec![FRAME_MAGIC];
+        bytes.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert!(read_frame(bytes.as_slice())
+            .unwrap_err()
+            .to_string()
+            .contains("cap"));
+        assert!(try_frame(&bytes).unwrap_err().to_string().contains("cap"));
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        let mut bytes = encode_frame(1, &sample_events());
+        // First event's opcode byte sits after the header + two
+        // single-byte varints (session, count).
+        bytes[FRAME_HEADER_LEN + 2] = 0x3f;
+        let e = read_frame(bytes.as_slice()).unwrap_err();
+        assert!(e.to_string().contains("opcode"));
+    }
+
+    #[test]
+    fn rejects_truncated_payload() {
+        // A count promising more events than the payload holds: the
+        // frame is fully buffered yet malformed — Corrupt, not Io.
+        let payload: &[u8] = &[9, 5, 0, 0, 0]; // session 9, count 5, one event
+        let mut bytes = vec![FRAME_MAGIC];
+        bytes.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let e = read_frame(bytes.as_slice()).unwrap_err();
+        assert!(matches!(e, WireError::Corrupt(_)), "got {e}");
+        assert!(e.to_string().contains("truncated"));
+        let e = try_frame(&bytes).unwrap_err();
+        assert!(matches!(e, WireError::Corrupt(_)), "got {e}");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = encode_frame(1, &sample_events());
+        // Grow the declared length and append junk: decode must notice.
+        let junk = [0u8, 0, 0];
+        let new_len = (bytes.len() - FRAME_HEADER_LEN + junk.len()) as u32;
+        bytes[1..5].copy_from_slice(&new_len.to_le_bytes());
+        bytes.extend_from_slice(&junk);
+        let e = read_frame(bytes.as_slice()).unwrap_err();
+        assert!(e.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn truncated_reader_is_an_io_error() {
+        let bytes = encode_frame(5, &sample_events());
+        let e = read_frame(&bytes[..bytes.len() - 1]).unwrap_err();
+        assert!(matches!(e, WireError::Io(_)));
+    }
+
+    #[test]
+    fn events_encode_exactly_like_the_binary_trace_format() {
+        // A frame's records are the binary format's records: the same
+        // opcodes and varints, so logged traces shred into frames
+        // without re-encoding.
+        let events = vec![
+            Event::new(ThreadId::new(1), Op::Read(VarId::new(300))),
+            Event::new(ThreadId::new(200), Op::Acquire(LockId::new(2))),
+        ];
+        let frame_bytes = encode_frame(0, &events);
+        let mut trace = TraceBuilder::with_capacity(2);
+        for e in &events {
+            trace.push(*e);
+        }
+        let bin = crate::binary_format::to_binary(&trace.finish());
+        // Skip frame header + session + count on one side, magic +
+        // version + count on the other: the record bytes must match.
+        assert_eq!(frame_bytes[FRAME_HEADER_LEN + 2..], bin[6..]);
+    }
+
+    #[test]
+    fn large_session_ids_and_batches_round_trip() {
+        let events: Vec<Event> = (0..1000)
+            .map(|i| Event::new(ThreadId::new(i % 7), Op::Write(VarId::new(i))))
+            .collect();
+        let bytes = encode_frame(u64::MAX, &events);
+        let frame = read_frame(bytes.as_slice()).unwrap();
+        assert_eq!(frame.session, u64::MAX);
+        assert_eq!(frame.events.len(), 1000);
+        assert_eq!(frame.events, events);
+    }
+}
