@@ -51,7 +51,13 @@ pub const SCHEMA: &str = "treeclocks/bench-baseline";
 /// vs 1000-session fan-in), `suite` (Table-3-style per-benchmark
 /// entries with per-backend wall times), and `calibration` (the
 /// hybrid's dense-cutoff sensitivity).
-pub const SCHEMA_VERSION: u64 = 3;
+///
+/// v4: added the `parallel` record kind (epoch-batched intra-session
+/// detection throughput per backend × worker count, with a
+/// `workers: 0` sequential baseline row), and the binary fan-in
+/// ingest cell now measures multi-session frames synchronized by one
+/// `stats-all` round trip instead of per-session `use`/`stats` pairs.
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// One measured cell of the baseline grid.
 #[derive(Clone, Debug)]
@@ -169,25 +175,20 @@ pub fn collect_suite_fold(mut progress: impl FnMut(&str)) -> Vec<SuiteFoldRecord
 /// Measures the hybrid's dense-cutoff sensitivity: pipeline and bursty
 /// workloads whose arenas straddle the calibrated default, each run at
 /// the conservative 2-cache-line cutoff and at the calibrated one. The
-/// process-wide default is restored afterwards.
+/// cutoff is pinned per pool ([`ClockPool::set_dense_cutoff`]), so the
+/// process-wide default is never touched — concurrent benches and
+/// tests see nothing.
 pub fn collect_calibration(mut progress: impl FnMut(&str)) -> Vec<CalibrationRecord> {
-    use tc_core::hybrid::{
-        default_dense_cutoff, set_default_dense_cutoff, CACHE_LINE_CUTOFF, DEFAULT_DENSE_CUTOFF,
-    };
-    let saved = default_dense_cutoff();
+    use tc_core::hybrid::{CACHE_LINE_CUTOFF, DEFAULT_DENSE_CUTOFF};
     let mut records = Vec::new();
     for scenario in [Scenario::Pipeline, Scenario::BurstyChannels] {
         let threads = 160; // past the calibrated cutoff, so it can bind
         let trace = scenario.generate(threads, 30_000, 0xCA11);
         for cutoff in [CACHE_LINE_CUTOFF, DEFAULT_DENSE_CUTOFF] {
             progress(&format!("calibration/{scenario}/{cutoff}"));
-            set_default_dense_cutoff(cutoff);
-            let m = measure_clock::<HybridClock>(
-                &trace,
-                PartialOrderKind::Hb,
-                Mode::Po,
-                &mut ClockPool::new(), // fresh pool: recycled clocks keep their cutoff
-            );
+            let mut pool = ClockPool::new();
+            pool.set_dense_cutoff(Some(cutoff));
+            let m = measure_clock::<HybridClock>(&trace, PartialOrderKind::Hb, Mode::Po, &mut pool);
             records.push(CalibrationRecord {
                 scenario: scenario.to_string(),
                 threads,
@@ -197,7 +198,6 @@ pub fn collect_calibration(mut progress: impl FnMut(&str)) -> Vec<CalibrationRec
             });
         }
     }
-    set_default_dense_cutoff(saved);
     records
 }
 
@@ -384,8 +384,9 @@ fn counted_run<C: LogicalClock>(
     }
 }
 
-/// A full baseline document: engine grid cells plus the v3 record
-/// families (ingest throughput, suite fold, cutoff calibration).
+/// A full baseline document: engine grid cells plus the v3/v4 record
+/// families (ingest throughput, suite fold, cutoff calibration,
+/// parallel detection).
 #[derive(Clone, Debug, Default)]
 pub struct BenchDoc {
     /// Engine grid cells (`kind: "engine"`).
@@ -396,6 +397,8 @@ pub struct BenchDoc {
     pub suite: Vec<SuiteFoldRecord>,
     /// Dense-cutoff calibration cells (`kind: "calibration"`).
     pub calibration: Vec<CalibrationRecord>,
+    /// Epoch-parallel detection cells (`kind: "parallel"`).
+    pub parallel: Vec<crate::parallel::ParallelRecord>,
 }
 
 /// Renders engine-only records as the schema-stable JSON document
@@ -468,6 +471,16 @@ pub fn to_json_doc(doc: &BenchDoc, mode: &str) -> String {
             ("seconds", r.seconds.into()),
         ])
     }));
+    records.extend(doc.parallel.iter().map(|r| {
+        Value::obj([
+            ("kind", "parallel".into()),
+            ("backend", r.backend.into()),
+            ("workers", r.workers.into()),
+            ("events", r.events.into()),
+            ("seconds", r.seconds.into()),
+            ("events_per_sec", r.events_per_sec().into()),
+        ])
+    }));
     let doc = Value::obj([
         ("schema", SCHEMA.into()),
         ("version", SCHEMA_VERSION.into()),
@@ -503,6 +516,11 @@ pub struct BaselineSummary {
     /// Best binary-over-text events/sec ratio among ingest cells with
     /// matching session counts (0.0 when the document has none).
     pub binary_speedup: f64,
+    /// Parallel-detection records in the document.
+    pub parallel: usize,
+    /// Best parallel-over-sequential events/sec ratio among parallel
+    /// cells of the same backend (0.0 when the document has none).
+    pub parallel_speedup: f64,
 }
 
 const REQUIRED_NUMS: [&str; 10] = [
@@ -550,7 +568,9 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
     let mut configs: Vec<(String, BackendSeconds)> = Vec::new();
     // (sessions, events/sec) per ingest mode, for the speedup summary.
     let mut ingest_cells: Vec<(&str, f64, f64)> = Vec::new();
-    let (mut ingest, mut suite, mut calibration) = (0usize, 0usize, 0usize);
+    // (backend, workers, events/sec) for the parallel speedup summary.
+    let mut parallel_cells: Vec<(&str, f64, f64)> = Vec::new();
+    let (mut ingest, mut suite, mut calibration, mut parallel) = (0usize, 0usize, 0usize, 0usize);
     for (i, r) in records.iter().enumerate() {
         let field = |name: &str| {
             r.get(name)
@@ -618,6 +638,21 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
                 if num_field("cutoff")? < 1.0 {
                     return Err(format!("record {i}: calibration `cutoff` must be >= 1"));
                 }
+                continue;
+            }
+            "parallel" => {
+                parallel += 1;
+                let backend = field("backend")?
+                    .as_str()
+                    .ok_or_else(|| format!("record {i}: `backend` is not a string"))?;
+                if !BACKENDS.contains(&backend) {
+                    return Err(format!("record {i}: unknown backend `{backend}`"));
+                }
+                let workers = num_field("workers")?;
+                num_field("events")?;
+                num_field("seconds")?;
+                let rate = num_field("events_per_sec")?;
+                parallel_cells.push((backend, workers, rate));
                 continue;
             }
             other => return Err(format!("record {i}: unknown record kind `{other}`")),
@@ -689,6 +724,19 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
             }
         }
     }
+    // Best parallel/sequential ratio among same-backend parallel cells
+    // (the `workers == 0` row is each backend's sequential baseline).
+    let mut parallel_speedup = 0.0f64;
+    for (backend, workers, rate) in &parallel_cells {
+        if *workers == 0.0 {
+            continue;
+        }
+        for (base_backend, base_workers, base_rate) in &parallel_cells {
+            if base_backend == backend && *base_workers == 0.0 && *base_rate > 0.0 {
+                parallel_speedup = parallel_speedup.max(rate / base_rate);
+            }
+        }
+    }
     Ok(BaselineSummary {
         records: records.len(),
         configs: configs.len(),
@@ -698,6 +746,8 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
         suite,
         calibration,
         binary_speedup,
+        parallel,
+        parallel_speedup,
     })
 }
 
@@ -752,16 +802,36 @@ mod tests {
                 cutoff: 128,
                 seconds: 0.02,
             }],
+            parallel: vec![
+                crate::parallel::ParallelRecord {
+                    backend: "tree",
+                    workers: 0,
+                    events: 10_000,
+                    seconds: 0.04,
+                },
+                crate::parallel::ParallelRecord {
+                    backend: "tree",
+                    workers: 4,
+                    events: 10_000,
+                    seconds: 0.02,
+                },
+            ],
         };
         let json = to_json_doc(&doc, "quick");
         let summary = validate(&json).expect("full documents must validate");
         assert_eq!(summary.ingest, 2);
         assert_eq!(summary.suite, 1);
         assert_eq!(summary.calibration, 1);
+        assert_eq!(summary.parallel, 2);
         assert!(
             (summary.binary_speedup - 5.0).abs() < 1e-9,
             "binary at 5x text: {}",
             summary.binary_speedup
+        );
+        assert!(
+            (summary.parallel_speedup - 2.0).abs() < 1e-9,
+            "4 workers at 2x sequential: {}",
+            summary.parallel_speedup
         );
 
         let bad = json.replace(
@@ -773,6 +843,13 @@ mod tests {
         }
         let bad = json.replace("\"kind\": \"calibration\"", "\"kind\": \"calibrations\"");
         assert!(validate(&bad).unwrap_err().contains("kind"));
+        let bad = json.replace(
+            "\"kind\": \"parallel\", \"backend\": \"tree\"",
+            "\"kind\": \"parallel\", \"backend\": \"forest\"",
+        );
+        if bad != json {
+            assert!(validate(&bad).unwrap_err().contains("backend"));
+        }
     }
 
     #[test]

@@ -12,9 +12,11 @@
 //! - **text / 1000 sessions** — one connection *per session* (text
 //!   lines bind to the connection's current session), all pipelined,
 //!   then each synchronized;
-//! - **binary / 1000 sessions** — one connection fanning frames into
-//!   1000 sessions by id, synchronized with pipelined `use`/`stats`
-//!   pairs.
+//! - **binary / 1000 sessions** — one connection fanning into 1000
+//!   sessions with *multi-session frames* (one wire message carries a
+//!   batch for every session, amortizing the header + queue hop
+//!   1000-fold), synchronized with a single `stats-all` round trip
+//!   that folds in behind every session's pending work.
 //!
 //! The timed region covers event delivery *and* the final
 //! synchronization, so a record's `events_per_sec` is the sustained
@@ -108,6 +110,9 @@ pub fn collect(scale: IngestScale, mut progress: impl FnMut(&str)) -> Vec<Ingest
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers: 2,
+        // Ingest cells measure the wire/dispatch path; intra-session
+        // parallelism is benched separately (the `parallel` records).
+        parallel: 0,
     })
     .expect("ingest bench server binds a free loopback port");
     let addr = server.local_addr();
@@ -146,7 +151,7 @@ fn single_session(addr: SocketAddr, events: usize, binary: bool) -> IngestRecord
         let id = client.session();
         let mut blob = Vec::new();
         for chunk in trace.events().chunks(FRAME_EVENTS) {
-            blob.extend_from_slice(&wire::encode_frame(id, chunk));
+            blob.extend_from_slice(&wire::encode_frame(id, chunk).expect("bench frames fit"));
         }
         blob
     } else {
@@ -206,9 +211,13 @@ fn fanin_text(addr: SocketAddr, scale: IngestScale) -> IngestRecord {
     }
 }
 
-/// Binary fan-in: one connection, `fanin_sessions` sessions, frames
-/// interleaved round-robin by session id, then pipelined `use`/`stats`
-/// synchronization for every session.
+/// Binary fan-in: one connection, `fanin_sessions` sessions, one
+/// *multi-session* frame per chunk round (a single wire message
+/// carrying that chunk for every session), then one `stats-all` round
+/// trip as the synchronization point — the aggregate reply folds in
+/// behind each session's pending work, so it is exactly the barrier
+/// the per-session `use`/`stats` tail used to be, minus the 1000
+/// reply round trips.
 fn fanin_binary(addr: SocketAddr, scale: IngestScale) -> IngestRecord {
     let trace = workload(scale.fanin_events_each, 0x1263);
     let mut client = Client::open(addr, "hb tc").expect("fan-in connection opens");
@@ -217,38 +226,27 @@ fn fanin_binary(addr: SocketAddr, scale: IngestScale) -> IngestRecord {
         ids.push(client.open_session("hb tc").expect("fan-in session opens"));
     }
 
-    // Pre-encode the full interleaved stream and the sync tail.
+    // Pre-encode the full stream: one multi-frame per chunk round.
     let mut blob = Vec::new();
     for chunk in trace.events().chunks(FRAME_EVENTS) {
-        for &id in &ids {
-            blob.extend_from_slice(&wire::encode_frame(id, chunk));
-        }
-    }
-    let mut sync = String::new();
-    for &id in &ids {
-        sync.push_str(&format!("use {id}\nstats\n"));
+        let groups: Vec<(u64, &[tc_trace::Event])> = ids.iter().map(|&id| (id, chunk)).collect();
+        blob.extend_from_slice(&wire::encode_multi_frame(&groups).expect("bench frames fit"));
     }
 
     let start = Instant::now();
     client.send_raw(&blob).expect("fan-in frames write");
-    client
-        .send_raw(sync.as_bytes())
-        .expect("fan-in sync writes");
-    client.flush().expect("fan-in flush");
-    let mut synced = 0;
-    while synced < ids.len() {
-        let line = client.read_reply().expect("fan-in sync reply");
-        if line.starts_with("ok events=") {
-            assert_synced(&line, trace.len(), "binary/fan-in");
-            synced += 1;
-        } else {
-            assert!(
-                line.starts_with("ok session"),
-                "binary/fan-in: unexpected reply `{line}`"
-            );
-        }
-    }
+    let (sessions, events, rejected, _races) = client.stats_all().expect("fan-in stats-all syncs");
     let seconds = start.elapsed().as_secs_f64();
+    assert_eq!(
+        (sessions, rejected),
+        (ids.len() as u64, 0),
+        "binary/fan-in: aggregate must cover every session cleanly"
+    );
+    assert_eq!(
+        events,
+        (ids.len() * trace.len()) as u64,
+        "binary/fan-in: aggregate must account for every event"
+    );
     IngestRecord {
         mode: "binary",
         sessions: scale.fanin_sessions,

@@ -30,6 +30,7 @@ pub mod baseline;
 pub mod figures;
 pub mod ingest;
 pub mod json;
+pub mod parallel;
 pub mod render;
 pub mod runner;
 pub mod suite;
@@ -37,5 +38,6 @@ pub mod tables;
 
 pub use baseline::{BaselineRecord, BaselineSummary, BenchDoc};
 pub use ingest::{IngestRecord, IngestScale};
+pub use parallel::{ParallelRecord, ParallelScale};
 pub use runner::{ClockKind, Measurement, Mode};
 pub use suite::{suite, Scale, SuiteEntry};

@@ -1,0 +1,199 @@
+//! Intra-session parallel detection throughput: the epoch-batched
+//! [`ParallelDetector`] against plain
+//! sequential [`IncrementalDetector`]
+//! feeding, per clock backend, at several worker counts.
+//!
+//! The workload is deliberately epoch-friendly — independent thread
+//! pairs, each racing on its own variable — so every frame splits into
+//! `pairs` conflict-free epochs and the cells measure the scheduler's
+//! best case (partition + fan-out + barrier join) rather than its
+//! fallback. The `workers == 0` row of each backend is the sequential
+//! baseline over the *same* frames; `events_per_sec` ratios against it
+//! are the speedup the committed baseline tracks. Every parallel cell
+//! asserts that (a) each frame actually took the epoch path and (b)
+//! the race total matches the sequential run — a throughput number for
+//! a silently-degraded or divergent path would be worse than none.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use tc_orders::PartialOrderKind;
+use tc_stream::{DetectorConfig, EpochPool, IncrementalDetector, ParallelDetector};
+use tc_trace::{Event, Op, ThreadId, VarId};
+
+/// Worker counts of one collection: the sequential baseline plus two
+/// pool sizes bracketing typical core budgets.
+pub const WORKER_GRID: [usize; 3] = [0, 2, 8];
+
+/// One measured parallel-detection cell.
+#[derive(Clone, Debug)]
+pub struct ParallelRecord {
+    /// Clock backend name (`tree`, `vector` or `hybrid`).
+    pub backend: &'static str,
+    /// Epoch-pool workers; `0` is the sequential baseline.
+    pub workers: usize,
+    /// Total events fed.
+    pub events: u64,
+    /// Wall-clock seconds for the full feed.
+    pub seconds: f64,
+}
+
+impl ParallelRecord {
+    /// The headline rate.
+    pub fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.seconds.max(1e-9)
+    }
+}
+
+/// Workload sizes for one parallel collection.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelScale {
+    /// Independent thread pairs (= epochs per frame).
+    pub pairs: usize,
+    /// Frames fed per cell.
+    pub frames: usize,
+    /// Events per frame.
+    pub frame_events: usize,
+}
+
+impl ParallelScale {
+    /// The CI scale.
+    pub fn quick() -> Self {
+        ParallelScale {
+            pairs: 8,
+            frames: 8,
+            frame_events: 4_096,
+        }
+    }
+
+    /// The default scale for committed baselines.
+    pub fn default_scale() -> Self {
+        ParallelScale {
+            pairs: 8,
+            frames: 32,
+            frame_events: 8_192,
+        }
+    }
+}
+
+/// Generates the epoch-friendly frames: pair `g` is threads `2g` and
+/// `2g + 1` alternating writes to variable `g` — no cross-pair edges,
+/// so the partitioner splits every frame into exactly `pairs` epochs.
+fn epoch_frames(scale: ParallelScale) -> Vec<Vec<Event>> {
+    (0..scale.frames)
+        .map(|_| {
+            (0..scale.frame_events)
+                .map(|k| {
+                    let g = (k % scale.pairs) as u32;
+                    let t = 2 * g + ((k / scale.pairs) % 2) as u32;
+                    Event::new(ThreadId::new(t), Op::Write(VarId::new(g)))
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Feeds every frame through one detector configuration and returns
+/// (seconds, total races, parallel frames taken).
+fn measure<C: tc_core::LogicalClock + Send + 'static>(
+    frames: &[Vec<Event>],
+    workers: usize,
+) -> (f64, u64, u64) {
+    let config = DetectorConfig::for_order(PartialOrderKind::Hb);
+    if workers == 0 {
+        let mut d = IncrementalDetector::<C>::new(config);
+        let start = Instant::now();
+        for frame in frames {
+            for e in frame {
+                d.feed(e).expect("bench events are valid");
+            }
+        }
+        (start.elapsed().as_secs_f64(), d.report().total, 0)
+    } else {
+        let mut d = ParallelDetector::<C>::new(config, Arc::new(EpochPool::new(workers)), 2);
+        let start = Instant::now();
+        for frame in frames {
+            d.feed_frame(frame).expect("bench events are valid");
+        }
+        (
+            start.elapsed().as_secs_f64(),
+            d.detector().report().total,
+            d.parallel_frames(),
+        )
+    }
+}
+
+fn collect_backend<C: tc_core::LogicalClock + Send + 'static>(
+    backend: &'static str,
+    frames: &[Vec<Event>],
+    records: &mut Vec<ParallelRecord>,
+    mut progress: impl FnMut(&str),
+) {
+    let events = frames.iter().map(Vec::len).sum::<usize>() as u64;
+    let mut sequential_races = None;
+    for workers in WORKER_GRID {
+        progress(&format!("parallel/{backend}/{workers}"));
+        let (seconds, races, parallel_frames) = measure::<C>(frames, workers);
+        if workers == 0 {
+            sequential_races = Some(races);
+        } else {
+            assert_eq!(
+                parallel_frames,
+                frames.len() as u64,
+                "{backend}/{workers}: every bench frame must take the epoch path"
+            );
+            assert_eq!(
+                Some(races),
+                sequential_races,
+                "{backend}/{workers}: parallel run diverged from sequential"
+            );
+        }
+        records.push(ParallelRecord {
+            backend,
+            workers,
+            events,
+            seconds,
+        });
+    }
+}
+
+/// Runs the parallel grid: three backends × [`WORKER_GRID`].
+/// `progress` is called before each cell.
+pub fn collect(scale: ParallelScale, mut progress: impl FnMut(&str)) -> Vec<ParallelRecord> {
+    let frames = epoch_frames(scale);
+    let mut records = Vec::new();
+    collect_backend::<tc_core::TreeClock>("tree", &frames, &mut records, &mut progress);
+    collect_backend::<tc_core::VectorClock>("vector", &frames, &mut records, &mut progress);
+    collect_backend::<tc_core::HybridClock>("hybrid", &frames, &mut records, &mut progress);
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_parallel_cells_measure_all_backends_and_worker_counts() {
+        let scale = ParallelScale {
+            pairs: 4,
+            frames: 3,
+            frame_events: 256,
+        };
+        let records = collect(scale, |_| {});
+        assert_eq!(records.len(), 3 * WORKER_GRID.len());
+        for r in &records {
+            assert_eq!(r.events, 3 * 256);
+            assert!(r.seconds > 0.0, "{r:?}");
+            assert!(r.events_per_sec() > 0.0, "{r:?}");
+        }
+        // Each backend carries the full worker grid, baseline included.
+        for backend in ["tree", "vector", "hybrid"] {
+            let workers: Vec<usize> = records
+                .iter()
+                .filter(|r| r.backend == backend)
+                .map(|r| r.workers)
+                .collect();
+            assert_eq!(workers, WORKER_GRID.to_vec(), "{backend}");
+        }
+    }
+}

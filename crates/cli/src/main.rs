@@ -21,6 +21,7 @@ use std::io::{BufReader, BufWriter, Write};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 use tc_analysis::{HbRaceDetector, MazAnalyzer, RaceReport, ShbRaceDetector};
 use tc_bench::baseline::{self, BaselineScale};
@@ -29,9 +30,12 @@ use tc_bench::ClockKind;
 use tc_conformance::{check_trace, run_sweep, Corpus, Fault, SweepOptions};
 use tc_core::{HybridClock, TreeClock, VectorClock};
 use tc_orders::{HbEngine, MazEngine, PartialOrderKind, ShbEngine};
-use tc_stream::{AnyDetector, Checkpoint, ClockChoice, DetectorConfig, ServeConfig, Server};
+use tc_stream::{
+    AnyDetector, Checkpoint, ClockChoice, DetectorConfig, EpochPool, ServeConfig, Server, Session,
+    DEFAULT_MIN_PARALLEL_FRAME,
+};
 use tc_trace::gen::{Scenario, WorkloadSpec};
-use tc_trace::{binary_format, text_format, EventReader, SessionValidator, Trace};
+use tc_trace::{binary_format, text_format, Event, EventReader, SessionValidator, Trace};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -409,7 +413,7 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
 /// Default output file of `tcr bench --json`. The number tracks the PR
 /// that produced the baseline, so the repository accumulates a
 /// `BENCH_*.json` perf trajectory over time.
-const BENCH_JSON_DEFAULT: &str = "BENCH_6.json";
+const BENCH_JSON_DEFAULT: &str = "BENCH_7.json";
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (flags, kv) = Flags::parse(args, &["out", "trace", "check"], &["json", "quick", "full"])?;
@@ -473,11 +477,19 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             } else {
                 tc_bench::IngestScale::default_scale()
             };
+            let parallel_scale = if quick {
+                tc_bench::ParallelScale::quick()
+            } else {
+                tc_bench::ParallelScale::default_scale()
+            };
             tc_bench::BenchDoc {
                 engine: records,
                 ingest: tc_bench::ingest::collect(ingest_scale, |cell| eprintln!("bench: {cell}")),
                 suite: baseline::collect_suite_fold(|cell| eprintln!("bench: {cell}")),
                 calibration: baseline::collect_calibration(|cell| eprintln!("bench: {cell}")),
+                parallel: tc_bench::parallel::collect(parallel_scale, |cell| {
+                    eprintln!("bench: {cell}")
+                }),
             }
         };
         let json = baseline::to_json_doc(&doc, mode);
@@ -485,8 +497,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         std::fs::write(out, &json).map_err(|e| format!("cannot write {out}: {e}"))?;
         println!(
             "wrote {out}: {} record(s), {} configuration(s), tree <= vector wall time on {}, \
-             hybrid within 2x of vector on {}, {} ingest / {} suite / {} calibration record(s), \
-             binary ingest at {:.1}x text",
+             hybrid within 2x of vector on {}, {} ingest / {} suite / {} calibration / {} \
+             parallel record(s), binary ingest at {:.1}x text, parallel detection at {:.2}x \
+             sequential",
             summary.records,
             summary.configs,
             summary.tree_wins,
@@ -494,7 +507,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             summary.ingest,
             summary.suite,
             summary.calibration,
-            summary.binary_speedup
+            summary.parallel,
+            summary.binary_speedup,
+            summary.parallel_speedup
         );
     } else {
         let mut t = TextTable::new([
@@ -532,6 +547,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             "checkpoint",
             "checkpoint-every",
             "resume",
+            "parallel",
         ],
         &["no-retire"],
     )?;
@@ -551,6 +567,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     if checkpoint_every.is_some() && checkpoint_path.is_none() {
         return Err("--checkpoint-every requires --checkpoint FILE".into());
     }
+    let parallel_workers: usize = value(&kv, "parallel")
+        .map(|v| v.parse::<usize>().map_err(|_| "invalid --parallel"))
+        .transpose()?
+        .unwrap_or(0);
     let mut config = DetectorConfig {
         order,
         retire_on_join: value(&kv, "no-retire").is_none(),
@@ -595,6 +615,19 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         }
         None => (AnyDetector::new(clock, config), SessionValidator::new()),
     };
+
+    if parallel_workers > 0 {
+        return stream_parallel(
+            path,
+            reader,
+            detector,
+            validator,
+            parallel_workers,
+            limit,
+            checkpoint_path,
+            checkpoint_every,
+        );
+    }
 
     let start = std::time::Instant::now();
     let stdout = std::io::stdout();
@@ -672,8 +705,127 @@ fn write_checkpoint(
     writer.flush().map_err(|e| e.to_string())
 }
 
+/// Events per frame of the `--parallel` streaming path — a multiple of
+/// the epoch scheduler's minimum so frames are worth splitting, small
+/// enough that race emission and checkpoints stay responsive.
+const STREAM_FRAME_EVENTS: usize = 4096;
+
+/// The `tcr stream --parallel N` loop: events are batched into frames
+/// and driven through the same epoch-parallel [`Session`] machinery the
+/// service uses. Frames the scheduler cannot prove splittable fall back
+/// to sequential feeding; either way reports and timestamps are
+/// identical to the sequential path (conformance-enforced), so only
+/// throughput and race-emission granularity change.
+#[allow(clippy::too_many_arguments)]
+fn stream_parallel(
+    path: &str,
+    mut reader: EventReader<BufReader<File>>,
+    detector: AnyDetector,
+    validator: SessionValidator,
+    workers: usize,
+    limit: usize,
+    checkpoint_path: Option<&str>,
+    checkpoint_every: Option<u64>,
+) -> Result<(), String> {
+    let order = detector.config().order;
+    let mut session = Session::from_parts(0, detector, validator);
+    session.enable_parallel(
+        Arc::new(EpochPool::new(workers)),
+        DEFAULT_MIN_PARALLEL_FRAME,
+    );
+
+    let start = std::time::Instant::now();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut printed = 0usize;
+    let mut reported_before = 0usize;
+    let mut frames_fed = 0u64;
+    let mut checkpoints_due = 0u64;
+    let mut frame: Vec<Event> = Vec::with_capacity(STREAM_FRAME_EVENTS);
+    let mut done = false;
+    while !done {
+        match reader.next_event() {
+            Ok(Some(e)) => frame.push(e),
+            Ok(None) => done = true,
+            Err(e) => return Err(e.to_string()),
+        }
+        if frame.len() < STREAM_FRAME_EVENTS && (!done || frame.is_empty()) {
+            continue;
+        }
+        // An invalid or rejected event fails the whole run, like the
+        // sequential path — but only after its frame was fed, so the
+        // error surfaces at frame granularity.
+        let mut replies = String::new();
+        session.handle_frame(&frame, &mut replies);
+        frames_fed += 1;
+        frame.clear();
+        if let Some(first) = replies.lines().next() {
+            return Err(format!("{path}: {}", first.trim_start_matches("err ")));
+        }
+        let report = session.detector().report();
+        for race in report.races_since(reported_before) {
+            if printed < limit {
+                let _ = writeln!(out, "  [frame {}] {race}", frames_fed - 1);
+                printed += 1;
+            }
+        }
+        reported_before = report.races.len();
+        if let (Some(every), Some(cp_path)) = (checkpoint_every, checkpoint_path) {
+            let due = session.detector().events() / every.max(1);
+            if every > 0 && due > checkpoints_due {
+                checkpoints_due = due;
+                write_session_checkpoint(&session, cp_path)?;
+            }
+        }
+    }
+    if let (None, Some(cp_path)) = (checkpoint_every, checkpoint_path) {
+        write_session_checkpoint(&session, cp_path)?;
+    }
+    let elapsed = start.elapsed();
+    let d = session.detector();
+    let report = d.report();
+    if report.total as usize > printed {
+        let _ = writeln!(out, "  ... and {} more", report.total as usize - printed);
+    }
+    let _ = writeln!(
+        out,
+        "{} streaming analysis with {} clocks over {} events: {} in {:.3}s \
+         ({} of {} frame(s) epoch-parallel across {} worker(s))",
+        order,
+        d.backend_name(),
+        d.events(),
+        report,
+        elapsed.as_secs_f64(),
+        session.parallel_frames(),
+        frames_fed,
+        workers,
+    );
+    let _ = writeln!(
+        out,
+        "memory: threads={} retired={} evicted={} live_clock_bytes={} pool_bytes={}",
+        d.threads_seen(),
+        d.retired_count(),
+        d.evicted(),
+        d.clock_bytes(),
+        d.pool_bytes(),
+    );
+    Ok(())
+}
+
+fn write_session_checkpoint(session: &Session, path: &str) -> Result<(), String> {
+    let cp = session.checkpoint();
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut writer = BufWriter::new(file);
+    cp.write(&mut writer).map_err(|e| e.to_string())?;
+    writer.flush().map_err(|e| e.to_string())
+}
+
 fn cmd_serve(args: &[String]) -> Result<(), String> {
-    let (flags, kv) = Flags::parse(args, &["addr", "port", "workers"], &["smoke"])?;
+    let (flags, kv) = Flags::parse(
+        args,
+        &["addr", "port", "workers", "parallel-sessions"],
+        &["smoke"],
+    )?;
     if let Some(extra) = flags.positional.first() {
         return Err(format!("serve takes no positional argument `{extra}`"));
     }
@@ -695,10 +847,23 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .unwrap_or("4")
         .parse()
         .map_err(|_| "invalid --workers")?;
-    let server = Server::start(ServeConfig { addr, workers })
-        .map_err(|e| format!("cannot start server: {e}"))?;
+    let parallel: usize = value(&kv, "parallel-sessions")
+        .unwrap_or("0")
+        .parse()
+        .map_err(|_| "invalid --parallel-sessions")?;
+    let server = Server::start(ServeConfig {
+        addr,
+        workers,
+        parallel,
+    })
+    .map_err(|e| format!("cannot start server: {e}"))?;
+    let parallel_note = if parallel > 0 {
+        format!("; large binary frames split across {parallel} epoch worker(s) per session")
+    } else {
+        String::new()
+    };
     println!(
-        "tcr serve: listening on {} with {workers} work-stealing worker(s); \
+        "tcr serve: listening on {} with {workers} work-stealing worker(s){parallel_note}; \
          open a TCP connection and speak the line protocol \
          (`open <order> <clock>`, then event lines) or stream batched \
          binary frames to session ids; `shutdown` stops the server",
@@ -736,8 +901,9 @@ USAGE:
             [--check FILE]
   tcr stream FILE [--order hb|shb|maz] [--clock tc|vc|hc] [--limit N]
              [--evict N] [--no-retire] [--checkpoint FILE]
-             [--checkpoint-every N] [--resume FILE]
-  tcr serve [--port P | --addr A] [--workers N] [--smoke]
+             [--checkpoint-every N] [--resume FILE] [--parallel N]
+  tcr serve [--port P | --addr A] [--workers N]
+            [--parallel-sessions N] [--smoke]
 
 Scenarios: single-lock, skewed-locks, star, pairwise, fork-join-tree,
 barrier-phases, pipeline, read-mostly, bursty-channels.
@@ -756,12 +922,14 @@ bench records the perf baseline: FIG10 scenarios x HB/SHB/MAZ x
 tree/vector/hybrid, with wall time, operation counts, VTWork/DSWork,
 peak clock bytes and pool telemetry. --full folds the five structured
 workload families into the grid (at a budgeted size). --json writes the
-schema-stable BENCH_6.json (or -o FILE), which additionally carries
+schema-stable BENCH_7.json (or -o FILE), which additionally carries
 ingest-throughput records (events/sec through the live serve socket
-path, text vs binary x single-session vs 1000-session fan-in), the
-39-entry synthetic suite's per-backend wall times, and the hybrid's
-dense-cutoff calibration cells; --check validates an existing
-baseline; --trace benches one trace file (engine records only).
+path, text vs binary x single-session vs 1000-session fan-in via
+multi-session frames + stats-all), the 39-entry synthetic suite's
+per-backend wall times, the hybrid's dense-cutoff calibration cells,
+and epoch-parallel detection cells (backend x worker count against a
+sequential baseline); --check validates an existing baseline; --trace
+benches one trace file (engine records only).
 
 stream analyzes FILE incrementally (chunked reads, nothing
 materialized), printing races as they are found, with bounded memory:
@@ -770,6 +938,9 @@ dominated lock/variable clocks every N events (requires fork
 discipline). --checkpoint writes a resumable snapshot (periodically
 with --checkpoint-every); --resume FILE fast-forwards past a
 checkpoint's events and continues with byte-identical reports.
+--parallel N batches events into frames and splits each frame into
+conflict-free epochs fanned across N workers — same reports and
+timestamps, higher throughput on epoch-rich traces.
 
 serve runs the multi-client analysis service: a nonblocking ingest
 core feeding a work-stealing worker pool, each session an independent
@@ -777,9 +948,13 @@ streaming detector. Text protocol: `open <order> <clock> [evict <n>]
 [no-retire]` or `resume <checkpoint>`, then text-format event lines;
 `poll`/`races` report found races, `stats` one key=value line,
 `timestamp <thread>`, `checkpoint <path>`, `use <id>` rebinds to an
-earlier session, `close`, `shutdown`. Binary protocol (same port,
-sniffed by first byte): length-prefixed frames batching events for an
-explicit session id, so one connection can fan into many sessions.
+earlier session, `close`, `shutdown`; `stats-all` aggregates every
+session the connection opened in one reply. Binary protocol (same
+port, sniffed by first byte): length-prefixed frames batching events
+for an explicit session id — or one multi-session frame carrying
+batches for many ids — so one connection can fan into many sessions.
+--parallel-sessions N shares an N-worker epoch pool across sessions,
+splitting each large binary frame into conflict-free epochs.
 --smoke runs the self-test: three concurrent sessions (two text, one
 binary) driven over real sockets, asserted equal to the batch
 detectors (what `tcr race` runs), then a shutdown with a client still
@@ -1164,6 +1339,60 @@ mod tests {
         let e = run(&args(&["stream", "--checkpoint-every", "10", trace_s])).unwrap_err();
         assert!(e.contains("--checkpoint"), "{e}");
         assert!(run(&args(&["stream"])).is_err());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn stream_parallel_analyzes_checkpoints_and_resumes() {
+        let dir = temp_dir("stream-parallel");
+        let trace = dir.join("t.trace");
+        let trace_s = trace.to_str().unwrap();
+        run(&args(&[
+            "gen",
+            "--threads",
+            "8",
+            "--events",
+            "6000",
+            "--sync",
+            "5",
+            "--vars",
+            "32",
+            "-o",
+            trace_s,
+        ]))
+        .unwrap();
+        // The epoch-parallel path completes on the same file the
+        // sequential path handles (equivalence is library-enforced).
+        run(&args(&["stream", "--parallel", "2", trace_s])).unwrap();
+
+        // Checkpoints work at frame granularity, and a resumed session
+        // can itself run parallel.
+        let cp = dir.join("par.tccp");
+        let cp_s = cp.to_str().unwrap();
+        run(&args(&[
+            "stream",
+            "--parallel",
+            "2",
+            "--checkpoint",
+            cp_s,
+            "--checkpoint-every",
+            "2000",
+            trace_s,
+        ]))
+        .unwrap();
+        assert!(cp.exists(), "parallel checkpoint file missing");
+        run(&args(&[
+            "stream",
+            "--resume",
+            cp_s,
+            "--parallel",
+            "2",
+            trace_s,
+        ]))
+        .unwrap();
+
+        let e = run(&args(&["stream", "--parallel", "many", trace_s])).unwrap_err();
+        assert!(e.contains("--parallel"), "{e}");
         std::fs::remove_dir_all(dir).unwrap();
     }
 

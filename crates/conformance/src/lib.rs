@@ -61,7 +61,9 @@ pub mod fault;
 pub mod runner;
 pub mod shrink;
 
-pub use check::{check_trace, check_trace_pooled, CheckKind, CheckSummary, EnginePools, Failure};
+pub use check::{
+    check_trace, check_trace_pooled, CheckKind, CheckSummary, EnginePools, Failure, CHECKS_PER_CASE,
+};
 pub use corpus::{CaseConfig, Corpus, TraceSource};
 pub use fault::Fault;
 pub use runner::{run_sweep, CaseOutcome, SweepOptions, SweepReport};

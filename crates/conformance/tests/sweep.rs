@@ -5,7 +5,10 @@
 //! - an intentionally broken check (fault injection) is caught, and the
 //!   shrinker produces a minimized, replayable text-format repro.
 
-use tc_conformance::{check_trace, run_sweep, Corpus, Fault, Repro, SweepOptions, TraceSource};
+use tc_conformance::{
+    check_trace, run_sweep, CheckKind, Corpus, Fault, Repro, SweepOptions, TraceSource,
+    CHECKS_PER_CASE,
+};
 use tc_orders::PartialOrderKind;
 use tc_trace::text_format;
 
@@ -36,6 +39,13 @@ fn quick_corpus_sweep_is_conformant() {
             && matches!(&o.result, Ok(s) if s.races == 0)
     });
     assert!(race_free, "corpus must include race-free scenario cases");
+    // Every case of the sweep runs the epoch-parallel equivalence pass
+    // (order × backend fan-out inside it) — the gate for the parallel
+    // ingest path staying byte-identical to sequential detection.
+    assert!(
+        CHECKS_PER_CASE.contains(&CheckKind::Parallel),
+        "the sweep must include the parallel check family"
+    );
 }
 
 /// Every fault kind, injected into every order, is (a) detected by the

@@ -228,6 +228,14 @@ pub trait LogicalClock: Clone + Debug + Default {
     /// Panics if the clock is not empty, or if `root` is `None` while
     /// some time is nonzero.
     fn restore_value(&mut self, times: &[LocalTime], root: Option<ThreadId>);
+
+    /// Applies a representation-tuning hint: the dense cutoff, in
+    /// entries. Backends without an adaptive representation ignore it
+    /// (the default); the hybrid adopts it as its per-clock cutoff, so
+    /// a [`ClockPool`](crate::pool::ClockPool) can tune every clock it
+    /// hands out without touching the process-wide default. Values are
+    /// representation independent at any setting.
+    fn tune_dense_cutoff(&mut self, _entries: u64) {}
 }
 
 #[cfg(test)]

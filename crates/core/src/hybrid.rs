@@ -184,8 +184,48 @@ pub fn default_dense_cutoff() -> u64 {
 /// Existing clocks keep the cutoff they were constructed with; values
 /// are representation independent at any setting, so this only moves
 /// the performance crossover (used by `tcr bench`'s calibration pass).
+///
+/// The global is process-wide mutable state: anything that sets it
+/// temporarily — tests, calibration sweeps — should hold a
+/// [`DenseCutoffGuard`] instead of pairing set/restore calls by hand,
+/// so a panic in between cannot poison every later hybrid
+/// construction. Steady-state tuning of a single detector should
+/// prefer the per-clock ([`HybridClock::set_dense_cutoff`]) or
+/// per-pool ([`crate::ClockPool::set_dense_cutoff`]) knobs, which
+/// don't touch the global at all.
 pub fn set_default_dense_cutoff(entries: u64) {
     GLOBAL_DENSE_CUTOFF.store(entries.max(1), Ordering::Relaxed);
+}
+
+/// RAII override of the process-wide default dense cutoff: sets it on
+/// construction, restores the *previous* value on drop — panic-safe,
+/// and nestable (inner guards restore what the outer guard set).
+///
+/// This is the only sanctioned way for tests and calibration passes to
+/// mutate the global; note that the global stays process-wide, so
+/// concurrently running hybrid tests still observe the override while
+/// the guard lives (values are representation independent at any
+/// cutoff, so only performance counters can wobble).
+#[must_use = "the override ends when the guard drops"]
+#[derive(Debug)]
+pub struct DenseCutoffGuard {
+    prev: u64,
+}
+
+impl DenseCutoffGuard {
+    /// Overrides the process-wide default dense cutoff (clamped to
+    /// ≥ 1) until the guard drops.
+    pub fn set(entries: u64) -> DenseCutoffGuard {
+        DenseCutoffGuard {
+            prev: GLOBAL_DENSE_CUTOFF.swap(entries.max(1), Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for DenseCutoffGuard {
+    fn drop(&mut self) {
+        GLOBAL_DENSE_CUTOFF.store(self.prev, Ordering::Relaxed);
+    }
 }
 
 /// Aggregate verdict over a window of `ops` observations: dense when
@@ -903,6 +943,10 @@ impl LogicalClock for HybridClock {
         self.root_of()
     }
 
+    fn tune_dense_cutoff(&mut self, entries: u64) {
+        self.set_dense_cutoff(entries);
+    }
+
     #[inline]
     fn get(&self, t: ThreadId) -> LocalTime {
         self.value_at(t.raw())
@@ -1421,11 +1465,14 @@ mod tests {
 
         // The process-wide default is what constructors adopt; values
         // are representation independent at any setting, so briefly
-        // lowering it cannot perturb concurrent tests' values.
-        set_default_dense_cutoff(64);
-        let adopted = HybridClock::new();
-        assert_eq!(adopted.dense_cutoff(), 64);
-        set_default_dense_cutoff(DEFAULT_DENSE_CUTOFF);
+        // lowering it cannot perturb concurrent tests' values. The
+        // guard restores the previous value even if an assert below
+        // panics.
+        {
+            let _cutoff = DenseCutoffGuard::set(64);
+            let adopted = HybridClock::new();
+            assert_eq!(adopted.dense_cutoff(), 64);
+        }
         assert_eq!(default_dense_cutoff(), DEFAULT_DENSE_CUTOFF);
         assert_eq!(
             HybridClock::new().dense_cutoff(),

@@ -81,7 +81,7 @@ pub mod vector_clock;
 pub mod vector_time;
 
 pub use clock::{CopyMode, LogicalClock, OpStats};
-pub use hybrid::HybridClock;
+pub use hybrid::{DenseCutoffGuard, HybridClock};
 pub use ids::{Epoch, LocalTime, ThreadId};
 pub use pool::{ClockPool, LazyClock};
 pub use tree_clock::TreeClock;

@@ -59,6 +59,12 @@ pub struct ClockPool<C> {
     /// High-water mark of `free_bytes` over the pool's life — the
     /// quantity the streaming subsystem's bounded-memory tests track.
     peak_free_bytes: usize,
+    /// Per-pool dense-cutoff override, applied to every clock
+    /// [`acquire`](Self::acquire) hands out (fresh and recycled alike)
+    /// via [`LogicalClock::tune_dense_cutoff`]. `None` leaves clocks on
+    /// the process-wide default — the per-pool knob exists precisely so
+    /// callers don't have to mutate that global.
+    dense_cutoff: Option<u64>,
 }
 
 /// Default free-list high-water mark: enough for every engine of a
@@ -80,6 +86,7 @@ impl<C: LogicalClock> ClockPool<C> {
             high_water: DEFAULT_HIGH_WATER,
             free_bytes: 0,
             peak_free_bytes: 0,
+            dense_cutoff: None,
         }
     }
 
@@ -108,10 +115,22 @@ impl<C: LogicalClock> ClockPool<C> {
         self.high_water
     }
 
+    /// Sets (or with `None`, clears) the pool's dense-cutoff override;
+    /// see the field docs. Only affects clocks handed out *after* the
+    /// call.
+    pub fn set_dense_cutoff(&mut self, entries: Option<u64>) {
+        self.dense_cutoff = entries;
+    }
+
+    /// The pool's dense-cutoff override, if any.
+    pub fn dense_cutoff(&self) -> Option<u64> {
+        self.dense_cutoff
+    }
+
     /// Hands out an empty clock, recycling a free-listed one when
     /// available and allocating a fresh `C::new()` otherwise.
     pub fn acquire(&mut self) -> C {
-        match self.free.pop() {
+        let mut clock = match self.free.pop() {
             Some(clock) => {
                 debug_assert!(clock.is_empty(), "pooled clock was not cleared");
                 self.recycled += 1;
@@ -122,7 +141,11 @@ impl<C: LogicalClock> ClockPool<C> {
                 self.fresh += 1;
                 C::new()
             }
+        };
+        if let Some(entries) = self.dense_cutoff {
+            clock.tune_dense_cutoff(entries);
         }
+        clock
     }
 
     /// Clears `clock` and free-lists it for a later
@@ -382,6 +405,33 @@ mod tests {
         a.absorb(b);
         assert_eq!(a.free_len(), 1);
         assert_eq!(a.fresh(), 1);
+    }
+
+    #[test]
+    fn pool_dense_cutoff_tunes_fresh_and_recycled_clocks() {
+        use crate::HybridClock;
+        let mut pool = ClockPool::<HybridClock>::new();
+        assert_eq!(pool.dense_cutoff(), None);
+        pool.set_dense_cutoff(Some(7));
+        let fresh = pool.acquire();
+        assert_eq!(
+            fresh.dense_cutoff(),
+            7,
+            "fresh clocks adopt the pool cutoff"
+        );
+        pool.release(fresh);
+        pool.set_dense_cutoff(Some(9));
+        let recycled = pool.acquire();
+        assert_eq!(
+            recycled.dense_cutoff(),
+            9,
+            "recycled clocks are re-tuned on every acquire"
+        );
+        // Non-adaptive backends ignore the hint entirely.
+        let mut tree_pool = ClockPool::<TreeClock>::new();
+        tree_pool.set_dense_cutoff(Some(7));
+        let c = tree_pool.acquire();
+        assert!(c.is_empty());
     }
 
     #[test]

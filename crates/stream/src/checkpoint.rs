@@ -602,11 +602,7 @@ impl Checkpoint {
                 vars: engine_vars,
             },
             vars,
-            report: RaceReport {
-                races,
-                total,
-                checks,
-            },
+            report: RaceReport::from_parts(races, total, checks),
             validator,
             interner,
         })

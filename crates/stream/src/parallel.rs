@@ -1,0 +1,722 @@
+//! Epoch-batched intra-session parallel detection.
+//!
+//! A frame of events splits into *epochs*: the connected components of
+//! the graph whose vertices are threads, locks and variables, with an
+//! edge for every event between its acting thread and the entity it
+//! touches (fork/join edges connect the two threads). Events of
+//! distinct epochs are independent under HB, SHB and MAZ — no clock,
+//! lock clock, last-write clock or access history is shared — so each
+//! epoch can be timestamped and race-checked on its own worker thread,
+//! against state *moved out* of the parent detector, and moved back at
+//! the epoch barrier. The merged result is **identical** to sequential
+//! feeding: same per-event timestamps, same race report (including
+//! stored order and the stored-race cap), same checkpoint. The
+//! conformance sweep's `CheckKind::Parallel` pass enforces this on
+//! every quick-corpus case, for all three orders × three backends.
+//!
+//! The scheduler is conservative: whenever parallel feeding *could*
+//! diverge from sequential — eviction configured or already performed,
+//! an event referencing a retired thread (a [`FeedError`] sequentially),
+//! fewer than two epochs, or a frame too small to pay for the barrier —
+//! it signals the caller to fall back to the sequential path instead.
+//! The parallel path therefore never fails mid-frame.
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use tc_analysis::Race;
+use tc_core::{ClockPool, LogicalClock, ThreadId, VectorTime};
+use tc_trace::{Event, LockId, Op, VarId};
+
+use crate::detector::{DetectorConfig, FeedError, IncrementalDetector};
+
+/// Default minimum frame size before the scheduler attempts an epoch
+/// split: below this the barrier costs more than the parallelism pays.
+pub const DEFAULT_MIN_PARALLEL_FRAME: usize = 128;
+
+// ---------------------------------------------------------------------
+// Epoch partitioning
+// ---------------------------------------------------------------------
+
+/// One epoch of a frame: a closed set of threads/locks/variables plus
+/// the frame's events over them, tagged with their frame positions.
+pub(crate) struct Epoch {
+    pub(crate) tids: Vec<ThreadId>,
+    pub(crate) locks: Vec<LockId>,
+    pub(crate) vars: Vec<VarId>,
+    /// `(frame index, event)` in frame order.
+    pub(crate) events: Vec<(u32, Event)>,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+enum Key {
+    Thread(u32),
+    Lock(u32),
+    Var(u32),
+}
+
+struct UnionFind {
+    parent: Vec<u32>,
+}
+
+impl UnionFind {
+    fn push(&mut self) -> u32 {
+        let i = self.parent.len() as u32;
+        self.parent.push(i);
+        i
+    }
+
+    fn find(&mut self, mut i: u32) -> u32 {
+        while self.parent[i as usize] != i {
+            let gp = self.parent[self.parent[i as usize] as usize];
+            self.parent[i as usize] = gp;
+            i = gp;
+        }
+        i
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra as usize] = rb;
+        }
+    }
+}
+
+/// Splits a frame into its epochs (in order of first appearance).
+/// Entities are interned through a map, so adversarially huge raw ids
+/// cost a hash entry, not an array.
+pub(crate) fn partition_frame(events: &[Event]) -> Vec<Epoch> {
+    let mut index: HashMap<Key, u32> = HashMap::new();
+    let mut uf = UnionFind { parent: Vec::new() };
+    let mut intern =
+        |uf: &mut UnionFind, key: Key| -> u32 { *index.entry(key).or_insert_with(|| uf.push()) };
+
+    let mut keys: Vec<(Key, u32)> = Vec::new();
+    let mut seen_key = |uf: &mut UnionFind, keys: &mut Vec<(Key, u32)>, key: Key| -> u32 {
+        let before = uf.parent.len();
+        let i = intern(uf, key);
+        if uf.parent.len() > before {
+            keys.push((key, i));
+        }
+        i
+    };
+
+    for e in events {
+        let a = seen_key(&mut uf, &mut keys, Key::Thread(e.tid.raw()));
+        let b = match e.op {
+            Op::Read(x) | Op::Write(x) => seen_key(&mut uf, &mut keys, Key::Var(x.raw())),
+            Op::Acquire(l) | Op::Release(l) => seen_key(&mut uf, &mut keys, Key::Lock(l.raw())),
+            Op::Fork(u) | Op::Join(u) => seen_key(&mut uf, &mut keys, Key::Thread(u.raw())),
+        };
+        uf.union(a, b);
+    }
+
+    // Number the epochs by first event appearance, for determinism.
+    let mut epoch_of_root: HashMap<u32, usize> = HashMap::new();
+    let mut epochs: Vec<Epoch> = Vec::new();
+    for (pos, e) in events.iter().enumerate() {
+        let i = intern(&mut uf, Key::Thread(e.tid.raw()));
+        let root = uf.find(i);
+        let epoch = *epoch_of_root.entry(root).or_insert_with(|| {
+            epochs.push(Epoch {
+                tids: Vec::new(),
+                locks: Vec::new(),
+                vars: Vec::new(),
+                events: Vec::new(),
+            });
+            epochs.len() - 1
+        });
+        epochs[epoch].events.push((pos as u32, *e));
+    }
+    for (key, i) in keys {
+        let root = uf.find(i);
+        let epoch = epoch_of_root[&root];
+        match key {
+            Key::Thread(t) => epochs[epoch].tids.push(ThreadId::new(t)),
+            Key::Lock(l) => epochs[epoch].locks.push(LockId::new(l)),
+            Key::Var(x) => epochs[epoch].vars.push(VarId::new(x)),
+        }
+    }
+    epochs
+}
+
+// ---------------------------------------------------------------------
+// The epoch worker pool
+// ---------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolState {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A small shared pool of epoch workers. Shards are scattered onto it
+/// at each frame's epoch split and gathered at the barrier; while
+/// waiting, the submitting thread drains the queue itself, so a pool
+/// with **zero** workers is valid (everything runs inline on the
+/// submitter) and a pool shared by many sessions cannot deadlock.
+pub struct EpochPool {
+    state: Arc<PoolState>,
+    handles: Vec<thread::JoinHandle<()>>,
+    workers: usize,
+}
+
+impl std::fmt::Debug for EpochPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EpochPool")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+impl EpochPool {
+    /// Creates a pool with `workers` dedicated threads (0 is valid:
+    /// epochs then run inline on the submitting thread, preserving the
+    /// exact parallel-path semantics with no extra threads).
+    pub fn new(workers: usize) -> Self {
+        let state = Arc::new(PoolState {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let state = Arc::clone(&state);
+                thread::Builder::new()
+                    .name(format!("tc-epoch-{i}"))
+                    .spawn(move || loop {
+                        let job = {
+                            let mut q = state.queue.lock().expect("epoch queue poisoned");
+                            loop {
+                                if state.shutdown.load(Ordering::Acquire) {
+                                    return;
+                                }
+                                if let Some(job) = q.pop_front() {
+                                    break job;
+                                }
+                                q = state.available.wait(q).expect("epoch queue poisoned");
+                            }
+                        };
+                        job();
+                    })
+                    .expect("spawning an epoch worker")
+            })
+            .collect();
+        EpochPool {
+            state,
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of dedicated worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    fn push(&self, job: Job) {
+        let mut q = self.state.queue.lock().expect("epoch queue poisoned");
+        q.push_back(job);
+        drop(q);
+        self.state.available.notify_one();
+    }
+
+    /// Runs one queued job on the calling thread; `false` if the queue
+    /// was empty.
+    fn try_run_one(&self) -> bool {
+        let job = {
+            let mut q = self.state.queue.lock().expect("epoch queue poisoned");
+            q.pop_front()
+        };
+        match job {
+            Some(job) => {
+                job();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Drop for EpochPool {
+    fn drop(&mut self) {
+        self.state.shutdown.store(true, Ordering::Release);
+        self.state.available.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// The gather side of one frame's scatter: result slots plus a
+/// countdown the submitter waits on (draining the queue meanwhile).
+struct Barrier<T> {
+    slots: Mutex<Vec<Option<T>>>,
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl<T> Barrier<T> {
+    fn new(n: usize) -> Self {
+        Barrier {
+            slots: Mutex::new((0..n).map(|_| None).collect()),
+            remaining: Mutex::new(n),
+            done: Condvar::new(),
+        }
+    }
+
+    fn complete(&self, index: usize, value: Option<T>) {
+        if let Some(v) = value {
+            self.slots.lock().expect("barrier poisoned")[index] = Some(v);
+        }
+        let mut remaining = self.remaining.lock().expect("barrier poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+struct ShardDone<C: LogicalClock> {
+    shard: IncrementalDetector<C>,
+    /// `(frame index, race)` pairs in the shard's feed order.
+    races: Vec<(u32, Race)>,
+    /// `(frame index, post-event timestamp of the acting thread)`.
+    stamps: Vec<(u32, VectorTime)>,
+}
+
+// ---------------------------------------------------------------------
+// The frame scheduler
+// ---------------------------------------------------------------------
+
+/// Tries to feed a whole frame through the epoch-parallel path.
+///
+/// Returns `None` — *without having touched the detector* — when the
+/// frame must be fed sequentially instead: eviction configured or
+/// already active, a reference to a retired thread (sequentially a
+/// [`FeedError`]), fewer than two epochs, or fewer than `min_events`
+/// events. On `Some`, the detector state is exactly as if every event
+/// had been fed sequentially; the returned races are what sequential
+/// `feed` calls would have returned across the frame, and the
+/// timestamps (when `collect_timestamps`) are each event's post-event
+/// acting-thread timestamp in frame order.
+pub(crate) fn try_feed_frame_parallel<C>(
+    det: &mut IncrementalDetector<C>,
+    events: &[Event],
+    workers: &EpochPool,
+    min_events: usize,
+    shard_pools: &mut Vec<ClockPool<C>>,
+    collect_timestamps: bool,
+) -> Option<(Vec<Race>, Vec<VectorTime>)>
+where
+    C: LogicalClock + Send + 'static,
+{
+    if events.len() < min_events.max(2) || det.config().evict_every.is_some() || det.evicted() > 0 {
+        return None;
+    }
+    // Pre-scan: any event that would be a FeedError sequentially (a
+    // reference to a thread retired before the frame, or retired by an
+    // earlier in-frame join) forces the sequential path, so shards
+    // below cannot fail.
+    let retire = det.config().retire_on_join;
+    let mut joined: Vec<ThreadId> = Vec::new();
+    for e in events {
+        let target = match e.op {
+            Op::Fork(u) | Op::Join(u) => Some(u),
+            _ => None,
+        };
+        for t in [Some(e.tid), target].into_iter().flatten() {
+            if det.is_thread_retired(t) || joined.contains(&t) {
+                return None;
+            }
+        }
+        if retire {
+            if let Op::Join(u) = e.op {
+                joined.push(u);
+            }
+        }
+    }
+
+    let epochs = partition_frame(events);
+    if epochs.len() < 2 {
+        return None;
+    }
+
+    // Scatter: move each epoch's slice of the detector onto the pool.
+    let barrier = Arc::new(Barrier::<ShardDone<C>>::new(epochs.len()));
+    for (i, epoch) in epochs.iter().enumerate() {
+        let pool = shard_pools.pop().unwrap_or_default();
+        let mut shard = det.extract_shard(&epoch.tids, &epoch.locks, &epoch.vars, pool);
+        let epoch_events = epoch.events.clone();
+        let barrier = Arc::clone(&barrier);
+        workers.push(Box::new(move || {
+            let result = panic::catch_unwind(AssertUnwindSafe(|| {
+                let mut races = Vec::new();
+                let mut stamps = Vec::new();
+                for &(pos, e) in &epoch_events {
+                    let new = shard
+                        .feed(&e)
+                        .expect("pre-scanned epoch events cannot fail");
+                    races.extend(new.iter().map(|&r| (pos, r)));
+                    if collect_timestamps {
+                        stamps.push((pos, shard.timestamp_of(e.tid)));
+                    }
+                }
+                ShardDone {
+                    shard,
+                    races,
+                    stamps,
+                }
+            }));
+            barrier.complete(i, result.ok());
+        }));
+    }
+
+    // Gather: help drain the queue (ours or other sessions') until
+    // every shard reports in.
+    loop {
+        {
+            let remaining = barrier.remaining.lock().expect("barrier poisoned");
+            if *remaining == 0 {
+                break;
+            }
+        }
+        if !workers.try_run_one() {
+            let remaining = barrier.remaining.lock().expect("barrier poisoned");
+            if *remaining > 0 {
+                let _ = barrier
+                    .done
+                    .wait_timeout(remaining, Duration::from_millis(1))
+                    .expect("barrier poisoned");
+            }
+        }
+    }
+
+    // Merge at the barrier: state back in epoch order, races and
+    // timestamps back in frame order.
+    let mut slots = barrier.slots.lock().expect("barrier poisoned");
+    let mut all_races: Vec<(u32, Race)> = Vec::new();
+    let mut all_stamps: Vec<(u32, VectorTime)> = Vec::new();
+    for (epoch, slot) in epochs.iter().zip(slots.iter_mut()) {
+        let done = slot
+            .take()
+            .unwrap_or_else(|| panic!("an epoch shard panicked; the session state is lost"));
+        all_races.extend(done.races);
+        all_stamps.extend(done.stamps);
+        let pool = det.absorb_shard(done.shard, &epoch.tids, &epoch.locks, &epoch.vars);
+        shard_pools.push(pool);
+    }
+    drop(slots);
+    // Stable by frame position: distinct epochs never share a position
+    // and a single event's races stay in their found order.
+    all_races.sort_by_key(|&(pos, _)| pos);
+    all_stamps.sort_by_key(|&(pos, _)| pos);
+
+    let race_values: Vec<Race> = all_races.into_iter().map(|(_, r)| r).collect();
+    let new = det.commit_parallel_frame(events, &race_values).to_vec();
+    let stamps = all_stamps.into_iter().map(|(_, ts)| ts).collect();
+    Some((new, stamps))
+}
+
+// ---------------------------------------------------------------------
+// The public wrapper
+// ---------------------------------------------------------------------
+
+/// An [`IncrementalDetector`] fed frame-at-a-time, with each frame
+/// epoch-split across an [`EpochPool`] when profitable and fed
+/// sequentially otherwise — results are identical either way (see the
+/// [module docs](self)).
+pub struct ParallelDetector<C: LogicalClock + Send + 'static> {
+    inner: IncrementalDetector<C>,
+    workers: Arc<EpochPool>,
+    min_frame: usize,
+    shard_pools: Vec<ClockPool<C>>,
+    parallel_frames: u64,
+    sequential_frames: u64,
+}
+
+impl<C: LogicalClock + Send + 'static> ParallelDetector<C> {
+    /// Creates a detector that splits frames of at least `min_frame`
+    /// events across `workers`.
+    pub fn new(config: DetectorConfig, workers: Arc<EpochPool>, min_frame: usize) -> Self {
+        ParallelDetector {
+            inner: IncrementalDetector::new(config),
+            workers,
+            min_frame,
+            shard_pools: Vec::new(),
+            parallel_frames: 0,
+            sequential_frames: 0,
+        }
+    }
+
+    /// Wraps an existing detector (e.g. one resumed from a checkpoint).
+    pub fn from_detector(
+        inner: IncrementalDetector<C>,
+        workers: Arc<EpochPool>,
+        min_frame: usize,
+    ) -> Self {
+        ParallelDetector {
+            inner,
+            workers,
+            min_frame,
+            shard_pools: Vec::new(),
+            parallel_frames: 0,
+            sequential_frames: 0,
+        }
+    }
+
+    /// Feeds one frame, returning the newly stored races in frame
+    /// order — exactly what per-event [`IncrementalDetector::feed`]
+    /// calls would have returned.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FeedError`] the sequential path reports (the parallel path
+    /// never errors: frames that could are fed sequentially). The
+    /// failing event is skipped and the rest of the frame is fed, as a
+    /// service session would; the first error is returned.
+    pub fn feed_frame(&mut self, events: &[Event]) -> Result<Vec<Race>, FeedError> {
+        self.feed_frame_impl(events, false).map(|(races, _)| races)
+    }
+
+    /// [`feed_frame`](Self::feed_frame), also collecting each event's
+    /// post-event acting-thread timestamp (conformance/test instrument;
+    /// O(frame × threads) memory).
+    pub fn feed_frame_traced(
+        &mut self,
+        events: &[Event],
+    ) -> Result<(Vec<Race>, Vec<VectorTime>), FeedError> {
+        self.feed_frame_impl(events, true)
+    }
+
+    fn feed_frame_impl(
+        &mut self,
+        events: &[Event],
+        collect_timestamps: bool,
+    ) -> Result<(Vec<Race>, Vec<VectorTime>), FeedError> {
+        if let Some(result) = try_feed_frame_parallel(
+            &mut self.inner,
+            events,
+            &self.workers,
+            self.min_frame,
+            &mut self.shard_pools,
+            collect_timestamps,
+        ) {
+            self.parallel_frames += 1;
+            return Ok(result);
+        }
+        self.sequential_frames += 1;
+        let mut races = Vec::new();
+        let mut stamps = Vec::new();
+        let mut first_err = None;
+        for e in events {
+            match self.inner.feed(e) {
+                Ok(new) => races.extend(new.iter().copied()),
+                Err(err) => {
+                    if first_err.is_none() {
+                        first_err = Some(err);
+                    }
+                    continue;
+                }
+            }
+            if collect_timestamps {
+                stamps.push(self.inner.timestamp_of(e.tid));
+            }
+        }
+        match first_err {
+            Some(err) => Err(err),
+            None => Ok((races, stamps)),
+        }
+    }
+
+    /// The wrapped detector (report, checkpoint, stats).
+    pub fn detector(&self) -> &IncrementalDetector<C> {
+        &self.inner
+    }
+
+    /// Frames that took the epoch-parallel path.
+    pub fn parallel_frames(&self) -> u64 {
+        self.parallel_frames
+    }
+
+    /// Frames fed sequentially (too small, single-epoch, eviction, or
+    /// a retired-thread reference).
+    pub fn sequential_frames(&self) -> u64 {
+        self.sequential_frames
+    }
+
+    /// Unwraps the sequential detector, dropping the pool handle.
+    pub fn into_inner(self) -> IncrementalDetector<C> {
+        self.inner
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tc_core::TreeClock;
+    use tc_trace::TraceBuilder;
+
+    /// Four independent thread pairs: one epoch each.
+    fn four_epoch_trace() -> tc_trace::Trace {
+        let mut b = TraceBuilder::new();
+        for g in 0..4u32 {
+            let (t0, t1) = (2 * g, 2 * g + 1);
+            for _ in 0..8 {
+                b.write_id(t0, g);
+                b.read_id(t1, g);
+                b.acquire_id(t1, g);
+                b.release_id(t1, g);
+                b.write_id(t1, g);
+            }
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn partition_finds_independent_epochs() {
+        let trace = four_epoch_trace();
+        let events: Vec<Event> = trace.iter().copied().collect();
+        let epochs = partition_frame(&events);
+        assert_eq!(epochs.len(), 4);
+        assert_eq!(
+            epochs.iter().map(|p| p.events.len()).sum::<usize>(),
+            events.len()
+        );
+        for p in &epochs {
+            assert_eq!(p.tids.len(), 2);
+            assert_eq!(p.locks.len(), 1);
+            assert_eq!(p.vars.len(), 1);
+        }
+    }
+
+    #[test]
+    fn fork_join_and_shared_vars_merge_epochs() {
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1).write(1, "x").join(0, 1); // {t0, t1, x}
+        b.write(2, "x"); // x merges t2 in
+        b.write(3, "y"); // separate epoch
+        let events: Vec<Event> = b.finish().iter().copied().collect();
+        let epochs = partition_frame(&events);
+        assert_eq!(epochs.len(), 2);
+        assert_eq!(epochs[0].tids.len(), 3);
+        assert_eq!(epochs[0].events.len(), 4);
+    }
+
+    #[test]
+    fn parallel_frame_matches_sequential_exactly() {
+        let trace = four_epoch_trace();
+        let events: Vec<Event> = trace.iter().copied().collect();
+
+        for order in [
+            tc_orders::PartialOrderKind::Hb,
+            tc_orders::PartialOrderKind::Shb,
+            tc_orders::PartialOrderKind::Maz,
+        ] {
+            let config = DetectorConfig::for_order(order);
+            let mut seq = IncrementalDetector::<TreeClock>::new(config);
+            let mut seq_races = Vec::new();
+            let mut seq_stamps = Vec::new();
+            for e in &events {
+                seq_races.extend(seq.feed(e).unwrap().iter().copied());
+                seq_stamps.push(seq.timestamp_of(e.tid));
+            }
+
+            let workers = Arc::new(EpochPool::new(2));
+            let mut par = ParallelDetector::<TreeClock>::new(config, workers, 2);
+            let (par_races, par_stamps) = par.feed_frame_traced(&events).unwrap();
+
+            assert_eq!(par.parallel_frames(), 1, "{order:?} must split");
+            assert_eq!(par_races, seq_races, "{order:?} races");
+            assert_eq!(par_stamps, seq_stamps, "{order:?} timestamps");
+            assert_eq!(par.detector().report(), seq.report(), "{order:?} report");
+            assert_eq!(
+                format!("{:?}", par.detector().checkpoint()),
+                format!("{:?}", seq.checkpoint()),
+                "{order:?} checkpoint"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_worker_pool_runs_epochs_inline() {
+        let trace = four_epoch_trace();
+        let events: Vec<Event> = trace.iter().copied().collect();
+        let workers = Arc::new(EpochPool::new(0));
+        let mut par = ParallelDetector::<TreeClock>::new(DetectorConfig::default(), workers, 2);
+        let races = par.feed_frame(&events).unwrap();
+        assert_eq!(par.parallel_frames(), 1);
+
+        let mut seq = IncrementalDetector::<TreeClock>::new(DetectorConfig::default());
+        let mut seq_races = Vec::new();
+        for e in &events {
+            seq_races.extend(seq.feed(e).unwrap().iter().copied());
+        }
+        assert_eq!(races, seq_races);
+    }
+
+    #[test]
+    fn single_epoch_and_small_frames_fall_back() {
+        let mut b = TraceBuilder::new();
+        for i in 0..32u32 {
+            b.write_id(i % 4, 0); // every thread shares x0: one epoch
+        }
+        let events: Vec<Event> = b.finish().iter().copied().collect();
+        let workers = Arc::new(EpochPool::new(1));
+        let mut par = ParallelDetector::<TreeClock>::new(DetectorConfig::default(), workers, 2);
+        par.feed_frame(&events).unwrap();
+        assert_eq!(par.parallel_frames(), 0);
+        assert_eq!(par.sequential_frames(), 1);
+        assert_eq!(par.detector().events(), events.len() as u64);
+
+        // A frame below min_frame also falls back, even if splittable.
+        let mut b = TraceBuilder::new();
+        b.write(0, "x").write(1, "y");
+        let small: Vec<Event> = b.finish().iter().copied().collect();
+        let workers = Arc::new(EpochPool::new(1));
+        let mut par = ParallelDetector::<TreeClock>::new(DetectorConfig::default(), workers, 64);
+        par.feed_frame(&small).unwrap();
+        assert_eq!(par.sequential_frames(), 1);
+    }
+
+    #[test]
+    fn frames_with_retired_references_fall_back_and_report_the_error() {
+        let workers = Arc::new(EpochPool::new(1));
+        let mut par = ParallelDetector::<TreeClock>::new(DetectorConfig::default(), workers, 2);
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1).write(1, "x").join(0, 1);
+        b.write(2, "y").write(3, "z");
+        par.feed_frame(&b.finish().iter().copied().collect::<Vec<_>>())
+            .unwrap();
+        // t1 is retired; a frame referencing it is sequential + error.
+        let mut b = TraceBuilder::new();
+        b.write(1, "x").write(2, "y").write(3, "z");
+        let err = par
+            .feed_frame(&b.finish().iter().copied().collect::<Vec<_>>())
+            .unwrap_err();
+        assert!(matches!(err, FeedError::RetiredThread { .. }));
+        // The other events of the frame were still ingested.
+        assert_eq!(par.detector().events(), 5 + 2);
+    }
+
+    #[test]
+    fn shard_pools_recycle_across_frames() {
+        let trace = four_epoch_trace();
+        let events: Vec<Event> = trace.iter().copied().collect();
+        let workers = Arc::new(EpochPool::new(2));
+        let mut par = ParallelDetector::<TreeClock>::new(DetectorConfig::default(), workers, 2);
+        par.feed_frame(&events).unwrap();
+        let pooled_after_first: usize = par.shard_pools.len();
+        assert!(pooled_after_first > 0, "shards must return their pools");
+        par.feed_frame(&events).unwrap();
+        assert_eq!(par.parallel_frames(), 2);
+        assert_eq!(par.shard_pools.len(), pooled_after_first);
+    }
+}

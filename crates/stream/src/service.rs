@@ -57,16 +57,17 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use tc_orders::PartialOrderKind;
-use tc_trace::wire::{self, FRAME_MAGIC};
+use tc_trace::wire::{self, WireMessage, FRAME_MAGIC, MULTI_MAGIC};
 use tc_trace::Event;
 
 use crate::detector::DetectorConfig;
+use crate::parallel::{EpochPool, DEFAULT_MIN_PARALLEL_FRAME};
 use crate::session::{ClockChoice, Session};
 
 /// Configuration of [`Server::start`].
@@ -77,6 +78,10 @@ pub struct ServeConfig {
     pub addr: String,
     /// Worker threads draining session work queues.
     pub workers: usize,
+    /// Epoch workers shared by every session for intra-session
+    /// parallel frame detection (0 disables the parallel path; each
+    /// session then feeds frames sequentially).
+    pub parallel: usize,
 }
 
 impl Default for ServeConfig {
@@ -84,6 +89,7 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 4,
+            parallel: 0,
         }
     }
 }
@@ -109,8 +115,89 @@ enum ItemKind {
     /// A pre-formatted reply to forward verbatim (used to keep
     /// handshake replies ordered behind in-flight work).
     Write(String),
+    /// Fold this session's counters into a `stats-all` aggregation.
+    Stats(StatsTicket),
     /// Tear the session down (its home connection went away).
     Close,
+}
+
+/// A `stats-all` aggregation in flight. The I/O thread queues one
+/// [`ItemKind::Stats`] per session the connection opened; each rides
+/// *behind* that session's pending frames, so the aggregate reflects
+/// everything sent before the `stats-all` line — the fan-in client's
+/// single synchronization point. Whichever worker folds the last
+/// session in writes the one reply.
+struct AggregateStats {
+    remaining: AtomicUsize,
+    sessions: usize,
+    events: AtomicU64,
+    rejected: AtomicU64,
+    races: AtomicU64,
+}
+
+impl AggregateStats {
+    fn new(sessions: usize) -> AggregateStats {
+        AggregateStats {
+            remaining: AtomicUsize::new(sessions),
+            sessions,
+            events: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            races: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one session's counters; `true` when this was the last
+    /// outstanding session and the reply must be written.
+    fn fold(&self, events: u64, rejected: u64, races: u64) -> bool {
+        self.events.fetch_add(events, Ordering::Relaxed);
+        self.rejected.fetch_add(rejected, Ordering::Relaxed);
+        self.races.fetch_add(races, Ordering::Relaxed);
+        self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    /// One session vanished before folding (closed mid-aggregation);
+    /// `true` when that decrement was the last one.
+    fn skip(&self) -> bool {
+        self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "ok stats-all sessions={} events={} rejected={} races={}\n",
+            self.sessions,
+            self.events.load(Ordering::Relaxed),
+            self.rejected.load(Ordering::Relaxed),
+            self.races.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// One session's share of a `stats-all` aggregation. Folding marks the
+/// ticket spent; an *unspent* ticket dropped on any path — its session
+/// closed before the item ran, the enqueue failed, a worker discarded
+/// the queue tail after `close` — still decrements in `Drop`, so the
+/// client blocking on the single reply can never hang.
+struct StatsTicket {
+    agg: Arc<AggregateStats>,
+    conn: Arc<ConnShared>,
+    folded: bool,
+}
+
+impl StatsTicket {
+    fn fold(&mut self, events: u64, rejected: u64, races: u64) {
+        self.folded = true;
+        if self.agg.fold(events, rejected, races) {
+            let _ = self.conn.write_reply(self.agg.render().as_bytes());
+        }
+    }
+}
+
+impl Drop for StatsTicket {
+    fn drop(&mut self) {
+        if !self.folded && self.agg.skip() {
+            let _ = self.conn.write_reply(self.agg.render().as_bytes());
+        }
+    }
 }
 
 struct WorkItem {
@@ -174,6 +261,9 @@ struct ServiceShared {
     work_cv: Condvar,
     shutdown: AtomicBool,
     next_session: AtomicU64,
+    /// The epoch-worker pool every session shares for intra-frame
+    /// parallel detection; `None` when `ServeConfig::parallel == 0`.
+    epoch_workers: Option<Arc<EpochPool>>,
 }
 
 impl ServiceShared {
@@ -235,6 +325,7 @@ impl Server {
             work_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
             next_session: AtomicU64::new(1),
+            epoch_workers: (config.parallel > 0).then(|| Arc::new(EpochPool::new(config.parallel))),
         });
 
         let mut workers = Vec::with_capacity(worker_count);
@@ -380,6 +471,11 @@ fn process_item(session: &mut Session, item: WorkItem, closed: &mut bool) {
         }
         ItemKind::Frame(events) => session.handle_frame(&events, &mut out),
         ItemKind::Write(reply) => out = reply,
+        ItemKind::Stats(mut ticket) => ticket.fold(
+            session.detector().events(),
+            session.rejected(),
+            session.detector().report().total,
+        ),
         ItemKind::Close => *closed = true,
     }
     if let Some(conn) = &item.conn {
@@ -514,23 +610,29 @@ fn parse_messages(conn: &mut Conn, shared: &ServiceShared) -> bool {
         if buf.is_empty() {
             break;
         }
-        if buf[0] == FRAME_MAGIC {
+        if buf[0] == FRAME_MAGIC || buf[0] == MULTI_MAGIC {
             flush_text(conn, shared, &mut text_block);
-            match wire::try_frame(buf) {
+            match wire::try_message(buf) {
                 Ok(None) => break, // partial frame: wait for more bytes
-                Ok(Some((frame, used))) => {
+                Ok(Some((message, used))) => {
                     consumed += used;
-                    let delivered = shared.enqueue(
-                        frame.session,
-                        WorkItem {
-                            kind: ItemKind::Frame(frame.events),
-                            conn: Some(Arc::clone(&conn.shared)),
-                        },
-                    );
-                    if !delivered {
-                        let _ = conn.shared.write_reply(
-                            format!("err unknown session {}\n", frame.session).as_bytes(),
+                    let frames = match message {
+                        WireMessage::Single(frame) => vec![frame],
+                        WireMessage::Multi(frames) => frames,
+                    };
+                    for frame in frames {
+                        let delivered = shared.enqueue(
+                            frame.session,
+                            WorkItem {
+                                kind: ItemKind::Frame(frame.events),
+                                conn: Some(Arc::clone(&conn.shared)),
+                            },
                         );
+                        if !delivered {
+                            let _ = conn.shared.write_reply(
+                                format!("err unknown session {}\n", frame.session).as_bytes(),
+                            );
+                        }
                     }
                 }
                 Err(e) => {
@@ -597,6 +699,7 @@ fn flush_text(conn: &Conn, shared: &ServiceShared, block: &mut String) {
 /// `true` for the lines the I/O thread answers itself.
 fn is_handshake(line: &str) -> bool {
     line == "shutdown"
+        || line == "stats-all"
         || line.starts_with("open ")
         || line == "open"
         || line.starts_with("resume ")
@@ -615,6 +718,10 @@ fn handle_handshake(conn: &mut Conn, shared: &ServiceShared, line: &str) -> bool
     if line == "shutdown" {
         reply_ordered(conn, shared, prev, "ok shutting-down\n".to_owned());
         shared.request_shutdown();
+        return true;
+    }
+    if line == "stats-all" {
+        handle_stats_all(conn, shared);
         return true;
     }
     let parts: Vec<&str> = line.split_whitespace().collect();
@@ -676,9 +783,51 @@ fn handle_handshake(conn: &mut Conn, shared: &ServiceShared, line: &str) -> bool
     true
 }
 
+/// `stats-all`: one aggregated reply over every session this
+/// connection opened. Each session folds its counters in *behind* its
+/// own pending work, so the aggregate reflects everything the client
+/// sent before this line — a fan-in driver synchronizes all of its
+/// sessions in a single round-trip instead of one `use <id>` + `stats`
+/// exchange per session.
+fn handle_stats_all(conn: &Conn, shared: &ServiceShared) {
+    let live: Vec<u64> = {
+        let reg = shared.registry.lock().expect("registry lock");
+        conn.opened
+            .iter()
+            .copied()
+            .filter(|id| reg.contains_key(id))
+            .collect()
+    };
+    if live.is_empty() {
+        let _ = conn
+            .shared
+            .write_reply(AggregateStats::new(0).render().as_bytes());
+        return;
+    }
+    let agg = Arc::new(AggregateStats::new(live.len()));
+    for id in live {
+        // A failed enqueue (the session raced a close) drops the
+        // ticket, which decrements in `Drop`.
+        shared.enqueue(
+            id,
+            WorkItem {
+                kind: ItemKind::Stats(StatsTicket {
+                    agg: Arc::clone(&agg),
+                    conn: Arc::clone(&conn.shared),
+                    folded: false,
+                }),
+                conn: None,
+            },
+        );
+    }
+}
+
 /// Inserts a fresh session into the registry and binds the connection
 /// to it.
-fn register(conn: &mut Conn, shared: &ServiceShared, id: u64, session: Session) {
+fn register(conn: &mut Conn, shared: &ServiceShared, id: u64, mut session: Session) {
+    if let Some(pool) = &shared.epoch_workers {
+        session.enable_parallel(Arc::clone(pool), DEFAULT_MIN_PARALLEL_FRAME);
+    }
     shared.registry.lock().expect("registry lock").insert(
         id,
         SessionSlot {
@@ -874,15 +1023,55 @@ impl Client {
         Ok(reply.trim_end().to_owned())
     }
 
-    /// Sends one binary event frame for `session` without waiting for
-    /// a reply (frames are silent on success).
+    /// Sends binary event frames for `session` without waiting for a
+    /// reply (frames are silent on success). Batches too large for one
+    /// frame are split automatically.
     ///
     /// # Errors
     ///
     /// I/O failures as strings.
     pub fn send_frame(&mut self, session: u64, events: &[Event]) -> Result<(), String> {
-        let bytes = wire::encode_frame(session, events);
+        for bytes in wire::encode_frames(session, events) {
+            self.writer.write_all(&bytes).map_err(|e| e.to_string())?;
+        }
+        Ok(())
+    }
+
+    /// Sends one multi-session wire message — a batch of events per
+    /// session in a single frame, so a fan-in driver pays one sniff
+    /// and one length prefix per *round* across all of its sessions
+    /// instead of per session.
+    ///
+    /// # Errors
+    ///
+    /// Oversize messages and I/O failures, as strings.
+    pub fn send_multi_frame(&mut self, groups: &[(u64, &[Event])]) -> Result<(), String> {
+        let bytes = wire::encode_multi_frame(groups).map_err(|e| e.to_string())?;
         self.writer.write_all(&bytes).map_err(|e| e.to_string())
+    }
+
+    /// `stats-all`: a single round-trip aggregating every session this
+    /// connection opened. Returns `(sessions, events, rejected,
+    /// races)` — the fan-in driver's one synchronization point.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and malformed replies, as strings.
+    pub fn stats_all(&mut self) -> Result<(u64, u64, u64, u64), String> {
+        let replies = self.request("stats-all")?;
+        let line = replies.last().expect("request returns the terminator");
+        let mut fields = [0u64; 4];
+        for (i, key) in ["sessions=", "events=", "rejected=", "races="]
+            .iter()
+            .enumerate()
+        {
+            fields[i] = line
+                .split_whitespace()
+                .find_map(|w| w.strip_prefix(key))
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("malformed stats-all reply `{line}`"))?;
+        }
+        Ok((fields[0], fields[1], fields[2], fields[3]))
     }
 
     /// Sends a command and reads reply lines up to (and including) the
@@ -1026,6 +1215,7 @@ pub fn smoke() -> Result<(), String> {
     let server = Server::start(ServeConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers: 2,
+        parallel: 2,
     })
     .map_err(|e| format!("cannot start server: {e}"))?;
     let addr = server.local_addr();

@@ -1,0 +1,199 @@
+//! Epoch-parallel equivalence properties (the ISSUE 7 satellite): for
+//! *any* interleaving of a frame's conflict-free epochs, feeding the
+//! frame through the [`ParallelDetector`] must yield per-event
+//! timestamps, returned races and a final report identical to feeding
+//! the very same event sequence through a sequential
+//! [`IncrementalDetector`] — across all three clock backends and all
+//! three partial orders. The degenerate single-epoch frame (nothing to
+//! split) must take the sequential fallback and still match.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use tc_analysis::Race;
+use tc_core::{HybridClock, LogicalClock, TreeClock, VectorClock};
+use tc_orders::PartialOrderKind;
+use tc_stream::{DetectorConfig, EpochPool, IncrementalDetector, ParallelDetector};
+use tc_trace::{Event, LockId, Op, ThreadId, VarId};
+
+/// A tiny deterministic generator (splitmix-style) so event shapes and
+/// interleavings derive reproducibly from proptest-chosen seeds.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self, bound: usize) -> usize {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((self.0 >> 33) as usize) % bound.max(1)
+    }
+}
+
+/// One conflict-free epoch: threads `2g` and `2g+1` touching *only*
+/// variable `g` and lock `g`, so distinct groups share no resource and
+/// the partitioner must place them in distinct epochs. Lock discipline
+/// holds by construction (acquire/write/release emitted adjacently by
+/// one thread), and any cross-group interleaving preserves it because
+/// interleaving keeps each group's internal order.
+fn group_events(g: u32, steps: usize, rng: &mut Rng) -> Vec<Event> {
+    let var = VarId::new(g);
+    let lock = LockId::new(g);
+    let mut events = Vec::new();
+    for _ in 0..steps {
+        let t = ThreadId::new(2 * g + rng.next(2) as u32);
+        match rng.next(4) {
+            0 => {
+                events.push(Event::new(t, Op::Acquire(lock)));
+                events.push(Event::new(t, Op::Write(var)));
+                events.push(Event::new(t, Op::Release(lock)));
+            }
+            1 => events.push(Event::new(t, Op::Read(var))),
+            _ => events.push(Event::new(t, Op::Write(var))),
+        }
+    }
+    events
+}
+
+/// Merges the groups' sequences under a seed-chosen interleaving,
+/// preserving each group's internal order (the only constraint a frame
+/// schedule must respect).
+fn interleave(groups: Vec<Vec<Event>>, rng: &mut Rng) -> Vec<Event> {
+    let mut queues: Vec<VecDeque<Event>> = groups.into_iter().map(VecDeque::from).collect();
+    let total = queues.iter().map(VecDeque::len).sum();
+    let mut frame = Vec::with_capacity(total);
+    while frame.len() < total {
+        let live: Vec<usize> = (0..queues.len())
+            .filter(|&q| !queues[q].is_empty())
+            .collect();
+        let q = live[rng.next(live.len())];
+        frame.push(queues[q].pop_front().expect("picked from a live queue"));
+    }
+    frame
+}
+
+/// Feeds `frame` sequentially and in parallel and asserts byte-equal
+/// results: per-event acting-thread timestamps, the races returned by
+/// the feed, and the final report. `expect_split` pins which path the
+/// scheduler must have taken.
+fn assert_parallel_matches_sequential<C: LogicalClock + Send + 'static>(
+    frame: &[Event],
+    order: PartialOrderKind,
+    workers: usize,
+    expect_split: bool,
+) {
+    let label = format!("{order}/{}/workers={workers}", C::NAME);
+    let config = DetectorConfig::for_order(order);
+
+    let mut seq = IncrementalDetector::<C>::new(config);
+    let mut seq_ts = Vec::with_capacity(frame.len());
+    let mut seq_races: Vec<Race> = Vec::new();
+    for e in frame {
+        let found = seq.feed(e).unwrap_or_else(|err| panic!("{label}: {err}"));
+        seq_races.extend(found.iter().cloned());
+        seq_ts.push(seq.timestamp_of(e.tid));
+    }
+
+    let mut par = ParallelDetector::<C>::new(config, Arc::new(EpochPool::new(workers)), 2);
+    let (par_races, par_ts) = par
+        .feed_frame_traced(frame)
+        .unwrap_or_else(|err| panic!("{label}: {err}"));
+
+    assert_eq!(par_ts, seq_ts, "{label}: per-event timestamps diverged");
+    assert_eq!(par_races, seq_races, "{label}: returned races diverged");
+    assert_eq!(
+        par.detector().report(),
+        seq.report(),
+        "{label}: final reports diverged"
+    );
+    if expect_split {
+        assert_eq!(
+            (par.parallel_frames(), par.sequential_frames()),
+            (1, 0),
+            "{label}: a multi-epoch frame must take the parallel path"
+        );
+    } else {
+        assert_eq!(
+            (par.parallel_frames(), par.sequential_frames()),
+            (0, 1),
+            "{label}: a single-epoch frame must fall back to sequential"
+        );
+    }
+}
+
+fn dispatch(frame: &[Event], order: PartialOrderKind, backend: usize, workers: usize, split: bool) {
+    match backend {
+        0 => assert_parallel_matches_sequential::<TreeClock>(frame, order, workers, split),
+        1 => assert_parallel_matches_sequential::<VectorClock>(frame, order, workers, split),
+        _ => assert_parallel_matches_sequential::<HybridClock>(frame, order, workers, split),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Any interleaving of a frame's epochs is equivalent to the
+    /// sequential feed of that exact sequence, on a random order ×
+    /// backend × worker count.
+    #[test]
+    fn epoch_interleavings_feed_identically(
+        groups in 2u32..6,
+        steps in 4usize..24,
+        seed in 0u64..100_000,
+        order_pick in 0usize..3,
+        backend_pick in 0usize..3,
+        workers in 1usize..5,
+    ) {
+        let mut rng = Rng(seed.wrapping_mul(2).wrapping_add(1));
+        let sequences: Vec<Vec<Event>> =
+            (0..groups).map(|g| group_events(g, steps, &mut rng)).collect();
+        let frame = interleave(sequences, &mut rng);
+        let order = PartialOrderKind::ALL[order_pick];
+        dispatch(&frame, order, backend_pick, workers, true);
+    }
+
+    /// The same frame under two different interleavings: both must
+    /// match their own sequential feed (the scheduler's merge cannot
+    /// depend on arrival order of independent epochs).
+    #[test]
+    fn reinterleaving_a_frame_changes_nothing(
+        seed in 0u64..100_000,
+        reshuffle in 1u64..50,
+        backend_pick in 0usize..3,
+    ) {
+        let mut rng = Rng(seed.wrapping_mul(2).wrapping_add(1));
+        let sequences: Vec<Vec<Event>> =
+            (0..4).map(|g| group_events(g, 12, &mut rng)).collect();
+        let first = interleave(sequences.clone(), &mut rng);
+        let mut rng2 = Rng(seed.wrapping_add(reshuffle));
+        let second = interleave(sequences, &mut rng2);
+        dispatch(&first, PartialOrderKind::Hb, backend_pick, 2, true);
+        dispatch(&second, PartialOrderKind::Hb, backend_pick, 2, true);
+    }
+}
+
+/// The forced degenerate case: every event conflicts on one variable,
+/// so the partitioner finds a single epoch and the detector must take
+/// the sequential fallback — with identical results.
+#[test]
+fn single_epoch_frames_fall_back_and_still_match() {
+    let mut rng = Rng(7);
+    let var = VarId::new(0);
+    let frame: Vec<Event> = (0..96)
+        .map(|_| {
+            let t = ThreadId::new(rng.next(6) as u32);
+            if rng.next(3) == 0 {
+                Event::new(t, Op::Read(var))
+            } else {
+                Event::new(t, Op::Write(var))
+            }
+        })
+        .collect();
+    for order in PartialOrderKind::ALL {
+        for backend in 0..3 {
+            dispatch(&frame, order, backend, 4, false);
+        }
+    }
+}

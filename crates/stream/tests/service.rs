@@ -9,11 +9,17 @@ use std::net::TcpStream;
 use tc_stream::{smoke, Client, ServeConfig, Server};
 use tc_trace::gen::WorkloadSpec;
 use tc_trace::wire;
+use tc_trace::{Event, Op, ThreadId, VarId};
 
 fn start() -> Server {
+    start_parallel(0)
+}
+
+fn start_parallel(epoch_workers: usize) -> Server {
     Server::start(ServeConfig {
         addr: "127.0.0.1:0".to_owned(),
         workers: 2,
+        parallel: epoch_workers,
     })
     .expect("bind on a free port")
 }
@@ -256,12 +262,198 @@ fn one_connection_fans_frames_into_many_sessions() {
     server.join();
 }
 
+/// A dense-id frame of `reps` rounds over four independent racy pairs
+/// (threads `2i`/`2i+1` on variable `i`) — four conflict-free epochs,
+/// so a parallel-enabled session takes the epoch-parallel path.
+fn epoch_frame(reps: usize) -> Vec<Event> {
+    let mut events = Vec::with_capacity(reps * 8);
+    for _ in 0..reps {
+        for pair in 0..4u32 {
+            events.push(Event::new(
+                ThreadId::new(2 * pair),
+                Op::Write(VarId::new(pair)),
+            ));
+            events.push(Event::new(
+                ThreadId::new(2 * pair + 1),
+                Op::Write(VarId::new(pair)),
+            ));
+        }
+    }
+    events
+}
+
+/// Starts a server with `epoch_workers` parallel workers, streams
+/// `frames` into one `hb tc` session, and returns the full `races`
+/// reply plus the `stats` line.
+fn drive_frames(epoch_workers: usize, frames: &[Vec<Event>]) -> (Vec<String>, String) {
+    let server = start_parallel(epoch_workers);
+    let mut client = Client::open(server.local_addr(), "hb tc").unwrap();
+    let id = client.session();
+    for frame in frames {
+        client.send_frame(id, frame).unwrap();
+    }
+    let races = client.request("races").unwrap();
+    let stats = client.request("stats").unwrap();
+    client.request("close").unwrap();
+    server.shutdown();
+    server.join();
+    (races, stats.last().unwrap().clone())
+}
+
+#[test]
+fn parallel_servers_agree_with_sequential_across_worker_counts() {
+    // The worker-count matrix the CI job sweeps: the epoch-parallel
+    // path must produce byte-identical race replies at any pool size,
+    // including the degenerate 1-worker pool.
+    let frames: Vec<Vec<Event>> = (0..4).map(|_| epoch_frame(32)).collect();
+    let (reference_races, reference_stats) = drive_frames(0, &frames);
+    assert!(
+        reference_stats.contains("parallel_frames=0"),
+        "{reference_stats}"
+    );
+    for epoch_workers in [1, 2, 8] {
+        let (races, stats) = drive_frames(epoch_workers, &frames);
+        assert_eq!(
+            races, reference_races,
+            "race replies diverged at {epoch_workers} epoch worker(s)"
+        );
+        assert!(
+            stats.contains(&format!("parallel_frames={}", frames.len())),
+            "{epoch_workers} worker(s): every frame has 4 epochs and \
+             256 events, all should go parallel — {stats}"
+        );
+    }
+}
+
+#[test]
+fn use_rebinding_across_connections_keeps_the_poll_cursor() {
+    // Regression (poll-cursor audit): a second connection attaching to
+    // a session via `use <id>` shares the session's poll watermark —
+    // races already delivered to the first connection must not be
+    // re-delivered, and races it drains must not reappear on the
+    // first connection's next poll.
+    let server = start();
+    let addr = server.local_addr();
+
+    let mut a = Client::open(addr, "hb tc").unwrap();
+    let id = a.session();
+    a.send("main w x").unwrap();
+    a.send("worker w x").unwrap();
+    let poll_a = a.request("poll").unwrap();
+    let delivered_a = poll_a.iter().filter(|l| l.starts_with("race ")).count();
+    assert_eq!(delivered_a, 1, "{poll_a:?}");
+
+    // Connection B opens its own session (left idle), then attaches to
+    // A's session and produces one more race there.
+    let mut b = Client::open(addr, "hb tc").unwrap();
+    let attach = b.request(&format!("use {id}")).unwrap();
+    assert!(attach.last().unwrap().contains("attached"), "{attach:?}");
+    b.send("t2 w x").unwrap();
+    let poll_b = b.request("poll").unwrap();
+    let delivered_b = poll_b.iter().filter(|l| l.starts_with("race ")).count();
+    let total: u64 = poll_b
+        .last()
+        .unwrap()
+        .split_whitespace()
+        .nth(2)
+        .and_then(|v| v.parse().ok())
+        .unwrap();
+    assert_eq!(
+        delivered_b as u64,
+        total - 1,
+        "B must only see races past A's watermark: {poll_b:?}"
+    );
+
+    // A's next poll starts from B's watermark: nothing new.
+    let poll_a2 = a.request("poll").unwrap();
+    assert_eq!(
+        poll_a2.iter().filter(|l| l.starts_with("race ")).count(),
+        0,
+        "{poll_a2:?}"
+    );
+    a.request("close").unwrap();
+    drop(b);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn multi_session_frames_and_stats_all_aggregate_in_one_round_trip() {
+    let server = start_parallel(2);
+    let addr = server.local_addr();
+
+    // An empty connection aggregates to zero without opening anything.
+    let mut bare = TcpStream::connect(addr).unwrap();
+    bare.write_all(b"stats-all\n").unwrap();
+    let mut line = String::new();
+    BufReader::new(bare.try_clone().unwrap())
+        .read_line(&mut line)
+        .unwrap();
+    assert_eq!(
+        line.trim_end(),
+        "ok stats-all sessions=0 events=0 rejected=0 races=0"
+    );
+    drop(bare);
+
+    // Three sessions fed round-robin through multi-session frames.
+    let traces: Vec<_> = (0..3).map(|i| wire_trace(200 + i)).collect();
+    let mut client = Client::open(addr, "hb tc").unwrap();
+    let ids = [
+        client.session(),
+        client.open_session("shb vc").unwrap(),
+        client.open_session("maz hc").unwrap(),
+    ];
+    let batches: Vec<Vec<_>> = traces
+        .iter()
+        .map(|t| t.events().chunks(64).collect())
+        .collect();
+    let rounds = batches.iter().map(Vec::len).max().unwrap();
+    for round in 0..rounds {
+        let groups: Vec<(u64, &[Event])> = ids
+            .iter()
+            .zip(&batches)
+            .filter_map(|(s, b)| b.get(round).map(|batch| (*s, *batch)))
+            .collect();
+        client.send_multi_frame(&groups).unwrap();
+    }
+
+    // One round-trip synchronizes all three sessions.
+    let (sessions, events, rejected, races) = client.stats_all().unwrap();
+    assert_eq!(sessions, 3);
+    assert_eq!(
+        events,
+        traces.iter().map(|t| t.len() as u64).sum::<u64>(),
+        "per-session FIFO order must survive the multi-frame fan-in"
+    );
+    assert_eq!(rejected, 0);
+
+    // The aggregate equals the sum of the per-session race totals.
+    let mut per_session = 0u64;
+    for s in ids {
+        client.request(&format!("use {s}")).unwrap();
+        let reply = client.request("races").unwrap();
+        per_session += reply
+            .last()
+            .unwrap()
+            .split_whitespace()
+            .nth(2)
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap();
+    }
+    assert_eq!(races, per_session);
+    client.request("close").unwrap();
+    server.shutdown();
+    server.join();
+}
+
 #[test]
 fn frames_for_unknown_sessions_error_without_killing_the_connection() {
     let server = start();
     let addr = server.local_addr();
     let mut stream = TcpStream::connect(addr).unwrap();
-    stream.write_all(&wire::encode_frame(4096, &[])).unwrap();
+    stream
+        .write_all(&wire::encode_frame(4096, &[]).unwrap())
+        .unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut line = String::new();
     reader.read_line(&mut line).unwrap();

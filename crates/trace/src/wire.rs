@@ -54,6 +54,13 @@ use crate::event::Event;
 /// by sniffing the first byte of each message.
 pub const FRAME_MAGIC: u8 = 0xF7;
 
+/// First byte of a multi-session frame: one length-prefixed message
+/// carrying event batches for *several* sessions (the fan-in shape —
+/// hundreds of tiny per-session batches share one header, one sniff
+/// and one parse). High bit set, like [`FRAME_MAGIC`], and distinct
+/// from it so `try_message` can dispatch on the first byte.
+pub const MULTI_MAGIC: u8 = 0xF6;
+
 /// Upper bound on a frame's payload length (16 MiB) — a corruption
 /// guard: a glitched length prefix must not make a server buffer
 /// gigabytes.
@@ -70,6 +77,13 @@ pub enum WireError {
     Io(io::Error),
     /// The bytes are not a valid frame.
     Corrupt(String),
+    /// An encode was asked to build a frame whose payload would exceed
+    /// [`MAX_FRAME_LEN`] — batch fewer events, or use [`encode_frames`]
+    /// which splits automatically.
+    Oversize {
+        /// The payload size that would have been produced.
+        bytes: usize,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -77,6 +91,11 @@ impl fmt::Display for WireError {
         match self {
             WireError::Io(e) => write!(f, "I/O error reading wire frame: {e}"),
             WireError::Corrupt(m) => write!(f, "corrupt wire frame: {m}"),
+            WireError::Oversize { bytes } => write!(
+                f,
+                "frame payload of {bytes} bytes exceeds the {MAX_FRAME_LEN}-byte cap \
+                 (batch fewer events or use encode_frames)"
+            ),
         }
     }
 }
@@ -85,7 +104,7 @@ impl Error for WireError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             WireError::Io(e) => Some(e),
-            WireError::Corrupt(_) => None,
+            WireError::Corrupt(_) | WireError::Oversize { .. } => None,
         }
     }
 }
@@ -105,40 +124,100 @@ pub struct Frame {
     pub events: Vec<Event>,
 }
 
-/// Encodes one frame carrying `events` for `session`.
-///
-/// # Panics
-///
-/// Panics if the encoded payload exceeds [`MAX_FRAME_LEN`] — callers
-/// control batch sizes; even the maximum batch a server accepts
-/// (~16 M single-byte-id events) stays under it.
-pub fn encode_frame(session: u64, events: &[Event]) -> Vec<u8> {
-    let mut payload = Vec::with_capacity(8 + events.len() * 3);
-    write_varint(&mut payload, session).expect("writing to a Vec cannot fail");
-    write_varint(&mut payload, events.len() as u64).expect("writing to a Vec cannot fail");
+/// Largest encoded event record: opcode byte plus two `u32` varints
+/// (≤ 5 bytes each).
+const MAX_EVENT_BYTES: usize = 11;
+
+/// Events per frame that are guaranteed to fit under [`MAX_FRAME_LEN`]
+/// even at worst-case varint widths (session id included) — the split
+/// size [`encode_frames`] uses.
+pub const MAX_SPLIT_EVENTS: usize = (MAX_FRAME_LEN - 15) / MAX_EVENT_BYTES;
+
+/// Appends one event batch (count varint + records) to `payload`.
+fn encode_batch(payload: &mut Vec<u8>, events: &[Event]) {
+    write_varint(payload, events.len() as u64).expect("writing to a Vec cannot fail");
     for e in events {
         let (code, operand) = opcode(e.op);
         payload.push(code);
-        write_varint(&mut payload, u64::from(e.tid.raw())).expect("writing to a Vec cannot fail");
-        write_varint(&mut payload, u64::from(operand)).expect("writing to a Vec cannot fail");
+        write_varint(payload, u64::from(e.tid.raw())).expect("writing to a Vec cannot fail");
+        write_varint(payload, u64::from(operand)).expect("writing to a Vec cannot fail");
     }
-    assert!(
-        payload.len() <= MAX_FRAME_LEN,
-        "wire frame payload of {} bytes exceeds MAX_FRAME_LEN — batch fewer events",
-        payload.len()
-    );
-    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
-    out.push(FRAME_MAGIC);
-    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
-    out.extend_from_slice(&payload);
-    out
 }
 
-/// Decodes a frame payload (the bytes after the header).
-fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
-    let mut r = payload;
-    let session = read_varint(&mut r).map_err(bin_err)?;
-    let count = read_varint(&mut r).map_err(bin_err)?;
+/// Wraps a finished payload in a magic byte + length header.
+fn seal(magic: u8, payload: Vec<u8>) -> Result<Vec<u8>, WireError> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(WireError::Oversize {
+            bytes: payload.len(),
+        });
+    }
+    let mut out = Vec::with_capacity(FRAME_HEADER_LEN + payload.len());
+    out.push(magic);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    Ok(out)
+}
+
+/// Encodes one frame carrying `events` for `session`.
+///
+/// # Errors
+///
+/// [`WireError::Oversize`] if the encoded payload would exceed
+/// [`MAX_FRAME_LEN`] — a misbehaving batch size must not abort the
+/// encoder side. Use [`encode_frames`] to split arbitrarily large
+/// batches automatically.
+pub fn encode_frame(session: u64, events: &[Event]) -> Result<Vec<u8>, WireError> {
+    let mut payload = Vec::with_capacity(8 + events.len() * 3);
+    write_varint(&mut payload, session).expect("writing to a Vec cannot fail");
+    encode_batch(&mut payload, events);
+    seal(FRAME_MAGIC, payload)
+}
+
+/// Encodes `events` for `session` as one or more frames, splitting the
+/// batch whenever a single frame would overflow [`MAX_FRAME_LEN`].
+/// Never fails; an empty batch encodes as one empty frame.
+pub fn encode_frames(session: u64, events: &[Event]) -> Vec<Vec<u8>> {
+    if events.is_empty() {
+        return vec![encode_frame(session, events).expect("an empty frame always fits")];
+    }
+    events
+        .chunks(MAX_SPLIT_EVENTS)
+        .map(|chunk| encode_frame(session, chunk).expect("a split chunk always fits"))
+        .collect()
+}
+
+/// Encodes one multi-session frame: `(session, events)` batches that
+/// share a single header. Sniffed by [`MULTI_MAGIC`]; decoded by
+/// [`try_message`] into one [`Frame`] per group.
+///
+/// # Frame layout
+///
+/// ```text
+/// magic    u8          0xF6 (MULTI_MAGIC)
+/// length   u32 LE      payload length in bytes (≤ MAX_FRAME_LEN)
+/// payload:
+///   groups  varint     number of (session, batch) groups
+///   groups × (session varint, count varint, count × event record)
+/// ```
+///
+/// # Errors
+///
+/// [`WireError::Oversize`] if the combined payload would exceed
+/// [`MAX_FRAME_LEN`] — split the group list and encode several
+/// multi-frames.
+pub fn encode_multi_frame(groups: &[(u64, &[Event])]) -> Result<Vec<u8>, WireError> {
+    let mut payload = Vec::with_capacity(8 + groups.len() * 16);
+    write_varint(&mut payload, groups.len() as u64).expect("writing to a Vec cannot fail");
+    for (session, events) in groups {
+        write_varint(&mut payload, *session).expect("writing to a Vec cannot fail");
+        encode_batch(&mut payload, events);
+    }
+    seal(MULTI_MAGIC, payload)
+}
+
+/// Decodes one event batch (count varint + records) from `r`.
+fn decode_events(r: &mut &[u8]) -> Result<Vec<Event>, WireError> {
+    let count = read_varint(r).map_err(bin_err)?;
     let count = usize::try_from(count)
         .ok()
         .filter(|&c| c <= MAX_FRAME_LEN)
@@ -148,8 +227,8 @@ fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
         let mut code = [0u8; 1];
         r.read_exact(&mut code)
             .map_err(|_| WireError::Corrupt("frame payload truncated mid-event".into()))?;
-        let tid = read_varint(&mut r).map_err(bin_err)?;
-        let operand = read_varint(&mut r).map_err(bin_err)?;
+        let tid = read_varint(r).map_err(bin_err)?;
+        let operand = read_varint(r).map_err(bin_err)?;
         let tid =
             u32::try_from(tid).map_err(|_| WireError::Corrupt("thread id overflows u32".into()))?;
         let operand = u32::try_from(operand)
@@ -159,13 +238,45 @@ fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
             decode_op(code[0], operand).map_err(bin_err)?,
         ));
     }
+    Ok(events)
+}
+
+/// Decodes a frame payload (the bytes after the header).
+fn decode_payload(payload: &[u8]) -> Result<Frame, WireError> {
+    let mut r = payload;
+    let session = read_varint(&mut r).map_err(bin_err)?;
+    let events = decode_events(&mut r)?;
     if !r.is_empty() {
         return Err(WireError::Corrupt(format!(
-            "{} trailing bytes after {count} events",
-            r.len()
+            "{} trailing bytes after {} events",
+            r.len(),
+            events.len()
         )));
     }
     Ok(Frame { session, events })
+}
+
+/// Decodes a multi-session frame payload into one [`Frame`] per group.
+fn decode_multi_payload(payload: &[u8]) -> Result<Vec<Frame>, WireError> {
+    let mut r = payload;
+    let groups = read_varint(&mut r).map_err(bin_err)?;
+    let groups = usize::try_from(groups)
+        .ok()
+        .filter(|&g| g <= MAX_FRAME_LEN)
+        .ok_or_else(|| WireError::Corrupt(format!("implausible group count {groups}")))?;
+    let mut frames = Vec::with_capacity(groups.min(1 << 16));
+    for _ in 0..groups {
+        let session = read_varint(&mut r).map_err(bin_err)?;
+        let events = decode_events(&mut r)?;
+        frames.push(Frame { session, events });
+    }
+    if !r.is_empty() {
+        return Err(WireError::Corrupt(format!(
+            "{} trailing bytes after {groups} groups",
+            r.len()
+        )));
+    }
+    Ok(frames)
 }
 
 /// Maps a binary-format error into the wire error space: inside a
@@ -247,6 +358,56 @@ pub fn try_frame(buf: &[u8]) -> Result<Option<(Frame, usize)>, WireError> {
     Ok(Some((frame, total)))
 }
 
+/// One decoded wire message: a single-session frame, or a
+/// multi-session frame's groups.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMessage {
+    /// A [`FRAME_MAGIC`] frame.
+    Single(Frame),
+    /// A [`MULTI_MAGIC`] frame, one entry per session group (in wire
+    /// order).
+    Multi(Vec<Frame>),
+}
+
+/// Like [`try_frame`], but accepts both frame kinds: dispatches on the
+/// first byte ([`FRAME_MAGIC`] or [`MULTI_MAGIC`]) and returns the
+/// decoded message plus the number of bytes it consumed.
+///
+/// # Errors
+///
+/// [`WireError::Corrupt`] as for [`try_frame`].
+pub fn try_message(buf: &[u8]) -> Result<Option<(WireMessage, usize)>, WireError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf[0] != FRAME_MAGIC && buf[0] != MULTI_MAGIC {
+        return Err(WireError::Corrupt(format!(
+            "bad frame magic 0x{:02x} (expected 0x{FRAME_MAGIC:02x} or 0x{MULTI_MAGIC:02x})",
+            buf[0]
+        )));
+    }
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Corrupt(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let total = FRAME_HEADER_LEN + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let payload = &buf[FRAME_HEADER_LEN..total];
+    let message = if buf[0] == FRAME_MAGIC {
+        WireMessage::Single(decode_payload(payload)?)
+    } else {
+        WireMessage::Multi(decode_multi_payload(payload)?)
+    };
+    Ok(Some((message, total)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,7 +426,7 @@ mod tests {
     #[test]
     fn frame_round_trips() {
         let events = sample_events();
-        let bytes = encode_frame(42, &events);
+        let bytes = encode_frame(42, &events).unwrap();
         let frame = read_frame(bytes.as_slice()).unwrap();
         assert_eq!(frame.session, 42);
         assert_eq!(frame.events, events);
@@ -273,7 +434,7 @@ mod tests {
 
     #[test]
     fn empty_frame_round_trips() {
-        let bytes = encode_frame(7, &[]);
+        let bytes = encode_frame(7, &[]).unwrap();
         assert_eq!(bytes.len(), FRAME_HEADER_LEN + 2);
         let frame = read_frame(bytes.as_slice()).unwrap();
         assert_eq!(frame.session, 7);
@@ -290,7 +451,7 @@ mod tests {
     #[test]
     fn try_frame_is_incremental() {
         let events = sample_events();
-        let bytes = encode_frame(3, &events);
+        let bytes = encode_frame(3, &events).unwrap();
         // Every proper prefix: not yet a frame.
         for cut in 0..bytes.len() {
             assert!(
@@ -330,7 +491,7 @@ mod tests {
 
     #[test]
     fn rejects_unknown_opcode() {
-        let mut bytes = encode_frame(1, &sample_events());
+        let mut bytes = encode_frame(1, &sample_events()).unwrap();
         // First event's opcode byte sits after the header + two
         // single-byte varints (session, count).
         bytes[FRAME_HEADER_LEN + 2] = 0x3f;
@@ -355,7 +516,7 @@ mod tests {
 
     #[test]
     fn rejects_trailing_garbage() {
-        let mut bytes = encode_frame(1, &sample_events());
+        let mut bytes = encode_frame(1, &sample_events()).unwrap();
         // Grow the declared length and append junk: decode must notice.
         let junk = [0u8, 0, 0];
         let new_len = (bytes.len() - FRAME_HEADER_LEN + junk.len()) as u32;
@@ -367,7 +528,7 @@ mod tests {
 
     #[test]
     fn truncated_reader_is_an_io_error() {
-        let bytes = encode_frame(5, &sample_events());
+        let bytes = encode_frame(5, &sample_events()).unwrap();
         let e = read_frame(&bytes[..bytes.len() - 1]).unwrap_err();
         assert!(matches!(e, WireError::Io(_)));
     }
@@ -381,7 +542,7 @@ mod tests {
             Event::new(ThreadId::new(1), Op::Read(VarId::new(300))),
             Event::new(ThreadId::new(200), Op::Acquire(LockId::new(2))),
         ];
-        let frame_bytes = encode_frame(0, &events);
+        let frame_bytes = encode_frame(0, &events).unwrap();
         let mut trace = TraceBuilder::with_capacity(2);
         for e in &events {
             trace.push(*e);
@@ -397,10 +558,100 @@ mod tests {
         let events: Vec<Event> = (0..1000)
             .map(|i| Event::new(ThreadId::new(i % 7), Op::Write(VarId::new(i))))
             .collect();
-        let bytes = encode_frame(u64::MAX, &events);
+        let bytes = encode_frame(u64::MAX, &events).unwrap();
         let frame = read_frame(bytes.as_slice()).unwrap();
         assert_eq!(frame.session, u64::MAX);
         assert_eq!(frame.events.len(), 1000);
         assert_eq!(frame.events, events);
+    }
+
+    /// Worst-case-width events: every varint in the record is 5 bytes.
+    fn wide_events(n: usize) -> Vec<Event> {
+        (0..n)
+            .map(|_| {
+                Event::new(
+                    ThreadId::new(u32::MAX - 1),
+                    Op::Write(VarId::new(u32::MAX - 1)),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn oversize_batch_is_an_error_not_a_panic() {
+        // Enough records that their bytes alone exceed the cap, so the
+        // overflow cannot hinge on session/count varint widths (at
+        // MAX_SPLIT_EVENTS + 1, a 1-byte session id leaves the payload
+        // one byte *under* the cap — the split headroom is 15 bytes).
+        let events = wide_events(MAX_FRAME_LEN / MAX_EVENT_BYTES + 1);
+        let e = encode_frame(9, &events).expect_err("past-cap batch must not encode");
+        assert!(matches!(e, WireError::Oversize { .. }), "got {e}");
+        assert!(e.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn encode_frames_splits_oversize_batches_and_round_trips() {
+        let events = wide_events(MAX_SPLIT_EVENTS + 7);
+        let frames = encode_frames(9, &events);
+        assert_eq!(frames.len(), 2);
+        let mut decoded = Vec::new();
+        for bytes in &frames {
+            let frame = read_frame(bytes.as_slice()).unwrap();
+            assert_eq!(frame.session, 9);
+            decoded.extend(frame.events);
+        }
+        assert_eq!(decoded, events);
+        // Small batches stay a single frame.
+        assert_eq!(encode_frames(9, &sample_events()).len(), 1);
+        assert_eq!(encode_frames(9, &[]).len(), 1);
+    }
+
+    #[test]
+    fn multi_frame_round_trips_through_try_message() {
+        let a = sample_events();
+        let b: Vec<Event> = (0..5)
+            .map(|i| Event::new(ThreadId::new(i), Op::Read(VarId::new(i))))
+            .collect();
+        let bytes = encode_multi_frame(&[(4, a.as_slice()), (17, b.as_slice()), (4, &[])]).unwrap();
+        assert_eq!(bytes[0], MULTI_MAGIC);
+        // Incremental: every proper prefix is incomplete.
+        for cut in 0..bytes.len() {
+            assert!(try_message(&bytes[..cut]).unwrap().is_none());
+        }
+        let (msg, used) = try_message(&bytes).unwrap().unwrap();
+        assert_eq!(used, bytes.len());
+        match msg {
+            WireMessage::Multi(frames) => {
+                assert_eq!(frames.len(), 3);
+                assert_eq!(
+                    frames[0],
+                    Frame {
+                        session: 4,
+                        events: a
+                    }
+                );
+                assert_eq!(
+                    frames[1],
+                    Frame {
+                        session: 17,
+                        events: b
+                    }
+                );
+                assert!(frames[2].events.is_empty());
+            }
+            other => panic!("expected a multi message, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_message_dispatches_on_the_magic_byte() {
+        let single = encode_frame(3, &sample_events()).unwrap();
+        let (msg, used) = try_message(&single).unwrap().unwrap();
+        assert_eq!(used, single.len());
+        assert!(matches!(msg, WireMessage::Single(f) if f.session == 3));
+        // `try_frame` keeps its stricter contract: single frames only.
+        let multi = encode_multi_frame(&[(1, &sample_events()[..])]).unwrap();
+        assert!(try_frame(&multi).unwrap_err().to_string().contains("magic"));
+        assert!(try_message(b"x").unwrap_err().to_string().contains("magic"));
     }
 }
