@@ -57,7 +57,13 @@ pub const SCHEMA: &str = "treeclocks/bench-baseline";
 /// `workers: 0` sequential baseline row), and the binary fan-in
 /// ingest cell now measures multi-session frames synchronized by one
 /// `stats-all` round trip instead of per-session `use`/`stats` pairs.
-pub const SCHEMA_VERSION: u64 = 4;
+///
+/// v5: added the `churn` record kind (spawn/join-churn memory cells:
+/// the same trace streamed with identity-based slot recycling on and
+/// off, with `recycled_slots` and both `peak_clock_bytes_on` /
+/// `peak_clock_bytes_off` columns), and the structured-family grid of
+/// `--full` now includes the `spawn-join-churn` scenario.
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// One measured cell of the baseline grid.
 #[derive(Clone, Debug)]
@@ -197,6 +203,77 @@ pub fn collect_calibration(mut progress: impl FnMut(&str)) -> Vec<CalibrationRec
                 seconds: m.seconds,
             });
         }
+    }
+    records
+}
+
+/// One spawn/join-churn memory cell: the same churn trace driven
+/// through the streaming detector twice — identity-based slot
+/// recycling on and off — recording the recycled-slot count and the
+/// peak clock footprint of each run. The paired peak columns are the
+/// baseline's bounded-memory evidence: with recycling on, clock width
+/// tracks the live-thread cap instead of the total spawn count.
+#[derive(Clone, Debug)]
+pub struct ChurnRecord {
+    /// Scenario name (`spawn-join-churn`).
+    pub scenario: String,
+    /// Total threads ever spawned across the trace.
+    pub total_threads: u32,
+    /// The configured live-width cap (workers per wave).
+    pub live_threads: u32,
+    /// Event count of the generated trace.
+    pub events: usize,
+    /// Wall time of the recycling-on streaming run.
+    pub seconds: f64,
+    /// Slots the recycling run reclaimed and rebound.
+    pub recycled_slots: u64,
+    /// Peak clock bytes with recycling on.
+    pub peak_clock_bytes_on: usize,
+    /// Peak clock bytes with recycling off (same trace, same backend).
+    pub peak_clock_bytes_off: usize,
+}
+
+/// Measures the spawn/join-churn memory cells: hybrid-backend
+/// streaming runs over churn traces whose total spawn count grows at a
+/// fixed live width, with recycling on and off.
+pub fn collect_churn(mut progress: impl FnMut(&str)) -> Vec<ChurnRecord> {
+    use tc_stream::{DetectorConfig, IncrementalDetector};
+    let live = 16u32;
+    let mut records = Vec::new();
+    // A 10x total-spawn growth at a fixed live width: the paired peak
+    // columns show recycling-on staying flat while recycling-off grows
+    // with the total-ever thread dimension.
+    for (total, events) in [(128u32, 20_000usize), (1280, 40_000)] {
+        progress(&format!("churn/{total}"));
+        let trace = tc_trace::gen::families::spawn_join_churn_sized(total, live, events, 0xC4A2);
+        let run = |recycle: bool| -> (f64, u64, usize) {
+            let config = DetectorConfig {
+                recycle_slots: recycle,
+                ..DetectorConfig::default()
+            };
+            let mut d = IncrementalDetector::<HybridClock>::new(config);
+            let start = std::time::Instant::now();
+            for e in &trace {
+                d.feed(e).expect("churn traces are well-formed");
+            }
+            (
+                start.elapsed().as_secs_f64(),
+                d.recycled_slots(),
+                d.peak_clock_bytes(),
+            )
+        };
+        let (seconds, recycled_slots, peak_on) = run(true);
+        let (_, _, peak_off) = run(false);
+        records.push(ChurnRecord {
+            scenario: "spawn-join-churn".to_owned(),
+            total_threads: total,
+            live_threads: live,
+            events: trace.len(),
+            seconds,
+            recycled_slots,
+            peak_clock_bytes_on: peak_on,
+            peak_clock_bytes_off: peak_off,
+        });
     }
     records
 }
@@ -399,6 +476,8 @@ pub struct BenchDoc {
     pub calibration: Vec<CalibrationRecord>,
     /// Epoch-parallel detection cells (`kind: "parallel"`).
     pub parallel: Vec<crate::parallel::ParallelRecord>,
+    /// Spawn/join-churn memory cells (`kind: "churn"`).
+    pub churn: Vec<ChurnRecord>,
 }
 
 /// Renders engine-only records as the schema-stable JSON document
@@ -481,6 +560,19 @@ pub fn to_json_doc(doc: &BenchDoc, mode: &str) -> String {
             ("events_per_sec", r.events_per_sec().into()),
         ])
     }));
+    records.extend(doc.churn.iter().map(|r| {
+        Value::obj([
+            ("kind", "churn".into()),
+            ("scenario", r.scenario.as_str().into()),
+            ("total_threads", r.total_threads.into()),
+            ("live_threads", r.live_threads.into()),
+            ("events", r.events.into()),
+            ("seconds", r.seconds.into()),
+            ("recycled_slots", r.recycled_slots.into()),
+            ("peak_clock_bytes_on", r.peak_clock_bytes_on.into()),
+            ("peak_clock_bytes_off", r.peak_clock_bytes_off.into()),
+        ])
+    }));
     let doc = Value::obj([
         ("schema", SCHEMA.into()),
         ("version", SCHEMA_VERSION.into()),
@@ -521,6 +613,8 @@ pub struct BaselineSummary {
     /// Best parallel-over-sequential events/sec ratio among parallel
     /// cells of the same backend (0.0 when the document has none).
     pub parallel_speedup: f64,
+    /// Spawn/join-churn memory records in the document.
+    pub churn: usize,
 }
 
 const REQUIRED_NUMS: [&str; 10] = [
@@ -570,7 +664,8 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
     let mut ingest_cells: Vec<(&str, f64, f64)> = Vec::new();
     // (backend, workers, events/sec) for the parallel speedup summary.
     let mut parallel_cells: Vec<(&str, f64, f64)> = Vec::new();
-    let (mut ingest, mut suite, mut calibration, mut parallel) = (0usize, 0usize, 0usize, 0usize);
+    let (mut ingest, mut suite, mut calibration, mut parallel, mut churn) =
+        (0usize, 0usize, 0usize, 0usize, 0usize);
     for (i, r) in records.iter().enumerate() {
         let field = |name: &str| {
             r.get(name)
@@ -653,6 +748,27 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
                 num_field("seconds")?;
                 let rate = num_field("events_per_sec")?;
                 parallel_cells.push((backend, workers, rate));
+                continue;
+            }
+            "churn" => {
+                churn += 1;
+                field("scenario")?
+                    .as_str()
+                    .ok_or_else(|| format!("record {i}: `scenario` is not a string"))?;
+                for name in [
+                    "total_threads",
+                    "live_threads",
+                    "events",
+                    "seconds",
+                    "recycled_slots",
+                    "peak_clock_bytes_on",
+                    "peak_clock_bytes_off",
+                ] {
+                    num_field(name)?; // rejects missing and negative values
+                }
+                if num_field("live_threads")? < 2.0 {
+                    return Err(format!("record {i}: churn `live_threads` must be >= 2"));
+                }
                 continue;
             }
             other => return Err(format!("record {i}: unknown record kind `{other}`")),
@@ -748,6 +864,7 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
         binary_speedup,
         parallel,
         parallel_speedup,
+        churn,
     })
 }
 
@@ -816,6 +933,16 @@ mod tests {
                     seconds: 0.02,
                 },
             ],
+            churn: vec![ChurnRecord {
+                scenario: "spawn-join-churn".into(),
+                total_threads: 128,
+                live_threads: 16,
+                events: 20_000,
+                seconds: 0.03,
+                recycled_slots: 100,
+                peak_clock_bytes_on: 40_000,
+                peak_clock_bytes_off: 300_000,
+            }],
         };
         let json = to_json_doc(&doc, "quick");
         let summary = validate(&json).expect("full documents must validate");
@@ -823,6 +950,7 @@ mod tests {
         assert_eq!(summary.suite, 1);
         assert_eq!(summary.calibration, 1);
         assert_eq!(summary.parallel, 2);
+        assert_eq!(summary.churn, 1);
         assert!(
             (summary.binary_speedup - 5.0).abs() < 1e-9,
             "binary at 5x text: {}",
@@ -850,6 +978,8 @@ mod tests {
         if bad != json {
             assert!(validate(&bad).unwrap_err().contains("backend"));
         }
+        let bad = json.replace("\"peak_clock_bytes_off\"", "\"peak_clock_bytes_of\"");
+        assert!(validate(&bad).unwrap_err().contains("peak_clock_bytes_off"));
     }
 
     #[test]
@@ -934,11 +1064,12 @@ mod tests {
         let scale = BaselineScale::full(true);
         assert!(scale.families);
         assert_eq!(scale.mode, "full-quick");
-        // The family grid adds exactly the five non-FIG10 scenarios.
+        // The family grid adds exactly the six non-FIG10 scenarios
+        // (the five structured families plus spawn/join churn).
         let non_fig10 = Scenario::ALL
             .into_iter()
             .filter(|s| !Scenario::FIG10.contains(s))
             .count();
-        assert_eq!(non_fig10, 5);
+        assert_eq!(non_fig10, 6);
     }
 }

@@ -36,7 +36,7 @@ pub mod runner;
 pub mod suite;
 pub mod tables;
 
-pub use baseline::{BaselineRecord, BaselineSummary, BenchDoc};
+pub use baseline::{BaselineRecord, BaselineSummary, BenchDoc, ChurnRecord};
 pub use ingest::{IngestRecord, IngestScale};
 pub use parallel::{ParallelRecord, ParallelScale};
 pub use runner::{ClockKind, Measurement, Mode};

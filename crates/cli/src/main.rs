@@ -413,7 +413,7 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
 /// Default output file of `tcr bench --json`. The number tracks the PR
 /// that produced the baseline, so the repository accumulates a
 /// `BENCH_*.json` perf trajectory over time.
-const BENCH_JSON_DEFAULT: &str = "BENCH_7.json";
+const BENCH_JSON_DEFAULT: &str = "BENCH_8.json";
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (flags, kv) = Flags::parse(args, &["out", "trace", "check"], &["json", "quick", "full"])?;
@@ -490,6 +490,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 parallel: tc_bench::parallel::collect(parallel_scale, |cell| {
                     eprintln!("bench: {cell}")
                 }),
+                churn: baseline::collect_churn(|cell| eprintln!("bench: {cell}")),
             }
         };
         let json = baseline::to_json_doc(&doc, mode);
@@ -498,8 +499,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         println!(
             "wrote {out}: {} record(s), {} configuration(s), tree <= vector wall time on {}, \
              hybrid within 2x of vector on {}, {} ingest / {} suite / {} calibration / {} \
-             parallel record(s), binary ingest at {:.1}x text, parallel detection at {:.2}x \
-             sequential",
+             parallel / {} churn record(s), binary ingest at {:.1}x text, parallel detection \
+             at {:.2}x sequential",
             summary.records,
             summary.configs,
             summary.tree_wins,
@@ -508,6 +509,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             summary.suite,
             summary.calibration,
             summary.parallel,
+            summary.churn,
             summary.binary_speedup,
             summary.parallel_speedup
         );
@@ -549,7 +551,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             "resume",
             "parallel",
         ],
-        &["no-retire"],
+        &["no-retire", "recycle"],
     )?;
     let [path] = flags.positional[..] else {
         return Err("stream requires exactly one FILE".into());
@@ -571,6 +573,10 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
         .map(|v| v.parse::<usize>().map_err(|_| "invalid --parallel"))
         .transpose()?
         .unwrap_or(0);
+    let recycle = value(&kv, "recycle").is_some();
+    if recycle && value(&kv, "no-retire").is_some() {
+        return Err("--recycle requires join retirement; drop --no-retire".into());
+    }
     let mut config = DetectorConfig {
         order,
         retire_on_join: value(&kv, "no-retire").is_none(),
@@ -578,6 +584,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             .map(|v| v.parse::<u64>().map_err(|_| "invalid --evict"))
             .transpose()?
             .map(|n| n.max(1)),
+        recycle_slots: recycle,
     };
 
     let mut reader = EventReader::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
@@ -586,7 +593,7 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             // The checkpoint *is* the configuration; silently running a
             // different order/backend/policy than the flags asked for
             // would mislabel results.
-            for conflicting in ["order", "clock", "evict", "no-retire"] {
+            for conflicting in ["order", "clock", "evict", "no-retire", "recycle"] {
                 if value(&kv, conflicting).is_some() {
                     return Err(format!(
                         "--resume restores the checkpoint's configuration; \
@@ -682,12 +689,17 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     );
     let _ = writeln!(
         out,
-        "memory: threads={} retired={} evicted={} live_clock_bytes={} pool_bytes={}",
+        "memory: threads={} retired={} evicted={} live_clock_bytes={} pool_bytes={} \
+         live_threads={} total_threads={} recycled_slots={} peak_clock_bytes={}",
         detector.threads_seen(),
         detector.retired_count(),
         detector.evicted(),
         detector.clock_bytes(),
         detector.pool_bytes(),
+        detector.live_threads(),
+        detector.total_threads(),
+        detector.recycled_slots(),
+        detector.peak_clock_bytes(),
     );
     Ok(())
 }
@@ -802,12 +814,17 @@ fn stream_parallel(
     );
     let _ = writeln!(
         out,
-        "memory: threads={} retired={} evicted={} live_clock_bytes={} pool_bytes={}",
+        "memory: threads={} retired={} evicted={} live_clock_bytes={} pool_bytes={} \
+         live_threads={} total_threads={} recycled_slots={} peak_clock_bytes={}",
         d.threads_seen(),
         d.retired_count(),
         d.evicted(),
         d.clock_bytes(),
         d.pool_bytes(),
+        d.live_threads(),
+        d.total_threads(),
+        d.recycled_slots(),
+        d.peak_clock_bytes(),
     );
     Ok(())
 }
@@ -900,13 +917,14 @@ USAGE:
   tcr bench [--json] [-o FILE] [--quick] [--full] [--trace FILE]
             [--check FILE]
   tcr stream FILE [--order hb|shb|maz] [--clock tc|vc|hc] [--limit N]
-             [--evict N] [--no-retire] [--checkpoint FILE]
+             [--evict N] [--no-retire] [--recycle] [--checkpoint FILE]
              [--checkpoint-every N] [--resume FILE] [--parallel N]
   tcr serve [--port P | --addr A] [--workers N]
             [--parallel-sessions N] [--smoke]
 
 Scenarios: single-lock, skewed-locks, star, pairwise, fork-join-tree,
-barrier-phases, pipeline, read-mostly, bursty-channels.
+barrier-phases, pipeline, read-mostly, bursty-channels,
+spawn-join-churn.
 Clocks: tc (tree), vc (vector), hc (adaptive flat/tree hybrid).
 Files ending in .tctr use the binary format; others the text format.
 
@@ -922,7 +940,7 @@ bench records the perf baseline: FIG10 scenarios x HB/SHB/MAZ x
 tree/vector/hybrid, with wall time, operation counts, VTWork/DSWork,
 peak clock bytes and pool telemetry. --full folds the five structured
 workload families into the grid (at a budgeted size). --json writes the
-schema-stable BENCH_7.json (or -o FILE), which additionally carries
+schema-stable BENCH_8.json (or -o FILE), which additionally carries
 ingest-throughput records (events/sec through the live serve socket
 path, text vs binary x single-session vs 1000-session fan-in via
 multi-session frames + stats-all), the 39-entry synthetic suite's
@@ -935,7 +953,10 @@ stream analyzes FILE incrementally (chunked reads, nothing
 materialized), printing races as they are found, with bounded memory:
 thread clocks retire to the pool at join, and --evict N releases
 dominated lock/variable clocks every N events (requires fork
-discipline). --checkpoint writes a resumable snapshot (periodically
+discipline). --recycle routes thread ids through an identity map so
+retired threads' clock slots are reused once every live clock
+dominates them — clock width stays O(live threads) under spawn/join
+churn, with identical races and timestamps. --checkpoint writes a resumable snapshot (periodically
 with --checkpoint-every); --resume FILE fast-forwards past a
 checkpoint's events and continues with byte-identical reports.
 --parallel N batches events into frames and splits each frame into
@@ -945,7 +966,7 @@ timestamps, higher throughput on epoch-rich traces.
 serve runs the multi-client analysis service: a nonblocking ingest
 core feeding a work-stealing worker pool, each session an independent
 streaming detector. Text protocol: `open <order> <clock> [evict <n>]
-[no-retire]` or `resume <checkpoint>`, then text-format event lines;
+[no-retire] [recycle]` or `resume <checkpoint>`, then text-format event lines;
 `poll`/`races` report found races, `stats` one key=value line,
 `timestamp <thread>`, `checkpoint <path>`, `use <id>` rebinds to an
 earlier session, `close`, `shutdown`; `stats-all` aggregates every

@@ -80,17 +80,26 @@ pub enum CheckKind {
     ///
     /// [`ParallelDetector`]: tc_stream::ParallelDetector
     Parallel,
+    /// Identity-recycling equivalence: a streaming detector with
+    /// generation-based slot recycling enabled must produce per-event
+    /// external-coordinate timestamps and a report identical to the
+    /// batch detector's, including across a mid-stream
+    /// checkpoint/restore that serializes the identity map. Runs on
+    /// fork-disciplined traces (the discipline under which slot
+    /// reclamation is value-preserving).
+    Recycling,
 }
 
 /// The check families every sweep case runs, in execution order
 /// (per partial order; the backend fan-out happens inside each).
-pub const CHECKS_PER_CASE: [CheckKind; 6] = [
+pub const CHECKS_PER_CASE: [CheckKind; 7] = [
     CheckKind::Timestamps,
     CheckKind::Reports,
     CheckKind::Metrics,
     CheckKind::Streaming,
     CheckKind::Wire,
     CheckKind::Parallel,
+    CheckKind::Recycling,
 ];
 
 impl fmt::Display for CheckKind {
@@ -102,6 +111,7 @@ impl fmt::Display for CheckKind {
             CheckKind::Streaming => "streaming",
             CheckKind::Wire => "wire",
             CheckKind::Parallel => "parallel",
+            CheckKind::Recycling => "recycling",
         })
     }
 }
@@ -132,6 +142,10 @@ pub struct CheckSummary {
     pub events: usize,
     /// Total races/reversible pairs reported across the three orders.
     pub races: u64,
+    /// Recycling differential passes that actually ran (3 backends per
+    /// fork-disciplined order; non-disciplined traces are skipped
+    /// because the recycling guard rejects them by design).
+    pub recycling_passes: usize,
 }
 
 fn fail(order: PartialOrderKind, check: CheckKind, detail: impl Into<String>) -> Failure {
@@ -483,6 +497,7 @@ fn stream_one_backend<C: tc_core::LogicalClock>(
         order: kind,
         retire_on_join: true,
         evict_every: if evict { Some(8) } else { None },
+        recycle_slots: false,
     };
     let mut d = IncrementalDetector::<C>::with_pool(config, std::mem::take(pool));
     let half = trace.len() / 2;
@@ -611,6 +626,120 @@ fn check_streaming(
     Ok(())
 }
 
+/// Feeds `trace` through a recycling-enabled [`IncrementalDetector`] —
+/// with a mid-stream checkpoint/restore exercising the serialized
+/// identity map — and compares per-event external-coordinate
+/// timestamps and the final report against the batch results. Slot
+/// reuse must be invisible at the API: reports keep external thread
+/// ids no matter how many generations a slot has served.
+///
+/// [`IncrementalDetector`]: tc_stream::IncrementalDetector
+fn recycling_one_backend<C: tc_core::LogicalClock>(
+    trace: &Trace,
+    kind: PartialOrderKind,
+    backend: &str,
+    batch_ts: &[VectorTime],
+    batch_report: &RaceReport,
+    pool: &mut ClockPool<C>,
+) -> Result<(), Failure> {
+    use tc_stream::{Checkpoint, DetectorConfig, IncrementalDetector};
+    let config = DetectorConfig {
+        order: kind,
+        retire_on_join: true,
+        evict_every: None,
+        recycle_slots: true,
+    };
+    let mut d = IncrementalDetector::<C>::with_pool(config, std::mem::take(pool));
+    let half = trace.len() / 2;
+    for (i, e) in trace.iter().enumerate() {
+        if i == half {
+            let bytes = d.checkpoint().to_bytes();
+            let cp = Checkpoint::from_bytes(&bytes).map_err(|err| {
+                fail(
+                    kind,
+                    CheckKind::Recycling,
+                    format!(
+                        "{backend} recycling checkpoint does not round trip at event {i}: {err}"
+                    ),
+                )
+            })?;
+            d = IncrementalDetector::from_checkpoint(&cp, d.into_pool());
+        }
+        d.feed(e).map_err(|err| {
+            fail(
+                kind,
+                CheckKind::Recycling,
+                format!(
+                    "{backend} recycling feed rejected event {i} ({}): {err}",
+                    trace[i]
+                ),
+            )
+        })?;
+        let got = d.timestamp_of(e.tid);
+        if got != batch_ts[i] {
+            *pool = d.into_pool();
+            return Err(fail(
+                kind,
+                CheckKind::Recycling,
+                format!(
+                    "{backend} recycling timestamp diverges from batch at event {i} \
+                     ({}): got {got}, batch {}",
+                    trace[i], batch_ts[i]
+                ),
+            ));
+        }
+    }
+    let result = if *d.report() != *batch_report {
+        let served = d.report().clone();
+        Err(fail(
+            kind,
+            CheckKind::Recycling,
+            format!(
+                "{backend} recycling report diverges from batch: {} vs {} race(s) \
+                 over {} vs {} check(s)",
+                served.total, batch_report.total, served.checks, batch_report.checks
+            ),
+        ))
+    } else {
+        Ok(())
+    };
+    *pool = d.into_pool();
+    result
+}
+
+fn check_recycling(
+    trace: &Trace,
+    kind: PartialOrderKind,
+    pools: &mut EnginePools,
+) -> Result<usize, Failure> {
+    // Slot reclamation, like dominance eviction, is value-preserving
+    // under fork discipline; the detector's own guard rejects
+    // non-disciplined runs once recycling activates.
+    if !fork_disciplined(trace) {
+        return Ok(0);
+    }
+    let [ts_tc, ts_vc, ts_hc] = timestamps_of(trace, kind, pools);
+    let [rep_tc, rep_vc, rep_hc] = reports_of(trace, kind, pools);
+    recycling_one_backend::<TreeClock>(trace, kind, "tree", &ts_tc, &rep_tc, &mut pools.tree)?;
+    recycling_one_backend::<VectorClock>(
+        trace,
+        kind,
+        "vector",
+        &ts_vc,
+        &rep_vc,
+        &mut pools.vector,
+    )?;
+    recycling_one_backend::<HybridClock>(
+        trace,
+        kind,
+        "hybrid",
+        &ts_hc,
+        &rep_hc,
+        &mut pools.hybrid,
+    )?;
+    Ok(BACKENDS)
+}
+
 /// Feeds `trace` through a [`ParallelDetector`] in frames of 64 with
 /// the minimum parallel frame forced down to 2 (so even small corpus
 /// cases exercise the epoch split) and compares every event's
@@ -631,6 +760,7 @@ fn parallel_one_backend<C: tc_core::LogicalClock + Send + 'static>(
         order: kind,
         retire_on_join: true,
         evict_every: None,
+        recycle_slots: false,
     };
     let inner = IncrementalDetector::<C>::with_pool(config, std::mem::take(pool));
     let mut d = ParallelDetector::from_detector(inner, workers, 2);
@@ -800,6 +930,7 @@ pub fn check_trace_pooled(
         combos: orders.len() * BACKENDS,
         events: trace.len(),
         races: 0,
+        recycling_passes: 0,
     };
     for kind in orders {
         check_timestamps(trace, kind, fault, pools)?;
@@ -815,6 +946,7 @@ pub fn check_trace_pooled(
         };
         check_wire(trace, kind, &reports[idx], backend)?;
         check_parallel(trace, kind, pools)?;
+        summary.recycling_passes += check_recycling(trace, kind, pools)?;
     }
     Ok(summary)
 }
@@ -874,6 +1006,36 @@ mod tests {
         let f = check_trace(&racy, Fault::InflateWork(PartialOrderKind::Maz)).unwrap_err();
         assert_eq!(f.check, CheckKind::Metrics);
         assert!(f.to_string().contains("MAZ/metrics"));
+    }
+
+    #[test]
+    fn recycling_differential_pass_runs_and_actually_recycles_on_churn() {
+        use tc_stream::{DetectorConfig, IncrementalDetector};
+        let trace = Scenario::SpawnJoinChurn.generate(12, 300, 9);
+        assert!(
+            fork_disciplined(&trace),
+            "churn must be fork-disciplined so the recycling pass is not skipped"
+        );
+        let mut pools = EnginePools::new();
+        check_trace_pooled(&trace, Fault::None, &mut pools)
+            .unwrap_or_else(|f| panic!("churn conformance failed: {f}"));
+        // The differential is only meaningful if slot reuse actually
+        // happens on this corpus shape; pin that directly.
+        let config = DetectorConfig {
+            recycle_slots: true,
+            ..DetectorConfig::default()
+        };
+        let mut d = IncrementalDetector::<TreeClock>::new(config);
+        for e in &trace {
+            d.feed(e).unwrap();
+        }
+        assert!(d.recycled_slots() > 0, "churn case never reused a slot");
+        assert!(
+            d.slot_width() < trace.thread_count(),
+            "slot width {} should stay below the {} externals",
+            d.slot_width(),
+            trace.thread_count()
+        );
     }
 
     #[test]

@@ -89,16 +89,28 @@ impl SweepReport {
             .filter_map(|o| o.result.as_ref().ok().map(|s| s.events))
             .sum()
     }
+
+    /// Total recycling differential passes that ran across passing
+    /// cases (0 would mean the whole corpus dodged the recycling-on
+    /// vs recycling-off comparison — CI asserts this stays positive).
+    pub fn recycling_passes(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter_map(|o| o.result.as_ref().ok().map(|s| s.recycling_passes))
+            .sum()
+    }
 }
 
 impl fmt::Display for SweepReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} case(s), {} engine×backend combination(s), {} event(s) checked, {} failure(s)",
+            "{} case(s), {} engine×backend combination(s), {} event(s) checked, \
+             {} recycling differential pass(es), {} failure(s)",
             self.outcomes.len(),
             self.combos(),
             self.events_checked(),
+            self.recycling_passes(),
             self.failures()
         )
     }
@@ -135,8 +147,12 @@ mod tests {
     use tc_orders::PartialOrderKind;
 
     fn tiny_corpus() -> Corpus {
+        // A fast slice that still carries a fork-disciplined family, so
+        // the recycling differential runs at least once.
         let mut corpus = Corpus::quick();
-        corpus.cases.truncate(4);
+        corpus.cases.truncate(2);
+        let churn = Corpus::quick().filter("spawn-join-churn");
+        corpus.cases.extend(churn.cases.into_iter().take(2));
         corpus
     }
 
@@ -147,6 +163,10 @@ mod tests {
         assert_eq!(report.failures(), 0);
         assert_eq!(report.combos(), 4 * 9);
         assert!(report.events_checked() > 0);
+        assert!(
+            report.recycling_passes() > 0,
+            "quick corpus must exercise the recycling differential"
+        );
     }
 
     #[test]

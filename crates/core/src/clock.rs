@@ -229,6 +229,48 @@ pub trait LogicalClock: Clone + Debug + Default {
     /// some time is nonzero.
     fn restore_value(&mut self, times: &[LocalTime], root: Option<ThreadId>);
 
+    /// Roots an *empty* clock at thread slot `t` with its own time
+    /// already advanced to `base` — the slot-recycling form of
+    /// [`init_root`](Self::init_root) used by the identity layer
+    /// ([`IdentityMap`](crate::identity::IdentityMap)): a new occupant
+    /// of a recycled slot adopts the slot at the previous occupant's
+    /// final time, so slot times stay monotone across generations and
+    /// every causal-ordering precondition (`join`/`monotone_copy` root
+    /// checks) keeps holding on clocks that still carry the old
+    /// generation's entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock is not empty (via `init_root`).
+    fn adopt_slot(&mut self, t: ThreadId, base: LocalTime) {
+        self.init_root(t);
+        if base > 0 {
+            self.increment(base);
+        }
+    }
+
+    /// Zeroes the entry of thread slot `t`, preserving the clock's
+    /// value for every other slot and its root (re-rooting at time 0
+    /// when `t` *is* the root). This is the residual-excision hook of
+    /// the identity layer: under base-offset recycling stale entries
+    /// are value-harmless and nothing on the hot path calls this, but
+    /// the hook documents — and tests enforce — that every backend can
+    /// scrub a recycled slot if a future policy wants the bytes back.
+    ///
+    /// The default rebuilds the clock from its vector-time value;
+    /// backends with a cheap in-place path may override.
+    fn clear_slot(&mut self, t: ThreadId) {
+        let root = self.root_tid();
+        let mut times = self.vector_time().into_inner();
+        if t.index() < times.len() {
+            times[t.index()] = 0;
+        }
+        self.clear();
+        if root.is_some() || times.iter().any(|&v| v > 0) {
+            self.restore_value(&times, root);
+        }
+    }
+
     /// Applies a representation-tuning hint: the dense cutoff, in
     /// entries. Backends without an adaptive representation ignore it
     /// (the default); the hybrid adopts it as its per-clock cutoff, so
@@ -253,5 +295,64 @@ mod tests {
     #[test]
     fn copy_mode_is_comparable() {
         assert_ne!(CopyMode::Monotone, CopyMode::Deep);
+    }
+
+    fn adopt_slot_behaves_like_init_plus_increment<C: LogicalClock>() {
+        let t2 = ThreadId::new(2);
+        let mut adopted = C::new();
+        adopted.adopt_slot(t2, 7);
+        let mut manual = C::new();
+        manual.init_root(t2);
+        manual.increment(7);
+        assert_eq!(adopted.vector_time(), manual.vector_time());
+        assert_eq!(adopted.root_tid(), Some(t2));
+        assert_eq!(adopted.get(t2), 7);
+        // base 0 is exactly init_root.
+        let mut zero = C::new();
+        zero.adopt_slot(ThreadId::new(0), 0);
+        assert_eq!(zero.get(ThreadId::new(0)), 0);
+        assert_eq!(zero.root_tid(), Some(ThreadId::new(0)));
+    }
+
+    fn clear_slot_excises_one_entry<C: LogicalClock>() {
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        let t3 = ThreadId::new(3);
+        let mut c = C::new();
+        c.init_root(t1);
+        c.increment(5);
+        let mut other = C::new();
+        other.adopt_slot(t3, 9);
+        c.join(&other);
+        assert_eq!(c.get(t3), 9);
+        c.clear_slot(t3);
+        assert_eq!(c.get(t3), 0);
+        assert_eq!(c.get(t1), 5);
+        assert_eq!(c.root_tid(), Some(t1));
+        // Clearing an absent slot is a no-op.
+        c.clear_slot(ThreadId::new(17));
+        assert_eq!(c.get(t1), 5);
+        // Clearing the root keeps the clock rooted, at time 0.
+        c.clear_slot(t1);
+        assert_eq!(c.get(t1), 0);
+        assert_eq!(c.root_tid(), Some(t1));
+        // And an empty clock stays empty.
+        let mut empty = C::new();
+        empty.clear_slot(t0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn adopt_slot_matches_on_every_backend() {
+        adopt_slot_behaves_like_init_plus_increment::<crate::VectorClock>();
+        adopt_slot_behaves_like_init_plus_increment::<crate::TreeClock>();
+        adopt_slot_behaves_like_init_plus_increment::<crate::HybridClock>();
+    }
+
+    #[test]
+    fn clear_slot_matches_on_every_backend() {
+        clear_slot_excises_one_entry::<crate::VectorClock>();
+        clear_slot_excises_one_entry::<crate::TreeClock>();
+        clear_slot_excises_one_entry::<crate::HybridClock>();
     }
 }

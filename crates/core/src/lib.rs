@@ -68,12 +68,16 @@
 //! - [`pool`] — the [`ClockPool`] free list and the [`LazyClock`]
 //!   per-variable slot, which together make the engines' steady-state
 //!   analysis allocation-free (see the README's "Performance" section).
+//! - [`identity`] — the [`IdentityMap`] generation layer that remaps
+//!   external thread ids onto recycled internal slots, keeping clock
+//!   width proportional to *live* threads under spawn/join churn.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod clock;
 pub mod hybrid;
+pub mod identity;
 pub mod ids;
 pub mod pool;
 pub mod tree_clock;
@@ -82,6 +86,7 @@ pub mod vector_time;
 
 pub use clock::{CopyMode, LogicalClock, OpStats};
 pub use hybrid::{DenseCutoffGuard, HybridClock};
+pub use identity::{BindError, IdentityMap, IdentitySnapshot, SlotBinding};
 pub use ids::{Epoch, LocalTime, ThreadId};
 pub use pool::{ClockPool, LazyClock};
 pub use tree_clock::TreeClock;

@@ -68,7 +68,7 @@ impl TreeClock {
         if COUNT {
             stats.examined += 1; // the root of `other` is always processed
         }
-        Self::gather_copy::<COUNT>(
+        let found_old_root = Self::gather_copy::<COUNT>(
             &self.clks,
             other,
             zp,
@@ -81,6 +81,22 @@ impl TreeClock {
         if !COUNT {
             self.note_density(moved, self.nodes.len().max(other.nodes.len()));
             stats.moved = moved as u64;
+        }
+
+        // The sibling pruning stops a scan once a child's attachment
+        // clock shows the destination already knew the rest of the
+        // siblings. That is value-correct, but when the destination's
+        // old root has not progressed and sits past such a cut it is
+        // never reached and cannot be repositioned. Star-materialized
+        // sources (a flat representation lifted to a tree attaches
+        // every child with aclk 0) make this reachable in practice:
+        // fall back to a full replica, which is always a valid
+        // monotone copy.
+        if z != zp && !found_old_root {
+            self.gather.clear();
+            let clone_stats = self.clone_structure_from::<COUNT>(other);
+            stats += clone_stats;
+            return stats;
         }
 
         // Adaptive fallback: when most of the arena progressed, the
@@ -137,6 +153,10 @@ impl TreeClock {
     /// root (`old_root`, the `z` parameter of Algorithm 2) is collected
     /// even when it has not progressed, so that it can be repositioned
     /// under the new root.
+    ///
+    /// Returns whether `old_root` was collected; the caller must handle
+    /// the (rare) miss — the sibling pruning can cut a scan short of a
+    /// non-progressed `old_root`.
     #[allow(clippy::too_many_arguments)]
     fn gather_copy<const COUNT: bool>(
         self_clks: &[crate::LocalTime],
@@ -146,9 +166,10 @@ impl TreeClock {
         gathered: &mut Vec<u32>,
         frames: &mut Vec<Frame>,
         stats: &mut OpStats,
-    ) {
+    ) -> bool {
         let o_nodes = &other.nodes[..];
         let o_clks = &other.clks[..];
+        let mut found_old_root = false;
         let mut frame = Frame {
             node: start,
             next_child: o_nodes[start as usize].head_child,
@@ -174,16 +195,20 @@ impl TreeClock {
                 // repositioning even though it has not progressed.
                 if child == old_root {
                     gathered.push(child);
+                    found_old_root = true;
                 }
                 if v.aclk <= parent_known {
                     break;
                 }
                 child = v.next_sib;
             }
+            if frame.node == old_root {
+                found_old_root = true;
+            }
             gathered.push(frame.node);
             match frames.pop() {
                 Some(f) => frame = f,
-                None => return,
+                None => return found_old_root,
             }
         }
     }

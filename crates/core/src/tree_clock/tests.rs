@@ -406,6 +406,40 @@ fn monotone_copy_with_same_root_thread_updates_in_place() {
     assert_eq!(lock.check_invariants(), Ok(()));
 }
 
+/// Regression: the gather traversal prunes siblings once a child's
+/// attachment clock shows the destination already knew the rest of the
+/// list — but the destination's old root may sit *past* that cut when
+/// it has not progressed. Star-materialized sources (every child under
+/// the root with `aclk = 0`, the shape the hybrid backend and
+/// `restore_value` produce) hit this on the very first non-progressed
+/// child. The copy must still re-root correctly and keep every entry.
+#[test]
+fn monotone_copy_star_source_repositions_unreached_old_root() {
+    // Source: a star rooted at t9 — t0..t8 attached with aclk 0.
+    let mut src_desc = vec![(t(9), 4u32, None)];
+    let src_times = [5u32, 7, 7, 7, 7, 7, 7, 7, 6];
+    for (i, &clk) in src_times.iter().enumerate() {
+        src_desc.push((t(i as u32), clk, Some((t(9), 0))));
+    }
+    let src = TreeClock::from_structure(&src_desc).unwrap();
+
+    // Destination: a lock clock rooted at t8 that equals the source on
+    // t1..t6 and t8 and lags only on t0. The traversal descends into
+    // t0, then breaks at t1 (aclk 0 ≤ known 0) — before reaching the
+    // old root t8.
+    let mut dst_desc = vec![(t(8), 6u32, None)];
+    let dst_times = [3u32, 7, 7, 7, 7, 7, 7];
+    for (i, &clk) in dst_times.iter().enumerate() {
+        dst_desc.push((t(i as u32), clk, Some((t(8), 6 - i as u32))));
+    }
+    let mut lock = TreeClock::from_structure(&dst_desc).unwrap();
+
+    lock.monotone_copy(&src);
+    assert_eq!(lock.root_tid(), Some(t(9)));
+    assert_eq!(lock.vector_time(), src.vector_time());
+    assert_eq!(lock.check_invariants(), Ok(()));
+}
+
 #[test]
 fn repeated_lock_handoff_keeps_invariants() {
     // A ring of threads passing one lock around twice.

@@ -244,6 +244,14 @@ impl LogicalClock for VectorClock {
         self.ensure_len(threads);
     }
 
+    /// Flat override of the residual-excision hook: zeroing one entry
+    /// is O(1) on this representation.
+    fn clear_slot(&mut self, t: ThreadId) {
+        if let Some(entry) = self.times.get_mut(t.index()) {
+            *entry = 0;
+        }
+    }
+
     fn heap_bytes(&self) -> usize {
         self.times.capacity() * std::mem::size_of::<LocalTime>()
     }

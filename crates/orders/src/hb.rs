@@ -92,6 +92,23 @@ impl<C: LogicalClock> HbEngine<C> {
         self.core.is_retired(t)
     }
 
+    /// Re-arms a retired (or never-seen) thread slot for a recycled
+    /// occupant, rooting a fresh clock at `t` with its own time
+    /// pre-advanced to `base` — the identity layer's slot-recycling
+    /// hook (see [`IdentityMap`](tc_core::IdentityMap)).
+    pub fn adopt_thread(&mut self, t: ThreadId, base: tc_core::LocalTime) {
+        self.core.adopt_thread(t, base);
+    }
+
+    /// Computes the pointwise minimum over all live thread clocks into
+    /// `floor`; `false` (and an empty floor) when no thread is live.
+    /// This is the slot-reclamation predicate of the identity layer: a
+    /// retired slot whose final time the floor dominates can never
+    /// again change any value.
+    pub fn live_floor(&self, floor: &mut Vec<tc_core::LocalTime>) -> bool {
+        self.core.live_floor(floor)
+    }
+
     /// Number of threads retired so far.
     pub fn retired_count(&self) -> usize {
         self.core.retired_count()

@@ -99,6 +99,18 @@ impl<C: LogicalClock> ShbEngine<C> {
         self.core.is_retired(t)
     }
 
+    /// Re-arms a retired (or never-seen) thread slot for a recycled
+    /// occupant; see [`HbEngine::adopt_thread`](crate::HbEngine::adopt_thread).
+    pub fn adopt_thread(&mut self, t: ThreadId, base: tc_core::LocalTime) {
+        self.core.adopt_thread(t, base);
+    }
+
+    /// Pointwise minimum over live thread clocks; see
+    /// [`HbEngine::live_floor`](crate::HbEngine::live_floor).
+    pub fn live_floor(&self, floor: &mut Vec<tc_core::LocalTime>) -> bool {
+        self.core.live_floor(floor)
+    }
+
     /// Number of threads retired so far.
     pub fn retired_count(&self) -> usize {
         self.core.retired_count()

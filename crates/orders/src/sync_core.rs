@@ -288,6 +288,48 @@ impl<C: LogicalClock> SyncCore<C> {
         true
     }
 
+    /// Re-arms a retired (or never-seen) thread slot for a recycled
+    /// occupant: the slot's clock is drawn fresh from the pool and
+    /// rooted at `t` with its own time pre-advanced to `base` — the
+    /// previous occupant's final time, as tracked by the identity
+    /// layer's [`IdentityMap`](tc_core::IdentityMap). Keeping slot
+    /// times monotone across occupants is what makes the stale entries
+    /// other clocks still hold for this slot value-harmless.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot currently has a live (rooted) clock — the
+    /// identity layer must only hand out slots whose previous occupant
+    /// was retired and reclaimed.
+    pub(crate) fn adopt_thread(&mut self, t: ThreadId, base: tc_core::LocalTime) {
+        let i = t.index();
+        if i >= self.threads.len() {
+            let hint = self.thread_hint.max(i + 1);
+            let (threads, pool) = (&mut self.threads, &mut self.pool);
+            threads.resize_with(i + 1, || {
+                let mut c = pool.acquire();
+                c.reserve_threads(hint);
+                c
+            });
+            self.rooted.resize(i + 1, false);
+            self.retired.resize(i + 1, false);
+        }
+        assert!(
+            !self.rooted[i],
+            "adopt_thread: slot {t} still has a live occupant"
+        );
+        if self.retired[i] {
+            // The retired slot holds an empty placeholder; draw a warm
+            // clock from the pool like ensure_thread would have.
+            let mut c = self.pool.acquire();
+            c.reserve_threads(self.thread_hint.max(i + 1));
+            self.threads[i] = c;
+            self.retired[i] = false;
+        }
+        self.threads[i].adopt_slot(t, base);
+        self.rooted[i] = true;
+    }
+
     /// `true` once [`retire_thread`](Self::retire_thread) released `t`.
     pub(crate) fn is_retired(&self, t: ThreadId) -> bool {
         self.retired.get(t.index()).copied().unwrap_or(false)

@@ -19,7 +19,7 @@ use std::fmt;
 use std::io::{self, Read, Write};
 
 use tc_analysis::{RaceReport, ReadsSnapshot, VarHistorySnapshot};
-use tc_core::{Epoch, LocalTime, ThreadId};
+use tc_core::{Epoch, IdentitySnapshot, LocalTime, ThreadId};
 use tc_orders::snapshot::{ClockValue, CoreState, EngineState, ThreadSlot, VarClocks};
 use tc_orders::PartialOrderKind;
 use tc_trace::{InternerState, ValidatorState, VarId};
@@ -27,7 +27,9 @@ use tc_trace::{InternerState, ValidatorState, VarId};
 use crate::detector::DetectorConfig;
 
 const MAGIC: &[u8; 4] = b"TCCP";
-const VERSION: u8 = 1;
+// Version 2 added the identity-recycling section (the `recycle_slots`
+// config flag and the optional serialized `IdentityMap`).
+const VERSION: u8 = 2;
 
 /// An error reading or writing a checkpoint.
 #[derive(Debug)]
@@ -108,6 +110,11 @@ pub struct Checkpoint {
     /// session level — a resumed session keeps every established
     /// name → id binding.
     pub interner: Option<InternerState>,
+    /// The identity map (external id ⇄ recycled slot bindings), when
+    /// the detector runs with `recycle_slots`. Serialized in full —
+    /// including the free/pending queues in order — so a resumed
+    /// session assigns exactly the same slots to future threads.
+    pub identity: Option<IdentitySnapshot>,
 }
 
 // ---- primitive writers/readers ----------------------------------------
@@ -282,6 +289,35 @@ impl Checkpoint {
             }
             None => w.write_all(&[0])?,
         }
+        w.write_all(&[u8::from(self.config.recycle_slots)])?;
+        match &self.identity {
+            Some(id) => {
+                w.write_all(&[1])?;
+                write_varint(w, id.entries.len() as u64)?;
+                for &(ext, slot, generation, base, fin) in &id.entries {
+                    write_varint(w, u64::from(ext))?;
+                    write_varint(w, u64::from(slot))?;
+                    write_varint(w, u64::from(generation))?;
+                    write_varint(w, u64::from(base))?;
+                    write_varint(w, fin.map(|f| u64::from(f) + 1).unwrap_or(0))?;
+                }
+                // The pending and free queues are order-significant:
+                // slot reuse pops deterministically, so a resumed
+                // session must see the queues exactly as they were.
+                write_varint(w, id.pending.len() as u64)?;
+                for &(slot, fin) in &id.pending {
+                    write_varint(w, u64::from(slot))?;
+                    write_varint(w, u64::from(fin))?;
+                }
+                write_varint(w, id.free.len() as u64)?;
+                for &(slot, base) in &id.free {
+                    write_varint(w, u64::from(slot))?;
+                    write_varint(w, u64::from(base))?;
+                }
+                write_varint(w, id.recycled)?;
+            }
+            None => w.write_all(&[0])?,
+        }
         write_varint(w, self.events)?;
         write_varint(w, self.emitted)?;
         write_varint(w, self.polled)?;
@@ -432,6 +468,57 @@ impl Checkpoint {
             0 => None,
             1 => Some(read_varint(r)?),
             other => return Err(corrupt(format!("bad evict flag {other}"))),
+        };
+        r.read_exact(&mut byte)?;
+        let recycle_slots = match byte[0] {
+            0 => false,
+            1 => true,
+            other => return Err(corrupt(format!("bad recycle flag {other}"))),
+        };
+        r.read_exact(&mut byte)?;
+        let identity = match byte[0] {
+            0 => None,
+            1 => {
+                let entry_count = read_len(r, "identity entries")?;
+                let mut entries = Vec::with_capacity(entry_count);
+                for _ in 0..entry_count {
+                    let ext = read_u32(r, "identity external")?;
+                    let slot = read_u32(r, "identity slot")?;
+                    let generation = read_u32(r, "identity generation")?;
+                    let base = read_u32(r, "identity base")? as LocalTime;
+                    let fin = match read_varint(r)? {
+                        0 => None,
+                        v => Some(
+                            u32::try_from(v - 1)
+                                .map_err(|_| corrupt("identity fin overflows u32"))?
+                                as LocalTime,
+                        ),
+                    };
+                    entries.push((ext, slot, generation, base, fin));
+                }
+                let pending_count = read_len(r, "identity pending")?;
+                let mut pending = Vec::with_capacity(pending_count);
+                for _ in 0..pending_count {
+                    let slot = read_u32(r, "pending slot")?;
+                    let fin = read_u32(r, "pending fin")? as LocalTime;
+                    pending.push((slot, fin));
+                }
+                let free_count = read_len(r, "identity free")?;
+                let mut free = Vec::with_capacity(free_count);
+                for _ in 0..free_count {
+                    let slot = read_u32(r, "free slot")?;
+                    let base = read_u32(r, "free base")? as LocalTime;
+                    free.push((slot, base));
+                }
+                let recycled = read_varint(r)?;
+                Some(IdentitySnapshot {
+                    entries,
+                    pending,
+                    free,
+                    recycled,
+                })
+            }
+            other => return Err(corrupt(format!("bad identity flag {other}"))),
         };
         let events = read_varint(r)?;
         let emitted = read_varint(r)?;
@@ -588,6 +675,7 @@ impl Checkpoint {
                 order,
                 retire_on_join,
                 evict_every,
+                recycle_slots,
             },
             backend,
             events,
@@ -605,6 +693,7 @@ impl Checkpoint {
             report: RaceReport::from_parts(races, total, checks),
             validator,
             interner,
+            identity,
         })
     }
 
@@ -675,6 +764,57 @@ mod tests {
             d.timestamp_of(ThreadId::new(4)),
             restored.timestamp_of(ThreadId::new(4))
         );
+    }
+
+    #[test]
+    fn recycling_checkpoint_round_trips_and_resumes_with_same_slots() {
+        // Churn enough that the identity map holds retired entries and
+        // a non-empty free queue at checkpoint time, then verify the
+        // resumed session reuses exactly the same slots as the
+        // uninterrupted one.
+        let mut b = TraceBuilder::new();
+        for wave in 0..4u32 {
+            let u = wave + 1;
+            b.fork(0, u).write(u, "x").join(0, u);
+        }
+        let first_half = b.finish();
+        let config = DetectorConfig {
+            recycle_slots: true,
+            ..DetectorConfig::default()
+        };
+        let mut d = IncrementalDetector::<TreeClock>::new(config);
+        for e in &first_half {
+            d.feed(e).unwrap();
+        }
+        assert!(d.recycled_slots() > 0, "churn must have reused a slot");
+
+        let cp = d.checkpoint();
+        let bytes = cp.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, cp);
+        assert_eq!(back.to_bytes(), bytes, "serialization is deterministic");
+        assert!(back.identity.is_some(), "identity map must be serialized");
+        assert!(back.config.recycle_slots);
+
+        let mut restored = IncrementalDetector::<TreeClock>::from_checkpoint(&cp, ClockPool::new());
+        let mut b = TraceBuilder::new();
+        for wave in 0..3u32 {
+            let u = wave + 5;
+            b.fork(0, u).write(u, "x").join(0, u);
+        }
+        b.write(0, "x");
+        for e in &b.finish() {
+            let live_a: Vec<_> = d.feed(e).unwrap().to_vec();
+            let live_b: Vec<_> = restored.feed(e).unwrap().to_vec();
+            assert_eq!(live_a, live_b);
+            assert_eq!(d.timestamp_of(e.tid), restored.timestamp_of(e.tid));
+        }
+        assert_eq!(d.report(), restored.report());
+        assert_eq!(d.slot_width(), restored.slot_width());
+        assert_eq!(d.recycled_slots(), restored.recycled_slots());
+        // Both sessions end in the same identity state, so a second
+        // checkpoint from each is byte-identical.
+        assert_eq!(d.checkpoint().to_bytes(), restored.checkpoint().to_bytes());
     }
 
     #[test]

@@ -32,11 +32,18 @@
 use std::fmt;
 
 use tc_analysis::{upcoming_epoch, Race, RaceReport, VarHistories};
-use tc_core::{ClockPool, LogicalClock, ThreadId, VectorTime};
+use tc_core::{BindError, ClockPool, IdentityMap, LogicalClock, ThreadId, VectorTime};
 use tc_orders::{HbEngine, MazEngine, PartialOrderKind, ShbEngine};
 use tc_trace::{Event, LockId, Op, VarId};
 
 use crate::checkpoint::Checkpoint;
+
+/// How often (in events) the detector samples its live clock bytes into
+/// the `peak_clock_bytes` high-water mark. Sampling (rather than
+/// per-event accounting) keeps the O(threads + locks + vars) byte walk
+/// off the hot path; retirements sample unconditionally, since they are
+/// exactly where the footprint peaks under churn.
+const PEAK_SAMPLE_EVERY: u64 = 1024;
 
 /// Configuration of an [`IncrementalDetector`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -50,6 +57,14 @@ pub struct DetectorConfig {
     /// Evict dominated lock/variable clocks every this many events
     /// (`None` = off). Requires fork discipline; see the module docs.
     pub evict_every: Option<u64>,
+    /// Route external thread ids through an [`IdentityMap`] so retired
+    /// threads' internal clock slots are recycled once every live clock
+    /// dominates their final time (default: off). Keeps clock *width*
+    /// proportional to live threads under spawn/join churn. Requires
+    /// fork discipline like eviction; reports and timestamps stay in
+    /// external ids and are identical to a non-recycling run (the
+    /// conformance sweep's recycling pass enforces this).
+    pub recycle_slots: bool,
 }
 
 impl Default for DetectorConfig {
@@ -58,6 +73,7 @@ impl Default for DetectorConfig {
             order: PartialOrderKind::Hb,
             retire_on_join: true,
             evict_every: None,
+            recycle_slots: false,
         }
     }
 }
@@ -94,6 +110,17 @@ pub enum FeedError {
         /// The event index at which it was referenced.
         at: u64,
     },
+    /// The event involves an external thread that was retired *and*
+    /// whose internal clock slot has since been recycled to a different
+    /// external thread — the slot-recycling form of
+    /// [`RetiredThread`](Self::RetiredThread), reported separately
+    /// because the slot's clock state now belongs to another thread.
+    RecycledThread {
+        /// The retired external thread.
+        thread: ThreadId,
+        /// The event index at which it was referenced.
+        at: u64,
+    },
 }
 
 impl fmt::Display for FeedError {
@@ -109,6 +136,12 @@ impl fmt::Display for FeedError {
                 f,
                 "event {at} involves thread {thread}, which was already joined and \
                  retired (a joined thread cannot act or be forked/joined again)"
+            ),
+            FeedError::RecycledThread { thread, at } => write!(
+                f,
+                "event {at} involves thread {thread}, which was already joined and \
+                 retired, and whose clock slot has been recycled to another thread \
+                 (a joined thread cannot act or be forked/joined again)"
             ),
         }
     }
@@ -163,11 +196,21 @@ pub struct IncrementalDetector<C: LogicalClock> {
     events: u64,
     evicted: u64,
     /// Thread lifecycle for the eviction fork-discipline guard and the
-    /// session stats (index = thread id).
+    /// session stats (index = *external* thread id).
     started: Vec<bool>,
     forked: Vec<bool>,
     /// The session's initial thread (exempt from the fork requirement).
     first_thread: Option<ThreadId>,
+    /// External-id ⇄ internal-slot map; `Some` iff
+    /// [`DetectorConfig::recycle_slots`].
+    identity: Option<IdentityMap>,
+    /// Scratch buffer for the reclamation floor (kept to avoid
+    /// reallocating it on every churn wave).
+    floor_buf: Vec<tc_core::LocalTime>,
+    /// Sampled high-water mark of [`clock_bytes`](Self::clock_bytes);
+    /// telemetry only, not checkpointed (byte capacities are not part
+    /// of the value-level state).
+    peak_clock_bytes: usize,
 }
 
 impl<C: LogicalClock> IncrementalDetector<C> {
@@ -195,6 +238,9 @@ impl<C: LogicalClock> IncrementalDetector<C> {
             started: Vec::new(),
             forked: Vec::new(),
             first_thread: None,
+            identity: config.recycle_slots.then(IdentityMap::new),
+            floor_buf: Vec::new(),
+            peak_clock_bytes: 0,
         }
     }
 
@@ -234,14 +280,76 @@ impl<C: LogicalClock> IncrementalDetector<C> {
         dispatch!(&self.engine, e => e.clock_bytes())
     }
 
+    /// High-water mark of [`clock_bytes`](Self::clock_bytes), sampled
+    /// every `PEAK_SAMPLE_EVERY` events and at every retirement (and
+    /// floored by the current value). Telemetry only — it restarts from
+    /// the restored state's footprint after a checkpoint resume.
+    pub fn peak_clock_bytes(&self) -> usize {
+        self.peak_clock_bytes.max(self.clock_bytes())
+    }
+
+    /// External threads currently live (started and not yet retired).
+    pub fn live_threads(&self) -> usize {
+        match &self.identity {
+            Some(map) => map.live_threads(),
+            None => self.threads_seen().saturating_sub(self.retired_count()),
+        }
+    }
+
+    /// External threads ever seen — under recycling this keeps growing
+    /// while [`slot_width`](Self::slot_width) stays at the churn's
+    /// live-thread width.
+    pub fn total_threads(&self) -> usize {
+        match &self.identity {
+            Some(map) => map.total_threads(),
+            None => self.threads_seen(),
+        }
+    }
+
+    /// Number of internal slot reuses so far (0 without recycling).
+    pub fn recycled_slots(&self) -> u64 {
+        self.identity.as_ref().map_or(0, IdentityMap::recycled)
+    }
+
+    /// Width of the internal slot space every clock pays for: equals
+    /// total threads without recycling.
+    pub fn slot_width(&self) -> usize {
+        match &self.identity {
+            Some(map) => map.slot_width(),
+            None => self.threads_seen(),
+        }
+    }
+
     /// The engine's clock pool (fresh/recycled/parked telemetry).
     pub fn pool(&self) -> &ClockPool<C> {
         dispatch!(&self.engine, e => e.pool())
     }
 
-    /// The current vector timestamp of thread `t` (empty once retired).
+    /// The current vector timestamp of thread `t` (empty once retired),
+    /// in *external* thread coordinates: under recycling, the slot
+    /// clock's entries are translated back through the identity map
+    /// (each external's component is its slot's time clamped to the
+    /// external's own `(base, fin]` generation interval), so the result
+    /// is comparable with a non-recycling run's timestamps.
     pub fn timestamp_of(&self, t: ThreadId) -> VectorTime {
-        dispatch!(&self.engine, e => e.timestamp_of(t))
+        let Some(map) = &self.identity else {
+            return dispatch!(&self.engine, e => e.timestamp_of(t));
+        };
+        let Some(binding) = map.binding_of(t) else {
+            return VectorTime::new();
+        };
+        let clock = dispatch!(&self.engine, e => e.clock_of(binding.slot));
+        let Some(clock) = clock else {
+            return VectorTime::new();
+        };
+        let mut vt = VectorTime::new();
+        for (ext, slot, _) in map.iter() {
+            let time = map.external_time(ext, clock.get(slot));
+            if time > 0 {
+                vt.set(ext, time);
+            }
+        }
+        vt
     }
 
     /// Tears the detector down, releasing every clock into its pool.
@@ -271,6 +379,15 @@ impl<C: LogicalClock> IncrementalDetector<C> {
     /// already discarded state, and a thread appears without a fork
     /// (the event is *not* ingested; the session stays usable).
     pub fn feed(&mut self, e: &Event) -> Result<&[Race], FeedError> {
+        if self.identity.is_some() {
+            self.feed_recycled(e)
+        } else {
+            self.feed_direct(e)
+        }
+    }
+
+    /// The direct path: external ids *are* the clock slots.
+    fn feed_direct(&mut self, e: &Event) -> Result<&[Race], FeedError> {
         let t = e.tid;
         self.grow_thread(t.index());
         // A retired thread can neither act nor be targeted again: the
@@ -302,6 +419,150 @@ impl<C: LogicalClock> IncrementalDetector<C> {
                 at: self.events,
             });
         }
+        self.record_lifecycle(e);
+        self.analyze(e);
+
+        if self.config.retire_on_join {
+            if let Op::Join(u) = e.op {
+                self.observe_peak();
+                dispatch!(&mut self.engine, e2 => e2.retire_thread(u));
+            }
+        }
+        self.evict_tick();
+        self.sample_peak();
+        Ok(self.emit())
+    }
+
+    /// The recycling path: external ids are translated through the
+    /// [`IdentityMap`] onto internal slots before the (otherwise
+    /// unchanged) batch discipline runs, and every freshly stored race
+    /// is translated back so reports keep speaking external ids.
+    fn feed_recycled(&mut self, e: &Event) -> Result<&[Race], FeedError> {
+        let t = e.tid;
+        // Validate every referenced external id before mutating
+        // anything, so a rejected event leaves the session untouched.
+        {
+            let map = self.identity.as_ref().expect("recycling map");
+            let check = |ext: ThreadId| match map.rebind_error(ext) {
+                Some(BindError::Retired) => Err(FeedError::RetiredThread {
+                    thread: ext,
+                    at: self.events,
+                }),
+                Some(BindError::Recycled) => Err(FeedError::RecycledThread {
+                    thread: ext,
+                    at: self.events,
+                }),
+                None => Ok(()),
+            };
+            check(t)?;
+            if let Op::Fork(u) | Op::Join(u) = e.op {
+                check(u)?;
+            }
+        }
+        self.grow_thread(t.index());
+        // Reclamation assumes fork discipline exactly like eviction:
+        // once a slot has been reclaimed on the strength of the live
+        // floor, a spontaneous thread (whose clock would *not* dominate
+        // the reclaimed slot's final time) could silently change
+        // results, so it is rejected instead.
+        let recycling_active = self
+            .identity
+            .as_ref()
+            .is_some_and(IdentityMap::recycling_active);
+        if (self.evicted > 0 || recycling_active)
+            && !self.started[t.index()]
+            && !self.forked[t.index()]
+            && self.first_thread != Some(t)
+        {
+            return Err(FeedError::SpontaneousThread {
+                thread: t,
+                at: self.events,
+            });
+        }
+        self.record_lifecycle(e);
+
+        // Translate to internal slot coordinates, binding (and, on
+        // demand, reclaiming + adopting) every referenced external.
+        let slot_t = self.bind_external(t);
+        let op = match e.op {
+            Op::Fork(u) => Op::Fork(self.bind_external(u)),
+            Op::Join(u) => Op::Join(self.bind_external(u)),
+            other => other,
+        };
+        let internal = Event::new(slot_t, op);
+
+        let stored_before = self.report.races.len();
+        self.analyze(&internal);
+        // Freshly stored races carry slot-coordinate epochs; translate
+        // them through the slots' *current* bindings, which is exact:
+        // a pre-reclaim generation's epochs are dominated by every live
+        // clock and can never appear in a race again.
+        {
+            let map = self.identity.as_ref().expect("recycling map");
+            for race in &mut self.report.races[stored_before..] {
+                race.prior = map.external_epoch(race.prior);
+                race.current = map.external_epoch(race.current);
+            }
+        }
+
+        if self.config.retire_on_join {
+            if let Op::Join(u) = internal.op {
+                self.observe_peak();
+                let fin = dispatch!(&self.engine, e2 => e2.clock_of(u))
+                    .map(|c| c.get(u))
+                    .unwrap_or(0);
+                if dispatch!(&mut self.engine, e2 => e2.retire_thread(u)) {
+                    let ext = match e.op {
+                        Op::Join(x) => x,
+                        _ => unreachable!("internal op mirrors the external op"),
+                    };
+                    self.identity
+                        .as_mut()
+                        .expect("recycling map")
+                        .retire(ext, fin);
+                }
+            }
+        }
+        self.evict_tick();
+        self.sample_peak();
+        Ok(self.emit())
+    }
+
+    /// Binds one external id to its slot (infallible after the
+    /// `rebind_error` pre-checks). Binding a *new* external with the
+    /// free pool dry first sweeps the pending retirements against the
+    /// live floor — roughly one floor computation per churn wave — and
+    /// a fresh binding re-arms the engine slot at the binding's base
+    /// time before any of the occupant's events are processed (the
+    /// engine's lazy rooting would root at time 0 and rewind the slot).
+    fn bind_external(&mut self, ext: ThreadId) -> ThreadId {
+        let map = self.identity.as_ref().expect("recycling map");
+        if map.binding_of(ext).is_none() && !map.has_free() && map.has_pending() {
+            let mut floor = std::mem::take(&mut self.floor_buf);
+            let any_live = dispatch!(&self.engine, e2 => e2.live_floor(&mut floor));
+            let map = self.identity.as_mut().expect("recycling map");
+            if any_live {
+                map.reclaim(&floor);
+            } else {
+                map.reclaim_all();
+            }
+            self.floor_buf = floor;
+        }
+        let binding = self
+            .identity
+            .as_mut()
+            .expect("recycling map")
+            .bind(ext)
+            .expect("bind pre-checked by rebind_error");
+        if binding.fresh {
+            dispatch!(&mut self.engine, e2 => e2.adopt_thread(binding.slot, binding.base));
+        }
+        binding.slot
+    }
+
+    /// Thread-lifecycle bookkeeping (external-id domain, both paths).
+    fn record_lifecycle(&mut self, e: &Event) {
+        let t = e.tid;
         if self.first_thread.is_none() {
             self.first_thread = Some(t);
         }
@@ -311,9 +572,13 @@ impl<C: LogicalClock> IncrementalDetector<C> {
             self.forked[u.index()] = true;
             self.started[u.index()] = true;
         }
+    }
 
-        // The batch detectors' discipline, verbatim: epoch checks
-        // against the pre-event clock, then the engine's edges.
+    /// The batch detectors' discipline, verbatim: epoch checks against
+    /// the pre-event clock, then the engine's edges. `e` is in clock
+    /// (slot) coordinates.
+    fn analyze(&mut self, e: &Event) {
+        let t = e.tid;
         match e.op {
             Op::Read(x) => {
                 let clock = dispatch!(&self.engine, e2 => e2.clock_of(t));
@@ -341,21 +606,35 @@ impl<C: LogicalClock> IncrementalDetector<C> {
         }
         dispatch!(&mut self.engine, e2 => e2.process(e));
         self.events += 1;
+    }
 
-        if self.config.retire_on_join {
-            if let Op::Join(u) = e.op {
-                dispatch!(&mut self.engine, e2 => e2.retire_thread(u));
-            }
-        }
+    fn evict_tick(&mut self) {
         if let Some(n) = self.config.evict_every {
             if n > 0 && self.events.is_multiple_of(n) {
                 self.evicted += dispatch!(&mut self.engine, e2 => e2.evict_dominated()) as u64;
             }
         }
+    }
 
+    /// Folds the current clock bytes into the sampled high-water mark.
+    fn observe_peak(&mut self) {
+        let bytes = self.clock_bytes();
+        if bytes > self.peak_clock_bytes {
+            self.peak_clock_bytes = bytes;
+        }
+    }
+
+    fn sample_peak(&mut self) {
+        if self.events.is_multiple_of(PEAK_SAMPLE_EVERY) {
+            self.observe_peak();
+        }
+    }
+
+    /// Returns the races stored since the last emission.
+    fn emit(&mut self) -> &[Race] {
         let start = self.emitted;
         self.emitted = self.report.races.len();
-        Ok(self.report.races_since(start))
+        self.report.races_since(start)
     }
 
     /// `true` once thread `t`'s clock has been retired to the pool.
@@ -391,6 +670,9 @@ impl<C: LogicalClock> IncrementalDetector<C> {
         IncrementalDetector {
             config: DetectorConfig {
                 evict_every: None,
+                // Shards never translate ids: the scheduler falls back
+                // to sequential feeding whenever recycling is on.
+                recycle_slots: false,
                 ..self.config
             },
             engine,
@@ -402,6 +684,9 @@ impl<C: LogicalClock> IncrementalDetector<C> {
             started: Vec::new(),
             forked: Vec::new(),
             first_thread: None,
+            identity: None,
+            floor_buf: Vec::new(),
+            peak_clock_bytes: 0,
         }
     }
 
@@ -490,6 +775,7 @@ impl<C: LogicalClock> IncrementalDetector<C> {
             report: self.report.clone(),
             validator: None,
             interner: None,
+            identity: self.identity.as_ref().map(IdentityMap::snapshot),
         }
     }
 
@@ -515,6 +801,13 @@ impl<C: LogicalClock> IncrementalDetector<C> {
             started: cp.started.clone(),
             forked: cp.forked.clone(),
             first_thread: cp.first_thread,
+            identity: cp
+                .identity
+                .as_ref()
+                .map(IdentityMap::from_snapshot)
+                .or_else(|| cp.config.recycle_slots.then(IdentityMap::new)),
+            floor_buf: Vec::new(),
+            peak_clock_bytes: 0,
         }
     }
 }
@@ -620,6 +913,145 @@ mod tests {
         b.write(0, "x");
         d.feed(&b.finish()[0]).unwrap();
         assert_eq!(d.events(), 2);
+    }
+
+    /// Fork-disciplined churn: a coordinator forks `width` workers per
+    /// wave, the workers race on `racy`, touch a lock-guarded shared
+    /// variable, and read the coordinator's broadcast, then are all
+    /// joined before the next wave starts.
+    fn churn_trace(waves: u32, width: u32) -> tc_trace::Trace {
+        let mut b = TraceBuilder::new();
+        b.write(0, "bcast");
+        let mut next = 1u32;
+        for _ in 0..waves {
+            let ids: Vec<u32> = (0..width)
+                .map(|_| {
+                    next += 1;
+                    next - 1
+                })
+                .collect();
+            for &u in &ids {
+                b.fork(0, u);
+            }
+            for &u in &ids {
+                b.read(u, "bcast");
+                b.acquire(u, "m").write(u, "shared").release(u, "m");
+                b.write(u, "racy");
+            }
+            for &u in &ids {
+                b.join(0, u);
+            }
+            b.write(0, "bcast");
+        }
+        b.finish()
+    }
+
+    #[test]
+    fn recycling_matches_direct_on_churn() {
+        let trace = churn_trace(6, 4);
+        for order in PartialOrderKind::ALL {
+            let mut direct =
+                IncrementalDetector::<TreeClock>::new(DetectorConfig::for_order(order));
+            let mut recycled = IncrementalDetector::<TreeClock>::new(DetectorConfig {
+                recycle_slots: true,
+                ..DetectorConfig::for_order(order)
+            });
+            for e in &trace {
+                let live_a: Vec<Race> = direct.feed(e).unwrap().to_vec();
+                let live_b: Vec<Race> = recycled.feed(e).unwrap().to_vec();
+                assert_eq!(live_a, live_b, "{order}: live races diverge at {e}");
+                assert_eq!(
+                    direct.timestamp_of(e.tid),
+                    recycled.timestamp_of(e.tid),
+                    "{order}: timestamps diverge at {e}"
+                );
+            }
+            assert_eq!(direct.report(), recycled.report(), "{order}");
+            assert!(recycled.recycled_slots() > 0, "{order}: no slot was reused");
+            assert_eq!(recycled.total_threads(), 25, "{order}");
+            assert_eq!(recycled.live_threads(), 1, "{order}");
+            // 6 waves of 4 workers fit in one wave's worth of slots.
+            assert!(
+                recycled.slot_width() <= 6,
+                "{order}: slot width {} is not O(live)",
+                recycled.slot_width()
+            );
+            assert_eq!(direct.slot_width(), 25, "{order}");
+        }
+    }
+
+    #[test]
+    fn retired_and_recycled_externals_error_identically() {
+        let config = DetectorConfig {
+            recycle_slots: true,
+            ..DetectorConfig::default()
+        };
+        let mut d = IncrementalDetector::<TreeClock>::new(config);
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1).write(1, "x").join(0, 1);
+        for e in &b.finish() {
+            d.feed(e).unwrap();
+        }
+        // Retired but not yet reclaimed: the same error the direct path
+        // raises, naming the external id.
+        let mut b = TraceBuilder::new();
+        b.write(1, "x");
+        let err = d.feed(&b.finish()[0]).unwrap_err();
+        assert!(
+            matches!(err, FeedError::RetiredThread { thread, .. } if thread == ThreadId::new(1)),
+            "{err}"
+        );
+        // Binding a fresh external reclaims thread 1's slot.
+        let mut b = TraceBuilder::new();
+        b.fork(0, 2).write(2, "x");
+        for e in &b.finish() {
+            d.feed(e).unwrap();
+        }
+        assert_eq!(d.recycled_slots(), 1);
+        // Thread 1's slot now belongs to thread 2: still an error, with
+        // the recycling-specific diagnosis.
+        let mut b = TraceBuilder::new();
+        b.write(1, "x");
+        let before = d.events();
+        let err = d.feed(&b.finish()[0]).unwrap_err();
+        assert!(
+            matches!(err, FeedError::RecycledThread { thread, .. } if thread == ThreadId::new(1)),
+            "{err}"
+        );
+        assert!(err.to_string().contains("recycled"), "{err}");
+        // The rejected event was not ingested; the session continues.
+        assert_eq!(d.events(), before);
+        let mut b = TraceBuilder::new();
+        b.write(0, "y");
+        d.feed(&b.finish()[0]).unwrap();
+        // A fork *of* the stale external is rejected atomically too.
+        let mut b = TraceBuilder::new();
+        b.fork(0, 1);
+        let err = d.feed(&b.finish()[0]).unwrap_err();
+        assert!(matches!(err, FeedError::RecycledThread { .. }), "{err}");
+    }
+
+    #[test]
+    fn recycling_keeps_peak_clock_bytes_bounded() {
+        let wide = churn_trace(16, 4);
+        let mut on = IncrementalDetector::<VectorClock>::new(DetectorConfig {
+            recycle_slots: true,
+            ..DetectorConfig::default()
+        });
+        let mut off = IncrementalDetector::<VectorClock>::new(DetectorConfig::default());
+        for e in &wide {
+            on.feed(e).unwrap();
+            off.feed(e).unwrap();
+        }
+        assert_eq!(on.report(), off.report());
+        // 65 externals squeeze into a handful of slots, so the vector
+        // clocks stay narrow; the direct detector's grow with the total.
+        assert!(
+            on.peak_clock_bytes() * 2 < off.peak_clock_bytes(),
+            "recycling peak {} vs direct peak {}",
+            on.peak_clock_bytes(),
+            off.peak_clock_bytes()
+        );
     }
 
     #[test]

@@ -15,11 +15,14 @@
 //! every quick-corpus case, for all three orders × three backends.
 //!
 //! The scheduler is conservative: whenever parallel feeding *could*
-//! diverge from sequential — eviction configured or already performed,
-//! an event referencing a retired thread (a [`FeedError`] sequentially),
+//! diverge from sequential — slot recycling configured, eviction
+//! already performed or an eviction tick due inside the frame, an
+//! event referencing a retired thread (a [`FeedError`] sequentially),
 //! fewer than two epochs, or a frame too small to pay for the barrier —
 //! it signals the caller to fall back to the sequential path instead.
-//! The parallel path therefore never fails mid-frame.
+//! The parallel path therefore never fails mid-frame. An
+//! eviction-*configured* session that has not actually evicted anything
+//! still gets epoch parallelism between ticks.
 
 use std::collections::{HashMap, VecDeque};
 use std::panic::{self, AssertUnwindSafe};
@@ -299,8 +302,9 @@ struct ShardDone<C: LogicalClock> {
 /// Tries to feed a whole frame through the epoch-parallel path.
 ///
 /// Returns `None` — *without having touched the detector* — when the
-/// frame must be fed sequentially instead: eviction configured or
-/// already active, a reference to a retired thread (sequentially a
+/// frame must be fed sequentially instead: slot recycling configured,
+/// eviction already active (or an eviction tick due inside this
+/// frame), a reference to a retired thread (sequentially a
 /// [`FeedError`]), fewer than two epochs, or fewer than `min_events`
 /// events. On `Some`, the detector state is exactly as if every event
 /// had been fed sequentially; the returned races are what sequential
@@ -318,8 +322,21 @@ pub(crate) fn try_feed_frame_parallel<C>(
 where
     C: LogicalClock + Send + 'static,
 {
-    if events.len() < min_events.max(2) || det.config().evict_every.is_some() || det.evicted() > 0 {
+    let cfg = det.config();
+    if events.len() < min_events.max(2) || cfg.recycle_slots || det.evicted() > 0 {
         return None;
+    }
+    // An eviction-*configured* session may still go epoch-parallel as
+    // long as nothing has been evicted yet (checked above — shard
+    // extraction assumes fully materialized clocks) and no eviction
+    // tick lands inside this frame. Ticks fire when the absolute event
+    // count reaches a multiple of the period, so the frame is safe iff
+    // it does not cross such a multiple.
+    if let Some(n) = cfg.evict_every.filter(|&n| n > 0) {
+        let fed = det.events();
+        if (fed + events.len() as u64) / n != fed / n {
+            return None;
+        }
     }
     // Pre-scan: any event that would be a FeedError sequentially (a
     // reference to a thread retired before the frame, or retired by an
@@ -704,6 +721,97 @@ mod tests {
         assert!(matches!(err, FeedError::RetiredThread { .. }));
         // The other events of the frame were still ingested.
         assert_eq!(par.detector().events(), 5 + 2);
+    }
+
+    #[test]
+    fn evict_configured_sessions_parallelize_between_ticks() {
+        let trace = four_epoch_trace();
+        let events: Vec<Event> = trace.iter().copied().collect();
+        let config = DetectorConfig {
+            evict_every: Some(10_000), // no tick inside a 40-event frame
+            ..DetectorConfig::default()
+        };
+        let mut seq = IncrementalDetector::<TreeClock>::new(config);
+        let mut seq_races = Vec::new();
+        for e in &events {
+            seq_races.extend(seq.feed(e).unwrap().iter().copied());
+        }
+
+        let workers = Arc::new(EpochPool::new(2));
+        let mut par = ParallelDetector::<TreeClock>::new(config, workers, 2);
+        let races = par.feed_frame(&events).unwrap();
+        assert_eq!(par.parallel_frames(), 1, "tickless frame must split");
+        assert_eq!(races, seq_races);
+        assert_eq!(par.detector().report(), seq.report());
+    }
+
+    #[test]
+    fn frames_crossing_an_eviction_tick_fall_back() {
+        let trace = four_epoch_trace();
+        let events: Vec<Event> = trace.iter().copied().collect();
+        let config = DetectorConfig {
+            evict_every: Some(8), // a tick lands inside the frame
+            ..DetectorConfig::default()
+        };
+        let workers = Arc::new(EpochPool::new(2));
+        let mut par = ParallelDetector::<TreeClock>::new(config, workers, 2);
+        par.feed_frame(&events).unwrap();
+        assert_eq!(par.parallel_frames(), 0);
+        assert_eq!(par.sequential_frames(), 1);
+    }
+
+    #[test]
+    fn sessions_that_already_evicted_fall_back() {
+        // Frame 1: exactly 44 events ending on the eviction tick — the
+        // lock clock (t0's release time) is dominated by t0's live
+        // clock, so the tick actually evicts state. Threads t1..t7 are
+        // forked up front so frame 2 passes the post-eviction
+        // fork-discipline guard.
+        let mut b = TraceBuilder::new();
+        b.acquire_id(0, 0).release_id(0, 0);
+        // Fork frame 2's threads *after* the release: every child copies
+        // t0's post-release clock, so the live floor dominates the lock
+        // clock — and frame 2 passes the post-eviction fork-discipline
+        // guard.
+        for u in 1..8u32 {
+            b.fork(0, u);
+        }
+        for _ in 0..35 {
+            b.write_id(0, 0);
+        }
+        let frame1: Vec<Event> = b.finish().iter().copied().collect();
+        assert_eq!(frame1.len(), 44);
+
+        let config = DetectorConfig {
+            evict_every: Some(44),
+            ..DetectorConfig::default()
+        };
+        let workers = Arc::new(EpochPool::new(2));
+        let mut par = ParallelDetector::<TreeClock>::new(config, workers, 2);
+        par.feed_frame(&frame1).unwrap();
+        assert!(par.detector().evicted() > 0, "the tick must evict");
+
+        // Frame 2: splittable and tick-free (events 45..=84 cross no
+        // multiple of 44) — but the session has evicted, so it must
+        // stay sequential.
+        let events: Vec<Event> = four_epoch_trace().iter().copied().collect();
+        par.feed_frame(&events).unwrap();
+        assert_eq!(par.parallel_frames(), 0);
+        assert_eq!(par.sequential_frames(), 2);
+    }
+
+    #[test]
+    fn recycling_sessions_always_fall_back() {
+        let events: Vec<Event> = four_epoch_trace().iter().copied().collect();
+        let config = DetectorConfig {
+            recycle_slots: true,
+            ..DetectorConfig::default()
+        };
+        let workers = Arc::new(EpochPool::new(2));
+        let mut par = ParallelDetector::<TreeClock>::new(config, workers, 2);
+        par.feed_frame(&events).unwrap();
+        assert_eq!(par.parallel_frames(), 0);
+        assert_eq!(par.sequential_frames(), 1);
     }
 
     #[test]

@@ -31,7 +31,7 @@
 //! the most recent session it opened:
 //!
 //! ```text
-//! open <order> <clock> [evict <n>] [no-retire]
+//! open <order> <clock> [evict <n>] [no-retire] [recycle]
 //! ```
 //!
 //! answered with `ok session <id> order <order> clock <backend>`;
@@ -133,6 +133,7 @@ struct AggregateStats {
     events: AtomicU64,
     rejected: AtomicU64,
     races: AtomicU64,
+    recycled: AtomicU64,
 }
 
 impl AggregateStats {
@@ -143,15 +144,17 @@ impl AggregateStats {
             events: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             races: AtomicU64::new(0),
+            recycled: AtomicU64::new(0),
         }
     }
 
     /// Adds one session's counters; `true` when this was the last
     /// outstanding session and the reply must be written.
-    fn fold(&self, events: u64, rejected: u64, races: u64) -> bool {
+    fn fold(&self, events: u64, rejected: u64, races: u64, recycled: u64) -> bool {
         self.events.fetch_add(events, Ordering::Relaxed);
         self.rejected.fetch_add(rejected, Ordering::Relaxed);
         self.races.fetch_add(races, Ordering::Relaxed);
+        self.recycled.fetch_add(recycled, Ordering::Relaxed);
         self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
     }
 
@@ -163,11 +166,12 @@ impl AggregateStats {
 
     fn render(&self) -> String {
         format!(
-            "ok stats-all sessions={} events={} rejected={} races={}\n",
+            "ok stats-all sessions={} events={} rejected={} races={} recycled_slots={}\n",
             self.sessions,
             self.events.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
             self.races.load(Ordering::Relaxed),
+            self.recycled.load(Ordering::Relaxed),
         )
     }
 }
@@ -184,9 +188,9 @@ struct StatsTicket {
 }
 
 impl StatsTicket {
-    fn fold(&mut self, events: u64, rejected: u64, races: u64) {
+    fn fold(&mut self, events: u64, rejected: u64, races: u64, recycled: u64) {
         self.folded = true;
-        if self.agg.fold(events, rejected, races) {
+        if self.agg.fold(events, rejected, races, recycled) {
             let _ = self.conn.write_reply(self.agg.render().as_bytes());
         }
     }
@@ -475,6 +479,7 @@ fn process_item(session: &mut Session, item: WorkItem, closed: &mut bool) {
             session.detector().events(),
             session.rejected(),
             session.detector().report().total,
+            session.detector().recycled_slots(),
         ),
         ItemKind::Close => *closed = true,
     }
@@ -888,8 +893,15 @@ fn parse_open(parts: &[&str]) -> Result<(ClockChoice, DetectorConfig), String> {
                 config.retire_on_join = false;
                 i += 1;
             }
+            "recycle" => {
+                config.recycle_slots = true;
+                i += 1;
+            }
             other => return Err(format!("unknown open option `{other}`")),
         }
+    }
+    if config.recycle_slots && !config.retire_on_join {
+        return Err("recycle requires join retirement; drop no-retire".to_owned());
     }
     Ok((clock, config))
 }

@@ -152,6 +152,26 @@ impl AnyDetector {
         dispatch!(self, d => d.pool().heap_bytes())
     }
 
+    /// See [`IncrementalDetector::live_threads`].
+    pub fn live_threads(&self) -> usize {
+        dispatch!(self, d => d.live_threads())
+    }
+
+    /// See [`IncrementalDetector::total_threads`].
+    pub fn total_threads(&self) -> usize {
+        dispatch!(self, d => d.total_threads())
+    }
+
+    /// See [`IncrementalDetector::recycled_slots`].
+    pub fn recycled_slots(&self) -> u64 {
+        dispatch!(self, d => d.recycled_slots())
+    }
+
+    /// See [`IncrementalDetector::peak_clock_bytes`].
+    pub fn peak_clock_bytes(&self) -> usize {
+        dispatch!(self, d => d.peak_clock_bytes())
+    }
+
     /// See [`IncrementalDetector::timestamp_of`].
     pub fn timestamp_of(&self, t: ThreadId) -> VectorTime {
         dispatch!(self, d => d.timestamp_of(t))
@@ -479,7 +499,8 @@ impl Session {
                     out,
                     "ok events={} threads={} races={} checks={} rejected={} retired={} \
                      evicted={} clock_bytes={} pool_bytes={} backend={} order={} \
-                     parallel_frames={}",
+                     parallel_frames={} live_threads={} total_threads={} \
+                     recycled_slots={} peak_clock_bytes={}",
                     d.events(),
                     d.threads_seen(),
                     report.total,
@@ -492,6 +513,10 @@ impl Session {
                     d.backend_name(),
                     d.config().order,
                     self.parallel.as_ref().map_or(0, |p| p.parallel_frames),
+                    d.live_threads(),
+                    d.total_threads(),
+                    d.recycled_slots(),
+                    d.peak_clock_bytes(),
                 );
             }
             "timestamp" => match parts.next() {

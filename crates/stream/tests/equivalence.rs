@@ -121,6 +121,7 @@ fn eviction_streams_identically_on_fork_disciplined_traces() {
             order,
             retire_on_join: true,
             evict_every: Some(16),
+            recycle_slots: false,
         };
         let mut d = IncrementalDetector::<TreeClock>::new(config);
         for (i, e) in trace.iter().enumerate() {

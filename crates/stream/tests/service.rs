@@ -391,7 +391,7 @@ fn multi_session_frames_and_stats_all_aggregate_in_one_round_trip() {
         .unwrap();
     assert_eq!(
         line.trim_end(),
-        "ok stats-all sessions=0 events=0 rejected=0 races=0"
+        "ok stats-all sessions=0 events=0 rejected=0 races=0 recycled_slots=0"
     );
     drop(bare);
 
@@ -479,6 +479,47 @@ fn corrupt_frames_close_the_connection() {
     stream.read_to_end(&mut reply).unwrap(); // EOF proves the hangup
     let text = String::from_utf8_lossy(&reply);
     assert!(text.starts_with("err"), "{text}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn recycling_session_reports_identity_telemetry() {
+    let server = start();
+    let addr = server.local_addr();
+    let mut client = Client::open(addr, "hb tc recycle").unwrap();
+    // Fork/act/join churn: once the coordinator joins a worker, its
+    // slot is reclaimable, so each new wave's bind reuses it.
+    for wave in 0..4 {
+        let w = format!("w{wave}");
+        client.send(&format!("main fork {w}")).unwrap();
+        client.send(&format!("{w} w x")).unwrap();
+        client.send(&format!("main join {w}")).unwrap();
+    }
+    let stats = client.request("stats").unwrap();
+    let line = stats.last().unwrap();
+    assert!(line.contains("live_threads=1"), "{line}");
+    assert!(line.contains("total_threads=5"), "{line}");
+    let field = |key: &str| -> u64 {
+        line.split_whitespace()
+            .find_map(|w| w.strip_prefix(key))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("missing {key} in `{line}`"))
+    };
+    assert!(field("recycled_slots=") > 0, "{line}");
+    assert!(field("peak_clock_bytes=") > 0, "{line}");
+
+    // The aggregate reply carries the recycled count too.
+    let reply = client.request("stats-all").unwrap();
+    let agg = reply.last().unwrap();
+    assert!(agg.contains("sessions=1"), "{agg}");
+    let recycled: u64 = agg
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("recycled_slots="))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("missing recycled_slots in `{agg}`"));
+    assert!(recycled > 0, "{agg}");
+    client.request("close").unwrap();
     server.shutdown();
     server.join();
 }

@@ -323,18 +323,115 @@ pub fn bursty_channels(threads: u32, events: usize, seed: u64) -> Trace {
     b.finish()
 }
 
+/// Spawn/join churn: a long-lived coordinator forks short-lived worker
+/// waves and joins every worker before the next wave starts, so the
+/// *live* thread count stays at the wave width while the *total* thread
+/// count grows without bound.
+///
+/// `threads` is the total number of threads realized (coordinator
+/// included); the wave width defaults to `min(threads - 1, 8)`. Workers
+/// read the coordinator's broadcast, update a lock-guarded shared
+/// accumulator, and churn a private scratch variable — race-free by
+/// construction. This is the thread-pool / request-handler lifecycle
+/// that motivates identity recycling: without slot reuse every clock
+/// grows with the total spawn count even though almost every thread is
+/// dead.
+///
+/// # Example
+///
+/// ```rust
+/// use tc_trace::gen::families::spawn_join_churn;
+///
+/// let t = spawn_join_churn(10, 500, 1);
+/// assert!(t.validate().is_ok());
+/// assert_eq!(t.thread_count(), 10);
+/// ```
+pub fn spawn_join_churn(threads: u32, events: usize, seed: u64) -> Trace {
+    let width = threads.saturating_sub(1).min(8);
+    spawn_join_churn_sized(threads, width, events, seed)
+}
+
+/// [`spawn_join_churn`] with an explicit wave width: at most
+/// `live_width` workers are alive at any moment, while
+/// `total_threads - 1` workers are spawned over the whole trace.
+///
+/// The benchmark and memory-regression harnesses use this entry point
+/// to hold the live set fixed (~64) while scaling the total spawn count
+/// 10× — the regime where recycled slot widths stay flat and direct
+/// widths grow.
+pub fn spawn_join_churn_sized(
+    total_threads: u32,
+    live_width: u32,
+    events: usize,
+    seed: u64,
+) -> Trace {
+    assert!(
+        total_threads >= 2,
+        "spawn/join churn needs a coordinator and a worker"
+    );
+    let workers = total_threads - 1;
+    let width = live_width.clamp(1, workers);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TraceBuilder::with_capacity(events + 12 * total_threads as usize);
+    // Variable 0 is the coordinator's broadcast (written only while no
+    // worker is live), variable 1 the lock-0-guarded shared
+    // accumulator, and 2 + u worker u's private scratch.
+    let waves = workers.div_ceil(width) as usize;
+    let overhead = 1 + 2 * workers as usize + waves;
+    let per = events.saturating_sub(overhead).max(1) / workers as usize;
+    b.write_id(0, 0);
+    let mut next = 1u32;
+    while next <= workers {
+        let wave: Vec<u32> = (next..=workers.min(next + width - 1)).collect();
+        next += wave.len() as u32;
+        for &u in &wave {
+            b.fork(0, u);
+        }
+        for &u in &wave {
+            b.read_id(u, 0);
+            let mut emitted = 1usize;
+            while emitted < per {
+                if rng.random_range(0..6u32) == 0 {
+                    b.acquire_id(u, 0);
+                    b.write_id(u, 1);
+                    b.release_id(u, 0);
+                    emitted += 3;
+                } else if rng.random_range(0..2u32) == 0 {
+                    b.write_id(u, 2 + u);
+                    emitted += 1;
+                } else {
+                    b.read_id(u, 2 + u);
+                    emitted += 1;
+                }
+            }
+        }
+        for &u in &wave {
+            b.join(0, u);
+        }
+        // The next broadcast: every worker of the wave is joined, so
+        // the write is ordered after all their reads.
+        b.write_id(0, 0);
+    }
+    // Top up any rounding shortfall with coordinator-local work.
+    while b.len() < events {
+        b.read_id(0, 0);
+    }
+    b.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::Op;
 
     type Gen = fn(u32, usize, u64) -> Trace;
-    const FAMILIES: [(&str, Gen); 5] = [
+    const FAMILIES: [(&str, Gen); 6] = [
         ("fork-join-tree", fork_join_tree),
         ("barrier-phases", barrier_phases),
         ("pipeline", pipeline),
         ("read-mostly", read_mostly),
         ("bursty-channels", bursty_channels),
+        ("spawn-join-churn", spawn_join_churn),
     ];
 
     #[test]
@@ -447,5 +544,43 @@ mod tests {
     #[should_panic(expected = "two stages")]
     fn pipeline_rejects_single_thread() {
         pipeline(1, 100, 0);
+    }
+
+    #[test]
+    fn spawn_join_churn_forks_and_joins_every_worker_once() {
+        let t = spawn_join_churn(20, 2_000, 1);
+        let forks = t.iter().filter(|e| matches!(e.op, Op::Fork(_))).count();
+        let joins = t.iter().filter(|e| matches!(e.op, Op::Join(_))).count();
+        assert_eq!(forks, 19);
+        assert_eq!(joins, 19);
+        assert_eq!(t.thread_count(), 20);
+    }
+
+    #[test]
+    fn spawn_join_churn_sized_bounds_the_live_set_to_the_wave_width() {
+        let width = 4u32;
+        let t = spawn_join_churn_sized(33, width, 3_000, 2);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.thread_count(), 33);
+        let mut live = 0i64;
+        let mut peak = 0i64;
+        for e in &t {
+            match e.op {
+                Op::Fork(_) => {
+                    live += 1;
+                    peak = peak.max(live);
+                }
+                Op::Join(_) => live -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(live, 0, "every worker must be joined");
+        assert_eq!(peak, i64::from(width), "wave width must cap liveness");
+    }
+
+    #[test]
+    #[should_panic(expected = "coordinator")]
+    fn spawn_join_churn_rejects_single_thread() {
+        spawn_join_churn(1, 100, 0);
     }
 }

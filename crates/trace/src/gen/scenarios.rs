@@ -149,6 +149,9 @@ pub enum Scenario {
     ReadMostly,
     /// Bursty hot/cold channel traffic between migrating thread pairs.
     BurstyChannels,
+    /// Coordinator-driven waves of short-lived forked workers, each
+    /// joined before the next wave (thread-pool lifecycle churn).
+    SpawnJoinChurn,
 }
 
 impl Scenario {
@@ -165,7 +168,7 @@ impl Scenario {
     /// Every registered scenario family: [`FIG10`](Self::FIG10)
     /// followed by the structured families of
     /// [`families`](crate::gen::families).
-    pub const ALL: [Scenario; 9] = [
+    pub const ALL: [Scenario; 10] = [
         Scenario::SingleLock,
         Scenario::SkewedLocks,
         Scenario::Star,
@@ -175,6 +178,7 @@ impl Scenario {
         Scenario::Pipeline,
         Scenario::ReadMostly,
         Scenario::BurstyChannels,
+        Scenario::SpawnJoinChurn,
     ];
 
     /// Generates a trace for this scenario.
@@ -190,6 +194,7 @@ impl Scenario {
             Scenario::Pipeline => families::pipeline(threads, events, seed),
             Scenario::ReadMostly => families::read_mostly(threads, events, seed),
             Scenario::BurstyChannels => families::bursty_channels(threads, events, seed),
+            Scenario::SpawnJoinChurn => families::spawn_join_churn(threads, events, seed),
         }
     }
 
@@ -207,9 +212,11 @@ impl Scenario {
             | Scenario::ForkJoinTree
             | Scenario::BarrierPhases
             | Scenario::ReadMostly => 1,
-            Scenario::Star | Scenario::Pairwise | Scenario::Pipeline | Scenario::BurstyChannels => {
-                2
-            }
+            Scenario::Star
+            | Scenario::Pairwise
+            | Scenario::Pipeline
+            | Scenario::BurstyChannels
+            | Scenario::SpawnJoinChurn => 2,
         }
     }
 }
@@ -226,6 +233,7 @@ impl fmt::Display for Scenario {
             Scenario::Pipeline => "pipeline",
             Scenario::ReadMostly => "read-mostly",
             Scenario::BurstyChannels => "bursty-channels",
+            Scenario::SpawnJoinChurn => "spawn-join-churn",
         };
         f.write_str(name)
     }
@@ -245,10 +253,11 @@ impl FromStr for Scenario {
             "pipeline" => Ok(Scenario::Pipeline),
             "read-mostly" => Ok(Scenario::ReadMostly),
             "bursty-channels" => Ok(Scenario::BurstyChannels),
+            "spawn-join-churn" => Ok(Scenario::SpawnJoinChurn),
             other => Err(format!(
                 "unknown scenario `{other}` (expected single-lock, skewed-locks, star, \
                  pairwise, fork-join-tree, barrier-phases, pipeline, read-mostly, \
-                 bursty-channels)"
+                 bursty-channels, spawn-join-churn)"
             )),
         }
     }

@@ -16,8 +16,8 @@ fn scenario_registry_is_populated() {
     );
     assert_eq!(
         Scenario::ALL.len(),
-        9,
-        "the registry carries the four Figure-10 scenarios plus the five \
+        10,
+        "the registry carries the four Figure-10 scenarios plus the six \
          structured workload families"
     );
     assert_eq!(Scenario::ALL[..4], Scenario::FIG10);
