@@ -63,7 +63,15 @@ pub const SCHEMA: &str = "treeclocks/bench-baseline";
 /// off, with `recycled_slots` and both `peak_clock_bytes_on` /
 /// `peak_clock_bytes_off` columns), and the structured-family grid of
 /// `--full` now includes the `spawn-join-churn` scenario.
-pub const SCHEMA_VERSION: u64 = 5;
+///
+/// v6: added the `telemetry` record kind (the always-on telemetry
+/// overhead A/B: best single-session binary ingest events/sec with the
+/// live registry vs the `NullRecorder` configuration, plus the derived
+/// `overhead_pct`) and the `phase` record kind (the epoch-parallel
+/// pipeline's per-phase latency summary — count, total and
+/// p50/p95/p99 microseconds for partition/scatter/execute/gather/
+/// barrier at a recorded worker count).
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// One measured cell of the baseline grid.
 #[derive(Clone, Debug)]
@@ -478,6 +486,10 @@ pub struct BenchDoc {
     pub parallel: Vec<crate::parallel::ParallelRecord>,
     /// Spawn/join-churn memory cells (`kind: "churn"`).
     pub churn: Vec<ChurnRecord>,
+    /// Telemetry-overhead A/B cells (`kind: "telemetry"`).
+    pub telemetry: Vec<crate::telemetry::TelemetryOverheadRecord>,
+    /// Epoch-parallel phase summaries (`kind: "phase"`).
+    pub phases: Vec<crate::telemetry::PhaseBreakdownRecord>,
 }
 
 /// Renders engine-only records as the schema-stable JSON document
@@ -573,6 +585,27 @@ pub fn to_json_doc(doc: &BenchDoc, mode: &str) -> String {
             ("peak_clock_bytes_off", r.peak_clock_bytes_off.into()),
         ])
     }));
+    records.extend(doc.telemetry.iter().map(|r| {
+        Value::obj([
+            ("kind", "telemetry".into()),
+            ("events", r.events.into()),
+            ("on_events_per_sec", r.on_events_per_sec.into()),
+            ("off_events_per_sec", r.off_events_per_sec.into()),
+            ("overhead_pct", r.overhead_pct().into()),
+        ])
+    }));
+    records.extend(doc.phases.iter().map(|r| {
+        Value::obj([
+            ("kind", "phase".into()),
+            ("phase", r.phase.into()),
+            ("workers", r.workers.into()),
+            ("count", r.count.into()),
+            ("total_us", r.total_us.into()),
+            ("p50_us", r.p50_us.into()),
+            ("p95_us", r.p95_us.into()),
+            ("p99_us", r.p99_us.into()),
+        ])
+    }));
     let doc = Value::obj([
         ("schema", SCHEMA.into()),
         ("version", SCHEMA_VERSION.into()),
@@ -615,6 +648,13 @@ pub struct BaselineSummary {
     pub parallel_speedup: f64,
     /// Spawn/join-churn memory records in the document.
     pub churn: usize,
+    /// Telemetry-overhead A/B records in the document.
+    pub telemetry: usize,
+    /// Epoch-parallel phase-summary records in the document.
+    pub phase: usize,
+    /// Worst `overhead_pct` among telemetry records (0.0 when the
+    /// document has none; negative means telemetry-on was faster).
+    pub telemetry_overhead_pct: f64,
 }
 
 const REQUIRED_NUMS: [&str; 10] = [
@@ -631,6 +671,11 @@ const REQUIRED_NUMS: [&str; 10] = [
 ];
 
 const BACKENDS: [&str; 3] = ["tree", "vector", "hybrid"];
+
+/// Valid `phase` values of the v6 `phase` record kind (kept in sync
+/// with [`tc_stream::PHASES`], but spelled out so validation does not
+/// depend on the service crate's ordering).
+const PHASE_NAMES: [&str; 5] = ["partition", "scatter", "execute", "gather", "barrier"];
 
 /// Parses and schema-checks a baseline document.
 ///
@@ -666,6 +711,8 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
     let mut parallel_cells: Vec<(&str, f64, f64)> = Vec::new();
     let (mut ingest, mut suite, mut calibration, mut parallel, mut churn) =
         (0usize, 0usize, 0usize, 0usize, 0usize);
+    let (mut telemetry, mut phase) = (0usize, 0usize);
+    let mut telemetry_overhead_pct = 0.0f64;
     for (i, r) in records.iter().enumerate() {
         let field = |name: &str| {
             r.get(name)
@@ -771,6 +818,44 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
                 }
                 continue;
             }
+            "telemetry" => {
+                telemetry += 1;
+                num_field("events")?;
+                if num_field("on_events_per_sec")? <= 0.0 || num_field("off_events_per_sec")? <= 0.0
+                {
+                    return Err(format!(
+                        "record {i}: telemetry rates must be positive (a zero rate \
+                         means a configuration was never measured)"
+                    ));
+                }
+                // Unlike every other number, the tax may legitimately
+                // be negative (telemetry-on faster than the noise
+                // floor), so it skips `num_field`'s sign check.
+                let pct = field("overhead_pct")?
+                    .as_num()
+                    .ok_or_else(|| format!("record {i}: `overhead_pct` is not a number"))?;
+                telemetry_overhead_pct = telemetry_overhead_pct.max(pct);
+                continue;
+            }
+            "phase" => {
+                phase += 1;
+                let name = field("phase")?
+                    .as_str()
+                    .ok_or_else(|| format!("record {i}: `phase` is not a string"))?;
+                if !PHASE_NAMES.contains(&name) {
+                    return Err(format!("record {i}: unknown phase `{name}`"));
+                }
+                for name in ["workers", "count", "total_us", "p50_us", "p95_us", "p99_us"] {
+                    num_field(name)?;
+                }
+                if num_field("count")? < 1.0 {
+                    return Err(format!(
+                        "record {i}: phase `count` must be >= 1 (an unsampled phase \
+                         means the run never took the epoch path)"
+                    ));
+                }
+                continue;
+            }
             other => return Err(format!("record {i}: unknown record kind `{other}`")),
         }
         let scenario = field("scenario")?
@@ -865,6 +950,9 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
         parallel,
         parallel_speedup,
         churn,
+        telemetry,
+        phase,
+        telemetry_overhead_pct,
     })
 }
 
@@ -943,6 +1031,20 @@ mod tests {
                 peak_clock_bytes_on: 40_000,
                 peak_clock_bytes_off: 300_000,
             }],
+            telemetry: vec![crate::telemetry::TelemetryOverheadRecord {
+                events: 30_000,
+                on_events_per_sec: 990_000.0,
+                off_events_per_sec: 1_000_000.0,
+            }],
+            phases: vec![crate::telemetry::PhaseBreakdownRecord {
+                phase: "execute",
+                workers: 2,
+                count: 24,
+                total_us: 4_800,
+                p50_us: 127,
+                p95_us: 255,
+                p99_us: 511,
+            }],
         };
         let json = to_json_doc(&doc, "quick");
         let summary = validate(&json).expect("full documents must validate");
@@ -951,6 +1053,13 @@ mod tests {
         assert_eq!(summary.calibration, 1);
         assert_eq!(summary.parallel, 2);
         assert_eq!(summary.churn, 1);
+        assert_eq!(summary.telemetry, 1);
+        assert_eq!(summary.phase, 1);
+        assert!(
+            (summary.telemetry_overhead_pct - 1.0).abs() < 1e-9,
+            "990k on vs 1M off is a 1% tax: {}",
+            summary.telemetry_overhead_pct
+        );
         assert!(
             (summary.binary_speedup - 5.0).abs() < 1e-9,
             "binary at 5x text: {}",
@@ -980,6 +1089,15 @@ mod tests {
         }
         let bad = json.replace("\"peak_clock_bytes_off\"", "\"peak_clock_bytes_of\"");
         assert!(validate(&bad).unwrap_err().contains("peak_clock_bytes_off"));
+        let bad = json.replace(
+            "\"kind\": \"phase\", \"phase\": \"execute\"",
+            "\"kind\": \"phase\", \"phase\": \"reticulate\"",
+        );
+        if bad != json {
+            assert!(validate(&bad).unwrap_err().contains("phase"));
+        }
+        let bad = json.replace("\"overhead_pct\"", "\"overhead_cpt\"");
+        assert!(validate(&bad).unwrap_err().contains("overhead_pct"));
     }
 
     #[test]

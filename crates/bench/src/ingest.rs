@@ -113,6 +113,7 @@ pub fn collect(scale: IngestScale, mut progress: impl FnMut(&str)) -> Vec<Ingest
         // Ingest cells measure the wire/dispatch path; intra-session
         // parallelism is benched separately (the `parallel` records).
         parallel: 0,
+        telemetry: true,
     })
     .expect("ingest bench server binds a free loopback port");
     let addr = server.local_addr();
@@ -141,7 +142,7 @@ fn assert_synced(line: &str, events: usize, cell: &str) {
     );
 }
 
-fn single_session(addr: SocketAddr, events: usize, binary: bool) -> IngestRecord {
+pub(crate) fn single_session(addr: SocketAddr, events: usize, binary: bool) -> IngestRecord {
     let trace = workload(events, 0x1261);
     let mut client = Client::open(addr, "hb tc").expect("ingest bench session opens");
     // Pre-render outside the timed region: the cell measures the

@@ -35,9 +35,11 @@ pub mod render;
 pub mod runner;
 pub mod suite;
 pub mod tables;
+pub mod telemetry;
 
 pub use baseline::{BaselineRecord, BaselineSummary, BenchDoc, ChurnRecord};
 pub use ingest::{IngestRecord, IngestScale};
 pub use parallel::{ParallelRecord, ParallelScale};
 pub use runner::{ClockKind, Measurement, Mode};
 pub use suite::{suite, Scale, SuiteEntry};
+pub use telemetry::{PhaseBreakdownRecord, TelemetryOverheadRecord};

@@ -79,7 +79,7 @@ impl ParallelScale {
 /// Generates the epoch-friendly frames: pair `g` is threads `2g` and
 /// `2g + 1` alternating writes to variable `g` — no cross-pair edges,
 /// so the partitioner splits every frame into exactly `pairs` epochs.
-fn epoch_frames(scale: ParallelScale) -> Vec<Vec<Event>> {
+pub(crate) fn epoch_frames(scale: ParallelScale) -> Vec<Vec<Event>> {
     (0..scale.frames)
         .map(|_| {
             (0..scale.frame_events)

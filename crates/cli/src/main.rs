@@ -31,9 +31,10 @@ use tc_conformance::{check_trace, run_sweep, Corpus, Fault, SweepOptions};
 use tc_core::{HybridClock, TreeClock, VectorClock};
 use tc_orders::{HbEngine, MazEngine, PartialOrderKind, ShbEngine};
 use tc_stream::{
-    AnyDetector, Checkpoint, ClockChoice, DetectorConfig, EpochPool, ServeConfig, Server, Session,
-    DEFAULT_MIN_PARALLEL_FRAME,
+    phase_metric_name, AnyDetector, Checkpoint, ClockChoice, DetectorConfig, EpochPool,
+    PhaseMetrics, ServeConfig, Server, Session, DEFAULT_MIN_PARALLEL_FRAME, PHASES,
 };
+use tc_telemetry::Registry;
 use tc_trace::gen::{Scenario, WorkloadSpec};
 use tc_trace::{binary_format, text_format, Event, EventReader, SessionValidator, Trace};
 
@@ -413,7 +414,7 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
 /// Default output file of `tcr bench --json`. The number tracks the PR
 /// that produced the baseline, so the repository accumulates a
 /// `BENCH_*.json` perf trajectory over time.
-const BENCH_JSON_DEFAULT: &str = "BENCH_8.json";
+const BENCH_JSON_DEFAULT: &str = "BENCH_9.json";
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (flags, kv) = Flags::parse(args, &["out", "trace", "check"], &["json", "quick", "full"])?;
@@ -482,6 +483,7 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             } else {
                 tc_bench::ParallelScale::default_scale()
             };
+            let (overhead_events, overhead_passes) = if quick { (30_000, 2) } else { (120_000, 3) };
             tc_bench::BenchDoc {
                 engine: records,
                 ingest: tc_bench::ingest::collect(ingest_scale, |cell| eprintln!("bench: {cell}")),
@@ -491,6 +493,14 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                     eprintln!("bench: {cell}")
                 }),
                 churn: baseline::collect_churn(|cell| eprintln!("bench: {cell}")),
+                telemetry: vec![tc_bench::telemetry::collect_overhead(
+                    overhead_events,
+                    overhead_passes,
+                    |cell| eprintln!("bench: {cell}"),
+                )],
+                phases: tc_bench::telemetry::collect_phases(parallel_scale, 2, |cell| {
+                    eprintln!("bench: {cell}")
+                }),
             }
         };
         let json = baseline::to_json_doc(&doc, mode);
@@ -499,8 +509,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         println!(
             "wrote {out}: {} record(s), {} configuration(s), tree <= vector wall time on {}, \
              hybrid within 2x of vector on {}, {} ingest / {} suite / {} calibration / {} \
-             parallel / {} churn record(s), binary ingest at {:.1}x text, parallel detection \
-             at {:.2}x sequential",
+             parallel / {} churn / {} telemetry / {} phase record(s), binary ingest at {:.1}x \
+             text, parallel detection at {:.2}x sequential, telemetry tax {:.2}%",
             summary.records,
             summary.configs,
             summary.tree_wins,
@@ -510,8 +520,11 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             summary.calibration,
             summary.parallel,
             summary.churn,
+            summary.telemetry,
+            summary.phase,
             summary.binary_speedup,
-            summary.parallel_speedup
+            summary.parallel_speedup,
+            summary.telemetry_overhead_pct
         );
     } else {
         let mut t = TextTable::new([
@@ -550,8 +563,9 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             "checkpoint-every",
             "resume",
             "parallel",
+            "trace-out",
         ],
-        &["no-retire", "recycle"],
+        &["no-retire", "recycle", "profile"],
     )?;
     let [path] = flags.positional[..] else {
         return Err("stream requires exactly one FILE".into());
@@ -576,6 +590,13 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
     let recycle = value(&kv, "recycle").is_some();
     if recycle && value(&kv, "no-retire").is_some() {
         return Err("--recycle requires join retirement; drop --no-retire".into());
+    }
+    let profile = value(&kv, "profile").is_some();
+    let trace_out = value(&kv, "trace-out");
+    if (profile || trace_out.is_some()) && parallel_workers == 0 {
+        return Err(
+            "--profile/--trace-out instrument the epoch-parallel pipeline; add --parallel N".into(),
+        );
     }
     let mut config = DetectorConfig {
         order,
@@ -633,6 +654,8 @@ fn cmd_stream(args: &[String]) -> Result<(), String> {
             limit,
             checkpoint_path,
             checkpoint_every,
+            profile,
+            trace_out,
         );
     }
 
@@ -738,6 +761,8 @@ fn stream_parallel(
     limit: usize,
     checkpoint_path: Option<&str>,
     checkpoint_every: Option<u64>,
+    profile: bool,
+    trace_out: Option<&str>,
 ) -> Result<(), String> {
     let order = detector.config().order;
     let mut session = Session::from_parts(0, detector, validator);
@@ -745,6 +770,14 @@ fn stream_parallel(
         Arc::new(EpochPool::new(workers)),
         DEFAULT_MIN_PARALLEL_FRAME,
     );
+    // Only pay for phase telemetry when the run asked to see it; the
+    // null registry hands out inert handles.
+    let registry = if profile || trace_out.is_some() {
+        Registry::new()
+    } else {
+        Registry::null()
+    };
+    session.set_phase_metrics(PhaseMetrics::new(&registry));
 
     let start = std::time::Instant::now();
     let stdout = std::io::stdout();
@@ -826,6 +859,37 @@ fn stream_parallel(
         d.recycled_slots(),
         d.peak_clock_bytes(),
     );
+    if profile {
+        let mut table =
+            TextTable::new(["phase", "count", "total_ms", "mean_us", "p50", "p95", "p99"])
+                .with_title("epoch-parallel phase breakdown (microseconds)");
+        for phase in PHASES {
+            let snap = registry.histogram_snapshot(&phase_metric_name(phase));
+            let mean = if snap.count > 0 {
+                snap.sum as f64 / snap.count as f64
+            } else {
+                0.0
+            };
+            table.row([
+                phase.to_owned(),
+                snap.count.to_string(),
+                format!("{:.3}", snap.sum as f64 / 1000.0),
+                format!("{mean:.1}"),
+                snap.quantile(0.5).to_string(),
+                snap.quantile(0.95).to_string(),
+                snap.quantile(0.99).to_string(),
+            ]);
+        }
+        let _ = write!(out, "{table}");
+    }
+    if let Some(trace_path) = trace_out {
+        std::fs::write(trace_path, registry.chrome_trace())
+            .map_err(|e| format!("cannot write {trace_path}: {e}"))?;
+        let _ = writeln!(
+            out,
+            "chrome trace written to {trace_path} (load in chrome://tracing or Perfetto)"
+        );
+    }
     Ok(())
 }
 
@@ -872,6 +936,7 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         addr,
         workers,
         parallel,
+        telemetry: true,
     })
     .map_err(|e| format!("cannot start server: {e}"))?;
     let parallel_note = if parallel > 0 {
@@ -919,6 +984,7 @@ USAGE:
   tcr stream FILE [--order hb|shb|maz] [--clock tc|vc|hc] [--limit N]
              [--evict N] [--no-retire] [--recycle] [--checkpoint FILE]
              [--checkpoint-every N] [--resume FILE] [--parallel N]
+             [--profile] [--trace-out FILE]
   tcr serve [--port P | --addr A] [--workers N]
             [--parallel-sessions N] [--smoke]
 
@@ -940,14 +1006,16 @@ bench records the perf baseline: FIG10 scenarios x HB/SHB/MAZ x
 tree/vector/hybrid, with wall time, operation counts, VTWork/DSWork,
 peak clock bytes and pool telemetry. --full folds the five structured
 workload families into the grid (at a budgeted size). --json writes the
-schema-stable BENCH_8.json (or -o FILE), which additionally carries
+schema-stable BENCH_9.json (or -o FILE), which additionally carries
 ingest-throughput records (events/sec through the live serve socket
 path, text vs binary x single-session vs 1000-session fan-in via
 multi-session frames + stats-all), the 39-entry synthetic suite's
 per-backend wall times, the hybrid's dense-cutoff calibration cells,
-and epoch-parallel detection cells (backend x worker count against a
-sequential baseline); --check validates an existing baseline; --trace
-benches one trace file (engine records only).
+epoch-parallel detection cells (backend x worker count against a
+sequential baseline), the telemetry-overhead A/B (live registry vs
+NullRecorder ingest rate) and the epoch-parallel per-phase latency
+summary; --check validates an existing baseline; --trace benches one
+trace file (engine records only).
 
 stream analyzes FILE incrementally (chunked reads, nothing
 materialized), printing races as they are found, with bounded memory:
@@ -961,16 +1029,24 @@ with --checkpoint-every); --resume FILE fast-forwards past a
 checkpoint's events and continues with byte-identical reports.
 --parallel N batches events into frames and splits each frame into
 conflict-free epochs fanned across N workers — same reports and
-timestamps, higher throughput on epoch-rich traces.
+timestamps, higher throughput on epoch-rich traces. --profile prints a
+per-phase latency table (partition/scatter/execute/gather/barrier) for
+the parallel pipeline; --trace-out FILE dumps the recorded phase spans
+as chrome://tracing JSON (load in chrome://tracing or Perfetto). Both
+require --parallel.
 
 serve runs the multi-client analysis service: a nonblocking ingest
 core feeding a work-stealing worker pool, each session an independent
 streaming detector. Text protocol: `open <order> <clock> [evict <n>]
 [no-retire] [recycle]` or `resume <checkpoint>`, then text-format event lines;
-`poll`/`races` report found races, `stats` one key=value line,
-`timestamp <thread>`, `checkpoint <path>`, `use <id>` rebinds to an
-earlier session, `close`, `shutdown`; `stats-all` aggregates every
-session the connection opened in one reply. Binary protocol (same
+`poll`/`races` report found races, `stats` one key=value line
+(per-session detector fields plus server-scope uptime, connection and
+wire-error counts), `timestamp <thread>`, `checkpoint <path>`, `use
+<id>` rebinds to an earlier session, `close`, `shutdown`; `stats-all`
+aggregates every session the connection opened in one reply; `metrics`
+returns the full Prometheus-style exposition (counters, gauges,
+latency summaries; terminated by `# EOF`) — it needs no handshake, so
+`printf 'metrics\\n' | nc HOST PORT` scrapes a live server. Binary protocol (same
 port, sniffed by first byte): length-prefixed frames batching events
 for an explicit session id — or one multi-session frame carrying
 batches for many ids — so one connection can fan into many sessions.

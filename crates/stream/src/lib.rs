@@ -34,12 +34,14 @@
 
 pub mod checkpoint;
 pub mod detector;
+pub mod metrics;
 pub mod parallel;
 pub mod service;
 pub mod session;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use detector::{DetectorConfig, FeedError, IncrementalDetector};
+pub use metrics::{phase_metric_name, PhaseMetrics, ServiceMetrics, PHASES};
 pub use parallel::{EpochPool, ParallelDetector, DEFAULT_MIN_PARALLEL_FRAME};
 pub use service::{smoke, Client, ServeConfig, Server};
 pub use session::{AnyDetector, ClockChoice, Session};

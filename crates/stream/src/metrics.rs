@@ -1,0 +1,247 @@
+//! The service's telemetry surface: pre-resolved metric handles for
+//! the hot layers, built over [`tc_telemetry`]'s lock-free primitives.
+//!
+//! Two bundles:
+//!
+//! - [`ServiceMetrics`] — everything `tcr serve` tracks: connection
+//!   and session counts, ingested events, per-wire-kind message
+//!   counters and batch-size histograms, wire-level error counters,
+//!   queue-depth high-water, worker drain/steal counts, reply-latency
+//!   histograms, and detector memory gauges. One instance per server,
+//!   shared by the I/O thread and every worker.
+//! - [`PhaseMetrics`] — the epoch-parallel pipeline's five phases
+//!   (partition / scatter / execute / gather / barrier) as latency
+//!   histograms plus span rings for the chrome://tracing export —
+//!   exactly the breakdown ROADMAP item 1's coordination-tax work
+//!   needs.
+//!
+//! Both come in a null form (built over [`Registry::null`]) whose
+//! handles are inert — the `NullRecorder` configuration the overhead
+//! benchmark compares against.
+
+use std::sync::Arc;
+
+use tc_telemetry::{labeled, Counter, Gauge, Histogram, Registry, SpanRing, DEFAULT_RING_CAPACITY};
+
+/// The five epoch-parallel phases, in pipeline order. Histogram names
+/// are `tc_phase_us{phase="<name>"}`.
+pub const PHASES: [&str; 5] = ["partition", "scatter", "execute", "gather", "barrier"];
+
+/// The histogram name a phase's latencies are registered under.
+pub fn phase_metric_name(phase: &str) -> String {
+    labeled("tc_phase_us", &[("phase", phase)])
+}
+
+/// Telemetry handles for the epoch-parallel frame pipeline. Cloning
+/// shares the underlying cells; handles are `Send + Sync` and cheap
+/// enough to capture into epoch-worker closures.
+#[derive(Clone, Default)]
+pub struct PhaseMetrics {
+    /// `partition_frame` (union-find epoch split) latency.
+    pub(crate) partition: Histogram,
+    /// Shard extraction + scatter onto the pool.
+    pub(crate) scatter: Histogram,
+    /// One epoch shard's feed loop (recorded per shard, on whichever
+    /// thread ran it).
+    pub(crate) execute: Histogram,
+    /// The help-drain wait until every shard reports in.
+    pub(crate) gather: Histogram,
+    /// Shard re-absorption + frame commit after the barrier.
+    pub(crate) barrier: Histogram,
+    /// Coordinator-side spans (partition/scatter/gather/barrier).
+    pub(crate) coord_ring: SpanRing,
+    /// Execute spans, recorded from the epoch workers (and the
+    /// help-draining submitter) into one shared ring.
+    pub(crate) exec_ring: SpanRing,
+}
+
+impl PhaseMetrics {
+    /// Registers the five phase histograms and two span rings. A null
+    /// `registry` yields the inert bundle.
+    pub fn new(registry: &Registry) -> PhaseMetrics {
+        PhaseMetrics {
+            partition: registry.histogram(&phase_metric_name("partition")),
+            scatter: registry.histogram(&phase_metric_name("scatter")),
+            execute: registry.histogram(&phase_metric_name("execute")),
+            gather: registry.histogram(&phase_metric_name("gather")),
+            barrier: registry.histogram(&phase_metric_name("barrier")),
+            coord_ring: registry.span_ring("epoch-coordinator", DEFAULT_RING_CAPACITY),
+            exec_ring: registry.span_ring("epoch-workers", DEFAULT_RING_CAPACITY),
+        }
+    }
+
+    /// The inert bundle (every record is a no-op).
+    pub fn null() -> PhaseMetrics {
+        PhaseMetrics::default()
+    }
+}
+
+/// Every metric the streaming service records, as pre-resolved handles
+/// — the hot path never does a name lookup. Counters and gauges are
+/// shared cells; the latency histograms here are *I/O-thread* shards,
+/// workers register their own per-worker shards (merged at scrape).
+pub struct ServiceMetrics {
+    registry: Registry,
+    /// Worker-pool size (the `workers=` stats field).
+    pub(crate) workers: usize,
+    /// Set at scrape time from the registry's epoch.
+    pub(crate) uptime_ms: Gauge,
+    pub(crate) conns_accepted: Counter,
+    pub(crate) conns_active: Gauge,
+    pub(crate) sessions_opened: Counter,
+    /// Events accepted by detectors (delta-accumulated per work item,
+    /// so a scrape matches the sum of live sessions' `stats`).
+    pub(crate) events: Counter,
+    pub(crate) rejected: Counter,
+    pub(crate) races: Counter,
+    pub(crate) msgs_text: Counter,
+    pub(crate) msgs_frame: Counter,
+    pub(crate) msgs_multi: Counter,
+    pub(crate) batch_text: Histogram,
+    pub(crate) batch_frame: Histogram,
+    pub(crate) batch_multi: Histogram,
+    pub(crate) wire_err_corrupt: Counter,
+    pub(crate) wire_err_oversize: Counter,
+    pub(crate) wire_err_unknown_session: Counter,
+    pub(crate) wire_err_line_overflow: Counter,
+    pub(crate) wire_errors_total: Counter,
+    pub(crate) queue_depth_high_water: Gauge,
+    pub(crate) peak_clock_bytes: Gauge,
+    pub(crate) live_threads_high_water: Gauge,
+    pub(crate) pool_bytes: Gauge,
+    /// The epoch-parallel phase bundle every session shares.
+    pub(crate) phases: PhaseMetrics,
+}
+
+impl ServiceMetrics {
+    /// Builds the service bundle over `registry` (null registry → every
+    /// handle inert) for a pool of `workers` workers.
+    pub fn new(registry: Registry, workers: usize) -> ServiceMetrics {
+        let workers_gauge = registry.gauge("tc_workers");
+        workers_gauge.set(workers as u64);
+        ServiceMetrics {
+            workers,
+            uptime_ms: registry.gauge("tc_uptime_ms"),
+            conns_accepted: registry.counter("tc_connections_accepted_total"),
+            conns_active: registry.gauge("tc_connections_active"),
+            sessions_opened: registry.counter("tc_sessions_opened_total"),
+            events: registry.counter("tc_events_total"),
+            rejected: registry.counter("tc_rejected_total"),
+            races: registry.counter("tc_races_total"),
+            msgs_text: registry.counter(&labeled("tc_messages_total", &[("wire", "text")])),
+            msgs_frame: registry.counter(&labeled("tc_messages_total", &[("wire", "frame")])),
+            msgs_multi: registry.counter(&labeled("tc_messages_total", &[("wire", "multi")])),
+            batch_text: registry.histogram(&labeled("tc_batch_events", &[("wire", "text")])),
+            batch_frame: registry.histogram(&labeled("tc_batch_events", &[("wire", "frame")])),
+            batch_multi: registry.histogram(&labeled("tc_batch_events", &[("wire", "multi")])),
+            wire_err_corrupt: registry
+                .counter(&labeled("tc_wire_errors_total", &[("kind", "corrupt")])),
+            wire_err_oversize: registry
+                .counter(&labeled("tc_wire_errors_total", &[("kind", "oversize")])),
+            wire_err_unknown_session: registry.counter(&labeled(
+                "tc_wire_errors_total",
+                &[("kind", "unknown_session")],
+            )),
+            wire_err_line_overflow: registry.counter(&labeled(
+                "tc_wire_errors_total",
+                &[("kind", "line_overflow")],
+            )),
+            wire_errors_total: registry.counter("tc_wire_errors"),
+            queue_depth_high_water: registry.gauge("tc_queue_depth_high_water"),
+            peak_clock_bytes: registry.gauge("tc_peak_clock_bytes"),
+            live_threads_high_water: registry.gauge("tc_live_threads_high_water"),
+            pool_bytes: registry.gauge("tc_pool_bytes"),
+            phases: PhaseMetrics::new(&registry),
+            registry,
+        }
+    }
+
+    /// The inert bundle (the `NullRecorder` configuration).
+    pub fn null(workers: usize) -> ServiceMetrics {
+        ServiceMetrics::new(Registry::null(), workers)
+    }
+
+    /// The backing registry (scrapes, per-worker shard registration).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The epoch-parallel phase bundle.
+    pub fn phases(&self) -> &PhaseMetrics {
+        &self.phases
+    }
+
+    /// Renders the Prometheus-style exposition the `metrics` protocol
+    /// command replies with, refreshing the uptime gauge first.
+    pub fn render_prometheus(&self) -> String {
+        self.uptime_ms
+            .set(self.registry.uptime().as_millis() as u64);
+        self.registry.render_prometheus()
+    }
+
+    /// The server-scope fields appended to every per-session `stats`
+    /// reply, so a scrape is self-describing (uptime, connection
+    /// counts, pool size, wire errors).
+    pub(crate) fn stats_suffix(&self) -> String {
+        format!(
+            " uptime_ms={} conns_accepted={} conns_active={} workers={} wire_errors={}",
+            self.registry.uptime().as_millis(),
+            self.conns_accepted.get(),
+            self.conns_active.get(),
+            self.workers,
+            self.wire_errors_total.get(),
+        )
+    }
+}
+
+/// `ServiceMetrics` shared across the I/O thread, the workers and the
+/// sessions.
+pub type SharedMetrics = Arc<ServiceMetrics>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_bundle_is_inert_and_sendable() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServiceMetrics>();
+        assert_send_sync::<PhaseMetrics>();
+        let m = ServiceMetrics::null(4);
+        m.events.add(10);
+        m.phases.partition.record(5);
+        assert_eq!(m.registry().counter_value("tc_events_total"), 0);
+        assert_eq!(m.render_prometheus(), "# EOF\n");
+        assert!(m.stats_suffix().contains("workers=4"));
+    }
+
+    #[test]
+    fn live_bundle_exposes_the_service_families() {
+        let m = ServiceMetrics::new(Registry::new(), 2);
+        m.conns_accepted.inc();
+        m.msgs_frame.inc();
+        m.batch_frame.record(512);
+        m.wire_err_oversize.inc();
+        m.wire_errors_total.inc();
+        m.phases.execute.record(40);
+        let text = m.render_prometheus();
+        assert!(text.contains("tc_connections_accepted_total 1\n"));
+        assert!(text.contains("tc_messages_total{wire=\"frame\"} 1\n"));
+        assert!(text.contains("tc_wire_errors_total{kind=\"oversize\"} 1\n"));
+        assert!(text.contains("tc_phase_us{phase=\"execute\",quantile=\"0.5\"}"));
+        assert!(text.contains("tc_workers 2\n"));
+        assert!(text.ends_with("# EOF\n"));
+        let suffix = m.stats_suffix();
+        assert!(suffix.contains("conns_accepted=1"));
+        assert!(suffix.contains("wire_errors=1"));
+    }
+
+    #[test]
+    fn phase_names_cover_the_pipeline() {
+        assert_eq!(
+            PHASES,
+            ["partition", "scatter", "execute", "gather", "barrier"]
+        );
+        assert_eq!(phase_metric_name("gather"), "tc_phase_us{phase=\"gather\"}");
+    }
+}

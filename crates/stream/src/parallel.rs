@@ -36,6 +36,7 @@ use tc_core::{ClockPool, LogicalClock, ThreadId, VectorTime};
 use tc_trace::{Event, LockId, Op, VarId};
 
 use crate::detector::{DetectorConfig, FeedError, IncrementalDetector};
+use crate::metrics::PhaseMetrics;
 
 /// Default minimum frame size before the scheduler attempts an epoch
 /// split: below this the barrier costs more than the parallelism pays.
@@ -318,6 +319,7 @@ pub(crate) fn try_feed_frame_parallel<C>(
     min_events: usize,
     shard_pools: &mut Vec<ClockPool<C>>,
     collect_timestamps: bool,
+    metrics: &PhaseMetrics,
 ) -> Option<(Vec<Race>, Vec<VectorTime>)>
 where
     C: LogicalClock + Send + 'static,
@@ -361,19 +363,32 @@ where
         }
     }
 
+    let t_partition = metrics.partition.begin();
+    let sp_partition = metrics.coord_ring.span("partition");
     let epochs = partition_frame(events);
+    drop(sp_partition);
+    metrics.partition.end(t_partition);
     if epochs.len() < 2 {
         return None;
     }
 
     // Scatter: move each epoch's slice of the detector onto the pool.
+    let t_scatter = metrics.scatter.begin();
+    let sp_scatter = metrics.coord_ring.span("scatter");
     let barrier = Arc::new(Barrier::<ShardDone<C>>::new(epochs.len()));
     for (i, epoch) in epochs.iter().enumerate() {
         let pool = shard_pools.pop().unwrap_or_default();
         let mut shard = det.extract_shard(&epoch.tids, &epoch.locks, &epoch.vars, pool);
         let epoch_events = epoch.events.clone();
         let barrier = Arc::clone(&barrier);
+        let exec_hist = metrics.execute.clone();
+        let exec_ring = metrics.exec_ring.clone();
         workers.push(Box::new(move || {
+            // Execute: one shard's feed loop, timed on whichever thread
+            // actually runs it (an epoch worker or the help-draining
+            // submitter).
+            let t_execute = exec_hist.begin();
+            let sp_execute = exec_ring.span("execute");
             let result = panic::catch_unwind(AssertUnwindSafe(|| {
                 let mut races = Vec::new();
                 let mut stamps = Vec::new();
@@ -392,12 +407,18 @@ where
                     stamps,
                 }
             }));
+            drop(sp_execute);
+            exec_hist.end(t_execute);
             barrier.complete(i, result.ok());
         }));
     }
+    drop(sp_scatter);
+    metrics.scatter.end(t_scatter);
 
     // Gather: help drain the queue (ours or other sessions') until
     // every shard reports in.
+    let t_gather = metrics.gather.begin();
+    let sp_gather = metrics.coord_ring.span("gather");
     loop {
         {
             let remaining = barrier.remaining.lock().expect("barrier poisoned");
@@ -415,9 +436,13 @@ where
             }
         }
     }
+    drop(sp_gather);
+    metrics.gather.end(t_gather);
 
     // Merge at the barrier: state back in epoch order, races and
     // timestamps back in frame order.
+    let t_barrier = metrics.barrier.begin();
+    let sp_barrier = metrics.coord_ring.span("barrier");
     let mut slots = barrier.slots.lock().expect("barrier poisoned");
     let mut all_races: Vec<(u32, Race)> = Vec::new();
     let mut all_stamps: Vec<(u32, VectorTime)> = Vec::new();
@@ -439,6 +464,8 @@ where
     let race_values: Vec<Race> = all_races.into_iter().map(|(_, r)| r).collect();
     let new = det.commit_parallel_frame(events, &race_values).to_vec();
     let stamps = all_stamps.into_iter().map(|(_, ts)| ts).collect();
+    drop(sp_barrier);
+    metrics.barrier.end(t_barrier);
     Some((new, stamps))
 }
 
@@ -457,6 +484,7 @@ pub struct ParallelDetector<C: LogicalClock + Send + 'static> {
     shard_pools: Vec<ClockPool<C>>,
     parallel_frames: u64,
     sequential_frames: u64,
+    metrics: PhaseMetrics,
 }
 
 impl<C: LogicalClock + Send + 'static> ParallelDetector<C> {
@@ -470,6 +498,7 @@ impl<C: LogicalClock + Send + 'static> ParallelDetector<C> {
             shard_pools: Vec::new(),
             parallel_frames: 0,
             sequential_frames: 0,
+            metrics: PhaseMetrics::null(),
         }
     }
 
@@ -486,7 +515,15 @@ impl<C: LogicalClock + Send + 'static> ParallelDetector<C> {
             shard_pools: Vec::new(),
             parallel_frames: 0,
             sequential_frames: 0,
+            metrics: PhaseMetrics::null(),
         }
+    }
+
+    /// Attaches phase telemetry: subsequent parallel frames record
+    /// partition/scatter/execute/gather/barrier latencies and spans
+    /// into `metrics`' registry. The default is the inert null bundle.
+    pub fn set_phase_metrics(&mut self, metrics: PhaseMetrics) {
+        self.metrics = metrics;
     }
 
     /// Feeds one frame, returning the newly stored races in frame
@@ -525,6 +562,7 @@ impl<C: LogicalClock + Send + 'static> ParallelDetector<C> {
             self.min_frame,
             &mut self.shard_pools,
             collect_timestamps,
+            &self.metrics,
         ) {
             self.parallel_frames += 1;
             return Ok(result);
@@ -812,6 +850,33 @@ mod tests {
         par.feed_frame(&events).unwrap();
         assert_eq!(par.parallel_frames(), 0);
         assert_eq!(par.sequential_frames(), 1);
+    }
+
+    #[test]
+    fn phase_metrics_record_all_five_phases() {
+        use crate::metrics::{phase_metric_name, PHASES};
+        let reg = tc_telemetry::Registry::new();
+        let events: Vec<Event> = four_epoch_trace().iter().copied().collect();
+        let workers = Arc::new(EpochPool::new(2));
+        let mut par = ParallelDetector::<TreeClock>::new(DetectorConfig::default(), workers, 2);
+        par.set_phase_metrics(PhaseMetrics::new(&reg));
+        par.feed_frame(&events).unwrap();
+        assert_eq!(par.parallel_frames(), 1);
+        for phase in PHASES {
+            let snap = reg.histogram_snapshot(&phase_metric_name(phase));
+            assert!(snap.count > 0, "phase {phase} must record");
+        }
+        // Execute records once per epoch shard.
+        let exec = reg.histogram_snapshot(&phase_metric_name("execute"));
+        assert_eq!(exec.count, 4);
+        // And the spans land in the rings for the chrome export.
+        let trace = reg.chrome_trace();
+        for phase in PHASES {
+            assert!(
+                trace.contains(&format!("\"name\":\"{phase}\"")),
+                "{phase} span"
+            );
+        }
     }
 
     #[test]

@@ -63,10 +63,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 use tc_orders::PartialOrderKind;
-use tc_trace::wire::{self, WireMessage, FRAME_MAGIC, MULTI_MAGIC};
+use tc_telemetry::{labeled, Counter, Histogram, Registry};
+use tc_trace::wire::{self, WireError, WireMessage, FRAME_MAGIC, MULTI_MAGIC};
 use tc_trace::Event;
 
 use crate::detector::DetectorConfig;
+use crate::metrics::{ServiceMetrics, SharedMetrics};
 use crate::parallel::{EpochPool, DEFAULT_MIN_PARALLEL_FRAME};
 use crate::session::{ClockChoice, Session};
 
@@ -82,6 +84,11 @@ pub struct ServeConfig {
     /// parallel frame detection (0 disables the parallel path; each
     /// session then feeds frames sequentially).
     pub parallel: usize,
+    /// Record telemetry (the default). `false` swaps in the null
+    /// recorder: every metric handle is inert and the `metrics`
+    /// command replies with an empty exposition — the configuration
+    /// the overhead benchmark measures against.
+    pub telemetry: bool,
 }
 
 impl Default for ServeConfig {
@@ -90,6 +97,7 @@ impl Default for ServeConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 4,
             parallel: 0,
+            telemetry: true,
         }
     }
 }
@@ -110,8 +118,10 @@ const WORKER_PARK: Duration = Duration::from_millis(20);
 enum ItemKind {
     /// A block of complete text protocol lines (newline separated).
     Text(String),
-    /// A decoded binary frame's event batch.
-    Frame(Vec<Event>),
+    /// A decoded binary frame's event batch, tagged with the wire kind
+    /// it arrived in (`"frame"` for `0xF7`, `"multi"` for `0xF6`) so
+    /// the per-wire-kind handling histograms can tell them apart.
+    Frame(Vec<Event>, &'static str),
     /// A pre-formatted reply to forward verbatim (used to keep
     /// handshake replies ordered behind in-flight work).
     Write(String),
@@ -134,6 +144,11 @@ struct AggregateStats {
     rejected: AtomicU64,
     races: AtomicU64,
     recycled: AtomicU64,
+    /// Summed per-session peak clock footprints: the fan-in client's
+    /// upper bound on what its sessions cost the server at their worst.
+    peak_clock_bytes: AtomicU64,
+    /// Summed live (un-retired, un-recycled) thread slots.
+    live_threads: AtomicU64,
 }
 
 impl AggregateStats {
@@ -145,16 +160,30 @@ impl AggregateStats {
             rejected: AtomicU64::new(0),
             races: AtomicU64::new(0),
             recycled: AtomicU64::new(0),
+            peak_clock_bytes: AtomicU64::new(0),
+            live_threads: AtomicU64::new(0),
         }
     }
 
     /// Adds one session's counters; `true` when this was the last
     /// outstanding session and the reply must be written.
-    fn fold(&self, events: u64, rejected: u64, races: u64, recycled: u64) -> bool {
+    #[allow(clippy::too_many_arguments)]
+    fn fold(
+        &self,
+        events: u64,
+        rejected: u64,
+        races: u64,
+        recycled: u64,
+        peak_clock_bytes: u64,
+        live_threads: u64,
+    ) -> bool {
         self.events.fetch_add(events, Ordering::Relaxed);
         self.rejected.fetch_add(rejected, Ordering::Relaxed);
         self.races.fetch_add(races, Ordering::Relaxed);
         self.recycled.fetch_add(recycled, Ordering::Relaxed);
+        self.peak_clock_bytes
+            .fetch_add(peak_clock_bytes, Ordering::Relaxed);
+        self.live_threads.fetch_add(live_threads, Ordering::Relaxed);
         self.remaining.fetch_sub(1, Ordering::AcqRel) == 1
     }
 
@@ -166,12 +195,15 @@ impl AggregateStats {
 
     fn render(&self) -> String {
         format!(
-            "ok stats-all sessions={} events={} rejected={} races={} recycled_slots={}\n",
+            "ok stats-all sessions={} events={} rejected={} races={} recycled_slots={} \
+             peak_clock_bytes={} live_threads={}\n",
             self.sessions,
             self.events.load(Ordering::Relaxed),
             self.rejected.load(Ordering::Relaxed),
             self.races.load(Ordering::Relaxed),
             self.recycled.load(Ordering::Relaxed),
+            self.peak_clock_bytes.load(Ordering::Relaxed),
+            self.live_threads.load(Ordering::Relaxed),
         )
     }
 }
@@ -188,9 +220,24 @@ struct StatsTicket {
 }
 
 impl StatsTicket {
-    fn fold(&mut self, events: u64, rejected: u64, races: u64, recycled: u64) {
+    fn fold(
+        &mut self,
+        events: u64,
+        rejected: u64,
+        races: u64,
+        recycled: u64,
+        peak_clock_bytes: u64,
+        live_threads: u64,
+    ) {
         self.folded = true;
-        if self.agg.fold(events, rejected, races, recycled) {
+        if self.agg.fold(
+            events,
+            rejected,
+            races,
+            recycled,
+            peak_clock_bytes,
+            live_threads,
+        ) {
             let _ = self.conn.write_reply(self.agg.render().as_bytes());
         }
     }
@@ -268,6 +315,9 @@ struct ServiceShared {
     /// The epoch-worker pool every session shares for intra-frame
     /// parallel detection; `None` when `ServeConfig::parallel == 0`.
     epoch_workers: Option<Arc<EpochPool>>,
+    /// The server's telemetry bundle (inert when
+    /// `ServeConfig::telemetry` is off).
+    metrics: SharedMetrics,
 }
 
 impl ServiceShared {
@@ -280,6 +330,9 @@ impl ServiceShared {
             return false;
         };
         slot.pending.push_back(item);
+        self.metrics
+            .queue_depth_high_water
+            .record_max(slot.pending.len() as u64);
         let newly = !slot.scheduled;
         slot.scheduled = true;
         drop(reg);
@@ -320,6 +373,11 @@ impl Server {
         let addr = listener.local_addr()?;
 
         let worker_count = config.workers.max(1);
+        let registry = if config.telemetry {
+            Registry::new()
+        } else {
+            Registry::null()
+        };
         let shared = Arc::new(ServiceShared {
             registry: Mutex::new(HashMap::new()),
             injector: Mutex::new(VecDeque::new()),
@@ -330,6 +388,7 @@ impl Server {
             shutdown: AtomicBool::new(false),
             next_session: AtomicU64::new(1),
             epoch_workers: (config.parallel > 0).then(|| Arc::new(EpochPool::new(config.parallel))),
+            metrics: Arc::new(ServiceMetrics::new(registry, worker_count)),
         });
 
         let mut workers = Vec::with_capacity(worker_count);
@@ -362,6 +421,12 @@ impl Server {
         self.addr
     }
 
+    /// The server's telemetry bundle — what the `metrics` protocol
+    /// command scrapes. Inert when started with `telemetry: false`.
+    pub fn metrics(&self) -> SharedMetrics {
+        Arc::clone(&self.shared.metrics)
+    }
+
     /// `true` once a `shutdown` protocol command (or
     /// [`Self::shutdown`]) stopped the server.
     pub fn is_shutdown(&self) -> bool {
@@ -391,9 +456,36 @@ impl Server {
 
 // ---- the worker pool ----------------------------------------------------
 
+/// One worker's private metric handles, registered at thread start so
+/// the drain loop never does a name lookup. The histograms are this
+/// worker's *shards* — the registry merges them at scrape time.
+struct WorkerMetrics {
+    drained: Counter,
+    stolen: Counter,
+    reply_us: Histogram,
+    text_us: Histogram,
+    frame_us: Histogram,
+    multi_us: Histogram,
+}
+
+impl WorkerMetrics {
+    fn new(m: &ServiceMetrics, me: usize) -> WorkerMetrics {
+        let reg = m.registry();
+        let id = me.to_string();
+        WorkerMetrics {
+            drained: reg.counter(&labeled("tc_worker_drained_total", &[("worker", &id)])),
+            stolen: reg.counter(&labeled("tc_worker_steals_total", &[("worker", &id)])),
+            reply_us: reg.histogram("tc_reply_us"),
+            text_us: reg.histogram(&labeled("tc_ingest_handle_us", &[("wire", "text")])),
+            frame_us: reg.histogram(&labeled("tc_ingest_handle_us", &[("wire", "frame")])),
+            multi_us: reg.histogram(&labeled("tc_ingest_handle_us", &[("wire", "multi")])),
+        }
+    }
+}
+
 /// Pops the next session to serve: own deque, then the injector, then
 /// stealing the oldest entry from a sibling.
-fn find_work(shared: &ServiceShared, me: usize) -> Option<u64> {
+fn find_work(shared: &ServiceShared, me: usize, stolen: &Counter) -> Option<u64> {
     loop {
         if let Some(id) = shared.locals[me].lock().expect("local lock").pop_back() {
             return Some(id);
@@ -404,6 +496,7 @@ fn find_work(shared: &ServiceShared, me: usize) -> Option<u64> {
         for (i, other) in shared.locals.iter().enumerate() {
             if i != me {
                 if let Some(id) = other.lock().expect("steal lock").pop_front() {
+                    stolen.inc();
                     return Some(id);
                 }
             }
@@ -425,7 +518,8 @@ fn find_work(shared: &ServiceShared, me: usize) -> Option<u64> {
 /// One worker: check a session out, drain its queue, check it back in
 /// (re-queueing locally if work arrived meanwhile).
 fn worker_loop(shared: &ServiceShared, me: usize) {
-    while let Some(id) = find_work(shared, me) {
+    let wm = WorkerMetrics::new(&shared.metrics, me);
+    while let Some(id) = find_work(shared, me, &wm.stolen) {
         let (session, items) = {
             let mut reg = shared.registry.lock().expect("registry lock");
             match reg.get_mut(&id) {
@@ -434,10 +528,11 @@ fn worker_loop(shared: &ServiceShared, me: usize) {
             }
         };
         let Some(mut session) = session else { continue };
+        wm.drained.inc();
 
         let mut closed = false;
         for item in items {
-            process_item(&mut session, item, &mut closed);
+            process_item(&mut session, item, &mut closed, &shared.metrics, &wm);
             if closed {
                 break; // the rest of the queue dies with the session
             }
@@ -461,27 +556,64 @@ fn worker_loop(shared: &ServiceShared, me: usize) {
     }
 }
 
-/// Executes one work item against a checked-out session.
-fn process_item(session: &mut Session, item: WorkItem, closed: &mut bool) {
+/// Executes one work item against a checked-out session, accounting it
+/// to the service counters: the events/rejected/races counters advance
+/// by this item's deltas *before* the reply is written, so a `metrics`
+/// scrape agrees with any `stats` reply the client has already read.
+fn process_item(
+    session: &mut Session,
+    item: WorkItem,
+    closed: &mut bool,
+    m: &ServiceMetrics,
+    wm: &WorkerMetrics,
+) {
+    let t_reply = wm.reply_us.begin();
+    let before_events = session.detector().events();
+    let before_rejected = session.rejected();
+    let before_races = session.detector().report().total;
     let mut out = String::new();
     match item.kind {
         ItemKind::Text(block) => {
+            let t = wm.text_us.begin();
             for line in block.lines() {
                 if !session.handle_line(line, &mut out) {
                     *closed = true;
                     break;
                 }
             }
+            wm.text_us.end(t);
         }
-        ItemKind::Frame(events) => session.handle_frame(&events, &mut out),
+        ItemKind::Frame(events, wire_kind) => {
+            let h = if wire_kind == "multi" {
+                &wm.multi_us
+            } else {
+                &wm.frame_us
+            };
+            let t = h.begin();
+            session.handle_frame(&events, &mut out);
+            h.end(t);
+        }
         ItemKind::Write(reply) => out = reply,
         ItemKind::Stats(mut ticket) => ticket.fold(
             session.detector().events(),
             session.rejected(),
             session.detector().report().total,
             session.detector().recycled_slots(),
+            session.detector().peak_clock_bytes() as u64,
+            session.detector().live_threads() as u64,
         ),
         ItemKind::Close => *closed = true,
+    }
+    if !m.registry().is_null() {
+        let d = session.detector();
+        m.events.add(d.events().wrapping_sub(before_events));
+        m.rejected
+            .add(session.rejected().wrapping_sub(before_rejected));
+        m.races.add(d.report().total.wrapping_sub(before_races));
+        m.peak_clock_bytes.record_max(d.peak_clock_bytes() as u64);
+        m.live_threads_high_water
+            .record_max(d.live_threads() as u64);
+        m.pool_bytes.record_max(d.pool_bytes() as u64);
     }
     if let Some(conn) = &item.conn {
         if !out.is_empty() && conn.write_reply(out.as_bytes()).is_err() {
@@ -492,6 +624,7 @@ fn process_item(session: &mut Session, item: WorkItem, closed: &mut bool) {
             conn.closing.store(true, Ordering::Relaxed);
         }
     }
+    wm.reply_us.end(t_reply);
 }
 
 // ---- the I/O thread -----------------------------------------------------
@@ -544,6 +677,8 @@ fn io_loop(listener: TcpListener, shared: &ServiceShared) {
                         current: None,
                         opened: Vec::new(),
                     });
+                    shared.metrics.conns_accepted.inc();
+                    shared.metrics.conns_active.add(1);
                     progressed = true;
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -589,6 +724,7 @@ fn io_loop(listener: TcpListener, shared: &ServiceShared) {
                     );
                 }
                 conns.swap_remove(i);
+                shared.metrics.conns_active.sub(1);
                 progressed = true;
             } else {
                 i += 1;
@@ -621,19 +757,31 @@ fn parse_messages(conn: &mut Conn, shared: &ServiceShared) -> bool {
                 Ok(None) => break, // partial frame: wait for more bytes
                 Ok(Some((message, used))) => {
                     consumed += used;
-                    let frames = match message {
-                        WireMessage::Single(frame) => vec![frame],
-                        WireMessage::Multi(frames) => frames,
+                    let m = &shared.metrics;
+                    let (frames, wire_kind) = match message {
+                        WireMessage::Single(frame) => {
+                            m.msgs_frame.inc();
+                            m.batch_frame.record(frame.events.len() as u64);
+                            (vec![frame], "frame")
+                        }
+                        WireMessage::Multi(frames) => {
+                            m.msgs_multi.inc();
+                            m.batch_multi
+                                .record(frames.iter().map(|f| f.events.len() as u64).sum());
+                            (frames, "multi")
+                        }
                     };
                     for frame in frames {
                         let delivered = shared.enqueue(
                             frame.session,
                             WorkItem {
-                                kind: ItemKind::Frame(frame.events),
+                                kind: ItemKind::Frame(frame.events, wire_kind),
                                 conn: Some(Arc::clone(&conn.shared)),
                             },
                         );
                         if !delivered {
+                            m.wire_err_unknown_session.inc();
+                            m.wire_errors_total.inc();
                             let _ = conn.shared.write_reply(
                                 format!("err unknown session {}\n", frame.session).as_bytes(),
                             );
@@ -641,6 +789,18 @@ fn parse_messages(conn: &mut Conn, shared: &ServiceShared) -> bool {
                     }
                 }
                 Err(e) => {
+                    // `Oversize` covers both the encode-side variant and
+                    // the decoder's length-cap rejection; everything
+                    // else a decoder can report is a corrupt payload.
+                    let kind = match &e {
+                        WireError::Oversize { .. } => &shared.metrics.wire_err_oversize,
+                        WireError::Corrupt(msg) if msg.contains("exceeds") => {
+                            &shared.metrics.wire_err_oversize
+                        }
+                        _ => &shared.metrics.wire_err_corrupt,
+                    };
+                    kind.inc();
+                    shared.metrics.wire_errors_total.inc();
                     let _ = conn.shared.write_reply(format!("err {e}\n").as_bytes());
                     ok = false;
                     break;
@@ -649,6 +809,8 @@ fn parse_messages(conn: &mut Conn, shared: &ServiceShared) -> bool {
         } else {
             let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
                 if buf.len() > MAX_LINE_LEN {
+                    shared.metrics.wire_err_line_overflow.inc();
+                    shared.metrics.wire_errors_total.inc();
                     let _ = conn.shared.write_reply(b"err line exceeds the 1 MiB cap\n");
                     ok = false;
                 }
@@ -687,6 +849,13 @@ fn flush_text(conn: &Conn, shared: &ServiceShared, block: &mut String) {
     }
     let text = std::mem::take(block);
     if let Some(id) = conn.current {
+        if !shared.metrics.registry().is_null() {
+            shared.metrics.msgs_text.inc();
+            shared
+                .metrics
+                .batch_text
+                .record(text.bytes().filter(|&b| b == b'\n').count() as u64);
+        }
         if !shared.enqueue(
             id,
             WorkItem {
@@ -694,6 +863,8 @@ fn flush_text(conn: &Conn, shared: &ServiceShared, block: &mut String) {
                 conn: Some(Arc::clone(&conn.shared)),
             },
         ) {
+            shared.metrics.wire_err_unknown_session.inc();
+            shared.metrics.wire_errors_total.inc();
             let _ = conn
                 .shared
                 .write_reply(format!("err session {id} is gone\n").as_bytes());
@@ -705,6 +876,7 @@ fn flush_text(conn: &Conn, shared: &ServiceShared, block: &mut String) {
 fn is_handshake(line: &str) -> bool {
     line == "shutdown"
         || line == "stats-all"
+        || line == "metrics"
         || line.starts_with("open ")
         || line == "open"
         || line.starts_with("resume ")
@@ -727,6 +899,13 @@ fn handle_handshake(conn: &mut Conn, shared: &ServiceShared, line: &str) -> bool
     }
     if line == "stats-all" {
         handle_stats_all(conn, shared);
+        return true;
+    }
+    if line == "metrics" {
+        // The whole Prometheus-style exposition rides as one ordered
+        // reply; its `# EOF` terminator tells the scraper (nc, the CI
+        // cross-check, `Client::metrics_scrape`) where it ends.
+        reply_ordered(conn, shared, prev, shared.metrics.render_prometheus());
         return true;
     }
     let parts: Vec<&str> = line.split_whitespace().collect();
@@ -832,7 +1011,10 @@ fn handle_stats_all(conn: &Conn, shared: &ServiceShared) {
 fn register(conn: &mut Conn, shared: &ServiceShared, id: u64, mut session: Session) {
     if let Some(pool) = &shared.epoch_workers {
         session.enable_parallel(Arc::clone(pool), DEFAULT_MIN_PARALLEL_FRAME);
+        session.set_phase_metrics(shared.metrics.phases().clone());
     }
+    session.set_server_metrics(Arc::clone(&shared.metrics));
+    shared.metrics.sessions_opened.inc();
     shared.registry.lock().expect("registry lock").insert(
         id,
         SessionSlot {
@@ -1086,6 +1268,35 @@ impl Client {
         Ok((fields[0], fields[1], fields[2], fields[3]))
     }
 
+    /// Scrapes the server's `metrics` exposition: sends the command and
+    /// reads through the `# EOF` terminator line. The result is the
+    /// Prometheus-style text document (just `# EOF\n` on a server
+    /// started with telemetry off).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and a closed connection, as strings.
+    pub fn metrics_scrape(&mut self) -> Result<String, String> {
+        self.send("metrics")?;
+        self.flush()?;
+        let mut text = String::new();
+        loop {
+            let mut line = String::new();
+            let n = self
+                .reader
+                .read_line(&mut line)
+                .map_err(|e| e.to_string())?;
+            if n == 0 {
+                return Err("server closed the connection mid-scrape".to_owned());
+            }
+            let done = line.trim_end() == "# EOF";
+            text.push_str(&line);
+            if done {
+                return Ok(text);
+            }
+        }
+    }
+
     /// Sends a command and reads reply lines up to (and including) the
     /// `ok`/`err` terminator. Any `err` lines produced by earlier
     /// pipelined events surface here too.
@@ -1228,6 +1439,7 @@ pub fn smoke() -> Result<(), String> {
         addr: "127.0.0.1:0".to_owned(),
         workers: 2,
         parallel: 2,
+        telemetry: true,
     })
     .map_err(|e| format!("cannot start server: {e}"))?;
     let addr = server.local_addr();

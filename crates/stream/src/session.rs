@@ -18,6 +18,7 @@ use tc_trace::{Event, SessionValidator, StreamInterner};
 
 use crate::checkpoint::Checkpoint;
 use crate::detector::{DetectorConfig, FeedError, IncrementalDetector};
+use crate::metrics::{PhaseMetrics, SharedMetrics};
 use crate::parallel::{self, EpochPool};
 
 /// A runtime clock-backend selector (`tc`/`vc`/`hc`, or the long
@@ -214,6 +215,8 @@ struct ParallelState {
     min_frame: usize,
     pools: AnyShardPools,
     parallel_frames: u64,
+    /// Phase telemetry for parallel frames (null unless attached).
+    metrics: PhaseMetrics,
 }
 
 /// One line-protocol session; see the [module docs](self) and
@@ -229,6 +232,10 @@ pub struct Session {
     polled: usize,
     /// Epoch-parallel frame feeding, when enabled.
     parallel: Option<ParallelState>,
+    /// Server-scope telemetry, attached when the session is served:
+    /// `stats` replies then carry the server suffix (uptime,
+    /// connection counts, pool size, wire errors).
+    server: Option<SharedMetrics>,
 }
 
 impl Session {
@@ -242,6 +249,7 @@ impl Session {
             rejected: 0,
             polled: 0,
             parallel: None,
+            server: None,
         }
     }
 
@@ -257,6 +265,7 @@ impl Session {
             rejected: 0,
             polled: 0,
             parallel: None,
+            server: None,
         }
     }
 
@@ -275,7 +284,25 @@ impl Session {
             min_frame,
             pools,
             parallel_frames: 0,
+            metrics: PhaseMetrics::null(),
         });
+    }
+
+    /// Attaches epoch-phase telemetry to the parallel path (no-op when
+    /// [`enable_parallel`](Self::enable_parallel) was not called
+    /// first). Parallel frames then record partition/scatter/execute/
+    /// gather/barrier latencies and spans into `metrics`' registry.
+    pub fn set_phase_metrics(&mut self, metrics: PhaseMetrics) {
+        if let Some(ps) = self.parallel.as_mut() {
+            ps.metrics = metrics;
+        }
+    }
+
+    /// Attaches server-scope telemetry: `stats` replies gain the
+    /// ` uptime_ms=... conns_accepted=... conns_active=... workers=...
+    /// wire_errors=...` suffix. Sessions outside a server never see it.
+    pub fn set_server_metrics(&mut self, metrics: SharedMetrics) {
+        self.server = Some(metrics);
     }
 
     /// Frames that took the epoch-parallel path so far (0 when
@@ -315,6 +342,7 @@ impl Session {
             // the next `poll` instead of being lost.
             polled: cp.polled as usize,
             parallel: None,
+            server: None,
         }
     }
 
@@ -409,17 +437,39 @@ impl Session {
             }
         }
         let went_parallel = match (&mut self.detector, &mut ps.pools) {
-            (AnyDetector::Tree(d), AnyShardPools::Tree(p)) => {
-                parallel::try_feed_frame_parallel(d, &accepted, &ps.workers, ps.min_frame, p, false)
-                    .is_some()
-            }
+            (AnyDetector::Tree(d), AnyShardPools::Tree(p)) => parallel::try_feed_frame_parallel(
+                d,
+                &accepted,
+                &ps.workers,
+                ps.min_frame,
+                p,
+                false,
+                &ps.metrics,
+            )
+            .is_some(),
             (AnyDetector::Vector(d), AnyShardPools::Vector(p)) => {
-                parallel::try_feed_frame_parallel(d, &accepted, &ps.workers, ps.min_frame, p, false)
-                    .is_some()
+                parallel::try_feed_frame_parallel(
+                    d,
+                    &accepted,
+                    &ps.workers,
+                    ps.min_frame,
+                    p,
+                    false,
+                    &ps.metrics,
+                )
+                .is_some()
             }
             (AnyDetector::Hybrid(d), AnyShardPools::Hybrid(p)) => {
-                parallel::try_feed_frame_parallel(d, &accepted, &ps.workers, ps.min_frame, p, false)
-                    .is_some()
+                parallel::try_feed_frame_parallel(
+                    d,
+                    &accepted,
+                    &ps.workers,
+                    ps.min_frame,
+                    p,
+                    false,
+                    &ps.metrics,
+                )
+                .is_some()
             }
             _ => unreachable!("shard pools always match the session backend"),
         };
@@ -495,12 +545,20 @@ impl Session {
             "stats" => {
                 let d = &self.detector;
                 let report = d.report();
+                // Served sessions append the server-scope suffix so one
+                // `stats` round trip describes both the session and the
+                // server it lives in.
+                let server = self
+                    .server
+                    .as_ref()
+                    .map(|m| m.stats_suffix())
+                    .unwrap_or_default();
                 let _ = writeln!(
                     out,
                     "ok events={} threads={} races={} checks={} rejected={} retired={} \
                      evicted={} clock_bytes={} pool_bytes={} backend={} order={} \
                      parallel_frames={} live_threads={} total_threads={} \
-                     recycled_slots={} peak_clock_bytes={}",
+                     recycled_slots={} peak_clock_bytes={}{server}",
                     d.events(),
                     d.threads_seen(),
                     report.total,

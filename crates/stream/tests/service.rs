@@ -20,6 +20,7 @@ fn start_parallel(epoch_workers: usize) -> Server {
         addr: "127.0.0.1:0".to_owned(),
         workers: 2,
         parallel: epoch_workers,
+        telemetry: true,
     })
     .expect("bind on a free port")
 }
@@ -391,7 +392,8 @@ fn multi_session_frames_and_stats_all_aggregate_in_one_round_trip() {
         .unwrap();
     assert_eq!(
         line.trim_end(),
-        "ok stats-all sessions=0 events=0 rejected=0 races=0 recycled_slots=0"
+        "ok stats-all sessions=0 events=0 rejected=0 races=0 recycled_slots=0 \
+         peak_clock_bytes=0 live_threads=0"
     );
     drop(bare);
 
@@ -520,6 +522,113 @@ fn recycling_session_reports_identity_telemetry() {
         .unwrap_or_else(|| panic!("missing recycled_slots in `{agg}`"));
     assert!(recycled > 0, "{agg}");
     client.request("close").unwrap();
+    server.shutdown();
+    server.join();
+}
+
+/// The exact value of one exposition sample — `name value` or
+/// `name{labels} value`, matched on the full series name.
+fn sample(scrape: &str, name: &str) -> u64 {
+    scrape
+        .lines()
+        .find_map(|l| {
+            let (n, v) = l.rsplit_once(' ')?;
+            if n == name {
+                v.parse::<u64>().ok()
+            } else {
+                None
+            }
+        })
+        .unwrap_or_else(|| panic!("no sample `{name}` in scrape:\n{scrape}"))
+}
+
+#[test]
+fn metrics_scrape_agrees_with_stats_and_counts_wire_errors() {
+    let server = start();
+    let addr = server.local_addr();
+    let trace = wire_trace(0x0b5);
+
+    // One text session and one binary session, each synchronized with
+    // `stats`. The global counters advance *before* each reply is
+    // written, so a scrape after both replies must account for every
+    // event the clients know the server accepted.
+    let mut text = Client::open(addr, "hb tc").unwrap();
+    for line in tc_trace::text_format::to_text(&trace).lines() {
+        text.send(line).unwrap();
+    }
+    let stats = text.request("stats").unwrap();
+    let line = stats.last().unwrap().clone();
+    assert!(line.contains(&format!("events={}", trace.len())), "{line}");
+    // The server-scope suffix rides on every per-session stats reply.
+    for field in [
+        "uptime_ms=",
+        "conns_accepted=",
+        "conns_active=",
+        "workers=2",
+        "wire_errors=0",
+    ] {
+        assert!(line.contains(field), "missing `{field}` in `{line}`");
+    }
+
+    let mut bin = Client::open(addr, "hb tc").unwrap();
+    let id = bin.session();
+    let frames = trace.events().chunks(128).count() as u64;
+    for batch in trace.events().chunks(128) {
+        bin.send_frame(id, batch).unwrap();
+    }
+    bin.request("stats").unwrap();
+
+    // Two classified wire errors: a frame for a session that never
+    // existed, and an oversize length header that hangs up the
+    // connection. Both are counted by the I/O thread before it
+    // replies, so they are visible once the reply (or EOF) is read.
+    let mut stray = TcpStream::connect(addr).unwrap();
+    stray
+        .write_all(&wire::encode_frame(4096, &[]).unwrap())
+        .unwrap();
+    let mut reply = String::new();
+    BufReader::new(stray.try_clone().unwrap())
+        .read_line(&mut reply)
+        .unwrap();
+    assert!(reply.starts_with("err unknown session"), "{reply}");
+    let mut oversize = TcpStream::connect(addr).unwrap();
+    oversize.write_all(&[0xF7, 0xFF, 0xFF, 0xFF, 0x7F]).unwrap();
+    let mut hangup = Vec::new();
+    oversize.read_to_end(&mut hangup).unwrap();
+
+    // `metrics` works on a bound connection (it also works bare, which
+    // the CI cross-check exercises with a raw socket).
+    let scrape = text.metrics_scrape().unwrap();
+    assert!(scrape.ends_with("# EOF\n"), "{scrape}");
+    assert_eq!(sample(&scrape, "tc_events_total"), 2 * trace.len() as u64);
+    // +1: the stray unknown-session frame below still *parses* as a
+    // frame message before its session lookup fails.
+    assert_eq!(
+        sample(&scrape, "tc_messages_total{wire=\"frame\"}"),
+        frames + 1
+    );
+    assert!(sample(&scrape, "tc_messages_total{wire=\"text\"}") >= 1);
+    assert_eq!(sample(&scrape, "tc_sessions_opened_total"), 2);
+    assert_eq!(
+        sample(&scrape, "tc_wire_errors_total{kind=\"unknown_session\"}"),
+        1
+    );
+    assert_eq!(
+        sample(&scrape, "tc_wire_errors_total{kind=\"oversize\"}"),
+        1
+    );
+    assert_eq!(sample(&scrape, "tc_wire_errors"), 2);
+    assert_eq!(sample(&scrape, "tc_workers"), 2);
+    assert!(sample(&scrape, "tc_reply_us_count") >= 2);
+    assert!(sample(&scrape, "tc_peak_clock_bytes") > 0);
+    assert!(sample(&scrape, "tc_batch_events_count{wire=\"frame\"}") >= frames);
+
+    // The stats suffix reflects the wire errors too.
+    let after = text.request("stats").unwrap();
+    assert!(after.last().unwrap().contains("wire_errors=2"), "{after:?}");
+
+    text.request("close").unwrap();
+    bin.request("close").unwrap();
     server.shutdown();
     server.join();
 }

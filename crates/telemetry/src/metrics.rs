@@ -1,0 +1,453 @@
+//! Lock-free metric primitives: counters, gauges and log₂-bucketed
+//! histograms over relaxed atomics.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Number of histogram buckets. Bucket 0 holds exact zeros; bucket
+/// `i ≥ 1` holds values in `[2^(i-1), 2^i)`; the last bucket absorbs
+/// everything from `2^62` up. 64 buckets cover the full `u64` range,
+/// so recording can never overflow the array.
+pub const BUCKETS: usize = 64;
+
+/// The bucket a value lands in. Monotone in `v`, total over `u64`.
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    if v == 0 {
+        0
+    } else {
+        ((64 - v.leading_zeros()) as usize).min(BUCKETS - 1)
+    }
+}
+
+/// The largest value bucket `i` can hold (the quantile estimate
+/// reported for ranks landing in that bucket — HDR-style, quantiles
+/// are upper bounds accurate to the bucket's 2× resolution).
+#[inline]
+fn bucket_upper(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= BUCKETS - 1 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct CounterCell {
+    value: AtomicU64,
+}
+
+impl CounterCell {
+    pub(crate) fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A monotonically increasing counter. Cloning shares the cell;
+/// incrementing is one relaxed `fetch_add`. The null form
+/// ([`Counter::null`]) drops every update on the floor.
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    pub(crate) cell: Option<Arc<CounterCell>>,
+}
+
+impl Counter {
+    /// A live, standalone counter (unregistered — scrapeable only
+    /// through this handle).
+    pub fn active() -> Self {
+        Counter {
+            cell: Some(Arc::new(CounterCell::default())),
+        }
+    }
+
+    /// A disabled counter: every operation is a no-op.
+    pub fn null() -> Self {
+        Counter { cell: None }
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.value.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Current value (0 for a null counter).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.get())
+    }
+}
+
+#[derive(Debug, Default)]
+pub(crate) struct GaugeCell {
+    value: AtomicU64,
+}
+
+impl GaugeCell {
+    pub(crate) fn get(&self) -> u64 {
+        self.value.load(Relaxed)
+    }
+}
+
+/// A last-value / high-water gauge. [`Gauge::set`] overwrites;
+/// [`Gauge::record_max`] keeps the maximum ever seen (queue-depth
+/// high-water marks); [`Gauge::add`]/[`Gauge::sub`] track live counts
+/// (active connections).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    pub(crate) cell: Option<Arc<GaugeCell>>,
+}
+
+impl Gauge {
+    /// A live, standalone gauge.
+    pub fn active() -> Self {
+        Gauge {
+            cell: Some(Arc::new(GaugeCell::default())),
+        }
+    }
+
+    /// A disabled gauge: every operation is a no-op.
+    pub fn null() -> Self {
+        Gauge { cell: None }
+    }
+
+    /// Overwrites the value.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.value.store(v, Relaxed);
+        }
+    }
+
+    /// Raises the value to `v` if `v` is larger (high-water mark).
+    #[inline]
+    pub fn record_max(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.value.fetch_max(v, Relaxed);
+        }
+    }
+
+    /// Increments the value by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.value.fetch_add(n, Relaxed);
+        }
+    }
+
+    /// Decrements the value by `n` (saturating at the atomic level is
+    /// the caller's concern; live-count gauges pair adds with subs).
+    #[inline]
+    pub fn sub(&self, n: u64) {
+        if let Some(cell) = &self.cell {
+            cell.value.fetch_sub(n, Relaxed);
+        }
+    }
+
+    /// Current value (0 for a null gauge).
+    pub fn get(&self) -> u64 {
+        self.cell.as_ref().map_or(0, |c| c.get())
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct HistogramCell {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for HistogramCell {
+    fn default() -> Self {
+        HistogramCell {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+impl HistogramCell {
+    #[inline]
+    pub(crate) fn record(&self, v: u64) {
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.buckets[bucket_of(v)].fetch_add(1, Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Relaxed)),
+        }
+    }
+}
+
+/// A log₂-bucketed latency/size histogram (one shard). Recording is
+/// three relaxed adds into fixed cells; quantiles are computed on
+/// scrape from a [`HistogramSnapshot`], never on the hot path.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    pub(crate) cell: Option<Arc<HistogramCell>>,
+}
+
+impl Histogram {
+    /// A live, standalone single-shard histogram.
+    pub fn active() -> Self {
+        Histogram {
+            cell: Some(Arc::new(HistogramCell::default())),
+        }
+    }
+
+    /// A disabled histogram: records are dropped, `begin` never reads
+    /// the clock.
+    pub fn null() -> Self {
+        Histogram { cell: None }
+    }
+
+    /// Records one value (typically microseconds or a batch size).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(cell) = &self.cell {
+            cell.record(v);
+        }
+    }
+
+    /// Starts timing an operation. Returns `None` — and skips the
+    /// clock read entirely — when the histogram is null.
+    #[inline]
+    pub fn begin(&self) -> Option<Instant> {
+        if self.cell.is_some() {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Ends a [`begin`](Histogram::begin) timing, recording the
+    /// elapsed microseconds.
+    #[inline]
+    pub fn end(&self, started: Option<Instant>) {
+        if let (Some(cell), Some(t0)) = (&self.cell, started) {
+            cell.record(t0.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// A point-in-time copy of this shard's state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.cell
+            .as_ref()
+            .map_or_else(HistogramSnapshot::empty, |c| c.snapshot())
+    }
+}
+
+/// A mergeable, scrape-time view of one or more histogram shards.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Total number of recorded values.
+    pub count: u64,
+    /// Sum of all recorded values.
+    pub sum: u64,
+    /// Per-bucket counts (see [`BUCKETS`] for the bucket layout).
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl HistogramSnapshot {
+    /// The all-zero snapshot — the identity for [`merge`](Self::merge).
+    pub fn empty() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+
+    /// Folds another shard's snapshot into this one. Bucket counts add
+    /// elementwise, so merging the per-worker shards is exactly
+    /// equivalent to having recorded every value into a single shard
+    /// (property-tested in `tests/hist_prop.rs`).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        self.count = self.count.wrapping_add(other.count);
+        // Wrapping, exactly like the shard's atomic adds: the merged
+        // sum stays congruent to single-shard recording even for
+        // pathological value streams near `u64::MAX`.
+        self.sum = self.sum.wrapping_add(other.sum);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b = b.wrapping_add(*o);
+        }
+    }
+
+    /// The estimated `q`-quantile (`0.0 ≤ q ≤ 1.0`): the upper bound
+    /// of the bucket holding the rank-`⌈q·count⌉` value. 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return bucket_upper(i);
+            }
+        }
+        bucket_upper(BUCKETS - 1)
+    }
+
+    /// The exact mean of recorded values (unlike the quantiles, `sum`
+    /// and `count` carry no bucketing error). 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_share_cells_across_clones() {
+        let c = Counter::active();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(4);
+        assert_eq!(c.get(), 5);
+
+        let g = Gauge::active();
+        g.set(7);
+        g.record_max(3); // lower: no-op
+        assert_eq!(g.get(), 7);
+        g.record_max(11);
+        assert_eq!(g.get(), 11);
+        g.add(2);
+        g.sub(3);
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn null_handles_are_inert() {
+        let c = Counter::null();
+        c.inc();
+        c.add(100);
+        assert_eq!(c.get(), 0);
+        let g = Gauge::null();
+        g.set(9);
+        g.record_max(9);
+        assert_eq!(g.get(), 0);
+        let h = Histogram::null();
+        assert!(h.begin().is_none());
+        h.record(42);
+        h.end(None);
+        assert_eq!(h.snapshot(), HistogramSnapshot::empty());
+    }
+
+    #[test]
+    fn buckets_partition_the_u64_range() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+        // Monotone, and every bucket's upper bound lands in the bucket.
+        for i in 0..BUCKETS - 1 {
+            assert_eq!(bucket_of(bucket_upper(i)), i, "upper bound of {i}");
+            assert!(bucket_upper(i) < bucket_upper(i + 1));
+        }
+    }
+
+    #[test]
+    fn histogram_records_count_sum_and_quantiles() {
+        let h = Histogram::active();
+        for v in [0u64, 1, 1, 2, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1104);
+        assert_eq!(s.mean(), 184.0);
+        // Rank 3 of 6 at q=0.5 → the second 1 → bucket 1's upper bound.
+        assert_eq!(s.quantile(0.5), 1);
+        // Rank 6 of 6 → 1000's bucket [512, 1024) → upper bound 1023.
+        assert_eq!(s.quantile(0.99), 1023);
+        assert_eq!(s.quantile(1.0), 1023);
+        // q=0 clamps to rank 1 → the exact-zero bucket.
+        assert_eq!(s.quantile(0.0), 0);
+    }
+
+    #[test]
+    fn empty_snapshot_quantiles_are_zero() {
+        let s = HistogramSnapshot::empty();
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_is_elementwise_addition() {
+        let a = Histogram::active();
+        let b = Histogram::active();
+        let whole = Histogram::active();
+        for v in [3u64, 5, 900] {
+            a.record(v);
+            whole.record(v);
+        }
+        for v in [0u64, 7_000_000] {
+            b.record(v);
+            whole.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, whole.snapshot());
+        // Merging the identity changes nothing.
+        let before = merged.clone();
+        merged.merge(&HistogramSnapshot::empty());
+        assert_eq!(merged, before);
+    }
+
+    #[test]
+    fn quantile_estimates_are_bucket_upper_bounds() {
+        let h = Histogram::active();
+        for v in 1..=1024u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5);
+        // Rank 512 is the value 512 → bucket [512, 1023].
+        assert_eq!(p50, 1023);
+        assert!(s.quantile(0.95) >= p50);
+        assert!(s.quantile(0.99) >= s.quantile(0.95));
+    }
+
+    #[test]
+    fn timing_records_microseconds() {
+        let h = Histogram::active();
+        let t = h.begin();
+        assert!(t.is_some());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        h.end(t);
+        let s = h.snapshot();
+        assert_eq!(s.count, 1);
+        assert!(s.sum >= 2_000, "slept 2ms but recorded {}us", s.sum);
+    }
+}

@@ -1,0 +1,222 @@
+//! Lightweight span tracing: fixed-capacity per-thread ring buffers of
+//! named intervals, exportable as chrome://tracing JSON.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default span-ring capacity. At one span per frame/phase this holds
+/// minutes of history; the ring overwrites its oldest entries beyond
+/// that and counts the overwrites ([`SpanRing::dropped`]).
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+/// One completed span: a named interval on the thread that owns the
+/// ring. Times are microseconds relative to the owning registry's
+/// start (standalone rings: the ring's creation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Phase/operation name (`"partition"`, `"execute"`, …).
+    pub name: &'static str,
+    /// Start offset from the trace epoch, microseconds.
+    pub start_us: u64,
+    /// Duration, microseconds.
+    pub dur_us: u64,
+}
+
+/// The shared state behind a [`SpanRing`] handle. The ring is meant to
+/// be owned by one recording thread, so the mutex is uncontended
+/// except while an exporter snapshots it.
+#[derive(Debug)]
+pub(crate) struct RingCell {
+    pub(crate) label: String,
+    capacity: usize,
+    buf: Mutex<VecDeque<SpanRecord>>,
+    dropped: AtomicU64,
+}
+
+impl RingCell {
+    pub(crate) fn new(label: String, capacity: usize) -> Self {
+        RingCell {
+            label,
+            capacity: capacity.max(1),
+            buf: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, record: SpanRecord) {
+        let mut buf = self.buf.lock().expect("span ring lock poisoned");
+        if buf.len() == self.capacity {
+            buf.pop_front();
+            self.dropped.fetch_add(1, Relaxed);
+        }
+        buf.push_back(record);
+    }
+
+    pub(crate) fn snapshot(&self) -> Vec<SpanRecord> {
+        self.buf
+            .lock()
+            .expect("span ring lock poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    pub(crate) fn dropped(&self) -> u64 {
+        self.dropped.load(Relaxed)
+    }
+}
+
+/// A handle to one per-thread span ring. Clone-cheap; the null form
+/// ([`SpanRing::null`]) never reads the clock.
+#[derive(Clone, Debug, Default)]
+pub struct SpanRing {
+    /// `(cell, epoch)` — the epoch anchors `start_us` offsets.
+    pub(crate) inner: Option<(Arc<RingCell>, Instant)>,
+}
+
+impl SpanRing {
+    /// A live, standalone ring (its epoch is its creation time).
+    /// Registered rings come from
+    /// [`Registry::span_ring`](crate::Registry::span_ring) and share
+    /// the registry's epoch instead.
+    pub fn active(label: &str, capacity: usize) -> Self {
+        SpanRing {
+            inner: Some((
+                Arc::new(RingCell::new(label.to_owned(), capacity)),
+                Instant::now(),
+            )),
+        }
+    }
+
+    pub(crate) fn from_cell(cell: Arc<RingCell>, epoch: Instant) -> Self {
+        SpanRing {
+            inner: Some((cell, epoch)),
+        }
+    }
+
+    /// A disabled ring: spans are dropped, timers never read the clock.
+    pub fn null() -> Self {
+        SpanRing { inner: None }
+    }
+
+    /// Starts a span. Dropping the returned timer records it; use
+    /// `let _span = ring.span("phase");` to cover a scope.
+    #[inline]
+    pub fn span(&self, name: &'static str) -> SpanTimer {
+        SpanTimer {
+            inner: self
+                .inner
+                .as_ref()
+                .map(|(cell, epoch)| (cell.clone(), *epoch, Instant::now())),
+            name,
+        }
+    }
+
+    /// Records a pre-measured span directly (offsets in microseconds
+    /// from this ring's epoch).
+    pub fn record(&self, name: &'static str, start_us: u64, dur_us: u64) {
+        if let Some((cell, _)) = &self.inner {
+            cell.push(SpanRecord {
+                name,
+                start_us,
+                dur_us,
+            });
+        }
+    }
+
+    /// The retained spans, oldest first (empty for a null ring).
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.inner
+            .as_ref()
+            .map_or_else(Vec::new, |(cell, _)| cell.snapshot())
+    }
+
+    /// How many spans the ring has overwritten since creation.
+    pub fn dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |(cell, _)| cell.dropped())
+    }
+}
+
+/// An in-flight span; dropping it records the elapsed interval into
+/// its ring. For a null ring this is a clock-free no-op.
+#[derive(Debug)]
+pub struct SpanTimer {
+    inner: Option<(Arc<RingCell>, Instant, Instant)>,
+    name: &'static str,
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some((cell, epoch, started)) = self.inner.take() {
+            let start_us = started.duration_since(epoch).as_micros() as u64;
+            let dur_us = started.elapsed().as_micros() as u64;
+            cell.push(SpanRecord {
+                name: self.name,
+                start_us,
+                dur_us,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_on_drop_in_order() {
+        let ring = SpanRing::active("t0", 8);
+        {
+            let _a = ring.span("alpha");
+            let _b = ring.span("beta");
+            // beta drops first (reverse declaration order).
+        }
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "beta");
+        assert_eq!(spans[1].name, "alpha");
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wraps_keeping_the_newest_and_counts_drops() {
+        let ring = SpanRing::active("t0", 4);
+        for i in 0..10u64 {
+            ring.record("tick", i, 1);
+        }
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 4, "capacity bounds retention");
+        let starts: Vec<u64> = spans.iter().map(|s| s.start_us).collect();
+        assert_eq!(starts, vec![6, 7, 8, 9], "oldest entries overwritten");
+        assert_eq!(ring.dropped(), 6);
+    }
+
+    #[test]
+    fn null_ring_is_inert() {
+        let ring = SpanRing::null();
+        {
+            let _s = ring.span("ghost");
+        }
+        ring.record("ghost", 0, 1);
+        assert!(ring.snapshot().is_empty());
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn span_offsets_are_anchored_to_the_epoch() {
+        let ring = SpanRing::active("t0", 8);
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _s = ring.span("work");
+        }
+        let spans = ring.snapshot();
+        assert_eq!(spans.len(), 1);
+        assert!(
+            spans[0].start_us >= 2_000,
+            "span started {}us after epoch, expected >= 2ms",
+            spans[0].start_us
+        );
+    }
+}

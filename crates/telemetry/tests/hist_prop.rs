@@ -1,0 +1,56 @@
+//! Property: sharded recording is invisible at scrape time — merging
+//! the snapshots of any shard partition of a value stream equals the
+//! snapshot of recording the whole stream into one histogram, and the
+//! registry's merged view agrees.
+
+use proptest::prelude::*;
+use tc_telemetry::{Histogram, HistogramSnapshot, Registry};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shard_merge_equals_single_shard_recording(
+        // Values spanning the full bucket range, including zeros.
+        values in proptest::collection::vec(0u64..=u64::MAX, 0..200),
+        shards in 1usize..6,
+    ) {
+        // One histogram takes everything; the shards split the stream
+        // round-robin (any partition would do — addition commutes).
+        let whole = Histogram::active();
+        let parts: Vec<Histogram> = (0..shards).map(|_| Histogram::active()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record(v);
+            parts[i % shards].record(v);
+        }
+        let mut merged = HistogramSnapshot::empty();
+        for part in &parts {
+            merged.merge(&part.snapshot());
+        }
+        prop_assert_eq!(&merged, &whole.snapshot());
+
+        // The registry path: same name, one shard per registration.
+        let reg = Registry::new();
+        let handles: Vec<Histogram> =
+            (0..shards).map(|_| reg.histogram("tc_prop_us")).collect();
+        for (i, &v) in values.iter().enumerate() {
+            handles[i % shards].record(v);
+        }
+        prop_assert_eq!(&reg.histogram_snapshot("tc_prop_us"), &whole.snapshot());
+
+        // Merged quantiles stay within the recorded range's bucket
+        // resolution: never below the min, never above the max's
+        // bucket upper bound.
+        let snap = whole.snapshot();
+        if let (Some(&min), Some(&max)) = (values.iter().min(), values.iter().max()) {
+            for q in [0.5, 0.95, 0.99] {
+                let est = snap.quantile(q);
+                prop_assert!(est >= min, "q{q} estimate {est} below min {min}");
+                prop_assert!(
+                    est == u64::MAX || max == u64::MAX || est < max.saturating_mul(2).max(1),
+                    "q{q} estimate {est} beyond max {max}'s bucket"
+                );
+            }
+        }
+    }
+}

@@ -18,6 +18,10 @@
 //!   incremental detector with thread retirement and cold-state
 //!   eviction, serializable checkpoints with byte-identical resume,
 //!   and the session-sharded `tcr serve` line-protocol service.
+//! - [`telemetry`] — the always-on observability core: lock-free
+//!   counters/gauges, mergeable log₂-bucketed histograms, span rings
+//!   with chrome://tracing export, and the Prometheus-style text
+//!   exposition behind the service's `metrics` command.
 //! - [`conformance`] — the cross-engine conformance harness: a corpus
 //!   of trace configurations driven through every engine × backend
 //!   combination and cross-checked against the definitional oracles
@@ -48,6 +52,7 @@ pub use tc_conformance as conformance;
 pub use tc_core as core;
 pub use tc_orders as orders;
 pub use tc_stream as stream;
+pub use tc_telemetry as telemetry;
 pub use tc_trace as trace;
 
 pub use tc_core::{
