@@ -71,7 +71,16 @@ pub const SCHEMA: &str = "treeclocks/bench-baseline";
 /// pipeline's per-phase latency summary — count, total and
 /// p50/p95/p99 microseconds for partition/scatter/execute/gather/
 /// barrier at a recorded worker count).
-pub const SCHEMA_VERSION: u64 = 6;
+///
+/// v7: added the `cluster` record kind (multi-node serve cells from
+/// the `tc_cluster` ring, discriminated by a `cell` field: `forward`
+/// is the owner-gateway vs peer-gateway forwarding tax, `failover` is
+/// the crash-to-promoted recovery latency, `stable-gc` bounds shipped
+/// checkpoint-delta bytes by the raw checkpoint bytes they replaced)
+/// and the `obs-period` record kind (the hybrid's tree-observation-
+/// period A/B on the dense star workload, which justified widening the
+/// default period from 2 to 4).
+pub const SCHEMA_VERSION: u64 = 7;
 
 /// One measured cell of the baseline grid.
 #[derive(Clone, Debug)]
@@ -211,6 +220,51 @@ pub fn collect_calibration(mut progress: impl FnMut(&str)) -> Vec<CalibrationRec
                 seconds: m.seconds,
             });
         }
+    }
+    records
+}
+
+/// One tree-observation-period A/B cell: the hybrid's HB wall time on
+/// the dense star workload at a pinned copy-observation period
+/// ([`tc_core::hybrid`]'s `DEFAULT_TREE_OBS_PERIOD` sampling cadence).
+/// Paired records (same scenario, different period) expose the latency
+/// delta that justified widening the default from 2 to 4.
+#[derive(Clone, Debug)]
+pub struct ObsPeriodRecord {
+    /// Scenario name.
+    pub scenario: String,
+    /// Thread count of the generated trace.
+    pub threads: u32,
+    /// Event count of the generated trace.
+    pub events: usize,
+    /// The tree-observation period pinned for this run.
+    pub period: u8,
+    /// Mean HB wall time with the hybrid clock at that period.
+    pub seconds: f64,
+}
+
+/// Measures the hybrid's tree-observation-period sensitivity: the
+/// dense star workload (where dense-mode copies dominate, so the
+/// sampling cadence is on the hot path) run at the legacy period 2 and
+/// at the calibrated default. The period is pinned per pool
+/// ([`ClockPool::set_tree_obs_period`]), so the process-wide default
+/// is never touched.
+pub fn collect_obs_period(mut progress: impl FnMut(&str)) -> Vec<ObsPeriodRecord> {
+    let threads = 360;
+    let trace = Scenario::Star.generate(threads, 25_000, 0x0B50);
+    let mut records = Vec::new();
+    for period in [2u8, tc_core::DEFAULT_TREE_OBS_PERIOD] {
+        progress(&format!("obs-period/star/{period}"));
+        let mut pool = ClockPool::new();
+        pool.set_tree_obs_period(Some(period));
+        let m = measure_clock::<HybridClock>(&trace, PartialOrderKind::Hb, Mode::Po, &mut pool);
+        records.push(ObsPeriodRecord {
+            scenario: Scenario::Star.to_string(),
+            threads,
+            events: trace.len(),
+            period,
+            seconds: m.seconds,
+        });
     }
     records
 }
@@ -490,6 +544,10 @@ pub struct BenchDoc {
     pub telemetry: Vec<crate::telemetry::TelemetryOverheadRecord>,
     /// Epoch-parallel phase summaries (`kind: "phase"`).
     pub phases: Vec<crate::telemetry::PhaseBreakdownRecord>,
+    /// Multi-node serve cells (`kind: "cluster"`).
+    pub cluster: Vec<crate::cluster::ClusterRecord>,
+    /// Tree-observation-period A/B cells (`kind: "obs-period"`).
+    pub obs_period: Vec<ObsPeriodRecord>,
 }
 
 /// Renders engine-only records as the schema-stable JSON document
@@ -606,6 +664,68 @@ pub fn to_json_doc(doc: &BenchDoc, mode: &str) -> String {
             ("p99_us", r.p99_us.into()),
         ])
     }));
+    records.extend(doc.cluster.iter().map(|r| {
+        use crate::cluster::ClusterRecord;
+        match r {
+            ClusterRecord::Forward {
+                nodes,
+                events,
+                local_seconds,
+                forwarded_seconds,
+            } => Value::obj([
+                ("kind", "cluster".into()),
+                ("cell", "forward".into()),
+                ("nodes", (*nodes).into()),
+                ("events", (*events).into()),
+                ("local_seconds", (*local_seconds).into()),
+                ("forwarded_seconds", (*forwarded_seconds).into()),
+                ("local_events_per_sec", r.local_events_per_sec().into()),
+                (
+                    "forwarded_events_per_sec",
+                    r.forwarded_events_per_sec().into(),
+                ),
+                ("overhead_pct", r.overhead_pct().into()),
+            ]),
+            ClusterRecord::Failover {
+                nodes,
+                sessions,
+                events,
+                recovery_ms,
+            } => Value::obj([
+                ("kind", "cluster".into()),
+                ("cell", "failover".into()),
+                ("nodes", (*nodes).into()),
+                ("sessions", (*sessions).into()),
+                ("events", (*events).into()),
+                ("recovery_ms", (*recovery_ms).into()),
+            ]),
+            ClusterRecord::StableGc {
+                nodes,
+                events,
+                deltas,
+                delta_bytes,
+                snapshot_bytes,
+            } => Value::obj([
+                ("kind", "cluster".into()),
+                ("cell", "stable-gc".into()),
+                ("nodes", (*nodes).into()),
+                ("events", (*events).into()),
+                ("deltas", (*deltas).into()),
+                ("delta_bytes", (*delta_bytes).into()),
+                ("snapshot_bytes", (*snapshot_bytes).into()),
+            ]),
+        }
+    }));
+    records.extend(doc.obs_period.iter().map(|r| {
+        Value::obj([
+            ("kind", "obs-period".into()),
+            ("scenario", r.scenario.as_str().into()),
+            ("threads", r.threads.into()),
+            ("events", r.events.into()),
+            ("period", u64::from(r.period).into()),
+            ("seconds", r.seconds.into()),
+        ])
+    }));
     let doc = Value::obj([
         ("schema", SCHEMA.into()),
         ("version", SCHEMA_VERSION.into()),
@@ -655,6 +775,17 @@ pub struct BaselineSummary {
     /// Worst `overhead_pct` among telemetry records (0.0 when the
     /// document has none; negative means telemetry-on was faster).
     pub telemetry_overhead_pct: f64,
+    /// Multi-node serve records in the document.
+    pub cluster: usize,
+    /// Tree-observation-period A/B records in the document.
+    pub obs_period: usize,
+    /// Worst `overhead_pct` among cluster forward cells (0.0 when the
+    /// document has none; negative means the forwarded path was faster
+    /// than the noise floor).
+    pub cluster_forward_overhead_pct: f64,
+    /// Worst `recovery_ms` among cluster failover cells (0.0 when the
+    /// document has none).
+    pub cluster_recovery_ms: f64,
 }
 
 const REQUIRED_NUMS: [&str; 10] = [
@@ -713,6 +844,9 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
         (0usize, 0usize, 0usize, 0usize, 0usize);
     let (mut telemetry, mut phase) = (0usize, 0usize);
     let mut telemetry_overhead_pct = 0.0f64;
+    let (mut cluster, mut obs_period) = (0usize, 0usize);
+    let mut cluster_forward_overhead_pct = 0.0f64;
+    let mut cluster_recovery_ms = 0.0f64;
     for (i, r) in records.iter().enumerate() {
         let field = |name: &str| {
             r.get(name)
@@ -856,6 +990,68 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
                 }
                 continue;
             }
+            "cluster" => {
+                cluster += 1;
+                let cell = field("cell")?
+                    .as_str()
+                    .ok_or_else(|| format!("record {i}: `cell` is not a string"))?;
+                match cell {
+                    "forward" => {
+                        for name in [
+                            "nodes",
+                            "events",
+                            "local_seconds",
+                            "forwarded_seconds",
+                            "local_events_per_sec",
+                            "forwarded_events_per_sec",
+                        ] {
+                            num_field(name)?;
+                        }
+                        // The tax may legitimately be negative (the
+                        // forwarded run landing under the noise
+                        // floor), so it skips `num_field`'s sign check.
+                        let pct = field("overhead_pct")?
+                            .as_num()
+                            .ok_or_else(|| format!("record {i}: `overhead_pct` is not a number"))?;
+                        cluster_forward_overhead_pct = cluster_forward_overhead_pct.max(pct);
+                    }
+                    "failover" => {
+                        for name in ["nodes", "sessions", "events"] {
+                            num_field(name)?;
+                        }
+                        cluster_recovery_ms = cluster_recovery_ms.max(num_field("recovery_ms")?);
+                    }
+                    "stable-gc" => {
+                        for name in ["nodes", "events", "deltas"] {
+                            num_field(name)?;
+                        }
+                        let delta_bytes = num_field("delta_bytes")?;
+                        let snapshot_bytes = num_field("snapshot_bytes")?;
+                        if delta_bytes > snapshot_bytes {
+                            return Err(format!(
+                                "record {i}: stable-gc delta bytes exceed snapshot bytes \
+                                 ({delta_bytes} vs {snapshot_bytes}) — the stable-prefix \
+                                 GC is not engaging"
+                            ));
+                        }
+                    }
+                    other => return Err(format!("record {i}: unknown cluster cell `{other}`")),
+                }
+                continue;
+            }
+            "obs-period" => {
+                obs_period += 1;
+                field("scenario")?
+                    .as_str()
+                    .ok_or_else(|| format!("record {i}: `scenario` is not a string"))?;
+                for name in ["threads", "events", "seconds"] {
+                    num_field(name)?;
+                }
+                if num_field("period")? < 1.0 {
+                    return Err(format!("record {i}: obs-period `period` must be >= 1"));
+                }
+                continue;
+            }
             other => return Err(format!("record {i}: unknown record kind `{other}`")),
         }
         let scenario = field("scenario")?
@@ -953,6 +1149,10 @@ pub fn validate(text: &str) -> Result<BaselineSummary, String> {
         telemetry,
         phase,
         telemetry_overhead_pct,
+        cluster,
+        obs_period,
+        cluster_forward_overhead_pct,
+        cluster_recovery_ms,
     })
 }
 
@@ -1045,6 +1245,43 @@ mod tests {
                 p95_us: 255,
                 p99_us: 511,
             }],
+            cluster: vec![
+                crate::cluster::ClusterRecord::Forward {
+                    nodes: 2,
+                    events: 20_000,
+                    local_seconds: 0.05,
+                    forwarded_seconds: 0.06,
+                },
+                crate::cluster::ClusterRecord::Failover {
+                    nodes: 3,
+                    sessions: 12,
+                    events: 32_768,
+                    recovery_ms: 18.0,
+                },
+                crate::cluster::ClusterRecord::StableGc {
+                    nodes: 3,
+                    events: 240,
+                    deltas: 30,
+                    delta_bytes: 6_000,
+                    snapshot_bytes: 14_000,
+                },
+            ],
+            obs_period: vec![
+                ObsPeriodRecord {
+                    scenario: "star".into(),
+                    threads: 360,
+                    events: 25_000,
+                    period: 2,
+                    seconds: 0.05,
+                },
+                ObsPeriodRecord {
+                    scenario: "star".into(),
+                    threads: 360,
+                    events: 25_000,
+                    period: 4,
+                    seconds: 0.04,
+                },
+            ],
         };
         let json = to_json_doc(&doc, "quick");
         let summary = validate(&json).expect("full documents must validate");
@@ -1055,6 +1292,18 @@ mod tests {
         assert_eq!(summary.churn, 1);
         assert_eq!(summary.telemetry, 1);
         assert_eq!(summary.phase, 1);
+        assert_eq!(summary.cluster, 3);
+        assert_eq!(summary.obs_period, 2);
+        assert!(
+            (summary.cluster_forward_overhead_pct - 20.0).abs() < 1e-9,
+            "0.06s forwarded over 0.05s local is a 20% tax: {}",
+            summary.cluster_forward_overhead_pct
+        );
+        assert!(
+            (summary.cluster_recovery_ms - 18.0).abs() < 1e-9,
+            "worst failover cell carries through: {}",
+            summary.cluster_recovery_ms
+        );
         assert!(
             (summary.telemetry_overhead_pct - 1.0).abs() < 1e-9,
             "990k on vs 1M off is a 1% tax: {}",
@@ -1098,6 +1347,18 @@ mod tests {
         }
         let bad = json.replace("\"overhead_pct\"", "\"overhead_cpt\"");
         assert!(validate(&bad).unwrap_err().contains("overhead_pct"));
+        let bad = json.replace("\"cell\": \"stable-gc\"", "\"cell\": \"stable-fc\"");
+        if bad != json {
+            assert!(validate(&bad).unwrap_err().contains("cluster cell"));
+        }
+        let bad = json.replace("\"delta_bytes\": 6000", "\"delta_bytes\": 60000");
+        if bad != json {
+            assert!(validate(&bad).unwrap_err().contains("snapshot bytes"));
+        }
+        let bad = json.replace("\"period\": 2", "\"period\": 0");
+        if bad != json {
+            assert!(validate(&bad).unwrap_err().contains("period"));
+        }
     }
 
     #[test]

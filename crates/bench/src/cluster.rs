@@ -1,0 +1,315 @@
+//! Cluster-mode cells of the perf baseline: what multi-node serving
+//! costs and what failover buys.
+//!
+//! Three record cells, all discriminated as `kind: "cluster"` in the
+//! baseline document:
+//!
+//! - **forward** — a two-node socket ring on loopback; the same
+//!   frame-batched workload is driven once through the session's owner
+//!   gateway (local dispatch) and once through the other node (every
+//!   frame takes the peer-link hop there and back). The rate ratio is
+//!   the client-transparent forwarding tax.
+//! - **failover** — an in-process three-node ring loaded with many
+//!   replicated sessions; one node is crashed and the wall time until
+//!   every survivor has promoted its replicas (checkpoint resume plus
+//!   in-flight tail replay) is the recovery latency.
+//! - **stable-gc** — a churning session on a ticking ring; the owner's
+//!   shipped delta bytes against its shipped checkpoint bytes show the
+//!   matrix-clock stable-prefix promotion keeping deltas incremental
+//!   (without ticks every delta would degenerate to a full snapshot).
+//!
+//! Like the ingest cells, the socket cell measures end to end over a
+//! real loopback connection, synchronized with a trailing `stats`
+//! round trip — the rate a client actually observes.
+
+use std::net::{SocketAddr, TcpListener};
+use std::time::{Duration, Instant};
+
+use tc_cluster::{ClusterConfig, ClusterServer, HashRing, LocalCluster};
+use tc_stream::Client;
+use tc_trace::gen::WorkloadSpec;
+use tc_trace::Trace;
+
+use crate::ingest::FRAME_EVENTS;
+
+/// One measured cluster cell.
+#[derive(Clone, Debug)]
+pub enum ClusterRecord {
+    /// The forwarding tax: one workload, owner gateway vs peer gateway.
+    Forward {
+        /// Ring size (2 — the minimal forwarding topology).
+        nodes: u32,
+        /// Events delivered per run.
+        events: u64,
+        /// Wall seconds through the owner gateway.
+        local_seconds: f64,
+        /// Wall seconds through the non-owner gateway.
+        forwarded_seconds: f64,
+    },
+    /// Crash-to-recovered latency for a loaded node.
+    Failover {
+        /// Ring size.
+        nodes: u32,
+        /// Sessions the crashed node owned (all promoted by survivors).
+        sessions: u64,
+        /// Events fed across all sessions before the crash.
+        events: u64,
+        /// Wall milliseconds from crash to every replica promoted.
+        recovery_ms: f64,
+    },
+    /// Stable-prefix GC effectiveness under churn.
+    StableGc {
+        /// Ring size.
+        nodes: u32,
+        /// Churn events driven through the session.
+        events: u64,
+        /// Checkpoint deltas shipped.
+        deltas: u64,
+        /// Total serialized delta bytes shipped.
+        delta_bytes: u64,
+        /// Total raw checkpoint bytes those deltas covered.
+        snapshot_bytes: u64,
+    },
+}
+
+impl ClusterRecord {
+    /// The forward cell's local (owner-gateway) rate.
+    pub fn local_events_per_sec(&self) -> f64 {
+        match self {
+            ClusterRecord::Forward {
+                events,
+                local_seconds,
+                ..
+            } => *events as f64 / local_seconds.max(1e-9),
+            _ => 0.0,
+        }
+    }
+
+    /// The forward cell's forwarded (peer-gateway) rate.
+    pub fn forwarded_events_per_sec(&self) -> f64 {
+        match self {
+            ClusterRecord::Forward {
+                events,
+                forwarded_seconds,
+                ..
+            } => *events as f64 / forwarded_seconds.max(1e-9),
+            _ => 0.0,
+        }
+    }
+
+    /// The forwarding tax in percent (positive = forwarding slower).
+    pub fn overhead_pct(&self) -> f64 {
+        match self {
+            ClusterRecord::Forward {
+                local_seconds,
+                forwarded_seconds,
+                ..
+            } => 100.0 * (forwarded_seconds - local_seconds) / local_seconds.max(1e-9),
+            _ => 0.0,
+        }
+    }
+}
+
+/// Measures all three cluster cells. `quick` trims the workloads to CI
+/// size.
+pub fn collect(quick: bool, mut progress: impl FnMut(&str)) -> Vec<ClusterRecord> {
+    let (forward_events, failover_sessions, gc_churn) = if quick {
+        (20_000, 32, 240)
+    } else {
+        (60_000, 128, 960)
+    };
+    progress("cluster/forward");
+    let forward = measure_forward(forward_events);
+    progress("cluster/failover");
+    let failover = measure_failover(failover_sessions);
+    progress("cluster/stable-gc");
+    let gc = measure_stable_gc(gc_churn);
+    vec![forward, failover, gc]
+}
+
+fn workload(events: usize) -> Trace {
+    WorkloadSpec {
+        threads: 8,
+        locks: 4,
+        vars: 32,
+        events,
+        sync_ratio: 0.2,
+        shared_fraction: 0.5,
+        seed: 0xC1,
+        ..WorkloadSpec::default()
+    }
+    .generate()
+}
+
+/// Opens sessions through `gateway` until one lands on (`local` =
+/// true) or off (`false`) the gateway's node, returning the bound
+/// client. Placement is by consistent hash of the session id, so a
+/// handful of opens always suffices.
+fn open_placed(gateway: &SocketAddr, node: u32, ring: &HashRing, local: bool) -> Client {
+    for _ in 0..64 {
+        let client = Client::open(*gateway, "hb tc").expect("cluster open");
+        let owned_here = ring.owner(client.session()) == node;
+        if owned_here == local {
+            return client;
+        }
+    }
+    panic!("placement never produced the requested locality");
+}
+
+fn measure_forward(events: usize) -> ClusterRecord {
+    let addrs: Vec<String> = {
+        let listeners: Vec<TcpListener> = (0..2)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind"))
+            .collect();
+        listeners
+            .iter()
+            .map(|l| l.local_addr().expect("addr").to_string())
+            .collect()
+    };
+    let servers: Vec<ClusterServer> = (0..2)
+        .map(|i| {
+            ClusterServer::start_with(
+                &addrs[i],
+                addrs.clone(),
+                ClusterConfig {
+                    nodes: 2,
+                    me: i as u32,
+                    ..ClusterConfig::default()
+                },
+                Duration::from_millis(50),
+                40,
+            )
+            .expect("start node")
+        })
+        .collect();
+    let gateway: SocketAddr = addrs[0].parse().expect("addr");
+    let ring = HashRing::new(2);
+    let trace = workload(events);
+
+    let run = |local: bool| -> f64 {
+        let mut client = open_placed(&gateway, 0, &ring, local);
+        let session = client.session();
+        let start = Instant::now();
+        for frame in trace.events().chunks(FRAME_EVENTS) {
+            client.send_frame(session, frame).expect("frame");
+        }
+        client.flush().expect("flush");
+        client.send("stats").expect("stats");
+        client.flush().expect("flush");
+        let reply = client.read_reply().expect("stats reply");
+        let events = trace.len();
+        assert!(
+            reply.starts_with("ok") && reply.contains(&format!("events={events}")),
+            "sync must account for every event: {reply}"
+        );
+        start.elapsed().as_secs_f64()
+    };
+    // Warm both paths once (peer links, socket buffers), then measure.
+    run(true);
+    run(false);
+    let local_seconds = run(true);
+    let forwarded_seconds = run(false);
+    for s in servers {
+        s.shutdown();
+    }
+    ClusterRecord::Forward {
+        nodes: 2,
+        events: trace.len() as u64,
+        local_seconds,
+        forwarded_seconds,
+    }
+}
+
+fn measure_failover(sessions: usize) -> ClusterRecord {
+    let mut ring = LocalCluster::with_delta_every(3, 4);
+    let trace = workload(FRAME_EVENTS * 2);
+    let mut ids = Vec::new();
+    for conn in 0..sessions as u64 {
+        let id = ring.open(0, conn, "hb tc");
+        for frame in trace.events().chunks(FRAME_EVENTS) {
+            let reply = ring.client_frame(0, conn, id, frame);
+            assert!(reply.is_empty(), "frame rejected: {reply}");
+        }
+        ids.push(id);
+    }
+    ring.tick();
+    // Crash the node owning the most sessions — the worst survivor.
+    let hash = HashRing::new(3);
+    let mut owned = [0u64; 3];
+    for &id in &ids {
+        owned[hash.owner(id) as usize] += 1;
+    }
+    let victim = (0..3u32)
+        .max_by_key(|&n| owned[n as usize])
+        .expect("3 nodes");
+    let start = Instant::now();
+    ring.kill(victim);
+    let recovery_ms = start.elapsed().as_secs_f64() * 1e3;
+    ClusterRecord::Failover {
+        nodes: 3,
+        sessions: owned[victim as usize],
+        events: (ids.len() * trace.len()) as u64,
+        recovery_ms,
+    }
+}
+
+fn measure_stable_gc(churn: usize) -> ClusterRecord {
+    let mut ring = LocalCluster::with_delta_every(3, 4);
+    let id = ring.open(0, 1, "hb tc");
+    let owner = ring.node_ref(0).place(id);
+    for i in 0..churn {
+        let line = format!("t{} w v{}", i % 3, i % 7);
+        let reply = ring.client_line(0, 1, &line);
+        assert!(reply.is_empty(), "churn rejected: {reply}");
+        if i % 4 == 3 {
+            ring.tick();
+        }
+    }
+    let reg = ring.node_ref(owner).registry();
+    ClusterRecord::StableGc {
+        nodes: 3,
+        events: churn as u64,
+        deltas: reg.counter_value("tc_cluster_deltas_total"),
+        delta_bytes: reg.counter_value("tc_cluster_delta_bytes_total"),
+        snapshot_bytes: reg.counter_value("tc_cluster_checkpoint_bytes_total"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_cells_measure_and_bound_sanely() {
+        let records = collect(true, |_| {});
+        assert_eq!(records.len(), 3);
+        let forward = &records[0];
+        assert!(forward.local_events_per_sec() > 0.0);
+        assert!(forward.forwarded_events_per_sec() > 0.0);
+        match records[1] {
+            ClusterRecord::Failover {
+                sessions, events, ..
+            } => {
+                assert!(sessions > 0, "the victim owned something");
+                assert!(events > 0);
+            }
+            _ => panic!("second cell is failover"),
+        }
+        match records[2] {
+            ClusterRecord::StableGc {
+                deltas,
+                delta_bytes,
+                snapshot_bytes,
+                ..
+            } => {
+                assert!(deltas > 0);
+                assert!(
+                    delta_bytes <= snapshot_bytes,
+                    "stable-prefix promotion keeps deltas at or under snapshots: \
+                     {delta_bytes} vs {snapshot_bytes}"
+                );
+            }
+            _ => panic!("third cell is stable-gc"),
+        }
+    }
+}

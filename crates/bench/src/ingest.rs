@@ -114,6 +114,7 @@ pub fn collect(scale: IngestScale, mut progress: impl FnMut(&str)) -> Vec<Ingest
         // parallelism is benched separately (the `parallel` records).
         parallel: 0,
         telemetry: true,
+        auth: None,
     })
     .expect("ingest bench server binds a free loopback port");
     let addr = server.local_addr();

@@ -27,6 +27,7 @@
 #![forbid(unsafe_code)]
 
 pub mod baseline;
+pub mod cluster;
 pub mod figures;
 pub mod ingest;
 pub mod json;
@@ -38,6 +39,7 @@ pub mod tables;
 pub mod telemetry;
 
 pub use baseline::{BaselineRecord, BaselineSummary, BenchDoc, ChurnRecord};
+pub use cluster::ClusterRecord;
 pub use ingest::{IngestRecord, IngestScale};
 pub use parallel::{ParallelRecord, ParallelScale};
 pub use runner::{ClockKind, Measurement, Mode};

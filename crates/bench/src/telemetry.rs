@@ -83,6 +83,7 @@ pub fn collect_overhead(
             workers: 2,
             parallel: 0,
             telemetry,
+            auth: None,
         })
         .expect("overhead bench server binds a free loopback port");
         let addr = server.local_addr();

@@ -414,7 +414,7 @@ fn cmd_conformance(args: &[String]) -> Result<(), String> {
 /// Default output file of `tcr bench --json`. The number tracks the PR
 /// that produced the baseline, so the repository accumulates a
 /// `BENCH_*.json` perf trajectory over time.
-const BENCH_JSON_DEFAULT: &str = "BENCH_9.json";
+const BENCH_JSON_DEFAULT: &str = "BENCH_10.json";
 
 fn cmd_bench(args: &[String]) -> Result<(), String> {
     let (flags, kv) = Flags::parse(args, &["out", "trace", "check"], &["json", "quick", "full"])?;
@@ -501,6 +501,8 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
                 phases: tc_bench::telemetry::collect_phases(parallel_scale, 2, |cell| {
                     eprintln!("bench: {cell}")
                 }),
+                cluster: tc_bench::cluster::collect(quick, |cell| eprintln!("bench: {cell}")),
+                obs_period: baseline::collect_obs_period(|cell| eprintln!("bench: {cell}")),
             }
         };
         let json = baseline::to_json_doc(&doc, mode);
@@ -509,8 +511,9 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
         println!(
             "wrote {out}: {} record(s), {} configuration(s), tree <= vector wall time on {}, \
              hybrid within 2x of vector on {}, {} ingest / {} suite / {} calibration / {} \
-             parallel / {} churn / {} telemetry / {} phase record(s), binary ingest at {:.1}x \
-             text, parallel detection at {:.2}x sequential, telemetry tax {:.2}%",
+             parallel / {} churn / {} telemetry / {} phase / {} cluster / {} obs-period \
+             record(s), binary ingest at {:.1}x text, parallel detection at {:.2}x sequential, \
+             telemetry tax {:.2}%, cluster forwarding tax {:.2}%, failover recovery {:.1}ms",
             summary.records,
             summary.configs,
             summary.tree_wins,
@@ -522,9 +525,13 @@ fn cmd_bench(args: &[String]) -> Result<(), String> {
             summary.churn,
             summary.telemetry,
             summary.phase,
+            summary.cluster,
+            summary.obs_period,
             summary.binary_speedup,
             summary.parallel_speedup,
-            summary.telemetry_overhead_pct
+            summary.telemetry_overhead_pct,
+            summary.cluster_forward_overhead_pct,
+            summary.cluster_recovery_ms
         );
     } else {
         let mut t = TextTable::new([
@@ -904,11 +911,28 @@ fn write_session_checkpoint(session: &Session, path: &str) -> Result<(), String>
 fn cmd_serve(args: &[String]) -> Result<(), String> {
     let (flags, kv) = Flags::parse(
         args,
-        &["addr", "port", "workers", "parallel-sessions"],
-        &["smoke"],
+        &[
+            "addr",
+            "port",
+            "workers",
+            "parallel-sessions",
+            "auth",
+            "node",
+            "peers",
+            "delta-every",
+        ],
+        &["smoke", "cluster"],
     )?;
     if let Some(extra) = flags.positional.first() {
         return Err(format!("serve takes no positional argument `{extra}`"));
+    }
+    if value(&kv, "cluster").is_some() {
+        return serve_cluster(&kv);
+    }
+    for flag in ["node", "peers", "delta-every"] {
+        if value(&kv, flag).is_some() {
+            return Err(format!("--{flag} requires --cluster"));
+        }
     }
     let addr = match (value(&kv, "addr"), value(&kv, "port")) {
         (Some(addr), None) => addr.to_owned(),
@@ -932,11 +956,13 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         .unwrap_or("0")
         .parse()
         .map_err(|_| "invalid --parallel-sessions")?;
+    let auth = value(&kv, "auth").map(str::to_owned);
     let server = Server::start(ServeConfig {
         addr,
         workers,
         parallel,
         telemetry: true,
+        auth,
     })
     .map_err(|e| format!("cannot start server: {e}"))?;
     let parallel_note = if parallel > 0 {
@@ -953,6 +979,67 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     );
     server.join();
     println!("tcr serve: shut down");
+    Ok(())
+}
+
+/// The `serve --cluster` path: one node of a static multi-node ring.
+/// Sessions are placed by consistent hash, any node forwards for any
+/// session, and owners stream checkpoint deltas to their ring
+/// successor so a crashed node's sessions resume elsewhere with
+/// byte-identical reports.
+fn serve_cluster(kv: &FlagValues<'_>) -> Result<(), String> {
+    use tc_cluster::{ClusterConfig, ClusterServer};
+    if value(kv, "addr").is_some() || value(kv, "port").is_some() {
+        return Err("--cluster binds the --peers entry for --node; drop --addr/--port".into());
+    }
+    if value(kv, "workers").is_some() || value(kv, "parallel-sessions").is_some() {
+        return Err("--workers/--parallel-sessions do not apply to --cluster nodes".into());
+    }
+    let peers: Vec<String> = value(kv, "peers")
+        .ok_or("--cluster requires --peers host:port,host:port,... (one entry per node)")?
+        .split(',')
+        .map(|s| s.trim().to_owned())
+        .collect();
+    if peers.len() < 2 || peers.iter().any(String::is_empty) {
+        return Err("--peers needs at least two non-empty host:port entries".into());
+    }
+    let node: u32 = value(kv, "node")
+        .ok_or("--cluster requires --node I (this node's index into --peers)")?
+        .parse()
+        .map_err(|_| "invalid --node")?;
+    if node as usize >= peers.len() {
+        return Err(format!(
+            "--node {node} is out of range for {} peer(s)",
+            peers.len()
+        ));
+    }
+    let delta_every: u64 = value(kv, "delta-every")
+        .unwrap_or("8")
+        .parse()
+        .map_err(|_| "invalid --delta-every")?;
+    if delta_every == 0 {
+        return Err("--delta-every must be >= 1".into());
+    }
+    let config = ClusterConfig {
+        nodes: peers.len(),
+        me: node,
+        delta_every,
+        auth: value(kv, "auth").map(str::to_owned),
+        telemetry: true,
+    };
+    let addr = peers[node as usize].clone();
+    let nodes_total = peers.len();
+    let server = ClusterServer::start(&addr, peers, config)
+        .map_err(|e| format!("cannot start cluster node {node} on {addr}: {e}"))?;
+    println!(
+        "tcr serve --cluster: node {node} of {nodes_total} listening on {}; sessions \
+         place by consistent hash, every node forwards for every session, and owners \
+         ship checkpoint deltas to their ring successor every {delta_every} payload(s); \
+         `shutdown` stops this node (survivors fail its sessions over)",
+        server.local_addr()
+    );
+    server.join();
+    println!("tcr serve --cluster: node {node} shut down");
     Ok(())
 }
 
@@ -986,7 +1073,9 @@ USAGE:
              [--checkpoint-every N] [--resume FILE] [--parallel N]
              [--profile] [--trace-out FILE]
   tcr serve [--port P | --addr A] [--workers N]
-            [--parallel-sessions N] [--smoke]
+            [--parallel-sessions N] [--auth TOKEN] [--smoke]
+  tcr serve --cluster --node I --peers A,B,C [--delta-every N]
+            [--auth TOKEN]
 
 Scenarios: single-lock, skewed-locks, star, pairwise, fork-join-tree,
 barrier-phases, pipeline, read-mostly, bursty-channels,
@@ -1006,16 +1095,18 @@ bench records the perf baseline: FIG10 scenarios x HB/SHB/MAZ x
 tree/vector/hybrid, with wall time, operation counts, VTWork/DSWork,
 peak clock bytes and pool telemetry. --full folds the five structured
 workload families into the grid (at a budgeted size). --json writes the
-schema-stable BENCH_9.json (or -o FILE), which additionally carries
+schema-stable BENCH_10.json (or -o FILE), which additionally carries
 ingest-throughput records (events/sec through the live serve socket
 path, text vs binary x single-session vs 1000-session fan-in via
 multi-session frames + stats-all), the 39-entry synthetic suite's
 per-backend wall times, the hybrid's dense-cutoff calibration cells,
 epoch-parallel detection cells (backend x worker count against a
 sequential baseline), the telemetry-overhead A/B (live registry vs
-NullRecorder ingest rate) and the epoch-parallel per-phase latency
-summary; --check validates an existing baseline; --trace benches one
-trace file (engine records only).
+NullRecorder ingest rate), the epoch-parallel per-phase latency
+summary, the cluster cells (gateway-forwarding tax, crash-to-promoted
+failover latency, stable-prefix delta-GC byte counts) and the hybrid's
+tree-observation-period A/B; --check validates an existing baseline;
+--trace benches one trace file (engine records only).
 
 stream analyzes FILE incrementally (chunked reads, nothing
 materialized), printing races as they are found, with bounded memory:
@@ -1055,7 +1146,25 @@ splitting each large binary frame into conflict-free epochs.
 --smoke runs the self-test: three concurrent sessions (two text, one
 binary) driven over real sockets, asserted equal to the batch
 detectors (what `tcr race` runs), then a shutdown with a client still
-connected.
+connected. --auth TOKEN gates `shutdown` (and the cluster admin
+commands) behind a shared secret compared in constant time; clients
+authenticate with `auth <token>`.
+
+serve --cluster runs one node of a static multi-node ring instead:
+--peers lists every node's host:port (comma-separated, index = node
+id) and --node says which entry this process is; the node binds its
+own entry. Sessions are placed by consistent hash of their id, any
+node transparently forwards lines and frames for sessions it does not
+own (persistent FIFO inter-node links), and each owner streams
+periodic TCCP checkpoint deltas (every --delta-every payloads, rsync
+style against the last stable base) plus every in-flight frame to its
+ring successor. A node death — detected by missed heartbeats — makes
+the successor resume from the last checkpoint and replay the tail, so
+clients reconnect to any survivor, `use <id>` their session, and read
+race reports identical to an uninterrupted run. A per-node matrix
+clock tracks which deltas every peer has applied; only prefixes stable
+across the ring are promoted to delta bases, which is what keeps the
+shipped delta bytes bounded by the raw checkpoint bytes they replace.
 ";
 
 #[cfg(test)]

@@ -1,0 +1,375 @@
+//! Byte-level **checkpoint deltas** for the replication stream.
+//!
+//! TCCP checkpoints are deterministic byte strings, and successive
+//! checkpoints of the same session share most of their content — but
+//! not in place: a varint counter growing by one byte early in the
+//! buffer shifts everything behind it, so a naive common-prefix/
+//! common-suffix diff degenerates to shipping nearly the whole
+//! snapshot. The encoder here is rsync-lite: the base is indexed by a
+//! rolling weak hash of fixed-size blocks, the target is scanned at
+//! every offset, and verified matches become *copy* ops (extended
+//! forward as far as the bytes agree) while unmatched bytes become
+//! *literal* runs. Shifted-but-unchanged interior regions — the
+//! common case — collapse to a few bytes of copy op each.
+//!
+//! The scheme stays checkpoint-agnostic on purpose: correctness never
+//! depends on TCCP internals, only on [`ByteDelta::apply`] inverting
+//! [`ByteDelta::diff`], which the property tests pin down. A delta
+//! against the empty base (`base_seq = 0` on the wire) degenerates to
+//! one literal run — a full snapshot.
+
+use std::collections::HashMap;
+
+/// Block size for the base index. Checkpoints run from hundreds of
+/// bytes to a few MB; 32 keeps small checkpoints diffable while copy
+/// ops (≈ 2–6 bytes) stay far cheaper than the blocks they replace.
+const BLOCK: usize = 32;
+
+/// One reconstruction instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Op {
+    /// Copy `len` bytes from `off` in the base.
+    Copy { off: u64, len: u64 },
+    /// Emit these bytes verbatim.
+    Literal(Vec<u8>),
+}
+
+/// A diff turning one byte string into another.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ByteDelta {
+    ops: Vec<Op>,
+}
+
+/// Rolling additive hash (adler-style) of a [`BLOCK`]-byte window.
+#[derive(Clone, Copy)]
+struct Weak {
+    a: u32,
+    b: u32,
+}
+
+impl Weak {
+    fn of(block: &[u8]) -> Weak {
+        let mut w = Weak { a: 0, b: 0 };
+        for &byte in block {
+            w.a = w.a.wrapping_add(u32::from(byte));
+            w.b = w.b.wrapping_add(w.a);
+        }
+        w
+    }
+
+    /// Slides the window one byte: drop `out`, absorb `inc`.
+    fn roll(&mut self, out: u8, inc: u8) {
+        self.a = self
+            .a
+            .wrapping_add(u32::from(inc))
+            .wrapping_sub(u32::from(out));
+        self.b = self
+            .b
+            .wrapping_add(self.a)
+            .wrapping_sub((BLOCK as u32).wrapping_mul(u32::from(out)));
+    }
+
+    fn value(self) -> u32 {
+        self.a ^ self.b.rotate_left(16)
+    }
+}
+
+impl ByteDelta {
+    /// Diffs `new` against `base`.
+    pub fn diff(base: &[u8], new: &[u8]) -> ByteDelta {
+        let mut ops = Vec::new();
+        if new.is_empty() {
+            return ByteDelta { ops };
+        }
+        if base.len() < BLOCK || new.len() < BLOCK {
+            return ByteDelta {
+                ops: vec![Op::Literal(new.to_vec())],
+            };
+        }
+        // Index every aligned base block by its weak hash.
+        let mut index: HashMap<u32, Vec<usize>> = HashMap::new();
+        for off in (0..=base.len() - BLOCK).step_by(BLOCK) {
+            index
+                .entry(Weak::of(&base[off..off + BLOCK]).value())
+                .or_default()
+                .push(off);
+        }
+        let mut literal: Vec<u8> = Vec::new();
+        let mut pos = 0usize;
+        let mut weak = Weak::of(&new[..BLOCK]);
+        while pos + BLOCK <= new.len() {
+            let window = &new[pos..pos + BLOCK];
+            let matched = index
+                .get(&weak.value())
+                .into_iter()
+                .flatten()
+                .copied()
+                .find(|&off| &base[off..off + BLOCK] == window);
+            if let Some(off) = matched {
+                // Extend the verified match as far as the bytes agree.
+                let mut len = BLOCK;
+                while off + len < base.len()
+                    && pos + len < new.len()
+                    && base[off + len] == new[pos + len]
+                {
+                    len += 1;
+                }
+                if !literal.is_empty() {
+                    ops.push(Op::Literal(std::mem::take(&mut literal)));
+                }
+                ops.push(Op::Copy {
+                    off: off as u64,
+                    len: len as u64,
+                });
+                pos += len;
+                if pos + BLOCK <= new.len() {
+                    weak = Weak::of(&new[pos..pos + BLOCK]);
+                }
+            } else {
+                literal.push(new[pos]);
+                if pos + BLOCK < new.len() {
+                    // Slide the window: drop new[pos], absorb the
+                    // byte entering at new[pos + BLOCK].
+                    weak.roll(new[pos], new[pos + BLOCK]);
+                }
+                pos += 1;
+            }
+        }
+        literal.extend_from_slice(&new[pos..]);
+        if !literal.is_empty() {
+            ops.push(Op::Literal(literal));
+        }
+        ByteDelta { ops }
+    }
+
+    /// Reconstructs the target from `base`. Returns `None` when a
+    /// copy op falls outside the base (wrong base generation).
+    pub fn apply(&self, base: &[u8]) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            match op {
+                Op::Copy { off, len } => {
+                    let off = usize::try_from(*off).ok()?;
+                    let len = usize::try_from(*len).ok()?;
+                    let end = off.checked_add(len)?;
+                    if end > base.len() {
+                        return None;
+                    }
+                    out.extend_from_slice(&base[off..end]);
+                }
+                Op::Literal(bytes) => out.extend_from_slice(bytes),
+            }
+        }
+        Some(out)
+    }
+
+    /// Serializes the ops for the wire: per op a varint tag (0 =
+    /// literal, 1 = copy), then `len + bytes` or `off + len`.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            match op {
+                Op::Literal(bytes) => {
+                    put_varint(&mut out, 0);
+                    put_varint(&mut out, bytes.len() as u64);
+                    out.extend_from_slice(bytes);
+                }
+                Op::Copy { off, len } => {
+                    put_varint(&mut out, 1);
+                    put_varint(&mut out, *off);
+                    put_varint(&mut out, *len);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a serialized delta. Returns `None` on malformed input.
+    pub fn from_bytes(mut bytes: &[u8]) -> Option<ByteDelta> {
+        let mut ops = Vec::new();
+        while !bytes.is_empty() {
+            match take_varint(&mut bytes)? {
+                0 => {
+                    let len = usize::try_from(take_varint(&mut bytes)?).ok()?;
+                    if len > bytes.len() {
+                        return None;
+                    }
+                    let (lit, rest) = bytes.split_at(len);
+                    ops.push(Op::Literal(lit.to_vec()));
+                    bytes = rest;
+                }
+                1 => {
+                    let off = take_varint(&mut bytes)?;
+                    let len = take_varint(&mut bytes)?;
+                    ops.push(Op::Copy { off, len });
+                }
+                _ => return None,
+            }
+        }
+        Some(ByteDelta { ops })
+    }
+
+    /// Serialized size — the delta's wire cost.
+    pub fn len(&self) -> usize {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Literal(bytes) => 1 + varint_len(bytes.len() as u64) + bytes.len(),
+                Op::Copy { off, len } => 1 + varint_len(*off) + varint_len(*len),
+            })
+            .sum()
+    }
+
+    /// `true` when base and target were byte-identical empties.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn take_varint(bytes: &mut &[u8]) -> Option<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let (&byte, rest) = bytes.split_first()?;
+        *bytes = rest;
+        if shift >= 64 {
+            return None;
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+    }
+}
+
+fn varint_len(v: u64) -> usize {
+    (1 + (64 - v.max(1).leading_zeros() as usize).saturating_sub(1) / 7).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+
+    fn round_trip(base: &[u8], new: &[u8]) -> ByteDelta {
+        let d = ByteDelta::diff(base, new);
+        assert_eq!(
+            d.apply(base).as_deref(),
+            Some(new),
+            "apply must invert diff"
+        );
+        let wire = ByteDelta::from_bytes(&d.to_bytes()).expect("parses back");
+        assert_eq!(wire, d, "wire round trip");
+        assert_eq!(d.to_bytes().len(), d.len(), "len() matches serialization");
+        d
+    }
+
+    #[test]
+    fn diff_against_empty_base_is_a_full_snapshot() {
+        let d = round_trip(b"", b"hello checkpoint");
+        assert!(d.len() >= 16, "one literal run carrying everything");
+    }
+
+    #[test]
+    fn a_shifted_interior_still_collapses_to_copies() {
+        // The failure mode that killed prefix/suffix diffing: one
+        // byte inserted near the front shifts everything behind it.
+        let mut base = vec![0u8; 0];
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..2048 {
+            base.push(rng.random_range(0..=u8::MAX));
+        }
+        let mut new = base.clone();
+        new.insert(10, 0x55);
+        let d = round_trip(&base, &new);
+        assert!(
+            d.len() < 200,
+            "2 KiB shifted by one byte must diff small, got {}",
+            d.len()
+        );
+    }
+
+    #[test]
+    fn scattered_in_place_edits_ship_small() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let base: Vec<u8> = (0..4096).map(|_| rng.random_range(0..=u8::MAX)).collect();
+        let mut new = base.clone();
+        for i in [100usize, 1500, 3000] {
+            new[i] ^= 0xff;
+        }
+        let d = round_trip(&base, &new);
+        assert!(d.len() < 400, "three flipped bytes, got {}", d.len());
+    }
+
+    #[test]
+    fn identical_inputs_diff_to_pure_copies() {
+        let base: Vec<u8> = (0..255).collect();
+        let d = round_trip(&base, &base.clone());
+        assert!(d.len() < 16, "pure copy, got {}", d.len());
+    }
+
+    #[test]
+    fn degenerate_shapes_stay_correct() {
+        round_trip(b"aaaaaa", b"aaa");
+        round_trip(b"aaa", b"aaaaaa");
+        round_trip(b"abcdef", b"xyz");
+        round_trip(b"", b"");
+        round_trip(b"abc", b"");
+        // Repetitive content — many identical weak hashes.
+        round_trip(&[7u8; 500], &[7u8; 501]);
+        let mixed: Vec<u8> = (0..500u32).map(|i| (i % 3) as u8).collect();
+        round_trip(&[7u8; 500], &mixed);
+    }
+
+    #[test]
+    fn random_pairs_always_invert() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let blen = rng.random_range(0..600);
+            let nlen = rng.random_range(0..600);
+            let base: Vec<u8> = (0..blen).map(|_| rng.random_range(0u8..4)).collect();
+            // Derive new from base with mutations so there is real
+            // shared content to find.
+            let mut new: Vec<u8> = base.iter().copied().cycle().take(nlen).collect();
+            for _ in 0..rng.random_range(0..20) {
+                if new.is_empty() {
+                    break;
+                }
+                let i = rng.random_range(0..new.len());
+                new[i] = rng.random_range(0..=u8::MAX);
+            }
+            round_trip(&base, &new);
+        }
+    }
+
+    #[test]
+    fn apply_rejects_a_mismatched_base() {
+        let d = ByteDelta {
+            ops: vec![Op::Copy { off: 10, len: 10 }],
+        };
+        assert_eq!(d.apply(b"short"), None);
+    }
+
+    #[test]
+    fn malformed_bytes_parse_to_none() {
+        assert!(ByteDelta::from_bytes(&[2]).is_none(), "unknown tag");
+        assert!(
+            ByteDelta::from_bytes(&[0, 5, 1, 2]).is_none(),
+            "short literal"
+        );
+        assert!(ByteDelta::from_bytes(&[1, 3]).is_none(), "truncated copy");
+    }
+}

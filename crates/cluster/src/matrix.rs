@@ -1,0 +1,142 @@
+//! The per-node **matrix clock** behind cluster-wide stability.
+//!
+//! Row `i` of the matrix is what node *i* claims to have durably
+//! applied: `M[i][j]` = the highest **contiguous** replication
+//! sequence number originated by node *j* that node *i* has applied.
+//! Each node maintains its own row locally as replication frames
+//! arrive and broadcasts it in [`ClusterMsg::StableVector`] gossip;
+//! rows received from peers are merged entry-wise (monotone max).
+//!
+//! The **stable prefix** of an origin *j* is the column minimum over
+//! the rows of *live* nodes: every live node has applied at least that
+//! much of *j*'s replication stream, so *j* may truncate its delta
+//! history up to that point and promote the covered checkpoint to the
+//! new diff base — nothing below the stable prefix can ever be asked
+//! for again. Dead nodes are excluded from the minimum (a corpse
+//! would pin stability at its last gossip forever); the liveness
+//! decision is the ring's, not the matrix's.
+//!
+//! [`ClusterMsg::StableVector`]: tc_trace::ClusterMsg::StableVector
+
+/// A square matrix of replication watermarks, one row per node.
+#[derive(Debug, Clone)]
+pub struct MatrixClock {
+    /// This node's index — the row updated by [`MatrixClock::record`].
+    me: u32,
+    /// `rows[i][j]` = highest contiguous repl seq from origin `j`
+    /// that node `i` has acknowledged applying.
+    rows: Vec<Vec<u64>>,
+    /// Nodes declared dead; their rows no longer gate stability.
+    dead: Vec<bool>,
+}
+
+impl MatrixClock {
+    /// An all-zero matrix for a cluster of `nodes` peers, maintained
+    /// from the perspective of node `me`.
+    pub fn new(nodes: usize, me: u32) -> MatrixClock {
+        assert!((me as usize) < nodes, "own index must be in range");
+        MatrixClock {
+            me,
+            rows: vec![vec![0; nodes]; nodes],
+            dead: vec![false; nodes],
+        }
+    }
+
+    /// Records that this node applied replication frame `seq` from
+    /// `origin`. Sequences are per-origin and contiguous (the peer
+    /// links are FIFO), so the watermark simply advances; a stale or
+    /// duplicate delivery is ignored.
+    pub fn record(&mut self, origin: u32, seq: u64) {
+        let cell = &mut self.rows[self.me as usize][origin as usize];
+        if seq > *cell {
+            *cell = seq;
+        }
+    }
+
+    /// This node's own row — the payload of its stability gossip.
+    pub fn own_row(&self) -> &[u64] {
+        &self.rows[self.me as usize]
+    }
+
+    /// Merges a gossiped row from `node` (entry-wise max; watermarks
+    /// only move forward, so reordered gossip is harmless).
+    pub fn merge_row(&mut self, node: u32, row: &[u64]) {
+        let mine = &mut self.rows[node as usize];
+        for (cell, &seen) in mine.iter_mut().zip(row) {
+            if seen > *cell {
+                *cell = seen;
+            }
+        }
+    }
+
+    /// Excludes `node` from future stability minima.
+    pub fn mark_dead(&mut self, node: u32) {
+        self.dead[node as usize] = true;
+    }
+
+    /// What node `by` has acknowledged applying of `origin`'s
+    /// replication stream (its merged row entry). Owners gate delta-
+    /// base promotion on their replica's entry.
+    pub fn applied(&self, by: u32, origin: u32) -> u64 {
+        self.rows[by as usize][origin as usize]
+    }
+
+    /// The cluster-wide stable prefix of `origin`'s replication
+    /// stream: the minimum watermark across live rows. Everything at
+    /// or below this sequence is applied everywhere that still counts.
+    pub fn stable(&self, origin: u32) -> u64 {
+        self.rows
+            .iter()
+            .zip(&self.dead)
+            .filter(|&(_, &dead)| !dead)
+            .map(|(row, _)| row[origin as usize])
+            .min()
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stability_is_the_live_column_minimum() {
+        let mut m = MatrixClock::new(3, 0);
+        m.record(1, 5); // we applied seq 5 from origin 1
+        assert_eq!(m.own_row(), &[0, 5, 0]);
+        // Origin 1's stream is not stable yet: rows 1 and 2 are silent.
+        assert_eq!(m.stable(1), 0);
+        // Origin 1's own gossip covers its own stream trivially.
+        m.merge_row(1, &[0, 9, 0]);
+        assert_eq!(m.stable(1), 0, "node 2 still reported nothing");
+        m.merge_row(2, &[0, 3, 0]);
+        assert_eq!(m.stable(1), 3, "slowest live node gates stability");
+        m.merge_row(2, &[0, 7, 0]);
+        assert_eq!(m.stable(1), 5, "now we are the slowest");
+    }
+
+    #[test]
+    fn dead_nodes_stop_pinning_stability() {
+        let mut m = MatrixClock::new(3, 0);
+        m.record(1, 10);
+        m.merge_row(1, &[0, 10, 0]);
+        // Node 2 is silent, pinning origin 1's stability at zero...
+        assert_eq!(m.stable(1), 0);
+        // ...until the ring declares it dead.
+        m.mark_dead(2);
+        assert_eq!(m.stable(1), 10);
+    }
+
+    #[test]
+    fn merges_and_records_are_monotone() {
+        let mut m = MatrixClock::new(2, 1);
+        m.record(0, 4);
+        m.record(0, 2); // stale duplicate
+        assert_eq!(m.own_row(), &[4, 0]);
+        m.merge_row(0, &[0, 6]);
+        m.merge_row(0, &[0, 5]); // reordered gossip
+        assert_eq!(m.stable(1), 0); // our own row hasn't seen origin 1
+        m.record(1, 6);
+        assert_eq!(m.stable(1), 6);
+    }
+}

@@ -1,0 +1,61 @@
+//! The `tc_cluster_*` metric bundle.
+//!
+//! Every [`NodeCore`](crate::NodeCore) owns a [`Registry`] and keeps
+//! these counters current as it routes, replicates and fails over;
+//! the cluster server answers the same `metrics` handshake line as
+//! the single-node service, so one scrape of any node shows both its
+//! session-level `tc_*` series and the cluster-level ones below.
+
+use tc_telemetry::{labeled, Counter, Gauge, Registry};
+
+/// Cluster-plane counters and gauges, all registered eagerly so a
+/// scrape shows zeros instead of absent series.
+#[derive(Debug, Clone)]
+pub struct ClusterMetrics {
+    /// Client requests forwarded to a remote owner (lines + frames).
+    pub forwards: Counter,
+    /// Replication payloads shipped to a replica (frames + text).
+    pub repl_payloads: Counter,
+    /// Checkpoint deltas shipped to a replica.
+    pub deltas: Counter,
+    /// Bytes of delta middles shipped — the replication wire cost.
+    pub delta_bytes: Counter,
+    /// Bytes the same checkpoints would have cost shipped whole; the
+    /// ratio against `delta_bytes` is the stable-prefix GC win.
+    pub checkpoint_bytes: Counter,
+    /// Node deaths this node has acted on.
+    pub failovers: Counter,
+    /// Sessions promoted from replica to owner after a failover.
+    pub promotions: Counter,
+    /// Replayed in-flight payloads during promotions.
+    pub replayed: Counter,
+    /// Heartbeats emitted.
+    pub heartbeats: Counter,
+    /// Sessions this node currently owns.
+    pub sessions_owned: Gauge,
+    /// Sessions this node currently holds replica state for.
+    pub sessions_replicated: Gauge,
+    /// Rejected auth attempts and refused auth-gated admin commands,
+    /// mirrored from the single-node service's labeling scheme.
+    pub auth_errors: Counter,
+}
+
+impl ClusterMetrics {
+    /// Registers the bundle in `registry`.
+    pub fn new(registry: &Registry) -> ClusterMetrics {
+        ClusterMetrics {
+            forwards: registry.counter("tc_cluster_forwards_total"),
+            repl_payloads: registry.counter("tc_cluster_repl_payloads_total"),
+            deltas: registry.counter("tc_cluster_deltas_total"),
+            delta_bytes: registry.counter("tc_cluster_delta_bytes_total"),
+            checkpoint_bytes: registry.counter("tc_cluster_checkpoint_bytes_total"),
+            failovers: registry.counter("tc_cluster_failovers_total"),
+            promotions: registry.counter("tc_cluster_promotions_total"),
+            replayed: registry.counter("tc_cluster_replayed_payloads_total"),
+            heartbeats: registry.counter("tc_cluster_heartbeats_total"),
+            sessions_owned: registry.gauge("tc_cluster_sessions_owned"),
+            sessions_replicated: registry.gauge("tc_cluster_sessions_replicated"),
+            auth_errors: registry.counter(&labeled("tc_wire_errors_total", &[("kind", "auth")])),
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! The consistent-hash **ring** sessions are placed on.
+//!
+//! Every node hashes a fixed number of virtual points onto a `u64`
+//! circle; a session id is owned by the first virtual point clockwise
+//! from its hash. Replicas go to the *key successor* — the first
+//! **distinct** node continuing clockwise — so that when the owner
+//! dies and its points vanish from the ring, every one of its keys
+//! lands exactly on the node that already holds the replica. That
+//! Dynamo-style preference-list discipline is what makes failover a
+//! local resume instead of a cluster-wide reshuffle.
+//!
+//! The ring is deterministic: every node builds the same circle from
+//! the same peer set, so routing decisions agree without coordination.
+
+/// Virtual points each node contributes to the circle. Enough to keep
+/// placement balanced across a handful of nodes without making the
+/// sorted-point scan noticeable.
+const VNODES: u32 = 64;
+
+/// A deterministic 64-bit mixer (splitmix64) — the ring's hash. Not
+/// cryptographic; placement only needs uniformity and agreement.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// The consistent-hash ring over the **live** node set.
+#[derive(Debug, Clone)]
+pub struct HashRing {
+    /// Total nodes in the static peer set (dead ones included — node
+    /// indices never shift).
+    nodes: usize,
+    /// Liveness per node index.
+    live: Vec<bool>,
+    /// The circle: `(point, node)` sorted by point, live nodes only.
+    points: Vec<(u64, u32)>,
+}
+
+impl HashRing {
+    /// A ring over `nodes` peers, all initially live.
+    pub fn new(nodes: usize) -> HashRing {
+        assert!(nodes >= 1, "a cluster needs at least one node");
+        let mut ring = HashRing {
+            nodes,
+            live: vec![true; nodes],
+            points: Vec::new(),
+        };
+        ring.rebuild();
+        ring
+    }
+
+    /// Rebuilds the circle from the live set.
+    fn rebuild(&mut self) {
+        self.points.clear();
+        for node in 0..self.nodes as u32 {
+            if !self.live[node as usize] {
+                continue;
+            }
+            for v in 0..VNODES {
+                self.points
+                    .push((mix(u64::from(node) << 32 | u64::from(v)), node));
+            }
+        }
+        self.points.sort_unstable();
+    }
+
+    /// Marks `node` dead and removes its points. Idempotent.
+    pub fn remove(&mut self, node: u32) {
+        if self.live.get(node as usize).copied().unwrap_or(false) {
+            self.live[node as usize] = false;
+            self.rebuild();
+        }
+    }
+
+    /// `true` while `node` is part of the live set.
+    pub fn is_live(&self, node: u32) -> bool {
+        self.live.get(node as usize).copied().unwrap_or(false)
+    }
+
+    /// The live node indices, ascending.
+    pub fn live_nodes(&self) -> Vec<u32> {
+        (0..self.nodes as u32)
+            .filter(|&n| self.is_live(n))
+            .collect()
+    }
+
+    /// Number of live nodes.
+    pub fn live_count(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// The node owning `key`: the first virtual point clockwise from
+    /// `mix(key)`.
+    pub fn owner(&self, key: u64) -> u32 {
+        self.walk(key)
+            .next()
+            .expect("a non-empty ring always has an owner")
+    }
+
+    /// The replica target for `key` given its current `owner`: the
+    /// first live node clockwise that is not the owner. `None` when
+    /// the owner is the only live node.
+    pub fn successor(&self, key: u64, owner: u32) -> Option<u32> {
+        self.walk(key).find(|&n| n != owner)
+    }
+
+    /// Distinct live nodes in clockwise preference order from `key`'s
+    /// position (an infinite cycle truncated at the live count).
+    fn walk(&self, key: u64) -> impl Iterator<Item = u32> + '_ {
+        let h = mix(key);
+        let start = self.points.partition_point(|&(p, _)| p < h);
+        let mut seen: Vec<u32> = Vec::new();
+        self.points
+            .iter()
+            .cycle()
+            .skip(start)
+            .take(self.points.len())
+            .filter_map(move |&(_, node)| {
+                if seen.contains(&node) {
+                    None
+                } else {
+                    seen.push(node);
+                    Some(node)
+                }
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_balanced() {
+        let ring = HashRing::new(3);
+        let again = HashRing::new(3);
+        let mut counts = [0usize; 3];
+        for key in 0..3000u64 {
+            let owner = ring.owner(key);
+            assert_eq!(owner, again.owner(key), "rings must agree");
+            counts[owner as usize] += 1;
+        }
+        for (node, &c) in counts.iter().enumerate() {
+            assert!(
+                c > 3000 / 6,
+                "node {node} owns {c} of 3000 keys — too unbalanced"
+            );
+        }
+    }
+
+    #[test]
+    fn successor_is_distinct_and_becomes_owner_on_death() {
+        let mut ring = HashRing::new(3);
+        // Capture (owner, successor) for a spread of keys, then kill
+        // each key's owner: the new owner must be the old successor —
+        // the node holding the replica.
+        let picks: Vec<(u64, u32, u32)> = (0..200u64)
+            .map(|k| {
+                let o = ring.owner(k);
+                let s = ring.successor(k, o).expect("3 live nodes");
+                assert_ne!(o, s);
+                (k, o, s)
+            })
+            .collect();
+        ring.remove(1);
+        for (k, o, s) in picks {
+            if o == 1 {
+                assert_eq!(ring.owner(k), s, "key {k} must fail over to its replica");
+            } else {
+                assert_eq!(
+                    ring.owner(k),
+                    o,
+                    "key {k} must not move when another node dies"
+                );
+            }
+        }
+        assert_eq!(ring.live_nodes(), vec![0, 2]);
+        assert_eq!(ring.live_count(), 2);
+        assert!(!ring.is_live(1));
+        // Removing twice is idempotent.
+        ring.remove(1);
+        assert_eq!(ring.live_count(), 2);
+    }
+
+    #[test]
+    fn single_node_ring_owns_everything_with_no_successor() {
+        let mut ring = HashRing::new(2);
+        ring.remove(0);
+        for k in 0..50u64 {
+            assert_eq!(ring.owner(k), 1);
+            assert_eq!(ring.successor(k, 1), None);
+        }
+    }
+}

@@ -1,0 +1,418 @@
+//! [`ClusterServer`] — sockets, threads and timers around a
+//! [`NodeCore`].
+//!
+//! One TCP port per node serves **both** planes: the first byte of
+//! each message picks the protocol — text lines and `0xF7`/`0xF6`
+//! binary frames are client traffic, `0xF8` messages are peer
+//! traffic (an inbound peer link always opens with
+//! [`ClusterMsg::Hello`]). Outbound peer links are lazy, persistent
+//! and FIFO: a dedicated writer thread per peer drains an in-order
+//! channel, which — together with the core being fed under one lock —
+//! preserves the per-link ordering the replication protocol assumes.
+//!
+//! A ticker thread drives heartbeats, matrix-row gossip and failure
+//! detection: a peer not heard from for `miss_limit` ticks is
+//! declared dead and [`NodeCore::fail_node`] runs. [`ClusterServer::abort`]
+//! kills a node abruptly (no goodbyes, queued messages dropped) so
+//! integration tests can exercise exactly that path.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use tc_trace::wire::{self, CLUSTER_MAGIC, FRAME_MAGIC, MULTI_MAGIC};
+use tc_trace::ClusterMsg;
+
+use crate::node::{ConnId, NodeCore, Output};
+use crate::ClusterConfig;
+
+/// Default heartbeat/gossip cadence.
+pub const DEFAULT_TICK: Duration = Duration::from_millis(50);
+/// Default missed-tick budget before a peer is declared dead.
+pub const DEFAULT_MISS_LIMIT: u32 = 6;
+
+struct Shared {
+    core: Mutex<NodeCore>,
+    me: u32,
+    /// Peer addresses, indexed by node id (`peers[me]` is this node).
+    peers: Vec<String>,
+    clients: Mutex<HashMap<ConnId, TcpStream>>,
+    links: Mutex<Vec<Option<mpsc::Sender<ClusterMsg>>>>,
+    last_heard: Mutex<Vec<Option<Instant>>>,
+    stopping: AtomicBool,
+    next_conn: AtomicU64,
+    tick: Duration,
+    miss_limit: u32,
+}
+
+/// One running cluster node: listener, ticker, peer links.
+pub struct ClusterServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for ClusterServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterServer")
+            .field("addr", &self.addr)
+            .field("me", &self.shared.me)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ClusterServer {
+    /// Binds `addr` and starts serving node `config.me` of the peer
+    /// set `peers` (addresses indexed by node id; the entry for this
+    /// node is ignored). Heartbeats every [`DEFAULT_TICK`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn start(
+        addr: &str,
+        peers: Vec<String>,
+        config: ClusterConfig,
+    ) -> io::Result<ClusterServer> {
+        ClusterServer::start_with(addr, peers, config, DEFAULT_TICK, DEFAULT_MISS_LIMIT)
+    }
+
+    /// [`ClusterServer::start`] with an explicit heartbeat cadence
+    /// and missed-tick budget (tests shrink both).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the listener bind failure.
+    pub fn start_with(
+        addr: &str,
+        peers: Vec<String>,
+        config: ClusterConfig,
+        tick: Duration,
+        miss_limit: u32,
+    ) -> io::Result<ClusterServer> {
+        assert_eq!(
+            peers.len(),
+            config.nodes,
+            "one peer address per node (own slot included)"
+        );
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let me = config.me;
+        let nodes = config.nodes;
+        let shared = Arc::new(Shared {
+            core: Mutex::new(NodeCore::new(config)),
+            me,
+            peers,
+            clients: Mutex::new(HashMap::new()),
+            links: Mutex::new(vec![None; nodes]),
+            last_heard: Mutex::new(vec![None; nodes]),
+            stopping: AtomicBool::new(false),
+            next_conn: AtomicU64::new(1),
+            tick,
+            miss_limit,
+        });
+        let mut threads = Vec::new();
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(thread::spawn(move || accept_loop(&shared, &listener)));
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(thread::spawn(move || ticker_loop(&shared)));
+        }
+        Ok(ClusterServer {
+            shared,
+            addr: local,
+            threads,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// This node's index.
+    pub fn node(&self) -> u32 {
+        self.shared.me
+    }
+
+    /// `true` once the node is stopping (a client sent `shutdown`, or
+    /// [`ClusterServer::shutdown`]/[`ClusterServer::abort`] ran).
+    pub fn stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::SeqCst)
+    }
+
+    /// Stops the node and joins its threads.
+    pub fn shutdown(mut self) {
+        stop(&self.shared, self.addr);
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Kills the node abruptly: no goodbyes, queued peer messages
+    /// dropped, connections die mid-stream. Peers find out the hard
+    /// way — via missed heartbeats. This is the failover test's
+    /// murder weapon.
+    pub fn abort(mut self) {
+        stop(&self.shared, self.addr);
+        // Join anyway (threads exit fast on the stop flag); "abrupt"
+        // is about what peers observe, not about leaking threads.
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+
+    /// Blocks until the node stops on its own (client `shutdown`).
+    pub fn join(mut self) {
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+fn stop(shared: &Shared, addr: SocketAddr) {
+    shared.stopping.store(true, Ordering::SeqCst);
+    // Unblock the accept loop.
+    let _ = TcpStream::connect(addr);
+}
+
+fn accept_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let mut handlers = Vec::new();
+    for stream in listener.incoming() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let shared = Arc::clone(shared);
+        handlers.push(thread::spawn(move || handle_conn(&shared, stream)));
+    }
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn ticker_loop(shared: &Arc<Shared>) {
+    while !shared.stopping.load(Ordering::SeqCst) {
+        thread::sleep(shared.tick);
+        feed(shared, NodeCore::tick);
+        // Failure detection: silent-too-long peers die. `None` means
+        // never heard from — a node that hasn't joined yet is not
+        // dead, just late.
+        let deadline = shared.tick * shared.miss_limit;
+        let overdue: Vec<u32> = {
+            let heard = shared.last_heard.lock().expect("last_heard lock");
+            heard
+                .iter()
+                .enumerate()
+                .filter(|&(node, t)| {
+                    node as u32 != shared.me && t.map(|t| t.elapsed() > deadline).unwrap_or(false)
+                })
+                .map(|(node, _)| node as u32)
+                .collect()
+        };
+        for dead in overdue {
+            shared.last_heard.lock().expect("last_heard lock")[dead as usize] = None;
+            feed(shared, |core| core.fail_node(dead));
+        }
+    }
+}
+
+/// Feeds the core under its lock and dispatches what it produced
+/// **before unlocking** — that single serialization point is what
+/// keeps per-link peer channels FIFO across concurrently-served
+/// client connections.
+fn feed(shared: &Arc<Shared>, f: impl FnOnce(&mut NodeCore)) {
+    let mut core = shared.core.lock().expect("core lock");
+    f(&mut core);
+    let outputs = core.drain();
+    dispatch(shared, outputs);
+}
+
+fn dispatch(shared: &Arc<Shared>, outputs: Vec<Output>) {
+    for out in outputs {
+        match out {
+            Output::Client(conn, text) => {
+                let mut clients = shared.clients.lock().expect("clients lock");
+                if let Some(stream) = clients.get_mut(&conn) {
+                    // A dead client is the client's problem.
+                    let _ = stream.write_all(text.as_bytes());
+                }
+            }
+            Output::Peer(node, msg) => send_peer(shared, node, msg),
+            Output::Shutdown => {
+                shared.stopping.store(true, Ordering::SeqCst);
+                // Unblock the accept loop (the `stop()` trick) so
+                // `join()` returns; without this the node would only
+                // actually die on the next inbound connection.
+                let _ = TcpStream::connect(&shared.peers[shared.me as usize]);
+            }
+        }
+    }
+}
+
+/// Queues `msg` on the (lazily created) persistent link to `node`.
+fn send_peer(shared: &Arc<Shared>, node: u32, msg: ClusterMsg) {
+    let sender = {
+        let mut links = shared.links.lock().expect("links lock");
+        if links[node as usize].is_none() {
+            let (tx, rx) = mpsc::channel::<ClusterMsg>();
+            let addr = shared.peers[node as usize].clone();
+            let shared = Arc::clone(shared);
+            thread::spawn(move || peer_writer(&shared, &addr, &rx));
+            links[node as usize] = Some(tx);
+        }
+        links[node as usize].clone().expect("just ensured")
+    };
+    // A dead writer means a dead peer; the ticker will notice.
+    let _ = sender.send(msg);
+}
+
+/// Owns one outbound peer connection: connect (with retries — peers
+/// boot in some order), introduce ourselves, then drain the channel
+/// in order.
+fn peer_writer(shared: &Arc<Shared>, addr: &str, rx: &mpsc::Receiver<ClusterMsg>) {
+    let mut stream = None;
+    for _ in 0..shared.miss_limit.max(1) * 4 {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        match TcpStream::connect(addr) {
+            Ok(s) => {
+                stream = Some(s);
+                break;
+            }
+            Err(_) => thread::sleep(shared.tick / 2),
+        }
+    }
+    let Some(mut stream) = stream else { return };
+    let hello = wire::encode_cluster(&ClusterMsg::Hello { node: shared.me })
+        .expect("a Hello always encodes");
+    if stream.write_all(&hello).is_err() {
+        return;
+    }
+    while let Ok(msg) = rx.recv() {
+        if shared.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        let Ok(bytes) = wire::encode_cluster(&msg) else {
+            continue;
+        };
+        if stream.write_all(&bytes).is_err() {
+            // The peer hung up; drop the backlog (crash model) and
+            // let the ticker's heartbeat timeout make it official.
+            return;
+        }
+    }
+}
+
+/// Serves one inbound connection — client or peer, decided message
+/// by message from the first byte.
+fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
+    let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_read_timeout(Some(shared.tick));
+    let _ = stream.set_nodelay(true);
+    if let Ok(clone) = stream.try_clone() {
+        shared
+            .clients
+            .lock()
+            .expect("clients lock")
+            .insert(conn, clone);
+    }
+    let mut stream = stream;
+    let mut buf: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 4096];
+    'serve: loop {
+        // Drain every complete message already buffered.
+        loop {
+            if buf.is_empty() {
+                break;
+            }
+            match buf[0] {
+                CLUSTER_MAGIC => match wire::try_cluster(&buf) {
+                    Ok(Some((msg, used))) => {
+                        buf.drain(..used);
+                        peer_message(shared, msg);
+                    }
+                    Ok(None) => break,
+                    Err(_) => break 'serve,
+                },
+                FRAME_MAGIC | MULTI_MAGIC => match wire::try_message(&buf) {
+                    Ok(Some((msg, used))) => {
+                        buf.drain(..used);
+                        let frames = match msg {
+                            wire::WireMessage::Single(f) => vec![f],
+                            wire::WireMessage::Multi(fs) => fs,
+                        };
+                        for f in frames {
+                            feed(shared, |core| {
+                                core.client_frame(conn, f.session, &f.events);
+                            });
+                        }
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        let _ = stream.write_all(format!("err {e}\n").as_bytes());
+                        break 'serve;
+                    }
+                },
+                _ => {
+                    let Some(nl) = buf.iter().position(|&b| b == b'\n') else {
+                        break;
+                    };
+                    let line = String::from_utf8_lossy(&buf[..nl]).into_owned();
+                    buf.drain(..=nl);
+                    feed(shared, |core| core.client_line(conn, &line));
+                }
+            }
+        }
+        if shared.stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        }
+    }
+    shared.clients.lock().expect("clients lock").remove(&conn);
+    feed(shared, |core| core.client_closed(conn));
+}
+
+/// Routes one inbound peer message: liveness bookkeeping here, the
+/// decision-making in the core.
+fn peer_message(shared: &Arc<Shared>, msg: ClusterMsg) {
+    let sender = match &msg {
+        ClusterMsg::Hello { node }
+        | ClusterMsg::Heartbeat { node }
+        | ClusterMsg::StableVector { node, .. } => Some(*node),
+        ClusterMsg::ForwardLine { origin, .. }
+        | ClusterMsg::ForwardFrame { origin, .. }
+        | ClusterMsg::ReplFrame { origin, .. }
+        | ClusterMsg::ReplText { origin, .. }
+        | ClusterMsg::Delta { origin, .. }
+        | ClusterMsg::Retire { origin, .. } => Some(*origin),
+        ClusterMsg::Reply { .. } | ClusterMsg::Assign { .. } => None,
+    };
+    if let Some(node) = sender {
+        if let Some(slot) = shared
+            .last_heard
+            .lock()
+            .expect("last_heard lock")
+            .get_mut(node as usize)
+        {
+            *slot = Some(Instant::now());
+        }
+    }
+    feed(shared, |core| core.peer_msg(msg));
+}

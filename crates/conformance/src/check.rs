@@ -88,11 +88,18 @@ pub enum CheckKind {
     /// fork-disciplined traces (the discipline under which slot
     /// reclamation is value-preserving).
     Recycling,
+    /// Cluster equivalence: the trace frame-fed through a three-node
+    /// in-process ring — gateway forwarding, checkpoint-delta
+    /// replication, one induced owner crash at the midpoint — must
+    /// serve a race report line-identical to an uninterrupted
+    /// single-process session's, with a total matching the batch
+    /// detector's.
+    Cluster,
 }
 
 /// The check families every sweep case runs, in execution order
 /// (per partial order; the backend fan-out happens inside each).
-pub const CHECKS_PER_CASE: [CheckKind; 7] = [
+pub const CHECKS_PER_CASE: [CheckKind; 8] = [
     CheckKind::Timestamps,
     CheckKind::Reports,
     CheckKind::Metrics,
@@ -100,6 +107,7 @@ pub const CHECKS_PER_CASE: [CheckKind; 7] = [
     CheckKind::Wire,
     CheckKind::Parallel,
     CheckKind::Recycling,
+    CheckKind::Cluster,
 ];
 
 impl fmt::Display for CheckKind {
@@ -112,6 +120,7 @@ impl fmt::Display for CheckKind {
             CheckKind::Wire => "wire",
             CheckKind::Parallel => "parallel",
             CheckKind::Recycling => "recycling",
+            CheckKind::Cluster => "cluster",
         })
     }
 }
@@ -902,6 +911,123 @@ fn check_wire(
     Ok(())
 }
 
+/// Runs the trace through a three-node in-process cluster ring —
+/// frames forwarded through a gateway, checkpoint-delta replication to
+/// the ring successor, one induced owner crash at the frame midpoint —
+/// and asserts the race report the promoted replica serves is
+/// line-identical to an uninterrupted single-process session's (which
+/// [`check_wire`] has already tied to the batch detector), with a
+/// total matching the batch report. The backend rotates with the
+/// order exactly like the wire check.
+fn check_cluster(trace: &Trace, kind: PartialOrderKind, batch: &RaceReport) -> Result<(), Failure> {
+    use tc_cluster::LocalCluster;
+    use tc_stream::{ClockChoice, DetectorConfig, Session};
+    let (order_arg, clock_arg, clock) = match kind {
+        PartialOrderKind::Hb => ("hb", "tc", ClockChoice::Tree),
+        PartialOrderKind::Shb => ("shb", "hc", ClockChoice::Hybrid),
+        PartialOrderKind::Maz => ("maz", "vc", ClockChoice::Vector),
+    };
+    // Ground truth: one uninterrupted session fed the same frames.
+    let mut session = Session::new(0, clock, DetectorConfig::for_order(kind));
+    let mut sink = String::new();
+    for frame in trace.events().chunks(64) {
+        sink.clear();
+        session.handle_frame(frame, &mut sink);
+        if !sink.is_empty() {
+            return Err(fail(
+                kind,
+                CheckKind::Cluster,
+                format!("reference session rejected a frame: {}", sink.trim_end()),
+            ));
+        }
+    }
+    let mut want = String::new();
+    session.handle_line("races", &mut want);
+
+    let mut ring = LocalCluster::with_delta_every(3, 2);
+    let open = ring.client_line(0, 1, &format!("open {order_arg} {clock_arg}"));
+    let id: u64 = match open
+        .strip_prefix("ok session ")
+        .and_then(|r| r.split_whitespace().next())
+        .and_then(|v| v.parse().ok())
+    {
+        Some(id) => id,
+        None => {
+            return Err(fail(
+                kind,
+                CheckKind::Cluster,
+                format!("cluster open failed: {}", open.trim_end()),
+            ))
+        }
+    };
+    let owner = ring.node_ref(0).place(id);
+    let gateway = (0..3).find(|&n| n != owner).expect("two nodes survive");
+    let frames: Vec<&[tc_trace::Event]> = trace.events().chunks(64).collect();
+    let half = frames.len() / 2;
+    for (f, frame) in frames.iter().enumerate() {
+        if f == half {
+            // Induce the failover: the owner dies mid-stream and the
+            // replica resumes from its last delta plus the in-flight
+            // payload tail.
+            ring.tick();
+            ring.kill(owner);
+        }
+        let (node, conn) = if f < half { (0, 1) } else { (gateway, 2) };
+        let reply = ring.client_frame(node, conn, id, frame);
+        if !reply.is_empty() {
+            return Err(fail(
+                kind,
+                CheckKind::Cluster,
+                format!("cluster rejected frame {f}: {}", reply.trim_end()),
+            ));
+        }
+    }
+    if half >= frames.len() {
+        // Even a trace too short to split still exercises a failover.
+        ring.tick();
+        ring.kill(owner);
+    }
+    let bind = ring.client_line(gateway, 2, &format!("use {id}"));
+    if !bind.starts_with("ok session") {
+        return Err(fail(
+            kind,
+            CheckKind::Cluster,
+            format!(
+                "survivor gateway cannot bind the session: {}",
+                bind.trim_end()
+            ),
+        ));
+    }
+    let got = ring.client_line(gateway, 2, "races");
+    if got != want {
+        return Err(fail(
+            kind,
+            CheckKind::Cluster,
+            format!(
+                "race report diverges after failover: {:?} vs {:?}",
+                got.trim_end(),
+                want.trim_end()
+            ),
+        ));
+    }
+    let total: Option<u64> = got
+        .lines()
+        .last()
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse().ok());
+    if total != Some(batch.total) {
+        return Err(fail(
+            kind,
+            CheckKind::Cluster,
+            format!(
+                "served total {total:?} disagrees with the batch detector's {}",
+                batch.total
+            ),
+        ));
+    }
+    Ok(())
+}
+
 /// Runs every conformance check on `trace`, perturbing one result
 /// according to `fault` (pass [`Fault::None`] for an honest run).
 ///
@@ -945,6 +1071,7 @@ pub fn check_trace_pooled(
             PartialOrderKind::Maz => (1, "vector"),
         };
         check_wire(trace, kind, &reports[idx], backend)?;
+        check_cluster(trace, kind, &reports[idx])?;
         check_parallel(trace, kind, pools)?;
         summary.recycling_passes += check_recycling(trace, kind, pools)?;
     }

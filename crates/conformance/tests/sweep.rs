@@ -46,6 +46,12 @@ fn quick_corpus_sweep_is_conformant() {
         CHECKS_PER_CASE.contains(&CheckKind::Parallel),
         "the sweep must include the parallel check family"
     );
+    // Likewise the cluster pass: every case rides through a three-node
+    // ring with one induced failover and must match the batch report.
+    assert!(
+        CHECKS_PER_CASE.contains(&CheckKind::Cluster),
+        "the sweep must include the cluster check family"
+    );
 }
 
 /// Every fault kind, injected into every order, is (a) detected by the

@@ -278,6 +278,14 @@ pub trait LogicalClock: Clone + Debug + Default {
     /// hands out without touching the process-wide default. Values are
     /// representation independent at any setting.
     fn tune_dense_cutoff(&mut self, _entries: u64) {}
+
+    /// Applies an observation-sampling hint: the tree-mode density-
+    /// observation period, in operations. Backends without an adaptive
+    /// representation ignore it (the default); the hybrid adopts it as
+    /// its per-clock period, so a [`ClockPool`](crate::pool::ClockPool)
+    /// can tune every clock it hands out. Values are representation
+    /// independent at any setting.
+    fn tune_tree_obs_period(&mut self, _period: u8) {}
 }
 
 #[cfg(test)]

@@ -155,9 +155,15 @@ const PROBE_PERIOD: u8 = 16;
 /// bookkeeping itself (accumulator update, arena reads) is not — and
 /// sparse-regime tree operations are so cheap (~10 ns) that observing
 /// every one costs a measurable fraction. Only every
-/// `TREE_OBS_PERIOD`-th operation is observed; the skip itself is one
-/// counter decrement.
-const TREE_OBS_PERIOD: u8 = 2;
+/// `tree_obs_period`-th operation is observed; the skip itself is one
+/// counter decrement. Widened from the original 2 after the star-360
+/// ingest measurement showed the sparser sampling shaves observation
+/// overhead with no measurable loss of migration responsiveness
+/// (`tcr bench`'s `obs-period` cell carries the A/B numbers).
+/// Per-clock ([`HybridClock::set_tree_obs_period`]) and per-pool
+/// ([`crate::ClockPool::set_tree_obs_period`]) runtime overrides move
+/// it without recompiling.
+pub const DEFAULT_TREE_OBS_PERIOD: u8 = 4;
 
 /// The spec-conservative dense cutoff this backend shipped with: two
 /// 64-byte cache lines of `LocalTime`s. Kept as the documented lower
@@ -387,6 +393,10 @@ pub struct HybridClock {
     /// flat-cheap by fiat), adopted from [`default_dense_cutoff`] at
     /// construction.
     dense_cutoff: u64,
+    /// Tree-mode observation sampling period (every `obs_period`-th
+    /// join/copy feeds the density window), adopted from
+    /// [`DEFAULT_TREE_OBS_PERIOD`] at construction.
+    obs_period: u8,
     /// The density window driving migration.
     window: DensityWindow,
     /// Tree→flat migrations performed (diagnostics/tests).
@@ -404,6 +414,7 @@ impl Default for HybridClock {
             state: 0,
             obs_skip: 0,
             dense_cutoff: default_dense_cutoff(),
+            obs_period: DEFAULT_TREE_OBS_PERIOD,
             window: DensityWindow::default(),
             flips_to_flat: 0,
             flips_to_tree: 0,
@@ -452,6 +463,19 @@ impl HybridClock {
     /// are representation independent at any setting.
     pub fn set_dense_cutoff(&mut self, entries: u64) {
         self.dense_cutoff = entries.max(1);
+    }
+
+    /// This clock's tree-mode observation sampling period.
+    pub fn tree_obs_period(&self) -> u8 {
+        self.obs_period
+    }
+
+    /// Overrides this clock's tree-mode observation sampling period
+    /// (clamped to ≥ 1; 1 observes every operation). Values are
+    /// representation independent at any setting — the period only
+    /// trades migration responsiveness against per-op bookkeeping.
+    pub fn set_tree_obs_period(&mut self, period: u8) {
+        self.obs_period = period.max(1);
     }
 
     /// The represented time at raw index `i`, whichever representation
@@ -646,7 +670,7 @@ impl HybridClock {
                     // — exactly the density observation; the counted
                     // join's `moved` is the same quantity, measured by
                     // Algorithm 2.
-                    self.obs_skip = TREE_OBS_PERIOD - 1;
+                    self.obs_skip = self.obs_period - 1;
                     let arena = self.tree.num_threads().max(other.tree.num_threads()) as u64;
                     self.observe_mut(s.moved, arena);
                 }
@@ -792,13 +816,13 @@ impl HybridClock {
                 // The surgical copy's moved count (transferred present
                 // entries, for a first copy into an empty clock) is the
                 // observation — attributed to the *source* (see the
-                // module docs), sampled at `TREE_OBS_PERIOD` through
-                // the source's shared probe. Bulk transfers matter
-                // too: a tree clone writes 6× the bytes of a flat copy
-                // (links + times vs times alone), so dense first
-                // copies into fresh lock clocks are exactly what must
-                // push a publishing thread toward flat.
-                if other.copy_probe_tick(TREE_OBS_PERIOD - 1) {
+                // module docs), sampled at the source's observation
+                // period through its shared probe. Bulk transfers
+                // matter too: a tree clone writes 6× the bytes of a
+                // flat copy (links + times vs times alone), so dense
+                // first copies into fresh lock clocks are exactly what
+                // must push a publishing thread toward flat.
+                if other.copy_probe_tick(other.obs_period - 1) {
                     let arena = self.num_threads().max(other.num_threads()) as u64;
                     other.observe_shared(s.moved, arena);
                 }
@@ -945,6 +969,10 @@ impl LogicalClock for HybridClock {
 
     fn tune_dense_cutoff(&mut self, entries: u64) {
         self.set_dense_cutoff(entries);
+    }
+
+    fn tune_tree_obs_period(&mut self, period: u8) {
+        self.set_tree_obs_period(period);
     }
 
     #[inline]
@@ -1155,9 +1183,10 @@ mod tests {
     }
 
     /// Tree-mode operations needed to saturate the window toward a
-    /// flip (observations are sampled every `TREE_OBS_PERIOD` ops).
+    /// flip (observations are sampled every `DEFAULT_TREE_OBS_PERIOD`
+    /// ops).
     const SATURATE: usize =
-        TREE_OBS_PERIOD as usize * WINDOW_OPS as usize * (HYSTERESIS as usize + 1);
+        DEFAULT_TREE_OBS_PERIOD as usize * WINDOW_OPS as usize * (HYSTERESIS as usize + 1);
 
     #[test]
     fn new_clock_is_empty_tree() {
@@ -1194,7 +1223,7 @@ mod tests {
         // Each round: every peer advances, the peers chain-join so the
         // last one holds every fresh increment, and the hub joins only
         // that one — a join moving nearly the whole arena (dense).
-        for _ in 0..(TREE_OBS_PERIOD as usize * SATURATE) {
+        for _ in 0..(DEFAULT_TREE_OBS_PERIOD as usize * SATURATE) {
             for p in peers.iter_mut() {
                 p.increment(1);
             }

@@ -65,6 +65,11 @@ pub struct ClockPool<C> {
     /// the process-wide default — the per-pool knob exists precisely so
     /// callers don't have to mutate that global.
     dense_cutoff: Option<u64>,
+    /// Per-pool tree-observation-period override, applied exactly like
+    /// [`dense_cutoff`](Self::dense_cutoff) via
+    /// [`LogicalClock::tune_tree_obs_period`]. `None` leaves clocks on
+    /// [`DEFAULT_TREE_OBS_PERIOD`](crate::hybrid::DEFAULT_TREE_OBS_PERIOD).
+    tree_obs_period: Option<u8>,
 }
 
 /// Default free-list high-water mark: enough for every engine of a
@@ -87,6 +92,7 @@ impl<C: LogicalClock> ClockPool<C> {
             free_bytes: 0,
             peak_free_bytes: 0,
             dense_cutoff: None,
+            tree_obs_period: None,
         }
     }
 
@@ -127,6 +133,18 @@ impl<C: LogicalClock> ClockPool<C> {
         self.dense_cutoff
     }
 
+    /// Sets (or with `None`, clears) the pool's tree-observation-period
+    /// override; see the field docs. Only affects clocks handed out
+    /// *after* the call.
+    pub fn set_tree_obs_period(&mut self, period: Option<u8>) {
+        self.tree_obs_period = period;
+    }
+
+    /// The pool's tree-observation-period override, if any.
+    pub fn tree_obs_period(&self) -> Option<u8> {
+        self.tree_obs_period
+    }
+
     /// Hands out an empty clock, recycling a free-listed one when
     /// available and allocating a fresh `C::new()` otherwise.
     pub fn acquire(&mut self) -> C {
@@ -144,6 +162,9 @@ impl<C: LogicalClock> ClockPool<C> {
         };
         if let Some(entries) = self.dense_cutoff {
             clock.tune_dense_cutoff(entries);
+        }
+        if let Some(period) = self.tree_obs_period {
+            clock.tune_tree_obs_period(period);
         }
         clock
     }
@@ -432,6 +453,30 @@ mod tests {
         tree_pool.set_dense_cutoff(Some(7));
         let c = tree_pool.acquire();
         assert!(c.is_empty());
+    }
+
+    #[test]
+    fn pool_tree_obs_period_tunes_fresh_and_recycled_clocks() {
+        use crate::{HybridClock, DEFAULT_TREE_OBS_PERIOD};
+        let mut pool = ClockPool::<HybridClock>::new();
+        assert_eq!(pool.tree_obs_period(), None);
+        let untuned = pool.acquire();
+        assert_eq!(untuned.tree_obs_period(), DEFAULT_TREE_OBS_PERIOD);
+        pool.release(untuned);
+        pool.set_tree_obs_period(Some(8));
+        let recycled = pool.acquire();
+        assert_eq!(
+            recycled.tree_obs_period(),
+            8,
+            "recycled clocks are re-tuned on every acquire"
+        );
+        pool.set_tree_obs_period(Some(0));
+        let clamped = pool.acquire();
+        assert_eq!(clamped.tree_obs_period(), 1, "period clamps to ≥ 1");
+        // Non-adaptive backends ignore the hint entirely.
+        let mut tree_pool = ClockPool::<TreeClock>::new();
+        tree_pool.set_tree_obs_period(Some(8));
+        assert!(tree_pool.acquire().is_empty());
     }
 
     #[test]

@@ -41,7 +41,7 @@ pub mod session;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use detector::{DetectorConfig, FeedError, IncrementalDetector};
-pub use metrics::{phase_metric_name, PhaseMetrics, ServiceMetrics, PHASES};
+pub use metrics::{phase_metric_name, PhaseMetrics, ServiceMetrics, SharedMetrics, PHASES};
 pub use parallel::{EpochPool, ParallelDetector, DEFAULT_MIN_PARALLEL_FRAME};
-pub use service::{smoke, Client, ServeConfig, Server};
+pub use service::{constant_time_eq, parse_open, smoke, Client, ServeConfig, Server};
 pub use session::{AnyDetector, ClockChoice, Session};

@@ -104,6 +104,9 @@ pub struct ServiceMetrics {
     pub(crate) wire_err_oversize: Counter,
     pub(crate) wire_err_unknown_session: Counter,
     pub(crate) wire_err_line_overflow: Counter,
+    /// Rejected `auth` attempts and auth-gated commands refused
+    /// without a prior successful `auth`.
+    pub(crate) wire_err_auth: Counter,
     pub(crate) wire_errors_total: Counter,
     pub(crate) queue_depth_high_water: Gauge,
     pub(crate) peak_clock_bytes: Gauge,
@@ -146,6 +149,7 @@ impl ServiceMetrics {
                 "tc_wire_errors_total",
                 &[("kind", "line_overflow")],
             )),
+            wire_err_auth: registry.counter(&labeled("tc_wire_errors_total", &[("kind", "auth")])),
             wire_errors_total: registry.counter("tc_wire_errors"),
             queue_depth_high_water: registry.gauge("tc_queue_depth_high_water"),
             peak_clock_bytes: registry.gauge("tc_peak_clock_bytes"),

@@ -89,6 +89,12 @@ pub struct ServeConfig {
     /// command replies with an empty exposition — the configuration
     /// the overhead benchmark measures against.
     pub telemetry: bool,
+    /// Shared-secret admin token. When set, `shutdown` (and the
+    /// cluster-admin commands of `serve --cluster`) require a prior
+    /// `auth <token>` on the same connection; tokens are compared in
+    /// constant time and rejected attempts are counted under
+    /// `tc_wire_errors_total{kind="auth"}`.
+    pub auth: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -98,8 +104,23 @@ impl Default for ServeConfig {
             workers: 4,
             parallel: 0,
             telemetry: true,
+            auth: None,
         }
     }
+}
+
+/// Compares two byte strings in time independent of where they first
+/// differ (the admin-token comparison — a timing oracle must not leak
+/// the shared secret one byte at a time). Length is folded into the
+/// accumulator rather than short-circuited.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    let mut diff = a.len() ^ b.len();
+    for i in 0..a.len().max(b.len()) {
+        let x = usize::from(*a.get(i).unwrap_or(&0));
+        let y = usize::from(*b.get(i).unwrap_or(&0));
+        diff |= x ^ y;
+    }
+    diff == 0
 }
 
 /// Longest text line the server buffers before declaring the
@@ -318,6 +339,8 @@ struct ServiceShared {
     /// The server's telemetry bundle (inert when
     /// `ServeConfig::telemetry` is off).
     metrics: SharedMetrics,
+    /// The admin token `shutdown` requires (when set).
+    auth: Option<String>,
 }
 
 impl ServiceShared {
@@ -389,6 +412,7 @@ impl Server {
             next_session: AtomicU64::new(1),
             epoch_workers: (config.parallel > 0).then(|| Arc::new(EpochPool::new(config.parallel))),
             metrics: Arc::new(ServiceMetrics::new(registry, worker_count)),
+            auth: config.auth.clone(),
         });
 
         let mut workers = Vec::with_capacity(worker_count);
@@ -640,6 +664,9 @@ struct Conn {
     current: Option<u64>,
     /// Every session this connection opened — reaped when it closes.
     opened: Vec<u64>,
+    /// `true` once an `auth <token>` on this connection matched the
+    /// configured admin token (trivially true when none is required).
+    authed: bool,
 }
 
 /// The nonblocking readiness loop: accept, read, split into messages,
@@ -676,6 +703,7 @@ fn io_loop(listener: TcpListener, shared: &ServiceShared) {
                         buf: Vec::new(),
                         current: None,
                         opened: Vec::new(),
+                        authed: false,
                     });
                     shared.metrics.conns_accepted.inc();
                     shared.metrics.conns_active.add(1);
@@ -877,6 +905,8 @@ fn is_handshake(line: &str) -> bool {
     line == "shutdown"
         || line == "stats-all"
         || line == "metrics"
+        || line == "auth"
+        || line.starts_with("auth ")
         || line.starts_with("open ")
         || line == "open"
         || line.starts_with("resume ")
@@ -892,7 +922,36 @@ fn handle_handshake(conn: &mut Conn, shared: &ServiceShared, line: &str) -> bool
     // rebinds anything — that is whose work a pipelining client still
     // has in flight.
     let prev = conn.current;
+    if line == "auth" || line.starts_with("auth ") {
+        let token = line.strip_prefix("auth").expect("checked prefix").trim();
+        let reply = match &shared.auth {
+            Some(required) if !constant_time_eq(required.as_bytes(), token.as_bytes()) => {
+                shared.metrics.wire_err_auth.inc();
+                shared.metrics.wire_errors_total.inc();
+                "err bad auth token\n"
+            }
+            // A matching token — or no token required at all, in which
+            // case `auth` is a harmless no-op ack.
+            _ => {
+                conn.authed = true;
+                "ok authed\n"
+            }
+        };
+        reply_ordered(conn, shared, prev, reply.to_owned());
+        return true;
+    }
     if line == "shutdown" {
+        if shared.auth.is_some() && !conn.authed {
+            shared.metrics.wire_err_auth.inc();
+            shared.metrics.wire_errors_total.inc();
+            reply_ordered(
+                conn,
+                shared,
+                prev,
+                "err auth required for shutdown\n".to_owned(),
+            );
+            return true;
+        }
         reply_ordered(conn, shared, prev, "ok shutting-down\n".to_owned());
         shared.request_shutdown();
         return true;
@@ -1049,8 +1108,14 @@ fn reply_ordered(conn: &Conn, shared: &ServiceShared, prev: Option<u64>, reply: 
     let _ = conn.shared.write_reply(reply.as_bytes());
 }
 
-/// Parses the `open` line's arguments.
-fn parse_open(parts: &[&str]) -> Result<(ClockChoice, DetectorConfig), String> {
+/// Parses the `open` line's arguments: `<order> <clock> [evict <n>]
+/// [no-retire] [recycle]`. Shared with the cluster node, whose
+/// forwarded `open` lines must accept exactly the same grammar.
+///
+/// # Errors
+///
+/// A protocol-ready message for unknown orders, clocks or options.
+pub fn parse_open(parts: &[&str]) -> Result<(ClockChoice, DetectorConfig), String> {
     let order: PartialOrderKind = parts
         .first()
         .copied()
@@ -1100,24 +1165,102 @@ pub struct Client {
     session: u64,
 }
 
+/// A failed `open` attempt, tagged with whether retrying the
+/// handshake is worthwhile (the connection died under us — a reset, a
+/// broken pipe, or a close before the reply — rather than the server
+/// rejecting the request).
+struct OpenError {
+    message: String,
+    retryable: bool,
+}
+
+impl OpenError {
+    fn io(e: &io::Error) -> OpenError {
+        OpenError {
+            message: e.to_string(),
+            retryable: matches!(
+                e.kind(),
+                io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+            ),
+        }
+    }
+
+    fn fatal(message: impl Into<String>) -> OpenError {
+        OpenError {
+            message: message.into(),
+            retryable: false,
+        }
+    }
+}
+
+/// Capped backoff before [`Client::open`]'s single handshake retry —
+/// long enough for a restarting or failing-over server to start
+/// accepting again, short enough that a hard failure still surfaces
+/// promptly.
+const OPEN_RETRY_BACKOFF: Duration = Duration::from_millis(50);
+
 impl Client {
     /// Connects and performs the `open` handshake. Arguments starting
     /// with `resume` are sent verbatim (the resume handshake);
     /// everything else is prefixed with `open `.
     ///
+    /// The handshake is idempotent (no events have been sent yet), so
+    /// a connection that dies mid-handshake — the window a cluster
+    /// failover or server restart produces — is retried **once** after
+    /// a capped backoff before surfacing as an error.
+    ///
     /// # Errors
     ///
     /// I/O failures and protocol-level `err` replies, as strings.
     pub fn open(addr: SocketAddr, open_args: &str) -> Result<Client, String> {
-        let stream = TcpStream::connect(addr).map_err(|e| e.to_string())?;
-        let reader = BufReader::new(stream.try_clone().map_err(|e| e.to_string())?);
+        match Client::try_open(addr, open_args) {
+            Ok(client) => Ok(client),
+            Err(e) if e.retryable => {
+                std::thread::sleep(OPEN_RETRY_BACKOFF);
+                Client::try_open(addr, open_args).map_err(|e| e.message)
+            }
+            Err(e) => Err(e.message),
+        }
+    }
+
+    /// One connect + handshake attempt, classifying failures for the
+    /// retry decision in [`Client::open`].
+    fn try_open(addr: SocketAddr, open_args: &str) -> Result<Client, OpenError> {
+        let stream = TcpStream::connect(addr).map_err(|e| OpenError::io(&e))?;
+        let reader = BufReader::new(stream.try_clone().map_err(|e| OpenError::io(&e))?);
         let mut client = Client {
             reader,
             writer: BufWriter::new(stream),
             session: 0,
         };
-        client.session = client.open_session(open_args)?;
+        let line = Client::open_line(open_args);
+        let reply = client.try_handshake_request(&line)?;
+        client.session = Client::parse_open_reply(&reply).map_err(OpenError::fatal)?;
         Ok(client)
+    }
+
+    /// The handshake line `open_args` stands for.
+    fn open_line(open_args: &str) -> String {
+        if open_args.starts_with("resume") {
+            open_args.to_owned()
+        } else {
+            format!("open {open_args}")
+        }
+    }
+
+    /// Extracts the session id from an `open`/`resume` reply.
+    fn parse_open_reply(reply: &[String]) -> Result<u64, String> {
+        match reply.iter().rfind(|l| !l.is_empty()) {
+            Some(l) if l.starts_with("ok session") => l
+                .split_whitespace()
+                .nth(2)
+                .and_then(|v| v.parse().ok())
+                .ok_or_else(|| format!("malformed open reply `{l}`")),
+            Some(l) => Err(format!("open failed: {l}")),
+            None => Err("open got no reply".to_owned()),
+        }
     }
 
     /// Opens an additional session on this connection (rebinding bare
@@ -1128,25 +1271,10 @@ impl Client {
     ///
     /// I/O failures and protocol-level `err` replies, as strings.
     pub fn open_session(&mut self, open_args: &str) -> Result<u64, String> {
-        let line = if open_args.starts_with("resume") {
-            open_args.to_owned()
-        } else {
-            format!("open {open_args}")
-        };
-        let reply = self.handshake_request(&line)?;
-        match reply.iter().rfind(|l| !l.is_empty()) {
-            Some(l) if l.starts_with("ok session") => {
-                let id = l
-                    .split_whitespace()
-                    .nth(2)
-                    .and_then(|v| v.parse().ok())
-                    .ok_or_else(|| format!("malformed open reply `{l}`"))?;
-                self.session = id;
-                Ok(id)
-            }
-            Some(l) => Err(format!("open failed: {l}")),
-            None => Err("open got no reply".to_owned()),
-        }
+        let reply = self.handshake_request(&Client::open_line(open_args))?;
+        let id = Client::parse_open_reply(&reply)?;
+        self.session = id;
+        Ok(id)
     }
 
     /// The session id of the most recent `open` on this client.
@@ -1157,15 +1285,26 @@ impl Client {
     /// A request whose reply may be a single `err` line (handshake
     /// failures terminate the exchange without an `ok`).
     fn handshake_request(&mut self, line: &str) -> Result<Vec<String>, String> {
-        self.send(line)?;
-        self.writer.flush().map_err(|e| e.to_string())?;
+        self.try_handshake_request(line).map_err(|e| e.message)
+    }
+
+    /// [`Self::handshake_request`], with failures classified for the
+    /// open retry: write/read errors carry their I/O kind, a clean
+    /// close before the reply (the drop-after-accept shape a dying
+    /// node produces) is retryable.
+    fn try_handshake_request(&mut self, line: &str) -> Result<Vec<String>, OpenError> {
+        writeln!(self.writer, "{line}").map_err(|e| OpenError::io(&e))?;
+        self.writer.flush().map_err(|e| OpenError::io(&e))?;
         let mut reply = String::new();
         let n = self
             .reader
             .read_line(&mut reply)
-            .map_err(|e| e.to_string())?;
+            .map_err(|e| OpenError::io(&e))?;
         if n == 0 {
-            return Err("server closed the connection during the handshake".to_owned());
+            return Err(OpenError {
+                message: "server closed the connection during the handshake".to_owned(),
+                retryable: true,
+            });
         }
         Ok(vec![reply.trim_end().to_owned()])
     }
@@ -1440,6 +1579,7 @@ pub fn smoke() -> Result<(), String> {
         workers: 2,
         parallel: 2,
         telemetry: true,
+        auth: None,
     })
     .map_err(|e| format!("cannot start server: {e}"))?;
     let addr = server.local_addr();

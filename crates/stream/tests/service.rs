@@ -21,6 +21,7 @@ fn start_parallel(epoch_workers: usize) -> Server {
         workers: 2,
         parallel: epoch_workers,
         telemetry: true,
+        auth: None,
     })
     .expect("bind on a free port")
 }
@@ -631,6 +632,108 @@ fn metrics_scrape_agrees_with_stats_and_counts_wire_errors() {
     bin.request("close").unwrap();
     server.shutdown();
     server.join();
+}
+
+/// A fake server that accepts `drops` connections and hangs up on each
+/// immediately (the shape a dying or failing-over node presents),
+/// then serves one real `open` handshake.
+fn drop_after_accept_server(drops: usize) -> std::net::SocketAddr {
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    std::thread::spawn(move || {
+        for _ in 0..drops {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream); // hang up before reading the handshake
+        }
+        if let Ok((stream, _)) = listener.accept() {
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut stream = stream;
+            stream
+                .write_all(b"ok session 9 order HB clock tree\n")
+                .unwrap();
+        }
+    });
+    addr
+}
+
+#[test]
+fn client_open_retries_once_after_a_dropped_handshake() {
+    // One drop, then a real handshake: the retry absorbs the
+    // failover-window disconnect.
+    let addr = drop_after_accept_server(1);
+    let client = Client::open(addr, "hb tc").expect("one dropped handshake must be retried");
+    assert_eq!(client.session(), 9);
+}
+
+#[test]
+fn client_open_surfaces_a_second_dropped_handshake() {
+    // Two drops: exactly one retry, then the error surfaces.
+    let addr = drop_after_accept_server(2);
+    let err = Client::open(addr, "hb tc").unwrap_err();
+    assert!(
+        err.contains("closed the connection") || err.contains("reset"),
+        "{err}"
+    );
+}
+
+#[test]
+fn protocol_errors_are_not_retried() {
+    // An `err` reply is a rejection, not a dead connection — the retry
+    // must not re-send it (a second open would burn a session id).
+    let server = start();
+    let err = Client::open(server.local_addr(), "frobnicate tc").unwrap_err();
+    assert!(err.contains("open failed"), "{err}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn auth_gates_shutdown_and_counts_rejections() {
+    let server = Server::start(ServeConfig {
+        auth: Some("sekret".to_owned()),
+        ..ServeConfig::default()
+    })
+    .expect("bind on a free port");
+    let addr = server.local_addr();
+    let mut client = Client::open(addr, "hb tc").unwrap();
+
+    // Unauthenticated shutdown: refused, server stays up.
+    client.send("shutdown").unwrap();
+    client.flush().unwrap();
+    let reply = client.read_reply().unwrap();
+    assert_eq!(reply, "err auth required for shutdown");
+
+    // Wrong token: refused.
+    client.send("auth wr0ng").unwrap();
+    client.flush().unwrap();
+    assert_eq!(client.read_reply().unwrap(), "err bad auth token");
+
+    // Both rejections are classified wire errors.
+    let scrape = client.metrics_scrape().unwrap();
+    assert_eq!(sample(&scrape, "tc_wire_errors_total{kind=\"auth\"}"), 2);
+    assert_eq!(sample(&scrape, "tc_wire_errors"), 2);
+
+    // The right token authenticates the connection; shutdown works.
+    client.send("auth sekret").unwrap();
+    client.flush().unwrap();
+    assert_eq!(client.read_reply().unwrap(), "ok authed");
+    client.send("shutdown").unwrap();
+    client.flush().unwrap();
+    assert_eq!(client.read_reply().unwrap(), "ok shutting-down");
+    server.join();
+}
+
+#[test]
+fn constant_time_compare_is_exact() {
+    use tc_stream::constant_time_eq;
+    assert!(constant_time_eq(b"sekret", b"sekret"));
+    assert!(constant_time_eq(b"", b""));
+    assert!(!constant_time_eq(b"sekret", b"sekrer"));
+    assert!(!constant_time_eq(b"sekret", b"sekre"));
+    assert!(!constant_time_eq(b"sekret", b"sekrets"));
+    assert!(!constant_time_eq(b"", b"x"));
 }
 
 #[test]

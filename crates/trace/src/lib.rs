@@ -65,6 +65,6 @@ pub use stream::{
 };
 pub use trace::{Trace, TraceBuilder};
 pub use validate::ValidationError;
-pub use wire::{Frame, WireError};
+pub use wire::{ClusterMsg, Frame, WireError};
 
 pub use tc_core::{LocalTime, ThreadId};

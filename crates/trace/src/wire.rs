@@ -408,6 +408,450 @@ pub fn try_message(buf: &[u8]) -> Result<Option<(WireMessage, usize)>, WireError
     Ok(Some((message, total)))
 }
 
+/// First byte of an inter-node **cluster** message: the control plane
+/// `tcr serve --cluster` nodes speak to each other — client-frame
+/// forwarding, checkpoint-delta shipping, heartbeats and matrix-clock
+/// stable vectors. High bit set like the other magics, so a cluster
+/// node serves clients and peers on one port by sniffing the first
+/// byte of each message.
+pub const CLUSTER_MAGIC: u8 = 0xF8;
+
+/// One inter-node message of the cluster protocol. The wire layer
+/// treats checkpoint bytes as opaque — the `TCCP` framing lives in the
+/// stream layer; this codec only moves sealed byte ranges between
+/// nodes.
+///
+/// Replication-stream variants ([`ClusterMsg::ReplFrame`],
+/// [`ClusterMsg::ReplText`], [`ClusterMsg::Delta`],
+/// [`ClusterMsg::Retire`]) carry a per-origin-node monotonically
+/// increasing `seq` — the coordinate the matrix clock's stable prefix
+/// is computed over.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterMsg {
+    /// Link handshake: the first message on an inter-node connection,
+    /// naming the sending node.
+    Hello {
+        /// The sender's node index in the static peer set.
+        node: u32,
+    },
+    /// A client text line forwarded from a gateway node to the
+    /// session's owner. `token` correlates the owner's [`ClusterMsg::Reply`]
+    /// back to the originating client connection.
+    ForwardLine {
+        /// The gateway node the client is connected to.
+        origin: u32,
+        /// Gateway-chosen correlation token for the reply.
+        token: u64,
+        /// The session the line addresses (pre-allocated by the
+        /// gateway for `open` lines).
+        session: u64,
+        /// The raw client line, verbatim.
+        text: String,
+    },
+    /// A client event frame forwarded from a gateway to the owner.
+    ForwardFrame {
+        /// The gateway node the client is connected to.
+        origin: u32,
+        /// Gateway-chosen correlation token for an error reply (the
+        /// success path is silent, like direct frame ingest).
+        token: u64,
+        /// The session the events belong to.
+        session: u64,
+        /// The batched events, in client order.
+        events: Vec<Event>,
+    },
+    /// The owner's reply to a forwarded line or frame, relayed by the
+    /// gateway to the client connection `token` maps to.
+    Reply {
+        /// The correlation token from the forward.
+        token: u64,
+        /// The reply text (may span multiple protocol lines).
+        text: String,
+    },
+    /// One ingested event frame, replicated owner → successor so the
+    /// successor can replay frames past the last shipped checkpoint on
+    /// failover.
+    ReplFrame {
+        /// The owning node (the replication stream's origin).
+        origin: u32,
+        /// Per-origin replication sequence number (contiguous).
+        seq: u64,
+        /// The session the events belong to.
+        session: u64,
+        /// The session's payload counter after ingesting this frame
+        /// (1-based) — replay takes payloads past a checkpoint's count.
+        frame_seq: u64,
+        /// The replicated events.
+        events: Vec<Event>,
+    },
+    /// One ingested text event line, replicated verbatim (text lines
+    /// may intern thread/var/lock names, so the raw line is the only
+    /// faithful replica).
+    ReplText {
+        /// The owning node.
+        origin: u32,
+        /// Per-origin replication sequence number.
+        seq: u64,
+        /// The session the line belongs to.
+        session: u64,
+        /// The session's payload counter after ingesting this line.
+        frame_seq: u64,
+        /// The raw event line, verbatim.
+        text: String,
+    },
+    /// A checkpoint delta: an opaque copy/literal op stream (the
+    /// cluster crate's `ByteDelta` wire form) that patches the full
+    /// checkpoint previously shipped at payload counter `base_seq`
+    /// into the one at `frame_seq` (`base_seq == 0` means the empty
+    /// base — the delta degenerates to a full snapshot).
+    Delta {
+        /// The owning node.
+        origin: u32,
+        /// Per-origin replication sequence number.
+        seq: u64,
+        /// The session the checkpoint captures.
+        session: u64,
+        /// The session's payload counter at the checkpoint boundary.
+        frame_seq: u64,
+        /// Payload counter of the base checkpoint this delta patches.
+        base_seq: u64,
+        /// The serialized copy/literal op stream.
+        bytes: Vec<u8>,
+    },
+    /// Liveness beacon, broadcast every tick; missing several in a row
+    /// marks the node dead and triggers failover.
+    Heartbeat {
+        /// The sending node.
+        node: u32,
+    },
+    /// One row of the sender's matrix clock: `seen[j]` is the highest
+    /// contiguous replication seq the sender holds from node `j`. The
+    /// column-wise minimum across live rows is the cluster-wide stable
+    /// prefix.
+    StableVector {
+        /// The sending node (the row index).
+        node: u32,
+        /// The row, indexed by node.
+        seen: Vec<u64>,
+    },
+    /// The owner closed a session: the successor drops its replica
+    /// state. Part of the replication stream (carries a seq).
+    Retire {
+        /// The owning node.
+        origin: u32,
+        /// Per-origin replication sequence number.
+        seq: u64,
+        /// The retired session.
+        session: u64,
+    },
+    /// Ownership override broadcast (the `handoff` admin command):
+    /// `session` is now owned by `node`, regardless of ring placement.
+    Assign {
+        /// The reassigned session.
+        session: u64,
+        /// The new owning node.
+        node: u32,
+    },
+}
+
+/// Variant tags of the cluster payload (first payload byte).
+mod cluster_tag {
+    pub const HELLO: u8 = 0;
+    pub const FORWARD_LINE: u8 = 1;
+    pub const FORWARD_FRAME: u8 = 2;
+    pub const REPLY: u8 = 3;
+    pub const REPL_FRAME: u8 = 4;
+    pub const REPL_TEXT: u8 = 5;
+    pub const DELTA: u8 = 6;
+    pub const HEARTBEAT: u8 = 7;
+    pub const STABLE_VECTOR: u8 = 8;
+    pub const RETIRE: u8 = 9;
+    pub const ASSIGN: u8 = 10;
+}
+
+/// Appends a length-prefixed byte string.
+fn encode_bytes(payload: &mut Vec<u8>, bytes: &[u8]) {
+    write_varint(payload, bytes.len() as u64).expect("writing to a Vec cannot fail");
+    payload.extend_from_slice(bytes);
+}
+
+/// Decodes a length-prefixed byte string.
+fn decode_bytes(r: &mut &[u8]) -> Result<Vec<u8>, WireError> {
+    let len = read_varint(r).map_err(bin_err)?;
+    let len = usize::try_from(len)
+        .ok()
+        .filter(|&l| l <= MAX_FRAME_LEN)
+        .ok_or_else(|| WireError::Corrupt(format!("implausible byte-string length {len}")))?;
+    if r.len() < len {
+        return Err(WireError::Corrupt(
+            "cluster payload truncated mid byte-string".into(),
+        ));
+    }
+    let (head, tail) = r.split_at(len);
+    *r = tail;
+    Ok(head.to_vec())
+}
+
+/// Decodes a length-prefixed UTF-8 string.
+fn decode_string(r: &mut &[u8]) -> Result<String, WireError> {
+    String::from_utf8(decode_bytes(r)?)
+        .map_err(|_| WireError::Corrupt("cluster text is not UTF-8".into()))
+}
+
+/// Encodes one cluster message as a sealed `0xF8` frame.
+///
+/// # Errors
+///
+/// [`WireError::Oversize`] if the payload would exceed
+/// [`MAX_FRAME_LEN`] — a checkpoint delta past the cap must be split
+/// by the caller (ship a full snapshot in chunks) rather than crash
+/// the link.
+pub fn encode_cluster(msg: &ClusterMsg) -> Result<Vec<u8>, WireError> {
+    let mut p = Vec::with_capacity(32);
+    let put = |p: &mut Vec<u8>, v: u64| {
+        write_varint(p, v).expect("writing to a Vec cannot fail");
+    };
+    match msg {
+        ClusterMsg::Hello { node } => {
+            p.push(cluster_tag::HELLO);
+            put(&mut p, u64::from(*node));
+        }
+        ClusterMsg::ForwardLine {
+            origin,
+            token,
+            session,
+            text,
+        } => {
+            p.push(cluster_tag::FORWARD_LINE);
+            put(&mut p, u64::from(*origin));
+            put(&mut p, *token);
+            put(&mut p, *session);
+            encode_bytes(&mut p, text.as_bytes());
+        }
+        ClusterMsg::ForwardFrame {
+            origin,
+            token,
+            session,
+            events,
+        } => {
+            p.push(cluster_tag::FORWARD_FRAME);
+            put(&mut p, u64::from(*origin));
+            put(&mut p, *token);
+            put(&mut p, *session);
+            encode_batch(&mut p, events);
+        }
+        ClusterMsg::Reply { token, text } => {
+            p.push(cluster_tag::REPLY);
+            put(&mut p, *token);
+            encode_bytes(&mut p, text.as_bytes());
+        }
+        ClusterMsg::ReplFrame {
+            origin,
+            seq,
+            session,
+            frame_seq,
+            events,
+        } => {
+            p.push(cluster_tag::REPL_FRAME);
+            put(&mut p, u64::from(*origin));
+            put(&mut p, *seq);
+            put(&mut p, *session);
+            put(&mut p, *frame_seq);
+            encode_batch(&mut p, events);
+        }
+        ClusterMsg::ReplText {
+            origin,
+            seq,
+            session,
+            frame_seq,
+            text,
+        } => {
+            p.push(cluster_tag::REPL_TEXT);
+            put(&mut p, u64::from(*origin));
+            put(&mut p, *seq);
+            put(&mut p, *session);
+            put(&mut p, *frame_seq);
+            encode_bytes(&mut p, text.as_bytes());
+        }
+        ClusterMsg::Delta {
+            origin,
+            seq,
+            session,
+            frame_seq,
+            base_seq,
+            bytes,
+        } => {
+            p.push(cluster_tag::DELTA);
+            put(&mut p, u64::from(*origin));
+            put(&mut p, *seq);
+            put(&mut p, *session);
+            put(&mut p, *frame_seq);
+            put(&mut p, *base_seq);
+            encode_bytes(&mut p, bytes);
+        }
+        ClusterMsg::Heartbeat { node } => {
+            p.push(cluster_tag::HEARTBEAT);
+            put(&mut p, u64::from(*node));
+        }
+        ClusterMsg::StableVector { node, seen } => {
+            p.push(cluster_tag::STABLE_VECTOR);
+            put(&mut p, u64::from(*node));
+            put(&mut p, seen.len() as u64);
+            for s in seen {
+                put(&mut p, *s);
+            }
+        }
+        ClusterMsg::Retire {
+            origin,
+            seq,
+            session,
+        } => {
+            p.push(cluster_tag::RETIRE);
+            put(&mut p, u64::from(*origin));
+            put(&mut p, *seq);
+            put(&mut p, *session);
+        }
+        ClusterMsg::Assign { session, node } => {
+            p.push(cluster_tag::ASSIGN);
+            put(&mut p, *session);
+            put(&mut p, u64::from(*node));
+        }
+    }
+    seal(CLUSTER_MAGIC, p)
+}
+
+/// Decodes a `u32`-ranged varint (node ids).
+fn decode_u32(r: &mut &[u8], what: &str) -> Result<u32, WireError> {
+    let v = read_varint(r).map_err(bin_err)?;
+    u32::try_from(v).map_err(|_| WireError::Corrupt(format!("{what} overflows u32")))
+}
+
+/// Decodes a cluster payload (the bytes after the header).
+fn decode_cluster_payload(payload: &[u8]) -> Result<ClusterMsg, WireError> {
+    let mut r = payload;
+    let mut tag = [0u8; 1];
+    r.read_exact(&mut tag)
+        .map_err(|_| WireError::Corrupt("empty cluster payload".into()))?;
+    let var = |r: &mut &[u8]| read_varint(r).map_err(bin_err);
+    let msg = match tag[0] {
+        cluster_tag::HELLO => ClusterMsg::Hello {
+            node: decode_u32(&mut r, "node id")?,
+        },
+        cluster_tag::FORWARD_LINE => ClusterMsg::ForwardLine {
+            origin: decode_u32(&mut r, "node id")?,
+            token: var(&mut r)?,
+            session: var(&mut r)?,
+            text: decode_string(&mut r)?,
+        },
+        cluster_tag::FORWARD_FRAME => ClusterMsg::ForwardFrame {
+            origin: decode_u32(&mut r, "node id")?,
+            token: var(&mut r)?,
+            session: var(&mut r)?,
+            events: decode_events(&mut r)?,
+        },
+        cluster_tag::REPLY => ClusterMsg::Reply {
+            token: var(&mut r)?,
+            text: decode_string(&mut r)?,
+        },
+        cluster_tag::REPL_FRAME => ClusterMsg::ReplFrame {
+            origin: decode_u32(&mut r, "node id")?,
+            seq: var(&mut r)?,
+            session: var(&mut r)?,
+            frame_seq: var(&mut r)?,
+            events: decode_events(&mut r)?,
+        },
+        cluster_tag::REPL_TEXT => ClusterMsg::ReplText {
+            origin: decode_u32(&mut r, "node id")?,
+            seq: var(&mut r)?,
+            session: var(&mut r)?,
+            frame_seq: var(&mut r)?,
+            text: decode_string(&mut r)?,
+        },
+        cluster_tag::DELTA => ClusterMsg::Delta {
+            origin: decode_u32(&mut r, "node id")?,
+            seq: var(&mut r)?,
+            session: var(&mut r)?,
+            frame_seq: var(&mut r)?,
+            base_seq: var(&mut r)?,
+            bytes: decode_bytes(&mut r)?,
+        },
+        cluster_tag::HEARTBEAT => ClusterMsg::Heartbeat {
+            node: decode_u32(&mut r, "node id")?,
+        },
+        cluster_tag::STABLE_VECTOR => {
+            let node = decode_u32(&mut r, "node id")?;
+            let len = var(&mut r)?;
+            let len = usize::try_from(len)
+                .ok()
+                .filter(|&l| l <= 1 << 16)
+                .ok_or_else(|| {
+                    WireError::Corrupt(format!("implausible stable-vector length {len}"))
+                })?;
+            let mut seen = Vec::with_capacity(len);
+            for _ in 0..len {
+                seen.push(var(&mut r)?);
+            }
+            ClusterMsg::StableVector { node, seen }
+        }
+        cluster_tag::RETIRE => ClusterMsg::Retire {
+            origin: decode_u32(&mut r, "node id")?,
+            seq: var(&mut r)?,
+            session: var(&mut r)?,
+        },
+        cluster_tag::ASSIGN => ClusterMsg::Assign {
+            session: var(&mut r)?,
+            node: decode_u32(&mut r, "node id")?,
+        },
+        other => {
+            return Err(WireError::Corrupt(format!(
+                "unknown cluster message tag {other}"
+            )))
+        }
+    };
+    if !r.is_empty() {
+        return Err(WireError::Corrupt(format!(
+            "{} trailing bytes after cluster message",
+            r.len()
+        )));
+    }
+    Ok(msg)
+}
+
+/// Like [`try_frame`], but for [`CLUSTER_MAGIC`] messages: returns
+/// `Ok(None)` while the buffer holds only a partial message, or the
+/// decoded message plus the number of bytes it consumed.
+///
+/// # Errors
+///
+/// [`WireError::Corrupt`] for bad magic, implausible lengths or
+/// malformed payloads — a corrupt message poisons the inter-node link.
+pub fn try_cluster(buf: &[u8]) -> Result<Option<(ClusterMsg, usize)>, WireError> {
+    if buf.is_empty() {
+        return Ok(None);
+    }
+    if buf[0] != CLUSTER_MAGIC {
+        return Err(WireError::Corrupt(format!(
+            "bad cluster magic 0x{:02x} (expected 0x{CLUSTER_MAGIC:02x})",
+            buf[0]
+        )));
+    }
+    if buf.len() < FRAME_HEADER_LEN {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[1], buf[2], buf[3], buf[4]]) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(WireError::Corrupt(format!(
+            "cluster message length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let total = FRAME_HEADER_LEN + len;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let msg = decode_cluster_payload(&buf[FRAME_HEADER_LEN..total])?;
+    Ok(Some((msg, total)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -641,6 +1085,156 @@ mod tests {
             }
             other => panic!("expected a multi message, got {other:?}"),
         }
+    }
+
+    fn sample_cluster_msgs() -> Vec<ClusterMsg> {
+        vec![
+            ClusterMsg::Hello { node: 2 },
+            ClusterMsg::ForwardLine {
+                origin: 0,
+                token: 99,
+                session: 12,
+                text: "open hb tc".into(),
+            },
+            ClusterMsg::ForwardFrame {
+                origin: 1,
+                token: 100,
+                session: 12,
+                events: sample_events(),
+            },
+            ClusterMsg::Reply {
+                token: 99,
+                text: "ok session 12 order HB clock tree".into(),
+            },
+            ClusterMsg::ReplFrame {
+                origin: 1,
+                seq: 41,
+                session: 12,
+                frame_seq: 7,
+                events: sample_events(),
+            },
+            ClusterMsg::ReplText {
+                origin: 1,
+                seq: 42,
+                session: 12,
+                frame_seq: 8,
+                text: "acq t0 m".into(),
+            },
+            ClusterMsg::Delta {
+                origin: 1,
+                seq: 43,
+                session: 12,
+                frame_seq: 8,
+                base_seq: 30,
+                bytes: vec![1, 2, 3, 0xff],
+            },
+            ClusterMsg::Heartbeat { node: 0 },
+            ClusterMsg::StableVector {
+                node: 2,
+                seen: vec![41, 0, 43],
+            },
+            ClusterMsg::Retire {
+                origin: 1,
+                seq: 44,
+                session: 12,
+            },
+            ClusterMsg::Assign {
+                session: 12,
+                node: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn cluster_messages_round_trip_incrementally() {
+        for msg in sample_cluster_msgs() {
+            let bytes = encode_cluster(&msg).unwrap();
+            assert_eq!(bytes[0], CLUSTER_MAGIC);
+            // Every proper prefix: not yet a message.
+            for cut in 0..bytes.len() {
+                assert!(
+                    try_cluster(&bytes[..cut]).unwrap().is_none(),
+                    "prefix of {cut} bytes must be incomplete for {msg:?}"
+                );
+            }
+            // Full buffer plus the start of the next message.
+            let mut buf = bytes.clone();
+            buf.push(CLUSTER_MAGIC);
+            let (back, used) = try_cluster(&buf).unwrap().unwrap();
+            assert_eq!(used, bytes.len());
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn cluster_magic_is_distinct_and_non_ascii() {
+        const { assert!(CLUSTER_MAGIC >= 0x80) };
+        const { assert!(CLUSTER_MAGIC != FRAME_MAGIC && CLUSTER_MAGIC != MULTI_MAGIC) };
+        // The ordinary frame dispatcher refuses cluster messages, so a
+        // non-cluster server counts them as corrupt rather than
+        // misreading them.
+        let bytes = encode_cluster(&ClusterMsg::Heartbeat { node: 1 }).unwrap();
+        assert!(try_message(&bytes)
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
+        assert!(try_cluster(b"open")
+            .unwrap_err()
+            .to_string()
+            .contains("magic"));
+    }
+
+    #[test]
+    fn cluster_decode_rejects_malformed_payloads() {
+        // Unknown tag.
+        let sealed = seal(CLUSTER_MAGIC, vec![0x7f]).unwrap();
+        assert!(try_cluster(&sealed)
+            .unwrap_err()
+            .to_string()
+            .contains("unknown cluster message tag"));
+        // Empty payload.
+        let sealed = seal(CLUSTER_MAGIC, Vec::new()).unwrap();
+        assert!(try_cluster(&sealed)
+            .unwrap_err()
+            .to_string()
+            .contains("empty"));
+        // Trailing garbage after a valid message.
+        let mut payload = vec![cluster_tag::HEARTBEAT, 3];
+        payload.push(0);
+        let sealed = seal(CLUSTER_MAGIC, payload).unwrap();
+        assert!(try_cluster(&sealed)
+            .unwrap_err()
+            .to_string()
+            .contains("trailing"));
+        // Byte-string length past the buffered payload.
+        let payload = vec![cluster_tag::REPLY, 1, 200];
+        let sealed = seal(CLUSTER_MAGIC, payload).unwrap();
+        assert!(try_cluster(&sealed)
+            .unwrap_err()
+            .to_string()
+            .contains("truncated"));
+        // Non-UTF-8 text.
+        let mut payload = vec![cluster_tag::REPLY, 1, 2];
+        payload.extend_from_slice(&[0xff, 0xfe]);
+        let sealed = seal(CLUSTER_MAGIC, payload).unwrap();
+        assert!(try_cluster(&sealed)
+            .unwrap_err()
+            .to_string()
+            .contains("UTF-8"));
+    }
+
+    #[test]
+    fn oversize_cluster_delta_is_an_error_not_a_panic() {
+        let msg = ClusterMsg::Delta {
+            origin: 0,
+            seq: 1,
+            session: 1,
+            frame_seq: 1,
+            base_seq: 0,
+            bytes: vec![0u8; MAX_FRAME_LEN + 1],
+        };
+        let e = encode_cluster(&msg).expect_err("past-cap delta must not encode");
+        assert!(matches!(e, WireError::Oversize { .. }), "got {e}");
     }
 
     #[test]

@@ -18,6 +18,13 @@
 //!   incremental detector with thread retirement and cold-state
 //!   eviction, serializable checkpoints with byte-identical resume,
 //!   and the session-sharded `tcr serve` line-protocol service.
+//! - [`cluster`] — multi-node serving: a consistent-hash ring places
+//!   sessions across a static peer set, non-owner nodes forward
+//!   client commands transparently, owners ship rsync-style
+//!   checkpoint deltas to their ring successor, and heartbeat-driven
+//!   failover resumes dead nodes' sessions with byte-identical race
+//!   reports; a per-node matrix clock computes stable prefixes that
+//!   bound delta sizes.
 //! - [`telemetry`] — the always-on observability core: lock-free
 //!   counters/gauges, mergeable log₂-bucketed histograms, span rings
 //!   with chrome://tracing export, and the Prometheus-style text
@@ -48,6 +55,7 @@
 //! ```
 
 pub use tc_analysis as analysis;
+pub use tc_cluster as cluster;
 pub use tc_conformance as conformance;
 pub use tc_core as core;
 pub use tc_orders as orders;
