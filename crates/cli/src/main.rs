@@ -1148,7 +1148,9 @@ binary) driven over real sockets, asserted equal to the batch
 detectors (what `tcr race` runs), then a shutdown with a client still
 connected. --auth TOKEN gates `shutdown` (and the cluster admin
 commands) behind a shared secret compared in constant time; clients
-authenticate with `auth <token>`.
+authenticate with `auth <token>`. In cluster mode the same token
+(identical on every node) also authenticates inter-node links, so
+unauthenticated connections cannot speak the peer protocol.
 
 serve --cluster runs one node of a static multi-node ring instead:
 --peers lists every node's host:port (comma-separated, index = node
@@ -1161,7 +1163,9 @@ style against the last stable base) plus every in-flight frame to its
 ring successor. A node death — detected by missed heartbeats — makes
 the successor resume from the last checkpoint and replay the tail, so
 clients reconnect to any survivor, `use <id>` their session, and read
-race reports identical to an uninterrupted run. A per-node matrix
+race reports identical to an uninterrupted run. Eviction is permanent
+(crash-stop model); a node mis-declared dead learns of its eviction
+from peers and fences itself off by shutting down. A per-node matrix
 clock tracks which deltas every peer has applied; only prefixes stable
 across the ring are promoted to delta bases, which is what keeps the
 shipped delta bytes bounded by the raw checkpoint bytes they replace.

@@ -61,7 +61,11 @@ pub struct ClusterConfig {
     /// cadence only bounds replay length and delta size).
     pub delta_every: u64,
     /// Shared-secret token gating `shutdown` and the cluster admin
-    /// commands (`ring`, `handoff`); compared in constant time.
+    /// commands (`ring`, `handoff`); compared in constant time. When
+    /// set, inter-node links must prove the same token in their
+    /// `Hello`, so the peer plane (`0xF8` messages) is closed to
+    /// unauthenticated clients on the shared port. Every node of a
+    /// cluster must be configured with the same token.
     pub auth: Option<String>,
     /// Whether to record `tc_cluster_*` metrics (a null registry
     /// otherwise).

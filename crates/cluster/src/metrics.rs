@@ -27,6 +27,13 @@ pub struct ClusterMetrics {
     pub failovers: Counter,
     /// Sessions promoted from replica to owner after a failover.
     pub promotions: Counter,
+    /// Promotions that found no usable checkpoint base (owner died
+    /// before the open snapshot replicated, or the base was corrupt)
+    /// — each one is a session lost to the failover.
+    pub promotions_failed: Counter,
+    /// Times this node fenced itself off after learning peers had
+    /// declared it dead and failed its sessions over.
+    pub fenced: Counter,
     /// Replayed in-flight payloads during promotions.
     pub replayed: Counter,
     /// Heartbeats emitted.
@@ -51,6 +58,8 @@ impl ClusterMetrics {
             checkpoint_bytes: registry.counter("tc_cluster_checkpoint_bytes_total"),
             failovers: registry.counter("tc_cluster_failovers_total"),
             promotions: registry.counter("tc_cluster_promotions_total"),
+            promotions_failed: registry.counter("tc_cluster_promotions_failed_total"),
+            fenced: registry.counter("tc_cluster_fenced_total"),
             replayed: registry.counter("tc_cluster_replayed_payloads_total"),
             heartbeats: registry.counter("tc_cluster_heartbeats_total"),
             sessions_owned: registry.gauge("tc_cluster_sessions_owned"),

@@ -35,7 +35,7 @@
 //!
 //! [`LocalCluster`]: crate::testing::LocalCluster
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 
 use tc_stream::checkpoint::Checkpoint;
@@ -63,7 +63,10 @@ pub enum Output {
     /// Send a cluster message to peer node `0`. Links are FIFO; the
     /// protocol depends on per-link ordering and nothing else.
     Peer(u32, ClusterMsg),
-    /// A (successfully authed) client asked this node to shut down.
+    /// This node must stop serving: a (successfully authed) client
+    /// asked it to shut down, or a peer's [`ClusterMsg::Evicted`]
+    /// notice revealed the ring has already failed this node over —
+    /// continuing would split the brain, so it fences itself.
     Shutdown,
 }
 
@@ -136,8 +139,16 @@ pub struct NodeCore {
     /// Per-peer-link replication sequence counters (`sent[t]` = last
     /// seq shipped to node `t`).
     sent: Vec<u64>,
-    /// Tokens for forwarded requests awaiting their [`ClusterMsg::Reply`].
-    pending: HashMap<u64, ConnId>,
+    /// Tokens for forwarded requests awaiting their [`ClusterMsg::Reply`]:
+    /// token → (client connection, node the forward targeted). The
+    /// target lets a failover fail these fast instead of leaving the
+    /// client waiting on a reply that will never come.
+    pending: HashMap<u64, (ConnId, u32)>,
+    /// Sessions dropped during a failed promotion (the owner died
+    /// before any checkpoint base reached the replica, or the base
+    /// was corrupt). Kept so clients get an explicit "lost in
+    /// failover" error instead of a generic unknown-session one.
+    lost: HashSet<u64>,
     next_token: u64,
     /// Local session-id allocation counter (node-stamped: the id's
     /// residue mod the cluster size identifies the allocating node,
@@ -183,6 +194,7 @@ impl NodeCore {
             assignments: HashMap::new(),
             sent: vec![0; config.nodes],
             pending: HashMap::new(),
+            lost: HashSet::new(),
             next_token: 0,
             next_id: 0,
             outputs: Vec::new(),
@@ -235,7 +247,14 @@ impl NodeCore {
     /// survive their connections (the `use <id>` contract).
     pub fn client_closed(&mut self, conn: ConnId) {
         self.conns.remove(&conn);
-        self.pending.retain(|_, c| *c != conn);
+        self.pending.retain(|_, (c, _)| *c != conn);
+    }
+
+    /// Counts a rejected peer-plane authentication (the transport
+    /// detected a bad or missing [`ClusterMsg::Hello`] token before
+    /// any message reached the core).
+    pub fn peer_auth_failed(&mut self) {
+        self.metrics.auth_errors.inc();
     }
 
     // ---- gateway: client traffic ------------------------------------
@@ -263,10 +282,13 @@ impl NodeCore {
             match out {
                 Some(out) if !out.is_empty() => self.reply(conn, &out),
                 Some(_) => {}
-                None => self.reply(conn, &format!("err unknown session {session}\n")),
+                None => {
+                    let msg = self.unknown_session(session);
+                    self.reply(conn, &msg);
+                }
             }
         } else {
-            let token = self.track(conn);
+            let token = self.track(conn, owner);
             self.metrics.forwards.inc();
             self.push_peer(
                 owner,
@@ -290,10 +312,13 @@ impl NodeCore {
                         self.reply(conn, &out);
                     }
                 }
-                None => self.reply(conn, &format!("err unknown session {session}\n")),
+                None => {
+                    let msg = self.unknown_session(session);
+                    self.reply(conn, &msg);
+                }
             }
         } else {
-            let token = self.track(conn);
+            let token = self.track(conn, owner);
             self.metrics.forwards.inc();
             self.push_peer(
                 owner,
@@ -346,7 +371,8 @@ impl NodeCore {
                     // (first routed line surfaces an unknown id), but
                     // a locally-owned id is checked on the spot.
                     if self.place(id) == self.config.me && !self.owned.contains_key(&id) {
-                        self.reply(conn, &format!("err unknown session {id}\n"));
+                        let msg = self.unknown_session(id);
+                        self.reply(conn, &msg);
                     } else {
                         self.conns.entry(conn).or_default().current = Some(id);
                         self.reply(conn, &format!("ok session {id} attached\n"));
@@ -373,6 +399,17 @@ impl NodeCore {
                 );
             }
             _ => self.reply(conn, "err expected `open <order> <clock>`\n"),
+        }
+    }
+
+    /// The error for a session this node should own but does not run:
+    /// distinguishes "never existed here" from "dropped in a failover
+    /// because no checkpoint base had been replicated yet".
+    fn unknown_session(&self, id: u64) -> String {
+        if self.lost.contains(&id) {
+            format!("err session {id} lost in failover; no checkpoint base was replicated\n")
+        } else {
+            format!("err unknown session {id}\n")
         }
     }
 
@@ -407,7 +444,7 @@ impl NodeCore {
             let reply = self.open_owned(id, rest);
             self.reply(conn, &reply);
         } else {
-            let token = self.track(conn);
+            let token = self.track(conn, owner);
             self.metrics.forwards.inc();
             self.push_peer(
                 owner,
@@ -464,7 +501,7 @@ impl NodeCore {
             self.reply(conn, &reply);
         } else {
             // The owner executes handoffs; forward the command line.
-            let token = self.track(conn);
+            let token = self.track(conn, owner);
             self.metrics.forwards.inc();
             self.push_peer(
                 owner,
@@ -627,7 +664,7 @@ impl NodeCore {
     /// the assignment that promotes it.
     fn handoff_owned(&mut self, id: u64) -> String {
         if !self.owned.contains_key(&id) {
-            return format!("err unknown session {id}\n");
+            return self.unknown_session(id);
         }
         let Some(target) = self.owned[&id].target else {
             return "err no live replica to hand off to\n".to_owned();
@@ -662,10 +699,45 @@ impl NodeCore {
 
     /// Feeds one decoded peer message.
     pub fn peer_msg(&mut self, msg: ClusterMsg) {
+        // Traffic from a node this ring has already evicted means the
+        // "dead" peer is in fact still running (a long stall, a
+        // partition). Processing it would resurrect replica state or
+        // answer a split brain's forwards; instead repeat the
+        // eviction notice so the zombie fences itself off. Eviction
+        // is permanent — the failure model is crash-stop.
+        let claimed = match &msg {
+            ClusterMsg::Hello { node, .. }
+            | ClusterMsg::Heartbeat { node }
+            | ClusterMsg::StableVector { node, .. } => Some(*node),
+            ClusterMsg::ForwardLine { origin, .. }
+            | ClusterMsg::ForwardFrame { origin, .. }
+            | ClusterMsg::ReplFrame { origin, .. }
+            | ClusterMsg::ReplText { origin, .. }
+            | ClusterMsg::Delta { origin, .. }
+            | ClusterMsg::Retire { origin, .. } => Some(*origin),
+            ClusterMsg::Reply { .. } | ClusterMsg::Assign { .. } | ClusterMsg::Evicted { .. } => {
+                None
+            }
+        };
+        if let Some(node) = claimed {
+            if node != self.config.me && !self.ring.is_live(node) {
+                self.push_peer(node, ClusterMsg::Evicted { node });
+                return;
+            }
+        }
         match msg {
             ClusterMsg::Hello { .. } | ClusterMsg::Heartbeat { .. } => {
                 // Liveness bookkeeping belongs to the transport; the
                 // core only acts on `fail_node`.
+            }
+            ClusterMsg::Evicted { node } => {
+                if node == self.config.me {
+                    // A peer failed this node over while it was still
+                    // running: self-fence rather than keep serving
+                    // divergent state to connected clients.
+                    self.metrics.fenced.inc();
+                    self.outputs.push(Output::Shutdown);
+                }
             }
             ClusterMsg::ForwardLine {
                 origin,
@@ -699,12 +771,12 @@ impl NodeCore {
                 }
                 let reply = match self.apply_frame_owned(session, &events) {
                     Some(out) => out,
-                    None => format!("err unknown session {session}\n"),
+                    None => self.unknown_session(session),
                 };
                 self.push_peer(origin, ClusterMsg::Reply { token, text: reply });
             }
             ClusterMsg::Reply { token, text } => {
-                if let Some(conn) = self.pending.remove(&token) {
+                if let Some((conn, _)) = self.pending.remove(&token) {
                     if !text.is_empty() {
                         self.reply(conn, &text);
                     }
@@ -795,7 +867,7 @@ impl NodeCore {
         } else {
             match self.apply_line_owned(session, text) {
                 Some(out) => out,
-                None => format!("err unknown session {session}\n"),
+                None => self.unknown_session(session),
             }
         };
         self.push_peer(origin, ClusterMsg::Reply { token, text: reply });
@@ -872,9 +944,18 @@ impl NodeCore {
         };
         self.metrics.sessions_replicated.sub(1);
         let Some((base_seq, bytes)) = r.bases.last() else {
+            // The owner died before its open snapshot reached this
+            // replica; the raw tail alone cannot rebuild the session
+            // (the open config lives in the checkpoint). The session
+            // is lost — count it and remember the id so clients get
+            // an explicit error, not a generic unknown-session one.
+            self.metrics.promotions_failed.inc();
+            self.lost.insert(session);
             return;
         };
         let Ok(cp) = Checkpoint::from_bytes(bytes) else {
+            self.metrics.promotions_failed.inc();
+            self.lost.insert(session);
             return;
         };
         let mut session_state = Session::from_checkpoint(session, &cp);
@@ -972,6 +1053,19 @@ impl NodeCore {
             return;
         }
         self.metrics.failovers.inc();
+        // Forwards in flight to the dead node will never be answered;
+        // fail them fast with a retryable error so synchronous
+        // clients don't hang across the failover window.
+        let orphaned: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|&(_, &(_, target))| target == dead)
+            .map(|(&token, _)| token)
+            .collect();
+        for token in orphaned {
+            let (conn, _) = self.pending.remove(&token).expect("listed above");
+            self.reply(conn, "err failover in progress; retry\n");
+        }
         // Handoff assignments pinned to the dead node move to the
         // replica holder — the first distinct live node clockwise,
         // computed while the dead node still occupies the ring so the
@@ -1037,9 +1131,9 @@ impl NodeCore {
         self.sent[target as usize]
     }
 
-    fn track(&mut self, conn: ConnId) -> u64 {
+    fn track(&mut self, conn: ConnId, target: u32) -> u64 {
         self.next_token += 1;
-        self.pending.insert(self.next_token, conn);
+        self.pending.insert(self.next_token, (conn, target));
         self.next_token
     }
 
@@ -1201,6 +1295,100 @@ mod tests {
             .count();
         assert_eq!(texts, 2, "both event lines replicate");
         assert_eq!(deltas, 1, "cadence delta after the second payload");
+    }
+
+    #[test]
+    fn zombie_peers_get_evicted_and_fence_themselves() {
+        // Survivor side: traffic from an already-evicted node draws a
+        // repeat eviction notice instead of resurrecting state.
+        let mut survivor = NodeCore::new(config(3, 1));
+        survivor.fail_node(0);
+        survivor.drain();
+        survivor.peer_msg(ClusterMsg::Heartbeat { node: 0 });
+        let outs = survivor.drain();
+        assert!(
+            outs.iter()
+                .any(|o| matches!(o, Output::Peer(0, ClusterMsg::Evicted { node: 0 }))),
+            "got {outs:?}"
+        );
+        // Zombie side: someone else's eviction is none of our
+        // business, our own is a death sentence.
+        let mut zombie = NodeCore::new(config(3, 0));
+        zombie.peer_msg(ClusterMsg::Evicted { node: 2 });
+        assert!(!zombie
+            .drain()
+            .iter()
+            .any(|o| matches!(o, Output::Shutdown)));
+        zombie.peer_msg(ClusterMsg::Evicted { node: 0 });
+        assert!(zombie.drain().iter().any(|o| matches!(o, Output::Shutdown)));
+        assert_eq!(
+            zombie.registry().counter_value("tc_cluster_fenced_total"),
+            1
+        );
+    }
+
+    #[test]
+    fn failover_fails_pending_forwards_instead_of_hanging() {
+        let mut core = NodeCore::new(config(2, 0));
+        // Find a conn whose open forwarded to node 1, leaving a reply
+        // pending there.
+        let mut forwarded = None;
+        for conn in 0..16 {
+            core.client_line(conn, "open hb tc");
+            let remote = core
+                .drain()
+                .iter()
+                .any(|o| matches!(o, Output::Peer(1, ClusterMsg::ForwardLine { .. })));
+            if remote {
+                forwarded = Some(conn);
+                break;
+            }
+        }
+        let conn = forwarded.expect("some open forwards to node 1");
+        core.fail_node(1);
+        let texts: String = core
+            .drain()
+            .into_iter()
+            .filter_map(|o| match o {
+                Output::Client(c, t) if c == conn => Some(t),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            texts.contains("err failover in progress; retry"),
+            "got {texts:?}"
+        );
+    }
+
+    #[test]
+    fn a_session_lost_before_its_first_checkpoint_errs_explicitly() {
+        let mut core = NodeCore::new(config(2, 0));
+        let id = (0..64)
+            .find(|&id| core.place(id) == 1)
+            .expect("node 1 owns some id");
+        // The owner died after replicating one payload but before any
+        // checkpoint base (not even the open snapshot) arrived.
+        core.peer_msg(ClusterMsg::ReplText {
+            origin: 1,
+            seq: 1,
+            session: id,
+            frame_seq: 1,
+            text: "t0 w x".into(),
+        });
+        core.drain();
+        core.fail_node(1);
+        core.drain();
+        assert_eq!(
+            core.registry()
+                .counter_value("tc_cluster_promotions_failed_total"),
+            1
+        );
+        core.client_line(9, &format!("use {id}"));
+        let out = drain_client(&mut core);
+        assert!(
+            out.contains(&format!("session {id} lost in failover")),
+            "got {out:?}"
+        );
     }
 
     #[test]

@@ -26,6 +26,18 @@ fn mix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+/// Domain separator for key hashes. Vnode points hash
+/// `node << 32 | v`, which collides with plain `mix(key)` for every
+/// key below [`VNODES`] — and session ids ARE small integers, so
+/// without separation they all hash exactly onto node 0's points and
+/// the ring stops balancing.
+const KEY_DOMAIN: u64 = 0x7463_5f6b_6579_5f68;
+
+/// Where `key` sits on the circle.
+fn key_point(key: u64) -> u64 {
+    mix(key ^ KEY_DOMAIN)
+}
+
 /// The consistent-hash ring over the **live** node set.
 #[derive(Debug, Clone)]
 pub struct HashRing {
@@ -109,7 +121,7 @@ impl HashRing {
     /// Distinct live nodes in clockwise preference order from `key`'s
     /// position (an infinite cycle truncated at the live count).
     fn walk(&self, key: u64) -> impl Iterator<Item = u32> + '_ {
-        let h = mix(key);
+        let h = key_point(key);
         let start = self.points.partition_point(|&(p, _)| p < h);
         let mut seen: Vec<u32> = Vec::new();
         self.points
@@ -182,6 +194,16 @@ mod tests {
         // Removing twice is idempotent.
         ring.remove(1);
         assert_eq!(ring.live_count(), 2);
+    }
+
+    #[test]
+    fn small_sequential_ids_balance_across_two_nodes() {
+        // Regression: key hashing shared the vnode points' input
+        // domain, so every id < VNODES hashed exactly onto one of
+        // node 0's points — and real session ids are small integers.
+        let ring = HashRing::new(2);
+        let ones = (0..64u64).filter(|&k| ring.owner(k) == 1).count();
+        assert!(ones > 8 && ones < 56, "{ones}/64 keys on node 1");
     }
 
     #[test]

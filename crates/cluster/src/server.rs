@@ -5,16 +5,26 @@
 //! each message picks the protocol — text lines and `0xF7`/`0xF6`
 //! binary frames are client traffic, `0xF8` messages are peer
 //! traffic (an inbound peer link always opens with
-//! [`ClusterMsg::Hello`]). Outbound peer links are lazy, persistent
+//! [`ClusterMsg::Hello`]). When the node runs with a shared-secret
+//! auth token, that Hello must carry it: `0xF8` messages on a
+//! connection that has not presented a valid Hello are rejected and
+//! the connection dropped, so an unauthenticated client on the
+//! shared port cannot reach the peer plane (forwards, replication,
+//! session assignment). Outbound peer links are lazy, persistent
 //! and FIFO: a dedicated writer thread per peer drains an in-order
 //! channel, which — together with the core being fed under one lock —
 //! preserves the per-link ordering the replication protocol assumes.
 //!
 //! A ticker thread drives heartbeats, matrix-row gossip and failure
 //! detection: a peer not heard from for `miss_limit` ticks is
-//! declared dead and [`NodeCore::fail_node`] runs. [`ClusterServer::abort`]
-//! kills a node abruptly (no goodbyes, queued messages dropped) so
-//! integration tests can exercise exactly that path.
+//! declared dead and [`NodeCore::fail_node`] runs. Detection is
+//! unilateral and eviction permanent — the failure model is
+//! crash-stop. A node mis-declared dead (a long stall, a partition)
+//! learns of its eviction from the `Evicted` notices peers send back
+//! at its next heartbeat and fences itself by shutting down, bounding
+//! the split-brain window. [`ClusterServer::abort`] kills a node
+//! abruptly (no goodbyes, queued messages dropped) so integration
+//! tests can exercise exactly that path.
 
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
@@ -24,6 +34,7 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
+use tc_stream::constant_time_eq;
 use tc_trace::wire::{self, CLUSTER_MAGIC, FRAME_MAGIC, MULTI_MAGIC};
 use tc_trace::ClusterMsg;
 
@@ -33,14 +44,30 @@ use crate::ClusterConfig;
 /// Default heartbeat/gossip cadence.
 pub const DEFAULT_TICK: Duration = Duration::from_millis(50);
 /// Default missed-tick budget before a peer is declared dead.
-pub const DEFAULT_MISS_LIMIT: u32 = 6;
+///
+/// Eviction is permanent (crash-stop model), so the budget errs
+/// large — 20 ticks is a full second at the default cadence — to keep
+/// an ordinary GC or scheduler stall from being mistaken for a
+/// crash. A node that is mis-declared anyway self-fences on the
+/// first eviction notice peers send back.
+pub const DEFAULT_MISS_LIMIT: u32 = 20;
+/// How long one queued client reply may block on a non-reading
+/// client socket before the connection is severed.
+const CLIENT_WRITE_TIMEOUT: Duration = Duration::from_secs(5);
 
 struct Shared {
     core: Mutex<NodeCore>,
     me: u32,
     /// Peer addresses, indexed by node id (`peers[me]` is this node).
     peers: Vec<String>,
-    clients: Mutex<HashMap<ConnId, TcpStream>>,
+    /// The shared-secret auth token; when set, peer links must prove
+    /// it in their [`ClusterMsg::Hello`].
+    auth: Option<String>,
+    /// Per-connection reply streams. The inner mutex serializes the
+    /// writers a connection can have (its own handler thread plus
+    /// peer-reply dispatch) without holding the map lock across a
+    /// potentially slow socket write.
+    clients: Mutex<HashMap<ConnId, Arc<Mutex<TcpStream>>>>,
     links: Mutex<Vec<Option<mpsc::Sender<ClusterMsg>>>>,
     last_heard: Mutex<Vec<Option<Instant>>>,
     stopping: AtomicBool,
@@ -103,10 +130,12 @@ impl ClusterServer {
         let local = listener.local_addr()?;
         let me = config.me;
         let nodes = config.nodes;
+        let auth = config.auth.clone();
         let shared = Arc::new(Shared {
             core: Mutex::new(NodeCore::new(config)),
             me,
             peers,
+            auth,
             clients: Mutex::new(HashMap::new()),
             links: Mutex::new(vec![None; nodes]),
             last_heard: Mutex::new(vec![None; nodes]),
@@ -223,36 +252,54 @@ fn ticker_loop(shared: &Arc<Shared>) {
     }
 }
 
-/// Feeds the core under its lock and dispatches what it produced
-/// **before unlocking** — that single serialization point is what
-/// keeps per-link peer channels FIFO across concurrently-served
-/// client connections.
+/// Feeds the core under its lock, queues peer messages **before
+/// unlocking** (cheap in-memory channel pushes — that single
+/// serialization point keeps per-link peer channels FIFO across
+/// concurrently-served client connections), and writes client
+/// replies only *after* dropping the lock, so one client that stops
+/// reading can never stall request processing, heartbeats or failure
+/// detection behind a blocked socket write.
 fn feed(shared: &Arc<Shared>, f: impl FnOnce(&mut NodeCore)) {
-    let mut core = shared.core.lock().expect("core lock");
-    f(&mut core);
-    let outputs = core.drain();
-    dispatch(shared, outputs);
-}
-
-fn dispatch(shared: &Arc<Shared>, outputs: Vec<Output>) {
-    for out in outputs {
-        match out {
-            Output::Client(conn, text) => {
-                let mut clients = shared.clients.lock().expect("clients lock");
-                if let Some(stream) = clients.get_mut(&conn) {
-                    // A dead client is the client's problem.
-                    let _ = stream.write_all(text.as_bytes());
-                }
-            }
-            Output::Peer(node, msg) => send_peer(shared, node, msg),
-            Output::Shutdown => {
-                shared.stopping.store(true, Ordering::SeqCst);
-                // Unblock the accept loop (the `stop()` trick) so
-                // `join()` returns; without this the node would only
-                // actually die on the next inbound connection.
-                let _ = TcpStream::connect(&shared.peers[shared.me as usize]);
+    let mut replies: Vec<(ConnId, String)> = Vec::new();
+    let mut shutdown = false;
+    {
+        let mut core = shared.core.lock().expect("core lock");
+        f(&mut core);
+        for out in core.drain() {
+            match out {
+                Output::Client(conn, text) => replies.push((conn, text)),
+                Output::Peer(node, msg) => send_peer(shared, node, msg),
+                Output::Shutdown => shutdown = true,
             }
         }
+    }
+    for (conn, text) in replies {
+        write_client(shared, conn, &text);
+    }
+    if shutdown {
+        shared.stopping.store(true, Ordering::SeqCst);
+        // Unblock the accept loop (the `stop()` trick) so `join()`
+        // returns; without this the node would only actually die on
+        // the next inbound connection.
+        let _ = TcpStream::connect(&shared.peers[shared.me as usize]);
+    }
+}
+
+/// Writes one reply to a client connection. The per-connection mutex
+/// serializes concurrent repliers, the stream's write timeout bounds
+/// how long a wedged client can hold it, and a failed write severs
+/// the socket so the reader side drops the connection.
+fn write_client(shared: &Arc<Shared>, conn: ConnId, text: &str) {
+    let stream = {
+        let clients = shared.clients.lock().expect("clients lock");
+        clients.get(&conn).cloned()
+    };
+    let Some(stream) = stream else { return };
+    let mut stream = stream.lock().expect("client stream lock");
+    if stream.write_all(text.as_bytes()).is_err() {
+        // A dead (or non-reading, after the timeout) client is the
+        // client's problem.
+        let _ = stream.shutdown(std::net::Shutdown::Both);
     }
 }
 
@@ -291,8 +338,16 @@ fn peer_writer(shared: &Arc<Shared>, addr: &str, rx: &mpsc::Receiver<ClusterMsg>
         }
     }
     let Some(mut stream) = stream else { return };
-    let hello = wire::encode_cluster(&ClusterMsg::Hello { node: shared.me })
-        .expect("a Hello always encodes");
+    let hello = wire::encode_cluster(&ClusterMsg::Hello {
+        node: shared.me,
+        auth: shared
+            .auth
+            .as_deref()
+            .unwrap_or_default()
+            .as_bytes()
+            .to_vec(),
+    })
+    .expect("a Hello always encodes");
     if stream.write_all(&hello).is_err() {
         return;
     }
@@ -318,15 +373,19 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(shared.tick));
     let _ = stream.set_nodelay(true);
     if let Ok(clone) = stream.try_clone() {
+        let _ = clone.set_write_timeout(Some(CLIENT_WRITE_TIMEOUT));
         shared
             .clients
             .lock()
             .expect("clients lock")
-            .insert(conn, clone);
+            .insert(conn, Arc::new(Mutex::new(clone)));
     }
     let mut stream = stream;
     let mut buf: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 4096];
+    // Whether this connection may speak the peer plane: trivially yes
+    // without an auth token, otherwise only after a Hello proving it.
+    let mut peer_ok = shared.auth.is_none();
     'serve: loop {
         // Drain every complete message already buffered.
         loop {
@@ -337,6 +396,23 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
                 CLUSTER_MAGIC => match wire::try_cluster(&buf) {
                     Ok(Some((msg, used))) => {
                         buf.drain(..used);
+                        if let ClusterMsg::Hello { auth, .. } = &msg {
+                            let want = shared.auth.as_deref().unwrap_or_default();
+                            if constant_time_eq(want.as_bytes(), auth) {
+                                peer_ok = true;
+                            } else {
+                                feed(shared, NodeCore::peer_auth_failed);
+                                break 'serve;
+                            }
+                        } else if !peer_ok {
+                            // Peer traffic without a proven Hello is an
+                            // unauthenticated client poking the peer
+                            // plane (forwards would bypass the auth
+                            // gate, replication messages would corrupt
+                            // replica state). Kill the link.
+                            feed(shared, NodeCore::peer_auth_failed);
+                            break 'serve;
+                        }
                         peer_message(shared, msg);
                     }
                     Ok(None) => break,
@@ -393,7 +469,7 @@ fn handle_conn(shared: &Arc<Shared>, stream: TcpStream) {
 /// decision-making in the core.
 fn peer_message(shared: &Arc<Shared>, msg: ClusterMsg) {
     let sender = match &msg {
-        ClusterMsg::Hello { node }
+        ClusterMsg::Hello { node, .. }
         | ClusterMsg::Heartbeat { node }
         | ClusterMsg::StableVector { node, .. } => Some(*node),
         ClusterMsg::ForwardLine { origin, .. }
@@ -402,7 +478,7 @@ fn peer_message(shared: &Arc<Shared>, msg: ClusterMsg) {
         | ClusterMsg::ReplText { origin, .. }
         | ClusterMsg::Delta { origin, .. }
         | ClusterMsg::Retire { origin, .. } => Some(*origin),
-        ClusterMsg::Reply { .. } | ClusterMsg::Assign { .. } => None,
+        ClusterMsg::Reply { .. } | ClusterMsg::Assign { .. } | ClusterMsg::Evicted { .. } => None,
     };
     if let Some(node) = sender {
         if let Some(slot) = shared

@@ -321,6 +321,68 @@ fn sockets_forwarding_preserves_per_session_fifo() {
 }
 
 #[test]
+fn sockets_peer_plane_requires_auth_when_configured() {
+    use std::io::{Read, Write};
+    use tc_trace::{wire, ClusterMsg};
+
+    let addrs = reserve_addrs(3);
+    let servers: Vec<ClusterServer> = (0..3)
+        .map(|i| {
+            ClusterServer::start_with(
+                &addrs[i],
+                addrs.clone(),
+                ClusterConfig {
+                    nodes: 3,
+                    me: i as u32,
+                    delta_every: 2,
+                    auth: Some("sekret".into()),
+                    telemetry: true,
+                },
+                Duration::from_millis(25),
+                40,
+            )
+            .expect("start node")
+        })
+        .collect();
+
+    // An unauthenticated connection speaking the peer protocol is cut
+    // off before its message reaches the core — this forged
+    // ForwardLine would otherwise execute the auth-gated handoff
+    // admin command.
+    let mut rogue = std::net::TcpStream::connect(sock(&addrs[0])).expect("connect");
+    let forged = wire::encode_cluster(&ClusterMsg::ForwardLine {
+        origin: 1,
+        token: 1,
+        session: 42,
+        text: "handoff 42".into(),
+    })
+    .expect("encode");
+    rogue.write_all(&forged).expect("write");
+    let mut sink = Vec::new();
+    let _ = rogue.read_to_end(&mut sink); // the server hangs up
+    assert!(sink.is_empty(), "no reply to forged peer traffic: {sink:?}");
+
+    // The ring itself still works: real peer links carry the token in
+    // their Hello, so forwarding and admin commands keep flowing.
+    let mut client = Client::open(sock(&addrs[1]), "hb tc").expect("open");
+    let id = client.session();
+    client.send("auth sekret").unwrap();
+    client.send(&format!("ring {id}")).unwrap();
+    for line in ["t0 w x", "t1 w x", "races"] {
+        client.send(line).unwrap();
+    }
+    client.flush().unwrap();
+    assert!(client.read_reply().unwrap().starts_with("ok authed"));
+    assert!(client.read_reply().unwrap().starts_with("ok session"));
+    let races = read_report(&mut client);
+    assert!(races.contains("ok 1 1"), "got {races:?}");
+
+    for s in servers {
+        s.shutdown();
+    }
+}
+
+#[test]
 fn sockets_heartbeat_failover_recovers_byte_identical_reports() {
     let (lines, _) = workload();
     let (want_races, want_cp) = reference(&lines);

@@ -429,10 +429,16 @@ pub const CLUSTER_MAGIC: u8 = 0xF8;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClusterMsg {
     /// Link handshake: the first message on an inter-node connection,
-    /// naming the sending node.
+    /// naming the sending node and proving it belongs to the cluster.
     Hello {
         /// The sender's node index in the static peer set.
         node: u32,
+        /// The cluster's shared-secret auth token (empty when the
+        /// cluster runs without one). Receivers verify it in constant
+        /// time before trusting any further peer traffic on the link,
+        /// so an unauthenticated client on the shared port cannot
+        /// reach the peer plane.
+        auth: Vec<u8>,
     },
     /// A client text line forwarded from a gateway node to the
     /// session's owner. `token` correlates the owner's [`ClusterMsg::Reply`]
@@ -552,6 +558,14 @@ pub enum ClusterMsg {
         /// The new owning node.
         node: u32,
     },
+    /// Fencing notice: the receiver has been declared dead and
+    /// evicted from the sender's ring, and its sessions have failed
+    /// over. A node that learns of its own eviction must stop serving
+    /// — eviction is permanent, and continuing would split the brain.
+    Evicted {
+        /// The evicted node (the intended receiver).
+        node: u32,
+    },
 }
 
 /// Variant tags of the cluster payload (first payload byte).
@@ -567,6 +581,7 @@ mod cluster_tag {
     pub const STABLE_VECTOR: u8 = 8;
     pub const RETIRE: u8 = 9;
     pub const ASSIGN: u8 = 10;
+    pub const EVICTED: u8 = 11;
 }
 
 /// Appends a length-prefixed byte string.
@@ -612,9 +627,10 @@ pub fn encode_cluster(msg: &ClusterMsg) -> Result<Vec<u8>, WireError> {
         write_varint(p, v).expect("writing to a Vec cannot fail");
     };
     match msg {
-        ClusterMsg::Hello { node } => {
+        ClusterMsg::Hello { node, auth } => {
             p.push(cluster_tag::HELLO);
             put(&mut p, u64::from(*node));
+            encode_bytes(&mut p, auth);
         }
         ClusterMsg::ForwardLine {
             origin,
@@ -716,6 +732,10 @@ pub fn encode_cluster(msg: &ClusterMsg) -> Result<Vec<u8>, WireError> {
             put(&mut p, *session);
             put(&mut p, u64::from(*node));
         }
+        ClusterMsg::Evicted { node } => {
+            p.push(cluster_tag::EVICTED);
+            put(&mut p, u64::from(*node));
+        }
     }
     seal(CLUSTER_MAGIC, p)
 }
@@ -736,6 +756,7 @@ fn decode_cluster_payload(payload: &[u8]) -> Result<ClusterMsg, WireError> {
     let msg = match tag[0] {
         cluster_tag::HELLO => ClusterMsg::Hello {
             node: decode_u32(&mut r, "node id")?,
+            auth: decode_bytes(&mut r)?,
         },
         cluster_tag::FORWARD_LINE => ClusterMsg::ForwardLine {
             origin: decode_u32(&mut r, "node id")?,
@@ -800,6 +821,9 @@ fn decode_cluster_payload(payload: &[u8]) -> Result<ClusterMsg, WireError> {
         },
         cluster_tag::ASSIGN => ClusterMsg::Assign {
             session: var(&mut r)?,
+            node: decode_u32(&mut r, "node id")?,
+        },
+        cluster_tag::EVICTED => ClusterMsg::Evicted {
             node: decode_u32(&mut r, "node id")?,
         },
         other => {
@@ -1089,7 +1113,10 @@ mod tests {
 
     fn sample_cluster_msgs() -> Vec<ClusterMsg> {
         vec![
-            ClusterMsg::Hello { node: 2 },
+            ClusterMsg::Hello {
+                node: 2,
+                auth: b"sekret".to_vec(),
+            },
             ClusterMsg::ForwardLine {
                 origin: 0,
                 token: 99,
@@ -1142,6 +1169,7 @@ mod tests {
                 session: 12,
                 node: 2,
             },
+            ClusterMsg::Evicted { node: 1 },
         ]
     }
 
